@@ -1,0 +1,101 @@
+//===- bench/bench_ablation_lazy.cpp - Section 5 / 5.4 ablation -----------===//
+///
+/// Two design-choice ablations:
+///
+///  1. *Lazy vs. eager lockset evaluation*: the eager Figure 5 reference
+///     updates every variable's lockset at every synchronization event
+///     (O(#variables) per event); the engine evaluates lazily per access.
+///     Sweeping the variable count shows the eager cost exploding while
+///     the lazy engine stays flat — the core argument of Section 5.
+///
+///  2. *Event-list garbage collection* (Section 5.4): sweeping the GC
+///     threshold on a long-running trace trades walk/advance work against
+///     retained list length.
+///
+//===----------------------------------------------------------------------===//
+
+#include "detectors/GoldilocksDetectors.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace gold;
+
+namespace {
+
+/// Many variables, touched once early, plus a long stream of sync events
+/// and a few hot variables — the worst case for eager evaluation.
+Trace manyVarsTrace(unsigned NumVars) {
+  TraceBuilder B;
+  for (unsigned V = 0; V != NumVars; ++V)
+    B.write(1, 1 + V / 8, static_cast<FieldId>(V % 8));
+  for (int Round = 0; Round != 200; ++Round) {
+    ThreadId T = static_cast<ThreadId>(1 + Round % 3);
+    B.acq(T, 999);
+    B.write(T, 998, 0);
+    B.rel(T, 999);
+  }
+  return B.take();
+}
+
+void BM_EagerReference(benchmark::State &State) {
+  Trace T = manyVarsTrace(static_cast<unsigned>(State.range(0)));
+  for (auto _ : State) {
+    GoldilocksReferenceDetector D;
+    auto R = D.runTrace(T);
+    benchmark::DoNotOptimize(R);
+  }
+  State.SetLabel("eager (Figure 5)");
+}
+BENCHMARK(BM_EagerReference)->RangeMultiplier(4)->Range(64, 4096);
+
+void BM_LazyEngine(benchmark::State &State) {
+  Trace T = manyVarsTrace(static_cast<unsigned>(State.range(0)));
+  for (auto _ : State) {
+    GoldilocksDetector D;
+    auto R = D.runTrace(T);
+    benchmark::DoNotOptimize(R);
+  }
+  State.SetLabel("lazy (Figure 8)");
+}
+BENCHMARK(BM_LazyEngine)->RangeMultiplier(4)->Range(64, 4096);
+
+/// Long-running lock traffic with one stale early access anchoring the
+/// list head: partially-eager evaluation must advance it so the prefix can
+/// be trimmed.
+Trace longRunningTrace() {
+  TraceBuilder B;
+  B.acq(1, 7).write(1, 1, 0).rel(1, 7); // early, never touched again
+  for (int Round = 0; Round != 4000; ++Round) {
+    ThreadId T = static_cast<ThreadId>(1 + Round % 3);
+    B.acq(T, 9).write(T, 2, 0).rel(T, 9);
+  }
+  B.acq(2, 7).write(2, 1, 0).rel(2, 7); // reuses the early variable
+  return B.take();
+}
+
+void BM_GcThreshold(benchmark::State &State) {
+  static const Trace T = longRunningTrace();
+  size_t Threshold = static_cast<size_t>(State.range(0));
+  size_t FinalLen = 0;
+  uint64_t Freed = 0, Advances = 0;
+  for (auto _ : State) {
+    EngineConfig C;
+    C.GcThreshold = Threshold; // 0 = never collect
+    GoldilocksDetector D(C);
+    auto R = D.runTrace(T);
+    benchmark::DoNotOptimize(R);
+    FinalLen = D.engine().eventListLength();
+    EngineStats S = D.engine().stats();
+    Freed = S.CellsFreed;
+    Advances = S.EagerAdvances;
+  }
+  State.counters["final_list_len"] = static_cast<double>(FinalLen);
+  State.counters["cells_freed"] = static_cast<double>(Freed);
+  State.counters["eager_advances"] = static_cast<double>(Advances);
+  State.SetLabel(Threshold == 0 ? "gc-off" : "gc-on");
+}
+BENCHMARK(BM_GcThreshold)->Arg(0)->Arg(256)->Arg(1024)->Arg(8192);
+
+} // namespace
+
+BENCHMARK_MAIN();

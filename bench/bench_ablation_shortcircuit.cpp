@@ -1,0 +1,137 @@
+//===- bench/bench_ablation_shortcircuit.cpp - Section 5.1 ablation -------===//
+///
+/// Ablation of the engine's short-circuit checks (Section 5.1): replays
+/// deterministic trace mixes through the optimized engine with individual
+/// short circuits disabled. The paper's claim: "the short-circuit checks
+/// succeed most of the time, and the lockset update rules are only applied
+/// in the case of more elaborate ownership transfer scenarios" — so
+/// disabling them should push checks into (much costlier) event-list walks.
+///
+//===----------------------------------------------------------------------===//
+
+#include "detectors/GoldilocksDetectors.h"
+#include "event/RandomTrace.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace gold;
+
+namespace {
+
+/// Lock-heavy trace: long same-thread runs plus direct lock handoffs —
+/// the regime where SC2/SC3 shine.
+Trace lockHeavyTrace() {
+  TraceBuilder B;
+  for (int Round = 0; Round != 60; ++Round) {
+    ThreadId T = static_cast<ThreadId>(Round % 4);
+    B.acq(T, 9);
+    for (int I = 0; I != 12; ++I) {
+      B.write(T, 1, static_cast<FieldId>(I % 3));
+      B.read(T, 1, static_cast<FieldId>(I % 3));
+    }
+    B.rel(T, 9);
+  }
+  return B.take();
+}
+
+/// Transaction-heavy trace: repeated commits over a shared variable set —
+/// the regime where SC1 (both transactional) shines.
+Trace txnHeavyTrace() {
+  TraceBuilder B;
+  std::vector<VarId> Vars = {VarId{1, 0}, VarId{1, 1}, VarId{2, 0}};
+  for (int Round = 0; Round != 150; ++Round) {
+    ThreadId T = static_cast<ThreadId>(Round % 4);
+    B.commit(T, {Vars[Round % 3]}, {Vars[(Round + 1) % 3]});
+  }
+  return B.take();
+}
+
+Trace mixedTrace() {
+  RandomTraceParams P;
+  P.Seed = 2024;
+  P.NumThreads = 6;
+  P.NumObjects = 6;
+  P.StepsPerThread = 220;
+  P.WBeginTxn = 1;
+  return generateRandomTrace(P);
+}
+
+EngineConfig configFor(int Variant) {
+  EngineConfig C;
+  switch (Variant) {
+  case 0: // all short circuits enabled
+    break;
+  case 1:
+    C.EnableXactShortCircuit = false;
+    break;
+  case 2:
+    C.EnableSameThreadShortCircuit = false;
+    break;
+  case 3:
+    C.EnableALockShortCircuit = false;
+    break;
+  case 4:
+    C.EnableFilteredWalk = false;
+    break;
+  case 5: // everything disabled: every pair check is a full walk
+    C.EnableXactShortCircuit = false;
+    C.EnableSameThreadShortCircuit = false;
+    C.EnableALockShortCircuit = false;
+    C.EnableFilteredWalk = false;
+    break;
+  }
+  return C;
+}
+
+const char *variantName(int Variant) {
+  switch (Variant) {
+  case 0: return "all-on";
+  case 1: return "no-xact-sc";
+  case 2: return "no-same-thread-sc";
+  case 3: return "no-alock-sc";
+  case 4: return "no-filtered-walk";
+  default: return "all-off";
+  }
+}
+
+void runTraceBench(benchmark::State &State, const Trace &T, int Variant) {
+  uint64_t Races = 0, CellsWalked = 0, FullWalks = 0;
+  double ScPct = 0;
+  for (auto _ : State) {
+    GoldilocksDetector D(configFor(Variant));
+    auto R = D.runTrace(T);
+    benchmark::DoNotOptimize(R);
+    Races = R.size();
+    EngineStats S = D.engine().stats();
+    CellsWalked = S.CellsWalked;
+    FullWalks = S.FullWalks;
+    ScPct = S.shortCircuitFraction() * 100.0;
+  }
+  State.counters["races"] = static_cast<double>(Races);
+  State.counters["cells_walked"] = static_cast<double>(CellsWalked);
+  State.counters["full_walks"] = static_cast<double>(FullWalks);
+  State.counters["sc_pct"] = ScPct;
+  State.SetLabel(variantName(Variant));
+}
+
+void BM_LockHeavy(benchmark::State &State) {
+  static const Trace T = lockHeavyTrace();
+  runTraceBench(State, T, static_cast<int>(State.range(0)));
+}
+BENCHMARK(BM_LockHeavy)->DenseRange(0, 5);
+
+void BM_TxnHeavy(benchmark::State &State) {
+  static const Trace T = txnHeavyTrace();
+  runTraceBench(State, T, static_cast<int>(State.range(0)));
+}
+BENCHMARK(BM_TxnHeavy)->DenseRange(0, 5);
+
+void BM_Mixed(benchmark::State &State) {
+  static const Trace T = mixedTrace();
+  runTraceBench(State, T, static_cast<int>(State.range(0)));
+}
+BENCHMARK(BM_Mixed)->DenseRange(0, 5);
+
+} // namespace
+
+BENCHMARK_MAIN();

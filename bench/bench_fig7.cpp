@@ -1,0 +1,60 @@
+//===- bench/bench_fig7.cpp - Regenerates Figure 7 ------------------------===//
+///
+/// Figure 7 of the paper: the evolution of LS(o.data) over the Example 3
+/// execution (a Foo object moving through a transactional linked list:
+/// thread-local, transactionally shared, thread-local again). Shows the
+/// commit rule publishing each transaction's (R ∪ W) into the lockset and
+/// the TL transaction-lock element appearing after transactional accesses.
+///
+//===----------------------------------------------------------------------===//
+
+#include "detectors/GoldilocksDetectors.h"
+#include "event/PaperTraces.h"
+
+#include <cstdio>
+
+using namespace gold;
+
+int main() {
+  std::printf("=== Figure 7: evolution of LS(o.data) on Example 3 ===\n");
+  std::printf("(o = the Foo node; o%u.f%u = o.data, o%u.f%u = o.nxt, "
+              "o%u.f%u = head)\n\n",
+              paper::O, paper::FData, paper::O, paper::FNxt, paper::Globals,
+              paper::GHead);
+
+  Trace T = paperExample3Trace();
+  GoldilocksReferenceDetector D;
+  GoldilocksReference &R = D.reference();
+  VarId V = paper::oData();
+
+  std::string Last = "(unallocated)";
+  for (size_t I = 0; I != T.Actions.size(); ++I) {
+    Trace Step;
+    Step.Commits = T.Commits;
+    Step.Actions = {T.Actions[I]};
+    auto Races = D.runTrace(Step);
+    const Lockset *LS = R.writeLockset(V);
+    std::string Now = LS ? LS->str() : "{}";
+    std::string Desc = T.Actions[I].str();
+    if (T.Actions[I].Kind == ActionKind::Commit) {
+      const CommitSets &CS = T.commitSets(T.Actions[I]);
+      Desc += " R={";
+      for (VarId X : CS.Reads)
+        Desc += X.str() + " ";
+      Desc += "} W={";
+      for (VarId X : CS.Writes)
+        Desc += X.str() + " ";
+      Desc += "}";
+    }
+    std::printf("%-64s\n    LS(o.data) = %-52s%s%s\n", Desc.c_str(),
+                Now.c_str(), Now != Last ? "  <- changed" : "",
+                Races.empty() ? "" : "  ** RACE **");
+    Last = Now;
+  }
+  std::printf("\nNo race is reported: the three transactions are chained by "
+              "their shared variables (head,\no.nxt, o.data), so T1's "
+              "initialization happens-before T3's final unsynchronized "
+              "increment.\nA checker unaware of transactions would declare "
+              "a false race here (Section 2, Example 3).\n");
+  return 0;
+}

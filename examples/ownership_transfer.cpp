@@ -1,0 +1,55 @@
+//===- examples/ownership_transfer.cpp - The paper's Example 2 ------------===//
+///
+/// Section 2, Example 2: an IntBox object is created and initialized by
+/// Thread 1 (thread-local), published into global `a` under lock ma, moved
+/// to global `b` by Thread 2 under locks ma+mb, then accessed by Thread 3
+/// under (and after) mb. The object is protected by *different* locks at
+/// different times and its ownership transfers without the variable being
+/// accessed — race-free, but every Eraser-style lockset algorithm reports
+/// a false race (Section 4.1). Goldilocks and the vector-clock baseline
+/// stay silent; Eraser alarms.
+///
+//===----------------------------------------------------------------------===//
+
+#include "detectors/Eraser.h"
+#include "detectors/GoldilocksDetectors.h"
+#include "detectors/VectorClockDetector.h"
+#include "event/PaperTraces.h"
+
+#include <cstdio>
+
+using namespace gold;
+
+int main() {
+  std::printf("=== Example 2: dynamically changing locksets ===\n\n");
+  Trace T = paperExample2Trace();
+  std::printf("The execution (o%u = the IntBox, o%u = ma, o%u = mb):\n%s\n",
+              paper::O, paper::MA, paper::MB, T.str().c_str());
+
+  auto Report = [&](RaceDetector &D) {
+    auto Races = D.runTrace(T);
+    std::printf("%-14s -> %zu race(s)%s\n", D.name(), Races.size(),
+                Races.empty() ? "" : (" : " + Races[0].str()).c_str());
+    return Races.size();
+  };
+
+  GoldilocksDetector Gold;
+  GoldilocksReferenceDetector Ref;
+  VectorClockDetector Vc;
+  EraserDetector Er;
+  size_t G = Report(Gold);
+  size_t R = Report(Ref);
+  size_t V = Report(Vc);
+  size_t E = Report(Er);
+
+  std::printf("\nGround truth: the execution is race-free (every pair of "
+              "conflicting accesses is ordered\nby the lock handoffs "
+              "ma -> T2 -> mb -> T3).\n");
+  std::printf("Goldilocks/vector clocks: %s. Eraser: %s — its candidate "
+              "lockset can only shrink, so the\nlock change ma -> mb "
+              "empties it at the final access, exactly as Section 4.1 "
+              "describes.\n",
+              (G + R + V) == 0 ? "precise" : "IMPRECISE?!",
+              E ? "false alarm" : "unexpectedly silent");
+  return (G + R + V) == 0 && E > 0 ? 0 : 1;
+}

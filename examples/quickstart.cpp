@@ -1,0 +1,104 @@
+//===- examples/quickstart.cpp - Five-minute tour of the library ----------===//
+///
+/// Demonstrates the two ways to use the race detector:
+///
+///  1. *Trace level*: feed a linearized execution (the Section 3 action
+///     alphabet) to the GoldilocksEngine and get precise race verdicts.
+///  2. *Runtime level*: run a MiniJVM program with the detector attached;
+///     the runtime throws DataRaceException at the racy access.
+///
+//===----------------------------------------------------------------------===//
+
+#include "detectors/GoldilocksDetectors.h"
+#include "vm/Builder.h"
+#include "vm/Vm.h"
+
+#include <cstdio>
+
+using namespace gold;
+
+static void traceLevelDemo() {
+  std::printf("--- 1. Trace-level API ---\n");
+  GoldilocksEngine Engine;
+
+  // Thread 1 initializes a variable and publishes it under lock 9.
+  Engine.onWrite(1, VarId{5, 0});
+  Engine.onAcquire(1, 9);
+  Engine.onRelease(1, 9);
+
+  // Thread 2 takes the lock before touching the variable: race-free.
+  Engine.onAcquire(2, 9);
+  if (auto R = Engine.onWrite(2, VarId{5, 0}))
+    std::printf("unexpected: %s\n", R->str().c_str());
+  else
+    std::printf("locked handoff T1 -> T2: no race (as expected)\n");
+  Engine.onRelease(2, 9);
+
+  // Thread 3 barges in with no synchronization at all: a race.
+  if (auto R = Engine.onWrite(3, VarId{5, 0}))
+    std::printf("unsynchronized write:    %s (as expected)\n",
+                R->str().c_str());
+
+  EngineStats S = Engine.stats();
+  std::printf("engine stats: %llu accesses, %llu sync events, %llu races, "
+              "%.0f%% short-circuited\n\n",
+              static_cast<unsigned long long>(S.Accesses),
+              static_cast<unsigned long long>(S.SyncEvents),
+              static_cast<unsigned long long>(S.Races),
+              S.shortCircuitFraction() * 100);
+}
+
+static void runtimeLevelDemo() {
+  std::printf("--- 2. Runtime-level API (MiniJVM + DataRaceException) ---\n");
+
+  // Two threads increment a shared counter; one forgets the lock.
+  ProgramBuilder PB;
+  ClassId LockCls = PB.addClass("Lock", {{"pad", false}});
+  uint32_t GLock = PB.addGlobal("lock");
+  uint32_t GCount = PB.addGlobal("count");
+
+  FunctionBuilder Good = PB.function("careful", 0, /*IsThreadEntry=*/true);
+  {
+    Reg L = Good.newReg(), V = Good.newReg(), One = Good.newReg();
+    Good.constI(One, 1);
+    Good.getG(L, GLock).monEnter(L);
+    Good.getG(V, GCount).addI(V, V, One).putG(GCount, V);
+    Good.monExit(L).retVoid();
+  }
+  FunctionBuilder Bad = PB.function("careless", 0, /*IsThreadEntry=*/true);
+  {
+    Reg V = Bad.newReg(), One = Bad.newReg();
+    Bad.constI(One, 1);
+    Bad.getG(V, GCount).addI(V, V, One).putG(GCount, V); // no lock!
+    Bad.retVoid();
+  }
+  FunctionBuilder Main = PB.function("main", 0);
+  Reg L = Main.newReg(), T1 = Main.newReg(), T2 = Main.newReg();
+  Main.newObj(L, LockCls).putG(GLock, L);
+  Main.fork(T1, Good.id()).fork(T2, Bad.id());
+  Main.join(T1).join(T2).retVoid();
+  PB.setMain(Main.id());
+
+  GoldilocksDetector Detector;
+  VmConfig Cfg;
+  Cfg.Detector = &Detector;
+  Cfg.ThrowDataRaceException = true; // uncaught -> the racy thread dies
+  Vm V(PB.take(), Cfg);
+  V.run();
+
+  for (const RaceReport &R : V.raceLog())
+    std::printf("detected: %s\n", R.str().c_str());
+  for (auto [Tid, Exc] : V.uncaught())
+    std::printf("thread T%u terminated by uncaught %s\n", Tid,
+                vmExceptionName(Exc));
+  if (V.raceLog().empty())
+    std::printf("(scheduling hid the race this run — the verdict depends "
+                "only on happens-before,\n so rerun: one of the two "
+                "accesses always races)\n");
+}
+
+int main() {
+  traceLevelDemo();
+  runtimeLevelDemo();
+  return 0;
+}

@@ -1,0 +1,927 @@
+//===- analysis/StaticRace.cpp --------------------------------------------===//
+
+#include "analysis/StaticRace.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <unordered_map>
+
+using namespace gold;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Value origins
+//===----------------------------------------------------------------------===//
+
+/// Where a register's value provably comes from. `Top` is "don't know".
+struct Origin {
+  enum KindTy : uint8_t {
+    Top,        ///< unknown / merged
+    FromGlobal, ///< loaded from global Id (identity valid if Id is stable)
+    FromAlloc,  ///< allocated at alloc site Id
+    FromParam,  ///< parameter Id of the current function
+    Scalar,     ///< a non-reference constant/arithmetic result
+  };
+  KindTy Kind = Top;
+  uint32_t Id = 0;
+
+  static Origin top() { return Origin(); }
+  static Origin global(uint32_t G) { return Origin{FromGlobal, G}; }
+  static Origin alloc(uint32_t S) { return Origin{FromAlloc, S}; }
+  static Origin param(uint32_t I) { return Origin{FromParam, I}; }
+  static Origin scalar() { return Origin{Scalar, 0}; }
+
+  friend bool operator==(const Origin &A, const Origin &B) {
+    return A.Kind == B.Kind && (A.Kind == Top || A.Kind == Scalar ||
+                                A.Id == B.Id);
+  }
+  friend bool operator!=(const Origin &A, const Origin &B) {
+    return !(A == B);
+  }
+};
+
+Origin mergeOrigin(Origin A, Origin B) { return A == B ? A : Origin::top(); }
+
+/// A monitor held at a program point: the register it was entered through
+/// (valid until that register is redefined) and the value origin of that
+/// register at the enter.
+struct LockTok {
+  Reg R = 0;
+  bool RegValid = true;
+  Origin O;
+
+  friend bool operator==(const LockTok &A, const LockTok &B) {
+    return A.R == B.R && A.RegValid == B.RegValid && A.O == B.O;
+  }
+};
+
+/// Per-instruction dataflow state.
+struct PcState {
+  bool Reachable = false;
+  std::vector<Origin> Regs;
+  std::vector<LockTok> Locks;
+  bool ForkBefore = false; ///< some fork may have happened on a path here
+};
+
+/// Whole-function dataflow result (state *before* each instruction).
+struct FuncFacts {
+  std::vector<PcState> At;
+  std::vector<std::vector<uint32_t>> Succ;
+};
+
+/// A guard protecting an access: the base object's own monitor, or the
+/// monitor of the object stored in a (stable) global.
+struct Guard {
+  enum KindTy : uint8_t { SelfLock, GlobalLock } Kind = SelfLock;
+  uint32_t Id = 0; // global index for GlobalLock
+
+  friend bool operator==(const Guard &A, const Guard &B) {
+    return A.Kind == B.Kind && (A.Kind == SelfLock || A.Id == B.Id);
+  }
+  friend bool operator<(const Guard &A, const Guard &B) {
+    return A.Kind != B.Kind ? A.Kind < B.Kind : A.Id < B.Id;
+  }
+};
+
+/// What an access site targets.
+struct SiteInfo {
+  AccessSite Site;
+  bool IsWrite = false;
+  bool IsArray = false;
+  bool IsGlobal = false;
+  uint32_t GlobalIdx = 0;   ///< for globals
+  FieldId Field = 0;        ///< for instance fields
+  Origin Base;              ///< origin of the base object (fields/arrays)
+  std::set<Guard> Guards;
+  bool PreFork = false;     ///< executes before any thread exists
+  bool MainOnly = false;    ///< function only ever runs in the main thread
+  bool ThreadLocalBase = false; ///< base is a non-escaping allocation
+};
+
+//===----------------------------------------------------------------------===//
+// The analysis driver
+//===----------------------------------------------------------------------===//
+
+class Analyzer {
+public:
+  explicit Analyzer(const Program &P) : P(P) { runAll(); }
+
+  const std::vector<SiteInfo> &sites() const { return Sites; }
+  bool globalStable(uint32_t G) const { return StableGlobals.count(G) != 0; }
+  /// Resolved class of objects stored in global \p G, if unique.
+  bool globalContentClass(uint32_t G, ClassId &Out) const;
+  /// Resolved allocation site of the object stored in global \p G.
+  bool globalContentAlloc(uint32_t G, uint32_t &Out) const;
+  bool allocEscapes(uint32_t Site) const { return Escaping.count(Site) != 0; }
+  ClassId allocClass(uint32_t Site) const { return AllocClass[Site]; }
+
+private:
+  void runAll();
+  void buildCallGraph();
+  void computeReachability();
+  void numberAllocSites();
+  FuncFacts analyzeFunction(FuncId F);
+  void resolveParamOrigins();
+  void computeEscapes();
+  void computeStableGlobals();
+  void collectSites();
+
+  static bool definesReg(const Instr &I, Reg &Out);
+
+  const Program &P;
+
+  // Call graph.
+  std::vector<std::vector<FuncId>> Callees;     // via Call
+  std::vector<std::vector<FuncId>> ForkTargets; // via Fork
+  std::vector<bool> MainReach;   // runs in the main thread
+  std::vector<bool> WorkerReach; // runs in some spawned thread
+  std::vector<bool> HasForkEffect; // body (transitively) forks
+
+  // Alloc sites.
+  std::map<std::pair<FuncId, uint32_t>, uint32_t> AllocSiteIds;
+  std::vector<ClassId> AllocClass;
+  std::set<uint32_t> Escaping;
+
+  // Interprocedural parameter origins (merged over call sites).
+  std::vector<std::vector<Origin>> ParamOrigins;
+
+  std::set<uint32_t> StableGlobals;
+  std::vector<Origin> GlobalContent; // merged origin of values stored
+
+  std::vector<FuncFacts> Facts;
+  std::vector<SiteInfo> Sites;
+};
+
+bool Analyzer::definesReg(const Instr &I, Reg &Out) {
+  switch (I.Op) {
+  case Opcode::ConstI:
+  case Opcode::ConstD:
+  case Opcode::Mov:
+  case Opcode::AddI:
+  case Opcode::SubI:
+  case Opcode::MulI:
+  case Opcode::DivI:
+  case Opcode::ModI:
+  case Opcode::NegI:
+  case Opcode::AddD:
+  case Opcode::SubD:
+  case Opcode::MulD:
+  case Opcode::DivD:
+  case Opcode::NegD:
+  case Opcode::SqrtD:
+  case Opcode::AbsD:
+  case Opcode::CmpLtI:
+  case Opcode::CmpLeI:
+  case Opcode::CmpEqI:
+  case Opcode::CmpNeI:
+  case Opcode::CmpLtD:
+  case Opcode::CmpLeD:
+  case Opcode::CmpEqD:
+  case Opcode::And:
+  case Opcode::Or:
+  case Opcode::Xor:
+  case Opcode::Shl:
+  case Opcode::Shr:
+  case Opcode::I2D:
+  case Opcode::D2I:
+  case Opcode::NewObj:
+  case Opcode::NewArr:
+  case Opcode::GetField:
+  case Opcode::ALoad:
+  case Opcode::ALen:
+  case Opcode::GetG:
+  case Opcode::Fork:
+  case Opcode::Call:
+  case Opcode::GetExc:
+    Out = I.A;
+    return true;
+  default:
+    return false;
+  }
+}
+
+void Analyzer::buildCallGraph() {
+  size_t N = P.Functions.size();
+  Callees.assign(N, {});
+  ForkTargets.assign(N, {});
+  for (FuncId F = 0; F != N; ++F)
+    for (const Instr &I : P.Functions[F].Code) {
+      if (I.Op == Opcode::Call)
+        Callees[F].push_back(I.Idx);
+      else if (I.Op == Opcode::Fork)
+        ForkTargets[F].push_back(I.Idx);
+    }
+}
+
+void Analyzer::computeReachability() {
+  size_t N = P.Functions.size();
+  MainReach.assign(N, false);
+  WorkerReach.assign(N, false);
+  HasForkEffect.assign(N, false);
+
+  auto Walk = [&](FuncId Root, std::vector<bool> &Mark) {
+    std::vector<FuncId> Stack{Root};
+    while (!Stack.empty()) {
+      FuncId F = Stack.back();
+      Stack.pop_back();
+      if (Mark[F])
+        continue;
+      Mark[F] = true;
+      for (FuncId C : Callees[F])
+        Stack.push_back(C);
+    }
+  };
+  Walk(P.Main, MainReach);
+  for (FuncId F = 0; F != N; ++F) {
+    bool Entry = P.Functions[F].IsThreadEntry;
+    if (!Entry)
+      for (FuncId G = 0; G != N; ++G)
+        for (FuncId T : ForkTargets[G])
+          Entry |= T == F;
+    if (Entry)
+      Walk(F, WorkerReach);
+  }
+
+  // HasForkEffect: fixpoint over "contains Fork or calls a function that
+  // does".
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (FuncId F = 0; F != N; ++F) {
+      if (HasForkEffect[F])
+        continue;
+      bool Has = !ForkTargets[F].empty();
+      for (FuncId C : Callees[F])
+        Has |= HasForkEffect[C];
+      if (Has) {
+        HasForkEffect[F] = true;
+        Changed = true;
+      }
+    }
+  }
+}
+
+void Analyzer::numberAllocSites() {
+  for (FuncId F = 0; F != P.Functions.size(); ++F) {
+    const auto &Code = P.Functions[F].Code;
+    for (uint32_t Pc = 0; Pc != Code.size(); ++Pc)
+      if (Code[Pc].Op == Opcode::NewObj || Code[Pc].Op == Opcode::NewArr) {
+        AllocSiteIds[{F, Pc}] = static_cast<uint32_t>(AllocClass.size());
+        AllocClass.push_back(Code[Pc].Op == Opcode::NewObj ? Code[Pc].Idx
+                                                           : ArrayClassId);
+      }
+  }
+}
+
+FuncFacts Analyzer::analyzeFunction(FuncId F) {
+  const FunctionDef &Fn = P.Functions[F];
+  size_t NPc = Fn.Code.size();
+  FuncFacts Out;
+  Out.At.resize(NPc);
+  Out.Succ.resize(NPc);
+
+  for (uint32_t Pc = 0; Pc != NPc; ++Pc) {
+    const Instr &I = Fn.Code[Pc];
+    switch (I.Op) {
+    case Opcode::Jmp:
+      Out.Succ[Pc] = {I.Idx};
+      break;
+    case Opcode::Jnz:
+    case Opcode::Jz:
+      Out.Succ[Pc] = {static_cast<uint32_t>(Pc + 1), I.Idx};
+      break;
+    case Opcode::Ret:
+    case Opcode::RetVoid:
+    case Opcode::Throw:
+      break; // no successors
+    case Opcode::TryPush:
+      // Both the fall-through and the handler are possible continuations.
+      Out.Succ[Pc] = {static_cast<uint32_t>(Pc + 1), I.Idx};
+      break;
+    default:
+      if (Pc + 1 < NPc)
+        Out.Succ[Pc] = {static_cast<uint32_t>(Pc + 1)};
+      break;
+    }
+  }
+
+  // Entry state.
+  PcState Entry;
+  Entry.Reachable = true;
+  Entry.Regs.resize(Fn.NumRegs, Origin::top());
+  for (uint16_t PI = 0; PI != Fn.NumParams; ++PI)
+    Entry.Regs[PI] = ParamOrigins.empty() || ParamOrigins[F].empty()
+                         ? Origin::param(PI)
+                         : ParamOrigins[F][PI];
+  Entry.ForkBefore = false;
+
+  if (NPc == 0)
+    return Out;
+  Out.At[0] = Entry;
+
+  auto MergeInto = [](PcState &Dst, const PcState &Src) {
+    if (!Dst.Reachable) {
+      Dst = Src;
+      return true;
+    }
+    bool Changed = false;
+    for (size_t R = 0; R != Dst.Regs.size(); ++R) {
+      Origin M = mergeOrigin(Dst.Regs[R], Src.Regs[R]);
+      if (M != Dst.Regs[R]) {
+        Dst.Regs[R] = M;
+        Changed = true;
+      }
+    }
+    // Lock sets intersect (keep common toks; a tok survives if present in
+    // both with the same identity; validity is anded).
+    std::vector<LockTok> Kept;
+    for (const LockTok &T : Dst.Locks)
+      for (const LockTok &S : Src.Locks)
+        if (T.R == S.R && T.O == S.O) {
+          LockTok K = T;
+          K.RegValid = T.RegValid && S.RegValid;
+          Kept.push_back(K);
+          break;
+        }
+    if (Kept.size() != Dst.Locks.size() ||
+        !std::equal(Kept.begin(), Kept.end(), Dst.Locks.begin())) {
+      Dst.Locks = std::move(Kept);
+      Changed = true;
+    }
+    if (Src.ForkBefore && !Dst.ForkBefore) {
+      Dst.ForkBefore = true;
+      Changed = true;
+    }
+    return Changed;
+  };
+
+  // Worklist fixpoint.
+  std::vector<uint32_t> Work{0};
+  while (!Work.empty()) {
+    uint32_t Pc = Work.back();
+    Work.pop_back();
+    PcState S = Out.At[Pc]; // copy: transfer below mutates
+    const Instr &I = Fn.Code[Pc];
+
+    // Transfer.
+    Reg Def;
+    bool Defines = definesReg(I, Def);
+    Origin DefOrigin = Origin::top();
+    switch (I.Op) {
+    case Opcode::ConstI:
+    case Opcode::ConstD:
+      DefOrigin = Origin::scalar();
+      break;
+    case Opcode::Mov:
+      DefOrigin = S.Regs[I.B];
+      break;
+    case Opcode::GetG:
+      DefOrigin = Origin::global(I.Idx);
+      break;
+    case Opcode::NewObj:
+    case Opcode::NewArr:
+      DefOrigin = Origin::alloc(AllocSiteIds.at({F, Pc}));
+      break;
+    case Opcode::MonEnter: {
+      LockTok T;
+      T.R = I.A;
+      T.RegValid = true;
+      T.O = S.Regs[I.A];
+      S.Locks.push_back(T);
+      break;
+    }
+    case Opcode::MonExit: {
+      // Structured code: drop the innermost tok entered through this
+      // register (or, failing that, with this register's current origin).
+      for (auto It = S.Locks.rbegin(); It != S.Locks.rend(); ++It)
+        if (It->R == I.A || It->O == S.Regs[I.A]) {
+          S.Locks.erase(std::next(It).base());
+          break;
+        }
+      break;
+    }
+    case Opcode::Wait:
+      // wait() releases and reacquires: held locks unchanged afterwards,
+      // but anything could have happened in between — locks stay (we hold
+      // them again after) which is what guards care about.
+      break;
+    case Opcode::Fork:
+      S.ForkBefore = true;
+      break;
+    case Opcode::Call:
+      if (HasForkEffect[I.Idx])
+        S.ForkBefore = true;
+      break;
+    default:
+      break;
+    }
+    if (Defines) {
+      for (LockTok &T : S.Locks)
+        if (T.R == Def)
+          T.RegValid = false;
+      S.Regs[Def] = DefOrigin;
+    }
+
+    for (uint32_t Next : Out.Succ[Pc])
+      if (MergeInto(Out.At[Next], S))
+        Work.push_back(Next);
+  }
+  return Out;
+}
+
+void Analyzer::resolveParamOrigins() {
+  size_t N = P.Functions.size();
+  ParamOrigins.assign(N, {});
+
+  // Two rounds: first analyze with symbolic params, gather call-site
+  // argument origins, then merge them into parameter origins and reanalyze.
+  for (int Round = 0; Round != 2; ++Round) {
+    Facts.clear();
+    Facts.reserve(N);
+    for (FuncId F = 0; F != N; ++F)
+      Facts.push_back(analyzeFunction(F));
+    if (Round == 1)
+      break;
+
+    std::vector<std::vector<Origin>> Merged(N);
+    std::vector<std::vector<bool>> Seen(N);
+    for (FuncId F = 0; F != N; ++F)
+      for (uint32_t Pc = 0; Pc != P.Functions[F].Code.size(); ++Pc) {
+        const Instr &I = P.Functions[F].Code[Pc];
+        if (I.Op != Opcode::Call && I.Op != Opcode::Fork)
+          continue;
+        const PcState &S = Facts[F].At[Pc];
+        if (!S.Reachable)
+          continue;
+        FuncId Callee = I.Idx;
+        auto &M = Merged[Callee];
+        auto &Sn = Seen[Callee];
+        M.resize(P.Functions[Callee].NumParams, Origin::top());
+        Sn.resize(P.Functions[Callee].NumParams, false);
+        for (size_t AI = 0; AI != I.Args.size(); ++AI) {
+          Origin O = S.Regs[I.Args[AI]];
+          // A parameter origin is only meaningful if it is positionally
+          // stable; param-of-caller origins do not translate, drop them.
+          if (O.Kind == Origin::FromParam)
+            O = Origin::top();
+          M[AI] = Sn[AI] ? mergeOrigin(M[AI], O) : O;
+          Sn[AI] = true;
+        }
+      }
+    for (FuncId F = 0; F != N; ++F) {
+      ParamOrigins[F].resize(P.Functions[F].NumParams, Origin::top());
+      for (size_t PI = 0; PI != ParamOrigins[F].size(); ++PI)
+        if (PI < Merged[F].size() && Seen[F][PI])
+          ParamOrigins[F][PI] = Merged[F][PI];
+    }
+  }
+}
+
+void Analyzer::computeEscapes() {
+  for (FuncId F = 0; F != P.Functions.size(); ++F) {
+    const auto &Code = P.Functions[F].Code;
+    for (uint32_t Pc = 0; Pc != Code.size(); ++Pc) {
+      const Instr &I = Code[Pc];
+      const PcState &S = Facts[F].At[Pc];
+      if (!S.Reachable)
+        continue;
+      auto Escape = [&](Reg R) {
+        if (S.Regs[R].Kind == Origin::FromAlloc)
+          Escaping.insert(S.Regs[R].Id);
+      };
+      switch (I.Op) {
+      case Opcode::PutG:
+        Escape(I.A);
+        break;
+      case Opcode::PutField:
+        Escape(I.B); // value stored into the heap
+        break;
+      case Opcode::AStore:
+        Escape(I.C);
+        break;
+      case Opcode::Fork:
+        for (Reg R : I.Args)
+          Escape(R);
+        break;
+      case Opcode::Ret:
+        // Returning hands the object to the caller — same thread, but our
+        // origin tracking loses it there; treat as escaping to stay sound
+        // with respect to the *caller's* store operations.
+        Escape(I.A);
+        break;
+      default:
+        break;
+      }
+    }
+  }
+}
+
+void Analyzer::computeStableGlobals() {
+  GlobalContent.assign(P.Globals.size(), Origin::top());
+  std::vector<bool> ContentSeen(P.Globals.size(), false);
+  std::vector<bool> PostForkWrite(P.Globals.size(), false);
+  for (FuncId F = 0; F != P.Functions.size(); ++F) {
+    const auto &Code = P.Functions[F].Code;
+    for (uint32_t Pc = 0; Pc != Code.size(); ++Pc) {
+      const Instr &I = Code[Pc];
+      if (I.Op != Opcode::PutG)
+        continue;
+      const PcState &S = Facts[F].At[Pc];
+      if (!S.Reachable)
+        continue;
+      bool PreFork = !S.ForkBefore && MainReach[F] && !WorkerReach[F];
+      if (!PreFork)
+        PostForkWrite[I.Idx] = true;
+      Origin O = S.Regs[I.A];
+      GlobalContent[I.Idx] =
+          ContentSeen[I.Idx] ? mergeOrigin(GlobalContent[I.Idx], O) : O;
+      ContentSeen[I.Idx] = true;
+    }
+  }
+  for (uint32_t G = 0; G != P.Globals.size(); ++G)
+    if (!PostForkWrite[G])
+      StableGlobals.insert(G);
+}
+
+bool Analyzer::globalContentClass(uint32_t G, ClassId &Out) const {
+  if (GlobalContent[G].Kind != Origin::FromAlloc)
+    return false;
+  Out = AllocClass[GlobalContent[G].Id];
+  return true;
+}
+
+bool Analyzer::globalContentAlloc(uint32_t G, uint32_t &Out) const {
+  if (GlobalContent[G].Kind != Origin::FromAlloc)
+    return false;
+  Out = GlobalContent[G].Id;
+  return true;
+}
+
+void Analyzer::collectSites() {
+  for (FuncId F = 0; F != P.Functions.size(); ++F) {
+    const auto &Code = P.Functions[F].Code;
+    for (uint32_t Pc = 0; Pc != Code.size(); ++Pc) {
+      const Instr &I = Code[Pc];
+      bool IsAccess = I.Op == Opcode::GetField || I.Op == Opcode::PutField ||
+                      I.Op == Opcode::ALoad || I.Op == Opcode::AStore ||
+                      I.Op == Opcode::GetG || I.Op == Opcode::PutG;
+      if (!IsAccess)
+        continue;
+      const PcState &S = Facts[F].At[Pc];
+      if (!S.Reachable)
+        continue;
+
+      SiteInfo Info;
+      Info.Site = AccessSite{F, Pc};
+      Info.IsWrite = I.Op == Opcode::PutField || I.Op == Opcode::AStore ||
+                     I.Op == Opcode::PutG;
+      Info.PreFork = !S.ForkBefore && MainReach[F] && !WorkerReach[F];
+      Info.MainOnly = MainReach[F] && !WorkerReach[F];
+
+      Reg BaseReg = 0;
+      switch (I.Op) {
+      case Opcode::GetField:
+        Info.Field = I.Idx;
+        BaseReg = I.B;
+        break;
+      case Opcode::PutField:
+        Info.Field = I.Idx;
+        BaseReg = I.A;
+        break;
+      case Opcode::ALoad:
+        Info.IsArray = true;
+        BaseReg = I.B;
+        break;
+      case Opcode::AStore:
+        Info.IsArray = true;
+        BaseReg = I.A;
+        break;
+      case Opcode::GetG:
+      case Opcode::PutG:
+        Info.IsGlobal = true;
+        Info.GlobalIdx = I.Idx;
+        break;
+      default:
+        break;
+      }
+
+      if (!Info.IsGlobal) {
+        Info.Base = S.Regs[BaseReg];
+        // Identity through an unstable global is meaningless.
+        if (Info.Base.Kind == Origin::FromGlobal &&
+            !StableGlobals.count(Info.Base.Id))
+          Info.Base = Origin::top();
+        Info.ThreadLocalBase = Info.Base.Kind == Origin::FromAlloc &&
+                               !Escaping.count(Info.Base.Id);
+      }
+
+      // Guards.
+      for (const LockTok &T : S.Locks) {
+        if (!Info.IsGlobal) {
+          bool Self =
+              (T.RegValid && T.R == BaseReg) ||
+              (T.O != Origin::top() && T.O.Kind != Origin::Scalar &&
+               T.O == S.Regs[BaseReg]);
+          if (Self)
+            Info.Guards.insert(Guard{Guard::SelfLock, 0});
+        }
+        if (T.O.Kind == Origin::FromGlobal && StableGlobals.count(T.O.Id))
+          Info.Guards.insert(Guard{Guard::GlobalLock, T.O.Id});
+      }
+      Sites.push_back(std::move(Info));
+    }
+  }
+}
+
+void Analyzer::runAll() {
+  buildCallGraph();
+  computeReachability();
+  numberAllocSites();
+  resolveParamOrigins(); // also populates Facts
+  computeEscapes();
+  computeStableGlobals();
+  // Re-run the per-function analysis once more: stable-global knowledge
+  // does not change dataflow, but escape info is consumed by collectSites.
+  collectSites();
+}
+
+//===----------------------------------------------------------------------===//
+// Grouping sites into variables and deciding races
+//===----------------------------------------------------------------------===//
+
+/// The "variable group" a site belongs to: a global, an instance field of
+/// a class, an array allocation site, or an unresolved bucket.
+struct GroupKey {
+  enum KindTy : uint8_t {
+    GlobalVar,
+    ClassField,   // Id = class, Field = field
+    ArrayAlloc,   // Id = alloc site
+    UnknownField, // Field only — base class unresolved
+    UnknownArray, // any array
+  };
+  KindTy Kind = GlobalVar;
+  uint32_t Id = 0;
+  FieldId Field = 0;
+
+  friend bool operator<(const GroupKey &A, const GroupKey &B) {
+    if (A.Kind != B.Kind)
+      return A.Kind < B.Kind;
+    if (A.Id != B.Id)
+      return A.Id < B.Id;
+    return A.Field < B.Field;
+  }
+};
+
+/// Returns the group keys a site may target. Unresolved bases fan out to
+/// the matching Unknown bucket *and* every compatible concrete group —
+/// handled by the caller via the Unknown buckets being "infectious".
+GroupKey groupOf(const SiteInfo &S, const Analyzer &A) {
+  if (S.IsGlobal)
+    return GroupKey{GroupKey::GlobalVar, S.GlobalIdx, 0};
+  if (S.IsArray) {
+    if (S.Base.Kind == Origin::FromAlloc)
+      return GroupKey{GroupKey::ArrayAlloc, S.Base.Id, 0};
+    if (S.Base.Kind == Origin::FromGlobal) {
+      // A stable global holding a unique allocation resolves the array to
+      // that allocation site, so global-based and register-based accesses
+      // to the same array land in the same group.
+      uint32_t AllocId;
+      if (A.globalContentAlloc(S.Base.Id, AllocId))
+        return GroupKey{GroupKey::ArrayAlloc, AllocId, 0};
+    }
+    return GroupKey{GroupKey::UnknownArray, 0, 0};
+  }
+  // Instance field.
+  if (S.Base.Kind == Origin::FromAlloc) {
+    ClassId C = A.allocClass(S.Base.Id);
+    if (C != ArrayClassId)
+      return GroupKey{GroupKey::ClassField, C, S.Field};
+  }
+  if (S.Base.Kind == Origin::FromGlobal) {
+    ClassId C;
+    if (A.globalContentClass(S.Base.Id, C) && C != ArrayClassId)
+      return GroupKey{GroupKey::ClassField, C, S.Field};
+  }
+  return GroupKey{GroupKey::UnknownField, 0, S.Field};
+}
+
+/// Can the two sites race with each other?
+bool mayRace(const SiteInfo &A, const SiteInfo &B) {
+  if (!A.IsWrite && !B.IsWrite)
+    return false; // read/read
+  if (A.PreFork || B.PreFork)
+    return false; // ordered by the fork edge / same thread
+  if (A.MainOnly && B.MainOnly)
+    return false; // both only ever execute in the main thread
+  if (A.ThreadLocalBase && B.ThreadLocalBase)
+    return false; // both touch non-escaping objects
+  // Common guard: some lock protects both.
+  for (const Guard &G : A.Guards)
+    if (B.Guards.count(G))
+      return false;
+  return true;
+}
+
+StaticRaceResult analyzeCommon(const Program &P, const Analyzer &A,
+                               const char *Tool) {
+  StaticRaceResult R;
+  R.Tool = Tool;
+  R.TotalSites = A.sites().size();
+
+  // Bucket sites by variable group. Unknown buckets are merged into every
+  // concrete bucket they could alias (same field index / any array).
+  std::map<GroupKey, std::vector<const SiteInfo *>> Groups;
+  std::vector<const SiteInfo *> UnknownArrays;
+  std::map<FieldId, std::vector<const SiteInfo *>> UnknownFields;
+  for (const SiteInfo &S : A.sites()) {
+    GroupKey K = groupOf(S, A);
+    if (K.Kind == GroupKey::UnknownArray)
+      UnknownArrays.push_back(&S);
+    else if (K.Kind == GroupKey::UnknownField)
+      UnknownFields[K.Field].push_back(&S);
+    else
+      Groups[K].push_back(&S);
+  }
+  for (auto &[K, Vec] : Groups) {
+    if (K.Kind == GroupKey::ArrayAlloc)
+      Vec.insert(Vec.end(), UnknownArrays.begin(), UnknownArrays.end());
+    else if (K.Kind == GroupKey::ClassField) {
+      auto It = UnknownFields.find(K.Field);
+      if (It != UnknownFields.end())
+        Vec.insert(Vec.end(), It->second.begin(), It->second.end());
+    }
+  }
+  // Unknown buckets also form groups of their own (two unresolved sites
+  // may alias each other).
+  for (auto &[F, Vec] : UnknownFields)
+    Groups[GroupKey{GroupKey::UnknownField, 0, F}] = Vec;
+  if (!UnknownArrays.empty())
+    Groups[GroupKey{GroupKey::UnknownArray, 0, 0}] = UnknownArrays;
+
+  std::set<AccessSite> RacySites;
+  std::set<GroupKey> RacyGroups;
+  for (auto &[K, Vec] : Groups) {
+    for (size_t I = 0; I != Vec.size(); ++I)
+      for (size_t J = I; J != Vec.size(); ++J) {
+        if (Vec[I]->Site == Vec[J]->Site && I != J)
+          continue;
+        // A site can race with itself (two threads at the same pc).
+        if (I == J && Vec[I]->MainOnly)
+          continue;
+        if (!mayRace(*Vec[I], *Vec[J]))
+          continue;
+        R.Pairs.push_back(RacePair{Vec[I]->Site, Vec[J]->Site});
+        RacySites.insert(Vec[I]->Site);
+        RacySites.insert(Vec[J]->Site);
+        RacyGroups.insert(K);
+      }
+  }
+
+  // Derive field/global/site safety.
+  for (const SiteInfo &S : A.sites())
+    if (!RacySites.count(S.Site))
+      R.SafeSites.insert(S.Site);
+  for (uint32_t G = 0; G != P.Globals.size(); ++G)
+    if (!RacyGroups.count(GroupKey{GroupKey::GlobalVar, G, 0}))
+      R.SafeGlobals.insert(G);
+  for (ClassId C = 0; C != P.Classes.size(); ++C)
+    for (FieldId F = 0; F != P.Classes[C].Fields.size(); ++F) {
+      bool Racy =
+          RacyGroups.count(GroupKey{GroupKey::ClassField, C, F}) ||
+          RacyGroups.count(GroupKey{GroupKey::UnknownField, 0, F});
+      if (!Racy)
+        R.SafeFields.insert({C, F});
+    }
+  return R;
+}
+
+} // namespace
+
+StaticRaceResult gold::runChordAnalysis(const Program &P) {
+  Analyzer A(P);
+  return analyzeCommon(P, A, "chord");
+}
+
+StaticRaceResult gold::runRccJavaAnalysis(const Program &P,
+                                          const RccAnnotations &Ann) {
+  // RccJava is a *type system*: it reasons per field, with lock-consistency
+  // ("every access holds guard G"), ownership/escape typing (thread-local
+  // objects), read-only data, and programmer annotations it trusts. It has
+  // no whole-program fork-structure or pair-level reasoning — that is
+  // Chord's territory — which is why the two tools eliminate different
+  // benchmark rows (Table 1/2).
+  Analyzer A(P);
+  StaticRaceResult R;
+  R.Tool = "rccjava";
+  R.TotalSites = A.sites().size();
+
+  auto Annotated = [&](const SiteInfo &S, const GroupKey &K) {
+    if (K.Kind == GroupKey::GlobalVar)
+      return Ann.RaceFree.count("global:" + P.Globals[K.Id].Name) != 0;
+    if (K.Kind == GroupKey::ClassField)
+      return Ann.RaceFree.count(P.Classes[K.Id].Name + "." +
+                                P.Classes[K.Id].Fields[K.Field].Name) != 0;
+    if (K.Kind == GroupKey::ArrayAlloc && S.Base.Kind == Origin::FromGlobal)
+      return Ann.RaceFree.count("global:" + P.Globals[S.Base.Id].Name +
+                                "[]") != 0;
+    return false;
+  };
+
+  // Bucket sites per group (unknown-base sites poison the matching
+  // concrete groups exactly as in the Chord path).
+  std::map<GroupKey, std::vector<const SiteInfo *>> Groups;
+  std::vector<const SiteInfo *> UnknownArrays;
+  std::map<FieldId, std::vector<const SiteInfo *>> UnknownFields;
+  for (const SiteInfo &S : A.sites()) {
+    GroupKey K = groupOf(S, A);
+    if (K.Kind == GroupKey::UnknownArray)
+      UnknownArrays.push_back(&S);
+    else if (K.Kind == GroupKey::UnknownField)
+      UnknownFields[K.Field].push_back(&S);
+    else
+      Groups[K].push_back(&S);
+  }
+  for (auto &[K, Vec] : Groups) {
+    if (K.Kind == GroupKey::ArrayAlloc)
+      Vec.insert(Vec.end(), UnknownArrays.begin(), UnknownArrays.end());
+    else if (K.Kind == GroupKey::ClassField) {
+      auto It = UnknownFields.find(K.Field);
+      if (It != UnknownFields.end())
+        Vec.insert(Vec.end(), It->second.begin(), It->second.end());
+    }
+  }
+  for (auto &[F, Vec] : UnknownFields)
+    Groups[GroupKey{GroupKey::UnknownField, 0, F}] = Vec;
+  if (!UnknownArrays.empty())
+    Groups[GroupKey{GroupKey::UnknownArray, 0, 0}] = UnknownArrays;
+
+  std::set<GroupKey> SafeGroups;
+  for (auto &[K, Vec] : Groups) {
+    bool AllAnnotated = !Vec.empty();
+    bool NoWrites = true;
+    // Intersection of guards over all non-exempt sites.
+    bool GuardsInit = false;
+    std::set<Guard> Common;
+    for (const SiteInfo *S : Vec) {
+      AllAnnotated = AllAnnotated && Annotated(*S, K);
+      // Escape typing: unconstructed/thread-local data is exempt, as is
+      // the unsynchronized-initialization phase (RccJava's no_warn
+      // constructor discipline).
+      if (S->ThreadLocalBase || S->PreFork)
+        continue;
+      if (S->IsWrite)
+        NoWrites = false;
+      if (!GuardsInit) {
+        Common = S->Guards;
+        GuardsInit = true;
+      } else {
+        std::set<Guard> Next;
+        for (const Guard &G : Common)
+          if (S->Guards.count(G))
+            Next.insert(G);
+        Common = std::move(Next);
+      }
+    }
+    bool LockConsistent = GuardsInit ? !Common.empty() : true;
+    if (AllAnnotated || NoWrites || LockConsistent)
+      SafeGroups.insert(K);
+  }
+
+  // Project group safety onto fields, globals and sites.
+  for (uint32_t G = 0; G != P.Globals.size(); ++G)
+    if (SafeGroups.count(GroupKey{GroupKey::GlobalVar, G, 0}) ||
+        Ann.RaceFree.count("global:" + P.Globals[G].Name))
+      R.SafeGlobals.insert(G);
+  for (ClassId C = 0; C != P.Classes.size(); ++C)
+    for (FieldId F = 0; F != P.Classes[C].Fields.size(); ++F) {
+      bool Unknown =
+          Groups.count(GroupKey{GroupKey::UnknownField, 0, F}) &&
+          !SafeGroups.count(GroupKey{GroupKey::UnknownField, 0, F});
+      bool Safe =
+          (SafeGroups.count(GroupKey{GroupKey::ClassField, C, F}) &&
+           !Unknown) ||
+          Ann.RaceFree.count(P.Classes[C].Name + "." +
+                             P.Classes[C].Fields[F].Name);
+      if (Safe)
+        R.SafeFields.insert({C, F});
+    }
+  for (const SiteInfo &S : A.sites()) {
+    GroupKey K = groupOf(S, A);
+    if (SafeGroups.count(K) || Annotated(S, K))
+      R.SafeSites.insert(S.Site);
+  }
+  return R;
+}
+
+void gold::applyStaticResult(Program &P, const StaticRaceResult &R) {
+  for (auto [C, F] : R.SafeFields)
+    P.Classes[C].Fields[F].CheckRace = false;
+  for (uint32_t G : R.SafeGlobals)
+    P.Globals[G].CheckRace = false;
+  for (FuncId F = 0; F != P.Functions.size(); ++F)
+    for (uint32_t Pc = 0; Pc != P.Functions[F].Code.size(); ++Pc)
+      if (R.SafeSites.count(AccessSite{F, Pc}))
+        P.Functions[F].Code[Pc].Check = false;
+}

@@ -1,0 +1,105 @@
+//===- analysis/StaticRace.h - Sound static race pre-elimination -*- C++-*-===//
+///
+/// \file
+/// Sound static race analyses over MiniJVM bytecode, standing in for the
+/// Chord (Naik/Aiken/Whaley) and RccJava (Abadi/Flanagan/Freund) tools the
+/// paper applies ahead of time (Section 5.2). Both produce a sound
+/// over-approximation of the accesses that may race; everything else is
+/// marked race-free in the program's field/site flags, and the runtime
+/// skips dynamic checks for it.
+///
+/// Shared machinery:
+///  * call graph + thread-entry reachability,
+///  * flow-sensitive value-origin tracking per register (global / alloc
+///    site / parameter), with one interprocedural round for parameters,
+///  * held-lock dataflow (which monitor objects are held at each pc, named
+///    by origin: "the object itself" or "the object stored in global g"),
+///  * escape analysis over allocation sites (a site escapes when its value
+///    is stored into the heap, into a global, or passed to a fork),
+///  * fork-prefix analysis (code of main that runs before any thread
+///    exists cannot participate in a race).
+///
+/// The *Chord analog* reports access-site pairs that may race and derives
+/// field- and site-level safety from the pair list. It understands locks,
+/// thread locality and the fork prefix, but — exactly like the paper
+/// observes — it does not model volatile-based barrier synchronization, so
+/// barrier-protected data stays "may race".
+///
+/// The *RccJava analog* is field-granular lock-consistency inference. It
+/// additionally trusts programmer annotations (the paper's RccJava runs
+/// used annotated benchmarks): a field or global annotated as, e.g.,
+/// barrier-protected is accepted as race-free. That is what lets it
+/// eliminate the barrier-synchronized arrays of moldyn/raytracer/sor2 that
+/// Chord cannot.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GOLD_ANALYSIS_STATICRACE_H
+#define GOLD_ANALYSIS_STATICRACE_H
+
+#include "vm/Program.h"
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace gold {
+
+/// One data-access site: GetField/PutField/ALoad/AStore/GetG/PutG.
+struct AccessSite {
+  FuncId Func = 0;
+  uint32_t Pc = 0;
+
+  friend bool operator==(const AccessSite &A, const AccessSite &B) {
+    return A.Func == B.Func && A.Pc == B.Pc;
+  }
+  friend bool operator<(const AccessSite &A, const AccessSite &B) {
+    return A.Func != B.Func ? A.Func < B.Func : A.Pc < B.Pc;
+  }
+};
+
+/// A may-race pair (the Chord output format: pairs of source locations).
+struct RacePair {
+  AccessSite First;
+  AccessSite Second;
+};
+
+/// What a static analysis decided.
+struct StaticRaceResult {
+  /// The analysis's name ("chord" / "rccjava").
+  std::string Tool;
+  /// May-race pairs (Chord only; empty for RccJava).
+  std::vector<RacePair> Pairs;
+  /// Instance fields proven race-free: (class id, field index).
+  std::set<std::pair<ClassId, FieldId>> SafeFields;
+  /// Globals proven race-free.
+  std::set<uint32_t> SafeGlobals;
+  /// Individual access sites proven race-free.
+  std::set<AccessSite> SafeSites;
+
+  /// Counts for reporting.
+  size_t TotalSites = 0;
+  size_t SafeSiteCount() const { return SafeSites.size(); }
+};
+
+/// Trusted annotations for the RccJava analog. Names are "Class.field" for
+/// instance fields and "global:name" for globals.
+struct RccAnnotations {
+  std::set<std::string> RaceFree;
+};
+
+/// Runs the Chord-analog analysis.
+StaticRaceResult runChordAnalysis(const Program &P);
+
+/// Runs the RccJava-analog analysis with \p Ann trusted annotations.
+StaticRaceResult runRccJavaAnalysis(const Program &P,
+                                    const RccAnnotations &Ann);
+
+/// Applies a result to the program: clears FieldDef::CheckRace for safe
+/// fields/globals and Instr::Check for safe sites (the class-file
+/// annotation step of Section 5.2).
+void applyStaticResult(Program &P, const StaticRaceResult &R);
+
+} // namespace gold
+
+#endif // GOLD_ANALYSIS_STATICRACE_H

@@ -1,0 +1,99 @@
+//===- detectors/Eraser.cpp -----------------------------------------------===//
+
+#include "detectors/Eraser.h"
+
+#include <algorithm>
+
+using namespace gold;
+
+void EraserDetector::onAlloc(ThreadId T, ObjectId O, uint32_t FieldCount) {
+  (void)T;
+  (void)FieldCount;
+  for (auto It = Vars.begin(); It != Vars.end();)
+    It = It->first.Object == O ? Vars.erase(It) : std::next(It);
+}
+
+void EraserDetector::onAcquire(ThreadId T, ObjectId O) {
+  Held[T].push_back(O);
+}
+
+void EraserDetector::onRelease(ThreadId T, ObjectId O) {
+  auto &H = Held[T];
+  auto It = std::find(H.rbegin(), H.rend(), O);
+  if (It != H.rend())
+    H.erase(std::next(It).base());
+}
+
+void EraserDetector::refine(VarState &S, ThreadId T) {
+  const auto &H = Held[T];
+  if (!S.CandidatesInit) {
+    S.Candidates = H;
+    S.CandidatesInit = true;
+    return;
+  }
+  // C(v) := C(v) ∩ locks_held(t).
+  S.Candidates.erase(std::remove_if(S.Candidates.begin(), S.Candidates.end(),
+                                    [&](ObjectId L) {
+                                      return std::find(H.begin(), H.end(),
+                                                       L) == H.end();
+                                    }),
+                     S.Candidates.end());
+}
+
+std::optional<RaceReport> EraserDetector::access(ThreadId T, VarId V,
+                                                 bool IsWrite) {
+  VarState &S = Vars[V];
+  if (S.Disabled)
+    return std::nullopt;
+
+  // Ownership state machine.
+  switch (S.State) {
+  case OwnState::Virgin:
+    S.State = OwnState::Exclusive;
+    S.FirstThread = T;
+    return std::nullopt;
+  case OwnState::Exclusive:
+    if (T == S.FirstThread)
+      return std::nullopt;
+    S.State = IsWrite ? OwnState::SharedModified : OwnState::Shared;
+    break;
+  case OwnState::Shared:
+    if (IsWrite)
+      S.State = OwnState::SharedModified;
+    break;
+  case OwnState::SharedModified:
+    break;
+  }
+
+  refine(S, T);
+
+  // In the Shared (read-only) state the lockset is refined but no race is
+  // reported; only SharedModified reports.
+  if (S.State == OwnState::SharedModified && S.Candidates.empty()) {
+    RaceReport R;
+    R.Var = V;
+    R.Thread = T;
+    R.IsWrite = IsWrite;
+    R.PriorThread = S.FirstThread;
+    R.PriorIsWrite = true; // Eraser does not track which access conflicted
+    if (Cfg.DisableVarAfterRace)
+      S.Disabled = true;
+    return R;
+  }
+  return std::nullopt;
+}
+
+std::vector<RaceReport> EraserDetector::onCommit(ThreadId T,
+                                                 const CommitSets &CS) {
+  // Model the transaction as a critical section on a global pseudo-lock.
+  std::vector<RaceReport> Races;
+  onAcquire(T, TxnLockObject);
+  for (VarId V : CS.Reads)
+    if (auto R = access(T, V, /*IsWrite=*/false))
+      Races.push_back(*R);
+  for (VarId V : CS.Writes)
+    if (auto R = access(T, V, /*IsWrite=*/true))
+      Races.push_back(*R);
+  onRelease(T, TxnLockObject);
+  return Races;
+}

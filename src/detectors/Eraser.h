@@ -1,0 +1,85 @@
+//===- detectors/Eraser.h - Eraser lockset baseline -------------*- C++ -*-===//
+///
+/// \file
+/// The Eraser algorithm (Savage et al., TOCS 1997) the paper compares
+/// against: each shared variable is assumed to be protected by a fixed set
+/// of locks; the candidate set C(v) is intersected with the accessor's held
+/// locks at each access, and an empty intersection in a shared-modified
+/// state reports a (potential) race. The per-variable ownership state
+/// machine (Virgin → Exclusive → Shared → SharedModified) suppresses
+/// initialization warnings.
+///
+/// Eraser is sound for lock-based code but *imprecise*: it does not model
+/// volatile synchronization, fork/join ordering, dynamically changing
+/// locksets or ownership transfer, so it reports false races on the paper's
+/// Example 2 and on barrier-synchronized benchmarks (Section 4.1, 6) —
+/// behaviour our precision tests pin down. Transactions are modelled the
+/// only way Eraser can: as critical sections on a fictitious global
+/// transaction lock.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GOLD_DETECTORS_ERASER_H
+#define GOLD_DETECTORS_ERASER_H
+
+#include "detectors/RaceDetector.h"
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace gold {
+
+/// Eraser baseline detector. Not thread-safe; used on linearized traces and
+/// single-threaded comparisons.
+class EraserDetector final : public RaceDetector {
+public:
+  struct Config {
+    bool DisableVarAfterRace = true;
+  };
+
+  EraserDetector() = default;
+  explicit EraserDetector(Config C) : Cfg(C) {}
+
+  std::optional<RaceReport> onRead(ThreadId T, VarId V) override {
+    return access(T, V, /*IsWrite=*/false);
+  }
+  std::optional<RaceReport> onWrite(ThreadId T, VarId V) override {
+    return access(T, V, /*IsWrite=*/true);
+  }
+  void onAlloc(ThreadId T, ObjectId O, uint32_t FieldCount) override;
+  void onAcquire(ThreadId T, ObjectId O) override;
+  void onRelease(ThreadId T, ObjectId O) override;
+  // Eraser has no model of these synchronization idioms.
+  void onVolatileRead(ThreadId, VarId) override {}
+  void onVolatileWrite(ThreadId, VarId) override {}
+  void onFork(ThreadId, ThreadId) override {}
+  void onJoin(ThreadId, ThreadId) override {}
+  std::vector<RaceReport> onCommit(ThreadId T, const CommitSets &CS) override;
+  const char *name() const override { return "eraser"; }
+
+private:
+  enum class OwnState : uint8_t { Virgin, Exclusive, Shared, SharedModified };
+
+  /// The pseudo lock object held for the duration of a commit.
+  static constexpr ObjectId TxnLockObject = 0xfffffffeu;
+
+  struct VarState {
+    OwnState State = OwnState::Virgin;
+    ThreadId FirstThread = NoThread;
+    std::vector<ObjectId> Candidates; // C(v)
+    bool CandidatesInit = false;
+    bool Disabled = false;
+  };
+
+  std::optional<RaceReport> access(ThreadId T, VarId V, bool IsWrite);
+  void refine(VarState &S, ThreadId T);
+
+  Config Cfg;
+  std::unordered_map<VarId, VarState, VarIdHash> Vars;
+  std::unordered_map<ThreadId, std::vector<ObjectId>> Held;
+};
+
+} // namespace gold
+
+#endif // GOLD_DETECTORS_ERASER_H

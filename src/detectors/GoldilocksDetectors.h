@@ -1,0 +1,97 @@
+//===- detectors/GoldilocksDetectors.h - Goldilocks adapters ----*- C++ -*-===//
+///
+/// \file
+/// RaceDetector adapters over the two Goldilocks implementations so the
+/// test harnesses, MiniJVM and benchmarks can treat all detectors uniformly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GOLD_DETECTORS_GOLDILOCKSDETECTORS_H
+#define GOLD_DETECTORS_GOLDILOCKSDETECTORS_H
+
+#include "detectors/RaceDetector.h"
+#include "goldilocks/Engine.h"
+#include "goldilocks/Reference.h"
+
+namespace gold {
+
+/// Adapter over the optimized engine (Figure 8).
+class GoldilocksDetector final : public RaceDetector {
+public:
+  explicit GoldilocksDetector(EngineConfig C = EngineConfig()) : E(C) {}
+
+  std::optional<RaceReport> onRead(ThreadId T, VarId V) override {
+    return E.onRead(T, V);
+  }
+  std::optional<RaceReport> onWrite(ThreadId T, VarId V) override {
+    return E.onWrite(T, V);
+  }
+  void onAlloc(ThreadId T, ObjectId O, uint32_t N) override {
+    E.onAlloc(T, O, N);
+  }
+  void onAcquire(ThreadId T, ObjectId O) override { E.onAcquire(T, O); }
+  void onRelease(ThreadId T, ObjectId O) override { E.onRelease(T, O); }
+  void onVolatileRead(ThreadId T, VarId V) override { E.onVolatileRead(T, V); }
+  void onVolatileWrite(ThreadId T, VarId V) override {
+    E.onVolatileWrite(T, V);
+  }
+  void onFork(ThreadId T, ThreadId Child) override { E.onFork(T, Child); }
+  void onJoin(ThreadId T, ThreadId Child) override { E.onJoin(T, Child); }
+  void onTerminate(ThreadId T) override { E.onTerminate(T); }
+  std::vector<RaceReport> onCommit(ThreadId T, const CommitSets &CS) override {
+    return E.onCommit(T, CS);
+  }
+  void onCommitPoint(ThreadId T, const CommitSets &CS) override {
+    E.commitPoint(T, CS);
+  }
+  std::vector<RaceReport> onCommitFinish(ThreadId T,
+                                         const CommitSets &CS) override {
+    return E.finishCommit(T, CS);
+  }
+  const char *name() const override { return "goldilocks"; }
+
+  GoldilocksEngine &engine() { return E; }
+
+private:
+  GoldilocksEngine E;
+};
+
+/// Adapter over the eager reference implementation (Figure 5).
+class GoldilocksReferenceDetector final : public RaceDetector {
+public:
+  explicit GoldilocksReferenceDetector(
+      GoldilocksReference::Config C = GoldilocksReference::Config())
+      : R(C) {}
+
+  std::optional<RaceReport> onRead(ThreadId T, VarId V) override {
+    return R.onRead(T, V);
+  }
+  std::optional<RaceReport> onWrite(ThreadId T, VarId V) override {
+    return R.onWrite(T, V);
+  }
+  void onAlloc(ThreadId T, ObjectId O, uint32_t N) override {
+    R.onAlloc(T, O, N);
+  }
+  void onAcquire(ThreadId T, ObjectId O) override { R.onAcquire(T, O); }
+  void onRelease(ThreadId T, ObjectId O) override { R.onRelease(T, O); }
+  void onVolatileRead(ThreadId T, VarId V) override { R.onVolatileRead(T, V); }
+  void onVolatileWrite(ThreadId T, VarId V) override {
+    R.onVolatileWrite(T, V);
+  }
+  void onFork(ThreadId T, ThreadId Child) override { R.onFork(T, Child); }
+  void onJoin(ThreadId T, ThreadId Child) override { R.onJoin(T, Child); }
+  void onTerminate(ThreadId T) override { R.onTerminate(T); }
+  std::vector<RaceReport> onCommit(ThreadId T, const CommitSets &CS) override {
+    return R.onCommit(T, CS);
+  }
+  const char *name() const override { return "goldilocks-ref"; }
+
+  GoldilocksReference &reference() { return R; }
+
+private:
+  GoldilocksReference R;
+};
+
+} // namespace gold
+
+#endif // GOLD_DETECTORS_GOLDILOCKSDETECTORS_H

@@ -1,0 +1,53 @@
+//===- detectors/RaceDetector.cpp -----------------------------------------===//
+
+#include "detectors/RaceDetector.h"
+
+using namespace gold;
+
+RaceDetector::~RaceDetector() = default;
+
+std::vector<RaceReport> RaceDetector::runTrace(const Trace &T) {
+  std::vector<RaceReport> Out;
+  for (const Action &A : T.Actions) {
+    switch (A.Kind) {
+    case ActionKind::Alloc:
+      onAlloc(A.Thread, A.Var.Object, A.Var.Field);
+      break;
+    case ActionKind::Read:
+      if (auto R = onRead(A.Thread, A.Var))
+        Out.push_back(*R);
+      break;
+    case ActionKind::Write:
+      if (auto R = onWrite(A.Thread, A.Var))
+        Out.push_back(*R);
+      break;
+    case ActionKind::VolatileRead:
+      onVolatileRead(A.Thread, A.Var);
+      break;
+    case ActionKind::VolatileWrite:
+      onVolatileWrite(A.Thread, A.Var);
+      break;
+    case ActionKind::Acquire:
+      onAcquire(A.Thread, A.Var.Object);
+      break;
+    case ActionKind::Release:
+      onRelease(A.Thread, A.Var.Object);
+      break;
+    case ActionKind::Fork:
+      onFork(A.Thread, A.Target);
+      break;
+    case ActionKind::Join:
+      onJoin(A.Thread, A.Target);
+      break;
+    case ActionKind::Commit: {
+      auto Races = onCommit(A.Thread, T.commitSets(A));
+      Out.insert(Out.end(), Races.begin(), Races.end());
+      break;
+    }
+    case ActionKind::Terminate:
+      onTerminate(A.Thread);
+      break;
+    }
+  }
+  return Out;
+}

@@ -1,0 +1,72 @@
+//===- detectors/RaceDetector.h - Common detector interface -----*- C++ -*-===//
+///
+/// \file
+/// The interface every dynamic race detector in this repository implements:
+/// the two Goldilocks variants, the Eraser baseline (lockset + state
+/// machine) and the vector-clock baseline. The MiniJVM instruments program
+/// execution against this interface; the trace driver replays recorded
+/// linearizations through it for differential testing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GOLD_DETECTORS_RACEDETECTOR_H
+#define GOLD_DETECTORS_RACEDETECTOR_H
+
+#include "event/Trace.h"
+#include "goldilocks/Race.h"
+
+#include <optional>
+#include <vector>
+
+namespace gold {
+
+/// Abstract dynamic race detector.
+class RaceDetector {
+public:
+  virtual ~RaceDetector();
+
+  /// Data accesses; a report means the access about to execute would race.
+  virtual std::optional<RaceReport> onRead(ThreadId T, VarId V) = 0;
+  virtual std::optional<RaceReport> onWrite(ThreadId T, VarId V) = 0;
+
+  /// Synchronization and allocation events.
+  virtual void onAlloc(ThreadId T, ObjectId O, uint32_t FieldCount) = 0;
+  virtual void onAcquire(ThreadId T, ObjectId O) = 0;
+  virtual void onRelease(ThreadId T, ObjectId O) = 0;
+  virtual void onVolatileRead(ThreadId T, VarId V) = 0;
+  virtual void onVolatileWrite(ThreadId T, VarId V) = 0;
+  virtual void onFork(ThreadId T, ThreadId Child) = 0;
+  virtual void onJoin(ThreadId T, ThreadId Child) = 0;
+  virtual void onTerminate(ThreadId) {}
+
+  /// Transaction commit with its (R, W) sets; may report several races.
+  virtual std::vector<RaceReport> onCommit(ThreadId T,
+                                           const CommitSets &CS) = 0;
+
+  /// Two-phase commit interface for online use (Section 5.3): the commit
+  /// *point* must be recorded while the transaction still holds its object
+  /// locks so conflicting commits enter the synchronization order in
+  /// serialization order, but the (potentially expensive) race checks for
+  /// R ∪ W can run after the locks are released. The default implements
+  /// the point as a no-op and performs everything in finish — adequate for
+  /// the trace-driven baselines; the Goldilocks engine overrides both.
+  virtual void onCommitPoint(ThreadId T, const CommitSets &CS) {
+    (void)T;
+    (void)CS;
+  }
+  virtual std::vector<RaceReport> onCommitFinish(ThreadId T,
+                                                 const CommitSets &CS) {
+    return onCommit(T, CS);
+  }
+
+  /// Short descriptive name ("goldilocks", "eraser", ...).
+  virtual const char *name() const = 0;
+
+  /// Replays a linearized trace through this detector and collects every
+  /// report (in trace order).
+  std::vector<RaceReport> runTrace(const Trace &T);
+};
+
+} // namespace gold
+
+#endif // GOLD_DETECTORS_RACEDETECTOR_H

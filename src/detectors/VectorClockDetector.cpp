@@ -1,0 +1,171 @@
+//===- detectors/VectorClockDetector.cpp ----------------------------------===//
+
+#include "detectors/VectorClockDetector.h"
+
+using namespace gold;
+
+void VectorClockDetector::onAlloc(ThreadId T, ObjectId O,
+                                  uint32_t FieldCount) {
+  (void)T;
+  (void)FieldCount;
+  for (auto It = Vars.begin(); It != Vars.end();)
+    It = It->first.Object == O ? Vars.erase(It) : std::next(It);
+}
+
+void VectorClockDetector::onAcquire(ThreadId T, ObjectId O) {
+  Clock[T].join(LockClock[O]);
+  tick(T);
+}
+
+void VectorClockDetector::onRelease(ThreadId T, ObjectId O) {
+  tick(T);
+  LockClock[O].join(Clock[T]);
+}
+
+void VectorClockDetector::onVolatileRead(ThreadId T, VarId V) {
+  Clock[T].join(VolatileClock[V]);
+  tick(T);
+}
+
+void VectorClockDetector::onVolatileWrite(ThreadId T, VarId V) {
+  tick(T);
+  VolatileClock[V].join(Clock[T]);
+}
+
+void VectorClockDetector::onFork(ThreadId T, ThreadId Child) {
+  tick(T);
+  Clock[Child].join(Clock[T]);
+}
+
+void VectorClockDetector::onJoin(ThreadId T, ThreadId Child) {
+  Clock[T].join(Clock[Child]);
+  tick(T);
+}
+
+/// Returns the first component where \p Frontier exceeds \p C, i.e. a thread
+/// whose recorded access is not ordered before the current one.
+static std::optional<ThreadId> firstUnordered(const VectorClock &Frontier,
+                                              const VectorClock &C) {
+  for (size_t U = 0; U != Frontier.size(); ++U)
+    if (Frontier.get(static_cast<ThreadId>(U)) >
+        C.get(static_cast<ThreadId>(U)))
+      return static_cast<ThreadId>(U);
+  return std::nullopt;
+}
+
+std::optional<RaceReport> VectorClockDetector::read(ThreadId T, VarId V,
+                                                    bool Xact) {
+  VarState &S = Vars[V];
+  if (S.Disabled)
+    return std::nullopt;
+  const VectorClock &C = Clock[T];
+  if (auto U = firstUnordered(S.Writes, C)) {
+    bool PriorXact = *U == S.LastWriter && S.LastWriteXact;
+    if (!(Xact && PriorXact)) {
+      RaceReport R;
+      R.Var = V;
+      R.Thread = T;
+      R.IsWrite = false;
+      R.Xact = Xact;
+      R.PriorThread = *U;
+      R.PriorIsWrite = true;
+      R.PriorXact = PriorXact;
+      if (Cfg.DisableVarAfterRace)
+        S.Disabled = true;
+      return R;
+    }
+  }
+  S.Reads.set(T, C.get(T));
+  S.ReadXact[T] = Xact;
+  return std::nullopt;
+}
+
+std::optional<RaceReport> VectorClockDetector::write(ThreadId T, VarId V,
+                                                     bool Xact) {
+  VarState &S = Vars[V];
+  if (S.Disabled)
+    return std::nullopt;
+  const VectorClock &C = Clock[T];
+
+  auto Report = [&](ThreadId Prior, bool PriorIsWrite,
+                    bool PriorXact) -> std::optional<RaceReport> {
+    if (Xact && PriorXact)
+      return std::nullopt;
+    RaceReport R;
+    R.Var = V;
+    R.Thread = T;
+    R.IsWrite = true;
+    R.Xact = Xact;
+    R.PriorThread = Prior;
+    R.PriorIsWrite = PriorIsWrite;
+    R.PriorXact = PriorXact;
+    if (Cfg.DisableVarAfterRace)
+      S.Disabled = true;
+    return R;
+  };
+
+  if (auto U = firstUnordered(S.Writes, C)) {
+    bool PriorXact = *U == S.LastWriter && S.LastWriteXact;
+    if (auto R = Report(*U, /*PriorIsWrite=*/true, PriorXact))
+      return R;
+  }
+  if (auto U = firstUnordered(S.Reads, C)) {
+    auto It = S.ReadXact.find(*U);
+    bool PriorXact = It != S.ReadXact.end() && It->second;
+    if (auto R = Report(*U, /*PriorIsWrite=*/false, PriorXact))
+      return R;
+  }
+  S.Writes.set(T, C.get(T));
+  S.LastWriter = T;
+  S.LastWriteXact = Xact;
+  S.LastWriterVc = C;
+  return std::nullopt;
+}
+
+std::vector<RaceReport> VectorClockDetector::onCommit(ThreadId T,
+                                                      const CommitSets &CS) {
+  // Incoming edges from earlier commits, per the configured semantics.
+  VectorClock &C = Clock[T];
+  switch (Cfg.Semantics) {
+  case TxnSyncSemantics::SharedVariable:
+    for (VarId V : CS.Reads)
+      C.join(CommitClock[V]);
+    for (VarId V : CS.Writes)
+      C.join(CommitClock[V]);
+    break;
+  case TxnSyncSemantics::AtomicOrder:
+    C.join(GlobalCommitClock);
+    break;
+  case TxnSyncSemantics::WriterToReader:
+    for (VarId V : CS.Reads)
+      C.join(CommitClock[V]);
+    break;
+  }
+  tick(T);
+
+  std::vector<RaceReport> Races;
+  for (VarId V : CS.Reads)
+    if (auto R = read(T, V, /*Xact=*/true))
+      Races.push_back(*R);
+  for (VarId V : CS.Writes)
+    if (auto R = write(T, V, /*Xact=*/true))
+      Races.push_back(*R);
+
+  // Outgoing edges for later commits, per the configured semantics.
+  switch (Cfg.Semantics) {
+  case TxnSyncSemantics::SharedVariable:
+    for (VarId V : CS.Reads)
+      CommitClock[V].join(C);
+    for (VarId V : CS.Writes)
+      CommitClock[V].join(C);
+    break;
+  case TxnSyncSemantics::AtomicOrder:
+    GlobalCommitClock.join(C);
+    break;
+  case TxnSyncSemantics::WriterToReader:
+    for (VarId V : CS.Writes)
+      CommitClock[V].join(C);
+    break;
+  }
+  return Races;
+}

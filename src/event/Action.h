@@ -1,0 +1,85 @@
+//===- event/Action.h - The Section 3 action alphabet -----------*- C++ -*-===//
+///
+/// \file
+/// The kinds of actions a program execution consists of, exactly as defined
+/// in Section 3 of the paper:
+///
+///   SyncKind  = { acq(o), rel(o) } ∪ { read(o,v), write(o,v) : v volatile }
+///             ∪ { fork(u), join(u) } ∪ { commit(R, W) }
+///   DataKind  = { read(o,d), write(o,d) : d data field }
+///   AllocKind = { alloc(o) }
+///
+/// Commit actions carry read/write variable sets, stored out-of-line in the
+/// owning Trace (identified by CommitId) to keep Action small.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GOLD_EVENT_ACTION_H
+#define GOLD_EVENT_ACTION_H
+
+#include "event/Ids.h"
+
+#include <string>
+
+namespace gold {
+
+/// Action kinds of the paper's execution model.
+enum class ActionKind : uint8_t {
+  Alloc,         ///< alloc(o): allocation of object o.
+  Read,          ///< read(o,d): data read.
+  Write,         ///< write(o,d): data write.
+  VolatileRead,  ///< read(o,v): volatile read (synchronization).
+  VolatileWrite, ///< write(o,v): volatile write (synchronization).
+  Acquire,       ///< acq(o): monitor acquire.
+  Release,       ///< rel(o): monitor release.
+  Fork,          ///< fork(u): creation of thread u.
+  Join,          ///< join(u): join on thread u.
+  Commit,        ///< commit(R,W): transaction commit point.
+  Terminate,     ///< terminate(t): thread exit marker (Figure 8).
+};
+
+/// Returns true for the kinds that enter the extended synchronization order
+/// (they become cells of the synchronization event list in Figure 8).
+inline bool isSyncKind(ActionKind K) {
+  switch (K) {
+  case ActionKind::VolatileRead:
+  case ActionKind::VolatileWrite:
+  case ActionKind::Acquire:
+  case ActionKind::Release:
+  case ActionKind::Fork:
+  case ActionKind::Join:
+  case ActionKind::Commit:
+  case ActionKind::Terminate:
+    return true;
+  case ActionKind::Alloc:
+  case ActionKind::Read:
+  case ActionKind::Write:
+    return false;
+  }
+  return false;
+}
+
+/// Human-readable kind name.
+const char *actionKindName(ActionKind K);
+
+/// One action of an execution. Payload fields are interpreted per kind:
+///  - Alloc: Var.Object is the allocated object, Var.Field its field count
+///    (used by eager detectors to reset all of the object's locksets).
+///  - Read/Write/VolatileRead/VolatileWrite: Var names the variable.
+///  - Acquire/Release: Var.Object names the lock object.
+///  - Fork/Join: Target names the forked/joined thread.
+///  - Commit: CommitId indexes the Trace's commit-set pool.
+struct Action {
+  ActionKind Kind = ActionKind::Read;
+  ThreadId Thread = 0;
+  VarId Var;
+  ThreadId Target = NoThread;
+  uint32_t CommitId = 0;
+
+  /// Renders e.g. "T1: write(o2.f0)" for diagnostics.
+  std::string str() const;
+};
+
+} // namespace gold
+
+#endif // GOLD_EVENT_ACTION_H

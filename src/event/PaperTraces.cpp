@@ -1,0 +1,134 @@
+//===- event/PaperTraces.cpp ----------------------------------------------===//
+
+#include "event/PaperTraces.h"
+
+using namespace gold;
+using namespace gold::paper;
+
+Trace gold::paperExample2Trace() {
+  TraceBuilder B;
+  // Thread 1: tmp1 = new IntBox(); tmp1.data = 0; acq(ma); a = tmp1; rel(ma)
+  B.alloc(1, O, 2)
+      .write(1, O, FData)
+      .acq(1, MA)
+      .write(1, Globals, GA)
+      .rel(1, MA);
+  // Thread 2: acq(ma); tmp2 = a; acq(mb); b = tmp2; rel(mb); rel(ma)
+  B.acq(2, MA)
+      .read(2, Globals, GA)
+      .acq(2, MB)
+      .write(2, Globals, GB)
+      .rel(2, MB)
+      .rel(2, MA);
+  // Thread 3: acq(mb); b.data = 2; tmp3 = b; rel(mb); tmp3.data = 3
+  B.acq(3, MB)
+      .write(3, O, FData)
+      .read(3, Globals, GB)
+      .rel(3, MB)
+      .write(3, O, FData);
+  return B.take();
+}
+
+Trace gold::paperExample3Trace() {
+  TraceBuilder B;
+  // Thread 1: t1 = new Foo(); t1.data = 42;
+  //           atomic { t1.nxt = head; head = t1; }
+  B.alloc(1, O, 2).write(1, O, FData);
+  B.commit(1, /*Reads=*/{head()}, /*Writes=*/{oNxt(), head()});
+  // Thread 2: atomic { for (iter = head; iter != null; iter = iter.nxt)
+  //                      iter.data = 0; }
+  B.commit(2, /*Reads=*/{head(), oData(), oNxt()}, /*Writes=*/{oData()});
+  // Thread 3: atomic { t3 = head; head = t3.nxt; }  then  t3.data++
+  B.commit(3, /*Reads=*/{head(), oNxt()}, /*Writes=*/{head()});
+  B.read(3, O, FData).write(3, O, FData);
+  return B.take();
+}
+
+Trace gold::paperExample4Trace(bool TxnFirst) {
+  // Objects: 0 = savings, 1 = checking; field 0 = bal.
+  constexpr ObjectId Savings = 0, Checking = 1;
+  constexpr FieldId Bal = 0;
+  VarId SBal{Savings, Bal}, CBal{Checking, Bal};
+  TraceBuilder B;
+  B.alloc(0, Savings, 1).alloc(0, Checking, 1);
+  B.fork(0, 1).fork(0, 2);
+  auto Txn = [&] {
+    // Thread 1: atomic { savings.bal -= 42; checking.bal += 42; }
+    B.commit(1, /*Reads=*/{SBal, CBal}, /*Writes=*/{SBal, CBal});
+  };
+  auto Withdraw = [&] {
+    // Thread 2: checking.withdraw(42) under the object lock.
+    B.acq(2, Checking)
+        .read(2, Checking, Bal)
+        .write(2, Checking, Bal)
+        .rel(2, Checking);
+  };
+  if (TxnFirst) {
+    Txn();
+    Withdraw();
+  } else {
+    Withdraw();
+    Txn();
+  }
+  return B.take();
+}
+
+Trace gold::idiomVolatileFlagTrace() {
+  // o.f0 is data, o.f1000 is the volatile flag.
+  TraceBuilder B;
+  B.alloc(1, O, 1);
+  B.write(1, O, 0).volWrite(1, O, 1000);
+  B.volRead(2, O, 1000).read(2, O, 0).write(2, O, 0);
+  return B.take();
+}
+
+Trace gold::idiomForkJoinTrace() {
+  TraceBuilder B;
+  B.alloc(0, O, 1).write(0, O, 0);
+  B.fork(0, 1);
+  B.write(1, O, 0).terminate(1);
+  B.join(0, 1);
+  B.read(0, O, 0);
+  return B.take();
+}
+
+Trace gold::idiomBarrierTrace() {
+  // Two workers, two data slots (o.f0, o.f1), a volatile flag per worker
+  // (o.f1000, o.f1001). Phase 1: each writes its own slot and raises its
+  // flag. Phase 2: each reads both flags (the barrier) and then updates the
+  // *other* worker's slot — the exchange pattern of the Java Grande codes.
+  TraceBuilder B;
+  B.alloc(0, O, 2).fork(0, 1).fork(0, 2);
+  B.write(1, O, 0).volWrite(1, O, 1000);
+  B.write(2, O, 1).volWrite(2, O, 1001);
+  B.volRead(1, O, 1000).volRead(1, O, 1001);
+  B.volRead(2, O, 1000).volRead(2, O, 1001);
+  B.write(1, O, 1); // updates worker 2's slot
+  B.write(2, O, 0); // updates worker 1's slot
+  return B.take();
+}
+
+Trace gold::idiomUnsyncRacyTrace() {
+  TraceBuilder B;
+  B.alloc(1, O, 1);
+  B.write(1, O, 0);
+  B.write(2, O, 0); // unordered conflicting write: a race
+  return B.take();
+}
+
+Trace gold::idiomIndirectHandoffTrace() {
+  // T1 initializes o.f0 under ma. T2 carries ownership from ma to mb
+  // without ever touching o.f0; T3 accesses under mb. T2 then carries
+  // ownership back from mb to ma and T1 accesses again under ma. The
+  // variable's protecting lock changes twice while the intermediary never
+  // accesses it — the scenario Section 4 highlights as impossible for
+  // Eraser-style analyses (whose candidate set only shrinks).
+  TraceBuilder B;
+  B.alloc(1, O, 1);
+  B.acq(1, MA).write(1, O, 0).rel(1, MA);
+  B.acq(2, MA).acq(2, MB).rel(2, MB).rel(2, MA);
+  B.acq(3, MB).write(3, O, 0).rel(3, MB);
+  B.acq(2, MB).acq(2, MA).rel(2, MA).rel(2, MB);
+  B.acq(1, MA).write(1, O, 0).rel(1, MA);
+  return B.take();
+}

@@ -1,0 +1,75 @@
+//===- event/PaperTraces.h - The paper's example executions -----*- C++ -*-===//
+///
+/// \file
+/// Linearized executions of the paper's motivating examples (Section 2) and
+/// of classic synchronization idioms, used by unit tests, the precision
+/// comparison benchmarks and the Figure 6/7 regeneration harnesses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GOLD_EVENT_PAPERTRACES_H
+#define GOLD_EVENT_PAPERTRACES_H
+
+#include "event/Trace.h"
+
+namespace gold {
+
+/// Object/variable ids shared by the paper traces.
+namespace paper {
+inline constexpr ObjectId Globals = 0; ///< holder of global variables
+inline constexpr ObjectId O = 1;       ///< the IntBox/Foo object "o"
+inline constexpr ObjectId MA = 2;      ///< lock ma
+inline constexpr ObjectId MB = 3;      ///< lock mb
+inline constexpr FieldId FData = 0;    ///< o.data
+inline constexpr FieldId FNxt = 1;     ///< o.nxt
+inline constexpr FieldId GA = 0;       ///< global a
+inline constexpr FieldId GB = 1;       ///< global b
+inline constexpr FieldId GHead = 2;    ///< global head
+inline VarId oData() { return VarId{O, FData}; }
+inline VarId oNxt() { return VarId{O, FNxt}; }
+inline VarId head() { return VarId{Globals, GHead}; }
+} // namespace paper
+
+/// Example 2 (Figures 2 and 6): an IntBox is created and initialized by T1,
+/// published under lock ma into global a, moved by T2 under ma+mb into
+/// global b, then accessed by T3 under (and after) mb. Race-free, but every
+/// Eraser-style lockset algorithm reports a false race.
+Trace paperExample2Trace();
+
+/// Example 3 (Figures 3 and 7): a Foo object is thread-local to T1, enters
+/// a transactional linked list, is mutated transactionally by T2, removed
+/// transactionally by T3, then accessed plainly by T3. Race-free only for
+/// detectors that understand transaction happens-before edges.
+Trace paperExample3Trace();
+
+/// Example 4 (Figure 4): Thread 2 withdraws under the account's object
+/// lock while Thread 1 transfers inside a transaction. Racy on
+/// checking.bal regardless of interleaving. \p TxnFirst selects which side
+/// executes first.
+Trace paperExample4Trace(bool TxnFirst);
+
+/// Thread-local init, volatile-flag publication, then reader access —
+/// race-free via the volatile write/read edge (JMM safe publication).
+Trace idiomVolatileFlagTrace();
+
+/// Fork/join: parent initializes, forks child that mutates, joins, parent
+/// reads. Race-free via fork and join edges.
+Trace idiomForkJoinTrace();
+
+/// A volatile-based barrier between two phases: each thread writes its slot,
+/// crosses the barrier, then reads the other's slot. Race-free for
+/// happens-before detectors; Eraser reports false races (no common lock).
+Trace idiomBarrierTrace();
+
+/// A genuinely racy trace: two threads write the same variable with no
+/// synchronization at all.
+Trace idiomUnsyncRacyTrace();
+
+/// Ownership handoff without accessing the variable (Section 4's "ownership
+/// transfer of variable without accessing the variable"): T1 initializes,
+/// hands the object to T3 through a chain of locks touched only by T2.
+Trace idiomIndirectHandoffTrace();
+
+} // namespace gold
+
+#endif // GOLD_EVENT_PAPERTRACES_H

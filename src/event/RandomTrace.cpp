@@ -1,0 +1,211 @@
+//===- event/RandomTrace.cpp ----------------------------------------------===//
+
+#include "event/RandomTrace.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+using namespace gold;
+
+namespace {
+
+/// Per-thread generator state during linearization.
+struct ThreadGen {
+  std::vector<ObjectId> HeldLocks;
+  bool InTxn = false;
+  std::vector<VarId> TxnReads;
+  std::vector<VarId> TxnWrites;
+  unsigned TxnAccesses = 0;
+  unsigned StepsLeft = 0;
+  bool Forked = false;
+  bool Finished = false;
+};
+
+} // namespace
+
+Trace gold::generateRandomTrace(const RandomTraceParams &P) {
+  Random Rng(P.Seed);
+  TraceBuilder B;
+
+  ThreadId NumThreads = P.NumThreads + 1; // + main (T0)
+  std::vector<ThreadGen> Gen(NumThreads);
+  for (ThreadGen &G : Gen)
+    G.StepsLeft = P.StepsPerThread;
+  Gen[0].Forked = true; // main needs no fork
+
+  // Lock ownership across threads (non-reentrant, like the paper's model).
+  std::vector<ThreadId> LockOwner(P.NumObjects, NoThread);
+
+  // Main allocates every shared object up front.
+  for (ObjectId O = 0; O != P.NumObjects; ++O)
+    B.alloc(0, O, P.DataFields);
+
+  auto RandObj = [&] {
+    return static_cast<ObjectId>(Rng.nextBelow(P.NumObjects));
+  };
+  auto RandDataVar = [&] {
+    return VarId{RandObj(), static_cast<FieldId>(Rng.nextBelow(P.DataFields))};
+  };
+  auto RandVolVar = [&] {
+    // Volatile fields live in a disjoint field-id range.
+    return VarId{RandObj(), 1000 + static_cast<FieldId>(
+                                       Rng.nextBelow(P.VolatileFields))};
+  };
+
+  // Emits one generator step for thread T; returns false if the thread had
+  // nothing runnable this round.
+  auto Step = [&](ThreadId T) -> bool {
+    ThreadGen &G = Gen[T];
+    if (G.InTxn) {
+      bool End = G.TxnAccesses >= P.MaxTxnAccesses ||
+                 Rng.nextBelow(100) < P.TxnEndPercent;
+      if (End) {
+        B.commit(T, G.TxnReads, G.TxnWrites);
+        G.InTxn = false;
+        G.TxnReads.clear();
+        G.TxnWrites.clear();
+        G.TxnAccesses = 0;
+      } else {
+        VarId V = RandDataVar();
+        auto &Set = Rng.chance(1, 2) ? G.TxnReads : G.TxnWrites;
+        if (std::find(Set.begin(), Set.end(), V) == Set.end())
+          Set.push_back(V);
+        ++G.TxnAccesses;
+      }
+      --G.StepsLeft;
+      return true;
+    }
+
+    unsigned Total = P.WRead + P.WWrite + P.WAcquire + P.WRelease +
+                     P.WVolRead + P.WVolWrite + P.WBeginTxn;
+    unsigned Pick = static_cast<unsigned>(Rng.nextBelow(Total));
+    auto Consume = [&](unsigned W) {
+      if (Pick < W)
+        return true;
+      Pick -= W;
+      return false;
+    };
+
+    if (Consume(P.WRead)) {
+      VarId V = RandDataVar();
+      B.read(T, V.Object, V.Field);
+    } else if (Consume(P.WWrite)) {
+      VarId V = RandDataVar();
+      B.write(T, V.Object, V.Field);
+    } else if (Consume(P.WAcquire)) {
+      // Try a few times to find a free lock; otherwise fall back to a read.
+      bool Done = false;
+      for (int Try = 0; Try != 4 && !Done; ++Try) {
+        ObjectId O = RandObj();
+        if (LockOwner[O] == NoThread) {
+          LockOwner[O] = T;
+          G.HeldLocks.push_back(O);
+          B.acq(T, O);
+          Done = true;
+        }
+      }
+      if (!Done) {
+        VarId V = RandDataVar();
+        B.read(T, V.Object, V.Field);
+      }
+    } else if (Consume(P.WRelease)) {
+      if (G.HeldLocks.empty()) {
+        VarId V = RandDataVar();
+        B.write(T, V.Object, V.Field);
+      } else {
+        size_t I = Rng.nextBelow(G.HeldLocks.size());
+        ObjectId O = G.HeldLocks[I];
+        G.HeldLocks.erase(G.HeldLocks.begin() +
+                          static_cast<ptrdiff_t>(I));
+        LockOwner[O] = NoThread;
+        B.rel(T, O);
+      }
+    } else if (Consume(P.WVolRead)) {
+      VarId V = RandVolVar();
+      B.volRead(T, V.Object, V.Field);
+    } else if (Consume(P.WVolWrite)) {
+      VarId V = RandVolVar();
+      B.volWrite(T, V.Object, V.Field);
+    } else {
+      G.InTxn = true;
+    }
+    --G.StepsLeft;
+    return true;
+  };
+
+  // Interleave. Main forks each worker at a random point; a worker is only
+  // runnable once forked. When a worker runs out of steps it releases its
+  // locks and finishes; main joins every finished worker at the end and
+  // performs a few trailing accesses (exercising the join edges).
+  std::vector<ThreadId> Unforked;
+  for (ThreadId T = 1; T != NumThreads; ++T)
+    Unforked.push_back(T);
+
+  auto FinishThread = [&](ThreadId T) {
+    ThreadGen &G = Gen[T];
+    if (G.InTxn) {
+      B.commit(T, G.TxnReads, G.TxnWrites);
+      G.InTxn = false;
+    }
+    for (ObjectId O : G.HeldLocks) {
+      LockOwner[O] = NoThread;
+      B.rel(T, O);
+    }
+    G.HeldLocks.clear();
+    B.terminate(T);
+    G.Finished = true;
+  };
+
+  for (;;) {
+    // Collect runnable threads.
+    std::vector<ThreadId> Runnable;
+    for (ThreadId T = 0; T != NumThreads; ++T)
+      if (Gen[T].Forked && !Gen[T].Finished && Gen[T].StepsLeft > 0)
+        Runnable.push_back(T);
+
+    bool CanFork = !Unforked.empty();
+    if (Runnable.empty() && !CanFork)
+      break;
+
+    // Occasionally (or when forced) main forks the next worker.
+    if (CanFork && (Runnable.empty() || Rng.chance(1, 8))) {
+      ThreadId Child = Unforked.front();
+      Unforked.erase(Unforked.begin());
+      B.fork(0, Child);
+      Gen[Child].Forked = true;
+      continue;
+    }
+
+    ThreadId T = Runnable[Rng.nextBelow(Runnable.size())];
+    Step(T);
+    if (Gen[T].StepsLeft == 0 && T != 0)
+      FinishThread(T);
+  }
+  // Wind down main: commit any open transaction and release held locks.
+  if (Gen[0].InTxn) {
+    B.commit(0, Gen[0].TxnReads, Gen[0].TxnWrites);
+    Gen[0].InTxn = false;
+  }
+  for (ObjectId O : Gen[0].HeldLocks) {
+    LockOwner[O] = NoThread;
+    B.rel(0, O);
+  }
+  Gen[0].HeldLocks.clear();
+
+  // Main joins every worker, then touches every variable once — accesses
+  // after a join are ordered after everything the workers did.
+  for (ThreadId T = 1; T != NumThreads; ++T) {
+    if (!Gen[T].Forked)
+      continue;
+    if (!Gen[T].Finished)
+      FinishThread(T);
+    B.join(0, T);
+  }
+  for (ObjectId O = 0; O != P.NumObjects; ++O)
+    for (FieldId F = 0; F != P.DataFields; ++F)
+      B.read(0, O, F);
+
+  return B.take();
+}

@@ -1,0 +1,47 @@
+//===- event/RandomTrace.h - Random well-formed trace generator -*- C++ -*-===//
+///
+/// \file
+/// Generates random, well-formed linearized executions for differential
+/// testing (Theorem 1: Goldilocks == happens-before oracle) and fuzz
+/// benchmarks. Well-formed means: lock acquire/release properly nested per
+/// thread and mutually exclusive across threads, forks precede the forked
+/// thread's actions, joins follow the joined thread's completion, and
+/// transactions contain no synchronization (Section 3's restriction).
+///
+/// The generator makes no attempt to produce race-free traces: races arise
+/// (or not) from the random synchronization structure, and the oracle
+/// decides which variables actually race.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GOLD_EVENT_RANDOMTRACE_H
+#define GOLD_EVENT_RANDOMTRACE_H
+
+#include "event/Trace.h"
+#include "support/Random.h"
+
+namespace gold {
+
+/// Knobs for the random trace generator.
+struct RandomTraceParams {
+  uint64_t Seed = 1;
+  ThreadId NumThreads = 4;     ///< worker threads in addition to main (T0)
+  ObjectId NumObjects = 4;     ///< shared objects
+  FieldId DataFields = 2;      ///< data fields per object
+  FieldId VolatileFields = 1;  ///< volatile fields per object
+  unsigned StepsPerThread = 40;
+  /// Per-step op weights (relative).
+  unsigned WRead = 6, WWrite = 6, WAcquire = 3, WRelease = 3, WVolRead = 2,
+           WVolWrite = 2, WBeginTxn = 1;
+  /// Probability (percent) that a transactional step ends the transaction.
+  unsigned TxnEndPercent = 25;
+  /// Maximum accesses collected inside one transaction.
+  unsigned MaxTxnAccesses = 6;
+};
+
+/// Generates one random trace.
+Trace generateRandomTrace(const RandomTraceParams &P);
+
+} // namespace gold
+
+#endif // GOLD_EVENT_RANDOMTRACE_H

@@ -1,0 +1,93 @@
+//===- event/Trace.h - Linearized executions and a builder ------*- C++ -*-===//
+///
+/// \file
+/// A Trace is a linearization of an execution S = (s, ->eso) as consumed by
+/// the Goldilocks algorithm (Section 4): a sequence of actions consistent
+/// with the extended happens-before relation. The TraceBuilder offers a
+/// fluent API used by tests, examples and the random trace generator.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GOLD_EVENT_TRACE_H
+#define GOLD_EVENT_TRACE_H
+
+#include "event/Action.h"
+
+#include <string>
+#include <vector>
+
+namespace gold {
+
+/// The (R, W) variable sets of one transaction commit.
+struct CommitSets {
+  std::vector<VarId> Reads;
+  std::vector<VarId> Writes;
+
+  /// Returns true if (R ∪ W) contains \p V.
+  bool touches(VarId V) const;
+  /// Returns true if W contains \p V.
+  bool writes(VarId V) const;
+};
+
+/// A linearized execution.
+class Trace {
+public:
+  std::vector<Action> Actions;
+  std::vector<CommitSets> Commits;
+
+  /// Number of threads referenced (max thread/target id + 1).
+  ThreadId threadCount() const;
+
+  /// Number of objects referenced (max object id + 1).
+  ObjectId objectCount() const;
+
+  /// Returns the commit sets of a Commit action.
+  const CommitSets &commitSets(const Action &A) const;
+
+  /// Returns true if action \p Index is an access to data variable \p V in
+  /// the sense of Theorem 1: a data read/write of V, or a commit whose
+  /// R ∪ W contains V.
+  bool accesses(size_t Index, VarId V) const;
+
+  /// Pretty-prints the whole trace (one action per line).
+  std::string str() const;
+};
+
+/// Fluent builder for traces. All methods return *this so scenarios read
+/// like the paper's examples:
+///
+/// \code
+///   TraceBuilder B;
+///   B.alloc(1, Obj).write(1, Obj, 0).acq(1, M).rel(1, M);
+/// \endcode
+class TraceBuilder {
+public:
+  TraceBuilder &alloc(ThreadId T, ObjectId O, FieldId FieldCount = 1);
+  TraceBuilder &read(ThreadId T, ObjectId O, FieldId F);
+  TraceBuilder &write(ThreadId T, ObjectId O, FieldId F);
+  TraceBuilder &volRead(ThreadId T, ObjectId O, FieldId F);
+  TraceBuilder &volWrite(ThreadId T, ObjectId O, FieldId F);
+  TraceBuilder &acq(ThreadId T, ObjectId O);
+  TraceBuilder &rel(ThreadId T, ObjectId O);
+  TraceBuilder &fork(ThreadId T, ThreadId Child);
+  TraceBuilder &join(ThreadId T, ThreadId Child);
+  TraceBuilder &terminate(ThreadId T);
+  TraceBuilder &commit(ThreadId T, std::vector<VarId> Reads,
+                       std::vector<VarId> Writes);
+
+  /// Appends a raw action (used by the random generator).
+  TraceBuilder &append(Action A);
+
+  /// Returns the built trace, leaving the builder empty.
+  Trace take();
+
+  /// Read-only view of the trace under construction.
+  const Trace &peek() const { return Built; }
+
+private:
+  Trace Built;
+};
+
+} // namespace gold
+
+#endif // GOLD_EVENT_TRACE_H

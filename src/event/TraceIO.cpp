@@ -1,0 +1,172 @@
+//===- event/TraceIO.cpp --------------------------------------------------===//
+
+#include "event/TraceIO.h"
+
+#include <sstream>
+
+using namespace gold;
+
+std::string gold::serializeTrace(const Trace &T) {
+  std::ostringstream Out;
+  for (const Action &A : T.Actions) {
+    switch (A.Kind) {
+    case ActionKind::Alloc:
+      Out << "alloc " << A.Thread << ' ' << A.Var.Object << ' '
+          << A.Var.Field << '\n';
+      break;
+    case ActionKind::Read:
+    case ActionKind::Write:
+    case ActionKind::VolatileRead:
+    case ActionKind::VolatileWrite: {
+      const char *K = A.Kind == ActionKind::Read          ? "read"
+                      : A.Kind == ActionKind::Write       ? "write"
+                      : A.Kind == ActionKind::VolatileRead ? "vread"
+                                                           : "vwrite";
+      Out << K << ' ' << A.Thread << ' ' << A.Var.Object << ' '
+          << A.Var.Field << '\n';
+      break;
+    }
+    case ActionKind::Acquire:
+      Out << "acq " << A.Thread << ' ' << A.Var.Object << '\n';
+      break;
+    case ActionKind::Release:
+      Out << "rel " << A.Thread << ' ' << A.Var.Object << '\n';
+      break;
+    case ActionKind::Fork:
+      Out << "fork " << A.Thread << ' ' << A.Target << '\n';
+      break;
+    case ActionKind::Join:
+      Out << "join " << A.Thread << ' ' << A.Target << '\n';
+      break;
+    case ActionKind::Terminate:
+      Out << "term " << A.Thread << '\n';
+      break;
+    case ActionKind::Commit: {
+      const CommitSets &CS = T.commitSets(A);
+      Out << "commit " << A.Thread << " R";
+      for (VarId V : CS.Reads)
+        Out << ' ' << V.Object << ':' << V.Field;
+      Out << " W";
+      for (VarId V : CS.Writes)
+        Out << ' ' << V.Object << ':' << V.Field;
+      Out << '\n';
+      break;
+    }
+    }
+  }
+  return Out.str();
+}
+
+namespace {
+
+bool parseVar(const std::string &Tok, VarId &Out) {
+  size_t Colon = Tok.find(':');
+  if (Colon == std::string::npos)
+    return false;
+  try {
+    Out.Object = static_cast<ObjectId>(std::stoul(Tok.substr(0, Colon)));
+    Out.Field = static_cast<FieldId>(std::stoul(Tok.substr(Colon + 1)));
+  } catch (...) {
+    return false;
+  }
+  return true;
+}
+
+} // namespace
+
+bool gold::parseTrace(const std::string &Text, Trace &Out,
+                      std::string &Error) {
+  Out = Trace();
+  TraceBuilder B;
+  std::istringstream In(Text);
+  std::string Line;
+  size_t LineNo = 0;
+  auto Fail = [&](const std::string &Msg) {
+    Error = "line " + std::to_string(LineNo) + ": " + Msg;
+    return false;
+  };
+
+  while (std::getline(In, Line)) {
+    ++LineNo;
+    if (Line.empty() || Line[0] == '#')
+      continue;
+    std::istringstream Ls(Line);
+    std::string Kind;
+    Ls >> Kind;
+    if (Kind.empty())
+      continue;
+
+    auto ReadU32 = [&](uint32_t &V) {
+      unsigned long Raw;
+      if (!(Ls >> Raw))
+        return false;
+      V = static_cast<uint32_t>(Raw);
+      return true;
+    };
+
+    uint32_t T = 0, A = 0, Bv = 0;
+    if (Kind == "alloc") {
+      if (!ReadU32(T) || !ReadU32(A) || !ReadU32(Bv))
+        return Fail("alloc needs <tid> <obj> <fieldcount>");
+      B.alloc(T, A, Bv);
+    } else if (Kind == "read" || Kind == "write" || Kind == "vread" ||
+               Kind == "vwrite") {
+      if (!ReadU32(T) || !ReadU32(A) || !ReadU32(Bv))
+        return Fail(Kind + " needs <tid> <obj> <field>");
+      if (Kind == "read")
+        B.read(T, A, Bv);
+      else if (Kind == "write")
+        B.write(T, A, Bv);
+      else if (Kind == "vread")
+        B.volRead(T, A, Bv);
+      else
+        B.volWrite(T, A, Bv);
+    } else if (Kind == "acq" || Kind == "rel") {
+      if (!ReadU32(T) || !ReadU32(A))
+        return Fail(Kind + " needs <tid> <obj>");
+      if (Kind == "acq")
+        B.acq(T, A);
+      else
+        B.rel(T, A);
+    } else if (Kind == "fork" || Kind == "join") {
+      if (!ReadU32(T) || !ReadU32(A))
+        return Fail(Kind + " needs <tid> <child>");
+      if (Kind == "fork")
+        B.fork(T, A);
+      else
+        B.join(T, A);
+    } else if (Kind == "term") {
+      if (!ReadU32(T))
+        return Fail("term needs <tid>");
+      B.terminate(T);
+    } else if (Kind == "commit") {
+      if (!ReadU32(T))
+        return Fail("commit needs <tid>");
+      std::string Tok;
+      if (!(Ls >> Tok) || Tok != "R")
+        return Fail("commit expects 'R' after the thread id");
+      std::vector<VarId> Reads, Writes;
+      bool InWrites = false;
+      while (Ls >> Tok) {
+        if (Tok == "W") {
+          if (InWrites)
+            return Fail("duplicate 'W' marker");
+          InWrites = true;
+          continue;
+        }
+        VarId V;
+        if (!parseVar(Tok, V))
+          return Fail("bad variable token '" + Tok + "' (want obj:field)");
+        (InWrites ? Writes : Reads).push_back(V);
+      }
+      if (!InWrites)
+        return Fail("commit is missing the 'W' marker");
+      B.commit(T, std::move(Reads), std::move(Writes));
+    } else {
+      return Fail("unknown action kind '" + Kind + "'");
+    }
+  }
+  Out = B.take();
+  Error.clear();
+  return true;
+}

@@ -1,0 +1,38 @@
+//===- event/TraceIO.h - Trace text serialization ---------------*- C++ -*-===//
+///
+/// \file
+/// A line-oriented text format for linearized executions, so traces can be
+/// captured from one tool and replayed through the detectors (see
+/// `tools/goldilocks-trace`). One action per line:
+///
+///   alloc  <tid> <obj> <fieldcount>
+///   read   <tid> <obj> <field>          write  <tid> <obj> <field>
+///   vread  <tid> <obj> <field>          vwrite <tid> <obj> <field>
+///   acq    <tid> <obj>                  rel    <tid> <obj>
+///   fork   <tid> <child>                join   <tid> <child>
+///   term   <tid>
+///   commit <tid> R <obj>:<field> ... W <obj>:<field> ...
+///
+/// Blank lines and lines starting with '#' are ignored.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GOLD_EVENT_TRACEIO_H
+#define GOLD_EVENT_TRACEIO_H
+
+#include "event/Trace.h"
+
+#include <string>
+
+namespace gold {
+
+/// Serializes \p T into the text format above.
+std::string serializeTrace(const Trace &T);
+
+/// Parses the text format. On success returns true and fills \p Out; on
+/// failure returns false and describes the problem in \p Error.
+bool parseTrace(const std::string &Text, Trace &Out, std::string &Error);
+
+} // namespace gold
+
+#endif // GOLD_EVENT_TRACEIO_H

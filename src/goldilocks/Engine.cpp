@@ -1,0 +1,594 @@
+//===- goldilocks/Engine.cpp ----------------------------------------------===//
+
+#include "goldilocks/Engine.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace gold;
+
+//===----------------------------------------------------------------------===//
+// Internal data structures (Figure 8's Cell and Info records)
+//===----------------------------------------------------------------------===//
+
+/// One entry of the synchronization event list.
+struct GoldilocksEngine::Cell {
+  SyncEvent Event;
+  std::unique_ptr<CommitSets> OwnedCommit; // keeps commit (R,W) sets alive
+  std::atomic<Cell *> Next{nullptr};
+  uint64_t Seq = 0;
+  std::atomic<uint32_t> RefCount{0};
+};
+
+/// Figure 8's Info record: one remembered access to a data variable.
+struct GoldilocksEngine::Info {
+  Cell *Pos = nullptr;   ///< Last sync event the access came after (retained).
+  ThreadId Owner = NoThread;
+  Lockset LS;            ///< Lockset just after the access (may be advanced).
+  ObjectId ALock = 0;    ///< A lock held by Owner at the access.
+  bool HasALock = false;
+  bool Xact = false;     ///< Access was inside a transaction.
+  bool Valid = false;
+};
+
+/// Per-variable state: WriteInfo, per-thread ReadInfo, and the KL lock.
+struct GoldilocksEngine::VarState {
+  std::mutex KL;
+  Info Write;
+  std::vector<std::pair<ThreadId, Info>> Reads; // reads since the last write
+  bool Disabled = false;
+  VarId V;
+};
+
+/// Per-thread lock stack, consulted by the alock short circuit, plus the
+/// pending commit anchor between commitPoint() and finishCommit(). Only
+/// the owning thread reads or writes its own state.
+struct GoldilocksEngine::ThreadState {
+  std::vector<ObjectId> HeldLocks;
+  Cell *PendingAnchor = nullptr;
+};
+
+struct GoldilocksEngine::Shard {
+  std::mutex Mu;
+  std::unordered_map<uint64_t, std::unique_ptr<VarState>> Map;
+  std::unordered_map<ObjectId, std::vector<VarState *>> ByObject;
+};
+
+struct GoldilocksEngine::AtomicStats {
+  std::atomic<uint64_t> Accesses{0}, PairChecks{0}, Sc1Xact{0},
+      Sc2SameThread{0}, Sc3ALock{0}, FilteredWalks{0}, FullWalks{0},
+      CellsWalked{0}, CellsAllocated{0}, CellsFreed{0}, GcRuns{0},
+      EagerAdvances{0}, Races{0}, SkippedDisabled{0}, SyncEvents{0},
+      Commits{0};
+};
+
+//===----------------------------------------------------------------------===//
+// Construction / destruction
+//===----------------------------------------------------------------------===//
+
+GoldilocksEngine::GoldilocksEngine(EngineConfig C)
+    : Cfg(C), Shards(new Shard[NumShards]), S(new AtomicStats) {
+  // Sentinel origin cell so Info.Pos is never null.
+  auto *Origin = new Cell;
+  Origin->Event.Kind = ActionKind::Terminate;
+  Origin->Event.Thread = NoThread;
+  Origin->Seq = 0;
+  Head = Origin;
+  Last.store(Origin, std::memory_order_relaxed);
+  ListLen.store(1, std::memory_order_relaxed);
+}
+
+GoldilocksEngine::~GoldilocksEngine() {
+  Cell *C = Head;
+  while (C) {
+    Cell *Next = C->Next.load(std::memory_order_relaxed);
+    delete C;
+    C = Next;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Helpers
+//===----------------------------------------------------------------------===//
+
+GoldilocksEngine::VarState &GoldilocksEngine::varState(VarId V) {
+  Shard &Sh = Shards[VarIdHash()(V) % NumShards];
+  std::lock_guard<std::mutex> L(Sh.Mu);
+  auto It = Sh.Map.find(V.key());
+  if (It != Sh.Map.end())
+    return *It->second;
+  auto St = std::make_unique<VarState>();
+  St->V = V;
+  VarState *Raw = St.get();
+  Sh.Map.emplace(V.key(), std::move(St));
+  Sh.ByObject[V.Object].push_back(Raw);
+  return *Raw;
+}
+
+GoldilocksEngine::ThreadState &GoldilocksEngine::threadState(ThreadId T) {
+  std::lock_guard<std::mutex> L(ThreadsMu);
+  auto It = Threads.find(T);
+  if (It != Threads.end())
+    return *It->second;
+  auto St = std::make_unique<ThreadState>();
+  ThreadState *Raw = St.get();
+  Threads.emplace(T, std::move(St));
+  return *Raw;
+}
+
+void GoldilocksEngine::retainCell(Cell *C) {
+  C->RefCount.fetch_add(1, std::memory_order_relaxed);
+}
+
+void GoldilocksEngine::releaseCell(Cell *C) {
+  [[maybe_unused]] uint32_t Old =
+      C->RefCount.fetch_sub(1, std::memory_order_relaxed);
+  assert(Old > 0 && "cell refcount underflow");
+}
+
+void GoldilocksEngine::dropInfo(Info &I) {
+  if (!I.Valid)
+    return;
+  releaseCell(I.Pos);
+  I = Info();
+}
+
+//===----------------------------------------------------------------------===//
+// Event list
+//===----------------------------------------------------------------------===//
+
+void GoldilocksEngine::enqueue(SyncEvent E, std::unique_ptr<CommitSets> Owned) {
+  auto *C = new Cell;
+  C->OwnedCommit = std::move(Owned);
+  C->Event = E;
+  if (C->OwnedCommit)
+    C->Event.Commit = C->OwnedCommit.get();
+  {
+    std::lock_guard<std::mutex> L(ListMu);
+    C->Seq = NextSeq++;
+    Cell *Prev = Last.load(std::memory_order_relaxed);
+    Prev->Next.store(C, std::memory_order_release);
+    Last.store(C, std::memory_order_release);
+    ListLen.fetch_add(1, std::memory_order_relaxed);
+  }
+  S->SyncEvents.fetch_add(1, std::memory_order_relaxed);
+  S->CellsAllocated.fetch_add(1, std::memory_order_relaxed);
+}
+
+void GoldilocksEngine::maybeCollect() {
+  if (Cfg.GcThreshold &&
+      ListLen.load(std::memory_order_relaxed) >= Cfg.GcThreshold)
+    collectGarbage();
+}
+
+size_t GoldilocksEngine::eventListLength() const {
+  return ListLen.load(std::memory_order_relaxed);
+}
+
+size_t GoldilocksEngine::distinctVarsChecked() const {
+  size_t Total = 0;
+  for (unsigned I = 0; I != NumShards; ++I) {
+    std::lock_guard<std::mutex> L(Shards[I].Mu);
+    Total += Shards[I].Map.size();
+  }
+  return Total;
+}
+
+//===----------------------------------------------------------------------===//
+// Synchronization hooks
+//===----------------------------------------------------------------------===//
+
+void GoldilocksEngine::onAcquire(ThreadId T, ObjectId O) {
+  threadState(T).HeldLocks.push_back(O);
+  SyncEvent E;
+  E.Kind = ActionKind::Acquire;
+  E.Thread = T;
+  E.Var = lockVar(O);
+  enqueue(E);
+  maybeCollect();
+}
+
+void GoldilocksEngine::onRelease(ThreadId T, ObjectId O) {
+  auto &Held = threadState(T).HeldLocks;
+  auto It = std::find(Held.rbegin(), Held.rend(), O);
+  if (It != Held.rend())
+    Held.erase(std::next(It).base());
+  SyncEvent E;
+  E.Kind = ActionKind::Release;
+  E.Thread = T;
+  E.Var = lockVar(O);
+  enqueue(E);
+  maybeCollect();
+}
+
+void GoldilocksEngine::onVolatileRead(ThreadId T, VarId V) {
+  SyncEvent E;
+  E.Kind = ActionKind::VolatileRead;
+  E.Thread = T;
+  E.Var = V;
+  enqueue(E);
+  maybeCollect();
+}
+
+void GoldilocksEngine::onVolatileWrite(ThreadId T, VarId V) {
+  SyncEvent E;
+  E.Kind = ActionKind::VolatileWrite;
+  E.Thread = T;
+  E.Var = V;
+  enqueue(E);
+  maybeCollect();
+}
+
+void GoldilocksEngine::onFork(ThreadId T, ThreadId Child) {
+  SyncEvent E;
+  E.Kind = ActionKind::Fork;
+  E.Thread = T;
+  E.Target = Child;
+  enqueue(E);
+  maybeCollect();
+}
+
+void GoldilocksEngine::onJoin(ThreadId T, ThreadId Child) {
+  SyncEvent E;
+  E.Kind = ActionKind::Join;
+  E.Thread = T;
+  E.Target = Child;
+  enqueue(E);
+  maybeCollect();
+}
+
+void GoldilocksEngine::onTerminate(ThreadId T) {
+  SyncEvent E;
+  E.Kind = ActionKind::Terminate;
+  E.Thread = T;
+  enqueue(E);
+  maybeCollect();
+}
+
+void GoldilocksEngine::onAlloc(ThreadId T, ObjectId O, uint32_t FieldCount) {
+  (void)T;
+  (void)FieldCount;
+  // Rule 8: every variable of the (re)allocated object becomes fresh.
+  std::shared_lock<std::shared_mutex> G(GcMu);
+  Shard &Sh = Shards[VarIdHash()(VarId{O, 0}) % NumShards];
+  // Variables of one object can land in different shards (the hash covers
+  // the field too), so consult every shard's per-object index.
+  for (unsigned I = 0; I != NumShards; ++I) {
+    Shard &SI = Shards[I];
+    std::unique_lock<std::mutex> L(SI.Mu);
+    auto It = SI.ByObject.find(O);
+    if (It == SI.ByObject.end())
+      continue;
+    std::vector<VarState *> States = It->second;
+    L.unlock();
+    for (VarState *St : States) {
+      std::lock_guard<std::mutex> KL(St->KL);
+      dropInfo(St->Write);
+      for (auto &[Tid, RI] : St->Reads) {
+        (void)Tid;
+        dropInfo(RI);
+      }
+      St->Reads.clear();
+      St->Disabled = false;
+    }
+  }
+  (void)Sh;
+}
+
+//===----------------------------------------------------------------------===//
+// Access checking (Figure 8 Handle-Action / Check-Happens-Before)
+//===----------------------------------------------------------------------===//
+
+bool GoldilocksEngine::walkWindow(Lockset LS, const Cell *From, uint64_t ToSeq,
+                                  ThreadId T, bool Xact, VarId V,
+                                  bool Filtered, ThreadId FilterA,
+                                  const CommitSets *SelfCommit) {
+  auto Owned = [&]() {
+    return LS.containsThread(T) || (Xact && LS.containsTxnLock());
+  };
+  if (Owned())
+    return true;
+  const Cell *C = From->Next.load(std::memory_order_acquire);
+  while (C && C->Seq <= ToSeq) {
+    if (!Filtered || C->Event.Thread == T || C->Event.Thread == FilterA) {
+      applyLocksetRule(LS, C->Event, V, Cfg.Semantics);
+      S->CellsWalked.fetch_add(1, std::memory_order_relaxed);
+      if (Owned())
+        return true;
+    }
+    C = C->Next.load(std::memory_order_acquire);
+  }
+  // For a transactional access, the current commit synchronizes with the
+  // earlier commits whose published variables its sets intersect (per the
+  // configured semantics): rule 9's first clause, applied here because the
+  // commit's own cell is excluded from the window.
+  if (SelfCommit && commitGainsOwnership(LS, *SelfCommit, Cfg.Semantics)) {
+    LS.insert(LocksetElem::thread(T));
+    return true;
+  }
+  return false;
+}
+
+bool GoldilocksEngine::orderedBefore(const Info &Prev, ThreadId T,
+                                     bool Xact) {
+  // Short circuit 1: both accesses transactional (Figure 8 line 1).
+  if (Cfg.EnableXactShortCircuit && Prev.Xact && Xact) {
+    S->Sc1Xact.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  // Short circuit 2: same thread — ordered by program order.
+  if (Cfg.EnableSameThreadShortCircuit && Prev.Owner == T) {
+    S->Sc2SameThread.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  // Short circuit 3: a lock held at the previous access is held now.
+  if (Cfg.EnableALockShortCircuit && Prev.HasALock) {
+    const auto &Held = threadState(T).HeldLocks;
+    if (std::find(Held.begin(), Held.end(), Prev.ALock) != Held.end()) {
+      S->Sc3ALock.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::optional<RaceReport>
+GoldilocksEngine::accessImpl(ThreadId T, VarId V, bool IsWrite, bool Xact,
+                             Cell *PosOverride, const CommitSets *SelfCommit) {
+  std::shared_lock<std::shared_mutex> G(GcMu);
+  VarState &St = varState(V);
+  std::lock_guard<std::mutex> KL(St.KL);
+  S->Accesses.fetch_add(1, std::memory_order_relaxed);
+  if (St.Disabled) {
+    S->SkippedDisabled.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+
+  // The access's position: the latest sync event it comes after. The
+  // window checked against a previous access is (Prev.Pos, PosC].
+  Cell *PosC = PosOverride ? PosOverride : Last.load(std::memory_order_acquire);
+  uint64_t ToSeq = PosC->Seq;
+
+  std::optional<RaceReport> Race;
+  auto Check = [&](const Info &Prev, bool PrevIsWrite) {
+    if (Race || !Prev.Valid)
+      return;
+    S->PairChecks.fetch_add(1, std::memory_order_relaxed);
+    if (orderedBefore(Prev, T, Xact))
+      return;
+    // Thread-filtered fast walk, then the full lockset computation.
+    if (Cfg.EnableFilteredWalk &&
+        walkWindow(Prev.LS, Prev.Pos, ToSeq, T, Xact, V, /*Filtered=*/true,
+                   Prev.Owner, SelfCommit)) {
+      S->FilteredWalks.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    S->FullWalks.fetch_add(1, std::memory_order_relaxed);
+    if (walkWindow(Prev.LS, Prev.Pos, ToSeq, T, Xact, V, /*Filtered=*/false,
+                   Prev.Owner, SelfCommit))
+      return;
+    RaceReport R;
+    R.Var = V;
+    R.Thread = T;
+    R.IsWrite = IsWrite;
+    R.Xact = Xact;
+    R.PriorThread = Prev.Owner;
+    R.PriorIsWrite = PrevIsWrite;
+    R.PriorXact = Prev.Xact;
+    Race = R;
+  };
+
+  Check(St.Write, /*PrevIsWrite=*/true);
+  if (IsWrite)
+    for (auto &[Tid, RI] : St.Reads) {
+      (void)Tid;
+      Check(RI, /*PrevIsWrite=*/false);
+    }
+
+  if (Race) {
+    S->Races.fetch_add(1, std::memory_order_relaxed);
+    if (Cfg.DisableVarAfterRace) {
+      St.Disabled = true;
+      dropInfo(St.Write);
+      for (auto &[Tid, RI] : St.Reads) {
+        (void)Tid;
+        dropInfo(RI);
+      }
+      St.Reads.clear();
+    }
+    return Race;
+  }
+
+  // Install the new Info (Figure 8 lines 4-9 / 12-23): after the access the
+  // variable's lockset is {t} (plus TL inside a transaction).
+  Info NI;
+  NI.Owner = T;
+  NI.Xact = Xact;
+  NI.Valid = true;
+  NI.LS.resetToOwner(T, Xact);
+  NI.Pos = PosC;
+  retainCell(PosC);
+  {
+    const auto &Held = threadState(T).HeldLocks;
+    if (!Held.empty()) {
+      NI.ALock = Held.back();
+      NI.HasALock = true;
+    }
+  }
+
+  if (IsWrite) {
+    dropInfo(St.Write);
+    for (auto &[Tid, RI] : St.Reads) {
+      (void)Tid;
+      dropInfo(RI);
+    }
+    St.Reads.clear();
+    St.Write = std::move(NI);
+  } else {
+    for (auto &[Tid, RI] : St.Reads)
+      if (Tid == T) {
+        dropInfo(RI);
+        RI = std::move(NI);
+        return std::nullopt;
+      }
+    St.Reads.emplace_back(T, std::move(NI));
+  }
+  return std::nullopt;
+}
+
+void GoldilocksEngine::commitPoint(ThreadId T, const CommitSets &CS) {
+  S->Commits.fetch_add(1, std::memory_order_relaxed);
+  // Figure 8 line 25: insert the commit action into the event list. The
+  // replayed checks will anchor at the cell *preceding* the commit so that
+  // (a) the check window does not apply the commit's own rule-9 ownership
+  // reset to itself (which would make every transactional check trivially
+  // pass), and (b) future walks starting at the installed Infos do
+  // traverse the commit cell, whose clause (c) publishes R∪W into the
+  // locksets (the Figure 7 "end_tr" step).
+  Cell *Anchor;
+  {
+    std::shared_lock<std::shared_mutex> G(GcMu);
+    Anchor = Last.load(std::memory_order_acquire);
+    retainCell(Anchor);
+  }
+  SyncEvent E;
+  E.Kind = ActionKind::Commit;
+  E.Thread = T;
+  enqueue(E, std::make_unique<CommitSets>(CS));
+  ThreadState &TS = threadState(T);
+  assert(!TS.PendingAnchor && "unbalanced commitPoint/finishCommit");
+  TS.PendingAnchor = Anchor;
+}
+
+std::vector<RaceReport> GoldilocksEngine::finishCommit(ThreadId T,
+                                                       const CommitSets &CS) {
+  // Figure 8 lines 26-28: check every variable in R and W like a regular
+  // access with the xact flag set.
+  ThreadState &TS = threadState(T);
+  Cell *Anchor = TS.PendingAnchor;
+  TS.PendingAnchor = nullptr;
+  assert(Anchor && "finishCommit without commitPoint");
+
+  std::vector<RaceReport> Races;
+  for (VarId V : CS.Reads)
+    if (auto R =
+            accessImpl(T, V, /*IsWrite=*/false, /*Xact=*/true, Anchor, &CS))
+      Races.push_back(*R);
+  for (VarId V : CS.Writes)
+    if (auto R =
+            accessImpl(T, V, /*IsWrite=*/true, /*Xact=*/true, Anchor, &CS))
+      Races.push_back(*R);
+  {
+    std::shared_lock<std::shared_mutex> G(GcMu);
+    releaseCell(Anchor);
+  }
+  maybeCollect();
+  return Races;
+}
+
+std::vector<RaceReport> GoldilocksEngine::onCommit(ThreadId T,
+                                                   const CommitSets &CS) {
+  commitPoint(T, CS);
+  return finishCommit(T, CS);
+}
+
+void GoldilocksEngine::enableVar(VarId V) {
+  std::shared_lock<std::shared_mutex> G(GcMu);
+  VarState &St = varState(V);
+  std::lock_guard<std::mutex> KL(St.KL);
+  St.Disabled = false;
+}
+
+//===----------------------------------------------------------------------===//
+// Garbage collection and partially-eager evaluation (Section 5.4)
+//===----------------------------------------------------------------------===//
+
+void GoldilocksEngine::collectGarbage() {
+  std::unique_lock<std::shared_mutex> G(GcMu);
+  S->GcRuns.fetch_add(1, std::memory_order_relaxed);
+
+  auto TrimPrefix = [&] {
+    std::lock_guard<std::mutex> L(ListMu);
+    Cell *LastCell = Last.load(std::memory_order_relaxed);
+    while (Head != LastCell &&
+           Head->RefCount.load(std::memory_order_relaxed) == 0) {
+      Cell *Next = Head->Next.load(std::memory_order_relaxed);
+      delete Head;
+      Head = Next;
+      ListLen.fetch_sub(1, std::memory_order_relaxed);
+      S->CellsFreed.fetch_add(1, std::memory_order_relaxed);
+    }
+  };
+
+  // Phase 1: plain reference-count collection of the unreferenced prefix.
+  TrimPrefix();
+  if (!Cfg.GcThreshold ||
+      ListLen.load(std::memory_order_relaxed) < Cfg.GcThreshold)
+    return;
+
+  // Phase 2: partially-eager lockset evaluation. Pick the boundary cell at
+  // TrimFraction of the list, advance every Info anchored before it to the
+  // boundary (computing its intermediate lockset on the way), then trim.
+  size_t Steps = static_cast<size_t>(
+      static_cast<double>(ListLen.load(std::memory_order_relaxed)) *
+      Cfg.TrimFraction);
+  Steps = std::max<size_t>(Steps, 1);
+  Cell *Boundary = Head;
+  Cell *LastCell = Last.load(std::memory_order_relaxed);
+  for (size_t I = 0; I != Steps && Boundary != LastCell; ++I)
+    Boundary = Boundary->Next.load(std::memory_order_relaxed);
+  uint64_t BSeq = Boundary->Seq;
+
+  auto Advance = [&](Info &I, VarId V) {
+    if (!I.Valid || I.Pos->Seq >= BSeq)
+      return;
+    const Cell *C = I.Pos->Next.load(std::memory_order_relaxed);
+    while (C && C->Seq <= BSeq) {
+      applyLocksetRule(I.LS, C->Event, V, Cfg.Semantics);
+      C = C->Next.load(std::memory_order_relaxed);
+    }
+    releaseCell(I.Pos);
+    retainCell(Boundary);
+    I.Pos = Boundary;
+    S->EagerAdvances.fetch_add(1, std::memory_order_relaxed);
+  };
+
+  for (unsigned I = 0; I != NumShards; ++I) {
+    Shard &Sh = Shards[I];
+    std::lock_guard<std::mutex> L(Sh.Mu);
+    for (auto &[Key, St] : Sh.Map) {
+      (void)Key;
+      std::lock_guard<std::mutex> KL(St->KL);
+      Advance(St->Write, St->V);
+      for (auto &[Tid, RI] : St->Reads) {
+        (void)Tid;
+        Advance(RI, St->V);
+      }
+    }
+  }
+  TrimPrefix();
+}
+
+EngineStats GoldilocksEngine::stats() const {
+  EngineStats Out;
+  auto L = [](const std::atomic<uint64_t> &A) {
+    return A.load(std::memory_order_relaxed);
+  };
+  Out.Accesses = L(S->Accesses);
+  Out.PairChecks = L(S->PairChecks);
+  Out.Sc1Xact = L(S->Sc1Xact);
+  Out.Sc2SameThread = L(S->Sc2SameThread);
+  Out.Sc3ALock = L(S->Sc3ALock);
+  Out.FilteredWalks = L(S->FilteredWalks);
+  Out.FullWalks = L(S->FullWalks);
+  Out.CellsWalked = L(S->CellsWalked);
+  Out.CellsAllocated = L(S->CellsAllocated);
+  Out.CellsFreed = L(S->CellsFreed);
+  Out.GcRuns = L(S->GcRuns);
+  Out.EagerAdvances = L(S->EagerAdvances);
+  Out.Races = L(S->Races);
+  Out.SkippedDisabled = L(S->SkippedDisabled);
+  Out.SyncEvents = L(S->SyncEvents);
+  Out.Commits = L(S->Commits);
+  return Out;
+}

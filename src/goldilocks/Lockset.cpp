@@ -1,0 +1,66 @@
+//===- goldilocks/Lockset.cpp ---------------------------------------------===//
+
+#include "goldilocks/Lockset.h"
+
+#include <algorithm>
+
+using namespace gold;
+
+std::string LocksetElem::str() const {
+  switch (Kind) {
+  case Thread:
+    return "T" + std::to_string(threadId());
+  case VolVar:
+  case DataVar:
+    return Var.str();
+  case TxnLock:
+    return "TL";
+  }
+  return "?";
+}
+
+bool Lockset::contains(const LocksetElem &E) const {
+  return std::find(Elems.begin(), Elems.end(), E) != Elems.end();
+}
+
+bool Lockset::insert(const LocksetElem &E) {
+  if (contains(E))
+    return false;
+  Elems.push_back(E);
+  return true;
+}
+
+void Lockset::resetToOwner(ThreadId T, bool Xact) {
+  Elems.clear();
+  Elems.push_back(LocksetElem::thread(T));
+  if (Xact)
+    Elems.push_back(LocksetElem::txnLock());
+}
+
+bool Lockset::intersectsDataVars(const std::vector<VarId> &Vars) const {
+  for (const LocksetElem &E : Elems)
+    if (E.Kind == LocksetElem::DataVar &&
+        std::find(Vars.begin(), Vars.end(), E.Var) != Vars.end())
+      return true;
+  return false;
+}
+
+std::string Lockset::str() const {
+  std::string Out = "{";
+  for (size_t I = 0; I != Elems.size(); ++I) {
+    if (I)
+      Out += ", ";
+    Out += Elems[I].str();
+  }
+  Out += "}";
+  return Out;
+}
+
+bool gold::operator==(const Lockset &A, const Lockset &B) {
+  if (A.size() != B.size())
+    return false;
+  for (const LocksetElem &E : A.Elems)
+    if (!B.contains(E))
+      return false;
+  return true;
+}

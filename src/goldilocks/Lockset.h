@@ -1,0 +1,121 @@
+//===- goldilocks/Lockset.h - Goldilocks lockset values ---------*- C++ -*-===//
+///
+/// \file
+/// The lockset domain of the generalized Goldilocks algorithm (Section 4).
+/// A lockset LS(o,d) is a subset of
+///
+///   (Addr × Volatile) ∪ (Addr × Data) ∪ Tid ∪ { TL }
+///
+/// i.e. it may contain volatile variables (including the implicit lock
+/// variable (o,l) of every object), data variables, thread identifiers, and
+/// the special transaction-lock value TL. Unlike Eraser-style locksets,
+/// Goldilocks locksets *grow* as synchronization events transfer ownership.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GOLD_GOLDILOCKS_LOCKSET_H
+#define GOLD_GOLDILOCKS_LOCKSET_H
+
+#include "event/Ids.h"
+
+#include <string>
+#include <vector>
+
+namespace gold {
+
+/// One element of a lockset.
+struct LocksetElem {
+  enum KindTy : uint8_t {
+    Thread,   ///< A thread identifier t ∈ Tid.
+    VolVar,   ///< A volatile variable (o,v); (o,LockField) is the lock of o.
+    DataVar,  ///< A data variable (o,d) (added by transaction commits).
+    TxnLock,  ///< The fictitious global transaction lock TL.
+  };
+
+  KindTy Kind = Thread;
+  VarId Var;          // VolVar/DataVar payload; Var.Object holds the tid for
+                      // Thread elements.
+
+  static LocksetElem thread(ThreadId T) {
+    LocksetElem E;
+    E.Kind = Thread;
+    E.Var = VarId{T, 0};
+    return E;
+  }
+  static LocksetElem lock(ObjectId O) { return volVar(lockVar(O)); }
+  static LocksetElem volVar(VarId V) {
+    LocksetElem E;
+    E.Kind = VolVar;
+    E.Var = V;
+    return E;
+  }
+  static LocksetElem dataVar(VarId V) {
+    LocksetElem E;
+    E.Kind = DataVar;
+    E.Var = V;
+    return E;
+  }
+  static LocksetElem txnLock() {
+    LocksetElem E;
+    E.Kind = TxnLock;
+    return E;
+  }
+
+  ThreadId threadId() const { return Var.Object; }
+
+  friend bool operator==(const LocksetElem &A, const LocksetElem &B) {
+    if (A.Kind != B.Kind)
+      return false;
+    if (A.Kind == TxnLock)
+      return true;
+    return A.Var == B.Var;
+  }
+
+  /// Renders e.g. "T2", "o1.lock", "o3.f0", "TL".
+  std::string str() const;
+};
+
+/// A small set of LocksetElems. Locksets are typically tiny (a handful of
+/// elements), so a flat vector with linear membership tests beats hashing.
+class Lockset {
+public:
+  Lockset() = default;
+
+  bool empty() const { return Elems.empty(); }
+  size_t size() const { return Elems.size(); }
+  void clear() { Elems.clear(); }
+
+  bool contains(const LocksetElem &E) const;
+  bool containsThread(ThreadId T) const {
+    return contains(LocksetElem::thread(T));
+  }
+  bool containsTxnLock() const { return contains(LocksetElem::txnLock()); }
+
+  /// Inserts \p E if absent; returns true if it was inserted.
+  bool insert(const LocksetElem &E);
+
+  /// Resets to the singleton {t}, plus TL when \p Xact is set — the state of
+  /// a variable's lockset immediately after an access (Section 4).
+  void resetToOwner(ThreadId T, bool Xact);
+
+  /// Returns true if the set contains any of the data variables in \p Vars
+  /// (used by the commit rule's LS ∩ (R ∪ W) test).
+  bool intersectsDataVars(const std::vector<VarId> &Vars) const;
+
+  const std::vector<LocksetElem> &elems() const { return Elems; }
+
+  /// Renders e.g. "{T1, o2.lock, T2}" preserving insertion order, so unit
+  /// tests can assert the exact evolutions shown in Figures 6 and 7.
+  std::string str() const;
+
+  friend bool operator==(const Lockset &A, const Lockset &B);
+
+private:
+  std::vector<LocksetElem> Elems;
+};
+
+bool operator==(const Lockset &A, const Lockset &B);
+
+} // namespace gold
+
+#endif // GOLD_GOLDILOCKS_LOCKSET_H

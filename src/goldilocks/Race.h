@@ -1,0 +1,45 @@
+//===- goldilocks/Race.h - Race reports -------------------------*- C++ -*-===//
+///
+/// \file
+/// The report a detector produces when an access about to execute would
+/// create a data race. In the MiniJVM this becomes a DataRaceException.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GOLD_GOLDILOCKS_RACE_H
+#define GOLD_GOLDILOCKS_RACE_H
+
+#include "event/Ids.h"
+
+#include <string>
+
+namespace gold {
+
+/// Description of one detected race: the current access on Var conflicts
+/// with an earlier happens-before-unordered access.
+struct RaceReport {
+  VarId Var;
+  ThreadId Thread = NoThread;      ///< Thread performing the racy access.
+  ThreadId PriorThread = NoThread; ///< Thread of the conflicting access.
+  bool IsWrite = false;            ///< Current access is a write.
+  bool PriorIsWrite = false;       ///< Conflicting access was a write.
+  bool Xact = false;               ///< Current access is transactional.
+  bool PriorXact = false;          ///< Conflicting access was transactional.
+
+  /// Renders e.g. "race on o2.f0: T1 write vs T0 read".
+  std::string str() const {
+    auto Side = [](ThreadId T, bool W, bool X) {
+      std::string S = "T" + std::to_string(T);
+      S += W ? " write" : " read";
+      if (X)
+        S += " (txn)";
+      return S;
+    };
+    return "race on " + Var.str() + ": " + Side(Thread, IsWrite, Xact) +
+           " vs " + Side(PriorThread, PriorIsWrite, PriorXact);
+  }
+};
+
+} // namespace gold
+
+#endif // GOLD_GOLDILOCKS_RACE_H

@@ -1,0 +1,91 @@
+//===- goldilocks/Reference.h - Eager Figure 5 implementation ---*- C++ -*-===//
+///
+/// \file
+/// The direct, eager implementation of the generalized Goldilocks algorithm:
+/// every data variable keeps explicit locksets (one per last write, one per
+/// last read per thread since the last write — the read/write distinction of
+/// Section 5), and every synchronization event applies the Figure 5 rules to
+/// *all* locksets. This is O(#variables) per synchronization event — the
+/// cost the engine's lazy evaluation avoids — but its simplicity makes it
+/// the differential-testing authority for the optimized engine.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GOLD_GOLDILOCKS_REFERENCE_H
+#define GOLD_GOLDILOCKS_REFERENCE_H
+
+#include "goldilocks/Race.h"
+#include "goldilocks/Rules.h"
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+namespace gold {
+
+/// Eager reference detector. Not thread-safe: intended for linearized
+/// traces (tests, oracles), not for online use inside the MiniJVM.
+class GoldilocksReference {
+public:
+  struct Config {
+    /// Stop checking a variable after its first reported race (the paper's
+    /// measurement methodology, Section 6).
+    bool DisableVarAfterRace = true;
+    /// Commit-synchronization interpretation (Section 3 variants).
+    TxnSyncSemantics Semantics = TxnSyncSemantics::SharedVariable;
+  };
+
+  GoldilocksReference() = default;
+  explicit GoldilocksReference(Config C) : Cfg(C) {}
+
+  /// Data access hooks; return a report when the access races.
+  std::optional<RaceReport> onRead(ThreadId T, VarId V) {
+    return access(T, V, /*IsWrite=*/false, /*Xact=*/false);
+  }
+  std::optional<RaceReport> onWrite(ThreadId T, VarId V) {
+    return access(T, V, /*IsWrite=*/true, /*Xact=*/false);
+  }
+
+  /// Synchronization hooks.
+  void onAcquire(ThreadId T, ObjectId O);
+  void onRelease(ThreadId T, ObjectId O);
+  void onVolatileRead(ThreadId T, VarId V);
+  void onVolatileWrite(ThreadId T, VarId V);
+  void onFork(ThreadId T, ThreadId Child);
+  void onJoin(ThreadId T, ThreadId Child);
+  void onTerminate(ThreadId T);
+
+  /// alloc(o): rule 8 — every lockset of the object resets to empty.
+  void onAlloc(ThreadId T, ObjectId O, uint32_t FieldCount);
+
+  /// commit(R, W): rule 9. Reports at most one race per accessed variable.
+  std::vector<RaceReport> onCommit(ThreadId T, const CommitSets &CS);
+
+  /// Exposes the lockset a subsequent *write* access to V would be checked
+  /// against (the variable's write lockset). Used by the Figure 6/7
+  /// regeneration harness and by unit tests.
+  const Lockset *writeLockset(VarId V) const;
+
+  /// Exposes the read lockset of V for thread T, if any.
+  const Lockset *readLockset(VarId V, ThreadId T) const;
+
+private:
+  struct VarState {
+    Lockset Write;          // lockset after the last write ({} = no write)
+    bool HasWrite = false;
+    std::unordered_map<ThreadId, Lockset> Reads; // since last write
+    bool Disabled = false;
+  };
+
+  std::optional<RaceReport> access(ThreadId T, VarId V, bool IsWrite,
+                                   bool Xact);
+  void applyToAll(const SyncEvent &E);
+  VarState &state(VarId V) { return Vars[V]; }
+
+  Config Cfg;
+  std::unordered_map<VarId, VarState, VarIdHash> Vars;
+};
+
+} // namespace gold
+
+#endif // GOLD_GOLDILOCKS_REFERENCE_H

@@ -1,0 +1,99 @@
+//===- goldilocks/Rules.cpp -----------------------------------------------===//
+
+#include "goldilocks/Rules.h"
+
+#include <cassert>
+
+using namespace gold;
+
+SyncEvent SyncEvent::fromAction(const Action &A, const Trace &T) {
+  assert(isSyncKind(A.Kind) && "not a synchronization action");
+  SyncEvent E;
+  E.Kind = A.Kind;
+  E.Thread = A.Thread;
+  E.Var = A.Var;
+  E.Target = A.Target;
+  if (A.Kind == ActionKind::Commit)
+    E.Commit = &T.commitSets(A);
+  return E;
+}
+
+std::string SyncEvent::str() const {
+  Action A;
+  A.Kind = Kind;
+  A.Thread = Thread;
+  A.Var = Var;
+  A.Target = Target;
+  return A.str();
+}
+
+bool gold::commitGainsOwnership(const Lockset &LS, const CommitSets &CS,
+                                TxnSyncSemantics Semantics) {
+  switch (Semantics) {
+  case TxnSyncSemantics::SharedVariable:
+    return LS.intersectsDataVars(CS.Reads) ||
+           LS.intersectsDataVars(CS.Writes);
+  case TxnSyncSemantics::AtomicOrder:
+    return LS.containsTxnLock() || LS.intersectsDataVars(CS.Reads) ||
+           LS.intersectsDataVars(CS.Writes);
+  case TxnSyncSemantics::WriterToReader:
+    return LS.intersectsDataVars(CS.Reads);
+  }
+  return false;
+}
+
+void gold::applyLocksetRule(Lockset &LS, const SyncEvent &E, VarId V,
+                            TxnSyncSemantics Semantics) {
+  switch (E.Kind) {
+  case ActionKind::VolatileRead: // rule 2 (also covers acq via (o,l))
+  case ActionKind::Acquire:      // rule 4
+    if (LS.contains(LocksetElem::volVar(E.Var)))
+      LS.insert(LocksetElem::thread(E.Thread));
+    break;
+  case ActionKind::VolatileWrite: // rule 3
+  case ActionKind::Release:       // rule 5
+    if (LS.containsThread(E.Thread))
+      LS.insert(LocksetElem::volVar(E.Var));
+    break;
+  case ActionKind::Fork: // rule 6
+    if (LS.containsThread(E.Thread))
+      LS.insert(LocksetElem::thread(E.Target));
+    break;
+  case ActionKind::Join: // rule 7
+    if (LS.containsThread(E.Target))
+      LS.insert(LocksetElem::thread(E.Thread));
+    break;
+  case ActionKind::Commit: { // rule 9 (sans the access race check)
+    assert(E.Commit && "commit event without sets");
+    const CommitSets &CS = *E.Commit;
+    // Clause (a): the committer becomes an owner if it synchronizes with
+    // an earlier publisher (interpretation per Semantics).
+    if (commitGainsOwnership(LS, CS, Semantics))
+      LS.insert(LocksetElem::thread(E.Thread));
+    // If the transaction accessed V itself, ownership resets to {t, TL}.
+    // (During engine window walks this only occurs transiently when another
+    // thread's commit replay has not yet updated the Info records; the
+    // race check for that access happens in the replay itself.)
+    if (CS.touches(V))
+      LS.resetToOwner(E.Thread, /*Xact=*/true);
+    // Clause (c): publish what later commits may synchronize on.
+    if (LS.containsThread(E.Thread)) {
+      if (Semantics != TxnSyncSemantics::WriterToReader)
+        for (VarId R : CS.Reads)
+          LS.insert(LocksetElem::dataVar(R));
+      for (VarId W : CS.Writes)
+        LS.insert(LocksetElem::dataVar(W));
+      if (Semantics == TxnSyncSemantics::AtomicOrder)
+        LS.insert(LocksetElem::txnLock());
+    }
+    break;
+  }
+  case ActionKind::Terminate:
+    break; // no lockset effect; join edges are induced by rule 7
+  case ActionKind::Alloc:
+  case ActionKind::Read:
+  case ActionKind::Write:
+    assert(false && "data/alloc actions do not flow through lockset rules");
+    break;
+  }
+}

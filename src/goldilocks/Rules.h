@@ -1,0 +1,70 @@
+//===- goldilocks/Rules.h - The Figure 5 lockset update rules ---*- C++ -*-===//
+///
+/// \file
+/// The per-synchronization-event lockset update rules of the generalized
+/// Goldilocks algorithm (Figure 5), factored so that both the eager
+/// reference implementation and the lazy engine's event-list window walks
+/// apply literally the same code:
+///
+///   2. read(o,v)  by t: if (o,v) ∈ LS  add t
+///   3. write(o,v) by t: if t ∈ LS      add (o,v)
+///   4. acq(o)     by t: if (o,l) ∈ LS  add t
+///   5. rel(o)     by t: if t ∈ LS      add (o,l)
+///   6. fork(u)    by t: if t ∈ LS      add u
+///   7. join(u)    by t: if u ∈ LS      add t
+///   9. commit(R,W) by t:
+///        if LS ∩ (R∪W) ≠ ∅             add t
+///        if V ∈ R∪W                    LS := {t, TL}   (ownership reset)
+///        if t ∈ LS                     add R∪W (as data variables)
+///
+/// Rule 1 (plain accesses) and rule 8 (alloc) do not flow through here; they
+/// are the access check / reset handled by the detectors themselves.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GOLD_GOLDILOCKS_RULES_H
+#define GOLD_GOLDILOCKS_RULES_H
+
+#include "event/Trace.h"
+#include "event/TxnSemantics.h"
+#include "goldilocks/Lockset.h"
+
+namespace gold {
+
+/// A synchronization event as it appears in the extended synchronization
+/// order (and in the engine's synchronization event list). Commit events
+/// reference their (R, W) sets, which the owner of the event keeps alive.
+struct SyncEvent {
+  ActionKind Kind = ActionKind::Acquire;
+  ThreadId Thread = 0;
+  VarId Var;                        ///< Volatile variable / lock object.
+  ThreadId Target = NoThread;       ///< Fork/join target.
+  const CommitSets *Commit = nullptr;
+
+  /// Builds a SyncEvent from a trace action (which must be a sync kind).
+  static SyncEvent fromAction(const Action &A, const Trace &T);
+
+  std::string str() const;
+};
+
+/// Applies the Figure 5 rule for \p E to the lockset \p LS of data variable
+/// \p V. \p V is only consulted by the commit rule's ownership reset; pass
+/// it for every call so commits behave uniformly. \p Semantics selects the
+/// commit-synchronization interpretation (Section 3's variants):
+///   - SharedVariable: add t when LS ∩ (R∪W) ≠ ∅; publish R∪W.
+///   - AtomicOrder:    additionally add t when TL ∈ LS, and publish TL —
+///                     TL acts as a global lock acquired at every commit.
+///   - WriterToReader: add t when LS ∩ R ≠ ∅; publish only W.
+void applyLocksetRule(
+    Lockset &LS, const SyncEvent &E, VarId V,
+    TxnSyncSemantics Semantics = TxnSyncSemantics::SharedVariable);
+
+/// The commit rule's "synchronizes with earlier publishers" test (clause
+/// (a) of rule 9) for the given semantics, shared by the rule application
+/// and the engine's self-commit handling.
+bool commitGainsOwnership(const Lockset &LS, const CommitSets &CS,
+                          TxnSyncSemantics Semantics);
+
+} // namespace gold
+
+#endif // GOLD_GOLDILOCKS_RULES_H

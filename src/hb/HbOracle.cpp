@@ -1,0 +1,213 @@
+//===- hb/HbOracle.cpp ----------------------------------------------------===//
+
+#include "hb/HbOracle.h"
+
+#include <cassert>
+
+using namespace gold;
+
+HbAnalysis::HbAnalysis(const Trace &Tr, TxnSyncSemantics Semantics) : T(Tr) {
+  std::vector<VectorClock> ThreadClock;  // indexed by thread
+  std::vector<VectorClock> PendingFork;  // edges waiting for a child's start
+  std::vector<bool> Started;
+  std::unordered_map<ObjectId, VectorClock> LockClock;
+  std::unordered_map<VarId, VectorClock, VarIdHash> VolatileClock;
+  std::unordered_map<VarId, VectorClock, VarIdHash> CommitClock;
+  VectorClock GlobalCommitClock; // AtomicOrder semantics
+
+  ThreadId N = T.threadCount();
+  ThreadClock.resize(N);
+  PendingFork.resize(N);
+  Started.resize(N, false);
+
+  Clocks.reserve(T.Actions.size());
+  for (const Action &A : T.Actions) {
+    ThreadId Tid = A.Thread;
+    assert(Tid < N && "thread id out of range");
+    VectorClock &C = ThreadClock[Tid];
+
+    // A thread's first action inherits the forker's clock at the fork.
+    if (!Started[Tid]) {
+      Started[Tid] = true;
+      C.join(PendingFork[Tid]);
+    }
+
+    // Incoming synchronizes-with edges.
+    switch (A.Kind) {
+    case ActionKind::Acquire:
+      C.join(LockClock[A.Var.Object]);
+      break;
+    case ActionKind::VolatileRead:
+      C.join(VolatileClock[A.Var]);
+      break;
+    case ActionKind::Join:
+      assert(A.Target < N && "joined thread out of range");
+      C.join(ThreadClock[A.Target]);
+      break;
+    case ActionKind::Commit: {
+      const CommitSets &CS = T.commitSets(A);
+      switch (Semantics) {
+      case TxnSyncSemantics::SharedVariable:
+        for (VarId V : CS.Reads)
+          C.join(CommitClock[V]);
+        for (VarId V : CS.Writes)
+          C.join(CommitClock[V]);
+        break;
+      case TxnSyncSemantics::AtomicOrder:
+        C.join(GlobalCommitClock);
+        break;
+      case TxnSyncSemantics::WriterToReader:
+        // Only edges from earlier *writers* of the variables we read.
+        for (VarId V : CS.Reads)
+          C.join(CommitClock[V]);
+        break;
+      }
+      break;
+    }
+    default:
+      break;
+    }
+
+    // The action's timestamp.
+    C.tick(Tid);
+    Clocks.push_back(C);
+
+    // Outgoing synchronizes-with edges.
+    switch (A.Kind) {
+    case ActionKind::Release:
+      LockClock[A.Var.Object].join(C);
+      break;
+    case ActionKind::VolatileWrite:
+      VolatileClock[A.Var].join(C);
+      break;
+    case ActionKind::Fork:
+      assert(A.Target < N && "forked thread out of range");
+      PendingFork[A.Target].join(C);
+      break;
+    case ActionKind::Commit: {
+      const CommitSets &CS = T.commitSets(A);
+      switch (Semantics) {
+      case TxnSyncSemantics::SharedVariable:
+        for (VarId V : CS.Reads)
+          CommitClock[V].join(C);
+        for (VarId V : CS.Writes)
+          CommitClock[V].join(C);
+        break;
+      case TxnSyncSemantics::AtomicOrder:
+        GlobalCommitClock.join(C);
+        break;
+      case TxnSyncSemantics::WriterToReader:
+        for (VarId V : CS.Writes)
+          CommitClock[V].join(C);
+        break;
+      }
+      break;
+    }
+    default:
+      break;
+    }
+  }
+}
+
+bool HbAnalysis::happensBefore(size_t A, size_t B) const {
+  assert(A < Clocks.size() && B < Clocks.size() && "index out of range");
+  if (A >= B)
+    return false;
+  ThreadId Ta = T.Actions[A].Thread;
+  return Clocks[A].get(Ta) <= Clocks[B].get(Ta);
+}
+
+namespace {
+
+/// Bookkeeping entry: one recorded access.
+struct AccessRec {
+  size_t Index = 0;
+  bool Xact = false;
+  bool Valid = false;
+};
+
+/// Per-variable detector-style state.
+struct VarRec {
+  AccessRec LastWrite;
+  std::unordered_map<ThreadId, AccessRec> LastReads; // since last write
+  bool Disabled = false;
+};
+
+} // namespace
+
+RaceOracle::RaceOracle(const Trace &T, TxnSyncSemantics Semantics) {
+  HbAnalysis Hb(T, Semantics);
+  std::unordered_map<ObjectId, std::unordered_map<FieldId, VarRec>> State;
+
+  // Returns true and records a race if Prior and the access at Index on V
+  // are concurrent and not both transactional.
+  auto RacesWith = [&](const AccessRec &Prior, size_t Index, bool Xact,
+                       VarId V) {
+    if (!Prior.Valid || Prior.Index == Index)
+      return false;
+    if (Prior.Xact && Xact)
+      return false; // transactional pairs never race (Section 3)
+    if (!Hb.concurrent(Prior.Index, Index))
+      return false;
+    Races.push_back(OracleRace{V, Prior.Index, Index});
+    RacyVars.insert(V);
+    return true;
+  };
+
+  auto OnRead = [&](VarId V, ThreadId Tid, size_t Index, bool Xact) {
+    VarRec &R = State[V.Object][V.Field];
+    if (R.Disabled)
+      return;
+    if (RacesWith(R.LastWrite, Index, Xact, V)) {
+      R.Disabled = true;
+      return;
+    }
+    R.LastReads[Tid] = AccessRec{Index, Xact, true};
+  };
+
+  auto OnWrite = [&](VarId V, ThreadId Tid, size_t Index, bool Xact) {
+    VarRec &R = State[V.Object][V.Field];
+    if (R.Disabled)
+      return;
+    if (RacesWith(R.LastWrite, Index, Xact, V)) {
+      R.Disabled = true;
+      return;
+    }
+    for (const auto &[ReaderTid, Rec] : R.LastReads) {
+      (void)ReaderTid;
+      if (RacesWith(Rec, Index, Xact, V)) {
+        R.Disabled = true;
+        return;
+      }
+    }
+    R.LastReads.clear();
+    R.LastWrite = AccessRec{Index, Xact, true};
+    (void)Tid;
+  };
+
+  for (size_t I = 0; I != T.Actions.size(); ++I) {
+    const Action &A = T.Actions[I];
+    switch (A.Kind) {
+    case ActionKind::Alloc:
+      // Fresh object: every variable of it starts with an empty history.
+      State.erase(A.Var.Object);
+      break;
+    case ActionKind::Read:
+      OnRead(A.Var, A.Thread, I, /*Xact=*/false);
+      break;
+    case ActionKind::Write:
+      OnWrite(A.Var, A.Thread, I, /*Xact=*/false);
+      break;
+    case ActionKind::Commit: {
+      const CommitSets &CS = T.commitSets(A);
+      for (VarId V : CS.Reads)
+        OnRead(V, A.Thread, I, /*Xact=*/true);
+      for (VarId V : CS.Writes)
+        OnWrite(V, A.Thread, I, /*Xact=*/true);
+      break;
+    }
+    default:
+      break;
+    }
+  }
+}

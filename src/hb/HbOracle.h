@@ -1,0 +1,108 @@
+//===- hb/HbOracle.h - Extended happens-before ground truth -----*- C++ -*-===//
+///
+/// \file
+/// Computes the extended happens-before relation ->ehb of Section 3 over a
+/// linearized trace and derives the set of extended races. ->ehb is the
+/// transitive closure of program order with the extended synchronizes-with
+/// edges:
+///   - rel(o)  ->esw subsequent acq(o)
+///   - volatile write(o,v) ->esw subsequent volatile read(o,v)
+///   - fork(u) ->esw every action of u;   every action of u ->esw join(u)
+///   - commit(R,W) ->esw subsequent commit(R',W') iff (R∪W) ∩ (R'∪W') ≠ ∅
+///
+/// An extended race on data variable (o,d) is an ->ehb-unordered pair where
+///   1. one side is a plain write, the other a plain read or write, or
+///   2. one side is a plain write, the other a commit with (o,d) ∈ R∪W, or
+///   3. one side is a plain read, the other a commit with (o,d) ∈ W.
+/// (Two commits touching a common variable are ordered by construction, so
+/// transactional/transactional pairs never race — the paper's semantics.)
+///
+/// This module is the differential-testing oracle for Theorem 1: Goldilocks
+/// must report a race on exactly the variables (and at exactly the accesses)
+/// this oracle derives.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GOLD_HB_HBORACLE_H
+#define GOLD_HB_HBORACLE_H
+
+#include "event/Trace.h"
+#include "event/TxnSemantics.h"
+#include "hb/VectorClock.h"
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace gold {
+
+/// Per-trace happens-before analysis. Assigns every action its vector clock
+/// and answers ordering queries between action indices.
+class HbAnalysis {
+public:
+  /// Runs the analysis over \p T (kept by reference; must outlive this).
+  /// \p Semantics selects the commit-synchronization interpretation.
+  explicit HbAnalysis(
+      const Trace &T,
+      TxnSyncSemantics Semantics = TxnSyncSemantics::SharedVariable);
+
+  /// Returns true iff action \p A happens-before action \p B (A strictly
+  /// precedes B in the linearization is required for a true result).
+  bool happensBefore(size_t A, size_t B) const;
+
+  /// Returns true iff neither happensBefore(A,B) nor happensBefore(B,A).
+  bool concurrent(size_t A, size_t B) const {
+    return !happensBefore(A, B) && !happensBefore(B, A);
+  }
+
+  /// The clock assigned to action \p Index.
+  const VectorClock &clockOf(size_t Index) const { return Clocks[Index]; }
+
+private:
+  const Trace &T;
+  std::vector<VectorClock> Clocks;
+};
+
+/// A race derived by the oracle: the access at AccessIndex conflicts with the
+/// ->ehb-unordered earlier access at PriorIndex on variable Var.
+struct OracleRace {
+  VarId Var;
+  size_t PriorIndex;
+  size_t AccessIndex;
+
+  friend bool operator==(const OracleRace &A, const OracleRace &B) {
+    return A.Var == B.Var && A.PriorIndex == B.PriorIndex &&
+           A.AccessIndex == B.AccessIndex;
+  }
+};
+
+/// Derives extended races from a trace, mirroring the bookkeeping the
+/// detectors use (last write per variable, last read per thread since the
+/// last write) so first-race positions are comparable, while using exact
+/// vector-clock ordering. After the first race on a variable that variable
+/// is retired, matching the runtime's disable-after-first-race policy (§6).
+class RaceOracle {
+public:
+  explicit RaceOracle(
+      const Trace &T,
+      TxnSyncSemantics Semantics = TxnSyncSemantics::SharedVariable);
+
+  /// Races in trace order (at most one per variable).
+  const std::vector<OracleRace> &races() const { return Races; }
+
+  /// Returns true if a race was derived on \p V.
+  bool isRacy(VarId V) const { return RacyVars.count(V) != 0; }
+
+  /// The set of racy variables.
+  const std::unordered_set<VarId, VarIdHash> &racyVars() const {
+    return RacyVars;
+  }
+
+private:
+  std::vector<OracleRace> Races;
+  std::unordered_set<VarId, VarIdHash> RacyVars;
+};
+
+} // namespace gold
+
+#endif // GOLD_HB_HBORACLE_H

@@ -1,0 +1,73 @@
+//===- hb/VectorClock.h - Vector clocks (Mattern) ---------------*- C++ -*-===//
+///
+/// \file
+/// Vector clocks used by the happens-before oracle and by the vector-clock
+/// baseline detector the paper compares against ("purely vector-clock-based
+/// algorithms are precise but typically computationally expensive", §2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GOLD_HB_VECTORCLOCK_H
+#define GOLD_HB_VECTORCLOCK_H
+
+#include "event/Ids.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace gold {
+
+/// A grow-on-demand vector clock. Missing entries are implicitly zero.
+class VectorClock {
+public:
+  VectorClock() = default;
+
+  /// Returns component \p T (zero if absent).
+  uint32_t get(ThreadId T) const {
+    return T < Clock.size() ? Clock[T] : 0;
+  }
+
+  /// Sets component \p T to \p Value.
+  void set(ThreadId T, uint32_t Value) {
+    if (T >= Clock.size())
+      Clock.resize(T + 1, 0);
+    Clock[T] = Value;
+  }
+
+  /// Increments component \p T.
+  void tick(ThreadId T) { set(T, get(T) + 1); }
+
+  /// Pointwise maximum with \p Other.
+  void join(const VectorClock &Other) {
+    if (Other.Clock.size() > Clock.size())
+      Clock.resize(Other.Clock.size(), 0);
+    for (size_t I = 0; I != Other.Clock.size(); ++I)
+      Clock[I] = std::max(Clock[I], Other.Clock[I]);
+  }
+
+  /// Returns true if *this <= Other pointwise.
+  bool leq(const VectorClock &Other) const {
+    for (size_t I = 0; I != Clock.size(); ++I)
+      if (Clock[I] > Other.get(static_cast<ThreadId>(I)))
+        return false;
+    return true;
+  }
+
+  friend bool operator==(const VectorClock &A, const VectorClock &B) {
+    size_t N = std::max(A.Clock.size(), B.Clock.size());
+    for (size_t I = 0; I != N; ++I)
+      if (A.get(static_cast<ThreadId>(I)) != B.get(static_cast<ThreadId>(I)))
+        return false;
+    return true;
+  }
+
+  /// Number of stored components.
+  size_t size() const { return Clock.size(); }
+
+private:
+  std::vector<uint32_t> Clock;
+};
+
+} // namespace gold
+
+#endif // GOLD_HB_VECTORCLOCK_H

@@ -1,0 +1,136 @@
+//===- stm/Stm.cpp --------------------------------------------------------===//
+
+#include "stm/Stm.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace gold;
+
+StmStore::~StmStore() = default;
+
+bool Transaction::holds(ObjectId O) const {
+  return std::find(Locked.begin(), Locked.end(), O) != Locked.end();
+}
+
+void Transaction::noteRead(VarId V) {
+  auto &R = Sets.Reads;
+  if (std::find(R.begin(), R.end(), V) == R.end())
+    R.push_back(V);
+}
+
+void Transaction::noteWrite(VarId V, uint64_t OldValue) {
+  auto &W = Sets.Writes;
+  if (std::find(W.begin(), W.end(), V) == W.end()) {
+    W.push_back(V);
+    // Only the first write needs a pre-image; later writes to the same
+    // variable are already covered by it.
+    Undo.emplace_back(V, OldValue);
+  }
+}
+
+Transaction *TransactionManager::active(ThreadId T) {
+  std::lock_guard<std::mutex> L(Mu);
+  auto It = Active.find(T);
+  return It == Active.end() ? nullptr : It->second.get();
+}
+
+const Transaction *TransactionManager::active(ThreadId T) const {
+  std::lock_guard<std::mutex> L(Mu);
+  auto It = Active.find(T);
+  return It == Active.end() ? nullptr : It->second.get();
+}
+
+bool TransactionManager::begin(ThreadId T) {
+  std::lock_guard<std::mutex> L(Mu);
+  auto &Slot = Active[T];
+  if (Slot)
+    return false; // no nesting
+  Slot = std::make_unique<Transaction>(T);
+  return true;
+}
+
+bool TransactionManager::inTransaction(ThreadId T) const {
+  return active(T) != nullptr;
+}
+
+bool TransactionManager::ensureLocked(Transaction &Txn, ObjectId O) {
+  if (Txn.holds(O))
+    return true;
+  if (!Store.tryLockObject(O, Txn.owner()))
+    return false;
+  Txn.noteLocked(O);
+  return true;
+}
+
+bool TransactionManager::read(ThreadId T, VarId V, uint64_t &Out) {
+  Transaction *Txn = active(T);
+  assert(Txn && "transactional read outside a transaction");
+  if (!ensureLocked(*Txn, V.Object))
+    return false;
+  Out = Store.loadRaw(V);
+  Txn->noteRead(V);
+  Reads.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool TransactionManager::write(ThreadId T, VarId V, uint64_t Value) {
+  Transaction *Txn = active(T);
+  assert(Txn && "transactional write outside a transaction");
+  if (!ensureLocked(*Txn, V.Object))
+    return false;
+  Txn->noteWrite(V, Store.loadRaw(V));
+  Store.storeRaw(V, Value);
+  Writes.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool TransactionManager::commit(
+    ThreadId T, const std::function<void(const CommitSets &)> &AtCommitPoint) {
+  std::unique_ptr<Transaction> Txn;
+  {
+    std::lock_guard<std::mutex> L(Mu);
+    auto It = Active.find(T);
+    if (It == Active.end() || !It->second)
+      return false;
+    Txn = std::move(It->second);
+    Active.erase(It);
+  }
+  // The first unlock below is the commit point in the Hindman–Grossman
+  // translation; the callback runs before it, while every object lock is
+  // still held, so commit(R, W) enters the detector's synchronization order
+  // at exactly the right position.
+  if (AtCommitPoint)
+    AtCommitPoint(Txn->sets());
+  for (ObjectId O : Txn->lockedObjects())
+    Store.unlockObject(O, T);
+  Commits.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void TransactionManager::abort(ThreadId T) {
+  std::unique_ptr<Transaction> Txn;
+  {
+    std::lock_guard<std::mutex> L(Mu);
+    auto It = Active.find(T);
+    if (It == Active.end() || !It->second)
+      return;
+    Txn = std::move(It->second);
+    Active.erase(It);
+  }
+  const auto &Undo = Txn->undoLog();
+  for (auto It = Undo.rbegin(); It != Undo.rend(); ++It)
+    Store.storeRaw(It->first, It->second);
+  for (ObjectId O : Txn->lockedObjects())
+    Store.unlockObject(O, T);
+  Aborts.fetch_add(1, std::memory_order_relaxed);
+}
+
+StmStats TransactionManager::stats() const {
+  StmStats Out;
+  Out.Commits = Commits.load(std::memory_order_relaxed);
+  Out.Aborts = Aborts.load(std::memory_order_relaxed);
+  Out.Reads = Reads.load(std::memory_order_relaxed);
+  Out.Writes = Writes.load(std::memory_order_relaxed);
+  return Out;
+}

@@ -1,0 +1,174 @@
+//===- stm/Stm.h - Lock-based software transactional memory ----*- C++ -*-===//
+///
+/// \file
+/// A software transactional memory in the style the paper evaluates
+/// (Section 6.1): the source-to-source translation of Hindman & Grossman,
+/// where every shared read/write inside an atomic block is protected by the
+/// accessed object's transaction lock, writes are performed in place with
+/// an undo log, and the commit point is the first lock release.
+///
+/// The race-aware runtime needs exactly two things from a transaction
+/// manager (Section 5.3): the (R, W) sets of each transaction and its
+/// commit point in the global synchronization order. This STM exposes both
+/// through takeCommitSets(), which the VM forwards to the detector as a
+/// commit(R, W) action. The STM's internal per-object locks are an
+/// implementation detail and are deliberately *not* reported to the
+/// detector — that is the modularity argument of Section 5.3 (and the
+/// reason Example 4's lock/transaction mix must still race).
+///
+/// Deadlock is avoided by try-lock with abort-and-retry: a transaction that
+/// cannot obtain an object lock rolls back its undo log, releases its locks
+/// and retries (mimicking "transaction rollback" in the Multiset benchmark).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GOLD_STM_STM_H
+#define GOLD_STM_STM_H
+
+#include "event/Trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+namespace gold {
+
+/// The storage interface the STM runs against. The MiniJVM heap implements
+/// it; unit tests use a toy in-memory table.
+class StmStore {
+public:
+  virtual ~StmStore();
+
+  /// Attempts to take object \p O's transaction lock for thread \p T.
+  /// Returns true on success (or if \p T already holds it).
+  virtual bool tryLockObject(ObjectId O, ThreadId T) = 0;
+
+  /// Releases object \p O's transaction lock (held by \p T).
+  virtual void unlockObject(ObjectId O, ThreadId T) = 0;
+
+  /// Raw 64-bit slot accessors.
+  virtual uint64_t loadRaw(VarId V) = 0;
+  virtual void storeRaw(VarId V, uint64_t Value) = 0;
+};
+
+/// Statistics for the transaction benchmarks (Table 3 reports transaction
+/// and access counts).
+struct StmStats {
+  uint64_t Commits = 0;
+  uint64_t Aborts = 0;
+  uint64_t Reads = 0;
+  uint64_t Writes = 0;
+};
+
+/// One thread's active transaction.
+class Transaction {
+public:
+  explicit Transaction(ThreadId T) : Owner(T) {}
+
+  ThreadId owner() const { return Owner; }
+  bool holds(ObjectId O) const;
+  void noteLocked(ObjectId O) { Locked.push_back(O); }
+
+  /// Records a read of V (deduplicated).
+  void noteRead(VarId V);
+  /// Records a write of V with the pre-image for rollback.
+  void noteWrite(VarId V, uint64_t OldValue);
+
+  const std::vector<ObjectId> &lockedObjects() const { return Locked; }
+  const CommitSets &sets() const { return Sets; }
+  const std::vector<std::pair<VarId, uint64_t>> &undoLog() const {
+    return Undo;
+  }
+
+private:
+  ThreadId Owner;
+  std::vector<ObjectId> Locked;
+  CommitSets Sets;
+  std::vector<std::pair<VarId, uint64_t>> Undo;
+};
+
+/// The transaction manager. Thread-safe: each thread operates on its own
+/// transaction; the store's object locks provide isolation.
+class TransactionManager {
+public:
+  explicit TransactionManager(StmStore &Store) : Store(Store) {}
+
+  /// Starts a transaction for \p T. Nested transactions are not supported
+  /// (returns false if one is already active).
+  bool begin(ThreadId T);
+
+  /// True if \p T has an active transaction.
+  bool inTransaction(ThreadId T) const;
+
+  /// Transactional read of V. Returns false (and sets \p Conflict) if the
+  /// object lock could not be acquired — the caller must abort and retry.
+  bool read(ThreadId T, VarId V, uint64_t &Out);
+
+  /// Transactional write of V; same conflict contract as read().
+  bool write(ThreadId T, VarId V, uint64_t Value);
+
+  /// Commits \p T's transaction. \p AtCommitPoint (may be null) is invoked
+  /// with the (R, W) sets *before* the object locks are released: that
+  /// instant is the commit point in the global synchronization order, and
+  /// it is where the VM reports commit(R, W) to the race detector — the
+  /// object locks still being held guarantees commits of conflicting
+  /// transactions enter the detector's event list in serialization order.
+  bool commit(ThreadId T,
+              const std::function<void(const CommitSets &)> &AtCommitPoint);
+
+  /// Aborts \p T's transaction: rolls back every write (reverse order) and
+  /// releases the object locks.
+  void abort(ThreadId T);
+
+  StmStats stats() const;
+
+private:
+  Transaction *active(ThreadId T);
+  const Transaction *active(ThreadId T) const;
+  bool ensureLocked(Transaction &Txn, ObjectId O);
+
+  StmStore &Store;
+  mutable std::mutex Mu; // guards the transaction table only
+  std::unordered_map<ThreadId, std::unique_ptr<Transaction>> Active;
+  std::atomic<uint64_t> Commits{0}, Aborts{0}, Reads{0}, Writes{0};
+};
+
+/// Runs \p Body as a transaction with abort/retry-on-conflict, at most
+/// \p MaxRetries times. Body must return true on success, false to request
+/// retry (lock conflict). Returns true if a commit succeeded. \p OnCommit
+/// is invoked with the commit sets at the commit point, before the object
+/// locks are released (this is where the VM calls the race detector).
+template <typename BodyFn, typename CommitFn>
+bool runTransaction(TransactionManager &Tm, ThreadId T, BodyFn &&Body,
+                    CommitFn &&OnCommit, unsigned MaxRetries = 64) {
+  for (unsigned Try = 0; Try != MaxRetries; ++Try) {
+    if (!Tm.begin(T))
+      return false;
+    if (!Body()) {
+      Tm.abort(T);
+      // Back off so the conflicting transaction can finish (essential on
+      // few-core machines where the lock holder may be preempted).
+      if (Try > 4)
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(std::min(Try * 10u, 1000u)));
+      else
+        std::this_thread::yield();
+      continue; // conflict: retry
+    }
+    if (!Tm.commit(T, OnCommit))
+      return false;
+    return true;
+  }
+  return false;
+}
+
+} // namespace gold
+
+#endif // GOLD_STM_STM_H

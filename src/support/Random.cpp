@@ -1,0 +1,37 @@
+//===- support/Random.cpp -------------------------------------------------===//
+
+#include "support/Random.h"
+
+using namespace gold;
+
+static uint64_t splitmix64(uint64_t &X) {
+  X += 0x9e3779b97f4a7c15ULL;
+  uint64_t Z = X;
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+  return Z ^ (Z >> 31);
+}
+
+void Random::reseed(uint64_t Seed) {
+  for (auto &S : State)
+    S = splitmix64(Seed);
+  // Avoid the all-zero state, which xoshiro can never leave.
+  if (!(State[0] | State[1] | State[2] | State[3]))
+    State[0] = 1;
+}
+
+static inline uint64_t rotl(uint64_t X, int K) {
+  return (X << K) | (X >> (64 - K));
+}
+
+uint64_t Random::next() {
+  uint64_t Result = rotl(State[1] * 5, 7) * 9;
+  uint64_t T = State[1] << 17;
+  State[2] ^= State[0];
+  State[3] ^= State[1];
+  State[1] ^= State[2];
+  State[0] ^= State[3];
+  State[2] ^= T;
+  State[3] = rotl(State[3], 45);
+  return Result;
+}

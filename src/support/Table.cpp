@@ -1,0 +1,67 @@
+//===- support/Table.cpp --------------------------------------------------===//
+
+#include "support/Table.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace gold;
+
+Table::Table(std::vector<std::string> Hdr) : Header(std::move(Hdr)) {}
+
+void Table::addRow(std::vector<std::string> Row) {
+  assert(Row.size() == Header.size() && "row arity must match header");
+  Rows.push_back(std::move(Row));
+}
+
+std::string Table::num(double Value, int Precision) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*f", Precision, Value);
+  return Buf;
+}
+
+std::string Table::num(long long Value) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%lld", Value);
+  return Buf;
+}
+
+std::string Table::percent(double Fraction) {
+  return num(Fraction * 100.0, 2);
+}
+
+void Table::print(std::FILE *Out) const {
+  std::vector<size_t> Width(Header.size(), 0);
+  for (size_t I = 0; I != Header.size(); ++I)
+    Width[I] = Header[I].size();
+  for (const auto &Row : Rows)
+    for (size_t I = 0; I != Row.size(); ++I)
+      Width[I] = std::max(Width[I], Row[I].size());
+
+  auto PrintRow = [&](const std::vector<std::string> &Row) {
+    for (size_t I = 0; I != Row.size(); ++I)
+      std::fprintf(Out, "%s%-*s", I ? "  " : "", static_cast<int>(Width[I]),
+                   Row[I].c_str());
+    std::fprintf(Out, "\n");
+  };
+
+  PrintRow(Header);
+  size_t Total = Header.size() ? (Header.size() - 1) * 2 : 0;
+  for (size_t W : Width)
+    Total += W;
+  std::string Rule(Total, '-');
+  std::fprintf(Out, "%s\n", Rule.c_str());
+  for (const auto &Row : Rows)
+    PrintRow(Row);
+}
+
+void Table::printCsv(std::FILE *Out) const {
+  auto PrintRow = [&](const std::vector<std::string> &Row) {
+    for (size_t I = 0; I != Row.size(); ++I)
+      std::fprintf(Out, "%s%s", I ? "," : "", Row[I].c_str());
+    std::fprintf(Out, "\n");
+  };
+  PrintRow(Header);
+  for (const auto &Row : Rows)
+    PrintRow(Row);
+}

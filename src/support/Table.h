@@ -1,0 +1,48 @@
+//===- support/Table.h - Aligned text table printer -------------*- C++ -*-===//
+///
+/// \file
+/// A small helper for printing the paper's tables (Table 1/2/3) as aligned
+/// plain-text tables with an optional CSV dump.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GOLD_SUPPORT_TABLE_H
+#define GOLD_SUPPORT_TABLE_H
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace gold {
+
+/// Collects rows of strings and prints them column-aligned.
+class Table {
+public:
+  explicit Table(std::vector<std::string> Header);
+
+  /// Appends one row; must have the same arity as the header.
+  void addRow(std::vector<std::string> Row);
+
+  /// Convenience: formats a double with \p Precision decimals.
+  static std::string num(double Value, int Precision = 2);
+
+  /// Convenience: formats an integer.
+  static std::string num(long long Value);
+
+  /// Convenience: formats a percentage with two decimals (e.g. "99.53").
+  static std::string percent(double Fraction);
+
+  /// Prints the aligned table to \p Out (defaults to stdout).
+  void print(std::FILE *Out = stdout) const;
+
+  /// Prints the table as CSV to \p Out.
+  void printCsv(std::FILE *Out = stdout) const;
+
+private:
+  std::vector<std::string> Header;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+} // namespace gold
+
+#endif // GOLD_SUPPORT_TABLE_H

@@ -1,0 +1,5 @@
+//===- support/Timer.cpp --------------------------------------------------===//
+
+#include "support/Timer.h"
+
+// Timer is header-only; this file anchors the library target.

@@ -1,0 +1,47 @@
+//===- support/Timer.h - Wall-clock timing helpers --------------*- C++ -*-===//
+///
+/// \file
+/// Wall-clock stopwatch used by the benchmark harnesses. The paper reports
+/// wall-clock seconds from PAPI hardware counters; std::chrono::steady_clock
+/// is the closest portable substitute.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GOLD_SUPPORT_TIMER_H
+#define GOLD_SUPPORT_TIMER_H
+
+#include <chrono>
+
+namespace gold {
+
+/// Simple steady-clock stopwatch.
+class Timer {
+public:
+  Timer() : Start(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void reset() { Start = Clock::now(); }
+
+  /// Returns elapsed seconds since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - Start).count();
+  }
+
+  /// Returns elapsed milliseconds since construction or the last reset().
+  double millis() const { return seconds() * 1e3; }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+/// Runs \p Fn once and returns its wall-clock duration in seconds.
+template <typename Fn> double timeIt(Fn &&F) {
+  Timer T;
+  F();
+  return T.seconds();
+}
+
+} // namespace gold
+
+#endif // GOLD_SUPPORT_TIMER_H

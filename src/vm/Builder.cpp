@@ -1,0 +1,349 @@
+//===- vm/Builder.cpp -----------------------------------------------------===//
+
+#include "vm/Builder.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+using namespace gold;
+
+namespace {
+
+/// Per-function label bookkeeping, keyed off the program builder.
+struct LabelState {
+  std::vector<uint32_t> Bound;               // pc or ~0u
+  std::vector<std::vector<size_t>> Fixups;   // instr indices to patch
+};
+
+std::unordered_map<const Program *, std::unordered_map<FuncId, LabelState>>
+    &labelTables() {
+  static std::unordered_map<const Program *,
+                            std::unordered_map<FuncId, LabelState>>
+      Tables;
+  return Tables;
+}
+
+LabelState &labels(const Program &P, FuncId F) {
+  return labelTables()[&P][F];
+}
+
+} // namespace
+
+FunctionDef &FunctionBuilder::def() { return PB.program().Functions[Func]; }
+
+Reg FunctionBuilder::newReg() {
+  FunctionDef &F = def();
+  assert(F.NumRegs < 0xffff && "register file exhausted");
+  return F.NumRegs++;
+}
+
+Reg FunctionBuilder::param(unsigned I) const {
+  const FunctionDef &F =
+      const_cast<FunctionBuilder *>(this)->PB.program().Functions[Func];
+  assert(I < F.NumParams && "parameter index out of range");
+  return static_cast<Reg>(I);
+}
+
+Instr &FunctionBuilder::emit(Opcode Op) {
+  FunctionDef &F = def();
+  F.Code.emplace_back();
+  F.Code.back().Op = Op;
+  return F.Code.back();
+}
+
+FunctionBuilder &FunctionBuilder::constI(Reg A, int64_t V) {
+  Instr &I = emit(Opcode::ConstI);
+  I.A = A;
+  I.Imm = V;
+  return *this;
+}
+
+FunctionBuilder &FunctionBuilder::constD(Reg A, double V) {
+  Instr &I = emit(Opcode::ConstD);
+  I.A = A;
+  std::memcpy(&I.Imm, &V, sizeof(V));
+  return *this;
+}
+
+FunctionBuilder &FunctionBuilder::mov(Reg A, Reg B) {
+  Instr &I = emit(Opcode::Mov);
+  I.A = A;
+  I.B = B;
+  return *this;
+}
+
+FunctionBuilder &FunctionBuilder::emit3(Opcode Op, Reg A, Reg B, Reg C) {
+  Instr &I = emit(Op);
+  I.A = A;
+  I.B = B;
+  I.C = C;
+  return *this;
+}
+
+FunctionBuilder &FunctionBuilder::negI(Reg A, Reg B) {
+  return emit3(Opcode::NegI, A, B, 0);
+}
+FunctionBuilder &FunctionBuilder::negD(Reg A, Reg B) {
+  return emit3(Opcode::NegD, A, B, 0);
+}
+FunctionBuilder &FunctionBuilder::sqrtD(Reg A, Reg B) {
+  return emit3(Opcode::SqrtD, A, B, 0);
+}
+FunctionBuilder &FunctionBuilder::absD(Reg A, Reg B) {
+  return emit3(Opcode::AbsD, A, B, 0);
+}
+FunctionBuilder &FunctionBuilder::i2d(Reg A, Reg B) {
+  return emit3(Opcode::I2D, A, B, 0);
+}
+FunctionBuilder &FunctionBuilder::d2i(Reg A, Reg B) {
+  return emit3(Opcode::D2I, A, B, 0);
+}
+
+Label FunctionBuilder::label() {
+  LabelState &LS = labels(PB.program(), Func);
+  Label L;
+  L.Id = static_cast<uint32_t>(LS.Bound.size());
+  LS.Bound.push_back(~0u);
+  LS.Fixups.emplace_back();
+  return L;
+}
+
+FunctionBuilder &FunctionBuilder::bind(Label L) {
+  LabelState &LS = labels(PB.program(), Func);
+  assert(L.Id < LS.Bound.size() && "unknown label");
+  assert(LS.Bound[L.Id] == ~0u && "label bound twice");
+  uint32_t Pc = static_cast<uint32_t>(def().Code.size());
+  LS.Bound[L.Id] = Pc;
+  for (size_t InstrIdx : LS.Fixups[L.Id])
+    def().Code[InstrIdx].Idx = Pc;
+  LS.Fixups[L.Id].clear();
+  return *this;
+}
+
+FunctionBuilder &FunctionBuilder::branch(Opcode Op, Reg A, Label L) {
+  LabelState &LS = labels(PB.program(), Func);
+  assert(L.Id < LS.Bound.size() && "unknown label");
+  Instr &I = emit(Op);
+  I.A = A;
+  if (LS.Bound[L.Id] != ~0u)
+    I.Idx = LS.Bound[L.Id];
+  else
+    LS.Fixups[L.Id].push_back(def().Code.size() - 1);
+  return *this;
+}
+
+FunctionBuilder &FunctionBuilder::jmp(Label L) {
+  return branch(Opcode::Jmp, 0, L);
+}
+FunctionBuilder &FunctionBuilder::jnz(Reg A, Label L) {
+  return branch(Opcode::Jnz, A, L);
+}
+FunctionBuilder &FunctionBuilder::jz(Reg A, Label L) {
+  return branch(Opcode::Jz, A, L);
+}
+
+FunctionBuilder &FunctionBuilder::newObj(Reg A, ClassId C) {
+  Instr &I = emit(Opcode::NewObj);
+  I.A = A;
+  I.Idx = C;
+  return *this;
+}
+
+FunctionBuilder &FunctionBuilder::newArr(Reg A, Reg Len) {
+  Instr &I = emit(Opcode::NewArr);
+  I.A = A;
+  I.B = Len;
+  return *this;
+}
+
+FunctionBuilder &FunctionBuilder::getField(Reg A, Reg Obj, uint32_t Field) {
+  Instr &I = emit(Opcode::GetField);
+  I.A = A;
+  I.B = Obj;
+  I.Idx = Field;
+  return *this;
+}
+
+FunctionBuilder &FunctionBuilder::putField(Reg Obj, uint32_t Field, Reg Val) {
+  Instr &I = emit(Opcode::PutField);
+  I.A = Obj;
+  I.B = Val;
+  I.Idx = Field;
+  return *this;
+}
+
+FunctionBuilder &FunctionBuilder::aload(Reg A, Reg Arr, Reg Index) {
+  return emit3(Opcode::ALoad, A, Arr, Index);
+}
+FunctionBuilder &FunctionBuilder::astore(Reg Arr, Reg Index, Reg Val) {
+  return emit3(Opcode::AStore, Arr, Index, Val);
+}
+FunctionBuilder &FunctionBuilder::alen(Reg A, Reg Arr) {
+  return emit3(Opcode::ALen, A, Arr, 0);
+}
+
+FunctionBuilder &FunctionBuilder::getG(Reg A, uint32_t Global) {
+  Instr &I = emit(Opcode::GetG);
+  I.A = A;
+  I.Idx = Global;
+  return *this;
+}
+
+FunctionBuilder &FunctionBuilder::putG(uint32_t Global, Reg Val) {
+  Instr &I = emit(Opcode::PutG);
+  I.A = Val;
+  I.Idx = Global;
+  return *this;
+}
+
+FunctionBuilder &FunctionBuilder::monEnter(Reg Obj) {
+  emit(Opcode::MonEnter).A = Obj;
+  return *this;
+}
+FunctionBuilder &FunctionBuilder::monExit(Reg Obj) {
+  emit(Opcode::MonExit).A = Obj;
+  return *this;
+}
+FunctionBuilder &FunctionBuilder::wait(Reg Obj) {
+  emit(Opcode::Wait).A = Obj;
+  return *this;
+}
+FunctionBuilder &FunctionBuilder::notifyOne(Reg Obj) {
+  emit(Opcode::Notify).A = Obj;
+  return *this;
+}
+FunctionBuilder &FunctionBuilder::notifyAll(Reg Obj) {
+  emit(Opcode::NotifyAll).A = Obj;
+  return *this;
+}
+
+FunctionBuilder &FunctionBuilder::fork(Reg A, FuncId F, std::vector<Reg> Args) {
+  Instr &I = emit(Opcode::Fork);
+  I.A = A;
+  I.Idx = F;
+  I.Args = std::move(Args);
+  PB.program().Functions[F].IsThreadEntry = true;
+  return *this;
+}
+
+FunctionBuilder &FunctionBuilder::join(Reg Tid) {
+  emit(Opcode::Join).A = Tid;
+  return *this;
+}
+
+FunctionBuilder &FunctionBuilder::call(Reg A, FuncId F, std::vector<Reg> Args) {
+  Instr &I = emit(Opcode::Call);
+  I.A = A;
+  I.Idx = F;
+  I.Args = std::move(Args);
+  return *this;
+}
+
+FunctionBuilder &FunctionBuilder::ret(Reg A) {
+  emit(Opcode::Ret).A = A;
+  return *this;
+}
+FunctionBuilder &FunctionBuilder::retVoid() {
+  emit(Opcode::RetVoid);
+  return *this;
+}
+
+FunctionBuilder &FunctionBuilder::atomicBegin() {
+  emit(Opcode::AtomicBegin);
+  return *this;
+}
+FunctionBuilder &FunctionBuilder::atomicEnd() {
+  emit(Opcode::AtomicEnd);
+  return *this;
+}
+
+FunctionBuilder &FunctionBuilder::tryPush(Label Handler, VmException Filter) {
+  branch(Opcode::TryPush, 0, Handler);
+  def().Code.back().Imm = static_cast<int64_t>(Filter);
+  return *this;
+}
+FunctionBuilder &FunctionBuilder::tryPop() {
+  emit(Opcode::TryPop);
+  return *this;
+}
+FunctionBuilder &FunctionBuilder::throwExc(VmException Kind) {
+  emit(Opcode::Throw).Imm = static_cast<int64_t>(Kind);
+  return *this;
+}
+FunctionBuilder &FunctionBuilder::getExc(Reg A) {
+  emit(Opcode::GetExc).A = A;
+  return *this;
+}
+
+FunctionBuilder &FunctionBuilder::printI(Reg A) {
+  emit(Opcode::PrintI).A = A;
+  return *this;
+}
+FunctionBuilder &FunctionBuilder::printD(Reg A) {
+  emit(Opcode::PrintD).A = A;
+  return *this;
+}
+FunctionBuilder &FunctionBuilder::printS(const std::string &S) {
+  emit(Opcode::PrintS).Idx = PB.intern(S);
+  return *this;
+}
+FunctionBuilder &FunctionBuilder::sleepMs(Reg A) {
+  emit(Opcode::SleepMs).A = A;
+  return *this;
+}
+FunctionBuilder &FunctionBuilder::yield() {
+  emit(Opcode::Yield);
+  return *this;
+}
+
+FunctionBuilder &FunctionBuilder::noCheck() {
+  assert(!def().Code.empty());
+  def().Code.back().Check = false;
+  return *this;
+}
+
+ClassId ProgramBuilder::addClass(
+    const std::string &Name,
+    std::vector<std::pair<std::string, bool>> Fields) {
+  ClassDef C;
+  C.Name = Name;
+  for (auto &[FName, Vol] : Fields)
+    C.Fields.push_back(FieldDef{FName, Vol, /*CheckRace=*/true});
+  P.Classes.push_back(std::move(C));
+  return static_cast<ClassId>(P.Classes.size() - 1);
+}
+
+uint32_t ProgramBuilder::addGlobal(const std::string &Name, bool IsVolatile) {
+  P.Globals.push_back(FieldDef{Name, IsVolatile, /*CheckRace=*/true});
+  return static_cast<uint32_t>(P.Globals.size() - 1);
+}
+
+uint32_t ProgramBuilder::intern(const std::string &S) {
+  for (size_t I = 0; I != P.StringPool.size(); ++I)
+    if (P.StringPool[I] == S)
+      return static_cast<uint32_t>(I);
+  P.StringPool.push_back(S);
+  return static_cast<uint32_t>(P.StringPool.size() - 1);
+}
+
+FunctionBuilder ProgramBuilder::function(const std::string &Name,
+                                         uint16_t NumParams,
+                                         bool IsThreadEntry) {
+  FunctionDef F;
+  F.Name = Name;
+  F.NumParams = NumParams;
+  // Every function has at least one register so that unused (zero) operand
+  // fields of instructions always validate.
+  F.NumRegs = std::max<uint16_t>(NumParams, 1);
+  F.IsThreadEntry = IsThreadEntry;
+  P.Functions.push_back(std::move(F));
+  return FunctionBuilder(*this,
+                         static_cast<FuncId>(P.Functions.size() - 1));
+}
+
+Program ProgramBuilder::take() {
+  [[maybe_unused]] std::string Err = P.validate();
+  assert(Err.empty() && "invalid program");
+  labelTables().erase(&P);
+  return std::move(P);
+}

@@ -1,0 +1,223 @@
+//===- vm/Builder.h - Fluent MiniJVM program construction -------*- C++ -*-===//
+///
+/// \file
+/// Builder API for constructing MiniJVM programs. Workloads, tests and
+/// examples assemble bytecode through this interface:
+///
+/// \code
+///   ProgramBuilder PB;
+///   ClassId Box = PB.addClass("Box", {{"data"}});
+///   FunctionBuilder F = PB.function("main", 0);
+///   Reg O = F.newReg();
+///   F.newObj(O, Box);
+///   ...
+///   F.retVoid();
+///   Program P = PB.take();
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GOLD_VM_BUILDER_H
+#define GOLD_VM_BUILDER_H
+
+#include "vm/Program.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace gold {
+
+class ProgramBuilder;
+
+/// A forward-referencing label for jump targets.
+struct Label {
+  uint32_t Id = ~0u;
+};
+
+/// Builds one function's bytecode. Obtained from ProgramBuilder::function;
+/// instructions append in order; labels support forward branches.
+class FunctionBuilder {
+public:
+  /// Allocates a fresh register. Parameters occupy r0..NumParams-1.
+  Reg newReg();
+
+  /// Parameter register accessor.
+  Reg param(unsigned I) const;
+
+  // Constants and moves.
+  FunctionBuilder &constI(Reg A, int64_t V);
+  FunctionBuilder &constD(Reg A, double V);
+  FunctionBuilder &mov(Reg A, Reg B);
+
+  // Arithmetic / bitwise / comparisons (A <- B op C).
+  FunctionBuilder &emit3(Opcode Op, Reg A, Reg B, Reg C);
+  FunctionBuilder &addI(Reg A, Reg B, Reg C) {
+    return emit3(Opcode::AddI, A, B, C);
+  }
+  FunctionBuilder &subI(Reg A, Reg B, Reg C) {
+    return emit3(Opcode::SubI, A, B, C);
+  }
+  FunctionBuilder &mulI(Reg A, Reg B, Reg C) {
+    return emit3(Opcode::MulI, A, B, C);
+  }
+  FunctionBuilder &divI(Reg A, Reg B, Reg C) {
+    return emit3(Opcode::DivI, A, B, C);
+  }
+  FunctionBuilder &modI(Reg A, Reg B, Reg C) {
+    return emit3(Opcode::ModI, A, B, C);
+  }
+  FunctionBuilder &addD(Reg A, Reg B, Reg C) {
+    return emit3(Opcode::AddD, A, B, C);
+  }
+  FunctionBuilder &subD(Reg A, Reg B, Reg C) {
+    return emit3(Opcode::SubD, A, B, C);
+  }
+  FunctionBuilder &mulD(Reg A, Reg B, Reg C) {
+    return emit3(Opcode::MulD, A, B, C);
+  }
+  FunctionBuilder &divD(Reg A, Reg B, Reg C) {
+    return emit3(Opcode::DivD, A, B, C);
+  }
+  FunctionBuilder &andI(Reg A, Reg B, Reg C) {
+    return emit3(Opcode::And, A, B, C);
+  }
+  FunctionBuilder &orI(Reg A, Reg B, Reg C) {
+    return emit3(Opcode::Or, A, B, C);
+  }
+  FunctionBuilder &xorI(Reg A, Reg B, Reg C) {
+    return emit3(Opcode::Xor, A, B, C);
+  }
+  FunctionBuilder &shl(Reg A, Reg B, Reg C) {
+    return emit3(Opcode::Shl, A, B, C);
+  }
+  FunctionBuilder &shr(Reg A, Reg B, Reg C) {
+    return emit3(Opcode::Shr, A, B, C);
+  }
+  FunctionBuilder &cmpLtI(Reg A, Reg B, Reg C) {
+    return emit3(Opcode::CmpLtI, A, B, C);
+  }
+  FunctionBuilder &cmpLeI(Reg A, Reg B, Reg C) {
+    return emit3(Opcode::CmpLeI, A, B, C);
+  }
+  FunctionBuilder &cmpEqI(Reg A, Reg B, Reg C) {
+    return emit3(Opcode::CmpEqI, A, B, C);
+  }
+  FunctionBuilder &cmpNeI(Reg A, Reg B, Reg C) {
+    return emit3(Opcode::CmpNeI, A, B, C);
+  }
+  FunctionBuilder &cmpLtD(Reg A, Reg B, Reg C) {
+    return emit3(Opcode::CmpLtD, A, B, C);
+  }
+  FunctionBuilder &cmpLeD(Reg A, Reg B, Reg C) {
+    return emit3(Opcode::CmpLeD, A, B, C);
+  }
+  FunctionBuilder &cmpEqD(Reg A, Reg B, Reg C) {
+    return emit3(Opcode::CmpEqD, A, B, C);
+  }
+  FunctionBuilder &negI(Reg A, Reg B);
+  FunctionBuilder &negD(Reg A, Reg B);
+  FunctionBuilder &sqrtD(Reg A, Reg B);
+  FunctionBuilder &absD(Reg A, Reg B);
+  FunctionBuilder &i2d(Reg A, Reg B);
+  FunctionBuilder &d2i(Reg A, Reg B);
+
+  // Control flow.
+  Label label();
+  FunctionBuilder &bind(Label L);
+  FunctionBuilder &jmp(Label L);
+  FunctionBuilder &jnz(Reg A, Label L);
+  FunctionBuilder &jz(Reg A, Label L);
+
+  // Heap.
+  FunctionBuilder &newObj(Reg A, ClassId C);
+  FunctionBuilder &newArr(Reg A, Reg Len);
+  FunctionBuilder &getField(Reg A, Reg Obj, uint32_t Field);
+  FunctionBuilder &putField(Reg Obj, uint32_t Field, Reg Val);
+  FunctionBuilder &aload(Reg A, Reg Arr, Reg Index);
+  FunctionBuilder &astore(Reg Arr, Reg Index, Reg Val);
+  FunctionBuilder &alen(Reg A, Reg Arr);
+  FunctionBuilder &getG(Reg A, uint32_t Global);
+  FunctionBuilder &putG(uint32_t Global, Reg Val);
+
+  // Monitors and threads.
+  FunctionBuilder &monEnter(Reg Obj);
+  FunctionBuilder &monExit(Reg Obj);
+  FunctionBuilder &wait(Reg Obj);
+  FunctionBuilder &notifyOne(Reg Obj);
+  FunctionBuilder &notifyAll(Reg Obj);
+  FunctionBuilder &fork(Reg A, FuncId F, std::vector<Reg> Args = {});
+  FunctionBuilder &join(Reg Tid);
+
+  // Calls.
+  FunctionBuilder &call(Reg A, FuncId F, std::vector<Reg> Args = {});
+  FunctionBuilder &ret(Reg A);
+  FunctionBuilder &retVoid();
+
+  // Transactions.
+  FunctionBuilder &atomicBegin();
+  FunctionBuilder &atomicEnd();
+
+  // Exceptions.
+  FunctionBuilder &tryPush(Label Handler, VmException Filter);
+  FunctionBuilder &tryPop();
+  FunctionBuilder &throwExc(VmException Kind);
+  FunctionBuilder &getExc(Reg A);
+
+  // Miscellaneous.
+  FunctionBuilder &printI(Reg A);
+  FunctionBuilder &printD(Reg A);
+  FunctionBuilder &printS(const std::string &S);
+  FunctionBuilder &sleepMs(Reg A);
+  FunctionBuilder &yield();
+
+  /// Marks the most recently emitted instruction as check-exempt (used by
+  /// tests; the static analyses set this flag programmatically).
+  FunctionBuilder &noCheck();
+
+  FuncId id() const { return Func; }
+
+private:
+  friend class ProgramBuilder;
+  FunctionBuilder(ProgramBuilder &PB, FuncId F) : PB(PB), Func(F) {}
+
+  FunctionDef &def();
+  Instr &emit(Opcode Op);
+  FunctionBuilder &branch(Opcode Op, Reg A, Label L);
+
+  ProgramBuilder &PB;
+  FuncId Func;
+};
+
+/// Builds a whole program: classes, globals, strings, functions.
+class ProgramBuilder {
+public:
+  /// Declares a class. Field spec: (name, isVolatile).
+  ClassId addClass(const std::string &Name,
+                   std::vector<std::pair<std::string, bool>> Fields);
+
+  /// Declares a global variable; returns its index.
+  uint32_t addGlobal(const std::string &Name, bool IsVolatile = false);
+
+  /// Interns a string into the pool.
+  uint32_t intern(const std::string &S);
+
+  /// Starts a new function; parameters arrive in r0..NumParams-1.
+  FunctionBuilder function(const std::string &Name, uint16_t NumParams,
+                           bool IsThreadEntry = false);
+
+  /// Declares which function is main.
+  void setMain(FuncId F) { P.Main = F; }
+
+  /// Finishes construction; asserts the program validates.
+  Program take();
+
+  Program &program() { return P; }
+
+private:
+  friend class FunctionBuilder;
+  Program P;
+};
+
+} // namespace gold
+
+#endif // GOLD_VM_BUILDER_H

@@ -1,0 +1,152 @@
+//===- vm/Program.cpp -----------------------------------------------------===//
+
+#include "vm/Program.h"
+
+using namespace gold;
+
+const char *gold::opcodeName(Opcode Op) {
+  switch (Op) {
+  case Opcode::ConstI: return "consti";
+  case Opcode::ConstD: return "constd";
+  case Opcode::Mov: return "mov";
+  case Opcode::AddI: return "addi";
+  case Opcode::SubI: return "subi";
+  case Opcode::MulI: return "muli";
+  case Opcode::DivI: return "divi";
+  case Opcode::ModI: return "modi";
+  case Opcode::NegI: return "negi";
+  case Opcode::AddD: return "addd";
+  case Opcode::SubD: return "subd";
+  case Opcode::MulD: return "muld";
+  case Opcode::DivD: return "divd";
+  case Opcode::NegD: return "negd";
+  case Opcode::SqrtD: return "sqrtd";
+  case Opcode::AbsD: return "absd";
+  case Opcode::CmpLtI: return "cmplti";
+  case Opcode::CmpLeI: return "cmplei";
+  case Opcode::CmpEqI: return "cmpeqi";
+  case Opcode::CmpNeI: return "cmpnei";
+  case Opcode::CmpLtD: return "cmpltd";
+  case Opcode::CmpLeD: return "cmpled";
+  case Opcode::CmpEqD: return "cmpeqd";
+  case Opcode::And: return "and";
+  case Opcode::Or: return "or";
+  case Opcode::Xor: return "xor";
+  case Opcode::Shl: return "shl";
+  case Opcode::Shr: return "shr";
+  case Opcode::I2D: return "i2d";
+  case Opcode::D2I: return "d2i";
+  case Opcode::Jmp: return "jmp";
+  case Opcode::Jnz: return "jnz";
+  case Opcode::Jz: return "jz";
+  case Opcode::NewObj: return "newobj";
+  case Opcode::NewArr: return "newarr";
+  case Opcode::GetField: return "getfield";
+  case Opcode::PutField: return "putfield";
+  case Opcode::ALoad: return "aload";
+  case Opcode::AStore: return "astore";
+  case Opcode::ALen: return "alen";
+  case Opcode::GetG: return "getg";
+  case Opcode::PutG: return "putg";
+  case Opcode::MonEnter: return "monenter";
+  case Opcode::MonExit: return "monexit";
+  case Opcode::Wait: return "wait";
+  case Opcode::Notify: return "notify";
+  case Opcode::NotifyAll: return "notifyall";
+  case Opcode::Fork: return "fork";
+  case Opcode::Join: return "join";
+  case Opcode::Call: return "call";
+  case Opcode::Ret: return "ret";
+  case Opcode::RetVoid: return "retvoid";
+  case Opcode::AtomicBegin: return "atomicbegin";
+  case Opcode::AtomicEnd: return "atomicend";
+  case Opcode::TryPush: return "trypush";
+  case Opcode::TryPop: return "trypop";
+  case Opcode::Throw: return "throw";
+  case Opcode::GetExc: return "getexc";
+  case Opcode::PrintI: return "printi";
+  case Opcode::PrintD: return "printd";
+  case Opcode::PrintS: return "prints";
+  case Opcode::SleepMs: return "sleepms";
+  case Opcode::Yield: return "yield";
+  case Opcode::Nop: return "nop";
+  }
+  return "?";
+}
+
+const char *gold::vmExceptionName(VmException E) {
+  switch (E) {
+  case VmException::None: return "none";
+  case VmException::DataRace: return "DataRaceException";
+  case VmException::NullPointer: return "NullPointerException";
+  case VmException::OutOfBounds: return "ArrayIndexOutOfBoundsException";
+  case VmException::DivByZero: return "ArithmeticException";
+  case VmException::IllegalMonitor: return "IllegalMonitorStateException";
+  case VmException::TxnFailure: return "TransactionFailureException";
+  case VmException::UserError: return "UserErrorException";
+  }
+  return "?";
+}
+
+std::string Program::validate() const {
+  auto Err = [](const std::string &S) { return S; };
+  if (Functions.empty())
+    return Err("program has no functions");
+  if (Main >= Functions.size())
+    return Err("main function id out of range");
+  for (size_t FI = 0; FI != Functions.size(); ++FI) {
+    const FunctionDef &F = Functions[FI];
+    if (F.NumParams > F.NumRegs)
+      return Err("function " + F.Name + ": more params than registers");
+    for (size_t PC = 0; PC != F.Code.size(); ++PC) {
+      const Instr &I = F.Code[PC];
+      auto Loc = [&] { return F.Name + ":" + std::to_string(PC); };
+      auto CheckReg = [&](Reg R) { return R < F.NumRegs; };
+      if (!CheckReg(I.A) || !CheckReg(I.B) || !CheckReg(I.C))
+        return Err(Loc() + ": register out of range");
+      for (Reg R : I.Args)
+        if (!CheckReg(R))
+          return Err(Loc() + ": argument register out of range");
+      switch (I.Op) {
+      case Opcode::Jmp:
+      case Opcode::Jnz:
+      case Opcode::Jz:
+      case Opcode::TryPush:
+        if (I.Idx >= F.Code.size())
+          return Err(Loc() + ": jump target out of range");
+        break;
+      case Opcode::NewObj:
+        if (I.Idx >= Classes.size())
+          return Err(Loc() + ": class id out of range");
+        break;
+      case Opcode::Call:
+      case Opcode::Fork: {
+        if (I.Idx >= Functions.size())
+          return Err(Loc() + ": function id out of range");
+        const FunctionDef &Callee = Functions[I.Idx];
+        if (I.Args.size() != Callee.NumParams)
+          return Err(Loc() + ": argument count mismatch calling " +
+                     Callee.Name);
+        break;
+      }
+      case Opcode::GetG:
+      case Opcode::PutG:
+        if (I.Idx >= Globals.size())
+          return Err(Loc() + ": global index out of range");
+        break;
+      case Opcode::PrintS:
+        if (I.Idx >= StringPool.size())
+          return Err(Loc() + ": string index out of range");
+        break;
+      default:
+        break;
+      }
+    }
+    if (F.Code.empty() || (F.Code.back().Op != Opcode::Ret &&
+                           F.Code.back().Op != Opcode::RetVoid &&
+                           F.Code.back().Op != Opcode::Jmp &&
+                           F.Code.back().Op != Opcode::Throw))
+      return Err("function " + F.Name + " does not end in ret/jmp/throw");
+  }
+  return std::string();
+}

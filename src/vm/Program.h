@@ -1,0 +1,145 @@
+//===- vm/Program.h - MiniJVM program representation ------------*- C++ -*-===//
+///
+/// \file
+/// The bytecode program model of MiniJVM, the managed-runtime substrate
+/// standing in for the Kaffe JVM of the paper's implementation (Section 5).
+/// MiniJVM is a register-based interpreter with classes, objects, arrays,
+/// reentrant monitors with wait/notify, volatile fields, threads,
+/// exceptions (including DataRaceException), and atomic transaction blocks.
+///
+/// Static race analyses annotate programs exactly the way Section 5.2
+/// describes for Java class files: a per-field CheckRace flag (the reserved
+/// access-flag bits of fields) and a per-access-site Check flag; the
+/// interpreter skips dynamic race checks when either is cleared.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GOLD_VM_PROGRAM_H
+#define GOLD_VM_PROGRAM_H
+
+#include "event/Ids.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gold {
+
+/// Register index within a function frame.
+using Reg = uint16_t;
+/// Function index within a program.
+using FuncId = uint32_t;
+/// Class index within a program.
+using ClassId = uint32_t;
+
+/// MiniJVM opcodes.
+enum class Opcode : uint8_t {
+  // Constants and moves. ConstD stores the double bit-cast in Imm.
+  ConstI, ConstD, Mov,
+  // Integer arithmetic (64-bit, two's complement).
+  AddI, SubI, MulI, DivI, ModI, NegI,
+  // Double arithmetic.
+  AddD, SubD, MulD, DivD, NegD, SqrtD, AbsD,
+  // Comparisons producing int 0/1.
+  CmpLtI, CmpLeI, CmpEqI, CmpNeI, CmpLtD, CmpLeD, CmpEqD,
+  // Bitwise (64-bit; Shr is logical).
+  And, Or, Xor, Shl, Shr,
+  // Conversions.
+  I2D, D2I,
+  // Control flow. Target in Idx.
+  Jmp, Jnz, Jz,
+  // Heap. NewObj: A <- new instance of class Idx. NewArr: A <- array of
+  // length reg B. GetField: A <- obj(B).field[Idx]. PutField:
+  // obj(A).field[Idx] <- B. ALoad: A <- arr(B)[C]. AStore: arr(A)[B] <- C.
+  NewObj, NewArr, GetField, PutField, ALoad, AStore, ALen,
+  // Globals (fields of the implicit globals object). Field index in Idx.
+  GetG, PutG,
+  // Monitors (object in reg A) and condition waits.
+  MonEnter, MonExit, Wait, Notify, NotifyAll,
+  // Threads: Fork starts function Idx with Args, A <- thread handle;
+  // Join joins the handle in reg A.
+  Fork, Join,
+  // Calls: Call invokes function Idx with Args, result into A.
+  Call, Ret, RetVoid,
+  // Software transactions (Section 5.3). AtomicEnd is the commit point.
+  AtomicBegin, AtomicEnd,
+  // Exceptions: TryPush installs a handler at pc Idx for kind Imm (0 =
+  // any); Throw raises kind Imm; GetExc: A <- kind of the caught exception.
+  TryPush, TryPop, Throw, GetExc,
+  // Miscellaneous. PrintS prints string-pool entry Idx.
+  PrintI, PrintD, PrintS, SleepMs, Yield, Nop,
+};
+
+const char *opcodeName(Opcode Op);
+
+/// MiniJVM exception kinds. Values are stable (used as Throw immediates).
+enum class VmException : int64_t {
+  None = 0,
+  DataRace = 1,     ///< the paper's DataRaceException
+  NullPointer = 2,
+  OutOfBounds = 3,
+  DivByZero = 4,
+  IllegalMonitor = 5,
+  TxnFailure = 6,   ///< transaction could not commit (retries exhausted)
+  UserError = 7,
+};
+
+const char *vmExceptionName(VmException E);
+
+/// One instruction. Operand meaning depends on the opcode (see Opcode).
+struct Instr {
+  Opcode Op = Opcode::Nop;
+  Reg A = 0, B = 0, C = 0;
+  uint32_t Idx = 0;           ///< target pc / func / class / field / string
+  int64_t Imm = 0;            ///< integer or bit-cast double immediate
+  std::vector<Reg> Args;      ///< Call/Fork argument registers
+  bool Check = true;          ///< site-level race-check flag (Section 5.2)
+};
+
+/// A field declaration.
+struct FieldDef {
+  std::string Name;
+  bool IsVolatile = false;
+  /// Race-check flag written by the static analyses (class-file access-flag
+  /// bits in the paper). Cleared fields are skipped by the runtime.
+  bool CheckRace = true;
+};
+
+/// A class declaration.
+struct ClassDef {
+  std::string Name;
+  std::vector<FieldDef> Fields;
+};
+
+/// Marker value used as the ClassId of array objects.
+inline constexpr ClassId ArrayClassId = 0xffffffffu;
+
+/// A function (method) body.
+struct FunctionDef {
+  std::string Name;
+  uint16_t NumParams = 0;
+  uint16_t NumRegs = 0;
+  std::vector<Instr> Code;
+  /// True for functions used as thread entry points (set by the builder;
+  /// consumed by the static analyses' may-happen-in-parallel reasoning).
+  bool IsThreadEntry = false;
+};
+
+/// A complete MiniJVM program.
+struct Program {
+  std::vector<ClassDef> Classes;
+  std::vector<FunctionDef> Functions;
+  std::vector<FieldDef> Globals;
+  std::vector<std::string> StringPool;
+  FuncId Main = 0;
+
+  const FunctionDef &function(FuncId F) const { return Functions[F]; }
+
+  /// Basic structural validation (register bounds, jump targets, ids).
+  /// Returns an empty string when valid, else a description of the defect.
+  std::string validate() const;
+};
+
+} // namespace gold
+
+#endif // GOLD_VM_PROGRAM_H

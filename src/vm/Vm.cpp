@@ -1,0 +1,889 @@
+//===- vm/Vm.cpp - MiniJVM interpreter and thread management --------------===//
+
+#include "vm/Vm.h"
+
+#include <cassert>
+#include <chrono>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+using namespace gold;
+
+namespace gold {
+
+/// One thread's interpreter. Lives on the OS thread's stack; flushes its
+/// local statistics into the Vm when the thread finishes.
+class Interp {
+public:
+  Interp(Vm &V, ThreadId Tid) : V(V), Tid(Tid) {}
+
+  /// Runs function \p Entry to completion; returns its result (0 if void,
+  /// -1 on an uncaught exception).
+  int64_t run(FuncId Entry, const std::vector<int64_t> &Args);
+
+private:
+  struct Frame {
+    FuncId Func = 0;
+    uint32_t Pc = 0;
+    size_t Base = 0;
+    Reg RetDest = 0;
+    bool WantsRet = false;
+  };
+  struct Handler {
+    size_t FrameDepth = 0;
+    uint32_t Pc = 0;
+    VmException Filter = VmException::None; // None = catch anything
+  };
+
+  uint64_t &reg(Reg R) { return RegStack[Frames.back().Base + R]; }
+  double getD(Reg R) {
+    double Out;
+    uint64_t Raw = reg(R);
+    std::memcpy(&Out, &Raw, sizeof(Out));
+    return Out;
+  }
+  void setD(Reg R, double D) {
+    uint64_t Raw;
+    std::memcpy(&Raw, &D, sizeof(Raw));
+    reg(R) = Raw;
+  }
+
+  void pushFrame(FuncId F, const uint64_t *Args, size_t NumArgs, Reg RetDest,
+                 bool WantsRet);
+  void popFrame();
+  /// Raises \p K; returns true if a handler caught it (execution continues
+  /// at the handler), false if the thread dies.
+  bool raise(VmException K);
+
+  const FieldDef *fieldDefOf(const ObjectRec &R, uint32_t Field) const;
+
+  /// Non-volatile data access paths. Return false when an exception was
+  /// raised or a transaction conflict was flagged.
+  bool dataRead(VarId Var, const FieldDef *FD, bool SiteCheck, uint64_t &Out);
+  bool dataWrite(VarId Var, const FieldDef *FD, bool SiteCheck,
+                 uint64_t Value);
+  /// Performs the pre-access race check; returns false if the access must
+  /// not execute (DataRaceException raised).
+  bool checkAccess(VarId Var, const FieldDef *FD, bool SiteCheck,
+                   bool IsWrite);
+
+  /// Restores the AtomicBegin snapshot and restarts the transaction.
+  bool restartTxn();
+
+  Vm &V;
+  ThreadId Tid;
+  std::vector<uint64_t> RegStack;
+  std::vector<Frame> Frames;
+  std::vector<Handler> Handlers;
+  VmException LastExc = VmException::None;
+
+  // Transaction state.
+  bool InTxn = false;
+  bool TxnConflict = false;
+  unsigned TxnRetries = 0;
+  struct Snapshot {
+    std::vector<uint64_t> Regs;
+    std::vector<Frame> Frames;
+    std::vector<Handler> Handlers;
+  } Snap;
+
+  VmStats Local;
+};
+
+} // namespace gold
+
+//===----------------------------------------------------------------------===//
+// Interp
+//===----------------------------------------------------------------------===//
+
+void Interp::pushFrame(FuncId F, const uint64_t *Args, size_t NumArgs,
+                       Reg RetDest, bool WantsRet) {
+  const FunctionDef &Def = V.Prog.Functions[F];
+  assert(NumArgs == Def.NumParams && "argument count mismatch");
+  Frame Fr;
+  Fr.Func = F;
+  Fr.Pc = 0;
+  Fr.Base = RegStack.size();
+  Fr.RetDest = RetDest;
+  Fr.WantsRet = WantsRet;
+  RegStack.resize(Fr.Base + Def.NumRegs, 0);
+  for (size_t I = 0; I != NumArgs; ++I)
+    RegStack[Fr.Base + I] = Args[I];
+  Frames.push_back(Fr);
+}
+
+void Interp::popFrame() {
+  while (!Handlers.empty() && Handlers.back().FrameDepth >= Frames.size())
+    Handlers.pop_back();
+  RegStack.resize(Frames.back().Base);
+  Frames.pop_back();
+}
+
+bool Interp::raise(VmException K) {
+  // An exception escaping an atomic block aborts the transaction (locks
+  // released, writes rolled back).
+  if (InTxn) {
+    V.Txm.abort(Tid);
+    InTxn = false;
+  }
+  LastExc = K;
+  while (!Handlers.empty()) {
+    Handler H = Handlers.back();
+    Handlers.pop_back();
+    if (H.Filter != VmException::None && H.Filter != K)
+      continue;
+    while (Frames.size() > H.FrameDepth)
+      popFrame();
+    assert(!Frames.empty() && "handler below every frame");
+    Frames.back().Pc = H.Pc;
+    return true;
+  }
+  V.recordUncaught(Tid, K);
+  ++Local.UncaughtExceptions;
+  Frames.clear();
+  RegStack.clear();
+  return false;
+}
+
+const FieldDef *Interp::fieldDefOf(const ObjectRec &R, uint32_t Field) const {
+  if (R.Class == ArrayClassId)
+    return nullptr;
+  const ClassDef &C = V.Prog.Classes[R.Class];
+  assert(Field < C.Fields.size() && "field out of class bounds");
+  return &C.Fields[Field];
+}
+
+bool Interp::checkAccess(VarId Var, const FieldDef *FD, bool SiteCheck,
+                         bool IsWrite) {
+  ++Local.DataAccesses;
+  RaceDetector *D = V.Cfg.Detector;
+  if (!D)
+    return true;
+  if (V.Cfg.HonorCheckFlags) {
+    if (!SiteCheck)
+      return true;
+    if (FD && !FD->CheckRace)
+      return true;
+  }
+  ++Local.CheckedAccesses;
+  std::optional<RaceReport> Race =
+      IsWrite ? D->onWrite(Tid, Var) : D->onRead(Tid, Var);
+  if (!Race)
+    return true;
+  V.recordRace(*Race);
+  ++Local.RacesDetected;
+  if (V.Cfg.ThrowDataRaceException)
+    return raise(VmException::DataRace), false;
+  return true;
+}
+
+bool Interp::dataRead(VarId Var, const FieldDef *FD, bool SiteCheck,
+                      uint64_t &Out) {
+  if (InTxn) {
+    ++Local.TxnAccesses;
+    if (!V.Txm.read(Tid, Var, Out)) {
+      TxnConflict = true;
+      return false;
+    }
+    return true;
+  }
+  if (!checkAccess(Var, FD, SiteCheck, /*IsWrite=*/false))
+    return false;
+  Out = V.TheHeap.get(Var.Object).Slots[Var.Field].load(
+      std::memory_order_relaxed);
+  return true;
+}
+
+bool Interp::dataWrite(VarId Var, const FieldDef *FD, bool SiteCheck,
+                       uint64_t Value) {
+  if (InTxn) {
+    ++Local.TxnAccesses;
+    if (!V.Txm.write(Tid, Var, Value)) {
+      TxnConflict = true;
+      return false;
+    }
+    return true;
+  }
+  if (!checkAccess(Var, FD, SiteCheck, /*IsWrite=*/true))
+    return false;
+  V.TheHeap.get(Var.Object).Slots[Var.Field].store(Value,
+                                                   std::memory_order_relaxed);
+  return true;
+}
+
+bool Interp::restartTxn() {
+  TxnConflict = false;
+  V.Txm.abort(Tid);
+  ++Local.TxnConflictRetries;
+  if (++TxnRetries > V.Cfg.TxnMaxRetries) {
+    InTxn = false;
+    return raise(VmException::TxnFailure);
+  }
+  // Restore the AtomicBegin snapshot and restart the transaction.
+  RegStack = Snap.Regs;
+  Frames = Snap.Frames;
+  Handlers = Snap.Handlers;
+  // Exponential-ish backoff to break symmetric conflicts.
+  if (TxnRetries > 4)
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(std::min(TxnRetries * 10u, 1000u)));
+  else
+    std::this_thread::yield();
+  bool Ok = V.Txm.begin(Tid);
+  assert(Ok && "re-begin after abort failed");
+  (void)Ok;
+  InTxn = true;
+  return true;
+}
+
+int64_t Interp::run(FuncId Entry, const std::vector<int64_t> &Args) {
+  std::vector<uint64_t> Raw(Args.begin(), Args.end());
+  pushFrame(Entry, Raw.data(), Raw.size(), 0, /*WantsRet=*/false);
+  int64_t Result = 0;
+  uint64_t UncaughtBefore = Local.UncaughtExceptions;
+
+  while (!Frames.empty()) {
+    Frame &Fr = Frames.back();
+    const FunctionDef &F = V.Prog.Functions[Fr.Func];
+    if (Fr.Pc >= F.Code.size()) { // fell off the end: implicit retvoid
+      popFrame();
+      continue;
+    }
+    const Instr &I = F.Code[Fr.Pc++];
+    ++Local.Instructions;
+
+    switch (I.Op) {
+    case Opcode::ConstI:
+      reg(I.A) = static_cast<uint64_t>(I.Imm);
+      break;
+    case Opcode::ConstD:
+      reg(I.A) = static_cast<uint64_t>(I.Imm);
+      break;
+    case Opcode::Mov:
+      reg(I.A) = reg(I.B);
+      break;
+
+    case Opcode::AddI:
+      reg(I.A) = reg(I.B) + reg(I.C);
+      break;
+    case Opcode::SubI:
+      reg(I.A) = reg(I.B) - reg(I.C);
+      break;
+    case Opcode::MulI:
+      reg(I.A) = static_cast<uint64_t>(static_cast<int64_t>(reg(I.B)) *
+                                       static_cast<int64_t>(reg(I.C)));
+      break;
+    case Opcode::DivI: {
+      int64_t D = static_cast<int64_t>(reg(I.C));
+      if (D == 0) {
+        raise(VmException::DivByZero);
+        break;
+      }
+      reg(I.A) =
+          static_cast<uint64_t>(static_cast<int64_t>(reg(I.B)) / D);
+      break;
+    }
+    case Opcode::ModI: {
+      int64_t D = static_cast<int64_t>(reg(I.C));
+      if (D == 0) {
+        raise(VmException::DivByZero);
+        break;
+      }
+      reg(I.A) =
+          static_cast<uint64_t>(static_cast<int64_t>(reg(I.B)) % D);
+      break;
+    }
+    case Opcode::NegI:
+      reg(I.A) = static_cast<uint64_t>(-static_cast<int64_t>(reg(I.B)));
+      break;
+
+    case Opcode::AddD:
+      setD(I.A, getD(I.B) + getD(I.C));
+      break;
+    case Opcode::SubD:
+      setD(I.A, getD(I.B) - getD(I.C));
+      break;
+    case Opcode::MulD:
+      setD(I.A, getD(I.B) * getD(I.C));
+      break;
+    case Opcode::DivD:
+      setD(I.A, getD(I.B) / getD(I.C));
+      break;
+    case Opcode::NegD:
+      setD(I.A, -getD(I.B));
+      break;
+    case Opcode::SqrtD:
+      setD(I.A, std::sqrt(getD(I.B)));
+      break;
+    case Opcode::AbsD:
+      setD(I.A, std::fabs(getD(I.B)));
+      break;
+
+    case Opcode::CmpLtI:
+      reg(I.A) = static_cast<int64_t>(reg(I.B)) <
+                 static_cast<int64_t>(reg(I.C));
+      break;
+    case Opcode::CmpLeI:
+      reg(I.A) = static_cast<int64_t>(reg(I.B)) <=
+                 static_cast<int64_t>(reg(I.C));
+      break;
+    case Opcode::CmpEqI:
+      reg(I.A) = reg(I.B) == reg(I.C);
+      break;
+    case Opcode::CmpNeI:
+      reg(I.A) = reg(I.B) != reg(I.C);
+      break;
+    case Opcode::CmpLtD:
+      reg(I.A) = getD(I.B) < getD(I.C);
+      break;
+    case Opcode::CmpLeD:
+      reg(I.A) = getD(I.B) <= getD(I.C);
+      break;
+    case Opcode::CmpEqD:
+      reg(I.A) = getD(I.B) == getD(I.C);
+      break;
+
+    case Opcode::And:
+      reg(I.A) = reg(I.B) & reg(I.C);
+      break;
+    case Opcode::Or:
+      reg(I.A) = reg(I.B) | reg(I.C);
+      break;
+    case Opcode::Xor:
+      reg(I.A) = reg(I.B) ^ reg(I.C);
+      break;
+    case Opcode::Shl:
+      reg(I.A) = reg(I.B) << (reg(I.C) & 63);
+      break;
+    case Opcode::Shr:
+      reg(I.A) = reg(I.B) >> (reg(I.C) & 63);
+      break;
+
+    case Opcode::I2D:
+      setD(I.A, static_cast<double>(static_cast<int64_t>(reg(I.B))));
+      break;
+    case Opcode::D2I:
+      reg(I.A) = static_cast<uint64_t>(static_cast<int64_t>(getD(I.B)));
+      break;
+
+    case Opcode::Jmp:
+      Fr.Pc = I.Idx;
+      break;
+    case Opcode::Jnz:
+      if (reg(I.A) != 0)
+        Fr.Pc = I.Idx;
+      break;
+    case Opcode::Jz:
+      if (reg(I.A) == 0)
+        Fr.Pc = I.Idx;
+      break;
+
+    case Opcode::NewObj: {
+      const ClassDef &C = V.Prog.Classes[I.Idx];
+      uint32_t N = static_cast<uint32_t>(C.Fields.size());
+      ObjectId O = V.TheHeap.alloc(I.Idx, N);
+      ++Local.Allocations;
+      Local.VariablesCreated += N;
+      if (V.Cfg.Detector)
+        V.Cfg.Detector->onAlloc(Tid, O, N);
+      reg(I.A) = O;
+      break;
+    }
+    case Opcode::NewArr: {
+      int64_t Len = static_cast<int64_t>(reg(I.B));
+      if (Len < 0) {
+        raise(VmException::OutOfBounds);
+        break;
+      }
+      ObjectId O =
+          V.TheHeap.alloc(ArrayClassId, static_cast<uint32_t>(Len));
+      ++Local.Allocations;
+      Local.VariablesCreated += static_cast<uint64_t>(Len);
+      if (V.Cfg.Detector)
+        V.Cfg.Detector->onAlloc(Tid, O, static_cast<uint32_t>(Len));
+      reg(I.A) = O;
+      break;
+    }
+
+    case Opcode::GetField:
+    case Opcode::PutField: {
+      ObjectId O = static_cast<ObjectId>(
+          reg(I.Op == Opcode::GetField ? I.B : I.A));
+      if (!V.TheHeap.valid(O)) {
+        raise(VmException::NullPointer);
+        break;
+      }
+      ObjectRec &R = V.TheHeap.get(O);
+      if (I.Idx >= R.FieldCount) {
+        raise(VmException::OutOfBounds);
+        break;
+      }
+      const FieldDef *FD = fieldDefOf(R, I.Idx);
+      VarId Var{O, I.Idx};
+      if (FD && FD->IsVolatile) {
+        if (InTxn) { // no synchronization inside transactions (Section 3)
+          raise(VmException::UserError);
+          break;
+        }
+        ++Local.VolatileAccesses;
+        if (I.Op == Opcode::GetField) {
+          // Load first, then record the event: the event-list position of
+          // the read is then guaranteed to follow the write it observed.
+          uint64_t Val = R.Slots[I.Idx].load(std::memory_order_seq_cst);
+          if (V.Cfg.Detector)
+            V.Cfg.Detector->onVolatileRead(Tid, Var);
+          reg(I.A) = Val;
+        } else {
+          if (V.Cfg.Detector)
+            V.Cfg.Detector->onVolatileWrite(Tid, Var);
+          R.Slots[I.Idx].store(reg(I.B), std::memory_order_seq_cst);
+        }
+        break;
+      }
+      if (I.Op == Opcode::GetField) {
+        uint64_t Out;
+        if (dataRead(Var, FD, I.Check, Out))
+          reg(I.A) = Out;
+      } else {
+        dataWrite(Var, FD, I.Check, reg(I.B));
+      }
+      break;
+    }
+
+    case Opcode::ALoad:
+    case Opcode::AStore: {
+      ObjectId O = static_cast<ObjectId>(
+          reg(I.Op == Opcode::ALoad ? I.B : I.A));
+      if (!V.TheHeap.valid(O)) {
+        raise(VmException::NullPointer);
+        break;
+      }
+      ObjectRec &R = V.TheHeap.get(O);
+      uint64_t Index = reg(I.Op == Opcode::ALoad ? I.C : I.B);
+      if (Index >= R.FieldCount) {
+        raise(VmException::OutOfBounds);
+        break;
+      }
+      VarId Var{O, static_cast<FieldId>(Index)};
+      if (I.Op == Opcode::ALoad) {
+        uint64_t Out;
+        if (dataRead(Var, nullptr, I.Check, Out))
+          reg(I.A) = Out;
+      } else {
+        dataWrite(Var, nullptr, I.Check, reg(I.C));
+      }
+      break;
+    }
+
+    case Opcode::ALen: {
+      ObjectId O = static_cast<ObjectId>(reg(I.B));
+      if (!V.TheHeap.valid(O)) {
+        raise(VmException::NullPointer);
+        break;
+      }
+      reg(I.A) = V.TheHeap.get(O).FieldCount;
+      break;
+    }
+
+    case Opcode::GetG:
+    case Opcode::PutG: {
+      const FieldDef &FD = V.Prog.Globals[I.Idx];
+      ObjectRec &R = V.TheHeap.get(GlobalsRef);
+      VarId Var{GlobalsRef, I.Idx};
+      if (FD.IsVolatile) {
+        if (InTxn) {
+          raise(VmException::UserError);
+          break;
+        }
+        ++Local.VolatileAccesses;
+        if (I.Op == Opcode::GetG) {
+          uint64_t Val = R.Slots[I.Idx].load(std::memory_order_seq_cst);
+          if (V.Cfg.Detector)
+            V.Cfg.Detector->onVolatileRead(Tid, Var);
+          reg(I.A) = Val;
+        } else {
+          if (V.Cfg.Detector)
+            V.Cfg.Detector->onVolatileWrite(Tid, Var);
+          R.Slots[I.Idx].store(reg(I.A), std::memory_order_seq_cst);
+        }
+        break;
+      }
+      if (I.Op == Opcode::GetG) {
+        uint64_t Out;
+        if (dataRead(Var, &FD, I.Check, Out))
+          reg(I.A) = Out;
+      } else {
+        dataWrite(Var, &FD, I.Check, reg(I.A));
+      }
+      break;
+    }
+
+    case Opcode::MonEnter: {
+      ObjectId O = static_cast<ObjectId>(reg(I.A));
+      if (!V.TheHeap.valid(O)) {
+        raise(VmException::NullPointer);
+        break;
+      }
+      if (InTxn) {
+        raise(VmException::UserError);
+        break;
+      }
+      ++Local.MonitorOps;
+      uint32_t Depth = V.TheHeap.get(O).Mon.enter(Tid);
+      // Only the outermost entry is a JMM acquire; the event is recorded
+      // after the lock is physically held so its list position is sound.
+      if (Depth == 1 && V.Cfg.Detector)
+        V.Cfg.Detector->onAcquire(Tid, O);
+      break;
+    }
+    case Opcode::MonExit: {
+      ObjectId O = static_cast<ObjectId>(reg(I.A));
+      if (!V.TheHeap.valid(O)) {
+        raise(VmException::NullPointer);
+        break;
+      }
+      ++Local.MonitorOps;
+      Monitor &M = V.TheHeap.get(O).Mon;
+      if (M.owner() != Tid) {
+        raise(VmException::IllegalMonitor);
+        break;
+      }
+      // Only the outermost exit is a JMM release; the event is recorded
+      // while the lock is still physically held so its list position
+      // precedes any subsequent acquire. Depth is exact: only the owning
+      // thread (us) can change it.
+      bool WasOuter = false;
+      if (V.Cfg.Detector && M.depth(Tid) == 1)
+        V.Cfg.Detector->onRelease(Tid, O);
+      if (!M.exit(Tid, WasOuter)) {
+        raise(VmException::IllegalMonitor);
+        break;
+      }
+      break;
+    }
+
+    case Opcode::Wait: {
+      ObjectId O = static_cast<ObjectId>(reg(I.A));
+      if (!V.TheHeap.valid(O)) {
+        raise(VmException::NullPointer);
+        break;
+      }
+      Monitor &M = V.TheHeap.get(O).Mon;
+      if (M.owner() != Tid) {
+        raise(VmException::IllegalMonitor);
+        break;
+      }
+      ++Local.WaitCalls;
+      // wait() = release + block + reacquire for the memory model: emit
+      // the release before physically releasing and the acquire after
+      // physically reacquiring.
+      if (V.Cfg.Detector)
+        V.Cfg.Detector->onRelease(Tid, O);
+      M.wait(Tid);
+      if (V.Cfg.Detector)
+        V.Cfg.Detector->onAcquire(Tid, O);
+      break;
+    }
+    case Opcode::Notify:
+    case Opcode::NotifyAll: {
+      ObjectId O = static_cast<ObjectId>(reg(I.A));
+      if (!V.TheHeap.valid(O)) {
+        raise(VmException::NullPointer);
+        break;
+      }
+      if (!V.TheHeap.get(O).Mon.notify(Tid, I.Op == Opcode::NotifyAll))
+        raise(VmException::IllegalMonitor);
+      break;
+    }
+
+    case Opcode::Fork: {
+      if (InTxn) {
+        raise(VmException::UserError);
+        break;
+      }
+      std::vector<int64_t> FArgs;
+      FArgs.reserve(I.Args.size());
+      for (Reg R : I.Args)
+        FArgs.push_back(static_cast<int64_t>(reg(R)));
+      ThreadId Child = V.forkThread(Tid, I.Idx, std::move(FArgs));
+      ++Local.ThreadsStarted;
+      reg(I.A) = Child;
+      break;
+    }
+    case Opcode::Join: {
+      ThreadId Target = static_cast<ThreadId>(reg(I.A));
+      if (!V.joinThread(Tid, Target))
+        raise(VmException::UserError);
+      break;
+    }
+
+    case Opcode::Call: {
+      std::vector<uint64_t> CArgs;
+      CArgs.reserve(I.Args.size());
+      for (Reg R : I.Args)
+        CArgs.push_back(reg(R));
+      pushFrame(I.Idx, CArgs.data(), CArgs.size(), I.A, /*WantsRet=*/true);
+      break;
+    }
+    case Opcode::Ret: {
+      uint64_t Val = reg(I.A);
+      Reg Dest = Frames.back().RetDest;
+      bool Wants = Frames.back().WantsRet;
+      popFrame();
+      if (!Frames.empty()) {
+        if (Wants)
+          reg(Dest) = Val;
+      } else {
+        Result = static_cast<int64_t>(Val);
+      }
+      break;
+    }
+    case Opcode::RetVoid:
+      popFrame();
+      break;
+
+    case Opcode::AtomicBegin: {
+      if (InTxn) {
+        raise(VmException::UserError);
+        break;
+      }
+      Snap.Regs = RegStack;
+      Snap.Frames = Frames;
+      Snap.Handlers = Handlers;
+      TxnRetries = 0;
+      bool Ok = V.Txm.begin(Tid);
+      assert(Ok && "nested transaction");
+      (void)Ok;
+      InTxn = true;
+      break;
+    }
+    case Opcode::AtomicEnd: {
+      if (!InTxn) {
+        raise(VmException::UserError);
+        break;
+      }
+      // The commit point must be recorded while the transaction still
+      // holds its object locks (so conflicting commits enter the
+      // synchronization order in serialization order), but the R∪W race
+      // checks run after the locks are released so they do not lengthen
+      // the critical section.
+      CommitSets Committed;
+      std::vector<RaceReport> Races;
+      bool Ok = V.Txm.commit(Tid, [&](const CommitSets &CS) {
+        ++Local.TxnCommits;
+        Committed = CS;
+        if (V.Cfg.Detector)
+          V.Cfg.Detector->onCommitPoint(Tid, CS);
+      });
+      InTxn = false;
+      if (!Ok) {
+        raise(VmException::TxnFailure);
+        break;
+      }
+      if (V.Cfg.Detector)
+        Races = V.Cfg.Detector->onCommitFinish(Tid, Committed);
+      if (!Races.empty()) {
+        for (const RaceReport &R : Races)
+          V.recordRace(R);
+        Local.RacesDetected += Races.size();
+        if (V.Cfg.ThrowDataRaceException)
+          raise(VmException::DataRace);
+      }
+      break;
+    }
+
+    case Opcode::TryPush: {
+      Handler H;
+      H.FrameDepth = Frames.size();
+      H.Pc = I.Idx;
+      H.Filter = static_cast<VmException>(I.Imm);
+      Handlers.push_back(H);
+      break;
+    }
+    case Opcode::TryPop:
+      if (!Handlers.empty() && Handlers.back().FrameDepth == Frames.size())
+        Handlers.pop_back();
+      break;
+    case Opcode::Throw:
+      raise(static_cast<VmException>(I.Imm));
+      break;
+    case Opcode::GetExc:
+      reg(I.A) = static_cast<uint64_t>(LastExc);
+      break;
+
+    case Opcode::PrintI:
+      std::printf("%" PRId64 "\n", static_cast<int64_t>(reg(I.A)));
+      break;
+    case Opcode::PrintD:
+      std::printf("%g\n", getD(I.A));
+      break;
+    case Opcode::PrintS:
+      std::printf("%s\n", V.Prog.StringPool[I.Idx].c_str());
+      break;
+    case Opcode::SleepMs:
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(static_cast<int64_t>(reg(I.A))));
+      break;
+    case Opcode::Yield:
+      std::this_thread::yield();
+      break;
+    case Opcode::Nop:
+      break;
+    }
+
+    if (TxnConflict)
+      restartTxn();
+  }
+
+  bool Died = Local.UncaughtExceptions > UncaughtBefore;
+  V.flushStats(Local);
+  return Died ? -1 : Result;
+}
+
+//===----------------------------------------------------------------------===//
+// Vm
+//===----------------------------------------------------------------------===//
+
+Vm::Vm(Program P, VmConfig C)
+    : Prog(std::move(P)), Cfg(C), Txm(TheHeap) {
+  [[maybe_unused]] std::string Err = Prog.validate();
+  assert(Err.empty() && "invalid program");
+}
+
+Vm::~Vm() {
+  for (auto &T : Threads)
+    if (T && T->Os.joinable())
+      T->Os.join();
+}
+
+int64_t Vm::run(std::vector<int64_t> Args) {
+  NextTid.store(1, std::memory_order_relaxed); // main claims tid 0
+  {
+    std::lock_guard<std::mutex> L(ThreadsMu);
+    Threads.push_back(nullptr); // slot 0: main, no OS thread
+  }
+  // Allocate the implicit globals object (always object id 1).
+  [[maybe_unused]] ObjectId G = TheHeap.alloc(
+      ArrayClassId, static_cast<uint32_t>(Prog.Globals.size()));
+  assert(G == GlobalsRef && "globals object must be the first allocation");
+  if (Cfg.Detector)
+    Cfg.Detector->onAlloc(0, GlobalsRef,
+                          static_cast<uint32_t>(Prog.Globals.size()));
+  {
+    std::lock_guard<std::mutex> L(StatsMu);
+    ++Stats.Allocations;
+    Stats.VariablesCreated += Prog.Globals.size();
+  }
+
+  Interp I(*this, 0);
+  int64_t Result = I.run(Prog.Main, Args);
+  if (Cfg.Detector)
+    Cfg.Detector->onTerminate(0);
+
+  // Join any threads the program left running.
+  for (size_t T = 1;; ++T) {
+    VmThread *VT = nullptr;
+    {
+      std::lock_guard<std::mutex> L(ThreadsMu);
+      if (T >= Threads.size())
+        break;
+      VT = Threads[T].get();
+    }
+    if (VT && VT->Os.joinable()) {
+      std::lock_guard<std::mutex> JL(VT->JoinMu);
+      if (!VT->Joined && VT->Os.joinable()) {
+        VT->Os.join();
+        VT->Joined = true;
+      }
+    }
+  }
+  return Result;
+}
+
+ThreadId Vm::forkThread(ThreadId Parent, FuncId F,
+                        std::vector<int64_t> Args) {
+  std::lock_guard<std::mutex> L(ThreadsMu);
+  ThreadId Tid = NextTid.fetch_add(1, std::memory_order_relaxed);
+  // The fork edge must be recorded before the child can act.
+  if (Cfg.Detector)
+    Cfg.Detector->onFork(Parent, Tid);
+  auto VT = std::make_unique<VmThread>();
+  VmThread *Raw = VT.get();
+  Threads.resize(std::max<size_t>(Threads.size(), Tid + 1));
+  Threads[Tid] = std::move(VT);
+  Raw->Os = std::thread([this, Tid, F, A = std::move(Args)] {
+    Interp Child(*this, Tid);
+    Child.run(F, A);
+    if (Cfg.Detector)
+      Cfg.Detector->onTerminate(Tid);
+  });
+  return Tid;
+}
+
+bool Vm::joinThread(ThreadId Joiner, ThreadId T) {
+  VmThread *VT = nullptr;
+  {
+    std::lock_guard<std::mutex> L(ThreadsMu);
+    if (T >= Threads.size() || !Threads[T])
+      return false;
+    VT = Threads[T].get();
+  }
+  {
+    std::lock_guard<std::mutex> JL(VT->JoinMu);
+    if (!VT->Joined && VT->Os.joinable()) {
+      VT->Os.join();
+      VT->Joined = true;
+    }
+  }
+  // The join edge is recorded after the child has fully terminated.
+  if (Cfg.Detector)
+    Cfg.Detector->onJoin(Joiner, T);
+  return true;
+}
+
+void Vm::recordRace(const RaceReport &R) {
+  std::lock_guard<std::mutex> L(LogMu);
+  RaceLog.push_back(R);
+}
+
+void Vm::recordUncaught(ThreadId T, VmException E) {
+  std::lock_guard<std::mutex> L(LogMu);
+  Uncaught.emplace_back(T, E);
+}
+
+void Vm::flushStats(const VmStats &Local) {
+  std::lock_guard<std::mutex> L(StatsMu);
+  Stats.Instructions += Local.Instructions;
+  Stats.DataAccesses += Local.DataAccesses;
+  Stats.CheckedAccesses += Local.CheckedAccesses;
+  Stats.VolatileAccesses += Local.VolatileAccesses;
+  Stats.MonitorOps += Local.MonitorOps;
+  Stats.WaitCalls += Local.WaitCalls;
+  Stats.Allocations += Local.Allocations;
+  Stats.VariablesCreated += Local.VariablesCreated;
+  Stats.ThreadsStarted += Local.ThreadsStarted;
+  Stats.TxnCommits += Local.TxnCommits;
+  Stats.TxnConflictRetries += Local.TxnConflictRetries;
+  Stats.TxnAccesses += Local.TxnAccesses;
+  Stats.RacesDetected += Local.RacesDetected;
+  Stats.UncaughtExceptions += Local.UncaughtExceptions;
+}
+
+VmStats Vm::stats() const {
+  std::lock_guard<std::mutex> L(StatsMu);
+  return Stats;
+}
+
+uint64_t Vm::global(uint32_t Index) const {
+  return const_cast<Vm *>(this)->TheHeap.loadRaw(
+      VarId{GlobalsRef, Index});
+}
+
+double Vm::globalD(uint32_t Index) const {
+  uint64_t Raw = global(Index);
+  double Out;
+  std::memcpy(&Out, &Raw, sizeof(Out));
+  return Out;
+}

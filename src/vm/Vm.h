@@ -1,0 +1,132 @@
+//===- vm/Vm.h - The race- and transaction-aware MiniJVM --------*- C++ -*-===//
+///
+/// \file
+/// The MiniJVM virtual machine: interprets a Program on real OS threads,
+/// instrumenting every data access, synchronization operation and
+/// transaction commit against a RaceDetector — the architecture of the
+/// paper's modified Kaffe runtime (Section 5). When the detector flags an
+/// access, the VM raises DataRaceException *before the access executes*
+/// (configurable to log-and-continue for benchmark overhead runs, matching
+/// Section 6's methodology of disabling a variable after its first race).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GOLD_VM_VM_H
+#define GOLD_VM_VM_H
+
+#include "detectors/RaceDetector.h"
+#include "stm/Stm.h"
+#include "vm/Heap.h"
+#include "vm/Program.h"
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gold {
+
+/// VM configuration.
+struct VmConfig {
+  /// The race detector to instrument against; null = uninstrumented run.
+  RaceDetector *Detector = nullptr;
+  /// Throw DataRaceException into the offending thread (the paper's
+  /// deployment mode). When false, races are only logged — the overhead
+  /// measurement mode of Section 6.
+  bool ThrowDataRaceException = false;
+  /// Honor the static analyses' CheckRace/Check flags (Section 5.2). When
+  /// false every access is checked regardless of annotations.
+  bool HonorCheckFlags = true;
+  /// Transaction retry budget before TxnFailure is thrown.
+  unsigned TxnMaxRetries = 10000;
+};
+
+/// Aggregate execution statistics (Tables 1-3 draw from these).
+struct VmStats {
+  uint64_t Instructions = 0;
+  uint64_t DataAccesses = 0;      ///< non-volatile field/array/global ops
+  uint64_t CheckedAccesses = 0;   ///< of which presented to the detector
+  uint64_t VolatileAccesses = 0;
+  uint64_t MonitorOps = 0;
+  uint64_t WaitCalls = 0;
+  uint64_t Allocations = 0;
+  uint64_t VariablesCreated = 0;  ///< total data fields/elements allocated
+  uint64_t ThreadsStarted = 0;
+  uint64_t TxnCommits = 0;
+  uint64_t TxnConflictRetries = 0;
+  uint64_t TxnAccesses = 0;       ///< reads+writes performed inside txns
+  uint64_t RacesDetected = 0;
+  uint64_t UncaughtExceptions = 0;
+};
+
+/// The virtual machine. One Vm instance executes one program once; create
+/// a fresh instance per run. The program is copied in, so temporaries
+/// (e.g. `Vm V(PB.take())`) are safe.
+class Vm {
+public:
+  explicit Vm(Program P, VmConfig Cfg = VmConfig());
+  ~Vm();
+
+  Vm(const Vm &) = delete;
+  Vm &operator=(const Vm &) = delete;
+
+  /// Runs main with the given integer arguments to completion (all spawned
+  /// threads are joined). Returns main's return value (0 for void main, -1
+  /// if main died with an uncaught exception).
+  int64_t run(std::vector<int64_t> Args = {});
+
+  /// Execution statistics (valid after run()).
+  VmStats stats() const;
+
+  /// Races observed during execution, in detection order.
+  const std::vector<RaceReport> &raceLog() const { return RaceLog; }
+
+  /// Uncaught exceptions that terminated threads.
+  const std::vector<std::pair<ThreadId, VmException>> &uncaught() const {
+    return Uncaught;
+  }
+
+  /// Reads a global variable's raw slot (for tests and harnesses).
+  uint64_t global(uint32_t Index) const;
+  /// Reads a global as double.
+  double globalD(uint32_t Index) const;
+
+  Heap &heap() { return TheHeap; }
+  const Program &program() const { return Prog; }
+
+private:
+  friend class Interp;
+
+  /// Starts a new VM thread running \p F; returns its thread id.
+  ThreadId forkThread(ThreadId Parent, FuncId F, std::vector<int64_t> Args);
+  /// Joins thread \p T (idempotent); emits the join edge for \p Joiner.
+  bool joinThread(ThreadId Joiner, ThreadId T);
+  void recordRace(const RaceReport &R);
+  void recordUncaught(ThreadId T, VmException E);
+  void flushStats(const VmStats &Local);
+
+  const Program Prog;
+  VmConfig Cfg;
+  Heap TheHeap;
+  TransactionManager Txm;
+
+  struct VmThread {
+    std::thread Os;
+    std::mutex JoinMu;
+    bool Joined = false;
+  };
+  std::mutex ThreadsMu;
+  std::vector<std::unique_ptr<VmThread>> Threads; // index = ThreadId
+  std::atomic<uint32_t> NextTid{0};
+
+  mutable std::mutex LogMu;
+  std::vector<RaceReport> RaceLog;
+  std::vector<std::pair<ThreadId, VmException>> Uncaught;
+
+  mutable std::mutex StatsMu;
+  VmStats Stats;
+};
+
+} // namespace gold
+
+#endif // GOLD_VM_VM_H

@@ -1,0 +1,312 @@
+//===- workloads/Apps.cpp - moldyn, montecarlo, raytracer -----------------===//
+///
+/// The Java Grande application benchmarks. Idiom summary:
+///  * moldyn — N-body force computation: every worker reads *all*
+///    positions, writes its own band, with volatile barriers between the
+///    force and update half-steps. Barrier-synchronized arrays are exactly
+///    what Chord cannot eliminate (Table 1's worst Chord rows);
+///  * montecarlo — thread-local path simulation objects + a lock-protected
+///    global reduction: statically eliminable almost entirely;
+///  * raytracer — read-shared scene (initialized pre-fork), image array
+///    written in interleaved rows, a volatile barrier between frames and a
+///    lock-protected checksum.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Common.h"
+#include "workloads/Workload.h"
+
+using namespace gold;
+
+Workload gold::makeMoldyn(unsigned Threads, WorkloadScale S) {
+  unsigned Particles = 64 * S.Factor;
+  unsigned Iters = 5;
+
+  ProgramBuilder PB;
+  uint32_t GPos = PB.addGlobal("pos");
+  uint32_t GForce = PB.addGlobal("force");
+  uint32_t GCheck = PB.addGlobal("check");
+  BarrierLib B = declareBarrier(PB, Threads);
+
+  FunctionBuilder W = PB.function("moldynWorker", 1, true);
+  {
+    Reg Wid = W.param(0);
+    Reg Pos = W.newReg(), Force = W.newReg(), P = W.newReg(),
+        NT = W.newReg(), It = W.newReg(), ItEnd = W.newReg(),
+        I = W.newReg(), J = W.newReg(), Fi = W.newReg(), Xi = W.newReg(),
+        Xj = W.newReg(), D = W.newReg(), T = W.newReg(), C = W.newReg(),
+        One = W.newReg(), Phase = W.newReg(), OneD = W.newReg(),
+        Dt = W.newReg();
+    W.getG(Pos, GPos).getG(Force, GForce);
+    W.constI(P, static_cast<int64_t>(Particles));
+    W.constI(NT, static_cast<int64_t>(Threads));
+    W.constI(One, 1).constI(Phase, 0);
+    W.constD(OneD, 1.0).constD(Dt, 0.0005);
+    W.constI(It, 0).constI(ItEnd, static_cast<int64_t>(Iters));
+    Label ILoop = W.label(), IDone = W.label();
+    W.bind(ILoop);
+    W.cmpLtI(C, It, ItEnd).jz(C, IDone);
+
+    // Force half-step: f[i] = sum_j 1 / (1 + (x_i - x_j)^2), own band,
+    // reading every particle's position.
+    W.mov(I, Wid);
+    Label FLoop = W.label(), FDone = W.label();
+    W.bind(FLoop);
+    W.cmpLtI(C, I, P).jz(C, FDone);
+    W.constD(Fi, 0.0).aload(Xi, Pos, I);
+    W.constI(J, 0);
+    {
+      LoopGen L(W, J, P);
+      W.aload(Xj, Pos, J).subD(D, Xi, Xj).mulD(D, D, D);
+      W.addD(D, D, OneD).divD(D, OneD, D).addD(Fi, Fi, D);
+      L.close();
+    }
+    W.astore(Force, I, Fi);
+    W.addI(I, I, NT).jmp(FLoop);
+    W.bind(FDone);
+    W.addI(Phase, Phase, One);
+    W.call(C, B.BarrierFn, {Wid, Phase});
+
+    // Update half-step: x[i] += dt * f[i], own band.
+    W.mov(I, Wid);
+    Label ULoop = W.label(), UDone = W.label();
+    W.bind(ULoop);
+    W.cmpLtI(C, I, P).jz(C, UDone);
+    W.aload(Xi, Pos, I).aload(Fi, Force, I);
+    W.mulD(T, Fi, Dt).addD(Xi, Xi, T).astore(Pos, I, Xi);
+    W.addI(I, I, NT).jmp(ULoop);
+    W.bind(UDone);
+    W.addI(Phase, Phase, One);
+    W.call(C, B.BarrierFn, {Wid, Phase});
+
+    W.addI(It, It, One).jmp(ILoop);
+    W.bind(IDone);
+    W.retVoid();
+  }
+
+  FunctionBuilder F = PB.function("main", 0);
+  {
+    Reg Pos = F.newReg(), Force = F.newReg(), P = F.newReg(),
+        I = F.newReg(), V = F.newReg(), T = F.newReg();
+    F.constI(P, static_cast<int64_t>(Particles));
+    F.newArr(Pos, P).putG(GPos, Pos);
+    F.newArr(Force, P).putG(GForce, Force);
+    F.constI(I, 0);
+    {
+      LoopGen L(F, I, P);
+      F.i2d(V, I).constD(T, 0.01).mulD(V, V, T).astore(Pos, I, V);
+      L.close();
+    }
+    emitBarrierInit(F, B);
+    emitSpawnJoin(F, W.id(), Threads);
+    // Checksum: every position finite and below a loose bound.
+    Reg Cnt = F.newReg(), C = F.newReg(), One = F.newReg(),
+        Lim = F.newReg();
+    F.constI(I, 0).constI(Cnt, 0).constI(One, 1).constD(Lim, 1e4);
+    {
+      LoopGen L(F, I, P);
+      F.aload(V, Pos, I).absD(V, V);
+      Label Skip = F.label();
+      F.cmpLtD(C, V, Lim).jz(C, Skip);
+      F.addI(Cnt, Cnt, One);
+      F.bind(Skip);
+      L.close();
+    }
+    F.putG(GCheck, Cnt).retVoid();
+  }
+  PB.setMain(F.id());
+
+  Workload Out;
+  Out.Name = "moldyn";
+  Out.Threads = Threads;
+  Out.ResultGlobal = GCheck;
+  Out.HasExpected = true;
+  Out.Expected = static_cast<int64_t>(Particles);
+  Out.Rcc.RaceFree.insert("global:pos[]");
+  Out.Rcc.RaceFree.insert("global:force[]");
+  Out.Prog = PB.take();
+  return Out;
+}
+
+Workload gold::makeMontecarlo(unsigned Threads, WorkloadScale S) {
+  unsigned PathsPerThread = 160 * S.Factor;
+  unsigned Steps = 24;
+
+  ProgramBuilder PB;
+  ClassId AccCls = PB.addClass("PathAccumulator",
+                               {{"sum", false}, {"paths", false}});
+  ClassId ResCls =
+      PB.addClass("Result", {{"total", false}, {"count", false}});
+  uint32_t GRes = PB.addGlobal("result");
+  uint32_t GCheck = PB.addGlobal("check");
+
+  FunctionBuilder W = PB.function("mcWorker", 1, true);
+  {
+    Reg Wid = W.param(0);
+    Reg Acc = W.newReg(), Res = W.newReg(), PIdx = W.newReg(),
+        PEnd = W.newReg(), K = W.newReg(), KEnd = W.newReg(),
+        St = W.newReg(), R = W.newReg(), T = W.newReg(), Sh = W.newReg(),
+        X = W.newReg(), V = W.newReg(), One = W.newReg();
+    // Thread-local accumulator object.
+    W.newObj(Acc, AccCls);
+    W.constI(One, 1);
+    // Deterministic per-worker RNG seed.
+    W.constI(T, 0x5deece66dLL).addI(St, Wid, T).mulI(St, St, T);
+    W.constI(PIdx, 0).constI(PEnd, static_cast<int64_t>(PathsPerThread));
+    {
+      LoopGen LP(W, PIdx, PEnd);
+      // One random walk.
+      W.constD(X, 0.0);
+      W.constI(K, 0).constI(KEnd, static_cast<int64_t>(Steps));
+      {
+        LoopGen LK(W, K, KEnd);
+        emitXorshift(W, St, R, T, Sh);
+        W.constI(T, 2001).modI(R, R, T).constI(T, 1000).subI(R, R, T);
+        W.i2d(V, R).constD(T, 1e-3).mulD(V, V, T).addD(X, X, V);
+        LK.close();
+      }
+      // Accumulate into the thread-local object.
+      W.getField(V, Acc, 0).absD(X, X).addD(V, V, X).putField(Acc, 0, V);
+      W.getField(V, Acc, 1).addI(V, V, One).putField(Acc, 1, V);
+      LP.close();
+    }
+    // Publish under the result object's own monitor.
+    W.getG(Res, GRes).monEnter(Res);
+    W.getField(V, Res, 0).getField(X, Acc, 0).addD(V, V, X);
+    W.putField(Res, 0, V);
+    W.getField(V, Res, 1).getField(T, Acc, 1).addI(V, V, T);
+    W.putField(Res, 1, V);
+    W.monExit(Res).retVoid();
+  }
+
+  FunctionBuilder F = PB.function("main", 0);
+  {
+    Reg Res = F.newReg(), V = F.newReg();
+    F.newObj(Res, ResCls).putG(GRes, Res);
+    emitSpawnJoin(F, W.id(), Threads);
+    F.getG(Res, GRes).getField(V, Res, 1).putG(GCheck, V).retVoid();
+  }
+  PB.setMain(F.id());
+
+  Workload Out;
+  Out.Name = "montecarlo";
+  Out.Threads = Threads;
+  Out.ResultGlobal = GCheck;
+  Out.HasExpected = true;
+  Out.Expected =
+      static_cast<int64_t>(Threads) * static_cast<int64_t>(PathsPerThread);
+  Out.Prog = PB.take();
+  return Out;
+}
+
+Workload gold::makeRaytracer(unsigned Threads, WorkloadScale S) {
+  unsigned Dim = 20 * S.Factor; // image is Dim x Dim
+  unsigned Spheres = 10;
+  unsigned Frames = 2;
+
+  ProgramBuilder PB;
+  ClassId SumCls = PB.addClass("Checksum", {{"value", false}});
+  uint32_t GScene = PB.addGlobal("scene"); // sphere centers (read-shared)
+  uint32_t GImage = PB.addGlobal("image");
+  uint32_t GSum = PB.addGlobal("checksum");
+  uint32_t GCheck = PB.addGlobal("check");
+  BarrierLib B = declareBarrier(PB, Threads);
+
+  FunctionBuilder W = PB.function("rtWorker", 1, true);
+  {
+    Reg Wid = W.param(0);
+    Reg Scene = W.newReg(), Img = W.newReg(), D = W.newReg(),
+        NT = W.newReg(), Fr = W.newReg(), FrEnd = W.newReg(),
+        Row = W.newReg(), Col = W.newReg(), Sph = W.newReg(),
+        SphEnd = W.newReg(), Px = W.newReg(), Val = W.newReg(),
+        Cx = W.newReg(), X = W.newReg(), T = W.newReg(), C = W.newReg(),
+        One = W.newReg(), OneD = W.newReg(), Phase = W.newReg(),
+        RowAcc = W.newReg(), SumObj = W.newReg();
+    W.getG(Scene, GScene).getG(Img, GImage);
+    W.constI(D, static_cast<int64_t>(Dim));
+    W.constI(NT, static_cast<int64_t>(Threads));
+    W.constI(One, 1).constD(OneD, 1.0).constI(Phase, 0);
+    W.constI(Fr, 0).constI(FrEnd, static_cast<int64_t>(Frames));
+    Label FrLoop = W.label(), FrDone = W.label();
+    W.bind(FrLoop);
+    W.cmpLtI(C, Fr, FrEnd).jz(C, FrDone);
+    // Render own rows.
+    W.mov(Row, Wid);
+    Label RLoop = W.label(), RDone = W.label();
+    W.bind(RLoop);
+    W.cmpLtI(C, Row, D).jz(C, RDone);
+    W.constD(RowAcc, 0.0);
+    W.constI(Col, 0);
+    {
+      LoopGen L(W, Col, D);
+      // val = sum over spheres of 1 / (1 + (center - (row+col))^2).
+      W.constD(Val, 0.0);
+      W.addI(T, Row, Col).i2d(X, T);
+      W.constI(Sph, 0).constI(SphEnd, static_cast<int64_t>(Spheres));
+      {
+        LoopGen LS(W, Sph, SphEnd);
+        W.aload(Cx, Scene, Sph).subD(Cx, Cx, X).mulD(Cx, Cx, Cx);
+        W.addD(Cx, Cx, OneD).divD(Cx, OneD, Cx).addD(Val, Val, Cx);
+        LS.close();
+      }
+      W.mulI(Px, Row, D).addI(Px, Px, Col).astore(Img, Px, Val);
+      W.addD(RowAcc, RowAcc, Val);
+      L.close();
+    }
+    // Fold the row into the shared checksum under its monitor.
+    W.getG(SumObj, GSum).monEnter(SumObj);
+    W.getField(T, SumObj, 0).addD(T, T, RowAcc).putField(SumObj, 0, T);
+    W.monExit(SumObj);
+    W.addI(Row, Row, NT).jmp(RLoop);
+    W.bind(RDone);
+    // Frame barrier (volatile flags).
+    W.addI(Phase, Phase, One);
+    W.call(C, B.BarrierFn, {Wid, Phase});
+    W.addI(Fr, Fr, One).jmp(FrLoop);
+    W.bind(FrDone);
+    W.retVoid();
+  }
+
+  FunctionBuilder F = PB.function("main", 0);
+  {
+    Reg Scene = F.newReg(), Img = F.newReg(), N = F.newReg(),
+        I = F.newReg(), V = F.newReg(), T = F.newReg(), SumObj = F.newReg();
+    F.constI(N, static_cast<int64_t>(Spheres)).newArr(Scene, N);
+    F.putG(GScene, Scene);
+    F.constI(I, 0);
+    {
+      LoopGen L(F, I, N);
+      F.i2d(V, I).constD(T, 3.7).mulD(V, V, T).astore(Scene, I, V);
+      L.close();
+    }
+    F.constI(N, static_cast<int64_t>(Dim * Dim)).newArr(Img, N);
+    F.putG(GImage, Img);
+    F.newObj(SumObj, SumCls).putG(GSum, SumObj);
+    emitBarrierInit(F, B);
+    emitSpawnJoin(F, W.id(), Threads);
+    // Checksum: count of strictly positive pixels (== all of them).
+    Reg Cnt = F.newReg(), C = F.newReg(), One = F.newReg(), Z = F.newReg();
+    F.constI(I, 0).constI(Cnt, 0).constI(One, 1).constD(Z, 0.0);
+    {
+      LoopGen L(F, I, N);
+      F.aload(V, Img, I);
+      Label Skip = F.label();
+      F.cmpLtD(C, Z, V).jz(C, Skip);
+      F.addI(Cnt, Cnt, One);
+      F.bind(Skip);
+      L.close();
+    }
+    F.putG(GCheck, Cnt).retVoid();
+  }
+  PB.setMain(F.id());
+
+  Workload Out;
+  Out.Name = "raytracer";
+  Out.Threads = Threads;
+  Out.ResultGlobal = GCheck;
+  Out.HasExpected = true;
+  Out.Expected = static_cast<int64_t>(Dim) * static_cast<int64_t>(Dim);
+  Out.Rcc.RaceFree.insert("global:image[]");
+  Out.Prog = PB.take();
+  return Out;
+}

@@ -1,0 +1,92 @@
+//===- workloads/Common.cpp -----------------------------------------------===//
+
+#include "workloads/Common.h"
+
+using namespace gold;
+
+BarrierLib gold::declareBarrier(ProgramBuilder &PB, unsigned Workers) {
+  BarrierLib B;
+  B.Workers = Workers;
+  B.SlotCls = PB.addClass("BarrierSlot", {{"phase", /*volatile=*/true}});
+  B.GFlags = PB.addGlobal("barrierFlags");
+
+  // barrier(worker, phase):
+  //   arr = flags; arr[worker].phase = phase;           (volatile write)
+  //   for u in 0..N-1: spin until arr[u].phase >= phase (volatile reads)
+  FunctionBuilder F = PB.function("barrier", 2);
+  Reg W = F.param(0), P = F.param(1);
+  Reg Arr = F.newReg(), Slot = F.newReg(), U = F.newReg(), N = F.newReg(),
+      V = F.newReg(), C = F.newReg(), One = F.newReg();
+  F.getG(Arr, B.GFlags);
+  F.aload(Slot, Arr, W);
+  F.putField(Slot, 0, P); // volatile publish
+  F.constI(U, 0).constI(N, static_cast<int64_t>(Workers)).constI(One, 1);
+  Label Loop = F.label(), Done = F.label(), Spin = F.label(),
+        Next = F.label();
+  F.bind(Loop);
+  F.cmpLtI(C, U, N).jz(C, Done);
+  F.aload(Slot, Arr, U);
+  F.bind(Spin);
+  F.getField(V, Slot, 0); // volatile read
+  F.cmpLtI(C, V, P).jz(C, Next);
+  F.yield().jmp(Spin);
+  F.bind(Next);
+  F.addI(U, U, One).jmp(Loop);
+  F.bind(Done);
+  F.retVoid();
+  B.BarrierFn = F.id();
+  return B;
+}
+
+void gold::emitBarrierInit(FunctionBuilder &F, const BarrierLib &B) {
+  Reg Arr = F.newReg(), Slot = F.newReg(), I = F.newReg(), N = F.newReg();
+  F.constI(N, static_cast<int64_t>(B.Workers)).newArr(Arr, N);
+  F.putG(B.GFlags, Arr);
+  F.constI(I, 0);
+  LoopGen L(F, I, N);
+  F.newObj(Slot, B.SlotCls).astore(Arr, I, Slot);
+  L.close();
+}
+
+void gold::emitXorshift(FunctionBuilder &F, Reg State, Reg Out, Reg Tmp,
+                        Reg Sh) {
+  // x ^= x << 13; x ^= x >> 7; x ^= x << 17; out = x & 0x7fffffff
+  F.constI(Sh, 13).shl(Tmp, State, Sh).xorI(State, State, Tmp);
+  F.constI(Sh, 7).shr(Tmp, State, Sh).xorI(State, State, Tmp);
+  F.constI(Sh, 17).shl(Tmp, State, Sh).xorI(State, State, Tmp);
+  F.constI(Sh, 0x7fffffff).andI(Out, State, Sh);
+}
+
+LoopGen::LoopGen(FunctionBuilder &F, Reg I, Reg Bound)
+    : F(F), I(I), Bound(Bound), Cond(F.newReg()), One(F.newReg()),
+      Head(F.label()), End(F.label()) {
+  F.constI(One, 1);
+  F.bind(Head);
+  F.cmpLtI(Cond, I, Bound).jz(Cond, End);
+}
+
+void LoopGen::close() {
+  assert(!Closed && "loop closed twice");
+  Closed = true;
+  F.addI(I, I, One).jmp(Head);
+  F.bind(End);
+}
+
+void gold::emitSpawnJoin(FunctionBuilder &Main, FuncId Entry,
+                         unsigned Workers) {
+  Reg Tids = Main.newReg(), N = Main.newReg(), I = Main.newReg(),
+      T = Main.newReg();
+  Main.constI(N, static_cast<int64_t>(Workers)).newArr(Tids, N);
+  Main.constI(I, 0);
+  {
+    LoopGen L(Main, I, N);
+    Main.fork(T, Entry, {I}).astore(Tids, I, T);
+    L.close();
+  }
+  Main.constI(I, 0);
+  {
+    LoopGen L(Main, I, N);
+    Main.aload(T, Tids, I).join(T);
+    L.close();
+  }
+}

@@ -1,0 +1,66 @@
+//===- workloads/Common.h - Shared bytecode emission helpers ----*- C++ -*-===//
+///
+/// \file
+/// Emission helpers shared by the workload builders: the Java Grande-style
+/// volatile-flag barrier, a bytecode xorshift RNG, counted-loop helpers and
+/// the spawn/join prologue every benchmark uses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GOLD_WORKLOADS_COMMON_H
+#define GOLD_WORKLOADS_COMMON_H
+
+#include "vm/Builder.h"
+
+namespace gold {
+
+/// A volatile-flag barrier for a fixed number of workers, in the style of
+/// the Java Grande SimpleBarrier: worker w publishes its phase number into
+/// its own volatile slot, then spins until every worker's slot has reached
+/// the phase. All synchronization flows through volatile fields — which is
+/// precisely why the Chord analog cannot prove barrier-protected data safe
+/// (Section 6) while the happens-before detectors can.
+struct BarrierLib {
+  uint32_t GFlags = 0;   ///< global holding the array of Slot objects
+  ClassId SlotCls = 0;   ///< class with one volatile field "phase"
+  FuncId BarrierFn = 0;  ///< barrier(worker, phase)
+  unsigned Workers = 0;
+};
+
+/// Declares the barrier machinery in \p PB for \p Workers workers.
+BarrierLib declareBarrier(ProgramBuilder &PB, unsigned Workers);
+
+/// Emits main-side initialization of the barrier (allocate the slot array
+/// and one Slot per worker). Uses scratch registers from \p F.
+void emitBarrierInit(FunctionBuilder &F, const BarrierLib &B);
+
+/// Emits a bytecode xorshift64 step: State = xorshift(State), leaving a
+/// non-negative value in \p Out (uses \p Tmp and \p Sh as scratch).
+void emitXorshift(FunctionBuilder &F, Reg State, Reg Out, Reg Tmp, Reg Sh);
+
+/// A counted loop helper:
+///   Reg I = ...; LoopGen L(F, I, Bound);  // emits header, I < Bound
+///   ... body ...
+///   L.close();                            // emits I++, back edge
+class LoopGen {
+public:
+  /// Starts a loop over I in [current value of I, Bound).
+  LoopGen(FunctionBuilder &F, Reg I, Reg Bound);
+  /// Emits the increment and back edge. Must be called exactly once.
+  void close();
+
+private:
+  FunctionBuilder &F;
+  Reg I, Bound, Cond, One;
+  Label Head, End;
+  bool Closed = false;
+};
+
+/// Emits a standard fork/join prologue in main: forks \p Workers instances
+/// of \p Entry, passing the worker index as the single argument, then
+/// joins them all. Allocates its own scratch registers.
+void emitSpawnJoin(FunctionBuilder &Main, FuncId Entry, unsigned Workers);
+
+} // namespace gold
+
+#endif // GOLD_WORKLOADS_COMMON_H

@@ -1,0 +1,317 @@
+//===- workloads/Kernels.cpp - series, sor, sor2, lufact ------------------===//
+///
+/// The Java Grande numeric kernels. Idiom summary:
+///  * series — embarrassingly parallel, disjoint slices, join-only
+///    synchronization (Table 1: overhead ~1.0);
+///  * sor — red/black relaxation, few volatile barriers, large phases;
+///  * sor2 — the von Praun/Gross variant: small grid, *many* barrier
+///    phases, so volatile traffic dominates (the paper's high-overhead row
+///    whose checks only RccJava's annotations eliminate);
+///  * lufact — LU factorization, one barrier per pivot step, read-shared
+///    pivot row.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Common.h"
+#include "workloads/Workload.h"
+
+using namespace gold;
+
+Workload gold::makeSeries(unsigned Threads, WorkloadScale S) {
+  unsigned M = 192 * S.Factor; // coefficients
+  unsigned Inner = 120;        // integration steps per coefficient
+
+  ProgramBuilder PB;
+  uint32_t GOut = PB.addGlobal("coeffs");
+  uint32_t GCheck = PB.addGlobal("check");
+
+  FunctionBuilder W = PB.function("seriesWorker", 1, true);
+  {
+    Reg Wid = W.param(0);
+    Reg Arr = W.newReg(), I = W.newReg(), MR = W.newReg(), NT = W.newReg(),
+        K = W.newReg(), KB = W.newReg(), Acc = W.newReg(), X = W.newReg(),
+        Step = W.newReg(), T = W.newReg(), C = W.newReg();
+    W.getG(Arr, GOut);
+    W.constI(MR, static_cast<int64_t>(M));
+    W.constI(NT, static_cast<int64_t>(Threads));
+    W.mov(I, Wid);
+    Label Outer = W.label(), OuterEnd = W.label();
+    W.bind(Outer);
+    W.cmpLtI(C, I, MR).jz(C, OuterEnd);
+    // acc = sum_{k<Inner} 1 / (1 + (i + k/Inner)^2), a cheap integrand.
+    W.constD(Acc, 0.0).constI(K, 0).constI(KB, static_cast<int64_t>(Inner));
+    {
+      LoopGen L(W, K, KB);
+      W.i2d(X, I).i2d(T, K);
+      W.constD(Step, 1.0 / Inner).mulD(T, T, Step).addD(X, X, T);
+      W.mulD(X, X, X).constD(T, 1.0).addD(X, X, T).divD(X, T, X);
+      W.addD(Acc, Acc, X);
+      L.close();
+    }
+    W.astore(Arr, I, Acc); // own slice: w, w+NT, w+2*NT, ...
+    W.addI(I, I, NT).jmp(Outer);
+    W.bind(OuterEnd);
+    W.retVoid();
+  }
+
+  FunctionBuilder F = PB.function("main", 0);
+  {
+    Reg Arr = F.newReg(), N = F.newReg();
+    F.constI(N, static_cast<int64_t>(M)).newArr(Arr, N).putG(GOut, Arr);
+    emitSpawnJoin(F, W.id(), Threads);
+    // Checksum: number of nonzero coefficients (integer, deterministic).
+    Reg I = F.newReg(), V = F.newReg(), Z = F.newReg(), Cnt = F.newReg(),
+        One = F.newReg(), C = F.newReg();
+    F.constI(I, 0).constI(Cnt, 0).constI(One, 1).constD(Z, 0.0);
+    {
+      LoopGen L(F, I, N);
+      F.aload(V, Arr, I).cmpEqD(C, V, Z);
+      Label Skip = F.label();
+      F.jnz(C, Skip);
+      F.addI(Cnt, Cnt, One);
+      F.bind(Skip);
+      L.close();
+    }
+    F.putG(GCheck, Cnt).retVoid();
+  }
+  PB.setMain(F.id());
+
+  Workload Out;
+  Out.Name = "series";
+  Out.Threads = Threads;
+  Out.ResultGlobal = GCheck;
+  Out.HasExpected = true;
+  Out.Expected = static_cast<int64_t>(M);
+  Out.Prog = PB.take();
+  return Out;
+}
+
+namespace {
+
+/// Shared emitter for the two SOR variants: an SxS grid relaxed for
+/// 2*Iters red/black phases with a volatile barrier between phases.
+/// Workers own interleaved rows.
+Workload makeSorVariant(const char *Name, unsigned Threads, unsigned Size,
+                        unsigned Iters) {
+  ProgramBuilder PB;
+  uint32_t GGrid = PB.addGlobal("grid");
+  uint32_t GCheck = PB.addGlobal("check");
+  BarrierLib B = declareBarrier(PB, Threads);
+
+  FunctionBuilder W = PB.function("sorWorker", 1, true);
+  {
+    Reg Wid = W.param(0);
+    Reg Arr = W.newReg(), Sz = W.newReg(), NT = W.newReg(),
+        Phase = W.newReg(), PhEnd = W.newReg(), Color = W.newReg(),
+        Row = W.newReg(), Col = W.newReg(), ColEnd = W.newReg(),
+        Idx = W.newReg(), V = W.newReg(), Sum = W.newReg(), T = W.newReg(),
+        C = W.newReg(), One = W.newReg(), Two = W.newReg(),
+        Par = W.newReg(), Omega = W.newReg(), Quarter = W.newReg();
+    W.getG(Arr, GGrid);
+    W.constI(Sz, static_cast<int64_t>(Size));
+    W.constI(NT, static_cast<int64_t>(Threads));
+    W.constI(One, 1).constI(Two, 2);
+    W.constD(Omega, 0.3).constD(Quarter, 0.25);
+    W.constI(Phase, 0).constI(PhEnd, static_cast<int64_t>(2 * Iters));
+    Label PhLoop = W.label(), PhDone = W.label();
+    W.bind(PhLoop);
+    W.cmpLtI(C, Phase, PhEnd).jz(C, PhDone);
+    W.modI(Color, Phase, Two);
+    // Rows wid+1, wid+1+NT, ... (interior rows only).
+    W.addI(Row, Wid, One);
+    Label RowLoop = W.label(), RowDone = W.label();
+    W.bind(RowLoop);
+    W.subI(T, Sz, One).cmpLtI(C, Row, T).jz(C, RowDone);
+    W.constI(Col, 1).subI(ColEnd, Sz, One);
+    {
+      LoopGen L(W, Col, ColEnd);
+      // Only cells of the current color.
+      W.addI(Par, Row, Col).modI(Par, Par, Two).cmpEqI(C, Par, Color);
+      Label SkipCell = W.label();
+      W.jz(C, SkipCell);
+      // sum = up + down + left + right
+      W.mulI(Idx, Row, Sz).addI(Idx, Idx, Col);
+      W.subI(T, Idx, Sz).aload(Sum, Arr, T);
+      W.addI(T, Idx, Sz).aload(V, Arr, T).addD(Sum, Sum, V);
+      W.subI(T, Idx, One).aload(V, Arr, T).addD(Sum, Sum, V);
+      W.addI(T, Idx, One).aload(V, Arr, T).addD(Sum, Sum, V);
+      W.mulD(Sum, Sum, Quarter);
+      // g = g + omega * (avg - g)
+      W.aload(V, Arr, Idx).subD(Sum, Sum, V).mulD(Sum, Sum, Omega);
+      W.addD(V, V, Sum).astore(Arr, Idx, V);
+      W.bind(SkipCell);
+      L.close();
+    }
+    W.addI(Row, Row, NT).jmp(RowLoop);
+    W.bind(RowDone);
+    W.addI(Phase, Phase, One);
+    W.call(C, B.BarrierFn, {Wid, Phase});
+    W.jmp(PhLoop);
+    W.bind(PhDone);
+    W.retVoid();
+  }
+
+  FunctionBuilder F = PB.function("main", 0);
+  {
+    Reg Arr = F.newReg(), N = F.newReg(), I = F.newReg(), V = F.newReg(),
+        T = F.newReg(), Sh = F.newReg(), St = F.newReg();
+    F.constI(N, static_cast<int64_t>(Size * Size)).newArr(Arr, N);
+    F.putG(GGrid, Arr);
+    // Deterministic pseudo-random initial grid.
+    F.constI(I, 0).constI(St, 0x243f6a8885a308d3LL);
+    {
+      LoopGen L(F, I, N);
+      emitXorshift(F, St, V, T, Sh);
+      F.constI(T, 1000).modI(V, V, T).i2d(V, V);
+      F.constD(T, 1e-3).mulD(V, V, T).astore(Arr, I, V);
+      L.close();
+    }
+    emitBarrierInit(F, B);
+    emitSpawnJoin(F, W.id(), Threads);
+    // Checksum: grid cells in [0, 1] after relaxation (count, integer).
+    Reg Cnt = F.newReg(), C = F.newReg(), One = F.newReg(), Z = F.newReg(),
+        OneD = F.newReg();
+    F.constI(I, 0).constI(Cnt, 0).constI(One, 1);
+    F.constD(Z, -0.0001).constD(OneD, 1.0001);
+    {
+      LoopGen L(F, I, N);
+      F.aload(V, Arr, I);
+      Label Skip = F.label();
+      F.cmpLtD(C, V, Z).jnz(C, Skip);
+      F.cmpLtD(C, OneD, V).jnz(C, Skip);
+      F.addI(Cnt, Cnt, One);
+      F.bind(Skip);
+      L.close();
+    }
+    F.putG(GCheck, Cnt).retVoid();
+  }
+  PB.setMain(F.id());
+
+  Workload Out;
+  Out.Name = Name;
+  Out.Threads = Threads;
+  Out.ResultGlobal = GCheck;
+  Out.HasExpected = true;
+  Out.Expected = static_cast<int64_t>(Size * Size);
+  Out.Rcc.RaceFree.insert("global:grid[]");
+  Out.Prog = PB.take();
+  return Out;
+}
+
+} // namespace
+
+Workload gold::makeSor(unsigned Threads, WorkloadScale S) {
+  // Few, large phases: compute dominates.
+  return makeSorVariant("sor", Threads, 24 * S.Factor, 12);
+}
+
+Workload gold::makeSor2(unsigned Threads, WorkloadScale S) {
+  // Many, tiny phases: barrier volatile traffic dominates.
+  return makeSorVariant("sor2", Threads, 12, 60 * S.Factor);
+}
+
+Workload gold::makeLufact(unsigned Threads, WorkloadScale S) {
+  unsigned N = 20 * S.Factor; // matrix dimension
+
+  ProgramBuilder PB;
+  uint32_t GMat = PB.addGlobal("matrix");
+  uint32_t GCheck = PB.addGlobal("check");
+  BarrierLib B = declareBarrier(PB, Threads);
+
+  FunctionBuilder W = PB.function("lufactWorker", 1, true);
+  {
+    Reg Wid = W.param(0);
+    Reg Arr = W.newReg(), Nr = W.newReg(), NT = W.newReg(), K = W.newReg(),
+        Row = W.newReg(), Col = W.newReg(), Pivot = W.newReg(),
+        Mult = W.newReg(), Idx = W.newReg(), V = W.newReg(), T = W.newReg(),
+        C = W.newReg(), One = W.newReg(), Phase = W.newReg();
+    W.getG(Arr, GMat);
+    W.constI(Nr, static_cast<int64_t>(N));
+    W.constI(NT, static_cast<int64_t>(Threads));
+    W.constI(One, 1).constI(Phase, 0);
+    W.constI(K, 0);
+    Label KLoop = W.label(), KDone = W.label();
+    W.bind(KLoop);
+    W.subI(T, Nr, One).cmpLtI(C, K, T).jz(C, KDone);
+    // Rows k+1+wid, k+1+wid+NT, ... eliminate column k.
+    W.addI(Row, K, One).addI(Row, Row, Wid);
+    Label RLoop = W.label(), RDone = W.label();
+    W.bind(RLoop);
+    W.cmpLtI(C, Row, Nr).jz(C, RDone);
+    // mult = m[row][k] / m[k][k]
+    W.mulI(Idx, Row, Nr).addI(Idx, Idx, K).aload(Mult, Arr, Idx);
+    W.mulI(T, K, Nr).addI(T, T, K).aload(Pivot, Arr, T);
+    W.divD(Mult, Mult, Pivot);
+    // m[row][c] -= mult * m[k][c]  for c in k..N-1
+    W.mov(Col, K);
+    {
+      LoopGen L(W, Col, Nr);
+      W.mulI(T, K, Nr).addI(T, T, Col).aload(V, Arr, T);
+      W.mulD(V, V, Mult);
+      W.mulI(Idx, Row, Nr).addI(Idx, Idx, Col);
+      W.aload(T, Arr, Idx).subD(T, T, V).astore(Arr, Idx, T);
+      L.close();
+    }
+    W.addI(Row, Row, NT).jmp(RLoop);
+    W.bind(RDone);
+    W.addI(Phase, Phase, One);
+    W.call(C, B.BarrierFn, {Wid, Phase});
+    W.addI(K, K, One).jmp(KLoop);
+    W.bind(KDone);
+    W.retVoid();
+  }
+
+  FunctionBuilder F = PB.function("main", 0);
+  {
+    Reg Arr = F.newReg(), Nr = F.newReg(), I = F.newReg(), V = F.newReg(),
+        T = F.newReg(), Sh = F.newReg(), St = F.newReg(), Sz = F.newReg();
+    F.constI(Sz, static_cast<int64_t>(N * N)).newArr(Arr, Sz);
+    F.putG(GMat, Arr);
+    F.constI(Nr, static_cast<int64_t>(N));
+    // Diagonally dominant random matrix (keeps the pivots well away from
+    // zero so no pivoting is needed).
+    F.constI(I, 0).constI(St, 0x9e3779b97f4a7c15LL);
+    {
+      LoopGen L(F, I, Sz);
+      emitXorshift(F, St, V, T, Sh);
+      F.constI(T, 100).modI(V, V, T).i2d(V, V);
+      F.constD(T, 0.01).mulD(V, V, T).astore(Arr, I, V);
+      L.close();
+    }
+    F.constI(I, 0);
+    {
+      LoopGen L(F, I, Nr);
+      Reg Idx = F.newReg();
+      F.mulI(Idx, I, Nr).addI(Idx, Idx, I);
+      F.constD(V, 50.0).astore(Arr, Idx, V);
+      L.close();
+    }
+    emitBarrierInit(F, B);
+    emitSpawnJoin(F, W.id(), Threads);
+    // Checksum: all entries finite and |m[i]| < 1e6 (count).
+    Reg Cnt = F.newReg(), C = F.newReg(), One = F.newReg(),
+        Lim = F.newReg();
+    F.constI(I, 0).constI(Cnt, 0).constI(One, 1).constD(Lim, 1e6);
+    {
+      LoopGen L(F, I, Sz);
+      F.aload(V, Arr, I).absD(V, V);
+      Label Skip = F.label();
+      F.cmpLtD(C, V, Lim).jz(C, Skip);
+      F.addI(Cnt, Cnt, One);
+      F.bind(Skip);
+      L.close();
+    }
+    F.putG(GCheck, Cnt).retVoid();
+  }
+  PB.setMain(F.id());
+
+  Workload Out;
+  Out.Name = "lufact";
+  Out.Threads = Threads;
+  Out.ResultGlobal = GCheck;
+  Out.HasExpected = true;
+  Out.Expected = static_cast<int64_t>(N * N);
+  Out.Rcc.RaceFree.insert("global:matrix[]");
+  Out.Prog = PB.take();
+  return Out;
+}

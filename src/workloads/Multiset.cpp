@@ -1,0 +1,224 @@
+//===- workloads/Multiset.cpp - the Table 3 transactional Multiset --------===//
+///
+/// The hand-transactionalized Multiset of Section 6.1 (based on the Vyrd
+/// benchmark): an array of slots, each possibly holding an element. An
+/// insert first *allocates* space slot-by-slot (one transaction per
+/// allocation, occupied 0 -> 1), then either makes all new elements visible
+/// in a single transaction (1 -> 2) or, when allocation ran out of space,
+/// frees the reserved slots in one transaction — mimicking rollback. Lookup
+/// and delete are single transactions. The insert argument values are
+/// produced by a factory object shared among threads and manipulated
+/// *outside* transactions under its own monitor — the lock/transaction mix
+/// the paper's runtime must handle (Sections 3-5).
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Common.h"
+#include "workloads/Workload.h"
+
+using namespace gold;
+
+Workload gold::makeMultiset(unsigned Threads, unsigned OpsPerThread,
+                            unsigned SetSize) {
+  ProgramBuilder PB;
+  ClassId SlotCls =
+      PB.addClass("Slot", {{"occupied", false}, {"value", false}});
+  ClassId FactoryCls = PB.addClass("Factory", {{"seed", false}});
+  uint32_t GSlots = PB.addGlobal("elements");
+  uint32_t GFactory = PB.addGlobal("factory");
+  uint32_t GCheck = PB.addGlobal("check");
+
+  FunctionBuilder W = PB.function("msWorker", 1, true);
+  {
+    Reg Wid = W.param(0);
+    Reg Slots = W.newReg(), Fac = W.newReg(), Op = W.newReg(),
+        OpEnd = W.newReg(), Kind = W.newReg(), St = W.newReg(),
+        R = W.newReg(), T = W.newReg(), Sh = W.newReg(), I = W.newReg(),
+        N = W.newReg(), Slot = W.newReg(), V = W.newReg(), C = W.newReg(),
+        One = W.newReg(), Two = W.newReg(), Zero = W.newReg(),
+        First = W.newReg(), Second = W.newReg(), Got = W.newReg(),
+        Val = W.newReg(), Three = W.newReg(), Shared = W.newReg();
+    W.getG(Shared, GSlots).getG(Fac, GFactory);
+    W.constI(N, static_cast<int64_t>(SetSize));
+    W.constI(One, 1).constI(Two, 2).constI(Zero, 0).constI(Three, 3);
+    // Snapshot the (immutable) slot references into a private array so
+    // transactions lock only the Slot objects they touch, not the shared
+    // container — the Hindman–Grossman translation locks per accessed
+    // object, and the element array is read-only after construction.
+    W.newArr(Slots, N);
+    W.constI(I, 0);
+    {
+      LoopGen L(W, I, N);
+      W.aload(V, Shared, I).astore(Slots, I, V);
+      L.close();
+    }
+    // Per-thread RNG for the op mix.
+    W.constI(T, 0x9e3779b97f4a7c15LL).addI(St, Wid, One).mulI(St, St, T);
+    W.constI(Op, 0).constI(OpEnd, static_cast<int64_t>(OpsPerThread));
+    Label OpLoop = W.label(), OpDone = W.label();
+    W.bind(OpLoop);
+    W.cmpLtI(C, Op, OpEnd).jz(C, OpDone);
+
+    // Draw a value from the shared factory, outside any transaction,
+    // under the factory's monitor (the lock/txn mix of Section 6.1).
+    W.monEnter(Fac);
+    W.getField(V, Fac, 0).addI(V, V, One).putField(Fac, 0, V);
+    W.monExit(Fac);
+    W.mov(Val, V);
+
+    // Local think-time between operations (argument preparation in the
+    // original benchmark): keeps the shared phase a realistic fraction of
+    // each operation.
+    {
+      Reg K = W.newReg(), KEnd = W.newReg();
+      W.constI(K, 0).constI(KEnd, 60);
+      LoopGen L(W, K, KEnd);
+      emitXorshift(W, St, R, T, Sh);
+      L.close();
+    }
+
+    // Insert-dominated mix (the paper's benchmark is driven by Insert):
+    // 3/6 insert, 2/6 delete, 1/6 query.
+    emitXorshift(W, St, R, T, Sh);
+    W.constI(T, 6).modI(Kind, R, T);
+
+    Label DoInsert = W.label(), DoDelete = W.label(), DoQuery = W.label(),
+          OpNext = W.label();
+    W.cmpLtI(C, Kind, Three).jnz(C, DoInsert);
+    W.constI(T, 5).cmpLtI(C, Kind, T).jnz(C, DoDelete);
+    W.jmp(DoQuery);
+
+    //--- insert(2 elements) ------------------------------------------------
+    W.bind(DoInsert);
+    // Allocation phase: one transaction per slot reservation (0 -> 1).
+    auto EmitReserve = [&](Reg Out) {
+      // Out = index of reserved slot, or -1.
+      W.constI(Out, -1);
+      W.atomicBegin();
+      W.constI(I, 0);
+      Label Scan = W.label(), ScanEnd = W.label();
+      W.bind(Scan);
+      W.cmpLtI(C, I, N).jz(C, ScanEnd);
+      W.aload(Slot, Slots, I);
+      W.getField(V, Slot, 0);
+      Label NotFree = W.label();
+      W.cmpEqI(C, V, Zero).jz(C, NotFree);
+      W.putField(Slot, 0, One).putField(Slot, 1, Val);
+      W.mov(Out, I).jmp(ScanEnd);
+      W.bind(NotFree);
+      W.addI(I, I, One).jmp(Scan);
+      W.bind(ScanEnd);
+      W.atomicEnd();
+    };
+    EmitReserve(First);
+    EmitReserve(Second);
+    {
+      // Visibility or rollback transaction.
+      Label Rollback = W.label(), InsDone = W.label();
+      W.constI(T, 0);
+      W.cmpLtI(C, First, T).jnz(C, Rollback);
+      W.cmpLtI(C, Second, T).jnz(C, Rollback);
+      // Make both visible in one transaction (1 -> 2).
+      W.atomicBegin();
+      W.aload(Slot, Slots, First).putField(Slot, 0, Two);
+      W.aload(Slot, Slots, Second).putField(Slot, 0, Two);
+      W.atomicEnd();
+      W.jmp(InsDone);
+      W.bind(Rollback);
+      // Free whatever was reserved, in one transaction.
+      W.atomicBegin();
+      Label R2 = W.label();
+      W.cmpLtI(C, First, T).jnz(C, R2);
+      W.aload(Slot, Slots, First).putField(Slot, 0, Zero);
+      W.bind(R2);
+      Label R3 = W.label();
+      W.cmpLtI(C, Second, T).jnz(C, R3);
+      W.aload(Slot, Slots, Second).putField(Slot, 0, Zero);
+      W.bind(R3);
+      W.atomicEnd();
+      W.bind(InsDone);
+    }
+    W.jmp(OpNext);
+
+    //--- delete(first visible element) -------------------------------------
+    W.bind(DoDelete);
+    W.atomicBegin();
+    W.constI(I, 0);
+    {
+      Label Scan = W.label(), ScanEnd = W.label();
+      W.bind(Scan);
+      W.cmpLtI(C, I, N).jz(C, ScanEnd);
+      W.aload(Slot, Slots, I).getField(V, Slot, 0);
+      Label NotVis = W.label();
+      W.cmpEqI(C, V, Two).jz(C, NotVis);
+      W.putField(Slot, 0, Zero).jmp(ScanEnd);
+      W.bind(NotVis);
+      W.addI(I, I, One).jmp(Scan);
+      W.bind(ScanEnd);
+    }
+    W.atomicEnd();
+    W.jmp(OpNext);
+
+    //--- query(count visible) ----------------------------------------------
+    W.bind(DoQuery);
+    W.constI(Got, 0);
+    W.atomicBegin();
+    W.constI(I, 0);
+    {
+      LoopGen L(W, I, N);
+      W.aload(Slot, Slots, I).getField(V, Slot, 0);
+      Label NotVis = W.label();
+      W.cmpEqI(C, V, Two).jz(C, NotVis);
+      W.addI(Got, Got, One);
+      W.bind(NotVis);
+      L.close();
+    }
+    W.atomicEnd();
+
+    W.bind(OpNext);
+    W.addI(Op, Op, One).jmp(OpLoop);
+    W.bind(OpDone);
+    W.retVoid();
+  }
+
+  FunctionBuilder F = PB.function("main", 0);
+  {
+    Reg Slots = F.newReg(), N = F.newReg(), I = F.newReg(),
+        Slot = F.newReg(), Fac = F.newReg(), V = F.newReg(),
+        Cnt = F.newReg(), One = F.newReg(), C = F.newReg(),
+        Two = F.newReg();
+    F.constI(N, static_cast<int64_t>(SetSize)).newArr(Slots, N);
+    F.putG(GSlots, Slots);
+    F.constI(I, 0);
+    {
+      LoopGen L(F, I, N);
+      F.newObj(Slot, SlotCls).astore(Slots, I, Slot);
+      L.close();
+    }
+    F.newObj(Fac, FactoryCls).putG(GFactory, Fac);
+    emitSpawnJoin(F, W.id(), Threads);
+    // Invariant check: no slot is left half-reserved (occupied == 1), so
+    // count slots with occupied != 1.
+    F.constI(I, 0).constI(Cnt, 0).constI(One, 1).constI(Two, 2);
+    {
+      LoopGen L(F, I, N);
+      F.aload(Slot, Slots, I).getField(V, Slot, 0);
+      Label Skip = F.label();
+      F.cmpEqI(C, V, One).jnz(C, Skip);
+      F.addI(Cnt, Cnt, One);
+      F.bind(Skip);
+      L.close();
+    }
+    F.putG(GCheck, Cnt).retVoid();
+  }
+  PB.setMain(F.id());
+
+  Workload Out;
+  Out.Name = "multiset";
+  Out.Threads = Threads;
+  Out.ResultGlobal = GCheck;
+  Out.HasExpected = true;
+  Out.Expected = static_cast<int64_t>(SetSize);
+  Out.Prog = PB.take();
+  return Out;
+}

@@ -1,0 +1,22 @@
+//===- workloads/Suite.cpp - the Table 1/2 benchmark suite ----------------===//
+
+#include "workloads/Workload.h"
+
+using namespace gold;
+
+std::vector<Workload> gold::standardSuite(WorkloadScale S) {
+  // Thread counts follow Table 1.
+  std::vector<Workload> Out;
+  Out.push_back(makeColt(10, S));
+  Out.push_back(makeHedc(10, S));
+  Out.push_back(makeLufact(10, S));
+  Out.push_back(makeMoldyn(5, S));
+  Out.push_back(makeMontecarlo(5, S));
+  Out.push_back(makePhilo(8, S));
+  Out.push_back(makeRaytracer(5, S));
+  Out.push_back(makeSeries(10, S));
+  Out.push_back(makeSor(5, S));
+  Out.push_back(makeSor2(10, S));
+  Out.push_back(makeTsp(10, S));
+  return Out;
+}

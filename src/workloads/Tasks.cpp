@@ -1,0 +1,410 @@
+//===- workloads/Tasks.cpp - tsp, philo, colt, hedc -----------------------===//
+///
+/// The von Praun/Gross benchmark analogs. Idiom summary:
+///  * tsp — branch-and-bound: read-shared distance matrix (pre-fork init),
+///    a lock-protected work counter and global best bound;
+///  * philo — dining philosophers: ordered per-fork monitors plus a
+///    wait/notify "room" guard;
+///  * colt — thread-local matrix kernels with a lock-protected reduction
+///    (statically almost fully eliminable, like the paper's colt rows);
+///  * hedc — task-queue ownership transfer: main produces task objects
+///    under a queue lock, workers process them *outside* the lock — the
+///    lockset-transfer pattern static analyses cannot prove and Goldilocks
+///    handles precisely.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Common.h"
+#include "workloads/Workload.h"
+
+using namespace gold;
+
+Workload gold::makeTsp(unsigned Threads, WorkloadScale S) {
+  unsigned Cities = 12;
+  unsigned Tours = 220 * S.Factor;
+
+  ProgramBuilder PB;
+  ClassId CtlCls = PB.addClass(
+      "Control", {{"nextTour", false}, {"bestLen", false}});
+  uint32_t GDist = PB.addGlobal("dist");
+  uint32_t GCtl = PB.addGlobal("control");
+  uint32_t GCheck = PB.addGlobal("check");
+
+  FunctionBuilder W = PB.function("tspWorker", 1, true);
+  {
+    Reg Wid = W.param(0);
+    Reg Dist = W.newReg(), Ctl = W.newReg(), Tour = W.newReg(),
+        TEnd = W.newReg(), St = W.newReg(), R = W.newReg(), T = W.newReg(),
+        Sh = W.newReg(), Len = W.newReg(), Prev = W.newReg(),
+        City = W.newReg(), K = W.newReg(), KEnd = W.newReg(),
+        Nc = W.newReg(), Idx = W.newReg(), V = W.newReg(), C = W.newReg(),
+        One = W.newReg();
+    W.getG(Dist, GDist).getG(Ctl, GCtl);
+    W.constI(Nc, static_cast<int64_t>(Cities));
+    W.constI(TEnd, static_cast<int64_t>(Tours));
+    W.constI(One, 1);
+    (void)Wid;
+    Label Next = W.label(), Done = W.label();
+    W.bind(Next);
+    // Claim the next tour index under the control object's monitor.
+    W.monEnter(Ctl);
+    W.getField(Tour, Ctl, 0).addI(T, Tour, One).putField(Ctl, 0, T);
+    W.monExit(Ctl);
+    W.cmpLtI(C, Tour, TEnd).jz(C, Done);
+    // Pseudo-random tour seeded by the tour index; walk Cities hops.
+    W.constI(T, 0x2545f4914f6cdd1dLL).addI(St, Tour, One);
+    W.mulI(St, St, T);
+    W.constI(Len, 0).constI(Prev, 0);
+    W.constI(K, 0).mov(KEnd, Nc);
+    {
+      LoopGen L(W, K, KEnd);
+      emitXorshift(W, St, R, T, Sh);
+      W.modI(City, R, Nc);
+      // len += dist[prev][city]
+      W.mulI(Idx, Prev, Nc).addI(Idx, Idx, City).aload(V, Dist, Idx);
+      W.addI(Len, Len, V);
+      W.mov(Prev, City);
+      L.close();
+    }
+    // Update the global best under the monitor.
+    W.monEnter(Ctl);
+    W.getField(V, Ctl, 1).cmpLtI(C, Len, V);
+    Label NoImprove = W.label();
+    W.jz(C, NoImprove);
+    W.putField(Ctl, 1, Len);
+    W.bind(NoImprove);
+    W.monExit(Ctl);
+    W.jmp(Next);
+    W.bind(Done);
+    W.retVoid();
+  }
+
+  FunctionBuilder F = PB.function("main", 0);
+  {
+    Reg Dist = F.newReg(), N = F.newReg(), I = F.newReg(), V = F.newReg(),
+        T = F.newReg(), Sh = F.newReg(), St = F.newReg(), Ctl = F.newReg();
+    F.constI(N, static_cast<int64_t>(Cities * Cities)).newArr(Dist, N);
+    F.putG(GDist, Dist);
+    F.constI(I, 0).constI(St, 0x853c49e6748fea9bLL);
+    {
+      LoopGen L(F, I, N);
+      emitXorshift(F, St, V, T, Sh);
+      F.constI(T, 97).modI(V, V, T).constI(T, 1).addI(V, V, T);
+      F.astore(Dist, I, V);
+      L.close();
+    }
+    F.newObj(Ctl, CtlCls);
+    F.constI(V, 1 << 30).putField(Ctl, 1, V); // bestLen = +inf
+    F.putG(GCtl, Ctl);
+    emitSpawnJoin(F, W.id(), Threads);
+    F.getG(Ctl, GCtl).getField(V, Ctl, 1).putG(GCheck, V).retVoid();
+  }
+  PB.setMain(F.id());
+
+  Workload Out;
+  Out.Name = "tsp";
+  Out.Threads = Threads;
+  Out.ResultGlobal = GCheck;
+  // Best length is deterministic: the set of examined tours is fixed.
+  Out.Prog = PB.take();
+  return Out;
+}
+
+Workload gold::makePhilo(unsigned Threads, WorkloadScale S) {
+  unsigned Meals = 60 * S.Factor;
+
+  ProgramBuilder PB;
+  ClassId ForkCls = PB.addClass("Fork", {{"uses", false}});
+  ClassId RoomCls = PB.addClass("Room", {{"inside", false}});
+  uint32_t GForks = PB.addGlobal("forks");
+  uint32_t GRoom = PB.addGlobal("room");
+  uint32_t GCheck = PB.addGlobal("check");
+
+  FunctionBuilder W = PB.function("philosopher", 1, true);
+  {
+    Reg Wid = W.param(0);
+    Reg Forks = W.newReg(), Room = W.newReg(), Left = W.newReg(),
+        Right = W.newReg(), LIdx = W.newReg(), RIdx = W.newReg(),
+        N = W.newReg(), M = W.newReg(), MEnd = W.newReg(), V = W.newReg(),
+        C = W.newReg(), One = W.newReg(), Cap = W.newReg(),
+        T = W.newReg();
+    W.getG(Forks, GForks).getG(Room, GRoom);
+    W.constI(N, static_cast<int64_t>(Threads)).constI(One, 1);
+    W.constI(Cap, static_cast<int64_t>(Threads - 1));
+    // Left/right fork indices; ordered acquisition (lower index first)
+    // prevents deadlock.
+    W.mov(LIdx, Wid).addI(RIdx, Wid, One).modI(RIdx, RIdx, N);
+    Label SwapDone = W.label();
+    W.cmpLtI(C, LIdx, RIdx).jnz(C, SwapDone);
+    W.mov(T, LIdx).mov(LIdx, RIdx).mov(RIdx, T);
+    W.bind(SwapDone);
+    W.aload(Left, Forks, LIdx).aload(Right, Forks, RIdx);
+
+    W.constI(M, 0).constI(MEnd, static_cast<int64_t>(Meals));
+    {
+      LoopGen L(W, M, MEnd);
+      // Enter the room (at most Threads-1 inside): wait/notify guard.
+      W.monEnter(Room);
+      Label Check = W.label(), Go = W.label();
+      W.bind(Check);
+      W.getField(V, Room, 0).cmpLtI(C, V, Cap).jnz(C, Go);
+      W.wait(Room).jmp(Check);
+      W.bind(Go);
+      W.getField(V, Room, 0).addI(V, V, One).putField(Room, 0, V);
+      W.monExit(Room);
+      // Eat with both forks, ordered.
+      W.monEnter(Left).monEnter(Right);
+      W.getField(V, Left, 0).addI(V, V, One).putField(Left, 0, V);
+      W.getField(V, Right, 0).addI(V, V, One).putField(Right, 0, V);
+      W.monExit(Right).monExit(Left);
+      // Leave the room.
+      W.monEnter(Room);
+      W.getField(V, Room, 0).subI(V, V, One).putField(Room, 0, V);
+      W.notifyAll(Room).monExit(Room);
+      L.close();
+    }
+    W.retVoid();
+  }
+
+  FunctionBuilder F = PB.function("main", 0);
+  {
+    Reg Forks = F.newReg(), N = F.newReg(), I = F.newReg(),
+        Obj = F.newReg(), V = F.newReg(), Sum = F.newReg(),
+        One = F.newReg();
+    F.constI(N, static_cast<int64_t>(Threads)).newArr(Forks, N);
+    F.putG(GForks, Forks);
+    F.constI(I, 0);
+    {
+      LoopGen L(F, I, N);
+      F.newObj(Obj, ForkCls).astore(Forks, I, Obj);
+      L.close();
+    }
+    F.newObj(Obj, RoomCls).putG(GRoom, Obj);
+    emitSpawnJoin(F, W.id(), Threads);
+    // Total fork uses = 2 * Threads * Meals.
+    F.constI(I, 0).constI(Sum, 0).constI(One, 1);
+    {
+      LoopGen L(F, I, N);
+      F.aload(Obj, Forks, I).getField(V, Obj, 0).addI(Sum, Sum, V);
+      L.close();
+    }
+    F.putG(GCheck, Sum).retVoid();
+  }
+  PB.setMain(F.id());
+
+  Workload Out;
+  Out.Name = "philo";
+  Out.Threads = Threads;
+  Out.ResultGlobal = GCheck;
+  Out.HasExpected = true;
+  Out.Expected = 2ll * Threads * Meals;
+  Out.Prog = PB.take();
+  return Out;
+}
+
+Workload gold::makeColt(unsigned Threads, WorkloadScale S) {
+  unsigned Dim = 16;
+  unsigned Reps = 6 * S.Factor;
+
+  ProgramBuilder PB;
+  ClassId ResCls = PB.addClass("Reduction", {{"sum", false}});
+  uint32_t GRes = PB.addGlobal("reduction");
+  uint32_t GCheck = PB.addGlobal("check");
+
+  FunctionBuilder W = PB.function("coltWorker", 1, true);
+  {
+    Reg Wid = W.param(0);
+    Reg A = W.newReg(), Bm = W.newReg(), Cm = W.newReg(), N = W.newReg(),
+        N2 = W.newReg(), I = W.newReg(), J = W.newReg(), K = W.newReg(),
+        V = W.newReg(), T = W.newReg(), Acc = W.newReg(), Idx = W.newReg(),
+        Rep = W.newReg(), RepEnd = W.newReg(), Res = W.newReg(),
+        Local = W.newReg(), One = W.newReg();
+    W.constI(N, static_cast<int64_t>(Dim));
+    W.constI(N2, static_cast<int64_t>(Dim * Dim));
+    W.constI(One, 1);
+    // Thread-local matrices (never escape).
+    W.newArr(A, N2).newArr(Bm, N2).newArr(Cm, N2);
+    W.constI(I, 0);
+    {
+      LoopGen L(W, I, N2);
+      W.addI(V, I, Wid).i2d(V, V).constD(T, 0.01).mulD(V, V, T);
+      W.astore(A, I, V).astore(Bm, I, V);
+      L.close();
+    }
+    W.constI(Local, 0);
+    W.constI(Rep, 0).constI(RepEnd, static_cast<int64_t>(Reps));
+    {
+      LoopGen LR(W, Rep, RepEnd);
+      // C = A * B, thread-local.
+      W.constI(I, 0);
+      {
+        LoopGen LI(W, I, N);
+        W.constI(J, 0);
+        {
+          LoopGen LJ(W, J, N);
+          W.constD(Acc, 0.0);
+          W.constI(K, 0);
+          {
+            LoopGen LK(W, K, N);
+            W.mulI(Idx, I, N).addI(Idx, Idx, K).aload(V, A, Idx);
+            W.mulI(Idx, K, N).addI(Idx, Idx, J).aload(T, Bm, Idx);
+            W.mulD(V, V, T).addD(Acc, Acc, V);
+            LK.close();
+          }
+          W.mulI(Idx, I, N).addI(Idx, Idx, J).astore(Cm, Idx, Acc);
+          LJ.close();
+        }
+        LI.close();
+      }
+      W.addI(Local, Local, One);
+      LR.close();
+    }
+    // Lock-protected reduction of the (integer) repetition count.
+    W.getG(Res, GRes).monEnter(Res);
+    W.getField(V, Res, 0).addI(V, V, Local).putField(Res, 0, V);
+    W.monExit(Res).retVoid();
+  }
+
+  FunctionBuilder F = PB.function("main", 0);
+  {
+    Reg Res = F.newReg(), V = F.newReg();
+    F.newObj(Res, ResCls).putG(GRes, Res);
+    emitSpawnJoin(F, W.id(), Threads);
+    F.getG(Res, GRes).getField(V, Res, 0).putG(GCheck, V).retVoid();
+  }
+  PB.setMain(F.id());
+
+  Workload Out;
+  Out.Name = "colt";
+  Out.Threads = Threads;
+  Out.ResultGlobal = GCheck;
+  Out.HasExpected = true;
+  Out.Expected = static_cast<int64_t>(Threads) * Reps;
+  Out.Prog = PB.take();
+  return Out;
+}
+
+Workload gold::makeHedc(unsigned Threads, WorkloadScale S) {
+  unsigned TasksCount = 120 * S.Factor;
+  unsigned Capacity = TasksCount + Threads + 1;
+
+  ProgramBuilder PB;
+  ClassId TaskCls =
+      PB.addClass("Task", {{"input", false}, {"result", false}});
+  ClassId QCls = PB.addClass(
+      "Queue", {{"head", false}, {"tail", false}, {"done", false}});
+  uint32_t GQueue = PB.addGlobal("queue");
+  uint32_t GSlots = PB.addGlobal("slots");
+  uint32_t GCheck = PB.addGlobal("check");
+
+  FunctionBuilder W = PB.function("hedcWorker", 1, true);
+  {
+    Reg Wid = W.param(0);
+    (void)Wid;
+    Reg Q = W.newReg(), Slots = W.newReg(), Task = W.newReg(),
+        H = W.newReg(), T = W.newReg(), V = W.newReg(), C = W.newReg(),
+        One = W.newReg(), In = W.newReg(), K = W.newReg(), KEnd = W.newReg();
+    W.getG(Q, GQueue).getG(Slots, GSlots);
+    W.constI(One, 1);
+    Label Next = W.label(), Stop = W.label();
+    W.bind(Next);
+    // Pop under the queue's monitor, waiting while empty.
+    W.monEnter(Q);
+    Label Check = W.label(), Have = W.label();
+    W.bind(Check);
+    W.getField(H, Q, 0).getField(T, Q, 1).cmpLtI(C, H, T).jnz(C, Have);
+    W.wait(Q).jmp(Check);
+    W.bind(Have);
+    W.aload(Task, Slots, H);
+    W.addI(H, H, One).putField(Q, 0, H);
+    W.monExit(Q);
+    // Poison task ends the worker.
+    W.getField(In, Task, 0);
+    W.constI(V, 0).cmpLtI(C, In, V).jnz(C, Stop);
+    // Process *outside* the lock: ownership was transferred through the
+    // queue monitor; result = input * 2 + 1 plus some spin work.
+    W.constI(K, 0).constI(KEnd, 40);
+    {
+      LoopGen L(W, K, KEnd);
+      W.addI(In, In, One).subI(In, In, One);
+      L.close();
+    }
+    W.getField(In, Task, 0);
+    W.addI(V, In, In).addI(V, V, One).putField(Task, 1, V);
+    // Mark completion under the monitor.
+    W.monEnter(Q);
+    W.getField(V, Q, 2).addI(V, V, One).putField(Q, 2, V);
+    W.monExit(Q);
+    W.jmp(Next);
+    W.bind(Stop);
+    W.retVoid();
+  }
+
+  FunctionBuilder F = PB.function("main", 0);
+  {
+    Reg Q = F.newReg(), Slots = F.newReg(), N = F.newReg(), I = F.newReg(),
+        Task = F.newReg(), V = F.newReg(), T = F.newReg(), One = F.newReg(),
+        Tids = F.newReg(), Tn = F.newReg(), Ti = F.newReg();
+    F.constI(One, 1);
+    F.newObj(Q, QCls).putG(GQueue, Q);
+    F.constI(N, static_cast<int64_t>(Capacity)).newArr(Slots, N);
+    F.putG(GSlots, Slots);
+    // Spawn workers first; production happens concurrently.
+    F.constI(Tn, static_cast<int64_t>(Threads)).newArr(Tids, Tn);
+    F.constI(Ti, 0);
+    {
+      LoopGen L(F, Ti, Tn);
+      F.fork(V, W.id(), {Ti}).astore(Tids, Ti, V);
+      L.close();
+    }
+    // Produce real tasks, then one poison task per worker.
+    F.constI(I, 0).constI(N, static_cast<int64_t>(TasksCount));
+    {
+      LoopGen L(F, I, N);
+      F.newObj(Task, TaskCls).putField(Task, 0, I);
+      F.monEnter(Q);
+      F.getField(T, Q, 1).astore(Slots, T, Task);
+      F.addI(T, T, One).putField(Q, 1, T);
+      F.notifyAll(Q).monExit(Q);
+      L.close();
+    }
+    F.constI(I, 0);
+    {
+      LoopGen L(F, I, Tn);
+      Reg Neg = F.newReg();
+      F.newObj(Task, TaskCls).constI(Neg, -1).putField(Task, 0, Neg);
+      F.monEnter(Q);
+      F.getField(T, Q, 1).astore(Slots, T, Task);
+      F.addI(T, T, One).putField(Q, 1, T);
+      F.notifyAll(Q).monExit(Q);
+      L.close();
+    }
+    // Join and sum the results: sum of (2*i + 1) for i < TasksCount.
+    F.constI(Ti, 0);
+    {
+      LoopGen L(F, Ti, Tn);
+      F.aload(V, Tids, Ti).join(V);
+      L.close();
+    }
+    Reg Sum = F.newReg();
+    F.constI(I, 0).constI(Sum, 0);
+    F.constI(N, static_cast<int64_t>(TasksCount));
+    {
+      LoopGen L(F, I, N);
+      F.aload(Task, Slots, I).getField(V, Task, 1).addI(Sum, Sum, V);
+      L.close();
+    }
+    F.putG(GCheck, Sum).retVoid();
+  }
+  PB.setMain(F.id());
+
+  Workload Out;
+  Out.Name = "hedc";
+  Out.Threads = Threads;
+  Out.ResultGlobal = GCheck;
+  Out.HasExpected = true;
+  Out.Expected = static_cast<int64_t>(TasksCount) *
+                 static_cast<int64_t>(TasksCount); // sum of 2i+1 = n^2
+  Out.Prog = PB.take();
+  return Out;
+}

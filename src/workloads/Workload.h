@@ -1,0 +1,76 @@
+//===- workloads/Workload.h - The paper's benchmark programs ----*- C++ -*-===//
+///
+/// \file
+/// MiniJVM re-implementations of the benchmarks the paper evaluates
+/// (Section 6): the Java Grande kernels (lufact, moldyn, montecarlo,
+/// raytracer, series, sor, sor2) and the von Praun/Gross programs (colt,
+/// hedc, philo, tsp), preserving each program's synchronization idiom mix —
+/// volatile-flag barriers, per-instance and global locks, thread-local
+/// data, wait/notify, task-queue ownership transfer — because those idioms
+/// are what determine the Table 1/2 shapes. Plus the hand-transactionalized
+/// Multiset of Table 3.
+///
+/// Every workload carries the RccJava trust annotations its Java original
+/// shipped with (barrier-protected arrays etc.), consumed by the RccJava
+/// analog of Section 5.2.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GOLD_WORKLOADS_WORKLOAD_H
+#define GOLD_WORKLOADS_WORKLOAD_H
+
+#include "analysis/StaticRace.h"
+#include "vm/Program.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace gold {
+
+/// A benchmark program plus its metadata.
+struct Workload {
+  std::string Name;
+  Program Prog;
+  RccAnnotations Rcc;  ///< trusted annotations for the RccJava analog
+  unsigned Threads = 0;
+  /// Expected value of a result global, for sanity checking (0 = skip);
+  /// ResultGlobal names the global to compare.
+  uint32_t ResultGlobal = 0;
+  bool HasExpected = false;
+  int64_t Expected = 0;
+};
+
+/// Scale knob: 1 = quick CI sizes, larger = closer to paper run times.
+struct WorkloadScale {
+  unsigned Factor = 1;
+};
+
+// The Java Grande kernels.
+Workload makeSeries(unsigned Threads, WorkloadScale S);
+Workload makeSor(unsigned Threads, WorkloadScale S);
+Workload makeSor2(unsigned Threads, WorkloadScale S);
+Workload makeLufact(unsigned Threads, WorkloadScale S);
+Workload makeMoldyn(unsigned Threads, WorkloadScale S);
+Workload makeMontecarlo(unsigned Threads, WorkloadScale S);
+Workload makeRaytracer(unsigned Threads, WorkloadScale S);
+
+// The von Praun/Gross programs.
+Workload makeColt(unsigned Threads, WorkloadScale S);
+Workload makeHedc(unsigned Threads, WorkloadScale S);
+Workload makePhilo(unsigned Threads, WorkloadScale S);
+Workload makeTsp(unsigned Threads, WorkloadScale S);
+
+/// The transactional Multiset of Table 3: \p Threads threads perform
+/// insert/delete/query mixes over a multiset of \p SetSize slots, each
+/// operation a hand-coded transaction; the argument arrays come from a
+/// lock-protected factory manipulated outside transactions (Section 6.1).
+Workload makeMultiset(unsigned Threads, unsigned OpsPerThread,
+                      unsigned SetSize);
+
+/// The Table 1/2 benchmark suite with the paper's thread counts.
+std::vector<Workload> standardSuite(WorkloadScale S);
+
+} // namespace gold
+
+#endif // GOLD_WORKLOADS_WORKLOAD_H

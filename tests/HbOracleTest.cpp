@@ -1,0 +1,176 @@
+//===- tests/HbOracleTest.cpp - extended happens-before oracle tests ------===//
+
+#include "event/PaperTraces.h"
+#include "hb/HbOracle.h"
+
+#include <gtest/gtest.h>
+
+using namespace gold;
+
+TEST(VectorClockTest, JoinTakesPointwiseMax) {
+  VectorClock A, B;
+  A.set(0, 3);
+  A.set(1, 1);
+  B.set(1, 5);
+  A.join(B);
+  EXPECT_EQ(A.get(0), 3u);
+  EXPECT_EQ(A.get(1), 5u);
+  EXPECT_EQ(A.get(7), 0u);
+}
+
+TEST(VectorClockTest, LeqIsPartialOrder) {
+  VectorClock A, B;
+  A.set(0, 1);
+  B.set(0, 2);
+  EXPECT_TRUE(A.leq(B));
+  EXPECT_FALSE(B.leq(A));
+  B.set(1, 0);
+  A.set(1, 3);
+  EXPECT_FALSE(A.leq(B)); // incomparable now
+  EXPECT_FALSE(B.leq(A) && A.leq(B));
+}
+
+TEST(HbAnalysisTest, ProgramOrderIsHb) {
+  TraceBuilder B;
+  B.write(0, 1, 0).read(0, 1, 0);
+  Trace T = B.take();
+  HbAnalysis Hb(T);
+  EXPECT_TRUE(Hb.happensBefore(0, 1));
+  EXPECT_FALSE(Hb.happensBefore(1, 0));
+}
+
+TEST(HbAnalysisTest, LockHandoffCreatesEdge) {
+  TraceBuilder B;
+  B.acq(0, 5).write(0, 1, 0).rel(0, 5); // 0,1,2
+  B.acq(1, 5).write(1, 1, 0).rel(1, 5); // 3,4,5
+  Trace T = B.take();
+  HbAnalysis Hb(T);
+  EXPECT_TRUE(Hb.happensBefore(1, 4)); // write hb write through the lock
+  EXPECT_TRUE(Hb.happensBefore(2, 3)); // rel hb acq
+}
+
+TEST(HbAnalysisTest, UnrelatedThreadsAreConcurrent) {
+  TraceBuilder B;
+  B.write(0, 1, 0).write(1, 1, 0);
+  Trace T = B.take();
+  HbAnalysis Hb(T);
+  EXPECT_TRUE(Hb.concurrent(0, 1));
+}
+
+TEST(HbAnalysisTest, VolatileWriteReadEdge) {
+  TraceBuilder B;
+  B.write(0, 1, 0).volWrite(0, 1, 9); // 0,1
+  B.volRead(1, 1, 9).read(1, 1, 0);   // 2,3
+  Trace T = B.take();
+  HbAnalysis Hb(T);
+  EXPECT_TRUE(Hb.happensBefore(0, 3));
+}
+
+TEST(HbAnalysisTest, ForkJoinEdges) {
+  Trace T = idiomForkJoinTrace();
+  HbAnalysis Hb(T);
+  // alloc(0) write(1) fork(2) childwrite(3) term(4) join(5) read(6)
+  EXPECT_TRUE(Hb.happensBefore(1, 3)); // parent write hb child write
+  EXPECT_TRUE(Hb.happensBefore(3, 6)); // child write hb post-join read
+}
+
+TEST(HbAnalysisTest, CommitsSharingVarsAreOrdered) {
+  Trace T = paperExample3Trace();
+  HbAnalysis Hb(T);
+  // Commits are at indices 2, 3, 4; each consecutive pair shares head.
+  EXPECT_TRUE(Hb.happensBefore(2, 3));
+  EXPECT_TRUE(Hb.happensBefore(3, 4));
+  EXPECT_TRUE(Hb.happensBefore(2, 4));
+  // T1's plain init (index 1) is ordered before T3's access (index 5)
+  // through the chain of transactions.
+  EXPECT_TRUE(Hb.happensBefore(1, 5));
+}
+
+TEST(HbAnalysisTest, CommitsWithDisjointVarsStayConcurrent) {
+  TraceBuilder B;
+  B.commit(0, {VarId{1, 0}}, {});
+  B.commit(1, {VarId{2, 0}}, {});
+  Trace T = B.take();
+  HbAnalysis Hb(T);
+  EXPECT_TRUE(Hb.concurrent(0, 1));
+}
+
+TEST(RaceOracleTest, Example2IsRaceFree) {
+  RaceOracle O(paperExample2Trace());
+  EXPECT_TRUE(O.races().empty());
+}
+
+TEST(RaceOracleTest, Example3IsRaceFree) {
+  RaceOracle O(paperExample3Trace());
+  EXPECT_TRUE(O.races().empty());
+}
+
+TEST(RaceOracleTest, Example4RacesOnCheckingBalOnly) {
+  for (bool TxnFirst : {false, true}) {
+    RaceOracle O(paperExample4Trace(TxnFirst));
+    ASSERT_EQ(O.races().size(), 1u) << "TxnFirst=" << TxnFirst;
+    EXPECT_EQ(O.races()[0].Var, (VarId{1, 0})); // checking.bal
+    EXPECT_FALSE(O.isRacy(VarId{0, 0}));        // savings.bal is safe
+  }
+}
+
+TEST(RaceOracleTest, UnsyncWritesRace) {
+  RaceOracle O(idiomUnsyncRacyTrace());
+  ASSERT_EQ(O.races().size(), 1u);
+  EXPECT_EQ(O.races()[0].Var, (VarId{paper::O, 0}));
+}
+
+TEST(RaceOracleTest, SafeIdiomsHaveNoRaces) {
+  EXPECT_TRUE(RaceOracle(idiomVolatileFlagTrace()).races().empty());
+  EXPECT_TRUE(RaceOracle(idiomForkJoinTrace()).races().empty());
+  EXPECT_TRUE(RaceOracle(idiomBarrierTrace()).races().empty());
+  EXPECT_TRUE(RaceOracle(idiomIndirectHandoffTrace()).races().empty());
+}
+
+TEST(RaceOracleTest, ReadReadIsNeverARace) {
+  TraceBuilder B;
+  B.read(0, 1, 0).read(1, 1, 0).read(2, 1, 0);
+  RaceOracle O(B.take());
+  EXPECT_TRUE(O.races().empty());
+}
+
+TEST(RaceOracleTest, WriteThenConcurrentReadRaces) {
+  TraceBuilder B;
+  B.write(0, 1, 0).read(1, 1, 0);
+  RaceOracle O(B.take());
+  ASSERT_EQ(O.races().size(), 1u);
+  EXPECT_EQ(O.races()[0].AccessIndex, 1u);
+}
+
+TEST(RaceOracleTest, AllocResetsHistory) {
+  TraceBuilder B;
+  B.write(0, 1, 0);
+  B.alloc(1, 1, 1); // address reuse: object 1 is fresh again
+  B.write(1, 1, 0);
+  RaceOracle O(B.take());
+  EXPECT_TRUE(O.races().empty());
+}
+
+TEST(RaceOracleTest, OneRacePerVariable) {
+  TraceBuilder B;
+  B.write(0, 1, 0).write(1, 1, 0).write(2, 1, 0);
+  RaceOracle O(B.take());
+  EXPECT_EQ(O.races().size(), 1u); // disabled after the first report
+}
+
+TEST(RaceOracleTest, TxnVsPlainWriteRaces) {
+  TraceBuilder B;
+  B.write(0, 1, 0);
+  B.commit(1, {VarId{1, 0}}, {});
+  RaceOracle O(B.take());
+  ASSERT_EQ(O.races().size(), 1u);
+}
+
+TEST(RaceOracleTest, PlainReadVsTxnReadIsSafe) {
+  // A read inside a transaction does not conflict with a plain read.
+  TraceBuilder B;
+  B.read(0, 1, 0);
+  B.commit(1, {VarId{1, 0}}, {});
+  RaceOracle O(B.take());
+  EXPECT_TRUE(O.races().empty());
+}

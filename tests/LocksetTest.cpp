@@ -1,0 +1,79 @@
+//===- tests/LocksetTest.cpp - lockset domain unit tests ------------------===//
+
+#include "goldilocks/Lockset.h"
+
+#include <gtest/gtest.h>
+
+using namespace gold;
+
+TEST(LocksetElemTest, EqualityRespectsKindAndPayload) {
+  EXPECT_EQ(LocksetElem::thread(1), LocksetElem::thread(1));
+  EXPECT_NE(LocksetElem::thread(1), LocksetElem::thread(2));
+  EXPECT_EQ(LocksetElem::txnLock(), LocksetElem::txnLock());
+  EXPECT_NE(LocksetElem::volVar(VarId{1, 2}),
+            LocksetElem::dataVar(VarId{1, 2}));
+  EXPECT_EQ(LocksetElem::lock(3), LocksetElem::volVar(lockVar(3)));
+}
+
+TEST(LocksetElemTest, ThreadIdRoundTrips) {
+  EXPECT_EQ(LocksetElem::thread(42).threadId(), 42u);
+}
+
+TEST(LocksetElemTest, StrRendering) {
+  EXPECT_EQ(LocksetElem::thread(2).str(), "T2");
+  EXPECT_EQ(LocksetElem::lock(1).str(), "o1.lock");
+  EXPECT_EQ(LocksetElem::dataVar(VarId{4, 0}).str(), "o4.f0");
+  EXPECT_EQ(LocksetElem::txnLock().str(), "TL");
+}
+
+TEST(LocksetTest, InsertAndContains) {
+  Lockset LS;
+  EXPECT_TRUE(LS.empty());
+  EXPECT_TRUE(LS.insert(LocksetElem::thread(1)));
+  EXPECT_FALSE(LS.insert(LocksetElem::thread(1))); // duplicate
+  EXPECT_TRUE(LS.containsThread(1));
+  EXPECT_FALSE(LS.containsThread(2));
+  EXPECT_EQ(LS.size(), 1u);
+}
+
+TEST(LocksetTest, ResetToOwner) {
+  Lockset LS;
+  LS.insert(LocksetElem::lock(9));
+  LS.resetToOwner(3, /*Xact=*/false);
+  EXPECT_EQ(LS.size(), 1u);
+  EXPECT_TRUE(LS.containsThread(3));
+  LS.resetToOwner(4, /*Xact=*/true);
+  EXPECT_EQ(LS.size(), 2u);
+  EXPECT_TRUE(LS.containsThread(4));
+  EXPECT_TRUE(LS.containsTxnLock());
+}
+
+TEST(LocksetTest, IntersectsDataVars) {
+  Lockset LS;
+  LS.insert(LocksetElem::dataVar(VarId{1, 0}));
+  LS.insert(LocksetElem::volVar(VarId{2, 0}));
+  EXPECT_TRUE(LS.intersectsDataVars({VarId{1, 0}}));
+  // Volatile elements never count as data variables.
+  EXPECT_FALSE(LS.intersectsDataVars({VarId{2, 0}}));
+  EXPECT_FALSE(LS.intersectsDataVars({VarId{3, 3}}));
+  EXPECT_FALSE(LS.intersectsDataVars({}));
+}
+
+TEST(LocksetTest, EqualityIsOrderInsensitive) {
+  Lockset A, B;
+  A.insert(LocksetElem::thread(1));
+  A.insert(LocksetElem::lock(2));
+  B.insert(LocksetElem::lock(2));
+  B.insert(LocksetElem::thread(1));
+  EXPECT_EQ(A, B);
+  B.insert(LocksetElem::txnLock());
+  EXPECT_FALSE(A == B);
+}
+
+TEST(LocksetTest, StrPreservesInsertionOrder) {
+  Lockset LS;
+  LS.insert(LocksetElem::thread(1));
+  LS.insert(LocksetElem::lock(2));
+  LS.insert(LocksetElem::thread(2));
+  EXPECT_EQ(LS.str(), "{T1, o2.lock, T2}");
+}

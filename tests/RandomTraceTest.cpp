@@ -1,0 +1,121 @@
+//===- tests/RandomTraceTest.cpp - generator well-formedness tests --------===//
+
+#include "event/RandomTrace.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+using namespace gold;
+
+namespace {
+
+class RandomTraceTest : public ::testing::TestWithParam<uint64_t> {};
+
+} // namespace
+
+TEST(RandomTraceDeterminism, SameSeedSameTrace) {
+  RandomTraceParams P;
+  P.Seed = 123;
+  Trace A = generateRandomTrace(P);
+  Trace B = generateRandomTrace(P);
+  ASSERT_EQ(A.Actions.size(), B.Actions.size());
+  for (size_t I = 0; I != A.Actions.size(); ++I) {
+    EXPECT_EQ(A.Actions[I].Kind, B.Actions[I].Kind);
+    EXPECT_EQ(A.Actions[I].Thread, B.Actions[I].Thread);
+    EXPECT_EQ(A.Actions[I].Var, B.Actions[I].Var);
+  }
+}
+
+TEST(RandomTraceDeterminism, DifferentSeedsDiffer) {
+  RandomTraceParams P;
+  P.Seed = 1;
+  Trace A = generateRandomTrace(P);
+  P.Seed = 2;
+  Trace B = generateRandomTrace(P);
+  bool Differs = A.Actions.size() != B.Actions.size();
+  for (size_t I = 0; !Differs && I != A.Actions.size(); ++I)
+    Differs = !(A.Actions[I].Kind == B.Actions[I].Kind &&
+                A.Actions[I].Thread == B.Actions[I].Thread &&
+                A.Actions[I].Var == B.Actions[I].Var);
+  EXPECT_TRUE(Differs);
+}
+
+TEST_P(RandomTraceTest, WellFormed) {
+  RandomTraceParams P;
+  P.Seed = GetParam();
+  P.NumThreads = 2 + static_cast<ThreadId>(P.Seed % 5);
+  P.StepsPerThread = 25 + static_cast<unsigned>(P.Seed % 60);
+  Trace T = generateRandomTrace(P);
+  ASSERT_FALSE(T.Actions.empty());
+
+  std::map<ObjectId, ThreadId> LockOwner;
+  std::set<ThreadId> Forked{0};
+  std::set<ThreadId> Terminated;
+
+  for (size_t I = 0; I != T.Actions.size(); ++I) {
+    const Action &A = T.Actions[I];
+    // Every acting thread was forked (main is implicitly alive) and is not
+    // yet terminated (except main's trailing joins/reads).
+    EXPECT_TRUE(Forked.count(A.Thread)) << "action " << I;
+    EXPECT_FALSE(Terminated.count(A.Thread)) << "action " << I;
+
+    switch (A.Kind) {
+    case ActionKind::Acquire:
+      EXPECT_EQ(LockOwner.count(A.Var.Object), 0u)
+          << "double acquire at " << I;
+      LockOwner[A.Var.Object] = A.Thread;
+      break;
+    case ActionKind::Release: {
+      auto It = LockOwner.find(A.Var.Object);
+      ASSERT_NE(It, LockOwner.end()) << "release without acquire at " << I;
+      EXPECT_EQ(It->second, A.Thread) << "release by non-owner at " << I;
+      LockOwner.erase(It);
+      break;
+    }
+    case ActionKind::Fork:
+      EXPECT_EQ(A.Thread, 0u);
+      EXPECT_FALSE(Forked.count(A.Target)) << "double fork at " << I;
+      Forked.insert(A.Target);
+      break;
+    case ActionKind::Join:
+      EXPECT_TRUE(Terminated.count(A.Target))
+          << "join before termination at " << I;
+      break;
+    case ActionKind::Terminate:
+      Terminated.insert(A.Thread);
+      break;
+    default:
+      break;
+    }
+  }
+  // All locks released at the end.
+  EXPECT_TRUE(LockOwner.empty());
+  // Every worker terminated.
+  for (ThreadId W : Forked) {
+    if (W != 0)
+      EXPECT_TRUE(Terminated.count(W));
+  }
+}
+
+TEST_P(RandomTraceTest, TransactionsAreDataOnly) {
+  RandomTraceParams P;
+  P.Seed = GetParam() * 3 + 1;
+  P.WBeginTxn = 4; // transaction-heavy
+  Trace T = generateRandomTrace(P);
+  size_t Commits = 0;
+  for (const Action &A : T.Actions)
+    if (A.Kind == ActionKind::Commit) {
+      ++Commits;
+      const CommitSets &CS = T.commitSets(A);
+      for (VarId V : CS.Reads)
+        EXPECT_NE(V.Field, LockField);
+      for (VarId V : CS.Writes)
+        EXPECT_NE(V.Field, LockField);
+    }
+  EXPECT_GT(Commits, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomTraceTest,
+                         ::testing::Range<uint64_t>(1, 21));

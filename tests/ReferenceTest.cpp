@@ -1,0 +1,221 @@
+//===- tests/ReferenceTest.cpp - eager reference implementation tests -----===//
+///
+/// Pins the reference implementation to the paper: the exact lockset
+/// evolutions of Figure 6 (Example 2) and Figure 7 (Example 3), the race
+/// verdicts of Example 4, and the precision idioms of Section 4.
+///
+//===----------------------------------------------------------------------===//
+
+#include "detectors/GoldilocksDetectors.h"
+#include "event/PaperTraces.h"
+
+#include <gtest/gtest.h>
+
+using namespace gold;
+using namespace gold::paper;
+
+namespace {
+
+/// Feeds actions [Begin, End) of T into the detector, returning any races.
+std::vector<RaceReport> feed(RaceDetector &D, const Trace &T, size_t Begin,
+                             size_t End) {
+  Trace Slice;
+  Slice.Commits = T.Commits;
+  Slice.Actions.assign(T.Actions.begin() + static_cast<ptrdiff_t>(Begin),
+                       T.Actions.begin() + static_cast<ptrdiff_t>(End));
+  return D.runTrace(Slice);
+}
+
+} // namespace
+
+TEST(ReferenceFigure6Test, LocksetEvolutionMatchesPaper) {
+  Trace T = paperExample2Trace();
+  GoldilocksReferenceDetector D;
+  GoldilocksReference &R = D.reference();
+  VarId V = oData();
+
+  // Indices: 0 alloc(o), 1 write o.data, 2 acq(ma), 3 write a, 4 rel(ma),
+  // 5 acq2(ma), 6 read a, 7 acq2(mb), 8 write b, 9 rel2(mb), 10 rel2(ma),
+  // 11 acq3(mb), 12 write o.data, 13 read b, 14 rel3(mb), 15 write o.data.
+  EXPECT_TRUE(feed(D, T, 0, 1).empty());
+  EXPECT_EQ(R.writeLockset(V), nullptr); // LS(o.data) = ∅ after alloc
+
+  EXPECT_TRUE(feed(D, T, 1, 2).empty()); // first access
+  EXPECT_EQ(R.writeLockset(V)->str(), "{T1}");
+
+  EXPECT_TRUE(feed(D, T, 2, 5).empty()); // acq(ma), a=tmp1, rel(ma)
+  EXPECT_EQ(R.writeLockset(V)->str(), "{T1, o2.lock}"); // {T1, ma}
+
+  EXPECT_TRUE(feed(D, T, 5, 6).empty()); // T2: acq(ma)
+  EXPECT_EQ(R.writeLockset(V)->str(), "{T1, o2.lock, T2}");
+
+  EXPECT_TRUE(feed(D, T, 6, 11).empty()); // ... rel(mb), rel(ma)
+  EXPECT_EQ(R.writeLockset(V)->str(), "{T1, o2.lock, T2, o3.lock}");
+
+  // T3: acq(mb) — mb ∈ LS, so T3 becomes an owner.
+  EXPECT_TRUE(feed(D, T, 11, 12).empty());
+  EXPECT_EQ(R.writeLockset(V)->str(), "{T1, o2.lock, T2, o3.lock, T3}");
+
+  // b.data = 2 by T3: no race, lockset resets to {T3}.
+  EXPECT_TRUE(feed(D, T, 12, 13).empty());
+  EXPECT_EQ(R.writeLockset(V)->str(), "{T3}");
+
+  // tmp3 = b; rel(mb): T3 ∈ LS so mb is added.
+  EXPECT_TRUE(feed(D, T, 13, 15).empty());
+  EXPECT_EQ(R.writeLockset(V)->str(), "{T3, o3.lock}");
+
+  // tmp3.data = 3 outside the lock: still owned by T3, no race.
+  EXPECT_TRUE(feed(D, T, 15, 16).empty());
+  EXPECT_EQ(R.writeLockset(V)->str(), "{T3}");
+}
+
+TEST(ReferenceFigure7Test, LocksetEvolutionMatchesPaper) {
+  Trace T = paperExample3Trace();
+  GoldilocksReferenceDetector D;
+  GoldilocksReference &R = D.reference();
+  VarId V = oData();
+
+  // Indices: 0 alloc, 1 write o.data, 2 commit T1, 3 commit T2,
+  // 4 commit T3, 5 read o.data, 6 write o.data.
+  EXPECT_TRUE(feed(D, T, 0, 2).empty());
+  EXPECT_EQ(R.writeLockset(V)->str(), "{T1}");
+
+  // T1's commit: T1 ∈ LS, so {o.nxt, &head} are published into LS.
+  EXPECT_TRUE(feed(D, T, 2, 3).empty());
+  Lockset AfterT1 = *R.writeLockset(V);
+  EXPECT_TRUE(AfterT1.containsThread(1));
+  EXPECT_TRUE(AfterT1.contains(LocksetElem::dataVar(oNxt())));
+  EXPECT_TRUE(AfterT1.contains(LocksetElem::dataVar(head())));
+  EXPECT_EQ(AfterT1.size(), 3u);
+
+  // T2's commit touches o.data: after it LS = {T2, TL} ∪ R ∪ W
+  // (Figure 7's end_tr line: {TL, T2, &head, o.data, o.nxt}).
+  EXPECT_TRUE(feed(D, T, 3, 4).empty());
+  Lockset AfterT2 = *R.writeLockset(V);
+  EXPECT_TRUE(AfterT2.containsThread(2));
+  EXPECT_TRUE(AfterT2.containsTxnLock());
+  EXPECT_TRUE(AfterT2.contains(LocksetElem::dataVar(head())));
+  EXPECT_TRUE(AfterT2.contains(LocksetElem::dataVar(oData())));
+  EXPECT_TRUE(AfterT2.contains(LocksetElem::dataVar(oNxt())));
+  EXPECT_FALSE(AfterT2.containsThread(1)); // ownership reset dropped T1
+  EXPECT_EQ(AfterT2.size(), 5u);
+
+  // T3's commit shares head and o.nxt with LS, so T3 joins the owners.
+  EXPECT_TRUE(feed(D, T, 4, 5).empty());
+  EXPECT_TRUE(R.writeLockset(V)->containsThread(3));
+  EXPECT_EQ(R.writeLockset(V)->size(), 6u);
+
+  // t3.data++ outside any transaction: race-free, lockset resets to {T3}.
+  EXPECT_TRUE(feed(D, T, 5, 7).empty());
+  EXPECT_EQ(R.writeLockset(V)->str(), "{T3}");
+}
+
+TEST(ReferenceTest, Example4RacesInBothInterleavings) {
+  for (bool TxnFirst : {false, true}) {
+    GoldilocksReferenceDetector D;
+    auto Races = D.runTrace(paperExample4Trace(TxnFirst));
+    ASSERT_EQ(Races.size(), 1u) << "TxnFirst=" << TxnFirst;
+    EXPECT_EQ(Races[0].Var, (VarId{1, 0})) << "checking.bal";
+  }
+}
+
+TEST(ReferenceTest, SafeIdiomsReportNothing) {
+  for (const Trace &T :
+       {idiomVolatileFlagTrace(), idiomForkJoinTrace(), idiomBarrierTrace(),
+        idiomIndirectHandoffTrace(), paperExample2Trace(),
+        paperExample3Trace()}) {
+    GoldilocksReferenceDetector D;
+    EXPECT_TRUE(D.runTrace(T).empty());
+  }
+}
+
+TEST(ReferenceTest, UnsyncRaceIsReportedOnce) {
+  GoldilocksReferenceDetector D;
+  auto Races = D.runTrace(idiomUnsyncRacyTrace());
+  ASSERT_EQ(Races.size(), 1u);
+  EXPECT_EQ(Races[0].Thread, 2u);
+  EXPECT_EQ(Races[0].PriorThread, 1u);
+  EXPECT_TRUE(Races[0].IsWrite);
+  EXPECT_TRUE(Races[0].PriorIsWrite);
+}
+
+TEST(ReferenceTest, ReadSharedThenWriteRaces) {
+  TraceBuilder B;
+  B.write(1, 1, 0); // T1 writes first
+  B.acq(2, 9).rel(2, 9);
+  // T1 hands ownership to nobody; T2's read is a race.
+  B.read(2, 1, 0);
+  GoldilocksReferenceDetector D;
+  auto Races = D.runTrace(B.take());
+  ASSERT_EQ(Races.size(), 1u);
+  EXPECT_FALSE(Races[0].IsWrite);
+  EXPECT_TRUE(Races[0].PriorIsWrite);
+}
+
+TEST(ReferenceTest, ConcurrentReadsThenOrderedWriteIsStillARace) {
+  // Reads by two threads, then a write ordered after only one of them.
+  TraceBuilder B;
+  B.write(0, 1, 0);          // init by T0
+  B.fork(0, 1).fork(0, 2);   // both readers ordered after init
+  B.read(1, 1, 0);
+  B.read(2, 1, 0);
+  B.acq(1, 9).rel(1, 9);     // T1 releases a lock
+  B.acq(3, 9);               // hmm: T3 never forked — use T1->T3 via lock
+  B.rel(3, 9);
+  B.write(3, 1, 0);          // ordered after T1's read only: races with T2's
+  GoldilocksReferenceDetector D;
+  auto Races = D.runTrace(B.take());
+  ASSERT_EQ(Races.size(), 1u);
+  EXPECT_TRUE(Races[0].IsWrite);
+  EXPECT_FALSE(Races[0].PriorIsWrite);
+  EXPECT_EQ(Races[0].PriorThread, 2u);
+}
+
+TEST(ReferenceTest, AllocResetsLocksets) {
+  TraceBuilder B;
+  B.write(1, 1, 0);
+  B.alloc(2, 1, 1);
+  B.write(2, 1, 0);
+  GoldilocksReferenceDetector D;
+  EXPECT_TRUE(D.runTrace(B.take()).empty());
+}
+
+TEST(ReferenceTest, DisableAfterRaceSuppressesFollowups) {
+  TraceBuilder B;
+  B.write(1, 1, 0).write(2, 1, 0).write(3, 1, 0).write(1, 1, 0);
+  GoldilocksReferenceDetector D;
+  EXPECT_EQ(D.runTrace(B.take()).size(), 1u);
+}
+
+TEST(ReferenceTest, TxnThenPlainAccessByOtherThreadRaces) {
+  TraceBuilder B;
+  B.commit(1, {}, {VarId{1, 0}});
+  B.write(2, 1, 0);
+  GoldilocksReferenceDetector D;
+  auto Races = D.runTrace(B.take());
+  ASSERT_EQ(Races.size(), 1u);
+  EXPECT_TRUE(Races[0].PriorXact);
+  EXPECT_FALSE(Races[0].Xact);
+}
+
+TEST(ReferenceTest, TxnHandoffThroughSharedVariable) {
+  // T1 writes x in a txn; T2's txn reads x and writes y; T2 then accesses
+  // x outside any txn — safe because T2 owns x after its commit.
+  VarId X{1, 0}, Y{1, 1};
+  TraceBuilder B;
+  B.commit(1, {}, {X});
+  B.commit(2, {X}, {Y});
+  B.write(2, 1, 0);
+  GoldilocksReferenceDetector D;
+  EXPECT_TRUE(D.runTrace(B.take()).empty());
+}
+
+TEST(ReferenceTest, WaitStyleReleaseReacquire) {
+  // wait() = release + reacquire; notify carries no lockset effect of its
+  // own. Producer/consumer over a lock must be race-free.
+  TraceBuilder B;
+  B.acq(1, 9).write(1, 1, 0).rel(1, 9); // producer fills
+  B.acq(2, 9).read(2, 1, 0).rel(2, 9);  // consumer (post-wait) reads
+  GoldilocksReferenceDetector D;
+  EXPECT_TRUE(D.runTrace(B.take()).empty());
+}

@@ -1,0 +1,153 @@
+//===- tests/RulesTest.cpp - Figure 5 rule unit tests ---------------------===//
+
+#include "goldilocks/Rules.h"
+
+#include <gtest/gtest.h>
+
+using namespace gold;
+
+namespace {
+
+SyncEvent mkEvent(ActionKind K, ThreadId T, VarId V = VarId{},
+                  ThreadId Target = NoThread) {
+  SyncEvent E;
+  E.Kind = K;
+  E.Thread = T;
+  E.Var = V;
+  E.Target = Target;
+  return E;
+}
+
+VarId TheVar{7, 0};
+
+} // namespace
+
+TEST(RulesTest, AcquireAddsThreadWhenLockPresent) {
+  Lockset LS;
+  LS.insert(LocksetElem::lock(3));
+  applyLocksetRule(LS, mkEvent(ActionKind::Acquire, 5, lockVar(3)), TheVar);
+  EXPECT_TRUE(LS.containsThread(5));
+}
+
+TEST(RulesTest, AcquireNoopWhenLockAbsent) {
+  Lockset LS;
+  LS.insert(LocksetElem::lock(4));
+  applyLocksetRule(LS, mkEvent(ActionKind::Acquire, 5, lockVar(3)), TheVar);
+  EXPECT_FALSE(LS.containsThread(5));
+}
+
+TEST(RulesTest, ReleaseAddsLockWhenThreadPresent) {
+  Lockset LS;
+  LS.insert(LocksetElem::thread(5));
+  applyLocksetRule(LS, mkEvent(ActionKind::Release, 5, lockVar(3)), TheVar);
+  EXPECT_TRUE(LS.contains(LocksetElem::lock(3)));
+}
+
+TEST(RulesTest, ReleaseByOtherThreadIsNoop) {
+  Lockset LS;
+  LS.insert(LocksetElem::thread(5));
+  applyLocksetRule(LS, mkEvent(ActionKind::Release, 6, lockVar(3)), TheVar);
+  EXPECT_FALSE(LS.contains(LocksetElem::lock(3)));
+}
+
+TEST(RulesTest, VolatileWriteThenReadTransfersOwnership) {
+  Lockset LS;
+  LS.insert(LocksetElem::thread(1));
+  VarId Flag{2, 9};
+  applyLocksetRule(LS, mkEvent(ActionKind::VolatileWrite, 1, Flag), TheVar);
+  EXPECT_TRUE(LS.contains(LocksetElem::volVar(Flag)));
+  applyLocksetRule(LS, mkEvent(ActionKind::VolatileRead, 2, Flag), TheVar);
+  EXPECT_TRUE(LS.containsThread(2));
+}
+
+TEST(RulesTest, ForkAddsChildWhenParentPresent) {
+  Lockset LS;
+  LS.insert(LocksetElem::thread(1));
+  applyLocksetRule(LS, mkEvent(ActionKind::Fork, 1, VarId{}, 7), TheVar);
+  EXPECT_TRUE(LS.containsThread(7));
+}
+
+TEST(RulesTest, JoinAddsJoinerWhenChildPresent) {
+  Lockset LS;
+  LS.insert(LocksetElem::thread(7));
+  applyLocksetRule(LS, mkEvent(ActionKind::Join, 1, VarId{}, 7), TheVar);
+  EXPECT_TRUE(LS.containsThread(1));
+}
+
+TEST(RulesTest, JoinOfUnrelatedChildIsNoop) {
+  Lockset LS;
+  LS.insert(LocksetElem::thread(8));
+  applyLocksetRule(LS, mkEvent(ActionKind::Join, 1, VarId{}, 7), TheVar);
+  EXPECT_FALSE(LS.containsThread(1));
+}
+
+TEST(RulesTest, CommitAddsCommitterOnDataVarIntersection) {
+  Lockset LS;
+  VarId Shared{9, 1};
+  LS.insert(LocksetElem::dataVar(Shared));
+  CommitSets CS;
+  CS.Reads = {Shared};
+  SyncEvent E = mkEvent(ActionKind::Commit, 4);
+  E.Commit = &CS;
+  applyLocksetRule(LS, E, TheVar);
+  EXPECT_TRUE(LS.containsThread(4));
+}
+
+TEST(RulesTest, CommitPublishesReadWriteSets) {
+  Lockset LS;
+  LS.insert(LocksetElem::thread(4));
+  CommitSets CS;
+  CS.Reads = {VarId{9, 1}};
+  CS.Writes = {VarId{9, 2}};
+  SyncEvent E = mkEvent(ActionKind::Commit, 4);
+  E.Commit = &CS;
+  applyLocksetRule(LS, E, TheVar);
+  EXPECT_TRUE(LS.contains(LocksetElem::dataVar(VarId{9, 1})));
+  EXPECT_TRUE(LS.contains(LocksetElem::dataVar(VarId{9, 2})));
+}
+
+TEST(RulesTest, CommitByNonOwnerWithNoIntersectionIsNoop) {
+  Lockset LS;
+  LS.insert(LocksetElem::thread(1));
+  CommitSets CS;
+  CS.Reads = {VarId{9, 1}};
+  SyncEvent E = mkEvent(ActionKind::Commit, 4);
+  E.Commit = &CS;
+  applyLocksetRule(LS, E, TheVar);
+  EXPECT_EQ(LS.size(), 1u);
+}
+
+TEST(RulesTest, CommitTouchingTheVariableResetsOwnership) {
+  Lockset LS;
+  LS.insert(LocksetElem::thread(1));
+  LS.insert(LocksetElem::lock(2));
+  CommitSets CS;
+  CS.Writes = {TheVar, VarId{9, 9}};
+  SyncEvent E = mkEvent(ActionKind::Commit, 4);
+  E.Commit = &CS;
+  applyLocksetRule(LS, E, TheVar);
+  // LS := {t, TL} ∪ (R ∪ W).
+  EXPECT_TRUE(LS.containsThread(4));
+  EXPECT_TRUE(LS.containsTxnLock());
+  EXPECT_TRUE(LS.contains(LocksetElem::dataVar(TheVar)));
+  EXPECT_TRUE(LS.contains(LocksetElem::dataVar(VarId{9, 9})));
+  EXPECT_FALSE(LS.containsThread(1));
+  EXPECT_FALSE(LS.contains(LocksetElem::lock(2)));
+}
+
+TEST(RulesTest, TerminateHasNoLocksetEffect) {
+  Lockset LS;
+  LS.insert(LocksetElem::thread(1));
+  applyLocksetRule(LS, mkEvent(ActionKind::Terminate, 1), TheVar);
+  EXPECT_EQ(LS.size(), 1u);
+}
+
+TEST(RulesTest, FromActionCarriesCommitSets) {
+  TraceBuilder B;
+  B.commit(2, {VarId{1, 0}}, {VarId{1, 1}});
+  Trace T = B.take();
+  SyncEvent E = SyncEvent::fromAction(T.Actions[0], T);
+  ASSERT_NE(E.Commit, nullptr);
+  EXPECT_TRUE(E.Commit->touches(VarId{1, 0}));
+  EXPECT_TRUE(E.Commit->writes(VarId{1, 1}));
+}

@@ -1,0 +1,271 @@
+//===- tests/StaticRaceTest.cpp - static pre-elimination tests ------------===//
+///
+/// Checks that the Chord/RccJava analogs are (a) sound — they never mark a
+/// dynamically racy variable safe — and (b) useful — they eliminate the
+/// classic safe idioms (pre-fork init, lock consistency, thread locality)
+/// while leaving barrier-synchronized data to the dynamic checker, exactly
+/// the behaviour Table 1/2 depends on.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/StaticRace.h"
+#include "detectors/GoldilocksDetectors.h"
+#include "vm/Builder.h"
+#include "vm/Vm.h"
+
+#include <gtest/gtest.h>
+
+using namespace gold;
+
+namespace {
+
+/// Program: main initializes a global pre-fork, workers increment a shared
+/// counter under a global lock, each worker also uses a private object,
+/// and one global is written with no synchronization (a real race).
+struct MixedProgram {
+  Program P;
+  uint32_t GConfig, GLock, GCount, GRacy;
+  ClassId LockCls, CellCls;
+
+  MixedProgram() {
+    ProgramBuilder PB;
+    LockCls = PB.addClass("Lock", {{"pad", false}});
+    CellCls = PB.addClass("Cell", {{"val", false}});
+    GConfig = PB.addGlobal("config");
+    GLock = PB.addGlobal("lock");
+    GCount = PB.addGlobal("count");
+    GRacy = PB.addGlobal("racy");
+
+    FunctionBuilder W = PB.function("worker", 0, true);
+    {
+      Reg L = W.newReg(), C = W.newReg(), One = W.newReg(),
+          Cell = W.newReg(), V = W.newReg();
+      W.constI(One, 1);
+      // Thread-local object.
+      W.newObj(Cell, CellCls).constI(V, 7).putField(Cell, 0, V);
+      W.getField(V, Cell, 0);
+      // Pre-fork config read.
+      W.getG(C, GConfig);
+      // Locked counter update.
+      W.getG(L, GLock).monEnter(L);
+      W.getG(C, GCount).addI(C, C, One).putG(GCount, C);
+      W.monExit(L);
+      // Unprotected write: a real race between workers.
+      W.putG(GRacy, One);
+      W.retVoid();
+    }
+    FunctionBuilder F = PB.function("main", 0);
+    Reg L = F.newReg(), V = F.newReg(), T1 = F.newReg(), T2 = F.newReg();
+    F.constI(V, 42).putG(GConfig, V);
+    F.newObj(L, LockCls).putG(GLock, L);
+    F.constI(V, 0).putG(GCount, V);
+    F.fork(T1, W.id()).fork(T2, W.id());
+    F.join(T1).join(T2).retVoid();
+    PB.setMain(F.id());
+    P = PB.take();
+  }
+};
+
+} // namespace
+
+TEST(ChordTest, EliminatesSafeIdiomsKeepsRace) {
+  MixedProgram M;
+  StaticRaceResult R = runChordAnalysis(M.P);
+  EXPECT_TRUE(R.SafeGlobals.count(M.GConfig)) << "pre-fork init is safe";
+  EXPECT_TRUE(R.SafeGlobals.count(M.GLock)) << "lock holder global is safe";
+  EXPECT_TRUE(R.SafeGlobals.count(M.GCount)) << "lock-consistent counter";
+  EXPECT_FALSE(R.SafeGlobals.count(M.GRacy)) << "real race must survive";
+  EXPECT_TRUE(R.SafeFields.count({M.CellCls, 0})) << "thread-local object";
+  EXPECT_FALSE(R.Pairs.empty());
+}
+
+TEST(ChordTest, SoundAgainstDynamicRaces) {
+  MixedProgram M;
+  Program Annotated = M.P;
+  applyStaticResult(Annotated, runChordAnalysis(M.P));
+
+  GoldilocksDetector D;
+  VmConfig Cfg;
+  Cfg.Detector = &D;
+  Vm V(Annotated, Cfg);
+  V.run();
+  // The racy global must still be detected after pre-elimination.
+  ASSERT_EQ(V.raceLog().size(), 1u);
+  EXPECT_EQ(V.raceLog()[0].Var.Field, M.GRacy);
+  // And fewer accesses were checked than exist.
+  EXPECT_LT(V.stats().CheckedAccesses, V.stats().DataAccesses);
+}
+
+TEST(ChordTest, UnprotectedSharedFieldStaysChecked) {
+  // Two workers share an object through a global and write its field
+  // without locks: the field must remain checked.
+  ProgramBuilder PB;
+  ClassId Box = PB.addClass("Box", {{"data", false}});
+  uint32_t GBox = PB.addGlobal("box");
+  FunctionBuilder W = PB.function("worker", 0, true);
+  {
+    Reg B = W.newReg(), V = W.newReg();
+    W.getG(B, GBox).constI(V, 1).putField(B, 0, V).retVoid();
+  }
+  FunctionBuilder F = PB.function("main", 0);
+  Reg B = F.newReg(), T1 = F.newReg(), T2 = F.newReg();
+  F.newObj(B, Box).putG(GBox, B);
+  F.fork(T1, W.id()).fork(T2, W.id()).join(T1).join(T2).retVoid();
+  PB.setMain(F.id());
+  Program P = PB.take();
+
+  StaticRaceResult R = runChordAnalysis(P);
+  EXPECT_FALSE(R.SafeFields.count({Box, 0}));
+}
+
+TEST(ChordTest, PerInstanceLockingIsRecognized) {
+  // withdraw() pattern: every access to Account.bal happens under the
+  // account's own monitor.
+  ProgramBuilder PB;
+  ClassId Acc = PB.addClass("Account", {{"bal", false}});
+  uint32_t GAcc = PB.addGlobal("account");
+  FunctionBuilder W = PB.function("worker", 0, true);
+  {
+    Reg A = W.newReg(), V = W.newReg(), One = W.newReg();
+    W.getG(A, GAcc).constI(One, 1);
+    W.monEnter(A).getField(V, A, 0).subI(V, V, One).putField(A, 0, V);
+    W.monExit(A).retVoid();
+  }
+  FunctionBuilder F = PB.function("main", 0);
+  Reg A = F.newReg(), T1 = F.newReg(), T2 = F.newReg();
+  F.newObj(A, Acc).putG(GAcc, A);
+  F.fork(T1, W.id()).fork(T2, W.id()).join(T1).join(T2).retVoid();
+  PB.setMain(F.id());
+  Program P = PB.take();
+
+  StaticRaceResult R = runChordAnalysis(P);
+  EXPECT_TRUE(R.SafeFields.count({Acc, 0}));
+}
+
+TEST(ChordTest, BarrierSynchronizationIsNotUnderstood) {
+  // Volatile-flag barrier: dynamically race-free, but Chord cannot prove
+  // it (the paper's moldyn/raytracer effect) — the array stays checked.
+  ProgramBuilder PB;
+  uint32_t GArr = PB.addGlobal("data");
+  uint32_t GFlag = PB.addGlobal("flag", /*IsVolatile=*/true);
+  FunctionBuilder W1 = PB.function("producer", 0, true);
+  {
+    Reg A = W1.newReg(), V = W1.newReg(), I = W1.newReg();
+    W1.getG(A, GArr).constI(I, 0).constI(V, 9).astore(A, I, V);
+    W1.constI(V, 1).putG(GFlag, V).retVoid();
+  }
+  FunctionBuilder W2 = PB.function("consumer", 0, true);
+  {
+    Reg A = W2.newReg(), V = W2.newReg(), I = W2.newReg();
+    Label Spin = W2.label(), Go = W2.label();
+    W2.bind(Spin);
+    W2.getG(V, GFlag).jnz(V, Go).yield().jmp(Spin);
+    W2.bind(Go);
+    W2.getG(A, GArr).constI(I, 0).aload(V, A, I);
+    W2.constI(I, 1).astore(A, I, V).retVoid();
+  }
+  FunctionBuilder F = PB.function("main", 0);
+  Reg A = F.newReg(), N = F.newReg(), T1 = F.newReg(), T2 = F.newReg();
+  F.constI(N, 4).newArr(A, N).putG(GArr, A);
+  F.fork(T1, W1.id()).fork(T2, W2.id()).join(T1).join(T2).retVoid();
+  PB.setMain(F.id());
+  Program P = PB.take();
+
+  StaticRaceResult Chord = runChordAnalysis(P);
+  // The producer's store and the consumer's load must form a pair.
+  EXPECT_FALSE(Chord.Pairs.empty());
+
+  // RccJava with the barrier annotation eliminates the array...
+  RccAnnotations Ann;
+  Ann.RaceFree.insert("global:data[]");
+  StaticRaceResult Rcc = runRccJavaAnalysis(P, Ann);
+  EXPECT_FALSE(Rcc.SafeSites.empty());
+
+  // ...and the dynamic check confirms both are sound: with Chord's result
+  // applied, the detector still sees the (race-free) barrier execution.
+  Program PChord = P;
+  applyStaticResult(PChord, Chord);
+  GoldilocksDetector D;
+  VmConfig Cfg;
+  Cfg.Detector = &D;
+  Vm V(PChord, Cfg);
+  V.run();
+  EXPECT_TRUE(V.raceLog().empty());
+  EXPECT_GT(V.stats().CheckedAccesses, 0u);
+
+  Program PRcc = P;
+  applyStaticResult(PRcc, Rcc);
+  GoldilocksDetector D2;
+  VmConfig Cfg2;
+  Cfg2.Detector = &D2;
+  Vm V2(PRcc, Cfg2);
+  V2.run();
+  EXPECT_TRUE(V2.raceLog().empty());
+  EXPECT_LT(V2.stats().CheckedAccesses, V.stats().CheckedAccesses);
+}
+
+TEST(RccJavaTest, AnnotationsAreTrusted) {
+  MixedProgram M;
+  RccAnnotations Ann;
+  StaticRaceResult R = runRccJavaAnalysis(M.P, Ann);
+  // Without annotations the lock-consistent counter is still inferred.
+  EXPECT_TRUE(R.SafeGlobals.count(M.GCount));
+  EXPECT_FALSE(R.SafeGlobals.count(M.GRacy));
+
+  // An (unsound, programmer-supplied) annotation is accepted verbatim.
+  Ann.RaceFree.insert("global:racy");
+  StaticRaceResult R2 = runRccJavaAnalysis(M.P, Ann);
+  EXPECT_TRUE(R2.SafeGlobals.count(M.GRacy));
+}
+
+TEST(StaticRaceTest, ApplyClearsFlags) {
+  MixedProgram M;
+  Program P = M.P;
+  StaticRaceResult R = runChordAnalysis(M.P);
+  applyStaticResult(P, R);
+  EXPECT_FALSE(P.Globals[M.GConfig].CheckRace);
+  EXPECT_TRUE(P.Globals[M.GRacy].CheckRace);
+  EXPECT_FALSE(P.Classes[M.CellCls].Fields[0].CheckRace);
+}
+
+TEST(StaticRaceTest, ResultCountsAreConsistent) {
+  MixedProgram M;
+  StaticRaceResult R = runChordAnalysis(M.P);
+  EXPECT_GT(R.TotalSites, 0u);
+  EXPECT_LE(R.SafeSiteCount(), R.TotalSites);
+  for (const RacePair &Pr : R.Pairs) {
+    EXPECT_FALSE(R.SafeSites.count(Pr.First));
+    EXPECT_FALSE(R.SafeSites.count(Pr.Second));
+  }
+}
+
+TEST(StaticRaceTest, TransactionalAccessesAreNotMislabeled) {
+  // Accesses inside atomic blocks are checked at commit via the commit
+  // sets, not via site flags; the analysis must not be confused by them.
+  // A variable accessed both transactionally and via an unprotected plain
+  // write stays checked (the Example 4 pattern).
+  ProgramBuilder PB;
+  ClassId Acc = PB.addClass("Account", {{"bal", false}});
+  uint32_t GAcc = PB.addGlobal("account");
+  FunctionBuilder W1 = PB.function("txn", 0, true);
+  {
+    Reg A = W1.newReg(), V = W1.newReg();
+    W1.getG(A, GAcc);
+    W1.atomicBegin().getField(V, A, 0).putField(A, 0, V).atomicEnd();
+    W1.retVoid();
+  }
+  FunctionBuilder W2 = PB.function("plain", 0, true);
+  {
+    Reg A = W2.newReg(), V = W2.newReg();
+    W2.getG(A, GAcc).constI(V, 5).putField(A, 0, V).retVoid();
+  }
+  FunctionBuilder F = PB.function("main", 0);
+  Reg A = F.newReg(), T1 = F.newReg(), T2 = F.newReg();
+  F.newObj(A, Acc).putG(GAcc, A);
+  F.fork(T1, W1.id()).fork(T2, W2.id()).join(T1).join(T2).retVoid();
+  PB.setMain(F.id());
+  Program P = PB.take();
+
+  StaticRaceResult R = runChordAnalysis(P);
+  EXPECT_FALSE(R.SafeFields.count({Acc, 0}));
+}

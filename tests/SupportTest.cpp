@@ -1,0 +1,96 @@
+//===- tests/SupportTest.cpp - support library unit tests -----------------===//
+
+#include "support/Random.h"
+#include "support/Table.h"
+#include "support/Timer.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace gold;
+
+TEST(RandomTest, DeterministicForSeed) {
+  Random A(42), B(42);
+  for (int I = 0; I != 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(RandomTest, DifferentSeedsDiffer) {
+  Random A(1), B(2);
+  int Same = 0;
+  for (int I = 0; I != 64; ++I)
+    Same += A.next() == B.next();
+  EXPECT_LT(Same, 4);
+}
+
+TEST(RandomTest, NextBelowInRange) {
+  Random R(7);
+  for (int I = 0; I != 1000; ++I)
+    EXPECT_LT(R.nextBelow(13), 13u);
+}
+
+TEST(RandomTest, NextBelowCoversRange) {
+  Random R(11);
+  std::set<uint64_t> Seen;
+  for (int I = 0; I != 400; ++I)
+    Seen.insert(R.nextBelow(8));
+  EXPECT_EQ(Seen.size(), 8u);
+}
+
+TEST(RandomTest, NextInRangeInclusive) {
+  Random R(3);
+  std::set<int64_t> Seen;
+  for (int I = 0; I != 400; ++I) {
+    int64_t V = R.nextInRange(-2, 2);
+    EXPECT_GE(V, -2);
+    EXPECT_LE(V, 2);
+    Seen.insert(V);
+  }
+  EXPECT_EQ(Seen.size(), 5u);
+}
+
+TEST(RandomTest, DoubleInUnitInterval) {
+  Random R(5);
+  for (int I = 0; I != 1000; ++I) {
+    double D = R.nextDouble();
+    EXPECT_GE(D, 0.0);
+    EXPECT_LT(D, 1.0);
+  }
+}
+
+TEST(RandomTest, ReseedRestartsStream) {
+  Random R(9);
+  uint64_t First = R.next();
+  R.next();
+  R.reseed(9);
+  EXPECT_EQ(R.next(), First);
+}
+
+TEST(TableTest, FormatsNumbers) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(static_cast<long long>(42)), "42");
+  EXPECT_EQ(Table::percent(0.9953), "99.53");
+}
+
+TEST(TableTest, PrintsAlignedRows) {
+  Table T({"name", "value"});
+  T.addRow({"x", "1"});
+  T.addRow({"longer", "2"});
+  // Smoke test: printing must not crash and rows must round-trip into CSV.
+  std::FILE *Null = std::fopen("/dev/null", "w");
+  ASSERT_NE(Null, nullptr);
+  T.print(Null);
+  T.printCsv(Null);
+  std::fclose(Null);
+}
+
+TEST(TimerTest, MeasuresElapsedTime) {
+  Timer T;
+  volatile uint64_t Sink = 0;
+  for (int I = 0; I != 100000; ++I)
+    Sink = Sink + static_cast<uint64_t>(I);
+  EXPECT_GE(T.seconds(), 0.0);
+  double S1 = T.seconds();
+  EXPECT_GE(T.seconds(), S1);
+}

@@ -1,0 +1,92 @@
+//===- tests/TraceIOTest.cpp - trace serialization tests ------------------===//
+
+#include "event/PaperTraces.h"
+#include "event/RandomTrace.h"
+#include "event/TraceIO.h"
+
+#include <gtest/gtest.h>
+
+using namespace gold;
+
+namespace {
+
+void expectSameTrace(const Trace &A, const Trace &B) {
+  ASSERT_EQ(A.Actions.size(), B.Actions.size());
+  for (size_t I = 0; I != A.Actions.size(); ++I) {
+    EXPECT_EQ(A.Actions[I].Kind, B.Actions[I].Kind) << "action " << I;
+    EXPECT_EQ(A.Actions[I].Thread, B.Actions[I].Thread) << "action " << I;
+    EXPECT_EQ(A.Actions[I].Var, B.Actions[I].Var) << "action " << I;
+    EXPECT_EQ(A.Actions[I].Target, B.Actions[I].Target) << "action " << I;
+    if (A.Actions[I].Kind == ActionKind::Commit) {
+      const CommitSets &CA = A.commitSets(A.Actions[I]);
+      const CommitSets &CB = B.commitSets(B.Actions[I]);
+      EXPECT_EQ(CA.Reads, CB.Reads) << "action " << I;
+      EXPECT_EQ(CA.Writes, CB.Writes) << "action " << I;
+    }
+  }
+}
+
+} // namespace
+
+TEST(TraceIOTest, RoundTripsPaperTraces) {
+  for (const Trace &T :
+       {paperExample2Trace(), paperExample3Trace(), paperExample4Trace(true),
+        idiomBarrierTrace(), idiomForkJoinTrace()}) {
+    std::string Text = serializeTrace(T);
+    Trace Back;
+    std::string Error;
+    ASSERT_TRUE(parseTrace(Text, Back, Error)) << Error;
+    expectSameTrace(T, Back);
+  }
+}
+
+TEST(TraceIOTest, RoundTripsRandomTraces) {
+  for (uint64_t Seed : {1u, 7u, 42u}) {
+    RandomTraceParams P;
+    P.Seed = Seed;
+    P.WBeginTxn = 3;
+    Trace T = generateRandomTrace(P);
+    std::string Text = serializeTrace(T);
+    Trace Back;
+    std::string Error;
+    ASSERT_TRUE(parseTrace(Text, Back, Error)) << Error;
+    expectSameTrace(T, Back);
+  }
+}
+
+TEST(TraceIOTest, IgnoresCommentsAndBlankLines) {
+  Trace T;
+  std::string Error;
+  ASSERT_TRUE(parseTrace("# a comment\n\nwrite 1 2 0\n\n# done\n", T, Error))
+      << Error;
+  ASSERT_EQ(T.Actions.size(), 1u);
+  EXPECT_EQ(T.Actions[0].Kind, ActionKind::Write);
+}
+
+TEST(TraceIOTest, ParsesCommitSets) {
+  Trace T;
+  std::string Error;
+  ASSERT_TRUE(parseTrace("commit 3 R 1:0 2:5 W 1:1\n", T, Error)) << Error;
+  ASSERT_EQ(T.Actions.size(), 1u);
+  const CommitSets &CS = T.commitSets(T.Actions[0]);
+  EXPECT_EQ(CS.Reads, (std::vector<VarId>{VarId{1, 0}, VarId{2, 5}}));
+  EXPECT_EQ(CS.Writes, (std::vector<VarId>{VarId{1, 1}}));
+}
+
+TEST(TraceIOTest, RejectsMalformedInput) {
+  Trace T;
+  std::string Error;
+  EXPECT_FALSE(parseTrace("frobnicate 1 2\n", T, Error));
+  EXPECT_NE(Error.find("unknown action"), std::string::npos);
+  EXPECT_FALSE(parseTrace("read 1\n", T, Error));
+  EXPECT_FALSE(parseTrace("commit 1 R 1:0\n", T, Error)); // missing W
+  EXPECT_FALSE(parseTrace("commit 1 R 1-0 W\n", T, Error)); // bad var token
+  EXPECT_NE(Error.find("line 1"), std::string::npos);
+}
+
+TEST(TraceIOTest, EmptyInputIsAnEmptyTrace) {
+  Trace T;
+  std::string Error;
+  ASSERT_TRUE(parseTrace("", T, Error));
+  EXPECT_TRUE(T.Actions.empty());
+}

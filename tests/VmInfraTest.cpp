@@ -1,0 +1,240 @@
+//===- tests/VmInfraTest.cpp - heap, monitor and program-model tests ------===//
+
+#include "vm/Builder.h"
+#include "vm/Heap.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+using namespace gold;
+
+TEST(HeapTest, AllocatesSequentialIds) {
+  Heap H;
+  EXPECT_EQ(H.alloc(0, 2), 1u); // GlobalsRef
+  EXPECT_EQ(H.alloc(1, 3), 2u);
+  EXPECT_EQ(H.size(), 2u);
+  EXPECT_TRUE(H.valid(1));
+  EXPECT_TRUE(H.valid(2));
+  EXPECT_FALSE(H.valid(0));
+  EXPECT_FALSE(H.valid(3));
+}
+
+TEST(HeapTest, SlotsStartZeroed) {
+  Heap H;
+  ObjectId O = H.alloc(0, 4);
+  for (FieldId F = 0; F != 4; ++F)
+    EXPECT_EQ(H.loadRaw(VarId{O, F}), 0u);
+}
+
+TEST(HeapTest, RawLoadStoreRoundTrip) {
+  Heap H;
+  ObjectId O = H.alloc(0, 2);
+  H.storeRaw(VarId{O, 1}, 0xdeadbeefULL);
+  EXPECT_EQ(H.loadRaw(VarId{O, 1}), 0xdeadbeefULL);
+  EXPECT_EQ(H.loadRaw(VarId{O, 0}), 0u);
+}
+
+TEST(HeapTest, StmLockIsExclusiveAndReentrant) {
+  Heap H;
+  ObjectId O = H.alloc(0, 1);
+  EXPECT_TRUE(H.tryLockObject(O, 1));
+  EXPECT_TRUE(H.tryLockObject(O, 1));  // same thread: ok
+  EXPECT_FALSE(H.tryLockObject(O, 2)); // other thread: refused
+  H.unlockObject(O, 1);
+  EXPECT_TRUE(H.tryLockObject(O, 2));
+  H.unlockObject(O, 2);
+}
+
+TEST(HeapTest, ConcurrentAllocationIsSafe) {
+  Heap H;
+  constexpr int PerThread = 2000;
+  std::vector<std::thread> Threads;
+  for (int T = 0; T != 4; ++T)
+    Threads.emplace_back([&] {
+      for (int I = 0; I != PerThread; ++I) {
+        ObjectId O = H.alloc(0, 1);
+        H.storeRaw(VarId{O, 0}, O);
+      }
+    });
+  for (auto &T : Threads)
+    T.join();
+  EXPECT_EQ(H.size(), 4u * PerThread);
+  for (ObjectId O = 1; O <= 4 * PerThread; ++O)
+    EXPECT_EQ(H.loadRaw(VarId{O, 0}), O);
+}
+
+TEST(MonitorTest, ReentrantEnterExit) {
+  Monitor M;
+  EXPECT_EQ(M.enter(1), 1u);
+  EXPECT_EQ(M.enter(1), 2u);
+  EXPECT_EQ(M.depth(1), 2u);
+  bool Outer = false;
+  EXPECT_TRUE(M.exit(1, Outer));
+  EXPECT_FALSE(Outer);
+  EXPECT_TRUE(M.exit(1, Outer));
+  EXPECT_TRUE(Outer);
+  EXPECT_EQ(M.owner(), NoThread);
+}
+
+TEST(MonitorTest, ExitByNonOwnerFails) {
+  Monitor M;
+  M.enter(1);
+  bool Outer = false;
+  EXPECT_FALSE(M.exit(2, Outer));
+  EXPECT_TRUE(M.exit(1, Outer));
+}
+
+TEST(MonitorTest, NotifyRequiresOwnership) {
+  Monitor M;
+  EXPECT_FALSE(M.notify(1, false));
+  M.enter(1);
+  EXPECT_TRUE(M.notify(1, true));
+  bool Outer;
+  M.exit(1, Outer);
+}
+
+TEST(MonitorTest, MutualExclusionUnderContention) {
+  Monitor M;
+  int Counter = 0;
+  std::vector<std::thread> Threads;
+  for (int T = 1; T <= 4; ++T)
+    Threads.emplace_back([&, T] {
+      for (int I = 0; I != 1000; ++I) {
+        M.enter(static_cast<ThreadId>(T));
+        ++Counter; // protected
+        bool Outer;
+        M.exit(static_cast<ThreadId>(T), Outer);
+      }
+    });
+  for (auto &T : Threads)
+    T.join();
+  EXPECT_EQ(Counter, 4000);
+}
+
+TEST(MonitorTest, WaitNotifyHandshake) {
+  Monitor M;
+  bool Flag = false;
+  std::thread Waiter([&] {
+    M.enter(1);
+    while (!Flag)
+      M.wait(1);
+    bool Outer;
+    M.exit(1, Outer);
+  });
+  std::thread Notifier([&] {
+    M.enter(2);
+    Flag = true;
+    M.notify(2, true);
+    bool Outer;
+    M.exit(2, Outer);
+  });
+  Waiter.join();
+  Notifier.join();
+  EXPECT_TRUE(Flag);
+}
+
+TEST(ProgramTest, ValidateCatchesBadJumpTarget) {
+  ProgramBuilder PB;
+  FunctionBuilder F = PB.function("main", 0);
+  F.retVoid();
+  PB.setMain(F.id());
+  Program P = PB.take();
+  P.Functions[0].Code[0].Op = Opcode::Jmp;
+  P.Functions[0].Code[0].Idx = 99;
+  EXPECT_NE(P.validate().find("jump target"), std::string::npos);
+}
+
+TEST(ProgramTest, ValidateCatchesRegisterOverflow) {
+  ProgramBuilder PB;
+  FunctionBuilder F = PB.function("main", 0);
+  F.retVoid();
+  PB.setMain(F.id());
+  Program P = PB.take();
+  P.Functions[0].Code[0].A = 100;
+  EXPECT_NE(P.validate().find("register"), std::string::npos);
+}
+
+TEST(ProgramTest, ValidateCatchesArityMismatch) {
+  ProgramBuilder PB;
+  FunctionBuilder Callee = PB.function("callee", 2);
+  Callee.retVoid();
+  FunctionBuilder F = PB.function("main", 0);
+  Reg A = F.newReg();
+  F.constI(A, 0).retVoid();
+  PB.setMain(F.id());
+  Program P = PB.take();
+  Instr Call;
+  Call.Op = Opcode::Call;
+  Call.Idx = Callee.id();
+  Call.Args = {A}; // callee wants 2
+  P.Functions[F.id()].Code.insert(P.Functions[F.id()].Code.begin(), Call);
+  EXPECT_NE(P.validate().find("argument count"), std::string::npos);
+}
+
+TEST(ProgramTest, ValidateCatchesMissingTerminator) {
+  ProgramBuilder PB;
+  FunctionBuilder F = PB.function("main", 0);
+  Reg A = F.newReg();
+  F.constI(A, 1);
+  PB.setMain(F.id());
+  EXPECT_NE(PB.program().validate().find("does not end"),
+            std::string::npos);
+}
+
+TEST(BuilderTest, ForwardAndBackwardLabels) {
+  ProgramBuilder PB;
+  uint32_t G = PB.addGlobal("out");
+  FunctionBuilder F = PB.function("main", 0);
+  Reg A = F.newReg(), One = F.newReg(), C = F.newReg(), N = F.newReg();
+  F.constI(A, 0).constI(One, 1).constI(N, 3);
+  Label Back = F.label();
+  F.bind(Back); // backward target
+  F.addI(A, A, One);
+  Label Fwd = F.label(); // forward target
+  F.cmpLtI(C, A, N).jz(C, Fwd).jmp(Back);
+  F.bind(Fwd);
+  F.putG(G, A).retVoid();
+  PB.setMain(F.id());
+  Program P = PB.take();
+  EXPECT_TRUE(P.validate().empty());
+}
+
+TEST(BuilderTest, InternDeduplicatesStrings) {
+  ProgramBuilder PB;
+  uint32_t A = PB.intern("hello");
+  uint32_t B = PB.intern("world");
+  uint32_t C = PB.intern("hello");
+  EXPECT_EQ(A, C);
+  EXPECT_NE(A, B);
+  EXPECT_EQ(PB.program().StringPool.size(), 2u);
+}
+
+TEST(BuilderTest, ForkMarksThreadEntry) {
+  ProgramBuilder PB;
+  FunctionBuilder W = PB.function("worker", 0);
+  W.retVoid();
+  FunctionBuilder F = PB.function("main", 0);
+  Reg T = F.newReg();
+  F.fork(T, W.id()).join(T).retVoid();
+  PB.setMain(F.id());
+  Program P = PB.take();
+  EXPECT_TRUE(P.Functions[W.id()].IsThreadEntry);
+  EXPECT_FALSE(P.Functions[F.id()].IsThreadEntry);
+}
+
+TEST(OpcodeTest, NamesAreUniqueAndNonEmpty) {
+  std::set<std::string> Names;
+  for (int Op = 0; Op <= static_cast<int>(Opcode::Nop); ++Op) {
+    std::string N = opcodeName(static_cast<Opcode>(Op));
+    EXPECT_FALSE(N.empty());
+    EXPECT_NE(N, "?");
+    EXPECT_TRUE(Names.insert(N).second) << N << " duplicated";
+  }
+}
+
+TEST(VmExceptionTest, NamesMatchJavaConventions) {
+  EXPECT_STREQ(vmExceptionName(VmException::DataRace), "DataRaceException");
+  EXPECT_STREQ(vmExceptionName(VmException::NullPointer),
+               "NullPointerException");
+}

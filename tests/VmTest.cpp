@@ -1,0 +1,580 @@
+//===- tests/VmTest.cpp - MiniJVM interpreter tests -----------------------===//
+
+#include "detectors/GoldilocksDetectors.h"
+#include "vm/Builder.h"
+#include "vm/Vm.h"
+
+#include <gtest/gtest.h>
+
+using namespace gold;
+
+namespace {
+
+/// Builds a program computing G0 = A + B * C with constants.
+Program arithmeticProgram() {
+  ProgramBuilder PB;
+  uint32_t G0 = PB.addGlobal("result");
+  FunctionBuilder F = PB.function("main", 0);
+  Reg A = F.newReg(), B = F.newReg(), C = F.newReg();
+  F.constI(A, 7).constI(B, 6).constI(C, 5);
+  F.mulI(B, B, C).addI(A, A, B).putG(G0, A).retVoid();
+  PB.setMain(F.id());
+  return PB.take();
+}
+
+} // namespace
+
+TEST(VmTest, ArithmeticAndGlobals) {
+  Program P = arithmeticProgram();
+  Vm V(P);
+  EXPECT_EQ(V.run(), 0);
+  EXPECT_EQ(V.global(0), 37u);
+  EXPECT_GT(V.stats().Instructions, 0u);
+}
+
+TEST(VmTest, DoubleArithmetic) {
+  ProgramBuilder PB;
+  uint32_t G0 = PB.addGlobal("result");
+  FunctionBuilder F = PB.function("main", 0);
+  Reg A = F.newReg(), B = F.newReg();
+  F.constD(A, 2.25).constD(B, 4.0).mulD(A, A, B).sqrtD(A, A);
+  F.putG(G0, A).retVoid();
+  PB.setMain(F.id());
+  Vm V(PB.take());
+  V.run();
+  EXPECT_DOUBLE_EQ(V.globalD(0), 3.0);
+}
+
+TEST(VmTest, LoopsAndBranches) {
+  // sum 1..10 via a loop.
+  ProgramBuilder PB;
+  uint32_t G0 = PB.addGlobal("sum");
+  FunctionBuilder F = PB.function("main", 0);
+  Reg I = F.newReg(), N = F.newReg(), Sum = F.newReg(), Cond = F.newReg(),
+      One = F.newReg();
+  F.constI(I, 1).constI(N, 10).constI(Sum, 0).constI(One, 1);
+  Label Loop = F.label(), Done = F.label();
+  F.bind(Loop);
+  F.cmpLeI(Cond, I, N).jz(Cond, Done);
+  F.addI(Sum, Sum, I).addI(I, I, One).jmp(Loop);
+  F.bind(Done);
+  F.putG(G0, Sum).retVoid();
+  PB.setMain(F.id());
+  Vm V(PB.take());
+  V.run();
+  EXPECT_EQ(V.global(0), 55u);
+}
+
+TEST(VmTest, CallsReturnValues) {
+  ProgramBuilder PB;
+  uint32_t G0 = PB.addGlobal("out");
+  // square(x) = x * x
+  FunctionBuilder Sq = PB.function("square", 1);
+  {
+    Reg X = Sq.param(0), R = Sq.newReg();
+    Sq.mulI(R, X, X).ret(R);
+  }
+  FunctionBuilder F = PB.function("main", 0);
+  Reg A = F.newReg(), B = F.newReg();
+  F.constI(A, 9).call(B, Sq.id(), {A}).putG(G0, B).retVoid();
+  PB.setMain(F.id());
+  Vm V(PB.take());
+  V.run();
+  EXPECT_EQ(V.global(0), 81u);
+}
+
+TEST(VmTest, RecursionWorks) {
+  // fib(n) classic double recursion.
+  ProgramBuilder PB;
+  uint32_t G0 = PB.addGlobal("fib");
+  FunctionBuilder Fib = PB.function("fib", 1);
+  {
+    Reg N = Fib.param(0), Two = Fib.newReg(), C = Fib.newReg(),
+        T1 = Fib.newReg(), T2 = Fib.newReg(), One = Fib.newReg();
+    Label Rec = Fib.label();
+    Fib.constI(Two, 2).cmpLtI(C, N, Two).jz(C, Rec).ret(N);
+    Fib.bind(Rec);
+    Fib.constI(One, 1).subI(T1, N, One).call(T1, Fib.id(), {T1});
+    Fib.subI(T2, N, Two).call(T2, Fib.id(), {T2});
+    Fib.addI(T1, T1, T2).ret(T1);
+  }
+  FunctionBuilder F = PB.function("main", 0);
+  Reg A = F.newReg(), B = F.newReg();
+  F.constI(A, 10).call(B, Fib.id(), {A}).putG(G0, B).retVoid();
+  PB.setMain(F.id());
+  Vm V(PB.take());
+  V.run();
+  EXPECT_EQ(V.global(0), 55u);
+}
+
+TEST(VmTest, ObjectsAndFields) {
+  ProgramBuilder PB;
+  ClassId Box = PB.addClass("Box", {{"a", false}, {"b", false}});
+  uint32_t G0 = PB.addGlobal("out");
+  FunctionBuilder F = PB.function("main", 0);
+  Reg O = F.newReg(), V1 = F.newReg(), V2 = F.newReg();
+  F.newObj(O, Box).constI(V1, 11).putField(O, 0, V1);
+  F.constI(V1, 22).putField(O, 1, V1);
+  F.getField(V2, O, 0).getField(V1, O, 1).addI(V1, V1, V2);
+  F.putG(G0, V1).retVoid();
+  PB.setMain(F.id());
+  Vm V(PB.take());
+  V.run();
+  EXPECT_EQ(V.global(0), 33u);
+  EXPECT_EQ(V.stats().Allocations, 2u); // globals object + box
+}
+
+TEST(VmTest, ArraysLoadStoreLen) {
+  ProgramBuilder PB;
+  uint32_t G0 = PB.addGlobal("sum");
+  FunctionBuilder F = PB.function("main", 0);
+  Reg Arr = F.newReg(), Len = F.newReg(), I = F.newReg(), Sum = F.newReg(),
+      C = F.newReg(), One = F.newReg(), V1 = F.newReg();
+  F.constI(Len, 8).newArr(Arr, Len).constI(I, 0).constI(One, 1);
+  Label Fill = F.label(), Fill2 = F.label(), SumL = F.label(),
+        Done = F.label();
+  F.bind(Fill);
+  F.cmpLtI(C, I, Len).jz(C, Fill2);
+  F.mulI(V1, I, I).astore(Arr, I, V1).addI(I, I, One).jmp(Fill);
+  F.bind(Fill2);
+  F.constI(I, 0).constI(Sum, 0);
+  F.bind(SumL);
+  F.alen(V1, Arr).cmpLtI(C, I, V1).jz(C, Done);
+  F.aload(V1, Arr, I).addI(Sum, Sum, V1).addI(I, I, One).jmp(SumL);
+  F.bind(Done);
+  F.putG(G0, Sum).retVoid();
+  PB.setMain(F.id());
+  Vm V(PB.take());
+  V.run();
+  EXPECT_EQ(V.global(0), 140u); // sum of squares 0..7
+}
+
+TEST(VmTest, NullPointerExceptionIsCatchable) {
+  ProgramBuilder PB;
+  uint32_t G0 = PB.addGlobal("caught");
+  FunctionBuilder F = PB.function("main", 0);
+  Reg O = F.newReg(), V1 = F.newReg();
+  Label H = F.label(), End = F.label();
+  F.tryPush(H, VmException::NullPointer);
+  F.constI(O, 0).getField(V1, O, 0); // deref null
+  F.jmp(End);
+  F.bind(H);
+  F.getExc(V1).putG(G0, V1);
+  F.bind(End);
+  F.retVoid();
+  PB.setMain(F.id());
+  Vm V(PB.take());
+  EXPECT_EQ(V.run(), 0);
+  EXPECT_EQ(V.global(0),
+            static_cast<uint64_t>(VmException::NullPointer));
+}
+
+TEST(VmTest, UncaughtExceptionKillsThread) {
+  ProgramBuilder PB;
+  FunctionBuilder F = PB.function("main", 0);
+  F.throwExc(VmException::UserError);
+  PB.setMain(F.id());
+  Vm V(PB.take());
+  EXPECT_EQ(V.run(), -1);
+  ASSERT_EQ(V.uncaught().size(), 1u);
+  EXPECT_EQ(V.uncaught()[0].second, VmException::UserError);
+}
+
+TEST(VmTest, DivByZeroRaises) {
+  ProgramBuilder PB;
+  FunctionBuilder F = PB.function("main", 0);
+  Reg A = F.newReg(), B = F.newReg();
+  F.constI(A, 1).constI(B, 0).divI(A, A, B).retVoid();
+  PB.setMain(F.id());
+  Vm V(PB.take());
+  EXPECT_EQ(V.run(), -1);
+}
+
+TEST(VmTest, ThreadsForkJoinAndShareData) {
+  // Each of 4 workers writes its id into its array slot; main sums.
+  ProgramBuilder PB;
+  uint32_t GArr = PB.addGlobal("arr");
+  uint32_t GSum = PB.addGlobal("sum");
+  FunctionBuilder W = PB.function("worker", 1, /*IsThreadEntry=*/true);
+  {
+    Reg Id = W.param(0), Arr = W.newReg();
+    W.getG(Arr, GArr).astore(Arr, Id, Id).retVoid();
+  }
+  FunctionBuilder F = PB.function("main", 0);
+  Reg Arr = F.newReg(), N = F.newReg(), I = F.newReg(), C = F.newReg(),
+      One = F.newReg(), T = F.newReg(), Tids = F.newReg(), Sum = F.newReg(),
+      V1 = F.newReg();
+  F.constI(N, 4).newArr(Arr, N).putG(GArr, Arr).newArr(Tids, N);
+  F.constI(I, 0).constI(One, 1);
+  Label Spawn = F.label(), JoinL = F.label(), SumL = F.label(),
+        Done = F.label(), Spawned = F.label(), Joined = F.label();
+  F.bind(Spawn);
+  F.cmpLtI(C, I, N).jz(C, Spawned);
+  F.fork(T, W.id(), {I}).astore(Tids, I, T).addI(I, I, One).jmp(Spawn);
+  F.bind(Spawned);
+  F.constI(I, 0);
+  F.bind(JoinL);
+  F.cmpLtI(C, I, N).jz(C, Joined);
+  F.aload(T, Tids, I).join(T).addI(I, I, One).jmp(JoinL);
+  F.bind(Joined);
+  F.constI(I, 0).constI(Sum, 0);
+  F.bind(SumL);
+  F.cmpLtI(C, I, N).jz(C, Done);
+  F.aload(V1, Arr, I).addI(Sum, Sum, V1).addI(I, I, One).jmp(SumL);
+  F.bind(Done);
+  F.putG(GSum, Sum).retVoid();
+  PB.setMain(F.id());
+
+  Program P = PB.take();
+  // Run with the Goldilocks engine attached: fork/join discipline makes
+  // this race-free, so the detector must stay silent.
+  GoldilocksDetector D;
+  VmConfig Cfg;
+  Cfg.Detector = &D;
+  Vm V(P, Cfg);
+  EXPECT_EQ(V.run(), 0);
+  EXPECT_EQ(V.global(GSum), 6u); // 0+1+2+3
+  EXPECT_EQ(V.stats().ThreadsStarted, 4u);
+  EXPECT_TRUE(V.raceLog().empty());
+}
+
+TEST(VmTest, MonitorsProvideMutualExclusion) {
+  // 4 threads increment a shared counter 500 times under a lock.
+  ProgramBuilder PB;
+  ClassId LockCls = PB.addClass("Lock", {{"pad", false}});
+  uint32_t GLock = PB.addGlobal("lock");
+  uint32_t GCnt = PB.addGlobal("count");
+  FunctionBuilder W = PB.function("worker", 0, /*IsThreadEntry=*/true);
+  {
+    Reg L = W.newReg(), C = W.newReg(), I = W.newReg(), N = W.newReg(),
+        One = W.newReg(), Cond = W.newReg();
+    W.constI(I, 0).constI(N, 500).constI(One, 1);
+    Label Loop = W.label(), Done = W.label();
+    W.bind(Loop);
+    W.cmpLtI(Cond, I, N).jz(Cond, Done);
+    W.getG(L, GLock).monEnter(L);
+    W.getG(C, GCnt).addI(C, C, One).putG(GCnt, C);
+    W.monExit(L);
+    W.addI(I, I, One).jmp(Loop);
+    W.bind(Done);
+    W.retVoid();
+  }
+  FunctionBuilder F = PB.function("main", 0);
+  Reg L = F.newReg(), T1 = F.newReg(), T2 = F.newReg(), T3 = F.newReg(),
+      T4 = F.newReg();
+  F.newObj(L, LockCls).putG(GLock, L);
+  F.fork(T1, W.id()).fork(T2, W.id()).fork(T3, W.id()).fork(T4, W.id());
+  F.join(T1).join(T2).join(T3).join(T4).retVoid();
+  PB.setMain(F.id());
+
+  GoldilocksDetector D;
+  VmConfig Cfg;
+  Cfg.Detector = &D;
+  Vm V(PB.take(), Cfg);
+  EXPECT_EQ(V.run(), 0);
+  EXPECT_EQ(V.global(GCnt), 2000u);
+  EXPECT_TRUE(V.raceLog().empty()) << V.raceLog()[0].str();
+  EXPECT_GT(V.stats().MonitorOps, 0u);
+}
+
+TEST(VmTest, RacyProgramDetectedAndExceptionCatchable) {
+  // Two threads write the same global with no synchronization; the second
+  // writer gets a DataRaceException, which it catches and records.
+  ProgramBuilder PB;
+  uint32_t GData = PB.addGlobal("data");
+  uint32_t GCaught = PB.addGlobal("caught");
+  FunctionBuilder W = PB.function("writer", 0, true);
+  {
+    Reg V1 = W.newReg();
+    Label H = W.label(), End = W.label();
+    W.tryPush(H, VmException::DataRace);
+    W.constI(V1, 5).putG(GData, V1);
+    W.jmp(End);
+    W.bind(H);
+    W.constI(V1, 1).putG(GCaught, V1).noCheck();
+    W.bind(End);
+    W.retVoid();
+  }
+  FunctionBuilder F = PB.function("main", 0);
+  Reg T1 = F.newReg(), T2 = F.newReg();
+  F.fork(T1, W.id()).fork(T2, W.id());
+  F.join(T1).join(T2).retVoid();
+  PB.setMain(F.id());
+
+  GoldilocksDetector D;
+  VmConfig Cfg;
+  Cfg.Detector = &D;
+  Cfg.ThrowDataRaceException = true;
+  Vm V(PB.take(), Cfg);
+  EXPECT_EQ(V.run(), 0);
+  ASSERT_EQ(V.raceLog().size(), 1u);
+  EXPECT_EQ(V.global(GCaught), 1u);
+  EXPECT_TRUE(V.uncaught().empty());
+}
+
+TEST(VmTest, VolatilePublicationIsRaceFree) {
+  // Classic safe publication: writer fills data then sets a volatile flag;
+  // reader spins on the flag then reads data.
+  ProgramBuilder PB;
+  uint32_t GData = PB.addGlobal("data");
+  uint32_t GFlag = PB.addGlobal("flag", /*IsVolatile=*/true);
+  uint32_t GOut = PB.addGlobal("out");
+  FunctionBuilder W = PB.function("writer", 0, true);
+  {
+    Reg V1 = W.newReg();
+    W.constI(V1, 99).putG(GData, V1).constI(V1, 1).putG(GFlag, V1);
+    W.retVoid();
+  }
+  FunctionBuilder R = PB.function("reader", 0, true);
+  {
+    Reg V1 = R.newReg();
+    Label Spin = R.label(), Go = R.label();
+    R.bind(Spin);
+    R.getG(V1, GFlag).jnz(V1, Go).yield().jmp(Spin);
+    R.bind(Go);
+    R.getG(V1, GData).putG(GOut, V1).retVoid();
+  }
+  FunctionBuilder F = PB.function("main", 0);
+  Reg T1 = F.newReg(), T2 = F.newReg();
+  F.fork(T1, W.id()).fork(T2, R.id()).join(T1).join(T2).retVoid();
+  PB.setMain(F.id());
+
+  GoldilocksDetector D;
+  VmConfig Cfg;
+  Cfg.Detector = &D;
+  Vm V(PB.take(), Cfg);
+  EXPECT_EQ(V.run(), 0);
+  EXPECT_EQ(V.global(GOut), 99u);
+  EXPECT_TRUE(V.raceLog().empty()) << V.raceLog()[0].str();
+  EXPECT_GT(V.stats().VolatileAccesses, 0u);
+}
+
+TEST(VmTest, WaitNotifyProducerConsumer) {
+  ProgramBuilder PB;
+  ClassId LockCls = PB.addClass("Lock", {{"pad", false}});
+  uint32_t GLock = PB.addGlobal("lock");
+  uint32_t GReady = PB.addGlobal("ready");
+  uint32_t GData = PB.addGlobal("data");
+  uint32_t GOut = PB.addGlobal("out");
+  FunctionBuilder Prod = PB.function("producer", 0, true);
+  {
+    Reg L = Prod.newReg(), V1 = Prod.newReg();
+    Prod.getG(L, GLock).monEnter(L);
+    Prod.constI(V1, 123).putG(GData, V1);
+    Prod.constI(V1, 1).putG(GReady, V1);
+    Prod.notifyAll(L).monExit(L).retVoid();
+  }
+  FunctionBuilder Cons = PB.function("consumer", 0, true);
+  {
+    Reg L = Cons.newReg(), V1 = Cons.newReg();
+    Label Check = Cons.label(), Go = Cons.label();
+    Cons.getG(L, GLock).monEnter(L);
+    Cons.bind(Check);
+    Cons.getG(V1, GReady).jnz(V1, Go);
+    Cons.wait(L).jmp(Check);
+    Cons.bind(Go);
+    Cons.getG(V1, GData).putG(GOut, V1);
+    Cons.monExit(L).retVoid();
+  }
+  FunctionBuilder F = PB.function("main", 0);
+  Reg L = F.newReg(), T1 = F.newReg(), T2 = F.newReg();
+  F.newObj(L, LockCls).putG(GLock, L);
+  F.fork(T1, Cons.id()).fork(T2, Prod.id());
+  F.join(T1).join(T2).retVoid();
+  PB.setMain(F.id());
+
+  GoldilocksDetector D;
+  VmConfig Cfg;
+  Cfg.Detector = &D;
+  Vm V(PB.take(), Cfg);
+  EXPECT_EQ(V.run(), 0);
+  EXPECT_EQ(V.global(GOut), 123u);
+  EXPECT_TRUE(V.raceLog().empty()) << V.raceLog()[0].str();
+}
+
+TEST(VmTest, TransactionsCommitAndCount) {
+  // Two threads transfer between two accounts transactionally.
+  ProgramBuilder PB;
+  ClassId Acc = PB.addClass("Account", {{"bal", false}});
+  uint32_t GA = PB.addGlobal("a"), GB = PB.addGlobal("b");
+  FunctionBuilder W = PB.function("mover", 1, true);
+  {
+    Reg Dir = W.param(0), A = W.newReg(), B = W.newReg(), V1 = W.newReg(),
+        V2 = W.newReg(), I = W.newReg(), N = W.newReg(), One = W.newReg(),
+        C = W.newReg();
+    W.constI(I, 0).constI(N, 50).constI(One, 1);
+    Label Loop = W.label(), Done = W.label();
+    W.bind(Loop);
+    W.cmpLtI(C, I, N).jz(C, Done);
+    W.getG(A, GA).getG(B, GB);
+    W.atomicBegin();
+    W.getField(V1, A, 0).getField(V2, B, 0);
+    W.addI(V1, V1, Dir).subI(V2, V2, Dir);
+    W.putField(A, 0, V1).putField(B, 0, V2);
+    W.atomicEnd();
+    W.addI(I, I, One).jmp(Loop);
+    W.bind(Done);
+    W.retVoid();
+  }
+  FunctionBuilder F = PB.function("main", 0);
+  Reg A = F.newReg(), V1 = F.newReg(), T1 = F.newReg(), T2 = F.newReg(),
+      D1 = F.newReg(), D2 = F.newReg();
+  F.newObj(A, Acc).constI(V1, 100).putField(A, 0, V1).putG(GA, A);
+  F.newObj(A, Acc).constI(V1, 100).putField(A, 0, V1).putG(GB, A);
+  F.constI(D1, 1).constI(D2, -1);
+  F.fork(T1, W.id(), {D1}).fork(T2, W.id(), {D2});
+  F.join(T1).join(T2);
+  // Total must be conserved.
+  F.getG(A, GA).getField(V1, A, 0);
+  F.getG(A, GB).getField(D1, A, 0);
+  F.addI(V1, V1, D1).putG(GA, V1).retVoid();
+  PB.setMain(F.id());
+
+  GoldilocksDetector D;
+  VmConfig Cfg;
+  Cfg.Detector = &D;
+  Vm V(PB.take(), Cfg);
+  EXPECT_EQ(V.run(), 0);
+  EXPECT_EQ(V.global(GA), 200u);
+  EXPECT_EQ(V.stats().TxnCommits, 100u);
+  EXPECT_TRUE(V.raceLog().empty()) << V.raceLog()[0].str();
+}
+
+TEST(VmTest, Example4MixedLockAndTxnRaces) {
+  // The paper's Example 4 on the VM: one thread uses the object lock, the
+  // other a transaction; the detector must flag checking.bal.
+  ProgramBuilder PB;
+  ClassId Acc = PB.addClass("Account", {{"bal", false}});
+  uint32_t GChk = PB.addGlobal("checking"), GSav = PB.addGlobal("savings");
+  FunctionBuilder TxnT = PB.function("txn", 0, true);
+  {
+    Reg S = TxnT.newReg(), C = TxnT.newReg(), V1 = TxnT.newReg(),
+        V2 = TxnT.newReg();
+    TxnT.getG(S, GSav).getG(C, GChk);
+    TxnT.atomicBegin();
+    TxnT.getField(V1, S, 0).getField(V2, C, 0);
+    TxnT.putField(S, 0, V1).putField(C, 0, V2);
+    TxnT.atomicEnd().retVoid();
+  }
+  FunctionBuilder LockT = PB.function("locker", 0, true);
+  {
+    Reg C = LockT.newReg(), V1 = LockT.newReg(), Amt = LockT.newReg();
+    LockT.getG(C, GChk).monEnter(C);
+    LockT.getField(V1, C, 0).constI(Amt, 42).subI(V1, V1, Amt);
+    LockT.putField(C, 0, V1);
+    LockT.monExit(C).retVoid();
+  }
+  FunctionBuilder F = PB.function("main", 0);
+  Reg A = F.newReg(), T1 = F.newReg(), T2 = F.newReg();
+  F.newObj(A, Acc).putG(GChk, A).newObj(A, Acc).putG(GSav, A);
+  // Both threads run concurrently: their accesses to checking.bal are
+  // happens-before-unordered whatever the actual schedule, so the verdict
+  // is deterministic even though the reporting thread is not.
+  F.fork(T1, LockT.id()).fork(T2, TxnT.id());
+  F.join(T1).join(T2);
+  F.retVoid();
+  PB.setMain(F.id());
+
+  GoldilocksDetector D;
+  VmConfig Cfg;
+  Cfg.Detector = &D;
+  Vm V(PB.take(), Cfg);
+  EXPECT_EQ(V.run(), 0);
+  // Exactly checking.bal races: savings.bal is touched only inside the
+  // transaction, and the globals are read-shared after main's init (fork
+  // edges order them).
+  ASSERT_EQ(V.raceLog().size(), 1u);
+  EXPECT_EQ(V.raceLog()[0].Var.Field, 0u);
+}
+
+TEST(VmTest, TxnConflictsRetryAndStayAtomic) {
+  // Heavy contention: 4 threads, one shared account, transactional
+  // read-modify-write; the total must be exact.
+  ProgramBuilder PB;
+  ClassId Acc = PB.addClass("Account", {{"bal", false}});
+  uint32_t GA = PB.addGlobal("a");
+  FunctionBuilder W = PB.function("incr", 0, true);
+  {
+    Reg A = W.newReg(), V1 = W.newReg(), I = W.newReg(), N = W.newReg(),
+        One = W.newReg(), C = W.newReg();
+    W.constI(I, 0).constI(N, 200).constI(One, 1);
+    Label Loop = W.label(), Done = W.label();
+    W.bind(Loop);
+    W.cmpLtI(C, I, N).jz(C, Done);
+    W.getG(A, GA);
+    W.atomicBegin();
+    W.getField(V1, A, 0).addI(V1, V1, One).putField(A, 0, V1);
+    W.atomicEnd();
+    W.addI(I, I, One).jmp(Loop);
+    W.bind(Done);
+    W.retVoid();
+  }
+  FunctionBuilder F = PB.function("main", 0);
+  Reg A = F.newReg(), V1 = F.newReg(), T1 = F.newReg(), T2 = F.newReg(),
+      T3 = F.newReg(), T4 = F.newReg();
+  F.newObj(A, Acc).constI(V1, 0).putField(A, 0, V1).putG(GA, A);
+  F.fork(T1, W.id()).fork(T2, W.id()).fork(T3, W.id()).fork(T4, W.id());
+  F.join(T1).join(T2).join(T3).join(T4);
+  F.getG(A, GA).getField(V1, A, 0).putG(GA, V1).retVoid();
+  PB.setMain(F.id());
+
+  GoldilocksDetector D;
+  VmConfig Cfg;
+  Cfg.Detector = &D;
+  Vm V(PB.take(), Cfg);
+  EXPECT_EQ(V.run(), 0);
+  EXPECT_EQ(V.global(GA), 800u);
+  EXPECT_TRUE(V.raceLog().empty()) << V.raceLog()[0].str();
+  EXPECT_EQ(V.stats().TxnCommits, 800u);
+}
+
+TEST(VmTest, CheckFlagsSuppressDetection) {
+  // The same racy program as above, but with the access sites marked
+  // race-free by a (here: deliberately unsound) annotation — the runtime
+  // must skip the checks (Section 5.2 mechanism).
+  ProgramBuilder PB;
+  uint32_t GData = PB.addGlobal("data");
+  FunctionBuilder W = PB.function("writer", 0, true);
+  {
+    Reg V1 = W.newReg();
+    W.constI(V1, 5).putG(GData, V1).noCheck();
+    W.retVoid();
+  }
+  FunctionBuilder F = PB.function("main", 0);
+  Reg T1 = F.newReg(), T2 = F.newReg();
+  F.fork(T1, W.id()).fork(T2, W.id()).join(T1).join(T2).retVoid();
+  PB.setMain(F.id());
+  Program P = PB.take();
+
+  GoldilocksDetector D;
+  VmConfig Cfg;
+  Cfg.Detector = &D;
+  Vm V(P, Cfg);
+  V.run();
+  EXPECT_TRUE(V.raceLog().empty());
+  EXPECT_EQ(V.stats().CheckedAccesses, 0u);
+  EXPECT_EQ(V.stats().DataAccesses, 2u);
+
+  // Field-level flag: clear CheckRace on the global instead.
+  Program P2 = P;
+  for (auto &F2 : P2.Functions)
+    for (auto &In : F2.Code)
+      In.Check = true;
+  P2.Globals[GData].CheckRace = false;
+  GoldilocksDetector D2;
+  VmConfig Cfg2;
+  Cfg2.Detector = &D2;
+  Vm V2(P2, Cfg2);
+  V2.run();
+  EXPECT_TRUE(V2.raceLog().empty());
+  EXPECT_EQ(V2.stats().CheckedAccesses, 0u);
+
+  // HonorCheckFlags=false overrides the annotations: the race reappears.
+  GoldilocksDetector D3;
+  VmConfig Cfg3;
+  Cfg3.Detector = &D3;
+  Cfg3.HonorCheckFlags = false;
+  Vm V3(P2, Cfg3);
+  V3.run();
+  EXPECT_EQ(V3.raceLog().size(), 1u);
+}

@@ -1,0 +1,172 @@
+//===- tests/WorkloadTest.cpp - benchmark workload integration tests ------===//
+///
+/// End-to-end checks of the Table 1/2/3 workloads: every benchmark is
+/// race-free under the Goldilocks engine (they are correct programs),
+/// computes its expected result, and behaves identically with static
+/// pre-elimination applied (Chord and RccJava results are sound).
+///
+//===----------------------------------------------------------------------===//
+
+#include "detectors/GoldilocksDetectors.h"
+#include "workloads/Workload.h"
+#include "vm/Vm.h"
+
+#include <gtest/gtest.h>
+
+using namespace gold;
+
+namespace {
+
+struct NamedWorkload {
+  const char *Name;
+  Workload (*Make)();
+};
+
+Workload smallColt() { return makeColt(3, WorkloadScale{1}); }
+Workload smallHedc() { return makeHedc(3, WorkloadScale{1}); }
+Workload smallLufact() { return makeLufact(3, WorkloadScale{1}); }
+Workload smallMoldyn() { return makeMoldyn(3, WorkloadScale{1}); }
+Workload smallMontecarlo() { return makeMontecarlo(3, WorkloadScale{1}); }
+Workload smallPhilo() { return makePhilo(4, WorkloadScale{1}); }
+Workload smallRaytracer() { return makeRaytracer(3, WorkloadScale{1}); }
+Workload smallSeries() { return makeSeries(3, WorkloadScale{1}); }
+Workload smallSor() { return makeSor(3, WorkloadScale{1}); }
+Workload smallSor2() { return makeSor2(3, WorkloadScale{1}); }
+Workload smallTsp() { return makeTsp(3, WorkloadScale{1}); }
+Workload smallMultiset() { return makeMultiset(4, 12, 10); }
+
+const NamedWorkload AllWorkloads[] = {
+    {"colt", smallColt},           {"hedc", smallHedc},
+    {"lufact", smallLufact},       {"moldyn", smallMoldyn},
+    {"montecarlo", smallMontecarlo}, {"philo", smallPhilo},
+    {"raytracer", smallRaytracer}, {"series", smallSeries},
+    {"sor", smallSor},             {"sor2", smallSor2},
+    {"tsp", smallTsp},             {"multiset", smallMultiset},
+};
+
+class WorkloadTest : public ::testing::TestWithParam<NamedWorkload> {};
+
+int64_t runAndCheck(const Workload &W, RaceDetector *D,
+                    std::vector<RaceReport> *RacesOut = nullptr) {
+  VmConfig Cfg;
+  Cfg.Detector = D;
+  Vm V(W.Prog, Cfg);
+  EXPECT_EQ(V.run(), 0) << W.Name;
+  EXPECT_TRUE(V.uncaught().empty()) << W.Name;
+  if (RacesOut)
+    *RacesOut = V.raceLog();
+  return static_cast<int64_t>(V.global(W.ResultGlobal));
+}
+
+} // namespace
+
+TEST_P(WorkloadTest, UninstrumentedComputesExpectedResult) {
+  Workload W = GetParam().Make();
+  int64_t R = runAndCheck(W, nullptr);
+  if (W.HasExpected) {
+    EXPECT_EQ(R, W.Expected) << W.Name;
+  }
+}
+
+TEST_P(WorkloadTest, RaceFreeUnderGoldilocks) {
+  Workload W = GetParam().Make();
+  GoldilocksDetector D;
+  std::vector<RaceReport> Races;
+  int64_t R = runAndCheck(W, &D, &Races);
+  EXPECT_TRUE(Races.empty()) << W.Name << ": " << Races[0].str();
+  if (W.HasExpected) {
+    EXPECT_EQ(R, W.Expected) << W.Name;
+  }
+}
+
+TEST_P(WorkloadTest, ChordPreEliminationPreservesBehaviour) {
+  Workload W = GetParam().Make();
+  Program Annotated = W.Prog;
+  applyStaticResult(Annotated, runChordAnalysis(W.Prog));
+  GoldilocksDetector D;
+  VmConfig Cfg;
+  Cfg.Detector = &D;
+  Vm V(Annotated, Cfg);
+  EXPECT_EQ(V.run(), 0) << W.Name;
+  EXPECT_TRUE(V.raceLog().empty()) << W.Name;
+  if (W.HasExpected) {
+    EXPECT_EQ(static_cast<int64_t>(V.global(W.ResultGlobal)), W.Expected);
+  }
+  EXPECT_LE(V.stats().CheckedAccesses, V.stats().DataAccesses);
+}
+
+TEST_P(WorkloadTest, RccJavaPreEliminationPreservesBehaviour) {
+  Workload W = GetParam().Make();
+  Program Annotated = W.Prog;
+  applyStaticResult(Annotated, runRccJavaAnalysis(W.Prog, W.Rcc));
+  GoldilocksDetector D;
+  VmConfig Cfg;
+  Cfg.Detector = &D;
+  Vm V(Annotated, Cfg);
+  EXPECT_EQ(V.run(), 0) << W.Name;
+  EXPECT_TRUE(V.raceLog().empty()) << W.Name;
+  if (W.HasExpected) {
+    EXPECT_EQ(static_cast<int64_t>(V.global(W.ResultGlobal)), W.Expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(All, WorkloadTest, ::testing::ValuesIn(AllWorkloads),
+                         [](const auto &Info) {
+                           return std::string(Info.param.Name);
+                         });
+
+TEST(WorkloadSuiteTest, StandardSuiteBuilds) {
+  auto Suite = standardSuite(WorkloadScale{1});
+  EXPECT_EQ(Suite.size(), 11u);
+  for (const Workload &W : Suite) {
+    EXPECT_FALSE(W.Name.empty());
+    EXPECT_TRUE(W.Prog.validate().empty()) << W.Name;
+    EXPECT_GE(W.Threads, 5u) << W.Name;
+  }
+}
+
+TEST(WorkloadSuiteTest, MultisetTransactionsActuallyCommit) {
+  Workload W = makeMultiset(4, 12, 10);
+  GoldilocksDetector D;
+  VmConfig Cfg;
+  Cfg.Detector = &D;
+  Vm V(W.Prog, Cfg);
+  EXPECT_EQ(V.run(), 0);
+  EXPECT_GT(V.stats().TxnCommits, 0u);
+  EXPECT_GT(V.stats().TxnAccesses, 0u);
+  EXPECT_EQ(static_cast<int64_t>(V.global(W.ResultGlobal)), W.Expected);
+  EXPECT_TRUE(V.raceLog().empty()) << V.raceLog()[0].str();
+}
+
+TEST(WorkloadSuiteTest, BarrierWorkloadsGenerateVolatileTraffic) {
+  for (auto Make : {smallMoldyn, smallSor2}) {
+    Workload W = Make();
+    GoldilocksDetector D;
+    VmConfig Cfg;
+    Cfg.Detector = &D;
+    Vm V(W.Prog, Cfg);
+    EXPECT_EQ(V.run(), 0);
+    EXPECT_GT(V.stats().VolatileAccesses, 0u) << W.Name;
+  }
+}
+
+TEST(WorkloadSuiteTest, RccAnnotationsReduceCheckedAccesses) {
+  // For barrier workloads, the RccJava annotations must eliminate strictly
+  // more accesses than Chord (the moldyn/raytracer/sor2 effect).
+  for (auto Make : {smallMoldyn, smallRaytracer, smallSor2}) {
+    Workload W = Make();
+    auto Run = [&](const StaticRaceResult &R) {
+      Program Annotated = W.Prog;
+      applyStaticResult(Annotated, R);
+      GoldilocksDetector D;
+      VmConfig Cfg;
+      Cfg.Detector = &D;
+      Vm V(Annotated, Cfg);
+      V.run();
+      return V.stats().CheckedAccesses;
+    };
+    uint64_t Chord = Run(runChordAnalysis(W.Prog));
+    uint64_t Rcc = Run(runRccJavaAnalysis(W.Prog, W.Rcc));
+    EXPECT_LT(Rcc, Chord) << W.Name;
+  }
+}
