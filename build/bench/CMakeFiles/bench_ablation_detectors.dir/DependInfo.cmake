@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_detectors.cpp" "bench/CMakeFiles/bench_ablation_detectors.dir/bench_ablation_detectors.cpp.o" "gcc" "bench/CMakeFiles/bench_ablation_detectors.dir/bench_ablation_detectors.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/gold_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/gold_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/gold_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/stm/CMakeFiles/gold_stm.dir/DependInfo.cmake"
+  "/root/repo/build/src/detectors/CMakeFiles/gold_detectors.dir/DependInfo.cmake"
+  "/root/repo/build/src/goldilocks/CMakeFiles/gold_goldilocks.dir/DependInfo.cmake"
+  "/root/repo/build/src/hb/CMakeFiles/gold_hb.dir/DependInfo.cmake"
+  "/root/repo/build/src/event/CMakeFiles/gold_event.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/gold_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

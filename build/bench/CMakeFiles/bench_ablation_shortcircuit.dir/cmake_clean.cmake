@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_shortcircuit.dir/bench_ablation_shortcircuit.cpp.o"
+  "CMakeFiles/bench_ablation_shortcircuit.dir/bench_ablation_shortcircuit.cpp.o.d"
+  "bench_ablation_shortcircuit"
+  "bench_ablation_shortcircuit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_shortcircuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/account_transfer.dir/account_transfer.cpp.o"
+  "CMakeFiles/account_transfer.dir/account_transfer.cpp.o.d"
+  "account_transfer"
+  "account_transfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/account_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

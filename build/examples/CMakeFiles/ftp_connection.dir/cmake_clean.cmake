@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftp_connection.dir/ftp_connection.cpp.o"
+  "CMakeFiles/ftp_connection.dir/ftp_connection.cpp.o.d"
+  "ftp_connection"
+  "ftp_connection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftp_connection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

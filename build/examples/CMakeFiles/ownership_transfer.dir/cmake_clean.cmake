@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ownership_transfer.dir/ownership_transfer.cpp.o"
+  "CMakeFiles/ownership_transfer.dir/ownership_transfer.cpp.o.d"
+  "ownership_transfer"
+  "ownership_transfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ownership_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

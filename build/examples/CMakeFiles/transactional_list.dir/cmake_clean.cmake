@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transactional_list.dir/transactional_list.cpp.o"
+  "CMakeFiles/transactional_list.dir/transactional_list.cpp.o.d"
+  "transactional_list"
+  "transactional_list.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transactional_list.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gold_analysis.dir/StaticRace.cpp.o"
+  "CMakeFiles/gold_analysis.dir/StaticRace.cpp.o.d"
+  "libgold_analysis.a"
+  "libgold_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gold_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gold_detectors.dir/Eraser.cpp.o"
+  "CMakeFiles/gold_detectors.dir/Eraser.cpp.o.d"
+  "CMakeFiles/gold_detectors.dir/RaceDetector.cpp.o"
+  "CMakeFiles/gold_detectors.dir/RaceDetector.cpp.o.d"
+  "CMakeFiles/gold_detectors.dir/VectorClockDetector.cpp.o"
+  "CMakeFiles/gold_detectors.dir/VectorClockDetector.cpp.o.d"
+  "libgold_detectors.a"
+  "libgold_detectors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gold_detectors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/event/PaperTraces.cpp" "src/event/CMakeFiles/gold_event.dir/PaperTraces.cpp.o" "gcc" "src/event/CMakeFiles/gold_event.dir/PaperTraces.cpp.o.d"
+  "/root/repo/src/event/RandomTrace.cpp" "src/event/CMakeFiles/gold_event.dir/RandomTrace.cpp.o" "gcc" "src/event/CMakeFiles/gold_event.dir/RandomTrace.cpp.o.d"
+  "/root/repo/src/event/Trace.cpp" "src/event/CMakeFiles/gold_event.dir/Trace.cpp.o" "gcc" "src/event/CMakeFiles/gold_event.dir/Trace.cpp.o.d"
+  "/root/repo/src/event/TraceIO.cpp" "src/event/CMakeFiles/gold_event.dir/TraceIO.cpp.o" "gcc" "src/event/CMakeFiles/gold_event.dir/TraceIO.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/gold_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gold_event.dir/PaperTraces.cpp.o"
+  "CMakeFiles/gold_event.dir/PaperTraces.cpp.o.d"
+  "CMakeFiles/gold_event.dir/RandomTrace.cpp.o"
+  "CMakeFiles/gold_event.dir/RandomTrace.cpp.o.d"
+  "CMakeFiles/gold_event.dir/Trace.cpp.o"
+  "CMakeFiles/gold_event.dir/Trace.cpp.o.d"
+  "CMakeFiles/gold_event.dir/TraceIO.cpp.o"
+  "CMakeFiles/gold_event.dir/TraceIO.cpp.o.d"
+  "libgold_event.a"
+  "libgold_event.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gold_event.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gold_goldilocks.dir/Engine.cpp.o"
+  "CMakeFiles/gold_goldilocks.dir/Engine.cpp.o.d"
+  "CMakeFiles/gold_goldilocks.dir/Lockset.cpp.o"
+  "CMakeFiles/gold_goldilocks.dir/Lockset.cpp.o.d"
+  "CMakeFiles/gold_goldilocks.dir/Reference.cpp.o"
+  "CMakeFiles/gold_goldilocks.dir/Reference.cpp.o.d"
+  "CMakeFiles/gold_goldilocks.dir/Rules.cpp.o"
+  "CMakeFiles/gold_goldilocks.dir/Rules.cpp.o.d"
+  "libgold_goldilocks.a"
+  "libgold_goldilocks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gold_goldilocks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gold_hb.dir/HbOracle.cpp.o"
+  "CMakeFiles/gold_hb.dir/HbOracle.cpp.o.d"
+  "libgold_hb.a"
+  "libgold_hb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gold_hb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gold_stm.dir/Stm.cpp.o"
+  "CMakeFiles/gold_stm.dir/Stm.cpp.o.d"
+  "libgold_stm.a"
+  "libgold_stm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gold_stm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gold_support.dir/Random.cpp.o"
+  "CMakeFiles/gold_support.dir/Random.cpp.o.d"
+  "CMakeFiles/gold_support.dir/Table.cpp.o"
+  "CMakeFiles/gold_support.dir/Table.cpp.o.d"
+  "CMakeFiles/gold_support.dir/Timer.cpp.o"
+  "CMakeFiles/gold_support.dir/Timer.cpp.o.d"
+  "libgold_support.a"
+  "libgold_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gold_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

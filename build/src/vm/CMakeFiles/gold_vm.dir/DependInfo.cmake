@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vm/Builder.cpp" "src/vm/CMakeFiles/gold_vm.dir/Builder.cpp.o" "gcc" "src/vm/CMakeFiles/gold_vm.dir/Builder.cpp.o.d"
+  "/root/repo/src/vm/Heap.cpp" "src/vm/CMakeFiles/gold_vm.dir/Heap.cpp.o" "gcc" "src/vm/CMakeFiles/gold_vm.dir/Heap.cpp.o.d"
+  "/root/repo/src/vm/Program.cpp" "src/vm/CMakeFiles/gold_vm.dir/Program.cpp.o" "gcc" "src/vm/CMakeFiles/gold_vm.dir/Program.cpp.o.d"
+  "/root/repo/src/vm/Vm.cpp" "src/vm/CMakeFiles/gold_vm.dir/Vm.cpp.o" "gcc" "src/vm/CMakeFiles/gold_vm.dir/Vm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/detectors/CMakeFiles/gold_detectors.dir/DependInfo.cmake"
+  "/root/repo/build/src/stm/CMakeFiles/gold_stm.dir/DependInfo.cmake"
+  "/root/repo/build/src/goldilocks/CMakeFiles/gold_goldilocks.dir/DependInfo.cmake"
+  "/root/repo/build/src/hb/CMakeFiles/gold_hb.dir/DependInfo.cmake"
+  "/root/repo/build/src/event/CMakeFiles/gold_event.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/gold_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gold_vm.dir/Builder.cpp.o"
+  "CMakeFiles/gold_vm.dir/Builder.cpp.o.d"
+  "CMakeFiles/gold_vm.dir/Heap.cpp.o"
+  "CMakeFiles/gold_vm.dir/Heap.cpp.o.d"
+  "CMakeFiles/gold_vm.dir/Program.cpp.o"
+  "CMakeFiles/gold_vm.dir/Program.cpp.o.d"
+  "CMakeFiles/gold_vm.dir/Vm.cpp.o"
+  "CMakeFiles/gold_vm.dir/Vm.cpp.o.d"
+  "libgold_vm.a"
+  "libgold_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gold_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

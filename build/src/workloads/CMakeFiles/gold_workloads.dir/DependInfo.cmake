@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/Apps.cpp" "src/workloads/CMakeFiles/gold_workloads.dir/Apps.cpp.o" "gcc" "src/workloads/CMakeFiles/gold_workloads.dir/Apps.cpp.o.d"
+  "/root/repo/src/workloads/Common.cpp" "src/workloads/CMakeFiles/gold_workloads.dir/Common.cpp.o" "gcc" "src/workloads/CMakeFiles/gold_workloads.dir/Common.cpp.o.d"
+  "/root/repo/src/workloads/Kernels.cpp" "src/workloads/CMakeFiles/gold_workloads.dir/Kernels.cpp.o" "gcc" "src/workloads/CMakeFiles/gold_workloads.dir/Kernels.cpp.o.d"
+  "/root/repo/src/workloads/Multiset.cpp" "src/workloads/CMakeFiles/gold_workloads.dir/Multiset.cpp.o" "gcc" "src/workloads/CMakeFiles/gold_workloads.dir/Multiset.cpp.o.d"
+  "/root/repo/src/workloads/Suite.cpp" "src/workloads/CMakeFiles/gold_workloads.dir/Suite.cpp.o" "gcc" "src/workloads/CMakeFiles/gold_workloads.dir/Suite.cpp.o.d"
+  "/root/repo/src/workloads/Tasks.cpp" "src/workloads/CMakeFiles/gold_workloads.dir/Tasks.cpp.o" "gcc" "src/workloads/CMakeFiles/gold_workloads.dir/Tasks.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vm/CMakeFiles/gold_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/gold_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/detectors/CMakeFiles/gold_detectors.dir/DependInfo.cmake"
+  "/root/repo/build/src/goldilocks/CMakeFiles/gold_goldilocks.dir/DependInfo.cmake"
+  "/root/repo/build/src/hb/CMakeFiles/gold_hb.dir/DependInfo.cmake"
+  "/root/repo/build/src/stm/CMakeFiles/gold_stm.dir/DependInfo.cmake"
+  "/root/repo/build/src/event/CMakeFiles/gold_event.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/gold_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gold_workloads.dir/Apps.cpp.o"
+  "CMakeFiles/gold_workloads.dir/Apps.cpp.o.d"
+  "CMakeFiles/gold_workloads.dir/Common.cpp.o"
+  "CMakeFiles/gold_workloads.dir/Common.cpp.o.d"
+  "CMakeFiles/gold_workloads.dir/Kernels.cpp.o"
+  "CMakeFiles/gold_workloads.dir/Kernels.cpp.o.d"
+  "CMakeFiles/gold_workloads.dir/Multiset.cpp.o"
+  "CMakeFiles/gold_workloads.dir/Multiset.cpp.o.d"
+  "CMakeFiles/gold_workloads.dir/Suite.cpp.o"
+  "CMakeFiles/gold_workloads.dir/Suite.cpp.o.d"
+  "CMakeFiles/gold_workloads.dir/Tasks.cpp.o"
+  "CMakeFiles/gold_workloads.dir/Tasks.cpp.o.d"
+  "libgold_workloads.a"
+  "libgold_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gold_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

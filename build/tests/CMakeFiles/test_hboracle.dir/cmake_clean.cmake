@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hboracle.dir/HbOracleTest.cpp.o"
+  "CMakeFiles/test_hboracle.dir/HbOracleTest.cpp.o.d"
+  "test_hboracle"
+  "test_hboracle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hboracle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

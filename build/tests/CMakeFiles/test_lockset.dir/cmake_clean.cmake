@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lockset.dir/LocksetTest.cpp.o"
+  "CMakeFiles/test_lockset.dir/LocksetTest.cpp.o.d"
+  "test_lockset"
+  "test_lockset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lockset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_randomtrace.dir/RandomTraceTest.cpp.o"
+  "CMakeFiles/test_randomtrace.dir/RandomTraceTest.cpp.o.d"
+  "test_randomtrace"
+  "test_randomtrace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_randomtrace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ReferenceTest.cpp" "tests/CMakeFiles/test_reference.dir/ReferenceTest.cpp.o" "gcc" "tests/CMakeFiles/test_reference.dir/ReferenceTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/detectors/CMakeFiles/gold_detectors.dir/DependInfo.cmake"
+  "/root/repo/build/src/goldilocks/CMakeFiles/gold_goldilocks.dir/DependInfo.cmake"
+  "/root/repo/build/src/hb/CMakeFiles/gold_hb.dir/DependInfo.cmake"
+  "/root/repo/build/src/event/CMakeFiles/gold_event.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/gold_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_staticrace.dir/StaticRaceTest.cpp.o"
+  "CMakeFiles/test_staticrace.dir/StaticRaceTest.cpp.o.d"
+  "test_staticrace"
+  "test_staticrace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_staticrace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

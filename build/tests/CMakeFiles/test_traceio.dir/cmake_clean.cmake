@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_traceio.dir/TraceIOTest.cpp.o"
+  "CMakeFiles/test_traceio.dir/TraceIOTest.cpp.o.d"
+  "test_traceio"
+  "test_traceio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_traceio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_txnsemantics.dir/TxnSemanticsTest.cpp.o"
+  "CMakeFiles/test_txnsemantics.dir/TxnSemanticsTest.cpp.o.d"
+  "test_txnsemantics"
+  "test_txnsemantics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_txnsemantics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

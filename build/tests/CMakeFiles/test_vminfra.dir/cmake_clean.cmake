@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vminfra.dir/VmInfraTest.cpp.o"
+  "CMakeFiles/test_vminfra.dir/VmInfraTest.cpp.o.d"
+  "test_vminfra"
+  "test_vminfra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vminfra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/goldilocks-trace.dir/goldilocks-trace.cpp.o"
+  "CMakeFiles/goldilocks-trace.dir/goldilocks-trace.cpp.o.d"
+  "goldilocks-trace"
+  "goldilocks-trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/goldilocks-trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
