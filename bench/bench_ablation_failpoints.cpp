@@ -1,0 +1,79 @@
+//===- bench/bench_ablation_failpoints.cpp - Failpoint overhead ----------===//
+///
+/// Measures the cost of the fault-injection framework on the engine's hot
+/// paths. The framework's contract is that a *disarmed* failpoint costs one
+/// relaxed atomic load and one predictable branch — i.e. baseline replay and
+/// disarmed replay should be indistinguishable. The armed/zero-rate variant
+/// bounds the bookkeeping cost (per-site counters) and the armed/firing
+/// variants show what chaos testing itself pays.
+///
+//===----------------------------------------------------------------------===//
+
+#include "detectors/GoldilocksDetectors.h"
+#include "event/RandomTrace.h"
+#include "support/Failpoints.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace gold;
+
+namespace {
+
+Trace mixedTrace() {
+  RandomTraceParams P;
+  P.Seed = 7;
+  P.NumThreads = 6;
+  P.NumObjects = 8;
+  P.StepsPerThread = 250;
+  P.WBeginTxn = 1;
+  return generateRandomTrace(P);
+}
+
+void replayOnce(const Trace &T) {
+  GoldilocksDetector D;
+  benchmark::DoNotOptimize(D.runTrace(T));
+}
+
+void BM_Disarmed(benchmark::State &State) {
+  Trace T = mixedTrace();
+  for (auto _ : State)
+    replayOnce(T);
+}
+BENCHMARK(BM_Disarmed);
+
+void BM_ArmedZeroRate(benchmark::State &State) {
+  Trace T = mixedTrace();
+  FailpointConfig C; // all rates zero: sites evaluate but never fire
+  FailpointScope Scope(C);
+  for (auto _ : State)
+    replayOnce(T);
+}
+BENCHMARK(BM_ArmedZeroRate);
+
+void BM_ArmedGcStalls(benchmark::State &State) {
+  Trace T = mixedTrace();
+  FailpointConfig C;
+  C.Seed = 11;
+  C.StallMicros = 5;
+  C.rate(Failpoint::EngineGcStall, 500000); // every other collection stalls
+  FailpointScope Scope(C);
+  for (auto _ : State)
+    replayOnce(T);
+}
+BENCHMARK(BM_ArmedGcStalls);
+
+void BM_ArmedAllocFaults(benchmark::State &State) {
+  Trace T = mixedTrace();
+  FailpointConfig C;
+  C.Seed = 11;
+  C.rate(Failpoint::EngineCellAlloc, 2000)
+      .rate(Failpoint::EngineInfoAlloc, 2000); // 0.2% of evaluations
+  FailpointScope Scope(C);
+  for (auto _ : State)
+    replayOnce(T);
+}
+BENCHMARK(BM_ArmedAllocFaults);
+
+} // namespace
+
+BENCHMARK_MAIN();

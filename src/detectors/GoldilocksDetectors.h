@@ -50,6 +50,8 @@ public:
   }
   const char *name() const override { return "goldilocks"; }
 
+  std::optional<EngineHealth> health() const override { return E.health(); }
+
   GoldilocksEngine &engine() { return E; }
 
 private:

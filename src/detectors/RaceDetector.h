@@ -13,6 +13,7 @@
 #define GOLD_DETECTORS_RACEDETECTOR_H
 
 #include "event/Trace.h"
+#include "goldilocks/Health.h"
 #include "goldilocks/Race.h"
 
 #include <optional>
@@ -61,6 +62,10 @@ public:
 
   /// Short descriptive name ("goldilocks", "eraser", ...).
   virtual const char *name() const = 0;
+
+  /// Resource/health snapshot for detectors with a resource governor;
+  /// detectors without one return nullopt.
+  virtual std::optional<EngineHealth> health() const { return std::nullopt; }
 
   /// Replays a linearized trace through this detector and collects every
   /// report (in trace order).

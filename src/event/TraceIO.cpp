@@ -2,6 +2,7 @@
 
 #include "event/TraceIO.h"
 
+#include <set>
 #include <sstream>
 
 using namespace gold;
@@ -59,17 +60,30 @@ std::string gold::serializeTrace(const Trace &T) {
 
 namespace {
 
+/// Parses a decimal uint32 strictly: digits only (no sign, no hex, no
+/// trailing characters) and within range. The extraction-operator route
+/// would wrap negatives and silently truncate >32-bit values.
+bool parseU32(const std::string &Tok, uint32_t &Out) {
+  if (Tok.empty() || Tok.size() > 10)
+    return false;
+  uint64_t V = 0;
+  for (char C : Tok) {
+    if (C < '0' || C > '9')
+      return false;
+    V = V * 10 + static_cast<uint64_t>(C - '0');
+  }
+  if (V > 0xffffffffull)
+    return false;
+  Out = static_cast<uint32_t>(V);
+  return true;
+}
+
 bool parseVar(const std::string &Tok, VarId &Out) {
   size_t Colon = Tok.find(':');
   if (Colon == std::string::npos)
     return false;
-  try {
-    Out.Object = static_cast<ObjectId>(std::stoul(Tok.substr(0, Colon)));
-    Out.Field = static_cast<FieldId>(std::stoul(Tok.substr(Colon + 1)));
-  } catch (...) {
-    return false;
-  }
-  return true;
+  return parseU32(Tok.substr(0, Colon), Out.Object) &&
+         parseU32(Tok.substr(Colon + 1), Out.Field);
 }
 
 } // namespace
@@ -86,6 +100,11 @@ bool gold::parseTrace(const std::string &Text, Trace &Out,
     return false;
   };
 
+  // Thread 0 (main) exists implicitly; every other thread must be forked
+  // exactly once before it acts, which is what makes fork/join edges in the
+  // replayed trace meaningful.
+  std::set<uint32_t> Forked;
+
   while (std::getline(In, Line)) {
     ++LineNo;
     if (Line.empty() || Line[0] == '#')
@@ -96,23 +115,40 @@ bool gold::parseTrace(const std::string &Text, Trace &Out,
     if (Kind.empty())
       continue;
 
-    auto ReadU32 = [&](uint32_t &V) {
-      unsigned long Raw;
-      if (!(Ls >> Raw))
+    auto ReadU32 = [&](uint32_t &V, const char *What) {
+      std::string Tok;
+      if (!(Ls >> Tok)) {
+        Error = "missing " + std::string(What);
         return false;
-      V = static_cast<uint32_t>(Raw);
+      }
+      if (!parseU32(Tok, V)) {
+        Error = "bad " + std::string(What) + " '" + Tok +
+                "' (want a decimal uint32)";
+        return false;
+      }
       return true;
     };
+    auto NoTrailing = [&] {
+      std::string Extra;
+      if (Ls >> Extra) {
+        Error = "trailing token '" + Extra + "' after " + Kind;
+        return false;
+      }
+      return true;
+    };
+    auto FailHere = [&] { return Fail(Kind + ": " + Error); };
 
     uint32_t T = 0, A = 0, Bv = 0;
     if (Kind == "alloc") {
-      if (!ReadU32(T) || !ReadU32(A) || !ReadU32(Bv))
-        return Fail("alloc needs <tid> <obj> <fieldcount>");
+      if (!ReadU32(T, "<tid>") || !ReadU32(A, "<obj>") ||
+          !ReadU32(Bv, "<fieldcount>") || !NoTrailing())
+        return FailHere();
       B.alloc(T, A, Bv);
     } else if (Kind == "read" || Kind == "write" || Kind == "vread" ||
                Kind == "vwrite") {
-      if (!ReadU32(T) || !ReadU32(A) || !ReadU32(Bv))
-        return Fail(Kind + " needs <tid> <obj> <field>");
+      if (!ReadU32(T, "<tid>") || !ReadU32(A, "<obj>") ||
+          !ReadU32(Bv, "<field>") || !NoTrailing())
+        return FailHere();
       if (Kind == "read")
         B.read(T, A, Bv);
       else if (Kind == "write")
@@ -122,26 +158,35 @@ bool gold::parseTrace(const std::string &Text, Trace &Out,
       else
         B.volWrite(T, A, Bv);
     } else if (Kind == "acq" || Kind == "rel") {
-      if (!ReadU32(T) || !ReadU32(A))
-        return Fail(Kind + " needs <tid> <obj>");
+      if (!ReadU32(T, "<tid>") || !ReadU32(A, "<obj>") || !NoTrailing())
+        return FailHere();
       if (Kind == "acq")
         B.acq(T, A);
       else
         B.rel(T, A);
     } else if (Kind == "fork" || Kind == "join") {
-      if (!ReadU32(T) || !ReadU32(A))
-        return Fail(Kind + " needs <tid> <child>");
-      if (Kind == "fork")
+      if (!ReadU32(T, "<tid>") || !ReadU32(A, "<child>") || !NoTrailing())
+        return FailHere();
+      if (A == T)
+        return Fail(Kind + ": thread " + std::to_string(T) +
+                    " cannot " + Kind + " itself");
+      if (Kind == "fork") {
+        if (A == 0)
+          return Fail("fork: thread 0 is the implicit main thread");
+        if (!Forked.insert(A).second)
+          return Fail("fork: thread " + std::to_string(A) +
+                      " was already forked");
         B.fork(T, A);
-      else
+      } else {
         B.join(T, A);
+      }
     } else if (Kind == "term") {
-      if (!ReadU32(T))
-        return Fail("term needs <tid>");
+      if (!ReadU32(T, "<tid>") || !NoTrailing())
+        return FailHere();
       B.terminate(T);
     } else if (Kind == "commit") {
-      if (!ReadU32(T))
-        return Fail("commit needs <tid>");
+      if (!ReadU32(T, "<tid>"))
+        return FailHere();
       std::string Tok;
       if (!(Ls >> Tok) || Tok != "R")
         return Fail("commit expects 'R' after the thread id");

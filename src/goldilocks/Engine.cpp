@@ -2,8 +2,11 @@
 
 #include "goldilocks/Engine.h"
 
+#include "support/Failpoints.h"
+
 #include <algorithm>
 #include <cassert>
+#include <new>
 
 using namespace gold;
 
@@ -36,7 +39,8 @@ struct GoldilocksEngine::VarState {
   std::mutex KL;
   Info Write;
   std::vector<std::pair<ThreadId, Info>> Reads; // reads since the last write
-  bool Disabled = false;
+  bool Disabled = false;  ///< disabled after its first race (Section 6)
+  bool Degraded = false;  ///< disabled by the resource governor (rung 3)
   VarId V;
 };
 
@@ -45,7 +49,9 @@ struct GoldilocksEngine::VarState {
 /// the owning thread reads or writes its own state.
 struct GoldilocksEngine::ThreadState {
   std::vector<ObjectId> HeldLocks;
-  Cell *PendingAnchor = nullptr;
+  /// Atomic so the collector can clamp its advance boundary on it (see
+  /// pendingAnchorBound) while the owner installs/clears it.
+  std::atomic<Cell *> PendingAnchor{nullptr};
 };
 
 struct GoldilocksEngine::Shard {
@@ -59,7 +65,7 @@ struct GoldilocksEngine::AtomicStats {
       Sc2SameThread{0}, Sc3ALock{0}, FilteredWalks{0}, FullWalks{0},
       CellsWalked{0}, CellsAllocated{0}, CellsFreed{0}, GcRuns{0},
       EagerAdvances{0}, Races{0}, SkippedDisabled{0}, SyncEvents{0},
-      Commits{0};
+      Commits{0}, DegradationEvents{0}, DegradedVars{0}, ForcedGcs{0};
 };
 
 //===----------------------------------------------------------------------===//
@@ -100,8 +106,14 @@ GoldilocksEngine::VarState &GoldilocksEngine::varState(VarId V) {
   auto St = std::make_unique<VarState>();
   St->V = V;
   VarState *Raw = St.get();
+  // Reserve the per-object index slot first: once the state is in the map
+  // the index insertion must not be able to fail, or onAlloc (rule 8)
+  // would miss the variable on reallocation.
+  auto &Vec = Sh.ByObject[V.Object];
+  Vec.reserve(Vec.size() + 1);
   Sh.Map.emplace(V.key(), std::move(St));
-  Sh.ByObject[V.Object].push_back(Raw);
+  Vec.push_back(Raw);
+  VarCount.fetch_add(1, std::memory_order_relaxed);
   return *Raw;
 }
 
@@ -131,6 +143,18 @@ void GoldilocksEngine::dropInfo(Info &I) {
     return;
   releaseCell(I.Pos);
   I = Info();
+  InfoCount.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void GoldilocksEngine::installInfo(Info &Slot, Info &&NI) {
+  assert(NI.Valid && "installing an invalid Info");
+  dropInfo(Slot);
+  Slot = std::move(NI);
+  size_t N = InfoCount.fetch_add(1, std::memory_order_relaxed) + 1;
+  size_t HW = InfoHighWater.load(std::memory_order_relaxed);
+  while (N > HW && !InfoHighWater.compare_exchange_weak(
+                       HW, N, std::memory_order_relaxed)) {
+  }
 }
 
 //===----------------------------------------------------------------------===//
@@ -138,18 +162,52 @@ void GoldilocksEngine::dropInfo(Info &I) {
 //===----------------------------------------------------------------------===//
 
 void GoldilocksEngine::enqueue(SyncEvent E, std::unique_ptr<CommitSets> Owned) {
-  auto *C = new Cell;
+  // Hard cap: climb the degradation ladder *before* appending, so the list
+  // never grows past the budget (concurrent appenders can overshoot by at
+  // most one cell each). Callers hold no GcMu, so the ladder may collect.
+  if ((Cfg.MaxCells || Cfg.MaxBytes) && overCellBudget(/*Incoming=*/1))
+    degradeForCells();
+
+  Cell *C = nullptr;
+  for (int Attempt = 0; !C && Attempt != 2; ++Attempt) {
+    try {
+      if (failpoint(Failpoint::EngineCellAlloc))
+        throw std::bad_alloc();
+      C = new Cell;
+    } catch (const std::bad_alloc &) {
+      if (Attempt == 0) {
+        // Dropping a synchronization event would poison every later
+        // verdict (a missed hb-edge becomes a false alarm), so free
+        // memory and retry once before giving up.
+        S->ForcedGcs.fetch_add(1, std::memory_order_relaxed);
+        collectGarbage();
+      }
+    }
+  }
+  if (!C) {
+    // Still no memory: the synchronization order is now incomplete, and
+    // any further verdict could be a false alarm. Disable checking
+    // engine-wide rather than report garbage.
+    markGloballyDegraded();
+    return;
+  }
+
   C->OwnedCommit = std::move(Owned);
   C->Event = E;
   if (C->OwnedCommit)
     C->Event.Commit = C->OwnedCommit.get();
+  size_t Len;
   {
     std::lock_guard<std::mutex> L(ListMu);
     C->Seq = NextSeq++;
     Cell *Prev = Last.load(std::memory_order_relaxed);
     Prev->Next.store(C, std::memory_order_release);
     Last.store(C, std::memory_order_release);
-    ListLen.fetch_add(1, std::memory_order_relaxed);
+    Len = ListLen.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+  size_t HW = ListHighWater.load(std::memory_order_relaxed);
+  while (Len > HW && !ListHighWater.compare_exchange_weak(
+                         HW, Len, std::memory_order_relaxed)) {
   }
   S->SyncEvents.fetch_add(1, std::memory_order_relaxed);
   S->CellsAllocated.fetch_add(1, std::memory_order_relaxed);
@@ -179,7 +237,12 @@ size_t GoldilocksEngine::distinctVarsChecked() const {
 //===----------------------------------------------------------------------===//
 
 void GoldilocksEngine::onAcquire(ThreadId T, ObjectId O) {
-  threadState(T).HeldLocks.push_back(O);
+  try {
+    threadState(T).HeldLocks.push_back(O);
+  } catch (const std::bad_alloc &) {
+    // The lock stack only powers the alock short circuit and the recorded
+    // ALock hint; a missing entry merely forces the exact walk.
+  }
   SyncEvent E;
   E.Kind = ActionKind::Acquire;
   E.Thread = T;
@@ -189,10 +252,14 @@ void GoldilocksEngine::onAcquire(ThreadId T, ObjectId O) {
 }
 
 void GoldilocksEngine::onRelease(ThreadId T, ObjectId O) {
-  auto &Held = threadState(T).HeldLocks;
-  auto It = std::find(Held.rbegin(), Held.rend(), O);
-  if (It != Held.rend())
-    Held.erase(std::next(It).base());
+  try {
+    auto &Held = threadState(T).HeldLocks;
+    auto It = std::find(Held.rbegin(), Held.rend(), O);
+    if (It != Held.rend())
+      Held.erase(std::next(It).base());
+  } catch (const std::bad_alloc &) {
+    // threadState() may allocate for a first-seen thread; see onAcquire.
+  }
   SyncEvent E;
   E.Kind = ActionKind::Release;
   E.Thread = T;
@@ -248,20 +315,19 @@ void GoldilocksEngine::onTerminate(ThreadId T) {
 void GoldilocksEngine::onAlloc(ThreadId T, ObjectId O, uint32_t FieldCount) {
   (void)T;
   (void)FieldCount;
-  // Rule 8: every variable of the (re)allocated object becomes fresh.
+  // Rule 8: every variable of the (re)allocated object becomes fresh. This
+  // hook is allocation-free (the per-object index is only read), so it
+  // cannot fail under memory pressure.
   std::shared_lock<std::shared_mutex> G(GcMu);
-  Shard &Sh = Shards[VarIdHash()(VarId{O, 0}) % NumShards];
   // Variables of one object can land in different shards (the hash covers
   // the field too), so consult every shard's per-object index.
   for (unsigned I = 0; I != NumShards; ++I) {
     Shard &SI = Shards[I];
-    std::unique_lock<std::mutex> L(SI.Mu);
+    std::lock_guard<std::mutex> L(SI.Mu);
     auto It = SI.ByObject.find(O);
     if (It == SI.ByObject.end())
       continue;
-    std::vector<VarState *> States = It->second;
-    L.unlock();
-    for (VarState *St : States) {
+    for (VarState *St : It->second) {
       std::lock_guard<std::mutex> KL(St->KL);
       dropInfo(St->Write);
       for (auto &[Tid, RI] : St->Reads) {
@@ -270,9 +336,9 @@ void GoldilocksEngine::onAlloc(ThreadId T, ObjectId O, uint32_t FieldCount) {
       }
       St->Reads.clear();
       St->Disabled = false;
+      St->Degraded = false;
     }
   }
-  (void)Sh;
 }
 
 //===----------------------------------------------------------------------===//
@@ -336,10 +402,36 @@ std::optional<RaceReport>
 GoldilocksEngine::accessImpl(ThreadId T, VarId V, bool IsWrite, bool Xact,
                              Cell *PosOverride, const CommitSets *SelfCommit) {
   std::shared_lock<std::shared_mutex> G(GcMu);
+  S->Accesses.fetch_add(1, std::memory_order_relaxed);
+  if (GlobalDegraded.load(std::memory_order_relaxed)) {
+    S->SkippedDisabled.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  // Make room for the record this access will install *before* taking the
+  // variable's KL: eviction scans other variables' KLs, and two threads
+  // each holding their own KL while scanning would deadlock.
+  if ((Cfg.MaxInfoRecords || Cfg.MaxBytes) && overInfoBudget())
+    enforceInfoBudget(V);
+  try {
+    if (failpoint(Failpoint::EngineInfoAlloc))
+      throw std::bad_alloc();
+    return accessLocked(T, V, IsWrite, Xact, PosOverride, SelfCommit);
+  } catch (const std::bad_alloc &) {
+    // The access could not be recorded; without its Info record the
+    // variable's later verdicts could silently miss races, so degrade it
+    // (visibly, via stats and degradedVars()).
+    noteAccessOom(V);
+    return std::nullopt;
+  }
+}
+
+std::optional<RaceReport>
+GoldilocksEngine::accessLocked(ThreadId T, VarId V, bool IsWrite, bool Xact,
+                               Cell *PosOverride,
+                               const CommitSets *SelfCommit) {
   VarState &St = varState(V);
   std::lock_guard<std::mutex> KL(St.KL);
-  S->Accesses.fetch_add(1, std::memory_order_relaxed);
-  if (St.Disabled) {
+  if (St.Disabled || St.Degraded) {
     S->SkippedDisabled.fetch_add(1, std::memory_order_relaxed);
     return std::nullopt;
   }
@@ -400,14 +492,14 @@ GoldilocksEngine::accessImpl(ThreadId T, VarId V, bool IsWrite, bool Xact,
   }
 
   // Install the new Info (Figure 8 lines 4-9 / 12-23): after the access the
-  // variable's lockset is {t} (plus TL inside a transaction).
+  // variable's lockset is {t} (plus TL inside a transaction). Everything
+  // that can throw — the lockset reset, the thread-state lookup, the slot
+  // reservation — happens before retainCell, so the handoff below cannot
+  // leak a cell reference under memory pressure.
   Info NI;
   NI.Owner = T;
   NI.Xact = Xact;
-  NI.Valid = true;
   NI.LS.resetToOwner(T, Xact);
-  NI.Pos = PosC;
-  retainCell(PosC);
   {
     const auto &Held = threadState(T).HeldLocks;
     if (!Held.empty()) {
@@ -415,24 +507,28 @@ GoldilocksEngine::accessImpl(ThreadId T, VarId V, bool IsWrite, bool Xact,
       NI.HasALock = true;
     }
   }
-
+  Info *Slot = &St.Write;
   if (IsWrite) {
-    dropInfo(St.Write);
     for (auto &[Tid, RI] : St.Reads) {
       (void)Tid;
       dropInfo(RI);
     }
     St.Reads.clear();
-    St.Write = std::move(NI);
   } else {
+    Slot = nullptr;
     for (auto &[Tid, RI] : St.Reads)
-      if (Tid == T) {
-        dropInfo(RI);
-        RI = std::move(NI);
-        return std::nullopt;
-      }
-    St.Reads.emplace_back(T, std::move(NI));
+      if (Tid == T)
+        Slot = &RI;
+    if (!Slot) {
+      St.Reads.reserve(St.Reads.size() + 1);
+      St.Reads.emplace_back(T, Info());
+      Slot = &St.Reads.back().second;
+    }
   }
+  NI.Pos = PosC;
+  NI.Valid = true;
+  retainCell(PosC);
+  installInfo(*Slot, std::move(NI));
   return std::nullopt;
 }
 
@@ -451,33 +547,63 @@ void GoldilocksEngine::commitPoint(ThreadId T, const CommitSets &CS) {
     Anchor = Last.load(std::memory_order_acquire);
     retainCell(Anchor);
   }
-  SyncEvent E;
-  E.Kind = ActionKind::Commit;
-  E.Thread = T;
-  enqueue(E, std::make_unique<CommitSets>(CS));
-  ThreadState &TS = threadState(T);
-  assert(!TS.PendingAnchor && "unbalanced commitPoint/finishCommit");
-  TS.PendingAnchor = Anchor;
+  try {
+    auto Owned = std::make_unique<CommitSets>(CS);
+    SyncEvent E;
+    E.Kind = ActionKind::Commit;
+    E.Thread = T;
+    enqueue(E, std::move(Owned));
+    ThreadState &TS = threadState(T);
+    assert(!TS.PendingAnchor.load(std::memory_order_relaxed) &&
+           "unbalanced commitPoint/finishCommit");
+    TS.PendingAnchor.store(Anchor, std::memory_order_release);
+    return;
+  } catch (const std::bad_alloc &) {
+    // Either the commit cell's (R, W) copy or the thread-state lookup
+    // failed. A missing commit event breaks the synchronization order for
+    // every variable it publishes, so fall to the engine-wide last resort.
+  }
+  {
+    std::shared_lock<std::shared_mutex> G(GcMu);
+    releaseCell(Anchor);
+  }
+  markGloballyDegraded();
 }
 
 std::vector<RaceReport> GoldilocksEngine::finishCommit(ThreadId T,
                                                        const CommitSets &CS) {
   // Figure 8 lines 26-28: check every variable in R and W like a regular
   // access with the xact flag set.
-  ThreadState &TS = threadState(T);
-  Cell *Anchor = TS.PendingAnchor;
-  TS.PendingAnchor = nullptr;
-  assert(Anchor && "finishCommit without commitPoint");
+  Cell *Anchor = nullptr;
+  try {
+    ThreadState &TS = threadState(T);
+    Anchor = TS.PendingAnchor.load(std::memory_order_relaxed);
+    TS.PendingAnchor.store(nullptr, std::memory_order_relaxed);
+  } catch (const std::bad_alloc &) {
+    // Only reachable when commitPoint() already failed the same lookup.
+  }
+  if (!Anchor) {
+    // commitPoint() hit the engine-wide last resort; there is nothing to
+    // check against.
+    assert(GlobalDegraded.load(std::memory_order_relaxed) &&
+           "finishCommit without commitPoint");
+    return {};
+  }
 
   std::vector<RaceReport> Races;
-  for (VarId V : CS.Reads)
-    if (auto R =
-            accessImpl(T, V, /*IsWrite=*/false, /*Xact=*/true, Anchor, &CS))
-      Races.push_back(*R);
-  for (VarId V : CS.Writes)
-    if (auto R =
-            accessImpl(T, V, /*IsWrite=*/true, /*Xact=*/true, Anchor, &CS))
-      Races.push_back(*R);
+  try {
+    for (VarId V : CS.Reads)
+      if (auto R =
+              accessImpl(T, V, /*IsWrite=*/false, /*Xact=*/true, Anchor, &CS))
+        Races.push_back(*R);
+    for (VarId V : CS.Writes)
+      if (auto R =
+              accessImpl(T, V, /*IsWrite=*/true, /*Xact=*/true, Anchor, &CS))
+        Races.push_back(*R);
+  } catch (const std::bad_alloc &) {
+    // Races.push_back failed; report what fit. The per-variable checks
+    // themselves handle their own memory pressure inside accessImpl.
+  }
   {
     std::shared_lock<std::shared_mutex> G(GcMu);
     releaseCell(Anchor);
@@ -494,51 +620,51 @@ std::vector<RaceReport> GoldilocksEngine::onCommit(ThreadId T,
 
 void GoldilocksEngine::enableVar(VarId V) {
   std::shared_lock<std::shared_mutex> G(GcMu);
-  VarState &St = varState(V);
-  std::lock_guard<std::mutex> KL(St.KL);
-  St.Disabled = false;
+  try {
+    VarState &St = varState(V);
+    std::lock_guard<std::mutex> KL(St.KL);
+    St.Disabled = false;
+    St.Degraded = false;
+  } catch (const std::bad_alloc &) {
+    // Could not materialize the state; the variable stays as it was.
+  }
 }
 
 //===----------------------------------------------------------------------===//
 // Garbage collection and partially-eager evaluation (Section 5.4)
 //===----------------------------------------------------------------------===//
 
-void GoldilocksEngine::collectGarbage() {
-  std::unique_lock<std::shared_mutex> G(GcMu);
-  S->GcRuns.fetch_add(1, std::memory_order_relaxed);
-
-  auto TrimPrefix = [&] {
-    std::lock_guard<std::mutex> L(ListMu);
-    Cell *LastCell = Last.load(std::memory_order_relaxed);
-    while (Head != LastCell &&
-           Head->RefCount.load(std::memory_order_relaxed) == 0) {
-      Cell *Next = Head->Next.load(std::memory_order_relaxed);
-      delete Head;
-      Head = Next;
-      ListLen.fetch_sub(1, std::memory_order_relaxed);
-      S->CellsFreed.fetch_add(1, std::memory_order_relaxed);
-    }
-  };
-
-  // Phase 1: plain reference-count collection of the unreferenced prefix.
-  TrimPrefix();
-  if (!Cfg.GcThreshold ||
-      ListLen.load(std::memory_order_relaxed) < Cfg.GcThreshold)
-    return;
-
-  // Phase 2: partially-eager lockset evaluation. Pick the boundary cell at
-  // TrimFraction of the list, advance every Info anchored before it to the
-  // boundary (computing its intermediate lockset on the way), then trim.
-  size_t Steps = static_cast<size_t>(
-      static_cast<double>(ListLen.load(std::memory_order_relaxed)) *
-      Cfg.TrimFraction);
-  Steps = std::max<size_t>(Steps, 1);
-  Cell *Boundary = Head;
+void GoldilocksEngine::trimUnreferencedPrefix() {
+  std::lock_guard<std::mutex> L(ListMu);
   Cell *LastCell = Last.load(std::memory_order_relaxed);
-  for (size_t I = 0; I != Steps && Boundary != LastCell; ++I)
-    Boundary = Boundary->Next.load(std::memory_order_relaxed);
-  uint64_t BSeq = Boundary->Seq;
+  while (Head != LastCell &&
+         Head->RefCount.load(std::memory_order_relaxed) == 0) {
+    Cell *Next = Head->Next.load(std::memory_order_relaxed);
+    delete Head;
+    Head = Next;
+    ListLen.fetch_sub(1, std::memory_order_relaxed);
+    S->CellsFreed.fetch_add(1, std::memory_order_relaxed);
+  }
+}
 
+GoldilocksEngine::Cell *
+GoldilocksEngine::pendingAnchorBound(Cell *Boundary) const {
+  // Never advance an Info past a pending commit anchor: the commit's
+  // finish-phase checks window at that anchor, and replaying the commit's
+  // own cell into a lockset would apply rule 9 to itself (missing races).
+  std::lock_guard<std::mutex> L(ThreadsMu);
+  for (const auto &[Tid, TS] : Threads) {
+    (void)Tid;
+    Cell *A = TS->PendingAnchor.load(std::memory_order_acquire);
+    if (A && A->Seq < Boundary->Seq)
+      Boundary = A;
+  }
+  return Boundary;
+}
+
+void GoldilocksEngine::advanceInfosLocked(Cell *Boundary) {
+  Boundary = pendingAnchorBound(Boundary);
+  uint64_t BSeq = Boundary->Seq;
   auto Advance = [&](Info &I, VarId V) {
     if (!I.Valid || I.Pos->Seq >= BSeq)
       return;
@@ -566,7 +692,199 @@ void GoldilocksEngine::collectGarbage() {
       }
     }
   }
-  TrimPrefix();
+}
+
+void GoldilocksEngine::collectGarbage() {
+  std::unique_lock<std::shared_mutex> G(GcMu);
+  S->GcRuns.fetch_add(1, std::memory_order_relaxed);
+  failpointStall(Failpoint::EngineGcStall);
+
+  // Phase 1: plain reference-count collection of the unreferenced prefix.
+  trimUnreferencedPrefix();
+  if (!Cfg.GcThreshold ||
+      ListLen.load(std::memory_order_relaxed) < Cfg.GcThreshold)
+    return;
+
+  // Phase 2: partially-eager lockset evaluation. Pick the boundary cell at
+  // TrimFraction of the list, advance every Info anchored before it to the
+  // boundary (computing its intermediate lockset on the way), then trim.
+  size_t Steps = static_cast<size_t>(
+      static_cast<double>(ListLen.load(std::memory_order_relaxed)) *
+      Cfg.TrimFraction);
+  Steps = std::max<size_t>(Steps, 1);
+  Cell *Boundary = Head;
+  Cell *LastCell = Last.load(std::memory_order_relaxed);
+  for (size_t I = 0; I != Steps && Boundary != LastCell; ++I)
+    Boundary = Boundary->Next.load(std::memory_order_relaxed);
+  advanceInfosLocked(Boundary);
+  trimUnreferencedPrefix();
+}
+
+//===----------------------------------------------------------------------===//
+// Resource governor (the degradation ladder)
+//===----------------------------------------------------------------------===//
+
+size_t GoldilocksEngine::approxBytes() const {
+  // Coarse estimate; the constants stand in for the per-node overhead of
+  // the maps, the read vectors and the lockset storage.
+  return ListLen.load(std::memory_order_relaxed) * sizeof(Cell) +
+         InfoCount.load(std::memory_order_relaxed) * (sizeof(Info) + 32) +
+         VarCount.load(std::memory_order_relaxed) * (sizeof(VarState) + 64);
+}
+
+bool GoldilocksEngine::overCellBudget(size_t Incoming) const {
+  if (Cfg.MaxCells &&
+      ListLen.load(std::memory_order_relaxed) + Incoming > Cfg.MaxCells)
+    return true;
+  if (Cfg.MaxBytes && approxBytes() + Incoming * sizeof(Cell) > Cfg.MaxBytes)
+    return true;
+  return false;
+}
+
+bool GoldilocksEngine::overInfoBudget() const {
+  if (Cfg.MaxInfoRecords &&
+      InfoCount.load(std::memory_order_relaxed) + 1 > Cfg.MaxInfoRecords)
+    return true;
+  if (Cfg.MaxBytes && approxBytes() + sizeof(Info) + 32 > Cfg.MaxBytes)
+    return true;
+  return false;
+}
+
+void GoldilocksEngine::noteDegradationLevel(unsigned Level) {
+  S->DegradationEvents.fetch_add(1, std::memory_order_relaxed);
+  unsigned Cur = DegLevel.load(std::memory_order_relaxed);
+  while (Level > Cur &&
+         !DegLevel.compare_exchange_weak(Cur, Level,
+                                         std::memory_order_relaxed)) {
+  }
+}
+
+void GoldilocksEngine::markGloballyDegraded() {
+  if (!GlobalDegraded.exchange(true, std::memory_order_relaxed))
+    noteDegradationLevel(3);
+}
+
+void GoldilocksEngine::degradeVarLocked(VarState &St) {
+  if (St.Degraded)
+    return;
+  St.Degraded = true;
+  dropInfo(St.Write);
+  for (auto &[Tid, RI] : St.Reads) {
+    (void)Tid;
+    dropInfo(RI);
+  }
+  St.Reads.clear();
+  S->DegradedVars.fetch_add(1, std::memory_order_relaxed);
+  noteDegradationLevel(3);
+}
+
+void GoldilocksEngine::noteAccessOom(VarId V) {
+  // Caller holds shared GcMu and no KL.
+  try {
+    VarState &St = varState(V);
+    std::lock_guard<std::mutex> KL(St.KL);
+    degradeVarLocked(St);
+  } catch (const std::bad_alloc &) {
+    // Cannot even record which variable is now unreliable — the only
+    // honest answer left is the engine-wide one.
+    markGloballyDegraded();
+  }
+}
+
+void GoldilocksEngine::degradeForCells() {
+  // Rung 1: forced reference-count collection (plus the partially-eager
+  // phase when the list is past GcThreshold).
+  noteDegradationLevel(1);
+  S->ForcedGcs.fetch_add(1, std::memory_order_relaxed);
+  collectGarbage();
+  if (!overCellBudget(/*Incoming=*/1))
+    return;
+  // Rung 2: coarsen — advance every Info record to the list tail (exact:
+  // the skipped window is replayed into each lockset) and trim. Trades
+  // future walk length for immediate memory.
+  noteDegradationLevel(2);
+  coarsenInfosToTail();
+  if (!overCellBudget(/*Incoming=*/1))
+    return;
+  // Rung 3: after a full advance only records that could not move still
+  // pin cells; give up exactness for their variables.
+  noteDegradationLevel(3);
+  disablePinnedVars();
+}
+
+void GoldilocksEngine::coarsenInfosToTail() {
+  std::unique_lock<std::shared_mutex> G(GcMu);
+  advanceInfosLocked(Last.load(std::memory_order_relaxed));
+  trimUnreferencedPrefix();
+}
+
+void GoldilocksEngine::disablePinnedVars() {
+  std::unique_lock<std::shared_mutex> G(GcMu);
+  // Records at the clamped boundary cannot be advanced further; anything
+  // older still pins prefix cells after a full advance, so give it up.
+  Cell *Bound = pendingAnchorBound(Last.load(std::memory_order_relaxed));
+  for (unsigned I = 0; I != NumShards; ++I) {
+    Shard &Sh = Shards[I];
+    std::lock_guard<std::mutex> L(Sh.Mu);
+    for (auto &[Key, St] : Sh.Map) {
+      (void)Key;
+      std::lock_guard<std::mutex> KL(St->KL);
+      bool Pins = St->Write.Valid && St->Write.Pos->Seq < Bound->Seq;
+      for (auto &[Tid, RI] : St->Reads) {
+        (void)Tid;
+        Pins |= RI.Valid && RI.Pos->Seq < Bound->Seq;
+      }
+      if (Pins)
+        degradeVarLocked(*St);
+    }
+  }
+  trimUnreferencedPrefix();
+}
+
+void GoldilocksEngine::enforceInfoBudget(VarId Current) {
+  // Degrade the variables holding the *oldest* records (they pin the most
+  // list prefix and are the least likely to matter again) until there is
+  // room for one more record. The variable being accessed is only chosen
+  // when nothing else holds a record.
+  while (overInfoBudget()) {
+    VarState *Victim = nullptr;
+    VarState *CurrentSt = nullptr;
+    uint64_t VictimSeq = ~0ull;
+    for (unsigned I = 0; I != NumShards; ++I) {
+      Shard &Sh = Shards[I];
+      std::lock_guard<std::mutex> L(Sh.Mu);
+      for (auto &[Key, St] : Sh.Map) {
+        (void)Key;
+        std::lock_guard<std::mutex> KL(St->KL);
+        uint64_t Oldest = ~0ull;
+        if (St->Write.Valid)
+          Oldest = St->Write.Pos->Seq;
+        for (auto &[Tid, RI] : St->Reads) {
+          (void)Tid;
+          if (RI.Valid)
+            Oldest = std::min(Oldest, RI.Pos->Seq);
+        }
+        if (Oldest == ~0ull)
+          continue;
+        if (St->V == Current) {
+          CurrentSt = St.get();
+          continue;
+        }
+        if (Oldest < VictimSeq) {
+          VictimSeq = Oldest;
+          Victim = St.get();
+        }
+      }
+    }
+    if (!Victim)
+      Victim = CurrentSt;
+    if (!Victim)
+      return; // no records left to evict; the byte budget is cell-bound
+    std::lock_guard<std::mutex> KL(Victim->KL);
+    if (Victim->Degraded)
+      return; // raced with another enforcer; avoid spinning
+    degradeVarLocked(*Victim);
+  }
 }
 
 EngineStats GoldilocksEngine::stats() const {
@@ -590,5 +908,44 @@ EngineStats GoldilocksEngine::stats() const {
   Out.SkippedDisabled = L(S->SkippedDisabled);
   Out.SyncEvents = L(S->SyncEvents);
   Out.Commits = L(S->Commits);
+  Out.DegradationEvents = L(S->DegradationEvents);
+  Out.DegradedVars = L(S->DegradedVars);
+  Out.ForcedGcs = L(S->ForcedGcs);
+  return Out;
+}
+
+size_t GoldilocksEngine::infoRecordCount() const {
+  return InfoCount.load(std::memory_order_relaxed);
+}
+
+EngineHealth GoldilocksEngine::health() const {
+  EngineHealth H;
+  H.EventListLength = ListLen.load(std::memory_order_relaxed);
+  H.InfoRecords = InfoCount.load(std::memory_order_relaxed);
+  H.TrackedVars = VarCount.load(std::memory_order_relaxed);
+  H.EventListHighWater = ListHighWater.load(std::memory_order_relaxed);
+  H.InfoHighWater = InfoHighWater.load(std::memory_order_relaxed);
+  H.ApproxBytes = approxBytes();
+  H.DegradationLevel = DegLevel.load(std::memory_order_relaxed);
+  H.GloballyDegraded = GlobalDegraded.load(std::memory_order_relaxed);
+  H.DegradationEvents = S->DegradationEvents.load(std::memory_order_relaxed);
+  H.DegradedVars = S->DegradedVars.load(std::memory_order_relaxed);
+  H.ForcedGcs = S->ForcedGcs.load(std::memory_order_relaxed);
+  return H;
+}
+
+std::vector<VarId> GoldilocksEngine::degradedVars() const {
+  std::vector<VarId> Out;
+  for (unsigned I = 0; I != NumShards; ++I) {
+    Shard &Sh = Shards[I];
+    std::lock_guard<std::mutex> L(Sh.Mu);
+    for (auto &[Key, St] : Sh.Map) {
+      (void)Key;
+      std::lock_guard<std::mutex> KL(St->KL);
+      if (St->Degraded)
+        Out.push_back(St->V);
+    }
+  }
+  std::sort(Out.begin(), Out.end());
   return Out;
 }

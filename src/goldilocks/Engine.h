@@ -35,6 +35,7 @@
 #ifndef GOLD_GOLDILOCKS_ENGINE_H
 #define GOLD_GOLDILOCKS_ENGINE_H
 
+#include "goldilocks/Health.h"
 #include "goldilocks/Race.h"
 #include "goldilocks/Rules.h"
 
@@ -65,6 +66,16 @@ struct EngineConfig {
   bool DisableVarAfterRace = true;
   /// Commit-synchronization interpretation (Section 3 variants).
   TxnSyncSemantics Semantics = TxnSyncSemantics::SharedVariable;
+
+  /// Resource governor hard caps (0 = unlimited). When a cap is hit the
+  /// engine climbs the degradation ladder instead of growing: (1) forced
+  /// GC + partially-eager advance, (2) coarsening of old Info records to
+  /// the list tail, (3) last-resort per-variable check disable. Rungs 1-2
+  /// preserve exactness; rung 3 trades precision (missed races possible on
+  /// the disabled variables, never false alarms) for bounded memory.
+  size_t MaxCells = 0;        ///< cap on synchronization event list cells
+  size_t MaxInfoRecords = 0;  ///< cap on live Info records across variables
+  size_t MaxBytes = 0;        ///< coarse byte budget over cells+infos+vars
 };
 
 /// Monotonic event counters, readable while the engine runs.
@@ -85,6 +96,9 @@ struct EngineStats {
   uint64_t SkippedDisabled = 0;  ///< accesses skipped on disabled variables
   uint64_t SyncEvents = 0;       ///< cells appended
   uint64_t Commits = 0;
+  uint64_t DegradationEvents = 0; ///< governor ladder rungs fired
+  uint64_t DegradedVars = 0;      ///< variables disabled by the governor
+  uint64_t ForcedGcs = 0;         ///< collections forced by caps / OOM
 
   /// Fraction of happens-before pair checks resolved by the *constant-time*
   /// short circuits (the paper's Table 1 metric); the rest required lockset
@@ -150,12 +164,24 @@ public:
   /// Current event-list length (cells retained).
   size_t eventListLength() const;
 
+  /// Live Info records (write infos + per-thread read infos).
+  size_t infoRecordCount() const;
+
   /// Number of distinct data variables the engine has been asked to check
   /// (the "variables checked" statistic of Table 2).
   size_t distinctVarsChecked() const;
 
   /// Snapshot of the statistics counters.
   EngineStats stats() const;
+
+  /// Snapshot of the resource governor's state (usage, high-water marks,
+  /// degradation ladder level).
+  EngineHealth health() const;
+
+  /// Variables currently degraded by the governor (checking disabled for a
+  /// resource reason, as opposed to disabled-after-race). onAlloc of the
+  /// owning object makes a variable fresh — and exact — again.
+  std::vector<VarId> degradedVars() const;
 
   const EngineConfig &config() const { return Cfg; }
 
@@ -173,6 +199,11 @@ private:
   std::optional<RaceReport> accessImpl(ThreadId T, VarId V, bool IsWrite,
                                        bool Xact, Cell *PosOverride = nullptr,
                                        const CommitSets *SelfCommit = nullptr);
+  /// The throwing core of accessImpl; runs under the variable's KL with
+  /// shared GcMu held. accessImpl catches bad_alloc around it.
+  std::optional<RaceReport> accessLocked(ThreadId T, VarId V, bool IsWrite,
+                                         bool Xact, Cell *PosOverride,
+                                         const CommitSets *SelfCommit);
   /// Constant-time short circuits of Check-Happens-Before (Figure 8):
   /// returns true when they prove Prev happens-before the current access.
   bool orderedBefore(const Info &Prev, ThreadId T, bool Xact);
@@ -192,7 +223,41 @@ private:
   void retainCell(Cell *C);
   void releaseCell(Cell *C);
   void dropInfo(Info &I);
+  void installInfo(Info &Slot, Info &&NI);
   void maybeCollect();
+
+  // Resource governor (see EngineConfig cap comments and DESIGN.md).
+  size_t approxBytes() const;
+  bool overCellBudget(size_t Incoming) const;
+  bool overInfoBudget() const;
+  void noteDegradationLevel(unsigned Level);
+  void markGloballyDegraded();
+  /// Ladder for event-list pressure: forced GC, then coarsening, then
+  /// disabling variables that still pin cells. Callers must not hold GcMu.
+  void degradeForCells();
+  /// Rung 2: advances every Info record to the list tail (replaying the
+  /// lockset rules, so precision is preserved) and trims the prefix.
+  void coarsenInfosToTail();
+  /// Rung 3 for cells: disables variables whose records still pin old
+  /// cells (only possible after a failed advance), then trims again.
+  void disablePinnedVars();
+  /// Rung 3 for infos: disables the variables with the oldest records
+  /// until the Info budget has room again. Requires shared GcMu, no KL.
+  void enforceInfoBudget(VarId Current);
+  /// Marks \p St degraded and drops its records. Requires St.KL held.
+  void degradeVarLocked(VarState &St);
+  /// bad_alloc fallback for a data access that could not be recorded: the
+  /// variable's future verdicts would be wrong, so degrade it.
+  void noteAccessOom(VarId V);
+  /// Clamps an advance boundary so it never passes a pending commit anchor
+  /// (between commitPoint and finishCommit).
+  Cell *pendingAnchorBound(Cell *Boundary) const;
+  /// Advances every Info record to \p Boundary (clamped by pending commit
+  /// anchors), replaying the lockset rules over the skipped window.
+  /// Requires exclusive GcMu.
+  void advanceInfosLocked(Cell *Boundary);
+  /// Frees the unreferenced list prefix. Requires exclusive GcMu.
+  void trimUnreferencedPrefix();
 
   EngineConfig Cfg;
 
@@ -212,6 +277,15 @@ private:
   // Per-thread lock stacks for the alock short circuit.
   mutable std::mutex ThreadsMu;
   std::unordered_map<ThreadId, std::unique_ptr<ThreadState>> Threads;
+
+  // Resource governor accounting (relaxed atomics; exact values are only
+  // needed by single-threaded inspection, concurrent readers get estimates).
+  std::atomic<size_t> InfoCount{0};
+  std::atomic<size_t> InfoHighWater{0};
+  std::atomic<size_t> ListHighWater{1}; // sentinel cell counts
+  std::atomic<size_t> VarCount{0};
+  std::atomic<unsigned> DegLevel{0};    // highest ladder rung reached
+  std::atomic<bool> GlobalDegraded{false};
 
   // Statistics (relaxed atomics; snapshot via stats()).
   struct AtomicStats;

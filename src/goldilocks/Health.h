@@ -1,0 +1,63 @@
+//===- goldilocks/Health.h - Engine health snapshot -------------*- C++ -*-===//
+///
+/// \file
+/// A point-in-time health snapshot of the Goldilocks engine's resource
+/// governor: current and high-water resource usage plus the degradation
+/// ladder state. Lives in its own header so detector adapters, the VM and
+/// the CLI can expose it without pulling in the whole engine.
+///
+/// The degradation ladder (see DESIGN.md, "Resource governance"):
+///   level 0 — within budget, fully exact;
+///   level 1 — forced garbage collections ran (still exact);
+///   level 2 — Info records were coarsened (eagerly advanced to the list
+///             tail; still exact, memory traded for walk time);
+///   level 3 — at least one variable's checking was disabled (degraded:
+///             races on those variables may be missed, never invented).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GOLD_GOLDILOCKS_HEALTH_H
+#define GOLD_GOLDILOCKS_HEALTH_H
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace gold {
+
+/// Snapshot of the engine's resource state; obtained from
+/// GoldilocksEngine::health() (or RaceDetector::health() where supported).
+struct EngineHealth {
+  size_t EventListLength = 0;   ///< cells currently retained
+  size_t InfoRecords = 0;       ///< live Info records (write + read)
+  size_t TrackedVars = 0;       ///< distinct variables with state
+  size_t EventListHighWater = 0;
+  size_t InfoHighWater = 0;
+  size_t ApproxBytes = 0;       ///< coarse estimate of detector memory
+  unsigned DegradationLevel = 0;///< highest ladder rung reached (0..3)
+  bool GloballyDegraded = false;///< engine-wide check disable (last resort)
+  uint64_t DegradationEvents = 0;
+  uint64_t DegradedVars = 0;    ///< variables ever disabled by the governor
+  uint64_t ForcedGcs = 0;
+
+  /// One-line render for logs and the CLI.
+  std::string str() const {
+    char Buf[256];
+    std::snprintf(Buf, sizeof(Buf),
+                  "cells=%zu (hw %zu) infos=%zu (hw %zu) vars=%zu "
+                  "~bytes=%zu level=%u%s degradations=%llu degraded-vars=%llu "
+                  "forced-gcs=%llu",
+                  EventListLength, EventListHighWater, InfoRecords,
+                  InfoHighWater, TrackedVars, ApproxBytes, DegradationLevel,
+                  GloballyDegraded ? " GLOBAL-DEGRADED" : "",
+                  static_cast<unsigned long long>(DegradationEvents),
+                  static_cast<unsigned long long>(DegradedVars),
+                  static_cast<unsigned long long>(ForcedGcs));
+    return Buf;
+  }
+};
+
+} // namespace gold
+
+#endif // GOLD_GOLDILOCKS_HEALTH_H

@@ -2,6 +2,8 @@
 
 #include "stm/Stm.h"
 
+#include "support/Failpoints.h"
+
 #include <algorithm>
 #include <cassert>
 
@@ -57,6 +59,14 @@ bool TransactionManager::inTransaction(ThreadId T) const {
 bool TransactionManager::ensureLocked(Transaction &Txn, ObjectId O) {
   if (Txn.holds(O))
     return true;
+  // Fault injection (off: one relaxed load + branch): a delayed acquire
+  // widens the window for real conflicts; an injected conflict exercises
+  // the abort/retry path exactly like losing the try-lock.
+  failpointStall(Failpoint::StmLockDelay);
+  if (failpoint(Failpoint::StmLockConflict)) {
+    InjectedConflicts.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
   if (!Store.tryLockObject(O, Txn.owner()))
     return false;
   Txn.noteLocked(O);
@@ -132,5 +142,6 @@ StmStats TransactionManager::stats() const {
   Out.Aborts = Aborts.load(std::memory_order_relaxed);
   Out.Reads = Reads.load(std::memory_order_relaxed);
   Out.Writes = Writes.load(std::memory_order_relaxed);
+  Out.InjectedConflicts = InjectedConflicts.load(std::memory_order_relaxed);
   return Out;
 }

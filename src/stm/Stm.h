@@ -65,6 +65,8 @@ struct StmStats {
   uint64_t Aborts = 0;
   uint64_t Reads = 0;
   uint64_t Writes = 0;
+  /// Lock conflicts injected by the StmLockConflict failpoint (testing).
+  uint64_t InjectedConflicts = 0;
 };
 
 /// One thread's active transaction.
@@ -137,7 +139,8 @@ private:
   StmStore &Store;
   mutable std::mutex Mu; // guards the transaction table only
   std::unordered_map<ThreadId, std::unique_ptr<Transaction>> Active;
-  std::atomic<uint64_t> Commits{0}, Aborts{0}, Reads{0}, Writes{0};
+  std::atomic<uint64_t> Commits{0}, Aborts{0}, Reads{0}, Writes{0},
+      InjectedConflicts{0};
 };
 
 /// Runs \p Body as a transaction with abort/retry-on-conflict, at most

@@ -1,0 +1,94 @@
+//===- support/Failpoints.cpp ---------------------------------------------===//
+
+#include "support/Failpoints.h"
+
+#include <cassert>
+#include <chrono>
+#include <thread>
+
+using namespace gold;
+
+std::atomic<bool> Failpoints::Armed{false};
+
+const char *gold::failpointName(Failpoint F) {
+  switch (F) {
+  case Failpoint::EngineCellAlloc:
+    return "engine-cell-alloc";
+  case Failpoint::EngineInfoAlloc:
+    return "engine-info-alloc";
+  case Failpoint::EngineGcStall:
+    return "engine-gc-stall";
+  case Failpoint::StmLockConflict:
+    return "stm-lock-conflict";
+  case Failpoint::StmLockDelay:
+    return "stm-lock-delay";
+  case Failpoint::VmPreempt:
+    return "vm-preempt";
+  case Failpoint::Count_:
+    break;
+  }
+  return "?";
+}
+
+Failpoints &Failpoints::instance() {
+  static Failpoints Singleton;
+  return Singleton;
+}
+
+void Failpoints::arm(const FailpointConfig &C) {
+  assert(!armed() && "failpoints armed twice (missing disarm?)");
+  Cfg = C;
+  resetCounters();
+  Armed.store(true, std::memory_order_release);
+}
+
+void Failpoints::disarm() { Armed.store(false, std::memory_order_release); }
+
+void Failpoints::resetCounters() {
+  for (Site &S : Sites) {
+    S.Evals.store(0, std::memory_order_relaxed);
+    S.Fires.store(0, std::memory_order_relaxed);
+  }
+}
+
+namespace {
+
+/// splitmix64 finalizer: decorrelates (seed, site, counter) triples.
+uint64_t mix(uint64_t X) {
+  X += 0x9e3779b97f4a7c15ULL;
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111ebULL;
+  return X ^ (X >> 31);
+}
+
+} // namespace
+
+bool Failpoints::evaluate(Failpoint F) {
+  unsigned I = static_cast<unsigned>(F);
+  assert(I < NumFailpoints && "invalid failpoint");
+  uint32_t Rate = Cfg.RatePpm[I];
+  Site &S = Sites[I];
+  uint64_t N = S.Evals.fetch_add(1, std::memory_order_relaxed);
+  if (Rate == 0)
+    return false;
+  uint64_t H = mix(Cfg.Seed ^ (0x517cc1b727220a95ULL * (I + 1)) ^ N);
+  if (H % 1000000u >= Rate)
+    return false;
+  S.Fires.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool Failpoints::maybeStall(Failpoint F) {
+  if (!evaluate(F))
+    return false;
+  std::this_thread::sleep_for(std::chrono::microseconds(Cfg.StallMicros));
+  return true;
+}
+
+uint64_t Failpoints::evaluations(Failpoint F) const {
+  return Sites[static_cast<unsigned>(F)].Evals.load(std::memory_order_relaxed);
+}
+
+uint64_t Failpoints::fires(Failpoint F) const {
+  return Sites[static_cast<unsigned>(F)].Fires.load(std::memory_order_relaxed);
+}

@@ -2,6 +2,8 @@
 
 #include "vm/Vm.h"
 
+#include "support/Failpoints.h"
+
 #include <cassert>
 #include <chrono>
 #include <cinttypes>
@@ -158,6 +160,10 @@ const FieldDef *Interp::fieldDefOf(const ObjectRec &R, uint32_t Field) const {
 bool Interp::checkAccess(VarId Var, const FieldDef *FD, bool SiteCheck,
                          bool IsWrite) {
   ++Local.DataAccesses;
+  // Fault injection: preempt the thread at the instrumentation point to
+  // shake out interleavings (off: one relaxed load + branch).
+  if (failpoint(Failpoint::VmPreempt))
+    std::this_thread::yield();
   RaceDetector *D = V.Cfg.Detector;
   if (!D)
     return true;
@@ -219,6 +225,7 @@ bool Interp::restartTxn() {
   ++Local.TxnConflictRetries;
   if (++TxnRetries > V.Cfg.TxnMaxRetries) {
     InTxn = false;
+    ++Local.TxnFailures;
     return raise(VmException::TxnFailure);
   }
   // Restore the AtomicBegin snapshot and restart the transaction.
@@ -679,6 +686,7 @@ int64_t Interp::run(FuncId Entry, const std::vector<int64_t> &Args) {
       });
       InTxn = false;
       if (!Ok) {
+        ++Local.TxnFailures;
         raise(VmException::TxnFailure);
         break;
       }
@@ -867,6 +875,7 @@ void Vm::flushStats(const VmStats &Local) {
   Stats.TxnCommits += Local.TxnCommits;
   Stats.TxnConflictRetries += Local.TxnConflictRetries;
   Stats.TxnAccesses += Local.TxnAccesses;
+  Stats.TxnFailures += Local.TxnFailures;
   Stats.RacesDetected += Local.RacesDetected;
   Stats.UncaughtExceptions += Local.UncaughtExceptions;
 }

@@ -55,6 +55,7 @@ struct VmStats {
   uint64_t TxnCommits = 0;
   uint64_t TxnConflictRetries = 0;
   uint64_t TxnAccesses = 0;       ///< reads+writes performed inside txns
+  uint64_t TxnFailures = 0;       ///< TxnFailure raised (retries exhausted)
   uint64_t RacesDetected = 0;
   uint64_t UncaughtExceptions = 0;
 };
@@ -90,6 +91,12 @@ public:
   uint64_t global(uint32_t Index) const;
   /// Reads a global as double.
   double globalD(uint32_t Index) const;
+
+  /// The detector's resource/health snapshot, when the configured detector
+  /// has a resource governor (nullopt otherwise or when uninstrumented).
+  std::optional<EngineHealth> detectorHealth() const {
+    return Cfg.Detector ? Cfg.Detector->health() : std::nullopt;
+  }
 
   Heap &heap() { return TheHeap; }
   const Program &program() const { return Prog; }

@@ -1,0 +1,190 @@
+//===- tests/ChaosTest.cpp - Seeded chaos / fault-injection sweep ---------===//
+///
+/// Replays many seeded random traces while failpoints inject allocation
+/// failures and GC stalls — some runs additionally under punishing resource
+/// caps — and differentially checks every verdict against the
+/// happens-before oracle:
+///
+///  * reported races are always real (soundness survives every fault);
+///  * variables the governor did not degrade still get the exact verdict;
+///  * the degraded set reported by the engine is precisely the set of
+///    variables whose verdict may differ from the oracle;
+///  * nothing crashes, throws out of the hooks, or deadlocks.
+///
+/// Random traces allocate all shared objects up front, so a variable that
+/// appears in degradedVars() at the end of the trace was degraded for the
+/// whole remainder of the trace — the end-of-run snapshot is the full
+/// "ever degraded" set and can be used to partition the comparison.
+///
+//===----------------------------------------------------------------------===//
+
+#include "detectors/GoldilocksDetectors.h"
+#include "event/RandomTrace.h"
+#include "hb/HbOracle.h"
+#include "support/Failpoints.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace gold;
+
+namespace {
+
+std::set<VarId> racyVarSet(const std::vector<RaceReport> &Races) {
+  std::set<VarId> Out;
+  for (const RaceReport &R : Races)
+    Out.insert(R.Var);
+  return Out;
+}
+
+std::set<VarId> oracleVarSet(const Trace &T) {
+  RaceOracle O(T);
+  std::set<VarId> Out;
+  for (VarId V : O.racyVars())
+    Out.insert(V);
+  return Out;
+}
+
+RandomTraceParams chaosParams(uint64_t Seed) {
+  RandomTraceParams P;
+  P.Seed = 0xC0FFEE ^ Seed;
+  P.NumThreads = 2 + Seed % 4;
+  P.NumObjects = 2 + Seed % 6;
+  P.DataFields = 1 + Seed % 3;
+  P.VolatileFields = Seed % 2;
+  if (P.VolatileFields == 0)
+    P.WVolRead = P.WVolWrite = 0;
+  P.StepsPerThread = 40 + static_cast<unsigned>(Seed % 80);
+  P.WBeginTxn = Seed % 3 ? 1 : 0;
+  return P;
+}
+
+} // namespace
+
+TEST(ChaosTest, SeededFaultSweepStaysSoundAndPreciselyDegraded) {
+  constexpr unsigned NumSeeds = 120;
+  uint64_t TotalFires = 0;
+  unsigned DegradedRuns = 0, GlobalRuns = 0;
+
+  for (uint64_t Seed = 0; Seed != NumSeeds; ++Seed) {
+    Trace T = generateRandomTrace(chaosParams(Seed));
+
+    EngineConfig C;
+    C.GcThreshold = Seed % 2 ? 64 : 256;
+    if (Seed % 3 == 0) {
+      // Every third run also squeezes the governor hard enough that the
+      // degradation ladder fires on top of the injected faults.
+      C.MaxCells = 16 + Seed % 16;
+      C.MaxInfoRecords = 6 + Seed % 8;
+    }
+    GoldilocksDetector D(C);
+
+    FailpointConfig FC;
+    FC.Seed = 0xFA11 + Seed;
+    FC.StallMicros = 1;
+    FC.rate(Failpoint::EngineCellAlloc, 2000)
+        .rate(Failpoint::EngineInfoAlloc, 2000)
+        .rate(Failpoint::EngineGcStall, 5000);
+
+    std::vector<RaceReport> Races;
+    {
+      FailpointScope Scope(FC);
+      Races = D.runTrace(T);
+      for (unsigned F = 0; F != NumFailpoints; ++F)
+        TotalFires +=
+            Failpoints::instance().fires(static_cast<Failpoint>(F));
+    }
+
+    std::set<VarId> Reported = racyVarSet(Races);
+    std::set<VarId> Oracle = oracleVarSet(T);
+    EngineHealth H = D.engine().health();
+
+    // Soundness is unconditional: a reported race is a real race, no
+    // matter what was injected or degraded.
+    for (VarId V : Reported)
+      ASSERT_TRUE(Oracle.count(V))
+          << "false alarm on " << V.str() << " at chaos seed " << Seed;
+
+    if (H.GloballyDegraded) {
+      // The engine stopped checking entirely at some point; only the
+      // soundness half above can be asserted.
+      ++GlobalRuns;
+      continue;
+    }
+
+    // Exactness on everything the governor did not give up on: an oracle
+    // race on a non-degraded variable must have been reported.
+    std::set<VarId> Degraded;
+    for (VarId V : D.engine().degradedVars())
+      Degraded.insert(V);
+    for (VarId V : Oracle) {
+      if (Degraded.count(V))
+        continue;
+      ASSERT_TRUE(Reported.count(V))
+          << "missed race on non-degraded " << V.str() << " at chaos seed "
+          << Seed;
+    }
+
+    if (!Degraded.empty()) {
+      ++DegradedRuns;
+      // The stats counter and the reported set agree (nothing re-enables
+      // variables mid-trace in these workloads).
+      EXPECT_EQ(H.DegradedVars, Degraded.size()) << "chaos seed " << Seed;
+    } else {
+      EXPECT_EQ(Reported, Oracle) << "chaos seed " << Seed;
+    }
+  }
+
+  // The sweep must actually have exercised the machinery, otherwise the
+  // assertions above are vacuous.
+  EXPECT_GT(TotalFires, 0u) << "no failpoint ever fired";
+  EXPECT_GT(DegradedRuns + GlobalRuns, 0u) << "no run ever degraded";
+}
+
+TEST(ChaosTest, RepeatedRunsAreDeterministic) {
+  // Same trace seed + same failpoint seed => bit-identical verdicts and
+  // health counters. This is what makes chaos failures replayable.
+  Trace T = generateRandomTrace(chaosParams(17));
+  FailpointConfig FC;
+  FC.Seed = 4242;
+  FC.rate(Failpoint::EngineCellAlloc, 50000)
+      .rate(Failpoint::EngineInfoAlloc, 50000);
+
+  auto Run = [&](std::vector<RaceReport> &Races, EngineHealth &H) {
+    GoldilocksDetector D;
+    FailpointScope Scope(FC);
+    Races = D.runTrace(T);
+    H = D.engine().health();
+  };
+
+  std::vector<RaceReport> R1, R2;
+  EngineHealth H1, H2;
+  Run(R1, H1);
+  Run(R2, H2);
+
+  ASSERT_EQ(R1.size(), R2.size());
+  for (size_t I = 0; I != R1.size(); ++I) {
+    EXPECT_EQ(R1[I].Var, R2[I].Var);
+    EXPECT_EQ(R1[I].Thread, R2[I].Thread);
+  }
+  EXPECT_EQ(H1.DegradationEvents, H2.DegradationEvents);
+  EXPECT_EQ(H1.DegradedVars, H2.DegradedVars);
+  EXPECT_EQ(H1.ForcedGcs, H2.ForcedGcs);
+  EXPECT_EQ(H1.GloballyDegraded, H2.GloballyDegraded);
+}
+
+TEST(ChaosTest, FaultFreeCapsStayExactAcrossSweep) {
+  // Without injected allocation faults, the first two rungs of the ladder
+  // (forced GC + coarsening) keep every verdict exact even under a tight
+  // cell cap — across the same seed sweep the chaos test uses.
+  for (uint64_t Seed = 0; Seed != 40; ++Seed) {
+    Trace T = generateRandomTrace(chaosParams(Seed));
+    EngineConfig C;
+    C.MaxCells = 12;
+    GoldilocksDetector D(C);
+    auto Races = D.runTrace(T);
+    EXPECT_TRUE(D.engine().degradedVars().empty()) << "chaos seed " << Seed;
+    EXPECT_EQ(racyVarSet(Races), oracleVarSet(T)) << "chaos seed " << Seed;
+  }
+}

@@ -2,9 +2,12 @@
 
 #include "detectors/GoldilocksDetectors.h"
 #include "event/PaperTraces.h"
+#include "event/RandomTrace.h"
+#include "hb/HbOracle.h"
 
 #include <gtest/gtest.h>
 
+#include <set>
 #include <thread>
 
 using namespace gold;
@@ -254,4 +257,148 @@ TEST(EngineTest, ConcurrentHammeringIsSafeAndSound) {
   EXPECT_EQ(SafeRaces.load(), 0);
   EXPECT_EQ(UnsafeRaces.load(), 1); // reported once, then disabled
   EXPECT_GT(E.stats().GcRuns, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// GC / partially-eager advance invariants (Section 5.4)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Per-step replay of a trace so invariants can be asserted between events.
+void replayOne(RaceDetector &D, const Trace &T, const Action &A,
+               std::vector<RaceReport> &Out) {
+  switch (A.Kind) {
+  case ActionKind::Alloc:
+    D.onAlloc(A.Thread, A.Var.Object, A.Var.Field);
+    break;
+  case ActionKind::Read:
+    if (auto R = D.onRead(A.Thread, A.Var))
+      Out.push_back(*R);
+    break;
+  case ActionKind::Write:
+    if (auto R = D.onWrite(A.Thread, A.Var))
+      Out.push_back(*R);
+    break;
+  case ActionKind::VolatileRead:
+    D.onVolatileRead(A.Thread, A.Var);
+    break;
+  case ActionKind::VolatileWrite:
+    D.onVolatileWrite(A.Thread, A.Var);
+    break;
+  case ActionKind::Acquire:
+    D.onAcquire(A.Thread, A.Var.Object);
+    break;
+  case ActionKind::Release:
+    D.onRelease(A.Thread, A.Var.Object);
+    break;
+  case ActionKind::Fork:
+    D.onFork(A.Thread, A.Target);
+    break;
+  case ActionKind::Join:
+    D.onJoin(A.Thread, A.Target);
+    break;
+  case ActionKind::Commit: {
+    auto Races = D.onCommit(A.Thread, T.commitSets(A));
+    Out.insert(Out.end(), Races.begin(), Races.end());
+    break;
+  }
+  case ActionKind::Terminate:
+    D.onTerminate(A.Thread);
+    break;
+  }
+}
+
+Trace gcStressTrace(uint64_t Seed, unsigned TxnWeight = 1) {
+  RandomTraceParams P;
+  P.Seed = Seed;
+  P.NumThreads = 4;
+  P.NumObjects = 4;
+  P.StepsPerThread = 150;
+  P.WAcquire = 5;
+  P.WRelease = 5;
+  P.WBeginTxn = TxnWeight;
+  return generateRandomTrace(P);
+}
+
+std::vector<VarId> sortedRacyVars(const std::vector<RaceReport> &Races) {
+  std::set<VarId> S;
+  for (const RaceReport &R : Races)
+    S.insert(R.Var);
+  return std::vector<VarId>(S.begin(), S.end());
+}
+
+} // namespace
+
+TEST(EngineTest, TinyGcThresholdBoundsListAtEveryStep) {
+  for (uint64_t Seed : {3u, 14u, 15u}) {
+    Trace T = gcStressTrace(Seed);
+    EngineConfig C;
+    C.GcThreshold = 32;
+    GoldilocksDetector D(C);
+    std::vector<RaceReport> Races;
+    for (const Action &A : T.Actions) {
+      replayOne(D, T, A, Races);
+      // One sync event may land before maybeCollect runs, and one GC pass
+      // trims only a fraction, but the length can never run away.
+      ASSERT_LT(D.engine().eventListLength(), 2 * C.GcThreshold)
+          << "seed " << Seed;
+    }
+    EXPECT_GT(D.engine().stats().GcRuns, 0u) << "GC never engaged";
+  }
+}
+
+TEST(EngineTest, EagerAdvanceLeavesVerdictsUnchanged) {
+  // The same trace replayed under every collection regime — from "never
+  // collect" to "collect constantly" — must produce the same race set in
+  // the same order as the default engine.
+  for (uint64_t Seed : {9u, 26u, 53u}) {
+    Trace T = gcStressTrace(Seed);
+    GoldilocksDetector Base;
+    auto Want = Base.runTrace(T);
+    for (size_t Threshold : {size_t(0), size_t(16), size_t(48), size_t(4096)}) {
+      EngineConfig C;
+      C.GcThreshold = Threshold;
+      GoldilocksDetector D(C);
+      auto Got = D.runTrace(T);
+      ASSERT_EQ(Got.size(), Want.size())
+          << "seed " << Seed << " threshold " << Threshold;
+      for (size_t I = 0; I != Got.size(); ++I) {
+        EXPECT_EQ(Got[I].Var, Want[I].Var) << "seed " << Seed;
+        EXPECT_EQ(Got[I].Thread, Want[I].Thread) << "seed " << Seed;
+      }
+    }
+  }
+}
+
+TEST(EngineTest, TinyGcThresholdStaysExactOnTxnHeavyTraces) {
+  // Commit processing anchors its checks at the commit cell; aggressive
+  // collection must never advance a record past a pending anchor, so the
+  // verdict stays equal to the oracle even on transaction-heavy traces.
+  for (uint64_t Seed : {2u, 21u, 34u}) {
+    Trace T = gcStressTrace(Seed, /*TxnWeight=*/4);
+    EngineConfig C;
+    C.GcThreshold = 16;
+    GoldilocksDetector D(C);
+    auto Races = D.runTrace(T);
+    RaceOracle O(T);
+    std::set<VarId> Want(O.racyVars().begin(), O.racyVars().end());
+    std::vector<VarId> WantSorted(Want.begin(), Want.end());
+    EXPECT_EQ(sortedRacyVars(Races), WantSorted) << "seed " << Seed;
+  }
+}
+
+TEST(EngineTest, GcHighWaterAndHealthAgree) {
+  Trace T = gcStressTrace(6);
+  EngineConfig C;
+  C.GcThreshold = 32;
+  GoldilocksDetector D(C);
+  (void)D.runTrace(T);
+  EngineHealth H = D.engine().health();
+  EXPECT_GE(H.EventListHighWater, H.EventListLength);
+  EXPECT_LE(H.EventListLength, D.engine().eventListLength());
+  EXPECT_GT(D.engine().stats().GcRuns, 0u);
+  // Plain GC is not degradation: the governor ladder must be untouched.
+  EXPECT_EQ(H.DegradationLevel, 0u);
+  EXPECT_EQ(H.ForcedGcs, 0u);
 }

@@ -1,0 +1,149 @@
+//===- tests/FailpointTest.cpp - Fault-injection framework tests ----------===//
+///
+/// Unit tests for the deterministic failpoint framework: disarmed sites are
+/// inert, decisions are a pure function of (seed, site, evaluation index),
+/// rates behave like rates, and the RAII scope arms/disarms correctly.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/Failpoints.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+using namespace gold;
+
+namespace {
+
+std::vector<bool> decisions(Failpoint F, unsigned N) {
+  std::vector<bool> Out;
+  Out.reserve(N);
+  for (unsigned I = 0; I != N; ++I)
+    Out.push_back(failpoint(F));
+  return Out;
+}
+
+} // namespace
+
+TEST(FailpointTest, DisarmedIsInert) {
+  ASSERT_FALSE(Failpoints::armed());
+  for (unsigned I = 0; I != 1000; ++I)
+    EXPECT_FALSE(failpoint(Failpoint::EngineCellAlloc));
+  // Disarmed evaluations do not even touch the counters.
+  EXPECT_EQ(Failpoints::instance().evaluations(Failpoint::EngineCellAlloc),
+            0u);
+}
+
+TEST(FailpointTest, ScopeArmsAndDisarms) {
+  ASSERT_FALSE(Failpoints::armed());
+  {
+    FailpointScope Scope(FailpointConfig{});
+    EXPECT_TRUE(Failpoints::armed());
+  }
+  EXPECT_FALSE(Failpoints::armed());
+}
+
+TEST(FailpointTest, ZeroRateNeverFiresButCounts) {
+  FailpointConfig C;
+  FailpointScope Scope(C);
+  for (unsigned I = 0; I != 500; ++I)
+    EXPECT_FALSE(failpoint(Failpoint::StmLockConflict));
+  EXPECT_EQ(Failpoints::instance().evaluations(Failpoint::StmLockConflict),
+            500u);
+  EXPECT_EQ(Failpoints::instance().fires(Failpoint::StmLockConflict), 0u);
+}
+
+TEST(FailpointTest, FullRateAlwaysFires) {
+  FailpointConfig C;
+  C.rate(Failpoint::EngineInfoAlloc, 1000000);
+  FailpointScope Scope(C);
+  for (unsigned I = 0; I != 200; ++I)
+    EXPECT_TRUE(failpoint(Failpoint::EngineInfoAlloc));
+  EXPECT_EQ(Failpoints::instance().fires(Failpoint::EngineInfoAlloc), 200u);
+}
+
+TEST(FailpointTest, SameSeedSameDecisions) {
+  FailpointConfig C;
+  C.Seed = 1234;
+  C.rate(Failpoint::EngineCellAlloc, 100000); // 10%
+  std::vector<bool> First, Second;
+  {
+    FailpointScope Scope(C);
+    First = decisions(Failpoint::EngineCellAlloc, 2000);
+  }
+  {
+    FailpointScope Scope(C);
+    Second = decisions(Failpoint::EngineCellAlloc, 2000);
+  }
+  EXPECT_EQ(First, Second);
+}
+
+TEST(FailpointTest, DifferentSeedsDiffer) {
+  FailpointConfig A, B;
+  A.Seed = 1;
+  B.Seed = 2;
+  A.rate(Failpoint::EngineCellAlloc, 100000);
+  B.rate(Failpoint::EngineCellAlloc, 100000);
+  std::vector<bool> First, Second;
+  {
+    FailpointScope Scope(A);
+    First = decisions(Failpoint::EngineCellAlloc, 2000);
+  }
+  {
+    FailpointScope Scope(B);
+    Second = decisions(Failpoint::EngineCellAlloc, 2000);
+  }
+  EXPECT_NE(First, Second);
+}
+
+TEST(FailpointTest, SitesAreIndependent) {
+  FailpointConfig C;
+  C.Seed = 7;
+  C.rate(Failpoint::EngineCellAlloc, 100000)
+      .rate(Failpoint::EngineInfoAlloc, 100000);
+  FailpointScope Scope(C);
+  std::vector<bool> A = decisions(Failpoint::EngineCellAlloc, 2000);
+  std::vector<bool> B = decisions(Failpoint::EngineInfoAlloc, 2000);
+  EXPECT_NE(A, B); // same seed and rate, different site hash
+}
+
+TEST(FailpointTest, RateIsApproximatelyHonored) {
+  FailpointConfig C;
+  C.Seed = 99;
+  C.rate(Failpoint::VmPreempt, 100000); // 10%
+  FailpointScope Scope(C);
+  unsigned Fired = 0;
+  for (unsigned I = 0; I != 20000; ++I)
+    Fired += failpoint(Failpoint::VmPreempt) ? 1 : 0;
+  // Deterministic given the seed; generous bounds document intent.
+  EXPECT_GT(Fired, 20000u * 8 / 100);
+  EXPECT_LT(Fired, 20000u * 12 / 100);
+}
+
+TEST(FailpointTest, ArmResetsCounters) {
+  FailpointConfig C;
+  C.rate(Failpoint::EngineGcStall, 1000000);
+  {
+    FailpointScope Scope(C);
+    (void)failpoint(Failpoint::EngineGcStall);
+  }
+  EXPECT_EQ(Failpoints::instance().fires(Failpoint::EngineGcStall), 1u);
+  {
+    FailpointScope Scope(C); // arm() zeroes the counters
+    EXPECT_EQ(Failpoints::instance().fires(Failpoint::EngineGcStall), 0u);
+  }
+}
+
+TEST(FailpointTest, NamesAreStableAndUnique) {
+  std::set<std::string> Names;
+  for (unsigned I = 0; I != NumFailpoints; ++I) {
+    const char *N = failpointName(static_cast<Failpoint>(I));
+    ASSERT_NE(N, nullptr);
+    EXPECT_STRNE(N, "?");
+    Names.insert(N);
+  }
+  EXPECT_EQ(Names.size(), NumFailpoints);
+}

@@ -1,0 +1,305 @@
+//===- tests/GovernorTest.cpp - Resource governor tests -------------------===//
+///
+/// Tests for the engine's resource governor: hard caps are never exceeded
+/// (checked after every single replayed action), the first two rungs of the
+/// degradation ladder preserve exactness, rung 3 degrades visibly and never
+/// invents races, and simulated allocation failure (via failpoints) can
+/// never crash the engine or produce a false alarm.
+///
+//===----------------------------------------------------------------------===//
+
+#include "detectors/GoldilocksDetectors.h"
+#include "event/RandomTrace.h"
+#include "hb/HbOracle.h"
+#include "support/Failpoints.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace gold;
+
+namespace {
+
+/// Replays one action (the per-step version of RaceDetector::runTrace) so a
+/// test can assert invariants between steps.
+void applyAction(RaceDetector &D, const Trace &T, const Action &A,
+                 std::vector<RaceReport> &Out) {
+  switch (A.Kind) {
+  case ActionKind::Alloc:
+    D.onAlloc(A.Thread, A.Var.Object, A.Var.Field);
+    break;
+  case ActionKind::Read:
+    if (auto R = D.onRead(A.Thread, A.Var))
+      Out.push_back(*R);
+    break;
+  case ActionKind::Write:
+    if (auto R = D.onWrite(A.Thread, A.Var))
+      Out.push_back(*R);
+    break;
+  case ActionKind::VolatileRead:
+    D.onVolatileRead(A.Thread, A.Var);
+    break;
+  case ActionKind::VolatileWrite:
+    D.onVolatileWrite(A.Thread, A.Var);
+    break;
+  case ActionKind::Acquire:
+    D.onAcquire(A.Thread, A.Var.Object);
+    break;
+  case ActionKind::Release:
+    D.onRelease(A.Thread, A.Var.Object);
+    break;
+  case ActionKind::Fork:
+    D.onFork(A.Thread, A.Target);
+    break;
+  case ActionKind::Join:
+    D.onJoin(A.Thread, A.Target);
+    break;
+  case ActionKind::Commit: {
+    auto Races = D.onCommit(A.Thread, T.commitSets(A));
+    Out.insert(Out.end(), Races.begin(), Races.end());
+    break;
+  }
+  case ActionKind::Terminate:
+    D.onTerminate(A.Thread);
+    break;
+  }
+}
+
+Trace denseTrace(uint64_t Seed) {
+  RandomTraceParams P;
+  P.Seed = Seed;
+  P.NumThreads = 4;
+  P.NumObjects = 5;
+  P.DataFields = 3;
+  P.StepsPerThread = 120;
+  P.WBeginTxn = 1;
+  return generateRandomTrace(P);
+}
+
+std::set<VarId> racyVarSet(const std::vector<RaceReport> &Races) {
+  std::set<VarId> Out;
+  for (const RaceReport &R : Races)
+    Out.insert(R.Var);
+  return Out;
+}
+
+std::set<VarId> oracleVarSet(const Trace &T) {
+  RaceOracle O(T);
+  std::set<VarId> Out;
+  for (VarId V : O.racyVars())
+    Out.insert(V);
+  return Out;
+}
+
+} // namespace
+
+TEST(GovernorTest, CellCapNeverExceeded) {
+  for (uint64_t Seed : {1u, 5u, 9u}) {
+    Trace T = denseTrace(Seed);
+    EngineConfig C;
+    C.MaxCells = 8;
+    GoldilocksDetector D(C);
+    std::vector<RaceReport> Races;
+    for (const Action &A : T.Actions) {
+      applyAction(D, T, A, Races);
+      ASSERT_LE(D.engine().eventListLength(), C.MaxCells)
+          << "cap exceeded at seed " << Seed;
+    }
+    EngineHealth H = D.engine().health();
+    EXPECT_LE(H.EventListHighWater, C.MaxCells);
+    EXPECT_GT(H.ForcedGcs, 0u) << "cap was never under pressure";
+  }
+}
+
+TEST(GovernorTest, InfoCapNeverExceeded) {
+  for (uint64_t Seed : {2u, 6u, 10u}) {
+    Trace T = denseTrace(Seed);
+    EngineConfig C;
+    C.MaxInfoRecords = 4;
+    GoldilocksDetector D(C);
+    std::vector<RaceReport> Races;
+    for (const Action &A : T.Actions) {
+      applyAction(D, T, A, Races);
+      ASSERT_LE(D.engine().infoRecordCount(), C.MaxInfoRecords)
+          << "info cap exceeded at seed " << Seed;
+    }
+    EngineHealth H = D.engine().health();
+    EXPECT_LE(H.InfoHighWater, C.MaxInfoRecords);
+    // With more live variables than the cap, rung 3 must have fired, and
+    // the cumulative counter matches the currently degraded set (nothing
+    // re-enables variables in a plain replay).
+    EXPECT_GT(H.DegradedVars, 0u);
+    EXPECT_EQ(H.DegradedVars, D.engine().degradedVars().size());
+    EXPECT_EQ(H.DegradationLevel, 3u);
+  }
+}
+
+TEST(GovernorTest, CellCapAloneStaysExact) {
+  // Rungs 1-2 (forced GC, coarsening) preserve exactness: with only the
+  // cell cap set, every record can always be advanced to the tail, so no
+  // variable is ever degraded and the verdict still matches the oracle.
+  for (uint64_t Seed = 0; Seed != 12; ++Seed) {
+    Trace T = denseTrace(Seed);
+    EngineConfig C;
+    C.MaxCells = 8;
+    GoldilocksDetector D(C);
+    auto Races = D.runTrace(T);
+    EXPECT_TRUE(D.engine().degradedVars().empty()) << "seed " << Seed;
+    EXPECT_EQ(racyVarSet(Races), oracleVarSet(T)) << "seed " << Seed;
+    EXPECT_FALSE(D.engine().health().GloballyDegraded);
+  }
+}
+
+TEST(GovernorTest, DegradedVerdictsAreNeverFalseAlarms) {
+  // Even with a punishing info cap, reported races must be real.
+  for (uint64_t Seed = 0; Seed != 12; ++Seed) {
+    Trace T = denseTrace(Seed);
+    EngineConfig C;
+    C.MaxCells = 8;
+    C.MaxInfoRecords = 3;
+    GoldilocksDetector D(C);
+    auto Races = D.runTrace(T);
+    std::set<VarId> Oracle = oracleVarSet(T);
+    for (VarId V : racyVarSet(Races))
+      EXPECT_TRUE(Oracle.count(V))
+          << "false alarm on " << V.str() << " at seed " << Seed;
+  }
+}
+
+TEST(GovernorTest, ByteBudgetTriggersLadder) {
+  Trace T = denseTrace(3);
+  EngineConfig C;
+  C.MaxBytes = 4096;
+  GoldilocksDetector D(C);
+  auto Races = D.runTrace(T);
+  EngineHealth H = D.engine().health();
+  EXPECT_GT(H.DegradationEvents, 0u);
+  EXPECT_GT(H.ApproxBytes, 0u);
+  // Soundness under the byte budget as well.
+  std::set<VarId> Oracle = oracleVarSet(T);
+  for (VarId V : racyVarSet(Races))
+    EXPECT_TRUE(Oracle.count(V)) << "false alarm on " << V.str();
+}
+
+TEST(GovernorTest, CapsUnsetMatchesBaselineExactly) {
+  // A governor that never engages must be invisible: same reports, same
+  // order, level 0, no degradation counters.
+  for (uint64_t Seed : {4u, 7u, 11u}) {
+    Trace T = denseTrace(Seed);
+    GoldilocksDetector Base;  // caps unset
+    EngineConfig C;
+    C.MaxCells = 1u << 30;    // caps set but unreachable
+    C.MaxInfoRecords = 1u << 30;
+    GoldilocksDetector Capped(C);
+    auto A = Base.runTrace(T);
+    auto B = Capped.runTrace(T);
+    ASSERT_EQ(A.size(), B.size());
+    for (size_t I = 0; I != A.size(); ++I) {
+      EXPECT_EQ(A[I].Var, B[I].Var);
+      EXPECT_EQ(A[I].Thread, B[I].Thread);
+    }
+    EngineHealth H = Base.engine().health();
+    EXPECT_EQ(H.DegradationLevel, 0u);
+    EXPECT_EQ(H.DegradationEvents, 0u);
+    EXPECT_EQ(H.DegradedVars, 0u);
+    EXPECT_EQ(H.ForcedGcs, 0u);
+    EXPECT_FALSE(H.GloballyDegraded);
+  }
+}
+
+TEST(GovernorTest, InfoAllocFailureDegradesInsteadOfCrashing) {
+  // Every Info allocation fails: each accessed variable degrades on first
+  // touch, nothing is reported, nothing crashes.
+  Trace T = denseTrace(8);
+  GoldilocksDetector D;
+  FailpointConfig FC;
+  FC.rate(Failpoint::EngineInfoAlloc, 1000000);
+  std::vector<RaceReport> Races;
+  {
+    FailpointScope Scope(FC);
+    Races = D.runTrace(T);
+  }
+  EXPECT_TRUE(Races.empty());
+  EXPECT_FALSE(D.engine().degradedVars().empty());
+  EXPECT_EQ(D.engine().infoRecordCount(), 0u);
+  EXPECT_EQ(D.engine().health().DegradationLevel, 3u);
+}
+
+TEST(GovernorTest, CellAllocFailureDegradesGlobally) {
+  // Every cell allocation fails, even after the forced collection: the
+  // engine must fall to the engine-wide last resort, not crash and not
+  // report garbage.
+  Trace T = denseTrace(8);
+  GoldilocksDetector D;
+  FailpointConfig FC;
+  FC.rate(Failpoint::EngineCellAlloc, 1000000);
+  std::vector<RaceReport> Races;
+  {
+    FailpointScope Scope(FC);
+    Races = D.runTrace(T);
+  }
+  EXPECT_TRUE(Races.empty());
+  EngineHealth H = D.engine().health();
+  EXPECT_TRUE(H.GloballyDegraded);
+  EXPECT_EQ(H.DegradationLevel, 3u);
+  EXPECT_GT(H.ForcedGcs, 0u);
+}
+
+TEST(GovernorTest, HealthSnapshotIsConsistent) {
+  Trace T = denseTrace(5);
+  EngineConfig C;
+  C.MaxCells = 16;
+  GoldilocksDetector D(C);
+  (void)D.runTrace(T);
+  const GoldilocksEngine &E = D.engine();
+  EngineHealth H = D.engine().health();
+  EXPECT_EQ(H.EventListLength, E.eventListLength());
+  EXPECT_EQ(H.InfoRecords, E.infoRecordCount());
+  EXPECT_EQ(H.TrackedVars, E.distinctVarsChecked());
+  EXPECT_GE(H.EventListHighWater, H.EventListLength);
+  EXPECT_GE(H.InfoHighWater, H.InfoRecords);
+  EXPECT_GE(H.DegradationLevel, 1u); // the cap forced at least one GC
+  EXPECT_FALSE(H.str().empty());
+  // The adapter surfaces the same snapshot through the common interface.
+  auto Via = static_cast<RaceDetector &>(D).health();
+  ASSERT_TRUE(Via.has_value());
+  EXPECT_EQ(Via->EventListLength, H.EventListLength);
+  EXPECT_EQ(Via->DegradationLevel, H.DegradationLevel);
+}
+
+TEST(GovernorTest, AllocMakesDegradedVariableFreshAgain) {
+  GoldilocksDetector D;
+  VarId V{1, 0};
+  FailpointConfig FC;
+  FC.rate(Failpoint::EngineInfoAlloc, 1000000);
+  {
+    FailpointScope Scope(FC);
+    EXPECT_EQ(D.onWrite(0, V), std::nullopt);
+  }
+  ASSERT_EQ(D.engine().degradedVars().size(), 1u);
+  // Rule 8: reallocation of the object makes its variables fresh — and
+  // checked exactly — again.
+  D.onAlloc(0, V.Object, 1);
+  EXPECT_TRUE(D.engine().degradedVars().empty());
+  // The variable is actually checked again: an unsynchronized write by
+  // another thread must now race.
+  EXPECT_EQ(D.onWrite(0, V), std::nullopt);
+  EXPECT_NE(D.onWrite(1, V), std::nullopt);
+}
+
+TEST(GovernorTest, GcStallFailpointOnlyDelays) {
+  Trace T = denseTrace(2);
+  EngineConfig C;
+  C.MaxCells = 8;
+  GoldilocksDetector D(C);
+  FailpointConfig FC;
+  FC.StallMicros = 1;
+  FC.rate(Failpoint::EngineGcStall, 1000000);
+  std::vector<RaceReport> Races;
+  {
+    FailpointScope Scope(FC);
+    Races = D.runTrace(T);
+  }
+  EXPECT_EQ(racyVarSet(Races), oracleVarSet(T));
+}

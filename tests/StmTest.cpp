@@ -1,6 +1,7 @@
 //===- tests/StmTest.cpp - software transactional memory tests ------------===//
 
 #include "stm/Stm.h"
+#include "support/Failpoints.h"
 
 #include <gtest/gtest.h>
 
@@ -173,4 +174,41 @@ TEST(StmTest, ConcurrentCountersStayConsistent) {
     T.join();
   EXPECT_EQ(Failures.load(), 0);
   EXPECT_EQ(S.loadRaw(VarId{1, 0}), static_cast<uint64_t>(N * K));
+}
+
+TEST(StmTest, FailpointInjectsLockConflicts) {
+  ToyStore S(2, 1);
+  TransactionManager Tm(S);
+  FailpointConfig FC;
+  FC.rate(Failpoint::StmLockConflict, 1000000);
+  {
+    FailpointScope Scope(FC);
+    ASSERT_TRUE(Tm.begin(1));
+    EXPECT_FALSE(Tm.write(1, VarId{1, 0}, 5)); // injected, store untouched
+    Tm.abort(1);
+  }
+  EXPECT_GT(Tm.stats().InjectedConflicts, 0u);
+  EXPECT_EQ(S.loadRaw(VarId{1, 0}), 0u);
+  EXPECT_EQ(S.ownerOf(1), NoThread);
+  // With the scope gone the same transaction succeeds untouched.
+  ASSERT_TRUE(Tm.begin(1));
+  EXPECT_TRUE(Tm.write(1, VarId{1, 0}, 5));
+  ASSERT_TRUE(Tm.commit(1, nullptr));
+  EXPECT_EQ(S.loadRaw(VarId{1, 0}), 5u);
+}
+
+TEST(StmTest, FailpointDelayOnlySlowsAcquisition) {
+  ToyStore S(2, 1);
+  TransactionManager Tm(S);
+  FailpointConfig FC;
+  FC.StallMicros = 1;
+  FC.rate(Failpoint::StmLockDelay, 1000000);
+  {
+    FailpointScope Scope(FC);
+    ASSERT_TRUE(Tm.begin(1));
+    EXPECT_TRUE(Tm.write(1, VarId{1, 0}, 9)); // delayed but successful
+    ASSERT_TRUE(Tm.commit(1, nullptr));
+  }
+  EXPECT_GT(Failpoints::instance().fires(Failpoint::StmLockDelay), 0u);
+  EXPECT_EQ(S.loadRaw(VarId{1, 0}), 9u);
 }

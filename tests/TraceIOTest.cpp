@@ -84,6 +84,79 @@ TEST(TraceIOTest, RejectsMalformedInput) {
   EXPECT_NE(Error.find("line 1"), std::string::npos);
 }
 
+TEST(TraceIOTest, MalformedInputTable) {
+  // Each entry: input, substring the error message must mention, and the
+  // line number the error must be pinned to.
+  struct Case {
+    const char *Name;
+    const char *Input;
+    const char *ErrorContains;
+    const char *AtLine;
+  };
+  const Case Cases[] = {
+      {"negative thread id", "read -1 0 0\n", "'-1'", "line 1"},
+      {"hex id", "write 0x2 0 0\n", "'0x2'", "line 1"},
+      {"id over 32 bits", "write 4294967296 0 0\n", "'4294967296'",
+       "line 1"},
+      {"huge id", "acq 99999999999999999999 1\n", "'99999999999999999999'",
+       "line 1"},
+      {"trailing junk", "read 1 2 0 junk\n", "trailing token 'junk'",
+       "line 1"},
+      {"missing operand", "alloc 1 2\n", "missing <fieldcount>", "line 1"},
+      {"term with extra", "term 1 2\n", "trailing token", "line 1"},
+      {"fork self", "fork 1 1\n", "cannot fork itself", "line 1"},
+      {"join self", "join 2 2\n", "cannot join itself", "line 1"},
+      {"fork main", "fork 1 0\n", "implicit main", "line 1"},
+      {"duplicate fork", "fork 0 1\nfork 0 2\nfork 2 1\n",
+       "already forked", "line 3"},
+      {"commit missing R", "commit 1 1:0 W\n", "expects 'R'", "line 1"},
+      {"commit missing W", "commit 1 R 1:0\n", "missing the 'W'", "line 1"},
+      {"commit duplicate W", "commit 1 R W W\n", "duplicate 'W'", "line 1"},
+      {"commit bad var", "commit 1 R 1-0 W\n", "bad variable token",
+       "line 1"},
+      {"commit var no field", "commit 1 R 1: W\n", "bad variable token",
+       "line 1"},
+      {"commit var out of range", "commit 1 R 1:4294967296 W\n",
+       "bad variable token", "line 1"},
+      {"commit bad tid", "commit x R W\n", "bad <tid>", "line 1"},
+      {"error on later line", "read 0 1 0\nwrite 0 1\n", "missing <field>",
+       "line 2"},
+  };
+  for (const Case &C : Cases) {
+    Trace T;
+    std::string Error;
+    EXPECT_FALSE(parseTrace(C.Input, T, Error)) << C.Name;
+    EXPECT_NE(Error.find(C.ErrorContains), std::string::npos)
+        << C.Name << ": got '" << Error << "'";
+    EXPECT_NE(Error.find(C.AtLine), std::string::npos)
+        << C.Name << ": got '" << Error << "'";
+  }
+}
+
+TEST(TraceIOTest, ForkOfDistinctChildrenIsFine) {
+  Trace T;
+  std::string Error;
+  ASSERT_TRUE(parseTrace("fork 0 1\nfork 0 2\njoin 0 1\njoin 0 2\n", T,
+                         Error))
+      << Error;
+  EXPECT_EQ(T.Actions.size(), 4u);
+}
+
+TEST(TraceIOTest, BoundaryIdsRoundTrip) {
+  // Largest representable ids must survive a round trip unmangled (the
+  // old parser silently truncated anything wider than 32 bits, so a value
+  // this large is the interesting boundary).
+  Trace T;
+  std::string Error;
+  ASSERT_TRUE(
+      parseTrace("read 4294967295 4294967295 4294967295\n", T, Error))
+      << Error;
+  ASSERT_EQ(T.Actions.size(), 1u);
+  EXPECT_EQ(T.Actions[0].Thread, 0xffffffffu);
+  EXPECT_EQ(T.Actions[0].Var.Object, 0xffffffffu);
+  EXPECT_EQ(T.Actions[0].Var.Field, 0xffffffffu);
+}
+
 TEST(TraceIOTest, EmptyInputIsAnEmptyTrace) {
   Trace T;
   std::string Error;

@@ -3,6 +3,7 @@
 #include "detectors/GoldilocksDetectors.h"
 #include "vm/Builder.h"
 #include "vm/Vm.h"
+#include "support/Failpoints.h"
 
 #include <gtest/gtest.h>
 
@@ -577,4 +578,77 @@ TEST(VmTest, CheckFlagsSuppressDetection) {
   Vm V3(P2, Cfg3);
   V3.run();
   EXPECT_EQ(V3.raceLog().size(), 1u);
+}
+
+TEST(VmTest, TxnFailureIsCountedWhenRetriesExhaust) {
+  // Every STM lock acquisition is forced to conflict by a failpoint, so the
+  // transaction can never make progress; after TxnMaxRetries attempts the
+  // VM must raise TxnFailure, count it, and terminate the thread cleanly
+  // instead of spinning or crashing.
+  ProgramBuilder PB;
+  ClassId Acc = PB.addClass("Account", {{"bal", false}});
+  uint32_t GA = PB.addGlobal("a");
+  FunctionBuilder F = PB.function("main", 0);
+  Reg A = F.newReg(), V1 = F.newReg();
+  F.newObj(A, Acc).constI(V1, 1).putField(A, 0, V1).putG(GA, A);
+  F.atomicBegin();
+  F.getField(V1, A, 0);
+  F.atomicEnd();
+  F.retVoid();
+  PB.setMain(F.id());
+
+  VmConfig Cfg;
+  Cfg.TxnMaxRetries = 3;
+  Vm V(PB.take(), Cfg);
+
+  FailpointConfig FC;
+  FC.rate(Failpoint::StmLockConflict, 1000000);
+  int64_t Rc;
+  {
+    FailpointScope Scope(FC);
+    Rc = V.run();
+  }
+  EXPECT_EQ(Rc, -1); // main died with an uncaught exception
+  EXPECT_GE(V.stats().TxnFailures, 1u);
+  EXPECT_GE(V.stats().TxnConflictRetries, 1u);
+  ASSERT_FALSE(V.uncaught().empty());
+  EXPECT_EQ(V.uncaught()[0].second, VmException::TxnFailure);
+}
+
+TEST(VmTest, TxnRetriesThroughTransientConflicts) {
+  // A mid-rate conflict failpoint makes some acquisitions fail, but with a
+  // generous retry budget every transaction eventually commits and no
+  // TxnFailure is raised.
+  ProgramBuilder PB;
+  ClassId Acc = PB.addClass("Account", {{"bal", false}});
+  uint32_t GA = PB.addGlobal("a");
+  FunctionBuilder F = PB.function("main", 0);
+  Reg A = F.newReg(), V1 = F.newReg(), I = F.newReg(), N = F.newReg(),
+      One = F.newReg(), C = F.newReg();
+  F.newObj(A, Acc).constI(V1, 0).putField(A, 0, V1).putG(GA, A);
+  F.constI(I, 0).constI(N, 40).constI(One, 1);
+  Label Loop = F.label(), Done = F.label();
+  F.bind(Loop);
+  F.cmpLtI(C, I, N).jz(C, Done);
+  F.atomicBegin();
+  F.getField(V1, A, 0).addI(V1, V1, One).putField(A, 0, V1);
+  F.atomicEnd();
+  F.addI(I, I, One).jmp(Loop);
+  F.bind(Done);
+  F.retVoid();
+  PB.setMain(F.id());
+
+  Vm V(PB.take());
+  FailpointConfig FC;
+  FC.Seed = 11;
+  FC.rate(Failpoint::StmLockConflict, 300000); // 30% of acquisitions
+  int64_t Rc;
+  {
+    FailpointScope Scope(FC);
+    Rc = V.run();
+  }
+  EXPECT_EQ(Rc, 0);
+  EXPECT_EQ(V.stats().TxnFailures, 0u);
+  EXPECT_EQ(V.stats().TxnCommits, 40u);
+  EXPECT_GT(V.stats().TxnConflictRetries, 0u); // the injection did bite
 }

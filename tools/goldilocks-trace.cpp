@@ -10,6 +10,10 @@
 ///     --random <seed>                  generate a random trace instead
 ///     --dump                           print the (possibly generated) trace
 ///     --stats                          print engine statistics
+///     --health                         print the engine's resource/health snapshot
+///     --max-cells <n>                  cap the synchronization event list
+///     --max-infos <n>                  cap the live Info records
+///     --max-bytes <n>                  coarse detector byte budget
 ///     --oracle                         also print the happens-before oracle verdict
 ///
 /// Exit code: number of distinct racy variables found by the last detector
@@ -41,13 +45,15 @@ int usage() {
                "goldilocks|reference|eraser|vectorclock|all]\n"
                "                        [--semantics shared|atomic|w2r] "
                "[--random <seed>]\n"
-               "                        [--dump] [--stats] [--oracle] "
-               "[trace-file]\n");
+               "                        [--max-cells <n>] [--max-infos <n>] "
+               "[--max-bytes <n>]\n"
+               "                        [--dump] [--stats] [--health] "
+               "[--oracle] [trace-file]\n");
   return 126;
 }
 
 size_t runDetector(RaceDetector &D, const Trace &T, bool WantStats,
-                   GoldilocksEngine *Engine) {
+                   bool WantHealth, GoldilocksEngine *Engine) {
   auto Races = D.runTrace(T);
   std::set<uint64_t> Vars;
   for (const RaceReport &R : Races) {
@@ -56,6 +62,12 @@ size_t runDetector(RaceDetector &D, const Trace &T, bool WantStats,
   }
   std::printf("%-12s %zu race(s) on %zu variable(s)\n", D.name(),
               Races.size(), Vars.size());
+  if (WantHealth) {
+    if (auto H = D.health())
+      std::printf("%-12s health: %s\n", D.name(), H->str().c_str());
+    else
+      std::printf("%-12s health: not supported\n", D.name());
+  }
   if (WantStats && Engine) {
     EngineStats S = Engine->stats();
     std::printf("%-12s accesses=%llu pair-checks=%llu sync-events=%llu "
@@ -77,9 +89,10 @@ size_t runDetector(RaceDetector &D, const Trace &T, bool WantStats,
 int main(int Argc, char **Argv) {
   std::string DetectorName = "goldilocks";
   TxnSyncSemantics Semantics = TxnSyncSemantics::SharedVariable;
-  bool Dump = false, WantStats = false, WantOracle = false;
+  bool Dump = false, WantStats = false, WantHealth = false, WantOracle = false;
   bool Random = false;
   uint64_t Seed = 1;
+  size_t MaxCells = 0, MaxInfos = 0, MaxBytes = 0;
   std::string File;
 
   for (int I = 1; I != Argc; ++I) {
@@ -110,10 +123,26 @@ int main(int Argc, char **Argv) {
         return usage();
       Random = true;
       Seed = std::strtoull(V, nullptr, 10);
+    } else if (Arg == "--max-cells" || Arg == "--max-infos" ||
+               Arg == "--max-bytes") {
+      const char *V = Next();
+      if (!V)
+        return usage();
+      char *End = nullptr;
+      size_t N = std::strtoull(V, &End, 10);
+      if (End == V || *End || !N) {
+        std::fprintf(stderr, "%s wants a positive integer, got '%s'\n",
+                     Arg.c_str(), V);
+        return 126;
+      }
+      (Arg == "--max-cells" ? MaxCells
+                            : Arg == "--max-infos" ? MaxInfos : MaxBytes) = N;
     } else if (Arg == "--dump") {
       Dump = true;
     } else if (Arg == "--stats") {
       WantStats = true;
+    } else if (Arg == "--health") {
+      WantHealth = true;
     } else if (Arg == "--oracle") {
       WantOracle = true;
     } else if (!Arg.empty() && Arg[0] == '-') {
@@ -155,21 +184,24 @@ int main(int Argc, char **Argv) {
     if (Name == "goldilocks") {
       EngineConfig C;
       C.Semantics = Semantics;
+      C.MaxCells = MaxCells;
+      C.MaxInfoRecords = MaxInfos;
+      C.MaxBytes = MaxBytes;
       GoldilocksDetector D(C);
-      RacyVars = runDetector(D, T, WantStats, &D.engine());
+      RacyVars = runDetector(D, T, WantStats, WantHealth, &D.engine());
     } else if (Name == "reference") {
       GoldilocksReference::Config C;
       C.Semantics = Semantics;
       GoldilocksReferenceDetector D(C);
-      RacyVars = runDetector(D, T, false, nullptr);
+      RacyVars = runDetector(D, T, false, WantHealth, nullptr);
     } else if (Name == "eraser") {
       EraserDetector D;
-      RacyVars = runDetector(D, T, false, nullptr);
+      RacyVars = runDetector(D, T, false, WantHealth, nullptr);
     } else if (Name == "vectorclock") {
       VectorClockDetector::Config C;
       C.Semantics = Semantics;
       VectorClockDetector D(C);
-      RacyVars = runDetector(D, T, false, nullptr);
+      RacyVars = runDetector(D, T, false, WantHealth, nullptr);
     } else {
       return false;
     }

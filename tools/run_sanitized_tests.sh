@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Builds and runs the test suite under each requested sanitizer, one build
+# tree per sanitizer so the instrumented objects never mix.
+#
+#   tools/run_sanitized_tests.sh                 # address + undefined + thread
+#   tools/run_sanitized_tests.sh address         # just ASan
+#   tools/run_sanitized_tests.sh thread -R chaos # TSan, extra args to ctest
+#
+# The first argument selects the sanitizer ("all" or empty = every one);
+# anything after it is forwarded to ctest verbatim.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+SELECT="${1:-all}"
+[ "$#" -gt 0 ] && shift
+CTEST_ARGS=("$@")
+
+case "$SELECT" in
+  all) SANITIZERS=(address undefined thread) ;;
+  address|thread|undefined) SANITIZERS=("$SELECT") ;;
+  *)
+    echo "usage: $0 [all|address|thread|undefined] [ctest args...]" >&2
+    exit 2
+    ;;
+esac
+
+FAILED=()
+for SAN in "${SANITIZERS[@]}"; do
+  BUILD="build-${SAN}"
+  mkdir -p "$BUILD"
+  echo "=== ${SAN}: configuring ${BUILD} ==="
+  cmake -B "$BUILD" -S . -DGOLD_SANITIZE="$SAN" > "$BUILD/configure.log" 2>&1 \
+    || { echo "configure failed, see $BUILD/configure.log"; exit 1; }
+  echo "=== ${SAN}: building ==="
+  cmake --build "$BUILD" -j > "$BUILD/build.log" 2>&1 \
+    || { echo "build failed, see $BUILD/build.log"; exit 1; }
+  echo "=== ${SAN}: testing ==="
+  # halt_on_error keeps a sanitizer report from being drowned out by later
+  # cascading failures; the chaos/governor tests exercise the failure paths
+  # these builds exist to check.
+  if (cd "$BUILD" && \
+      ASAN_OPTIONS=halt_on_error=1 \
+      UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1 \
+      TSAN_OPTIONS=halt_on_error=1 \
+      ctest --output-on-failure "${CTEST_ARGS[@]}"); then
+    echo "=== ${SAN}: OK ==="
+  else
+    echo "=== ${SAN}: FAILED ==="
+    FAILED+=("$SAN")
+  fi
+done
+
+if [ "${#FAILED[@]}" -gt 0 ]; then
+  echo "sanitizer failures: ${FAILED[*]}" >&2
+  exit 1
+fi
+echo "all sanitizer runs passed"
