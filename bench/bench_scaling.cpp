@@ -1,0 +1,118 @@
+//===- bench/bench_scaling.cpp - Multi-core engine scaling ----------------===//
+///
+/// Throughput of the detection engine under 1..16 real threads, lock-free
+/// build vs. the legacy PR-1 global-lock discipline (EngineConfig::
+/// LegacyGlobalLocks). Each thread works on its own variables and its own
+/// lock — the workload itself is perfectly parallel, so any plateau is the
+/// engine's serialization: the global event-list mutex and global check
+/// lock in legacy mode, tail-CAS contention plus striped-lock traffic in
+/// the lock-free mode.
+///
+/// Per iteration a thread runs one monitor block: acquire, four write/read
+/// pairs on private fields, release — 8 data-access checks and 2 list
+/// appends, roughly the sync-to-data ratio of the paper's lock-heavy
+/// benchmarks. GC stays in play via a small threshold.
+///
+/// Methodology: min-of-k wall-clock (steady clock) around the whole fork/
+/// join; the reported figure is ops/sec where an op is one data access.
+///
+///   bench_scaling [--scale N]   # N multiplies per-thread iterations
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchUtil.h"
+#include "support/Table.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+using namespace gold;
+
+namespace {
+
+constexpr unsigned FieldsPerObj = 4;
+
+/// One timed fork/join run; returns data-access ops performed.
+uint64_t hammer(bool Legacy, unsigned NumThreads, unsigned Iters) {
+  EngineConfig C;
+  C.LegacyGlobalLocks = Legacy;
+  C.GcThreshold = 1u << 14;
+  GoldilocksDetector D(C);
+
+  for (unsigned I = 1; I <= NumThreads; ++I) {
+    D.onAlloc(0, 100 + I, 1);            // thread I's lock object
+    D.onAlloc(0, 1000 + I, FieldsPerObj); // thread I's data object
+  }
+
+  std::atomic<bool> Go{false};
+  auto Worker = [&](ThreadId Tid) {
+    ObjectId Lock = 100 + Tid;
+    ObjectId Obj = 1000 + Tid;
+    while (!Go.load(std::memory_order_acquire))
+      std::this_thread::yield();
+    for (unsigned I = 0; I != Iters; ++I) {
+      D.onAcquire(Tid, Lock);
+      for (FieldId F = 0; F != FieldsPerObj; ++F) {
+        D.onWrite(Tid, VarId{Obj, F});
+        D.onRead(Tid, VarId{Obj, F});
+      }
+      D.onRelease(Tid, Lock);
+    }
+    D.onTerminate(Tid);
+  };
+
+  std::vector<std::thread> Threads;
+  for (unsigned I = 1; I <= NumThreads; ++I) {
+    D.onFork(0, I);
+    Threads.emplace_back(Worker, static_cast<ThreadId>(I));
+  }
+  Go.store(true, std::memory_order_release);
+  for (unsigned I = 1; I <= NumThreads; ++I) {
+    Threads[I - 1].join();
+    D.onJoin(0, I);
+  }
+  return static_cast<uint64_t>(NumThreads) * Iters * (2 * FieldsPerObj);
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  unsigned Scale = parseScale(Argc, Argv, 4);
+  const unsigned Iters = 25000 * Scale;
+  const int Reps = 3;
+
+  std::printf("=== Engine scaling: lock-free vs legacy global locks "
+              "(scale %u, %u iters/thread, min of %d, %u hw threads) ===\n\n",
+              Scale, Iters, Reps, std::thread::hardware_concurrency());
+
+  Table T({"Threads", "lock-free Mops/s", "speedup", "legacy Mops/s",
+           "speedup"});
+  double BaseFree = 0, BaseLegacy = 0;
+  for (unsigned N : {1u, 2u, 4u, 8u, 16u}) {
+    uint64_t Ops = 0;
+    double SecFree =
+        bestOfK(Reps, [&] { Ops = hammer(/*Legacy=*/false, N, Iters); });
+    double SecLegacy =
+        bestOfK(Reps, [&] { Ops = hammer(/*Legacy=*/true, N, Iters); });
+    double MFree = static_cast<double>(Ops) / SecFree / 1e6;
+    double MLegacy = static_cast<double>(Ops) / SecLegacy / 1e6;
+    if (N == 1) {
+      BaseFree = MFree;
+      BaseLegacy = MLegacy;
+    }
+    char F[32], L[32], SF[16], SL[16];
+    std::snprintf(F, sizeof(F), "%.2f", MFree);
+    std::snprintf(L, sizeof(L), "%.2f", MLegacy);
+    std::snprintf(SF, sizeof(SF), "%.2fx", MFree / BaseFree);
+    std::snprintf(SL, sizeof(SL), "%.2fx", MLegacy / BaseLegacy);
+    T.addRow({std::to_string(N), F, SF, L, SL});
+  }
+  T.print();
+  std::printf("\nAn op is one checked data access (8 per monitor block, "
+              "plus 2 event-list appends).\nLock-free appends + striped "
+              "variable locks should scale until appends saturate the tail;"
+              "\nthe legacy build serializes every append behind one mutex "
+              "and plateaus early.\n");
+  return 0;
+}

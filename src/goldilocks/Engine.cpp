@@ -7,6 +7,7 @@
 #include <algorithm>
 #include <cassert>
 #include <new>
+#include <thread>
 
 using namespace gold;
 
@@ -14,29 +15,50 @@ using namespace gold;
 // Internal data structures (Figure 8's Cell and Info records)
 //===----------------------------------------------------------------------===//
 
-/// One entry of the synchronization event list.
+/// One entry of the synchronization event list. Everything except Next and
+/// RefCount is written by the appending thread before the linking CAS
+/// publishes the cell (release), so readers that reach a cell through an
+/// acquire load of Next (or a seq_cst load of Last) see it fully built.
 struct GoldilocksEngine::Cell {
   SyncEvent Event;
   std::unique_ptr<CommitSets> OwnedCommit; // keeps commit (R,W) sets alive
   std::atomic<Cell *> Next{nullptr};
-  uint64_t Seq = 0;
+  uint64_t Seq = 0; ///< derived from the predecessor: monotone along links
   std::atomic<uint32_t> RefCount{0};
 };
 
-/// Figure 8's Info record: one remembered access to a data variable.
+/// Figure 8's Info record: one remembered access to a data variable. Pos is
+/// atomic so the record's position can be published/read without tearing;
+/// the variable's KL stripe remains the lock under which the record as a
+/// whole (lockset, owner, flags) is mutated.
 struct GoldilocksEngine::Info {
-  Cell *Pos = nullptr;   ///< Last sync event the access came after (retained).
+  std::atomic<Cell *> Pos{nullptr}; ///< last sync event the access came after
   ThreadId Owner = NoThread;
-  Lockset LS;            ///< Lockset just after the access (may be advanced).
-  ObjectId ALock = 0;    ///< A lock held by Owner at the access.
+  Lockset LS;            ///< Lockset just after the access (may be advanced)
+  ObjectId ALock = 0;    ///< A lock held by Owner at the access
   bool HasALock = false;
-  bool Xact = false;     ///< Access was inside a transaction.
+  bool Xact = false;     ///< Access was inside a transaction
   bool Valid = false;
+
+  Info() = default;
+  Info(Info &&O) noexcept { *this = std::move(O); }
+  Info &operator=(Info &&O) noexcept {
+    Pos.store(O.Pos.load(std::memory_order_relaxed),
+              std::memory_order_relaxed);
+    Owner = O.Owner;
+    LS = std::move(O.LS);
+    ALock = O.ALock;
+    HasALock = O.HasALock;
+    Xact = O.Xact;
+    Valid = O.Valid;
+    return *this;
+  }
 };
 
-/// Per-variable state: WriteInfo, per-thread ReadInfo, and the KL lock.
+/// Per-variable state: WriteInfo and per-thread ReadInfo. The serialization
+/// lock KL(o,d) lives in the engine's striped lock table (klFor), not here,
+/// so a VarState is just data.
 struct GoldilocksEngine::VarState {
-  std::mutex KL;
   Info Write;
   std::vector<std::pair<ThreadId, Info>> Reads; // reads since the last write
   bool Disabled = false;  ///< disabled after its first race (Section 6)
@@ -65,15 +87,123 @@ struct GoldilocksEngine::AtomicStats {
       Sc2SameThread{0}, Sc3ALock{0}, FilteredWalks{0}, FullWalks{0},
       CellsWalked{0}, CellsAllocated{0}, CellsFreed{0}, GcRuns{0},
       EagerAdvances{0}, Races{0}, SkippedDisabled{0}, SyncEvents{0},
-      Commits{0}, DegradationEvents{0}, DegradedVars{0}, ForcedGcs{0};
+      Commits{0}, DegradationEvents{0}, DegradedVars{0}, ForcedGcs{0},
+      AppendRetries{0}, GraceWaits{0};
 };
+
+//===----------------------------------------------------------------------===//
+// Epoch sections (quiescence-based reclamation)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Monotone engine identities for the thread-local slot cache, so a cache
+/// entry can never alias a destroyed engine whose address was reused.
+std::atomic<uint64_t> EngineGenCounter{1};
+
+/// Small per-thread cache of (engine generation -> epoch slot index). A
+/// thread normally touches one or two engines, so four entries suffice; a
+/// miss after eviction claims a fresh slot (slots are never recycled, the
+/// array is sized for that).
+struct SlotCacheEntry {
+  uint64_t Gen = 0;
+  int Slot = -1;
+};
+thread_local SlotCacheEntry SlotCache[4];
+thread_local unsigned SlotCacheNext = 0;
+
+} // namespace
+
+int GoldilocksEngine::claimSlot() {
+  for (const SlotCacheEntry &E : SlotCache)
+    if (E.Gen == Gen)
+      return E.Slot;
+  int Slot = -1;
+  unsigned Idx = SlotsClaimed.fetch_add(1, std::memory_order_relaxed);
+  if (Idx < NumEpochSlots)
+    Slot = static_cast<int>(Idx);
+  SlotCache[SlotCacheNext % 4] = {Gen, Slot};
+  ++SlotCacheNext;
+  return Slot;
+}
+
+/// RAII epoch section. On entry the thread's slot publishes the current
+/// global epoch (seq_cst); on exit it publishes quiescence. Every position
+/// the section acquires from `Last` is then protected from reclamation: the
+/// collector's grace period (waitForReaders) either waits the section out or
+/// proves — via the seq_cst total order — that the section's `Last` loads
+/// can only return cells at or after the collector's snapshot.
+class GoldilocksEngine::ReadGuard {
+public:
+  explicit ReadGuard(GoldilocksEngine &E) : E(E) {
+    // Legacy discipline: the global reader/writer lock is taken *before*
+    // the epoch slot, matching the collector's order (exclusive lock, then
+    // grace period). A reader blocked here holds no slot, so the collector
+    // never waits on a thread that is waiting on the collector.
+    if (E.Cfg.LegacyGlobalLocks)
+      Legacy = std::shared_lock<std::shared_mutex>(E.LegacyMu);
+    Slot = E.claimSlot();
+    // A nested section on the same engine must not reuse the slot (the
+    // inner exit would strip the outer section's protection). No current
+    // code path nests; this keeps the guard safe if one ever does.
+    if (Slot >= 0 &&
+        E.EpochSlots[Slot].E.load(std::memory_order_relaxed) != 0)
+      Slot = -1;
+    if (Slot >= 0)
+      E.EpochSlots[Slot].E.store(
+          E.GlobalEpoch.load(std::memory_order_seq_cst),
+          std::memory_order_seq_cst);
+    else
+      Fallback = std::shared_lock<std::shared_mutex>(E.FallbackMu);
+  }
+  ~ReadGuard() {
+    if (Slot >= 0)
+      E.EpochSlots[Slot].E.store(0, std::memory_order_release);
+  }
+  ReadGuard(const ReadGuard &) = delete;
+  ReadGuard &operator=(const ReadGuard &) = delete;
+
+private:
+  GoldilocksEngine &E;
+  int Slot = -1;
+  std::shared_lock<std::shared_mutex> Legacy;
+  std::shared_lock<std::shared_mutex> Fallback;
+};
+
+void GoldilocksEngine::waitForReaders() {
+  // Start the next epoch, then wait until every claimed slot is either
+  // quiescent or provably entered after the bump. Sections the scan skips
+  // as quiescent may in fact be entering concurrently — but then their
+  // slot store is seq_cst-after our scan load, so their subsequent `Last`
+  // loads return cells at or after the caller's snapshot (taken before the
+  // bump), which trimming never frees.
+  uint64_t NewE = GlobalEpoch.fetch_add(1, std::memory_order_seq_cst) + 1;
+  unsigned Claimed = std::min(SlotsClaimed.load(std::memory_order_acquire),
+                              NumEpochSlots);
+  for (unsigned I = 0; I != Claimed; ++I) {
+    while (true) {
+      uint64_t E = EpochSlots[I].E.load(std::memory_order_seq_cst);
+      if (E == 0 || E >= NewE)
+        break;
+      std::this_thread::yield();
+    }
+  }
+  // Flush readers that used the shared-mutex fallback path (slot overflow
+  // or nesting).
+  FallbackMu.lock();
+  FallbackMu.unlock();
+  S->GraceWaits.fetch_add(1, std::memory_order_relaxed);
+}
 
 //===----------------------------------------------------------------------===//
 // Construction / destruction
 //===----------------------------------------------------------------------===//
 
 GoldilocksEngine::GoldilocksEngine(EngineConfig C)
-    : Cfg(C), Shards(new Shard[NumShards]), S(new AtomicStats) {
+    : Cfg(C), Gen(EngineGenCounter.fetch_add(1, std::memory_order_relaxed)),
+      EpochSlots(new EpochSlot[NumEpochSlots]),
+      KlStripes(new KlStripe[NumKlStripes]), Shards(new Shard[NumShards]),
+      S(new AtomicStats) {
   // Sentinel origin cell so Info.Pos is never null.
   auto *Origin = new Cell;
   Origin->Event.Kind = ActionKind::Terminate;
@@ -118,7 +248,13 @@ GoldilocksEngine::VarState &GoldilocksEngine::varState(VarId V) {
 }
 
 GoldilocksEngine::ThreadState &GoldilocksEngine::threadState(ThreadId T) {
-  std::lock_guard<std::mutex> L(ThreadsMu);
+  {
+    std::shared_lock<std::shared_mutex> L(ThreadsMu);
+    auto It = Threads.find(T);
+    if (It != Threads.end())
+      return *It->second;
+  }
+  std::unique_lock<std::shared_mutex> L(ThreadsMu);
   auto It = Threads.find(T);
   if (It != Threads.end())
     return *It->second;
@@ -128,20 +264,29 @@ GoldilocksEngine::ThreadState &GoldilocksEngine::threadState(ThreadId T) {
   return *Raw;
 }
 
+std::mutex &GoldilocksEngine::klFor(VarId V) const {
+  // Mix the hash again so stripe choice is independent of shard choice.
+  uint64_t H = VarIdHash()(V) * 0x9E3779B97F4A7C15ull;
+  return KlStripes[(H >> 32) % NumKlStripes].Mu;
+}
+
 void GoldilocksEngine::retainCell(Cell *C) {
+  // Relaxed is enough: a retain always happens inside an epoch section (or
+  // under GcRunMu), and the collector's grace period orders the section's
+  // end before the refcount scan.
   C->RefCount.fetch_add(1, std::memory_order_relaxed);
 }
 
 void GoldilocksEngine::releaseCell(Cell *C) {
   [[maybe_unused]] uint32_t Old =
-      C->RefCount.fetch_sub(1, std::memory_order_relaxed);
+      C->RefCount.fetch_sub(1, std::memory_order_release);
   assert(Old > 0 && "cell refcount underflow");
 }
 
 void GoldilocksEngine::dropInfo(Info &I) {
   if (!I.Valid)
     return;
-  releaseCell(I.Pos);
+  releaseCell(I.Pos.load(std::memory_order_relaxed));
   I = Info();
   InfoCount.fetch_sub(1, std::memory_order_relaxed);
 }
@@ -161,10 +306,44 @@ void GoldilocksEngine::installInfo(Info &Slot, Info &&NI) {
 // Event list
 //===----------------------------------------------------------------------===//
 
+void GoldilocksEngine::appendCell(Cell *C) {
+  // Lock-free tail append (the paper's atomic-exchange design, realized as
+  // a Michael-Scott-style CAS on the tail's Next). The cell's sequence
+  // number is derived from the actual predecessor *before* the linking CAS
+  // publishes it, so Seq is strictly monotone along the links — windows
+  // bounded by `Seq <= ToSeq` stay exact under any interleaving. A global
+  // counter could not guarantee that: two appenders could link in the
+  // opposite order of their tickets.
+  Cell *Tail = Last.load(std::memory_order_seq_cst);
+  while (true) {
+    Cell *Next = Tail->Next.load(std::memory_order_acquire);
+    if (Next) {
+      Tail = Next;
+      continue;
+    }
+    C->Seq = Tail->Seq + 1;
+    Cell *Expected = nullptr;
+    if (Tail->Next.compare_exchange_strong(Expected, C,
+                                           std::memory_order_release,
+                                           std::memory_order_acquire))
+      break;
+    S->AppendRetries.fetch_add(1, std::memory_order_relaxed);
+    Tail = Expected;
+  }
+  // Swing the monotone Last hint; a stale hint only costs the next reader
+  // a few Next hops, never correctness. Seq compare keeps it monotone.
+  Cell *Hint = Last.load(std::memory_order_seq_cst);
+  while (Hint->Seq < C->Seq &&
+         !Last.compare_exchange_weak(Hint, C, std::memory_order_seq_cst,
+                                     std::memory_order_seq_cst)) {
+  }
+}
+
 void GoldilocksEngine::enqueue(SyncEvent E, std::unique_ptr<CommitSets> Owned) {
   // Hard cap: climb the degradation ladder *before* appending, so the list
   // never grows past the budget (concurrent appenders can overshoot by at
-  // most one cell each). Callers hold no GcMu, so the ladder may collect.
+  // most one cell each). Callers are outside any epoch section here, so
+  // the ladder may collect.
   if ((Cfg.MaxCells || Cfg.MaxBytes) && overCellBudget(/*Incoming=*/1))
     degradeForCells();
 
@@ -198,11 +377,13 @@ void GoldilocksEngine::enqueue(SyncEvent E, std::unique_ptr<CommitSets> Owned) {
     C->Event.Commit = C->OwnedCommit.get();
   size_t Len;
   {
-    std::lock_guard<std::mutex> L(ListMu);
-    C->Seq = NextSeq++;
-    Cell *Prev = Last.load(std::memory_order_relaxed);
-    Prev->Next.store(C, std::memory_order_release);
-    Last.store(C, std::memory_order_release);
+    ReadGuard G(*this);
+    if (Cfg.LegacyGlobalLocks) {
+      std::lock_guard<std::mutex> L(LegacyListMu);
+      appendCell(C);
+    } else {
+      appendCell(C);
+    }
     Len = ListLen.fetch_add(1, std::memory_order_relaxed) + 1;
   }
   size_t HW = ListHighWater.load(std::memory_order_relaxed);
@@ -214,9 +395,14 @@ void GoldilocksEngine::enqueue(SyncEvent E, std::unique_ptr<CommitSets> Owned) {
 }
 
 void GoldilocksEngine::maybeCollect() {
-  if (Cfg.GcThreshold &&
-      ListLen.load(std::memory_order_relaxed) >= Cfg.GcThreshold)
-    collectGarbage();
+  if (!Cfg.GcThreshold ||
+      ListLen.load(std::memory_order_relaxed) < Cfg.GcThreshold)
+    return;
+  // Threshold collection is advisory: if another thread is already
+  // collecting, piling up behind it would just convoy the hot path.
+  std::unique_lock<std::mutex> L(GcRunMu, std::try_to_lock);
+  if (L)
+    runCollectionLocked();
 }
 
 size_t GoldilocksEngine::eventListLength() const {
@@ -317,10 +503,8 @@ void GoldilocksEngine::onAlloc(ThreadId T, ObjectId O, uint32_t FieldCount) {
   (void)FieldCount;
   // Rule 8: every variable of the (re)allocated object becomes fresh. This
   // hook is allocation-free (the per-object index is only read), so it
-  // cannot fail under memory pressure.
-  std::shared_lock<std::shared_mutex> G(GcMu);
-  // Variables of one object can land in different shards (the hash covers
-  // the field too), so consult every shard's per-object index.
+  // cannot fail under memory pressure. It only drops retained positions
+  // (never dereferences unretained cells), so no epoch section is needed.
   for (unsigned I = 0; I != NumShards; ++I) {
     Shard &SI = Shards[I];
     std::lock_guard<std::mutex> L(SI.Mu);
@@ -328,7 +512,7 @@ void GoldilocksEngine::onAlloc(ThreadId T, ObjectId O, uint32_t FieldCount) {
     if (It == SI.ByObject.end())
       continue;
     for (VarState *St : It->second) {
-      std::lock_guard<std::mutex> KL(St->KL);
+      std::lock_guard<std::mutex> KL(klFor(St->V));
       dropInfo(St->Write);
       for (auto &[Tid, RI] : St->Reads) {
         (void)Tid;
@@ -401,15 +585,19 @@ bool GoldilocksEngine::orderedBefore(const Info &Prev, ThreadId T,
 std::optional<RaceReport>
 GoldilocksEngine::accessImpl(ThreadId T, VarId V, bool IsWrite, bool Xact,
                              Cell *PosOverride, const CommitSets *SelfCommit) {
-  std::shared_lock<std::shared_mutex> G(GcMu);
   S->Accesses.fetch_add(1, std::memory_order_relaxed);
   if (GlobalDegraded.load(std::memory_order_relaxed)) {
     S->SkippedDisabled.fetch_add(1, std::memory_order_relaxed);
     return std::nullopt;
   }
+  // The whole check — position acquisition, window walks, Info install —
+  // runs inside one epoch section, so the collector cannot free any cell
+  // the check can reach.
+  ReadGuard G(*this);
   // Make room for the record this access will install *before* taking the
-  // variable's KL: eviction scans other variables' KLs, and two threads
-  // each holding their own KL while scanning would deadlock.
+  // variable's KL stripe: eviction scans other variables' stripes, and two
+  // threads each holding their own stripe while scanning would deadlock
+  // (even more readily now that two variables can share a stripe).
   if ((Cfg.MaxInfoRecords || Cfg.MaxBytes) && overInfoBudget())
     enforceInfoBudget(V);
   try {
@@ -430,15 +618,17 @@ GoldilocksEngine::accessLocked(ThreadId T, VarId V, bool IsWrite, bool Xact,
                                Cell *PosOverride,
                                const CommitSets *SelfCommit) {
   VarState &St = varState(V);
-  std::lock_guard<std::mutex> KL(St.KL);
+  std::lock_guard<std::mutex> KL(klFor(V));
   if (St.Disabled || St.Degraded) {
     S->SkippedDisabled.fetch_add(1, std::memory_order_relaxed);
     return std::nullopt;
   }
 
   // The access's position: the latest sync event it comes after. The
-  // window checked against a previous access is (Prev.Pos, PosC].
-  Cell *PosC = PosOverride ? PosOverride : Last.load(std::memory_order_acquire);
+  // window checked against a previous access is (Prev.Pos, PosC]. seq_cst
+  // so the epoch grace argument covers this load (see waitForReaders).
+  Cell *PosC =
+      PosOverride ? PosOverride : Last.load(std::memory_order_seq_cst);
   uint64_t ToSeq = PosC->Seq;
 
   std::optional<RaceReport> Race;
@@ -448,15 +638,17 @@ GoldilocksEngine::accessLocked(ThreadId T, VarId V, bool IsWrite, bool Xact,
     S->PairChecks.fetch_add(1, std::memory_order_relaxed);
     if (orderedBefore(Prev, T, Xact))
       return;
+    // Prev's position is retained by the record and stable under KL.
+    Cell *PrevPos = Prev.Pos.load(std::memory_order_acquire);
     // Thread-filtered fast walk, then the full lockset computation.
     if (Cfg.EnableFilteredWalk &&
-        walkWindow(Prev.LS, Prev.Pos, ToSeq, T, Xact, V, /*Filtered=*/true,
+        walkWindow(Prev.LS, PrevPos, ToSeq, T, Xact, V, /*Filtered=*/true,
                    Prev.Owner, SelfCommit)) {
       S->FilteredWalks.fetch_add(1, std::memory_order_relaxed);
       return;
     }
     S->FullWalks.fetch_add(1, std::memory_order_relaxed);
-    if (walkWindow(Prev.LS, Prev.Pos, ToSeq, T, Xact, V, /*Filtered=*/false,
+    if (walkWindow(Prev.LS, PrevPos, ToSeq, T, Xact, V, /*Filtered=*/false,
                    Prev.Owner, SelfCommit))
       return;
     RaceReport R;
@@ -525,7 +717,7 @@ GoldilocksEngine::accessLocked(ThreadId T, VarId V, bool IsWrite, bool Xact,
       Slot = &St.Reads.back().second;
     }
   }
-  NI.Pos = PosC;
+  NI.Pos.store(PosC, std::memory_order_relaxed);
   NI.Valid = true;
   retainCell(PosC);
   installInfo(*Slot, std::move(NI));
@@ -543,8 +735,8 @@ void GoldilocksEngine::commitPoint(ThreadId T, const CommitSets &CS) {
   // locksets (the Figure 7 "end_tr" step).
   Cell *Anchor;
   {
-    std::shared_lock<std::shared_mutex> G(GcMu);
-    Anchor = Last.load(std::memory_order_acquire);
+    ReadGuard G(*this);
+    Anchor = Last.load(std::memory_order_seq_cst);
     retainCell(Anchor);
   }
   try {
@@ -563,10 +755,7 @@ void GoldilocksEngine::commitPoint(ThreadId T, const CommitSets &CS) {
     // failed. A missing commit event breaks the synchronization order for
     // every variable it publishes, so fall to the engine-wide last resort.
   }
-  {
-    std::shared_lock<std::shared_mutex> G(GcMu);
-    releaseCell(Anchor);
-  }
+  releaseCell(Anchor);
   markGloballyDegraded();
 }
 
@@ -604,10 +793,7 @@ std::vector<RaceReport> GoldilocksEngine::finishCommit(ThreadId T,
     // Races.push_back failed; report what fit. The per-variable checks
     // themselves handle their own memory pressure inside accessImpl.
   }
-  {
-    std::shared_lock<std::shared_mutex> G(GcMu);
-    releaseCell(Anchor);
-  }
+  releaseCell(Anchor);
   maybeCollect();
   return Races;
 }
@@ -619,10 +805,9 @@ std::vector<RaceReport> GoldilocksEngine::onCommit(ThreadId T,
 }
 
 void GoldilocksEngine::enableVar(VarId V) {
-  std::shared_lock<std::shared_mutex> G(GcMu);
   try {
     VarState &St = varState(V);
-    std::lock_guard<std::mutex> KL(St.KL);
+    std::lock_guard<std::mutex> KL(klFor(V));
     St.Disabled = false;
     St.Degraded = false;
   } catch (const std::bad_alloc &) {
@@ -635,11 +820,17 @@ void GoldilocksEngine::enableVar(VarId V) {
 //===----------------------------------------------------------------------===//
 
 void GoldilocksEngine::trimUnreferencedPrefix() {
-  std::lock_guard<std::mutex> L(ListMu);
-  Cell *LastCell = Last.load(std::memory_order_relaxed);
-  while (Head != LastCell &&
-         Head->RefCount.load(std::memory_order_relaxed) == 0) {
-    Cell *Next = Head->Next.load(std::memory_order_relaxed);
+  // Requires GcRunMu. Snapshot the tail *before* the grace period: every
+  // reader section the grace period does not wait out can only acquire
+  // positions at or after this snapshot (see waitForReaders), and the loop
+  // below never frees at or past it.
+  Cell *LastSnap = Last.load(std::memory_order_seq_cst);
+  if (Head == LastSnap)
+    return;
+  waitForReaders();
+  while (Head != LastSnap &&
+         Head->RefCount.load(std::memory_order_acquire) == 0) {
+    Cell *Next = Head->Next.load(std::memory_order_acquire);
     delete Head;
     Head = Next;
     ListLen.fetch_sub(1, std::memory_order_relaxed);
@@ -652,7 +843,7 @@ GoldilocksEngine::pendingAnchorBound(Cell *Boundary) const {
   // Never advance an Info past a pending commit anchor: the commit's
   // finish-phase checks window at that anchor, and replaying the commit's
   // own cell into a lockset would apply rule 9 to itself (missing races).
-  std::lock_guard<std::mutex> L(ThreadsMu);
+  std::shared_lock<std::shared_mutex> L(ThreadsMu);
   for (const auto &[Tid, TS] : Threads) {
     (void)Tid;
     Cell *A = TS->PendingAnchor.load(std::memory_order_acquire);
@@ -666,16 +857,22 @@ void GoldilocksEngine::advanceInfosLocked(Cell *Boundary) {
   Boundary = pendingAnchorBound(Boundary);
   uint64_t BSeq = Boundary->Seq;
   auto Advance = [&](Info &I, VarId V) {
-    if (!I.Valid || I.Pos->Seq >= BSeq)
+    if (!I.Valid)
       return;
-    const Cell *C = I.Pos->Next.load(std::memory_order_relaxed);
+    Cell *Pos = I.Pos.load(std::memory_order_relaxed);
+    if (Pos->Seq >= BSeq)
+      return;
+    // Acquire loads: the walk can step one cell past the boundary into a
+    // cell a concurrent appender just linked, and only the link-CAS's
+    // release publishes that cell's Seq/Event.
+    const Cell *C = Pos->Next.load(std::memory_order_acquire);
     while (C && C->Seq <= BSeq) {
       applyLocksetRule(I.LS, C->Event, V, Cfg.Semantics);
-      C = C->Next.load(std::memory_order_relaxed);
+      C = C->Next.load(std::memory_order_acquire);
     }
-    releaseCell(I.Pos);
+    releaseCell(Pos);
     retainCell(Boundary);
-    I.Pos = Boundary;
+    I.Pos.store(Boundary, std::memory_order_release);
     S->EagerAdvances.fetch_add(1, std::memory_order_relaxed);
   };
 
@@ -684,7 +881,7 @@ void GoldilocksEngine::advanceInfosLocked(Cell *Boundary) {
     std::lock_guard<std::mutex> L(Sh.Mu);
     for (auto &[Key, St] : Sh.Map) {
       (void)Key;
-      std::lock_guard<std::mutex> KL(St->KL);
+      std::lock_guard<std::mutex> KL(klFor(St->V));
       Advance(St->Write, St->V);
       for (auto &[Tid, RI] : St->Reads) {
         (void)Tid;
@@ -694,8 +891,13 @@ void GoldilocksEngine::advanceInfosLocked(Cell *Boundary) {
   }
 }
 
-void GoldilocksEngine::collectGarbage() {
-  std::unique_lock<std::shared_mutex> G(GcMu);
+void GoldilocksEngine::runCollectionLocked() {
+  // Requires GcRunMu (the only lock under which Head moves and cells are
+  // freed). In the legacy discipline the collector additionally excludes
+  // every reader via the global lock, emulating the PR-1 behaviour.
+  std::unique_lock<std::shared_mutex> Legacy;
+  if (Cfg.LegacyGlobalLocks)
+    Legacy = std::unique_lock<std::shared_mutex>(LegacyMu);
   S->GcRuns.fetch_add(1, std::memory_order_relaxed);
   failpointStall(Failpoint::EngineGcStall);
 
@@ -713,11 +915,16 @@ void GoldilocksEngine::collectGarbage() {
       Cfg.TrimFraction);
   Steps = std::max<size_t>(Steps, 1);
   Cell *Boundary = Head;
-  Cell *LastCell = Last.load(std::memory_order_relaxed);
+  Cell *LastCell = Last.load(std::memory_order_seq_cst);
   for (size_t I = 0; I != Steps && Boundary != LastCell; ++I)
-    Boundary = Boundary->Next.load(std::memory_order_relaxed);
+    Boundary = Boundary->Next.load(std::memory_order_acquire);
   advanceInfosLocked(Boundary);
   trimUnreferencedPrefix();
+}
+
+void GoldilocksEngine::collectGarbage() {
+  std::lock_guard<std::mutex> L(GcRunMu);
+  runCollectionLocked();
 }
 
 //===----------------------------------------------------------------------===//
@@ -779,10 +986,10 @@ void GoldilocksEngine::degradeVarLocked(VarState &St) {
 }
 
 void GoldilocksEngine::noteAccessOom(VarId V) {
-  // Caller holds shared GcMu and no KL.
+  // Caller is inside an epoch section and holds no KL stripe.
   try {
     VarState &St = varState(V);
-    std::lock_guard<std::mutex> KL(St.KL);
+    std::lock_guard<std::mutex> KL(klFor(V));
     degradeVarLocked(St);
   } catch (const std::bad_alloc &) {
     // Cannot even record which variable is now unreliable — the only
@@ -813,26 +1020,35 @@ void GoldilocksEngine::degradeForCells() {
 }
 
 void GoldilocksEngine::coarsenInfosToTail() {
-  std::unique_lock<std::shared_mutex> G(GcMu);
-  advanceInfosLocked(Last.load(std::memory_order_relaxed));
+  std::lock_guard<std::mutex> L(GcRunMu);
+  std::unique_lock<std::shared_mutex> Legacy;
+  if (Cfg.LegacyGlobalLocks)
+    Legacy = std::unique_lock<std::shared_mutex>(LegacyMu);
+  advanceInfosLocked(Last.load(std::memory_order_seq_cst));
   trimUnreferencedPrefix();
 }
 
 void GoldilocksEngine::disablePinnedVars() {
-  std::unique_lock<std::shared_mutex> G(GcMu);
+  std::lock_guard<std::mutex> L(GcRunMu);
+  std::unique_lock<std::shared_mutex> Legacy;
+  if (Cfg.LegacyGlobalLocks)
+    Legacy = std::unique_lock<std::shared_mutex>(LegacyMu);
   // Records at the clamped boundary cannot be advanced further; anything
   // older still pins prefix cells after a full advance, so give it up.
-  Cell *Bound = pendingAnchorBound(Last.load(std::memory_order_relaxed));
+  Cell *Bound = pendingAnchorBound(Last.load(std::memory_order_seq_cst));
   for (unsigned I = 0; I != NumShards; ++I) {
     Shard &Sh = Shards[I];
-    std::lock_guard<std::mutex> L(Sh.Mu);
+    std::lock_guard<std::mutex> L2(Sh.Mu);
     for (auto &[Key, St] : Sh.Map) {
       (void)Key;
-      std::lock_guard<std::mutex> KL(St->KL);
-      bool Pins = St->Write.Valid && St->Write.Pos->Seq < Bound->Seq;
+      std::lock_guard<std::mutex> KL(klFor(St->V));
+      bool Pins =
+          St->Write.Valid &&
+          St->Write.Pos.load(std::memory_order_relaxed)->Seq < Bound->Seq;
       for (auto &[Tid, RI] : St->Reads) {
         (void)Tid;
-        Pins |= RI.Valid && RI.Pos->Seq < Bound->Seq;
+        Pins |= RI.Valid &&
+                RI.Pos.load(std::memory_order_relaxed)->Seq < Bound->Seq;
       }
       if (Pins)
         degradeVarLocked(*St);
@@ -855,14 +1071,15 @@ void GoldilocksEngine::enforceInfoBudget(VarId Current) {
       std::lock_guard<std::mutex> L(Sh.Mu);
       for (auto &[Key, St] : Sh.Map) {
         (void)Key;
-        std::lock_guard<std::mutex> KL(St->KL);
+        std::lock_guard<std::mutex> KL(klFor(St->V));
         uint64_t Oldest = ~0ull;
         if (St->Write.Valid)
-          Oldest = St->Write.Pos->Seq;
+          Oldest = St->Write.Pos.load(std::memory_order_relaxed)->Seq;
         for (auto &[Tid, RI] : St->Reads) {
           (void)Tid;
           if (RI.Valid)
-            Oldest = std::min(Oldest, RI.Pos->Seq);
+            Oldest = std::min(
+                Oldest, RI.Pos.load(std::memory_order_relaxed)->Seq);
         }
         if (Oldest == ~0ull)
           continue;
@@ -880,7 +1097,7 @@ void GoldilocksEngine::enforceInfoBudget(VarId Current) {
       Victim = CurrentSt;
     if (!Victim)
       return; // no records left to evict; the byte budget is cell-bound
-    std::lock_guard<std::mutex> KL(Victim->KL);
+    std::lock_guard<std::mutex> KL(klFor(Victim->V));
     if (Victim->Degraded)
       return; // raced with another enforcer; avoid spinning
     degradeVarLocked(*Victim);
@@ -911,6 +1128,8 @@ EngineStats GoldilocksEngine::stats() const {
   Out.DegradationEvents = L(S->DegradationEvents);
   Out.DegradedVars = L(S->DegradedVars);
   Out.ForcedGcs = L(S->ForcedGcs);
+  Out.AppendRetries = L(S->AppendRetries);
+  Out.GraceWaits = L(S->GraceWaits);
   return Out;
 }
 
@@ -931,6 +1150,8 @@ EngineHealth GoldilocksEngine::health() const {
   H.DegradationEvents = S->DegradationEvents.load(std::memory_order_relaxed);
   H.DegradedVars = S->DegradedVars.load(std::memory_order_relaxed);
   H.ForcedGcs = S->ForcedGcs.load(std::memory_order_relaxed);
+  H.GraceWaits = S->GraceWaits.load(std::memory_order_relaxed);
+  H.AppendRetries = S->AppendRetries.load(std::memory_order_relaxed);
   return H;
 }
 
@@ -941,7 +1162,7 @@ std::vector<VarId> GoldilocksEngine::degradedVars() const {
     std::lock_guard<std::mutex> L(Sh.Mu);
     for (auto &[Key, St] : Sh.Map) {
       (void)Key;
-      std::lock_guard<std::mutex> KL(St->KL);
+      std::lock_guard<std::mutex> KL(klFor(St->V));
       if (St->Degraded)
         Out.push_back(St->V);
     }

@@ -5,7 +5,8 @@
 /// algorithm (Section 5, Figure 8 of the paper). Key mechanisms reproduced:
 ///
 ///  * a global, append-only *synchronization event list* of Cells holding
-///    the extended synchronization order;
+///    the extended synchronization order, appended with a lock-free CAS on
+///    the tail (the paper's atomic-exchange design);
 ///  * *lazy lockset evaluation*: no lockset is updated when synchronization
 ///    happens; instead each data variable keeps Info records for its last
 ///    write (WriteInfo) and last read per thread since that write
@@ -15,13 +16,33 @@
 ///  * *short-circuit checks* (Section 5.1): (1) both accesses transactional,
 ///    (2) same thread, (3) a lock held at the previous access is held by the
 ///    current thread, and a thread-filtered fast walk before the full walk;
-///  * per-variable serialization locks KL(o,d);
+///  * per-variable serialization locks KL(o,d), realized as a fixed-size
+///    striped lock table;
 ///  * reference-counted cells with garbage collection of the list prefix and
 ///    *partially-eager lockset evaluation* (Section 5.4) that advances old
 ///    Info records to a later position so long prefixes can be trimmed;
 ///  * transaction commits (Section 5.3): the commit(R,W) event enters the
 ///    event list, then every variable in R and W is checked like a regular
 ///    access with the xact flag set.
+///
+/// Concurrency architecture (see DESIGN.md §6 and §10 for the invariants):
+///
+///  * Appends are lock-free: a cell's sequence number is derived from its
+///    predecessor and published by the linking CAS (release); `Last` is a
+///    monotone hint swung by CAS after linking.
+///  * Readers (access checks, window walks, commit anchoring) run inside an
+///    *epoch section*: a per-thread slot publishes the global epoch on entry
+///    (seq_cst) and zero on exit. No global lock is taken on the hot path.
+///  * Cell reclamation is epoch-based: the collector snapshots `Last`,
+///    bumps the global epoch, waits until every slot is quiescent or has
+///    observed the new epoch, and only then frees the unreferenced list
+///    prefix strictly before the snapshot. Sections entered after the bump
+///    can only acquire positions at or after the snapshot, so trimming can
+///    never race an in-flight window walk.
+///  * KL(o,d) is a striped mutex table: it serializes checks on the same
+///    variable (the algorithm requires this) and remains the lock under
+///    which Info records are mutated, including by the collector's
+///    partially-eager advance.
 ///
 /// Deviation from Figure 8 noted for reviewers: Figure 8 line 6 refreshes
 /// info.alock with a random lock held by the previous owner after a
@@ -67,6 +88,14 @@ struct EngineConfig {
   /// Commit-synchronization interpretation (Section 3 variants).
   TxnSyncSemantics Semantics = TxnSyncSemantics::SharedVariable;
 
+  /// Legacy PR-1 locking discipline: serialize every event-list append
+  /// behind one global mutex and every check behind a global reader/writer
+  /// lock (shared for accesses, exclusive for collection). Kept as the
+  /// baseline for the scaling comparison (bench_scaling) and as a
+  /// conservative fallback; the default is the lock-free append with
+  /// epoch-based reclamation.
+  bool LegacyGlobalLocks = false;
+
   /// Resource governor hard caps (0 = unlimited). When a cap is hit the
   /// engine climbs the degradation ladder instead of growing: (1) forced
   /// GC + partially-eager advance, (2) coarsening of old Info records to
@@ -99,6 +128,8 @@ struct EngineStats {
   uint64_t DegradationEvents = 0; ///< governor ladder rungs fired
   uint64_t DegradedVars = 0;      ///< variables disabled by the governor
   uint64_t ForcedGcs = 0;         ///< collections forced by caps / OOM
+  uint64_t AppendRetries = 0;     ///< tail-CAS retries (append contention)
+  uint64_t GraceWaits = 0;        ///< epoch grace periods awaited by GC
 
   /// Fraction of happens-before pair checks resolved by the *constant-time*
   /// short circuits (the paper's Table 1 metric); the rest required lockset
@@ -113,7 +144,7 @@ struct EngineStats {
 };
 
 /// The optimized Goldilocks detector. All hooks are thread-safe; data access
-/// hooks for one variable are serialized by that variable's KL lock.
+/// hooks for one variable are serialized by that variable's KL stripe.
 class GoldilocksEngine {
 public:
   explicit GoldilocksEngine(EngineConfig C = EngineConfig());
@@ -191,6 +222,8 @@ private:
   struct VarState;
   struct ThreadState;
   struct Shard;
+  class ReadGuard;
+  friend class ReadGuard;
 
   /// \p PosOverride (used by commit replays) anchors the new Info and the
   /// check window at the cell that immediately precedes the commit's own
@@ -199,8 +232,8 @@ private:
   std::optional<RaceReport> accessImpl(ThreadId T, VarId V, bool IsWrite,
                                        bool Xact, Cell *PosOverride = nullptr,
                                        const CommitSets *SelfCommit = nullptr);
-  /// The throwing core of accessImpl; runs under the variable's KL with
-  /// shared GcMu held. accessImpl catches bad_alloc around it.
+  /// The throwing core of accessImpl; runs under the variable's KL stripe
+  /// inside the caller's epoch section. accessImpl catches bad_alloc.
   std::optional<RaceReport> accessLocked(ThreadId T, VarId V, bool IsWrite,
                                          bool Xact, Cell *PosOverride,
                                          const CommitSets *SelfCommit);
@@ -218,13 +251,26 @@ private:
                   const CommitSets *SelfCommit);
 
   void enqueue(SyncEvent E, std::unique_ptr<CommitSets> Owned = nullptr);
+  /// Lock-free tail append: derives the cell's Seq from its predecessor,
+  /// publishes it with the linking CAS and swings the monotone Last hint.
+  void appendCell(Cell *C);
   VarState &varState(VarId V);
   ThreadState &threadState(ThreadId T);
+  std::mutex &klFor(VarId V) const;
   void retainCell(Cell *C);
   void releaseCell(Cell *C);
   void dropInfo(Info &I);
   void installInfo(Info &Slot, Info &&NI);
   void maybeCollect();
+  /// The body of collectGarbage(); requires GcRunMu held by the caller.
+  void runCollectionLocked();
+
+  // Epoch-based reclamation.
+  int claimSlot();
+  /// Bumps the global epoch and blocks until every epoch slot is quiescent
+  /// or has observed the new epoch, then flushes overflow readers. After it
+  /// returns, no reader section entered before the call is still running.
+  void waitForReaders();
 
   // Resource governor (see EngineConfig cap comments and DESIGN.md).
   size_t approxBytes() const;
@@ -233,7 +279,8 @@ private:
   void noteDegradationLevel(unsigned Level);
   void markGloballyDegraded();
   /// Ladder for event-list pressure: forced GC, then coarsening, then
-  /// disabling variables that still pin cells. Callers must not hold GcMu.
+  /// disabling variables that still pin cells. Callers must not be inside
+  /// an epoch section or hold GcRunMu.
   void degradeForCells();
   /// Rung 2: advances every Info record to the list tail (replaying the
   /// lockset rules, so precision is preserved) and trims the prefix.
@@ -242,9 +289,10 @@ private:
   /// cells (only possible after a failed advance), then trims again.
   void disablePinnedVars();
   /// Rung 3 for infos: disables the variables with the oldest records
-  /// until the Info budget has room again. Requires shared GcMu, no KL.
+  /// until the Info budget has room again. Runs inside the caller's epoch
+  /// section, before the variable's KL stripe is taken.
   void enforceInfoBudget(VarId Current);
-  /// Marks \p St degraded and drops its records. Requires St.KL held.
+  /// Marks \p St degraded and drops its records. Requires St's KL held.
   void degradeVarLocked(VarState &St);
   /// bad_alloc fallback for a data access that could not be recorded: the
   /// variable's future verdicts would be wrong, so degrade it.
@@ -254,28 +302,60 @@ private:
   Cell *pendingAnchorBound(Cell *Boundary) const;
   /// Advances every Info record to \p Boundary (clamped by pending commit
   /// anchors), replaying the lockset rules over the skipped window.
-  /// Requires exclusive GcMu.
+  /// Requires GcRunMu (so the prefix cannot be trimmed underneath it);
+  /// Info mutation is covered by each variable's KL stripe.
   void advanceInfosLocked(Cell *Boundary);
-  /// Frees the unreferenced list prefix. Requires exclusive GcMu.
+  /// Frees the unreferenced list prefix strictly before a snapshot of
+  /// Last, after an epoch grace period. Requires GcRunMu.
   void trimUnreferencedPrefix();
 
   EngineConfig Cfg;
 
-  // Synchronization event list. Cells are appended under ListMu and freed
-  // only under exclusive GcMu, so walks under shared GcMu are safe.
-  mutable std::shared_mutex GcMu;
-  mutable std::mutex ListMu;
+  /// Monotonically increasing engine identity; lets the thread-local epoch
+  /// slot cache survive engines being destroyed and their addresses reused.
+  const uint64_t Gen;
+
+  // Synchronization event list. Head is only moved by the collector (under
+  // GcRunMu); Last is a monotone hint to a linked cell.
   Cell *Head = nullptr;                 // oldest retained cell (sentinel)
-  std::atomic<Cell *> Last{nullptr};    // most recently appended cell
+  std::atomic<Cell *> Last{nullptr};    // recently appended cell (hint)
   std::atomic<size_t> ListLen{0};
-  uint64_t NextSeq = 1;
+
+  // Epoch-based reclamation state.
+  static constexpr unsigned NumEpochSlots = 512;
+  struct alignas(64) EpochSlot {
+    std::atomic<uint64_t> E{0}; ///< 0 = quiescent, else observed epoch
+  };
+  std::unique_ptr<EpochSlot[]> EpochSlots;
+  std::atomic<uint64_t> GlobalEpoch{2};
+  std::atomic<unsigned> SlotsClaimed{0};
+  /// Readers that could not claim a slot (more than NumEpochSlots OS
+  /// threads, or a nested section) hold this shared; the collector flushes
+  /// them with a brief exclusive acquisition after the epoch scan.
+  mutable std::shared_mutex FallbackMu;
+  /// Serializes collection / coarsening / rung-3 passes.
+  std::mutex GcRunMu;
+
+  // Legacy global-lock discipline (EngineConfig::LegacyGlobalLocks).
+  mutable std::shared_mutex LegacyMu;
+  std::mutex LegacyListMu;
+
+  // Per-variable serialization locks KL(o,d): a fixed-size striped table.
+  // Two variables may share a stripe; that only costs parallelism, never
+  // correctness (the stripe is a superset of the per-variable lock).
+  static constexpr unsigned NumKlStripes = 256;
+  struct alignas(64) KlStripe {
+    std::mutex Mu;
+  };
+  mutable std::unique_ptr<KlStripe[]> KlStripes;
 
   // Variable states, sharded to reduce map contention.
-  static constexpr unsigned NumShards = 16;
+  static constexpr unsigned NumShards = 64;
   std::unique_ptr<Shard[]> Shards;
 
-  // Per-thread lock stacks for the alock short circuit.
-  mutable std::mutex ThreadsMu;
+  // Per-thread lock stacks for the alock short circuit. Lookups are
+  // shared; only a first-seen thread takes the exclusive path.
+  mutable std::shared_mutex ThreadsMu;
   std::unordered_map<ThreadId, std::unique_ptr<ThreadState>> Threads;
 
   // Resource governor accounting (relaxed atomics; exact values are only

@@ -40,20 +40,24 @@ struct EngineHealth {
   uint64_t DegradationEvents = 0;
   uint64_t DegradedVars = 0;    ///< variables ever disabled by the governor
   uint64_t ForcedGcs = 0;
+  uint64_t GraceWaits = 0;      ///< epoch grace periods awaited by GC
+  uint64_t AppendRetries = 0;   ///< lock-free tail-CAS retries (contention)
 
   /// One-line render for logs and the CLI.
   std::string str() const {
-    char Buf[256];
+    char Buf[320];
     std::snprintf(Buf, sizeof(Buf),
                   "cells=%zu (hw %zu) infos=%zu (hw %zu) vars=%zu "
                   "~bytes=%zu level=%u%s degradations=%llu degraded-vars=%llu "
-                  "forced-gcs=%llu",
+                  "forced-gcs=%llu grace-waits=%llu append-retries=%llu",
                   EventListLength, EventListHighWater, InfoRecords,
                   InfoHighWater, TrackedVars, ApproxBytes, DegradationLevel,
                   GloballyDegraded ? " GLOBAL-DEGRADED" : "",
                   static_cast<unsigned long long>(DegradationEvents),
                   static_cast<unsigned long long>(DegradedVars),
-                  static_cast<unsigned long long>(ForcedGcs));
+                  static_cast<unsigned long long>(ForcedGcs),
+                  static_cast<unsigned long long>(GraceWaits),
+                  static_cast<unsigned long long>(AppendRetries));
     return Buf;
   }
 };

@@ -32,19 +32,19 @@ void Transaction::noteWrite(VarId V, uint64_t OldValue) {
 }
 
 Transaction *TransactionManager::active(ThreadId T) {
-  std::lock_guard<std::mutex> L(Mu);
+  std::shared_lock<std::shared_mutex> L(Mu);
   auto It = Active.find(T);
   return It == Active.end() ? nullptr : It->second.get();
 }
 
 const Transaction *TransactionManager::active(ThreadId T) const {
-  std::lock_guard<std::mutex> L(Mu);
+  std::shared_lock<std::shared_mutex> L(Mu);
   auto It = Active.find(T);
   return It == Active.end() ? nullptr : It->second.get();
 }
 
 bool TransactionManager::begin(ThreadId T) {
-  std::lock_guard<std::mutex> L(Mu);
+  std::lock_guard<std::shared_mutex> L(Mu);
   auto &Slot = Active[T];
   if (Slot)
     return false; // no nesting
@@ -99,7 +99,7 @@ bool TransactionManager::commit(
     ThreadId T, const std::function<void(const CommitSets &)> &AtCommitPoint) {
   std::unique_ptr<Transaction> Txn;
   {
-    std::lock_guard<std::mutex> L(Mu);
+    std::lock_guard<std::shared_mutex> L(Mu);
     auto It = Active.find(T);
     if (It == Active.end() || !It->second)
       return false;
@@ -121,7 +121,7 @@ bool TransactionManager::commit(
 void TransactionManager::abort(ThreadId T) {
   std::unique_ptr<Transaction> Txn;
   {
-    std::lock_guard<std::mutex> L(Mu);
+    std::lock_guard<std::shared_mutex> L(Mu);
     auto It = Active.find(T);
     if (It == Active.end() || !It->second)
       return;

@@ -34,6 +34,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <thread>
 #include <unordered_map>
 #include <vector>
@@ -137,7 +138,11 @@ private:
   bool ensureLocked(Transaction &Txn, ObjectId O);
 
   StmStore &Store;
-  mutable std::mutex Mu; // guards the transaction table only
+  /// Guards the transaction table only. A reader/writer lock because the
+  /// table is consulted (active()) on *every* transactional read and write:
+  /// lookups run shared and scale with threads; only begin/commit/abort
+  /// mutate the table and take it exclusively.
+  mutable std::shared_mutex Mu;
   std::unordered_map<ThreadId, std::unique_ptr<Transaction>> Active;
   std::atomic<uint64_t> Commits{0}, Aborts{0}, Reads{0}, Writes{0},
       InjectedConflicts{0};

@@ -71,6 +71,16 @@ private:
   bool checkAccess(VarId Var, const FieldDef *FD, bool SiteCheck,
                    bool IsWrite);
 
+  /// Fault injection: preempt the thread at an instrumentation point to
+  /// shake out interleavings (off: one relaxed load + branch). Placed at
+  /// every detector binding site — data accesses, monitor ops, volatile
+  /// accesses — so the chaos/concurrency suites can perturb the schedule
+  /// exactly where the VM hands control to the detector.
+  void preemptPoint() {
+    if (failpoint(Failpoint::VmPreempt))
+      std::this_thread::yield();
+  }
+
   /// Restores the AtomicBegin snapshot and restarts the transaction.
   bool restartTxn();
 
@@ -160,10 +170,7 @@ const FieldDef *Interp::fieldDefOf(const ObjectRec &R, uint32_t Field) const {
 bool Interp::checkAccess(VarId Var, const FieldDef *FD, bool SiteCheck,
                          bool IsWrite) {
   ++Local.DataAccesses;
-  // Fault injection: preempt the thread at the instrumentation point to
-  // shake out interleavings (off: one relaxed load + branch).
-  if (failpoint(Failpoint::VmPreempt))
-    std::this_thread::yield();
+  preemptPoint();
   RaceDetector *D = V.Cfg.Detector;
   if (!D)
     return true;
@@ -279,8 +286,9 @@ int64_t Interp::run(FuncId Entry, const std::vector<int64_t> &Args) {
       reg(I.A) = reg(I.B) - reg(I.C);
       break;
     case Opcode::MulI:
-      reg(I.A) = static_cast<uint64_t>(static_cast<int64_t>(reg(I.B)) *
-                                       static_cast<int64_t>(reg(I.C)));
+      // Java long arithmetic wraps on overflow; multiply unsigned (bitwise
+      // identical in two's complement, defined behaviour in C++).
+      reg(I.A) = reg(I.B) * reg(I.C);
       break;
     case Opcode::DivI: {
       int64_t D = static_cast<int64_t>(reg(I.C));
@@ -288,8 +296,10 @@ int64_t Interp::run(FuncId Entry, const std::vector<int64_t> &Args) {
         raise(VmException::DivByZero);
         break;
       }
-      reg(I.A) =
-          static_cast<uint64_t>(static_cast<int64_t>(reg(I.B)) / D);
+      int64_t N = static_cast<int64_t>(reg(I.B));
+      // Java: Long.MIN_VALUE / -1 wraps back to Long.MIN_VALUE.
+      reg(I.A) = (D == -1) ? static_cast<uint64_t>(0) - reg(I.B)
+                           : static_cast<uint64_t>(N / D);
       break;
     }
     case Opcode::ModI: {
@@ -298,12 +308,15 @@ int64_t Interp::run(FuncId Entry, const std::vector<int64_t> &Args) {
         raise(VmException::DivByZero);
         break;
       }
-      reg(I.A) =
-          static_cast<uint64_t>(static_cast<int64_t>(reg(I.B)) % D);
+      // Java: Long.MIN_VALUE % -1 is 0 (the % would trap on x86 and is UB
+      // in C++ even though the mathematical remainder is representable).
+      reg(I.A) = (D == -1) ? 0
+                           : static_cast<uint64_t>(
+                                 static_cast<int64_t>(reg(I.B)) % D);
       break;
     }
     case Opcode::NegI:
-      reg(I.A) = static_cast<uint64_t>(-static_cast<int64_t>(reg(I.B)));
+      reg(I.A) = static_cast<uint64_t>(0) - reg(I.B);
       break;
 
     case Opcode::AddD:
@@ -435,6 +448,7 @@ int64_t Interp::run(FuncId Entry, const std::vector<int64_t> &Args) {
           break;
         }
         ++Local.VolatileAccesses;
+        preemptPoint();
         if (I.Op == Opcode::GetField) {
           // Load first, then record the event: the event-list position of
           // the read is then guaranteed to follow the write it observed.
@@ -505,6 +519,7 @@ int64_t Interp::run(FuncId Entry, const std::vector<int64_t> &Args) {
           break;
         }
         ++Local.VolatileAccesses;
+        preemptPoint();
         if (I.Op == Opcode::GetG) {
           uint64_t Val = R.Slots[I.Idx].load(std::memory_order_seq_cst);
           if (V.Cfg.Detector)
@@ -538,6 +553,7 @@ int64_t Interp::run(FuncId Entry, const std::vector<int64_t> &Args) {
         break;
       }
       ++Local.MonitorOps;
+      preemptPoint();
       uint32_t Depth = V.TheHeap.get(O).Mon.enter(Tid);
       // Only the outermost entry is a JMM acquire; the event is recorded
       // after the lock is physically held so its list position is sound.
@@ -552,6 +568,7 @@ int64_t Interp::run(FuncId Entry, const std::vector<int64_t> &Args) {
         break;
       }
       ++Local.MonitorOps;
+      preemptPoint();
       Monitor &M = V.TheHeap.get(O).Mon;
       if (M.owner() != Tid) {
         raise(VmException::IllegalMonitor);

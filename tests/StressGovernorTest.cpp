@@ -1,0 +1,204 @@
+//===- tests/StressGovernorTest.cpp - Governor under real concurrency -----===//
+///
+/// Stress tests for the resource governor's degradation ladder and the
+/// failpoint framework with *concurrent* appenders. PR 1 established the
+/// ladder's single-threaded contract (GovernorTest, ChaosTest); these tests
+/// establish the multi-core one:
+///
+///  - hard caps may transiently overshoot by at most one cell / one Info
+///    record per thread (each appender can pass the budget gate once before
+///    any of them links), never more;
+///  - at quiescence the accounting identities hold exactly:
+///    eventListLength == 1 + CellsAllocated - CellsFreed, the health
+///    snapshot agrees with the live counters, and high waters dominate;
+///  - injected allocation failures and GC stalls under concurrency degrade
+///    precisely: a race-free workload never produces a report, no matter
+///    which allocations fail (soundness of the "never false alarms" side of
+///    the governor contract survives parallelism).
+///
+/// None of the workloads commit transactions: a pending commit anchor pins
+/// the walk window by design, which would legitimately unbound the cell
+/// overshoot and turn the cap assertions into flakes.
+///
+//===----------------------------------------------------------------------===//
+
+#include "detectors/GoldilocksDetectors.h"
+#include "support/Failpoints.h"
+
+#include "gtest/gtest.h"
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+using namespace gold;
+
+namespace {
+
+/// Quiescent-state accounting identities every run must restore.
+void checkQuiescentAccounting(GoldilocksEngine &E) {
+  EngineStats St = E.stats();
+  EngineHealth H = E.health();
+  EXPECT_EQ(E.eventListLength(), 1 + St.CellsAllocated - St.CellsFreed);
+  EXPECT_EQ(H.EventListLength, E.eventListLength());
+  EXPECT_EQ(H.InfoRecords, E.infoRecordCount());
+  EXPECT_GE(H.EventListHighWater, H.EventListLength);
+  EXPECT_GE(H.InfoHighWater, H.InfoRecords);
+  if (H.GloballyDegraded) {
+    EXPECT_EQ(H.DegradationLevel, 3u);
+  }
+}
+
+/// Per-thread race-free traffic: critical sections on the thread's own lock
+/// plus private data. Any report from this workload is a false alarm.
+void hammerRaceFree(GoldilocksDetector &D, ThreadId Tid, unsigned Iters,
+                    unsigned FieldsPerObj, std::atomic<uint64_t> &Reports) {
+  ObjectId Lock = 100 + Tid;
+  ObjectId Priv = 200 + Tid;
+  for (unsigned I = 0; I != Iters; ++I) {
+    D.onAcquire(Tid, Lock);
+    VarId V{Priv, I % FieldsPerObj};
+    if (D.onWrite(Tid, V))
+      Reports.fetch_add(1, std::memory_order_relaxed);
+    if (D.onRead(Tid, V))
+      Reports.fetch_add(1, std::memory_order_relaxed);
+    D.onRelease(Tid, Lock);
+  }
+  D.onTerminate(Tid);
+}
+
+struct RunResult {
+  uint64_t FalseAlarms = 0;
+};
+
+/// Allocates every object up front (single-threaded, so the alloc-reset
+/// rule cannot re-enable a governor-degraded variable mid-run and the
+/// DegradedVars statistic stays comparable to degradedVars().size()),
+/// forks N workers, joins them.
+RunResult runRaceFreeStress(GoldilocksDetector &D, unsigned NumThreads,
+                            unsigned Iters, unsigned FieldsPerObj) {
+  std::atomic<uint64_t> Reports{0};
+  for (unsigned I = 1; I <= NumThreads; ++I) {
+    D.onAlloc(0, 100 + I, 1);
+    D.onAlloc(0, 200 + I, FieldsPerObj);
+  }
+  std::vector<std::thread> Threads;
+  for (unsigned I = 1; I <= NumThreads; ++I) {
+    D.onFork(0, I);
+    Threads.emplace_back(hammerRaceFree, std::ref(D),
+                         static_cast<ThreadId>(I), Iters, FieldsPerObj,
+                         std::ref(Reports));
+  }
+  for (unsigned I = 1; I <= NumThreads; ++I) {
+    Threads[I - 1].join();
+    D.onJoin(0, I);
+  }
+  D.onTerminate(0);
+  RunResult R;
+  R.FalseAlarms = Reports.load(std::memory_order_relaxed);
+  return R;
+}
+
+// With the cell cap a fraction of the traffic, every appender keeps hitting
+// the gate. The gate is check-then-link, so N threads can each slip one
+// cell past it — but never more than one per thread.
+TEST(StressGovernorTest, CellCapOvershootBoundedByThreadCount) {
+  constexpr unsigned N = 8;
+  EngineConfig C;
+  C.MaxCells = 128;
+  C.GcThreshold = 64;
+  GoldilocksDetector D(C);
+
+  RunResult R = runRaceFreeStress(D, N, /*Iters=*/1500, /*FieldsPerObj=*/4);
+  EXPECT_EQ(R.FalseAlarms, 0u);
+
+  EngineHealth H = D.engine().health();
+  EXPECT_LE(H.EventListHighWater, C.MaxCells + N)
+      << "cap overshoot exceeded one cell per thread";
+  EXPECT_GT(D.engine().stats().ForcedGcs, 0u)
+      << "cap never forced a collection — workload too small";
+  EXPECT_GE(H.DegradationLevel, 1u);
+  checkQuiescentAccounting(D.engine());
+}
+
+// Same discipline for the Info-record cap: many more live variables than
+// budget, so enforceInfoBudget continually picks victims; the high water
+// may exceed the cap by at most one record per concurrent installer, and
+// the DegradedVars counter must agree with the degraded set at quiescence.
+TEST(StressGovernorTest, InfoCapOvershootBoundedAndAccounted) {
+  constexpr unsigned N = 6;
+  EngineConfig C;
+  C.MaxInfoRecords = 32;
+  C.GcThreshold = 128;
+  GoldilocksDetector D(C);
+
+  RunResult R = runRaceFreeStress(D, N, /*Iters=*/1200, /*FieldsPerObj=*/64);
+  EXPECT_EQ(R.FalseAlarms, 0u);
+
+  GoldilocksEngine &E = D.engine();
+  EngineHealth H = E.health();
+  EXPECT_LE(H.InfoHighWater, C.MaxInfoRecords + N)
+      << "info cap overshoot exceeded one record per thread";
+  EXPECT_GT(H.DegradedVars, 0u) << "cap never degraded a variable";
+  EXPECT_EQ(H.DegradedVars, E.degradedVars().size())
+      << "degradation statistic disagrees with the degraded set";
+  checkQuiescentAccounting(E);
+}
+
+// Fault injection under concurrency: cell and Info allocations fail at a
+// few permille, collections stall while appenders keep running. The engine
+// must absorb all of it — no exception escapes, no false alarm is reported
+// (failed appends degrade the engine, they never silently drop a
+// synchronization edge while checks continue), and the books balance.
+TEST(StressGovernorTest, FailpointChaosUnderConcurrentAppenders) {
+  constexpr unsigned N = 8;
+  FailpointConfig FC;
+  FC.Seed = 7;
+  FC.rate(Failpoint::EngineCellAlloc, 3000);
+  FC.rate(Failpoint::EngineInfoAlloc, 1500);
+  FC.rate(Failpoint::EngineGcStall, 20000);
+  FC.StallMicros = 50;
+  FailpointScope Scope(FC);
+
+  EngineConfig C;
+  C.MaxCells = 256;
+  C.MaxInfoRecords = 64;
+  C.GcThreshold = 64;
+  GoldilocksDetector D(C);
+
+  RunResult R = runRaceFreeStress(D, N, /*Iters=*/2000, /*FieldsPerObj=*/8);
+  EXPECT_EQ(R.FalseAlarms, 0u)
+      << "injected faults caused a false alarm on a race-free workload";
+
+  Failpoints &FP = Failpoints::instance();
+  EXPECT_GT(FP.evaluations(Failpoint::EngineCellAlloc), 0u);
+  EXPECT_GT(FP.fires(Failpoint::EngineCellAlloc), 0u)
+      << "cell-alloc failpoint never fired — injection rate too low";
+
+  EngineHealth H = D.engine().health();
+  EXPECT_LE(H.EventListHighWater, C.MaxCells + N);
+  checkQuiescentAccounting(D.engine());
+}
+
+// The governor ladder and the grace protocol interact: every trim waits for
+// in-flight readers. Run enough cap-forced collections concurrently with
+// appenders to prove the handshake actually executes (GraceWaits advances)
+// and terminates (the test finishes).
+TEST(StressGovernorTest, GracePeriodsAdvanceUnderLoad) {
+  constexpr unsigned N = 4;
+  EngineConfig C;
+  C.MaxCells = 96;
+  C.GcThreshold = 48;
+  GoldilocksDetector D(C);
+
+  RunResult R = runRaceFreeStress(D, N, /*Iters=*/1000, /*FieldsPerObj=*/4);
+  EXPECT_EQ(R.FalseAlarms, 0u);
+
+  EngineHealth H = D.engine().health();
+  EXPECT_GT(H.GraceWaits, 0u) << "GC never waited out an epoch";
+  EXPECT_EQ(H.GraceWaits, D.engine().stats().GraceWaits);
+  checkQuiescentAccounting(D.engine());
+}
+
+} // namespace

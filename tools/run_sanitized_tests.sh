@@ -16,11 +16,19 @@ SELECT="${1:-all}"
 [ "$#" -gt 0 ] && shift
 CTEST_ARGS=("$@")
 
+# Accept the short spellings too (the CI matrix uses them).
+case "$SELECT" in
+  asan) SELECT=address ;;
+  tsan) SELECT=thread ;;
+  ubsan) SELECT=undefined ;;
+esac
+
 case "$SELECT" in
   all) SANITIZERS=(address undefined thread) ;;
   address|thread|undefined) SANITIZERS=("$SELECT") ;;
   *)
-    echo "usage: $0 [all|address|thread|undefined] [ctest args...]" >&2
+    echo "usage: $0 [all|address|asan|thread|tsan|undefined|ubsan]" \
+         "[ctest args...]" >&2
     exit 2
     ;;
 esac
