@@ -1,0 +1,84 @@
+//===- bench/bench_watchdog_overhead.cpp - Supervision cost --------------===//
+///
+/// Measures what the supervision layer costs the engine's hot paths. The
+/// layer's contract is that detection pays nothing until something goes
+/// wrong: the watchdog samples health counters off to the side (relaxed
+/// atomic reads), so replay with a running watchdog should be
+/// indistinguishable from replay without one, at any reasonable sample
+/// period. The bounded-grace variant shows that the deadline machinery
+/// itself (deadline arithmetic per grace wait) is also free when graces
+/// complete instantly.
+///
+//===----------------------------------------------------------------------===//
+
+#include "detectors/GoldilocksDetectors.h"
+#include "event/RandomTrace.h"
+#include "support/Supervisor.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace gold;
+
+namespace {
+
+Trace mixedTrace() {
+  RandomTraceParams P;
+  P.Seed = 7;
+  P.NumThreads = 6;
+  P.NumObjects = 8;
+  P.StepsPerThread = 250;
+  P.WBeginTxn = 1;
+  return generateRandomTrace(P);
+}
+
+void BM_NoSupervisor(benchmark::State &State) {
+  Trace T = mixedTrace();
+  for (auto _ : State) {
+    GoldilocksDetector D;
+    benchmark::DoNotOptimize(D.runTrace(T));
+  }
+}
+BENCHMARK(BM_NoSupervisor);
+
+void BM_UnboundedGrace(benchmark::State &State) {
+  Trace T = mixedTrace();
+  EngineConfig C;
+  C.GraceDeadlineMicros = 0; // the pre-supervision wait-forever protocol
+  for (auto _ : State) {
+    GoldilocksDetector D(C);
+    benchmark::DoNotOptimize(D.runTrace(T));
+  }
+}
+BENCHMARK(BM_UnboundedGrace);
+
+/// Watchdog running at the sample period given by the benchmark argument
+/// (milliseconds) while the same replay runs on the main thread.
+void BM_WatchdogRunning(benchmark::State &State) {
+  Trace T = mixedTrace();
+  for (auto _ : State) {
+    GoldilocksDetector D;
+    SupervisorConfig SC;
+    SC.SamplePeriodMillis = static_cast<unsigned>(State.range(0));
+    Supervisor Sup(superviseEngine(D.engine()), SC);
+    Sup.start();
+    benchmark::DoNotOptimize(D.runTrace(T));
+    Sup.stop();
+  }
+}
+BENCHMARK(BM_WatchdogRunning)->Arg(50)->Arg(5)->Arg(1);
+
+/// Worst case: every sample escalates nothing but still walks the whole
+/// health snapshot. poll() in a tight loop bounds the per-sample cost.
+void BM_PollCost(benchmark::State &State) {
+  GoldilocksDetector D;
+  Trace T = mixedTrace();
+  D.runTrace(T); // populate the counters being sampled
+  Supervisor Sup(superviseEngine(D.engine()));
+  for (auto _ : State)
+    Sup.poll();
+}
+BENCHMARK(BM_PollCost);
+
+} // namespace
+
+BENCHMARK_MAIN();

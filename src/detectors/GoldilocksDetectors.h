@@ -38,6 +38,7 @@ public:
   void onFork(ThreadId T, ThreadId Child) override { E.onFork(T, Child); }
   void onJoin(ThreadId T, ThreadId Child) override { E.onJoin(T, Child); }
   void onTerminate(ThreadId T) override { E.onTerminate(T); }
+  void onThreadExit(ThreadId T) override { E.deregisterThread(T); }
   std::vector<RaceReport> onCommit(ThreadId T, const CommitSets &CS) override {
     return E.onCommit(T, CS);
   }

@@ -40,6 +40,13 @@ public:
   virtual void onJoin(ThreadId T, ThreadId Child) = 0;
   virtual void onTerminate(ThreadId) {}
 
+  /// Thread-exit notification: the OS thread that executed \p T is done
+  /// calling into the detector. Distinct from onTerminate (a *trace* event
+  /// that may be replayed by any driver thread): this is the lifecycle
+  /// hook a supervision-aware detector uses to release per-OS-thread
+  /// resources (e.g. the Goldilocks epoch slot). Default: nothing.
+  virtual void onThreadExit(ThreadId T) { (void)T; }
+
   /// Transaction commit with its (R, W) sets; may report several races.
   virtual std::vector<RaceReport> onCommit(ThreadId T,
                                            const CommitSets &CS) = 0;

@@ -88,130 +88,133 @@ bool parseVar(const std::string &Tok, VarId &Out) {
 
 } // namespace
 
+bool TraceParser::feedLine(const std::string &Line) {
+  ++LineNo;
+  if (Line.empty() || Line[0] == '#')
+    return true;
+  std::istringstream Ls(Line);
+  std::string Kind;
+  Ls >> Kind;
+  if (Kind.empty())
+    return true;
+
+  // Every builder mutation happens after the whole line validated, so a
+  // rejected line leaves the trace (and the fork registry) untouched —
+  // that is the property --resume-on-error relies on to skip lines.
+  auto Fail = [&](const std::string &Msg) {
+    Err = Msg;
+    return false;
+  };
+  auto ReadU32 = [&](uint32_t &V, const char *What) {
+    std::string Tok;
+    if (!(Ls >> Tok)) {
+      Err = "missing " + std::string(What);
+      return false;
+    }
+    if (!parseU32(Tok, V)) {
+      Err = "bad " + std::string(What) + " '" + Tok +
+            "' (want a decimal uint32)";
+      return false;
+    }
+    return true;
+  };
+  auto NoTrailing = [&] {
+    std::string Extra;
+    if (Ls >> Extra) {
+      Err = "trailing token '" + Extra + "' after " + Kind;
+      return false;
+    }
+    return true;
+  };
+  auto FailHere = [&] { return Fail(Kind + ": " + Err); };
+
+  uint32_t T = 0, A = 0, Bv = 0;
+  if (Kind == "alloc") {
+    if (!ReadU32(T, "<tid>") || !ReadU32(A, "<obj>") ||
+        !ReadU32(Bv, "<fieldcount>") || !NoTrailing())
+      return FailHere();
+    B.alloc(T, A, Bv);
+  } else if (Kind == "read" || Kind == "write" || Kind == "vread" ||
+             Kind == "vwrite") {
+    if (!ReadU32(T, "<tid>") || !ReadU32(A, "<obj>") ||
+        !ReadU32(Bv, "<field>") || !NoTrailing())
+      return FailHere();
+    if (Kind == "read")
+      B.read(T, A, Bv);
+    else if (Kind == "write")
+      B.write(T, A, Bv);
+    else if (Kind == "vread")
+      B.volRead(T, A, Bv);
+    else
+      B.volWrite(T, A, Bv);
+  } else if (Kind == "acq" || Kind == "rel") {
+    if (!ReadU32(T, "<tid>") || !ReadU32(A, "<obj>") || !NoTrailing())
+      return FailHere();
+    if (Kind == "acq")
+      B.acq(T, A);
+    else
+      B.rel(T, A);
+  } else if (Kind == "fork" || Kind == "join") {
+    if (!ReadU32(T, "<tid>") || !ReadU32(A, "<child>") || !NoTrailing())
+      return FailHere();
+    if (A == T)
+      return Fail(Kind + ": thread " + std::to_string(T) + " cannot " +
+                  Kind + " itself");
+    if (Kind == "fork") {
+      if (A == 0)
+        return Fail("fork: thread 0 is the implicit main thread");
+      if (!Forked.insert(A).second)
+        return Fail("fork: thread " + std::to_string(A) +
+                    " was already forked");
+      B.fork(T, A);
+    } else {
+      B.join(T, A);
+    }
+  } else if (Kind == "term") {
+    if (!ReadU32(T, "<tid>") || !NoTrailing())
+      return FailHere();
+    B.terminate(T);
+  } else if (Kind == "commit") {
+    if (!ReadU32(T, "<tid>"))
+      return FailHere();
+    std::string Tok;
+    if (!(Ls >> Tok) || Tok != "R")
+      return Fail("commit expects 'R' after the thread id");
+    std::vector<VarId> Reads, Writes;
+    bool InWrites = false;
+    while (Ls >> Tok) {
+      if (Tok == "W") {
+        if (InWrites)
+          return Fail("duplicate 'W' marker");
+        InWrites = true;
+        continue;
+      }
+      VarId V;
+      if (!parseVar(Tok, V))
+        return Fail("bad variable token '" + Tok + "' (want obj:field)");
+      (InWrites ? Writes : Reads).push_back(V);
+    }
+    if (!InWrites)
+      return Fail("commit is missing the 'W' marker");
+    B.commit(T, std::move(Reads), std::move(Writes));
+  } else {
+    return Fail("unknown action kind '" + Kind + "'");
+  }
+  return true;
+}
+
 bool gold::parseTrace(const std::string &Text, Trace &Out,
                       std::string &Error) {
   Out = Trace();
-  TraceBuilder B;
+  TraceParser P;
   std::istringstream In(Text);
   std::string Line;
-  size_t LineNo = 0;
-  auto Fail = [&](const std::string &Msg) {
-    Error = "line " + std::to_string(LineNo) + ": " + Msg;
-    return false;
-  };
-
-  // Thread 0 (main) exists implicitly; every other thread must be forked
-  // exactly once before it acts, which is what makes fork/join edges in the
-  // replayed trace meaningful.
-  std::set<uint32_t> Forked;
-
-  while (std::getline(In, Line)) {
-    ++LineNo;
-    if (Line.empty() || Line[0] == '#')
-      continue;
-    std::istringstream Ls(Line);
-    std::string Kind;
-    Ls >> Kind;
-    if (Kind.empty())
-      continue;
-
-    auto ReadU32 = [&](uint32_t &V, const char *What) {
-      std::string Tok;
-      if (!(Ls >> Tok)) {
-        Error = "missing " + std::string(What);
-        return false;
-      }
-      if (!parseU32(Tok, V)) {
-        Error = "bad " + std::string(What) + " '" + Tok +
-                "' (want a decimal uint32)";
-        return false;
-      }
-      return true;
-    };
-    auto NoTrailing = [&] {
-      std::string Extra;
-      if (Ls >> Extra) {
-        Error = "trailing token '" + Extra + "' after " + Kind;
-        return false;
-      }
-      return true;
-    };
-    auto FailHere = [&] { return Fail(Kind + ": " + Error); };
-
-    uint32_t T = 0, A = 0, Bv = 0;
-    if (Kind == "alloc") {
-      if (!ReadU32(T, "<tid>") || !ReadU32(A, "<obj>") ||
-          !ReadU32(Bv, "<fieldcount>") || !NoTrailing())
-        return FailHere();
-      B.alloc(T, A, Bv);
-    } else if (Kind == "read" || Kind == "write" || Kind == "vread" ||
-               Kind == "vwrite") {
-      if (!ReadU32(T, "<tid>") || !ReadU32(A, "<obj>") ||
-          !ReadU32(Bv, "<field>") || !NoTrailing())
-        return FailHere();
-      if (Kind == "read")
-        B.read(T, A, Bv);
-      else if (Kind == "write")
-        B.write(T, A, Bv);
-      else if (Kind == "vread")
-        B.volRead(T, A, Bv);
-      else
-        B.volWrite(T, A, Bv);
-    } else if (Kind == "acq" || Kind == "rel") {
-      if (!ReadU32(T, "<tid>") || !ReadU32(A, "<obj>") || !NoTrailing())
-        return FailHere();
-      if (Kind == "acq")
-        B.acq(T, A);
-      else
-        B.rel(T, A);
-    } else if (Kind == "fork" || Kind == "join") {
-      if (!ReadU32(T, "<tid>") || !ReadU32(A, "<child>") || !NoTrailing())
-        return FailHere();
-      if (A == T)
-        return Fail(Kind + ": thread " + std::to_string(T) +
-                    " cannot " + Kind + " itself");
-      if (Kind == "fork") {
-        if (A == 0)
-          return Fail("fork: thread 0 is the implicit main thread");
-        if (!Forked.insert(A).second)
-          return Fail("fork: thread " + std::to_string(A) +
-                      " was already forked");
-        B.fork(T, A);
-      } else {
-        B.join(T, A);
-      }
-    } else if (Kind == "term") {
-      if (!ReadU32(T, "<tid>") || !NoTrailing())
-        return FailHere();
-      B.terminate(T);
-    } else if (Kind == "commit") {
-      if (!ReadU32(T, "<tid>"))
-        return FailHere();
-      std::string Tok;
-      if (!(Ls >> Tok) || Tok != "R")
-        return Fail("commit expects 'R' after the thread id");
-      std::vector<VarId> Reads, Writes;
-      bool InWrites = false;
-      while (Ls >> Tok) {
-        if (Tok == "W") {
-          if (InWrites)
-            return Fail("duplicate 'W' marker");
-          InWrites = true;
-          continue;
-        }
-        VarId V;
-        if (!parseVar(Tok, V))
-          return Fail("bad variable token '" + Tok + "' (want obj:field)");
-        (InWrites ? Writes : Reads).push_back(V);
-      }
-      if (!InWrites)
-        return Fail("commit is missing the 'W' marker");
-      B.commit(T, std::move(Reads), std::move(Writes));
-    } else {
-      return Fail("unknown action kind '" + Kind + "'");
+  while (std::getline(In, Line))
+    if (!P.feedLine(Line)) {
+      Error = "line " + std::to_string(P.lineNo()) + ": " + P.error();
+      return false;
     }
-  }
-  Out = B.take();
+  Out = P.take();
   Error.clear();
   return true;
 }

@@ -22,12 +22,44 @@
 
 #include "event/Trace.h"
 
+#include <set>
 #include <string>
 
 namespace gold {
 
 /// Serializes \p T into the text format above.
 std::string serializeTrace(const Trace &T);
+
+/// Streaming line-at-a-time parser, so tools can ingest traces without
+/// slurping the whole file and can *skip* malformed lines: a failed
+/// feedLine() leaves the trace being built unchanged, so the caller may
+/// count the error against a budget and continue with the next line
+/// (`goldilocks-trace --resume-on-error`).
+class TraceParser {
+public:
+  /// Parses one line (without its trailing newline). Blank and '#' comment
+  /// lines succeed as no-ops. Returns false on a malformed line and
+  /// describes it in error().
+  bool feedLine(const std::string &Line);
+
+  /// 1-based count of lines fed so far (including skipped ones).
+  size_t lineNo() const { return LineNo; }
+
+  /// Description of the most recent feedLine() failure.
+  const std::string &error() const { return Err; }
+
+  /// Finishes parsing and returns the trace built from the accepted lines.
+  Trace take() { return B.take(); }
+
+private:
+  TraceBuilder B;
+  /// Thread 0 (main) exists implicitly; every other thread must be forked
+  /// exactly once before it acts, which is what makes fork/join edges in
+  /// the replayed trace meaningful.
+  std::set<uint32_t> Forked;
+  size_t LineNo = 0;
+  std::string Err;
+};
 
 /// Parses the text format. On success returns true and fills \p Out; on
 /// failure returns false and describes the problem in \p Error.

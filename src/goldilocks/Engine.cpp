@@ -3,9 +3,11 @@
 #include "goldilocks/Engine.h"
 
 #include "support/Failpoints.h"
+#include "support/Supervisor.h"
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <new>
 #include <thread>
 
@@ -74,6 +76,18 @@ struct GoldilocksEngine::ThreadState {
   /// Atomic so the collector can clamp its advance boundary on it (see
   /// pendingAnchorBound) while the owner installs/clears it.
   std::atomic<Cell *> PendingAnchor{nullptr};
+  /// Lifecycle registry flags (registerThread / deregisterThread).
+  std::atomic<bool> Registered{false};
+  std::atomic<bool> Exited{false};
+};
+
+/// One quarantine batch: \p Count cells starting at \p First whose Next
+/// links are intact (they flow through any younger batches into the live
+/// list), detached under GcRunMu after a timed-out grace period.
+struct GoldilocksEngine::QuarantineBatch {
+  Cell *First = nullptr;
+  size_t Count = 0;
+  QuarantineBatch *Next = nullptr;
 };
 
 struct GoldilocksEngine::Shard {
@@ -88,7 +102,8 @@ struct GoldilocksEngine::AtomicStats {
       CellsWalked{0}, CellsAllocated{0}, CellsFreed{0}, GcRuns{0},
       EagerAdvances{0}, Races{0}, SkippedDisabled{0}, SyncEvents{0},
       Commits{0}, DegradationEvents{0}, DegradedVars{0}, ForcedGcs{0},
-      AppendRetries{0}, GraceWaits{0};
+      AppendRetries{0}, GraceWaits{0}, GraceTimeouts{0}, CellsQuarantined{0},
+      ReclaimedDeadSlots{0}, ThreadsRegistered{0}, ThreadsDeregistered{0};
 };
 
 //===----------------------------------------------------------------------===//
@@ -101,30 +116,130 @@ namespace {
 /// entry can never alias a destroyed engine whose address was reused.
 std::atomic<uint64_t> EngineGenCounter{1};
 
-/// Small per-thread cache of (engine generation -> epoch slot index). A
-/// thread normally touches one or two engines, so four entries suffice; a
-/// miss after eviction claims a fresh slot (slots are never recycled, the
-/// array is sized for that).
+/// Small per-thread cache of (engine generation -> epoch slot index, slot
+/// generation). A thread normally touches one or two engines, so four
+/// entries suffice; a miss after eviction claims a fresh slot. Slots *are*
+/// recycled (deregistration and dead-slot reclamation bump the slot
+/// generation and free-list them), which is why the entry carries the
+/// generation the slot was handed out with: entering a slot is a CAS
+/// against exactly that generation, so a recycled slot simply rejects its
+/// former owner.
 struct SlotCacheEntry {
-  uint64_t Gen = 0;
+  uint64_t EngineGen = 0;
   int Slot = -1;
+  uint64_t SlotGen = 0;
 };
 thread_local SlotCacheEntry SlotCache[4];
 thread_local unsigned SlotCacheNext = 0;
 
 } // namespace
 
-int GoldilocksEngine::claimSlot() {
+int GoldilocksEngine::claimSlot(uint64_t &SlotGen) {
   for (const SlotCacheEntry &E : SlotCache)
-    if (E.Gen == Gen)
+    if (E.EngineGen == Gen) {
+      SlotGen = E.SlotGen;
       return E.Slot;
-  int Slot = -1;
-  unsigned Idx = SlotsClaimed.fetch_add(1, std::memory_order_relaxed);
-  if (Idx < NumEpochSlots)
-    Slot = static_cast<int>(Idx);
-  SlotCache[SlotCacheNext % 4] = {Gen, Slot};
+    }
+  uint64_t SG = 0;
+  int Slot = allocateSlot(SG);
+  SlotCache[SlotCacheNext % 4] = {Gen, Slot, SG};
   ++SlotCacheNext;
+  SlotGen = SG;
   return Slot;
+}
+
+int GoldilocksEngine::allocateSlot(uint64_t &SlotGen) {
+  for (int Attempt = 0; Attempt != 2; ++Attempt) {
+    {
+      std::lock_guard<std::mutex> L(SlotFreeMu);
+      if (!FreeSlots.empty()) {
+        int Slot = FreeSlots.back();
+        FreeSlots.pop_back();
+        SlotInFree[Slot] = 0;
+        SlotGen = EpochSlots[Slot].State.load(std::memory_order_relaxed) >>
+                  SlotEpochBits;
+        return Slot;
+      }
+    }
+    // Fresh claim, CAS-bounded so exhaustion cannot wrap the counter.
+    unsigned Cur = SlotsClaimed.load(std::memory_order_relaxed);
+    while (Cur < NumEpochSlots &&
+           !SlotsClaimed.compare_exchange_weak(Cur, Cur + 1,
+                                               std::memory_order_acq_rel)) {
+    }
+    if (Cur < NumEpochSlots) {
+      SlotGen = EpochSlots[Cur].State.load(std::memory_order_relaxed) >>
+                SlotEpochBits;
+      return static_cast<int>(Cur);
+    }
+    // Exhausted: self-heal by recycling slots of exited threads, then
+    // retry once. If nothing was reclaimable the caller falls back to the
+    // shared mutex.
+    if (Attempt == 0 && reclaimDeadSlots() == 0)
+      break;
+  }
+  SlotGen = 0;
+  return -1;
+}
+
+void GoldilocksEngine::forgetCachedSlot() {
+  for (SlotCacheEntry &E : SlotCache)
+    if (E.EngineGen == Gen)
+      E = SlotCacheEntry{};
+}
+
+void GoldilocksEngine::pushFreeSlot(int Slot) {
+  std::lock_guard<std::mutex> L(SlotFreeMu);
+  if (SlotInFree[Slot])
+    return;
+  SlotInFree[Slot] = 1;
+  FreeSlots.push_back(Slot);
+}
+
+void GoldilocksEngine::releaseCurrentSlot() {
+  for (SlotCacheEntry &E : SlotCache) {
+    if (E.EngineGen != Gen)
+      continue;
+    if (E.Slot >= 0) {
+      // Only a quiescent slot at our exact generation can be returned; a
+      // failed CAS means a reclaimer already bumped it (and owns the
+      // free-listing) — either way the cache entry must go.
+      uint64_t Expected = E.SlotGen << SlotEpochBits;
+      uint64_t Bumped = ((E.SlotGen + 1) & SlotGenMask) << SlotEpochBits;
+      if (EpochSlots[E.Slot].State.compare_exchange_strong(
+              Expected, Bumped, std::memory_order_seq_cst))
+        pushFreeSlot(E.Slot);
+    }
+    E = SlotCacheEntry{};
+  }
+}
+
+size_t GoldilocksEngine::reclaimDeadSlots() {
+  std::lock_guard<std::mutex> L(SlotFreeMu);
+  unsigned Claimed = std::min(SlotsClaimed.load(std::memory_order_acquire),
+                              NumEpochSlots);
+  size_t Reclaimed = 0;
+  for (unsigned I = 0; I != Claimed; ++I) {
+    if (SlotInFree[I])
+      continue;
+    uint64_t St = EpochSlots[I].State.load(std::memory_order_relaxed);
+    if ((St & SlotEpochMask) != 0)
+      continue; // inside a section — live, not reclaimable
+    uint64_t Bumped =
+        (((St >> SlotEpochBits) + 1) & SlotGenMask) << SlotEpochBits;
+    // seq_cst: a thread concurrently entering this slot either CASes first
+    // (we see a nonzero epoch and skip) or loses its entry CAS to our bump
+    // and re-claims elsewhere. Both owners never coexist.
+    if (!EpochSlots[I].State.compare_exchange_strong(
+            St, Bumped, std::memory_order_seq_cst))
+      continue;
+    SlotInFree[I] = 1;
+    FreeSlots.push_back(static_cast<int>(I));
+    ++Reclaimed;
+  }
+  if (Reclaimed)
+    S->ReclaimedDeadSlots.fetch_add(Reclaimed, std::memory_order_relaxed);
+  return Reclaimed;
 }
 
 /// RAII epoch section. On entry the thread's slot publishes the current
@@ -142,23 +257,37 @@ public:
     // never waits on a thread that is waiting on the collector.
     if (E.Cfg.LegacyGlobalLocks)
       Legacy = std::shared_lock<std::shared_mutex>(E.LegacyMu);
-    Slot = E.claimSlot();
-    // A nested section on the same engine must not reuse the slot (the
-    // inner exit would strip the outer section's protection). No current
-    // code path nests; this keeps the guard safe if one ever does.
-    if (Slot >= 0 &&
-        E.EpochSlots[Slot].E.load(std::memory_order_relaxed) != 0)
-      Slot = -1;
-    if (Slot >= 0)
-      E.EpochSlots[Slot].E.store(
-          E.GlobalEpoch.load(std::memory_order_seq_cst),
-          std::memory_order_seq_cst);
-    else
-      Fallback = std::shared_lock<std::shared_mutex>(E.FallbackMu);
+    // Entry is a CAS from (our generation, quiescent). It fails either
+    // because the slot was reclaimed under us (generation moved on — forget
+    // the cache entry and claim a fresh slot) or because this is a nested
+    // section on the same engine (same generation, nonzero epoch; the
+    // inner exit would strip the outer section's protection, so fall back).
+    for (int Attempt = 0; Attempt != 2; ++Attempt) {
+      uint64_t SG = 0;
+      int Candidate = E.claimSlot(SG);
+      if (Candidate < 0)
+        break;
+      uint64_t Expected = SG << SlotEpochBits;
+      uint64_t Desired =
+          Expected |
+          (E.GlobalEpoch.load(std::memory_order_seq_cst) & SlotEpochMask);
+      if (E.EpochSlots[Candidate].State.compare_exchange_strong(
+              Expected, Desired, std::memory_order_seq_cst)) {
+        Slot = Candidate;
+        SlotGen = SG;
+        break;
+      }
+      if ((Expected >> SlotEpochBits) == SG)
+        break; // nested section
+      E.forgetCachedSlot(); // reclaimed under us; retry with a fresh slot
+    }
+    if (Slot < 0)
+      Fallback = std::shared_lock<std::shared_timed_mutex>(E.FallbackMu);
   }
   ~ReadGuard() {
     if (Slot >= 0)
-      E.EpochSlots[Slot].E.store(0, std::memory_order_release);
+      E.EpochSlots[Slot].State.store(SlotGen << SlotEpochBits,
+                                     std::memory_order_release);
   }
   ReadGuard(const ReadGuard &) = delete;
   ReadGuard &operator=(const ReadGuard &) = delete;
@@ -166,33 +295,73 @@ public:
 private:
   GoldilocksEngine &E;
   int Slot = -1;
+  uint64_t SlotGen = 0;
   std::shared_lock<std::shared_mutex> Legacy;
-  std::shared_lock<std::shared_mutex> Fallback;
+  std::shared_lock<std::shared_timed_mutex> Fallback;
 };
 
-void GoldilocksEngine::waitForReaders() {
+namespace {
+
+/// One grace-wait backoff step: yields for the first rounds, then sleeps
+/// exponentially up to ~1ms. Returns false once \p Deadline has passed.
+bool graceBackoff(unsigned &Spins,
+                  std::chrono::steady_clock::time_point Deadline) {
+  if (std::chrono::steady_clock::now() >= Deadline)
+    return false;
+  if (Spins < 64)
+    std::this_thread::yield();
+  else
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(1u << std::min(Spins - 64, 10u)));
+  ++Spins;
+  return true;
+}
+
+} // namespace
+
+bool GoldilocksEngine::waitForReaders() {
   // Start the next epoch, then wait until every claimed slot is either
   // quiescent or provably entered after the bump. Sections the scan skips
   // as quiescent may in fact be entering concurrently — but then their
   // slot store is seq_cst-after our scan load, so their subsequent `Last`
   // loads return cells at or after the caller's snapshot (taken before the
   // bump), which trimming never frees.
-  uint64_t NewE = GlobalEpoch.fetch_add(1, std::memory_order_seq_cst) + 1;
+  //
+  // The wait is deadline-bounded: a reader parked (or died) inside its
+  // section must not wedge collection. On timeout the caller quarantines
+  // instead of freeing, so giving up here is always safe.
+  uint64_t NewE = (GlobalEpoch.fetch_add(1, std::memory_order_seq_cst) + 1) &
+                  SlotEpochMask;
+  auto Deadline = std::chrono::steady_clock::time_point::max();
+  if (Cfg.GraceDeadlineMicros)
+    Deadline = std::chrono::steady_clock::now() +
+               std::chrono::microseconds(Cfg.GraceDeadlineMicros);
   unsigned Claimed = std::min(SlotsClaimed.load(std::memory_order_acquire),
                               NumEpochSlots);
+  unsigned Spins = 0;
   for (unsigned I = 0; I != Claimed; ++I) {
     while (true) {
-      uint64_t E = EpochSlots[I].E.load(std::memory_order_seq_cst);
-      if (E == 0 || E >= NewE)
+      uint64_t St = EpochSlots[I].State.load(std::memory_order_seq_cst);
+      uint64_t Ep = St & SlotEpochMask;
+      if (Ep == 0 || Ep >= NewE)
         break;
-      std::this_thread::yield();
+      if (!graceBackoff(Spins, Deadline)) {
+        S->GraceTimeouts.fetch_add(1, std::memory_order_relaxed);
+        return false;
+      }
     }
   }
   // Flush readers that used the shared-mutex fallback path (slot overflow
-  // or nesting).
-  FallbackMu.lock();
+  // or nesting), within whatever remains of the deadline.
+  if (Cfg.GraceDeadlineMicros == 0) {
+    FallbackMu.lock();
+  } else if (!FallbackMu.try_lock_until(Deadline)) {
+    S->GraceTimeouts.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
   FallbackMu.unlock();
   S->GraceWaits.fetch_add(1, std::memory_order_relaxed);
+  return true;
 }
 
 //===----------------------------------------------------------------------===//
@@ -202,6 +371,7 @@ void GoldilocksEngine::waitForReaders() {
 GoldilocksEngine::GoldilocksEngine(EngineConfig C)
     : Cfg(C), Gen(EngineGenCounter.fetch_add(1, std::memory_order_relaxed)),
       EpochSlots(new EpochSlot[NumEpochSlots]),
+      SlotInFree(new uint8_t[NumEpochSlots]()),
       KlStripes(new KlStripe[NumKlStripes]), Shards(new Shard[NumShards]),
       S(new AtomicStats) {
   // Sentinel origin cell so Info.Pos is never null.
@@ -215,6 +385,21 @@ GoldilocksEngine::GoldilocksEngine(EngineConfig C)
 }
 
 GoldilocksEngine::~GoldilocksEngine() {
+  // No readers by contract. Quarantined chains are disjoint from each
+  // other and from the live list, but each batch's links flow *into* the
+  // next batch / the live Head — so free exactly Count cells per batch,
+  // then the live list.
+  while (QHead) {
+    Cell *C = QHead->First;
+    for (size_t I = 0; I != QHead->Count; ++I) {
+      Cell *Next = C->Next.load(std::memory_order_relaxed);
+      delete C;
+      C = Next;
+    }
+    QuarantineBatch *Next = QHead->Next;
+    delete QHead;
+    QHead = Next;
+  }
   Cell *C = Head;
   while (C) {
     Cell *Next = C->Next.load(std::memory_order_relaxed);
@@ -262,6 +447,13 @@ GoldilocksEngine::ThreadState &GoldilocksEngine::threadState(ThreadId T) {
   ThreadState *Raw = St.get();
   Threads.emplace(T, std::move(St));
   return *Raw;
+}
+
+GoldilocksEngine::ThreadState *
+GoldilocksEngine::findThreadState(ThreadId T) const {
+  std::shared_lock<std::shared_mutex> L(ThreadsMu);
+  auto It = Threads.find(T);
+  return It != Threads.end() ? It->second.get() : nullptr;
 }
 
 std::mutex &GoldilocksEngine::klFor(VarId V) const {
@@ -339,7 +531,18 @@ void GoldilocksEngine::appendCell(Cell *C) {
   }
 }
 
+bool GoldilocksEngine::recordingStopped() const {
+  return Stopped.load(std::memory_order_relaxed) ||
+         GlobalDegraded.load(std::memory_order_relaxed);
+}
+
 void GoldilocksEngine::enqueue(SyncEvent E, std::unique_ptr<CommitSets> Owned) {
+  // Once the engine is stopped or globally degraded every verdict is
+  // suppressed, so recording more synchronization is pure growth; dropping
+  // events here is what bounds memory when degradation was the governor's
+  // last answer (e.g. quarantine pinned by a permanently stuck reader).
+  if (recordingStopped())
+    return;
   // Hard cap: climb the degradation ladder *before* appending, so the list
   // never grows past the budget (concurrent appenders can overshoot by at
   // most one cell each). Callers are outside any epoch section here, so
@@ -473,6 +676,7 @@ void GoldilocksEngine::onVolatileWrite(ThreadId T, VarId V) {
 }
 
 void GoldilocksEngine::onFork(ThreadId T, ThreadId Child) {
+  registerThread(Child);
   SyncEvent E;
   E.Kind = ActionKind::Fork;
   E.Thread = T;
@@ -496,6 +700,35 @@ void GoldilocksEngine::onTerminate(ThreadId T) {
   E.Thread = T;
   enqueue(E);
   maybeCollect();
+  deregisterThread(T);
+}
+
+void GoldilocksEngine::registerThread(ThreadId T) {
+  try {
+    ThreadState &TS = threadState(T);
+    TS.Exited.store(false, std::memory_order_relaxed);
+    if (!TS.Registered.exchange(true, std::memory_order_relaxed))
+      S->ThreadsRegistered.fetch_add(1, std::memory_order_relaxed);
+  } catch (const std::bad_alloc &) {
+    // Registration is advisory; the thread still works unregistered.
+  }
+}
+
+void GoldilocksEngine::deregisterThread(ThreadId T) {
+  if (failpoint(Failpoint::EngineDeregisterDrop))
+    return; // test-only: the thread "exits" without deregistering
+  if (ThreadState *TS = findThreadState(T)) {
+    if (!TS->Exited.exchange(true, std::memory_order_relaxed))
+      S->ThreadsDeregistered.fetch_add(1, std::memory_order_relaxed);
+    // A commit left pending by a dead thread would clamp the advance
+    // boundary forever (pendingAnchorBound); release it. Deregistration is
+    // the thread's last engine call by contract, so no finishCommit is
+    // coming to pair with it.
+    if (Cell *A = TS->PendingAnchor.exchange(nullptr,
+                                             std::memory_order_acq_rel))
+      releaseCell(A);
+  }
+  releaseCurrentSlot();
 }
 
 void GoldilocksEngine::onAlloc(ThreadId T, ObjectId O, uint32_t FieldCount) {
@@ -586,7 +819,7 @@ std::optional<RaceReport>
 GoldilocksEngine::accessImpl(ThreadId T, VarId V, bool IsWrite, bool Xact,
                              Cell *PosOverride, const CommitSets *SelfCommit) {
   S->Accesses.fetch_add(1, std::memory_order_relaxed);
-  if (GlobalDegraded.load(std::memory_order_relaxed)) {
+  if (recordingStopped()) {
     S->SkippedDisabled.fetch_add(1, std::memory_order_relaxed);
     return std::nullopt;
   }
@@ -594,6 +827,7 @@ GoldilocksEngine::accessImpl(ThreadId T, VarId V, bool IsWrite, bool Xact,
   // runs inside one epoch section, so the collector cannot free any cell
   // the check can reach.
   ReadGuard G(*this);
+  failpointStall(Failpoint::EngineReaderPark);
   // Make room for the record this access will install *before* taking the
   // variable's KL stripe: eviction scans other variables' stripes, and two
   // threads each holding their own stripe while scanning would deadlock
@@ -726,6 +960,8 @@ GoldilocksEngine::accessLocked(ThreadId T, VarId V, bool IsWrite, bool Xact,
 
 void GoldilocksEngine::commitPoint(ThreadId T, const CommitSets &CS) {
   S->Commits.fetch_add(1, std::memory_order_relaxed);
+  if (recordingStopped())
+    return; // finishCommit tolerates the missing anchor
   // Figure 8 line 25: insert the commit action into the event list. The
   // replayed checks will anchor at the cell *preceding* the commit so that
   // (a) the check window does not apply the commit's own rule-9 ownership
@@ -772,10 +1008,9 @@ std::vector<RaceReport> GoldilocksEngine::finishCommit(ThreadId T,
     // Only reachable when commitPoint() already failed the same lookup.
   }
   if (!Anchor) {
-    // commitPoint() hit the engine-wide last resort; there is nothing to
-    // check against.
-    assert(GlobalDegraded.load(std::memory_order_relaxed) &&
-           "finishCommit without commitPoint");
+    // commitPoint() hit the engine-wide last resort or the engine was
+    // stopped; there is nothing to check against.
+    assert(recordingStopped() && "finishCommit without commitPoint");
     return {};
   }
 
@@ -825,17 +1060,94 @@ void GoldilocksEngine::trimUnreferencedPrefix() {
   // positions at or after this snapshot (see waitForReaders), and the loop
   // below never frees at or past it.
   Cell *LastSnap = Last.load(std::memory_order_seq_cst);
-  if (Head == LastSnap)
+  bool HadQuarantine = QuarantineCount.load(std::memory_order_relaxed) != 0;
+  if (Head == LastSnap && !HadQuarantine)
     return;
-  waitForReaders();
+  bool Grace = waitForReaders();
+  // A completed grace period also certifies the quarantine: every batch
+  // was detached before this grace, so a reader that could still hold one
+  // has now exited its section.
+  if (Grace && HadQuarantine)
+    flushQuarantineLocked();
+  // Detach the unreferenced prefix. Without a grace period this is still
+  // sound — the cells go to quarantine, not to the allocator, and a stale
+  // reader that retains one after the refcount scan (the TOCTOU window)
+  // is exactly what the flush's per-batch refcount re-check catches.
+  Cell *First = Head;
+  size_t N = 0;
   while (Head != LastSnap &&
          Head->RefCount.load(std::memory_order_acquire) == 0) {
-    Cell *Next = Head->Next.load(std::memory_order_acquire);
-    delete Head;
-    Head = Next;
-    ListLen.fetch_sub(1, std::memory_order_relaxed);
-    S->CellsFreed.fetch_add(1, std::memory_order_relaxed);
+    Head = Head->Next.load(std::memory_order_acquire);
+    ++N;
   }
+  if (!N)
+    return;
+  ListLen.fetch_sub(N, std::memory_order_relaxed);
+  if (Grace) {
+    Cell *C = First;
+    for (size_t I = 0; I != N; ++I) {
+      Cell *Next = C->Next.load(std::memory_order_acquire);
+      delete C;
+      C = Next;
+    }
+    S->CellsFreed.fetch_add(N, std::memory_order_relaxed);
+  } else {
+    quarantineChain(First, N);
+  }
+}
+
+void GoldilocksEngine::quarantineChain(Cell *First, size_t Count) {
+  auto *B = new (std::nothrow) QuarantineBatch;
+  if (!B) {
+    // Cannot even defer: leave the chain where it is by re-attaching it.
+    // (First is still linked to the detached cells and onward to Head, so
+    // restoring Head and the length undoes the detach exactly.)
+    Head = First;
+    ListLen.fetch_add(Count, std::memory_order_relaxed);
+    return;
+  }
+  B->First = First;
+  B->Count = Count;
+  if (QTail)
+    QTail->Next = B;
+  else
+    QHead = B;
+  QTail = B;
+  QuarantineCount.fetch_add(Count, std::memory_order_relaxed);
+  S->CellsQuarantined.fetch_add(Count, std::memory_order_relaxed);
+}
+
+void GoldilocksEngine::flushQuarantineLocked() {
+  // Free batches oldest-first, stopping at the first batch a stale reader
+  // still references: window walks only flow forward along Next, so a
+  // reader holding a cell can reach younger batches and the live list but
+  // never an *older* batch — older batches are safe to free even then.
+  while (QHead) {
+    Cell *C = QHead->First;
+    bool Referenced = false;
+    for (size_t I = 0; I != QHead->Count; ++I) {
+      if (C->RefCount.load(std::memory_order_acquire) != 0) {
+        Referenced = true;
+        break;
+      }
+      C = C->Next.load(std::memory_order_acquire);
+    }
+    if (Referenced)
+      break;
+    C = QHead->First;
+    for (size_t I = 0; I != QHead->Count; ++I) {
+      Cell *Next = C->Next.load(std::memory_order_relaxed);
+      delete C;
+      C = Next;
+    }
+    QuarantineCount.fetch_sub(QHead->Count, std::memory_order_relaxed);
+    S->CellsFreed.fetch_add(QHead->Count, std::memory_order_relaxed);
+    QuarantineBatch *Next = QHead->Next;
+    delete QHead;
+    QHead = Next;
+  }
+  if (!QHead)
+    QTail = nullptr;
 }
 
 GoldilocksEngine::Cell *
@@ -927,21 +1239,56 @@ void GoldilocksEngine::collectGarbage() {
   runCollectionLocked();
 }
 
+bool GoldilocksEngine::quiesce() {
+  std::lock_guard<std::mutex> L(GcRunMu);
+  std::unique_lock<std::shared_mutex> Legacy;
+  if (Cfg.LegacyGlobalLocks)
+    Legacy = std::unique_lock<std::shared_mutex>(LegacyMu);
+  trimUnreferencedPrefix();
+  return QuarantineCount.load(std::memory_order_relaxed) == 0;
+}
+
+void GoldilocksEngine::shutdown() {
+  Stopped.store(true, std::memory_order_seq_cst);
+  quiesce();
+}
+
+void GoldilocksEngine::escalateLadder(unsigned Rung) {
+  if (Rung >= 1) {
+    noteDegradationLevel(1);
+    S->ForcedGcs.fetch_add(1, std::memory_order_relaxed);
+    collectGarbage();
+  }
+  if (Rung >= 2) {
+    noteDegradationLevel(2);
+    coarsenInfosToTail();
+  }
+  if (Rung >= 3) {
+    noteDegradationLevel(3);
+    disablePinnedVars();
+  }
+}
+
 //===----------------------------------------------------------------------===//
 // Resource governor (the degradation ladder)
 //===----------------------------------------------------------------------===//
 
 size_t GoldilocksEngine::approxBytes() const {
   // Coarse estimate; the constants stand in for the per-node overhead of
-  // the maps, the read vectors and the lockset storage.
-  return ListLen.load(std::memory_order_relaxed) * sizeof(Cell) +
+  // the maps, the read vectors and the lockset storage. Quarantined cells
+  // are still resident, so they count like live ones.
+  return (ListLen.load(std::memory_order_relaxed) +
+          QuarantineCount.load(std::memory_order_relaxed)) *
+             sizeof(Cell) +
          InfoCount.load(std::memory_order_relaxed) * (sizeof(Info) + 32) +
          VarCount.load(std::memory_order_relaxed) * (sizeof(VarState) + 64);
 }
 
 bool GoldilocksEngine::overCellBudget(size_t Incoming) const {
-  if (Cfg.MaxCells &&
-      ListLen.load(std::memory_order_relaxed) + Incoming > Cfg.MaxCells)
+  if (Cfg.MaxCells && ListLen.load(std::memory_order_relaxed) +
+                              QuarantineCount.load(std::memory_order_relaxed) +
+                              Incoming >
+                          Cfg.MaxCells)
     return true;
   if (Cfg.MaxBytes && approxBytes() + Incoming * sizeof(Cell) > Cfg.MaxBytes)
     return true;
@@ -1017,6 +1364,14 @@ void GoldilocksEngine::degradeForCells() {
   // pin cells; give up exactness for their variables.
   noteDegradationLevel(3);
   disablePinnedVars();
+  // Backstop past the ladder: if the budget is still blown and the excess
+  // sits in quarantine, nothing the ladder can do will shrink it — only a
+  // successful grace period can, and a permanently stuck reader prevents
+  // one forever. Degrade engine-wide: enqueue() then drops events, which
+  // bounds memory while every verdict stays suppressed, never invented.
+  if (overCellBudget(/*Incoming=*/1) &&
+      QuarantineCount.load(std::memory_order_relaxed) > 0)
+    markGloballyDegraded();
 }
 
 void GoldilocksEngine::coarsenInfosToTail() {
@@ -1130,6 +1485,11 @@ EngineStats GoldilocksEngine::stats() const {
   Out.ForcedGcs = L(S->ForcedGcs);
   Out.AppendRetries = L(S->AppendRetries);
   Out.GraceWaits = L(S->GraceWaits);
+  Out.GraceTimeouts = L(S->GraceTimeouts);
+  Out.CellsQuarantined = L(S->CellsQuarantined);
+  Out.ReclaimedDeadSlots = L(S->ReclaimedDeadSlots);
+  Out.ThreadsRegistered = L(S->ThreadsRegistered);
+  Out.ThreadsDeregistered = L(S->ThreadsDeregistered);
   return Out;
 }
 
@@ -1152,7 +1512,19 @@ EngineHealth GoldilocksEngine::health() const {
   H.ForcedGcs = S->ForcedGcs.load(std::memory_order_relaxed);
   H.GraceWaits = S->GraceWaits.load(std::memory_order_relaxed);
   H.AppendRetries = S->AppendRetries.load(std::memory_order_relaxed);
+  H.Stalls = S->GraceTimeouts.load(std::memory_order_relaxed);
+  H.QuarantinedCells = QuarantineCount.load(std::memory_order_relaxed);
+  H.ReclaimedDeadSlots =
+      S->ReclaimedDeadSlots.load(std::memory_order_relaxed);
   return H;
+}
+
+SupervisedEngine gold::superviseEngine(GoldilocksEngine &E) {
+  SupervisedEngine Out;
+  Out.Sample = [&E] { return E.health(); };
+  Out.Escalate = [&E](unsigned Rung) { E.escalateLadder(Rung); };
+  Out.ReclaimDeadSlots = [&E] { return E.reclaimDeadSlots(); };
+  return Out;
 }
 
 std::vector<VarId> GoldilocksEngine::degradedVars() const {

@@ -105,6 +105,14 @@ struct EngineConfig {
   size_t MaxCells = 0;        ///< cap on synchronization event list cells
   size_t MaxInfoRecords = 0;  ///< cap on live Info records across variables
   size_t MaxBytes = 0;        ///< coarse byte budget over cells+infos+vars
+
+  /// Deadline for one GC grace period (epoch wait + fallback flush), in
+  /// microseconds; 0 waits forever (the pre-supervision behaviour). On
+  /// timeout the collector does not block: the unreferenced prefix is
+  /// detached into a quarantine pool and freed by a later successful grace
+  /// period, so a stuck or exited reader can delay reclamation but never
+  /// wedge collection (see DESIGN.md "Supervision").
+  unsigned GraceDeadlineMicros = 500000;
 };
 
 /// Monotonic event counters, readable while the engine runs.
@@ -129,7 +137,12 @@ struct EngineStats {
   uint64_t DegradedVars = 0;      ///< variables disabled by the governor
   uint64_t ForcedGcs = 0;         ///< collections forced by caps / OOM
   uint64_t AppendRetries = 0;     ///< tail-CAS retries (append contention)
-  uint64_t GraceWaits = 0;        ///< epoch grace periods awaited by GC
+  uint64_t GraceWaits = 0;        ///< epoch grace periods completed by GC
+  uint64_t GraceTimeouts = 0;     ///< grace periods that hit their deadline
+  uint64_t CellsQuarantined = 0;  ///< cells ever deferred to the quarantine
+  uint64_t ReclaimedDeadSlots = 0;///< epoch slots recycled from dead threads
+  uint64_t ThreadsRegistered = 0; ///< registerThread() on new threads
+  uint64_t ThreadsDeregistered = 0;///< deregisterThread() on live threads
 
   /// Fraction of happens-before pair checks resolved by the *constant-time*
   /// short circuits (the paper's Table 1 metric); the rest required lockset
@@ -192,6 +205,39 @@ public:
   /// Forces a garbage-collection / partially-eager evaluation cycle.
   void collectGarbage();
 
+  /// Thread lifecycle registry. registerThread() announces a thread to the
+  /// engine (onFork registers the child automatically); deregisterThread()
+  /// must be a thread's *last* call into the engine: it releases any
+  /// pending commit anchor the thread left behind (crash-only self-heal)
+  /// and returns the calling OS thread's epoch slot to the free list with
+  /// a bumped generation, so a stale cache entry anywhere can never
+  /// re-enter it. onTerminate() deregisters implicitly.
+  void registerThread(ThreadId T);
+  void deregisterThread(ThreadId T);
+
+  /// Recycles epoch slots whose owners exited without deregistering: every
+  /// quiescent claimed slot is generation-bumped (a CAS, so a slot whose
+  /// owner is mid-entry is skipped) and pushed onto the free list. Called
+  /// automatically when the slot array is exhausted and by the supervisor
+  /// on stall escalation. Returns the number of slots reclaimed.
+  size_t reclaimDeadSlots();
+
+  /// Climbs the degradation ladder to (at least) \p Rung: 1 forces a
+  /// collection, 2 coarsens Info records to the tail, 3 disables variables
+  /// that still pin old cells. The supervisor's escalation hook. Callers
+  /// must not be inside an epoch section.
+  void escalateLadder(unsigned Rung);
+
+  /// Drains deferred work: runs a collection cycle and attempts to flush
+  /// the quarantine pool. Returns true when the quarantine is empty (all
+  /// deferred frees completed). Safe to call repeatedly.
+  bool quiesce();
+
+  /// Crash-only shutdown: stops recording new events (hooks become no-ops,
+  /// verdicts are suppressed rather than invented from a truncated
+  /// synchronization order) and drains via quiesce().
+  void shutdown();
+
   /// Current event-list length (cells retained).
   size_t eventListLength() const;
 
@@ -222,6 +268,7 @@ private:
   struct VarState;
   struct ThreadState;
   struct Shard;
+  struct QuarantineBatch;
   class ReadGuard;
   friend class ReadGuard;
 
@@ -250,12 +297,16 @@ private:
                   bool Xact, VarId V, bool Filtered, ThreadId FilterA,
                   const CommitSets *SelfCommit);
 
+  /// Shared by enqueue (drop when stopped/degraded) and accessImpl.
+  bool recordingStopped() const;
   void enqueue(SyncEvent E, std::unique_ptr<CommitSets> Owned = nullptr);
   /// Lock-free tail append: derives the cell's Seq from its predecessor,
   /// publishes it with the linking CAS and swings the monotone Last hint.
   void appendCell(Cell *C);
   VarState &varState(VarId V);
   ThreadState &threadState(ThreadId T);
+  /// Lookup without creation (deregistration must not allocate).
+  ThreadState *findThreadState(ThreadId T) const;
   std::mutex &klFor(VarId V) const;
   void retainCell(Cell *C);
   void releaseCell(Cell *C);
@@ -266,11 +317,36 @@ private:
   void runCollectionLocked();
 
   // Epoch-based reclamation.
-  int claimSlot();
-  /// Bumps the global epoch and blocks until every epoch slot is quiescent
-  /// or has observed the new epoch, then flushes overflow readers. After it
-  /// returns, no reader section entered before the call is still running.
-  void waitForReaders();
+  /// Returns the calling thread's cached slot for this engine (claiming one
+  /// on a miss), with the generation the slot had when it was handed out.
+  /// -1 means use the fallback shared mutex.
+  int claimSlot(uint64_t &SlotGen);
+  /// Hands out a slot: free-list pop, then fresh claim; on exhaustion
+  /// self-heals once via reclaimDeadSlots() before giving up.
+  int allocateSlot(uint64_t &SlotGen);
+  /// Drops the calling thread's cached slot entry for this engine (the slot
+  /// was reclaimed under us; re-claim on the next section).
+  void forgetCachedSlot();
+  /// Generation-bumps and frees the calling thread's cached slot (the
+  /// deregistration path). Must not be called inside an epoch section.
+  void releaseCurrentSlot();
+  /// Pushes \p Slot onto the free list (idempotent per slot).
+  void pushFreeSlot(int Slot);
+  /// Bumps the global epoch and waits — yield spins, then exponential
+  /// backoff up to 1ms — until every epoch slot is quiescent or has
+  /// observed the new epoch, then flushes overflow readers. Returns true
+  /// on a completed grace period: no reader section entered before the
+  /// call is still running. Returns false when Cfg.GraceDeadlineMicros
+  /// elapsed first; the caller must then treat pre-existing readers as
+  /// still live (quarantine instead of free).
+  bool waitForReaders();
+  /// Frees quarantine batches oldest-first, stopping at the first batch a
+  /// stale reader still references. Requires GcRunMu and a grace period
+  /// completed after the batches were detached.
+  void flushQuarantineLocked();
+  /// Detaches the chain [First .. First+Count) into a new FIFO quarantine
+  /// batch (called instead of freeing when a grace period timed out).
+  void quarantineChain(Cell *First, size_t Count);
 
   // Resource governor (see EngineConfig cap comments and DESIGN.md).
   size_t approxBytes() const;
@@ -321,20 +397,45 @@ private:
   std::atomic<Cell *> Last{nullptr};    // recently appended cell (hint)
   std::atomic<size_t> ListLen{0};
 
-  // Epoch-based reclamation state.
+  // Epoch-based reclamation state. A slot's word packs
+  //   (generation << SlotEpochBits) | observed-epoch
+  // with epoch 0 meaning quiescent. Entry is a seq_cst CAS from
+  // (gen, 0): it can only succeed against the exact generation the thread
+  // was handed, so reclaiming a slot is just bumping its generation while
+  // quiescent — every stale cache entry then fails its entry CAS and
+  // re-claims, which is what makes slots of exited threads recyclable.
   static constexpr unsigned NumEpochSlots = 512;
+  static constexpr unsigned SlotEpochBits = 40;
+  static constexpr uint64_t SlotEpochMask = (1ull << SlotEpochBits) - 1;
+  static constexpr uint64_t SlotGenMask = (1ull << (64 - SlotEpochBits)) - 1;
   struct alignas(64) EpochSlot {
-    std::atomic<uint64_t> E{0}; ///< 0 = quiescent, else observed epoch
+    std::atomic<uint64_t> State{0};
   };
   std::unique_ptr<EpochSlot[]> EpochSlots;
   std::atomic<uint64_t> GlobalEpoch{2};
   std::atomic<unsigned> SlotsClaimed{0};
+  /// Free-list of reclaimed slots plus an in-list flag per slot (so a slot
+  /// is never pushed twice).
+  std::mutex SlotFreeMu;
+  std::vector<int> FreeSlots;
+  std::unique_ptr<uint8_t[]> SlotInFree;
   /// Readers that could not claim a slot (more than NumEpochSlots OS
   /// threads, or a nested section) hold this shared; the collector flushes
-  /// them with a brief exclusive acquisition after the epoch scan.
-  mutable std::shared_mutex FallbackMu;
+  /// them with a brief (deadline-bounded) exclusive acquisition after the
+  /// epoch scan.
+  mutable std::shared_timed_mutex FallbackMu;
   /// Serializes collection / coarsening / rung-3 passes.
   std::mutex GcRunMu;
+
+  // Quarantine pool: FIFO batches of detached, unreferenced prefix cells
+  // whose grace period timed out. Guarded by GcRunMu; the gauge is atomic
+  // so accounting (approxBytes, health) can read it anywhere.
+  QuarantineBatch *QHead = nullptr;
+  QuarantineBatch *QTail = nullptr;
+  std::atomic<size_t> QuarantineCount{0};
+
+  /// shutdown() latch: hooks stop recording, verdicts are suppressed.
+  std::atomic<bool> Stopped{false};
 
   // Legacy global-lock discipline (EngineConfig::LegacyGlobalLocks).
   mutable std::shared_mutex LegacyMu;
@@ -371,6 +472,13 @@ private:
   struct AtomicStats;
   std::unique_ptr<AtomicStats> S;
 };
+
+struct SupervisedEngine; // support/Supervisor.h
+
+/// Binds \p E's health sampling, ladder escalation and dead-slot
+/// reclamation into the callback bundle a Supervisor watches. The caller
+/// must keep \p E alive for as long as the supervisor runs.
+SupervisedEngine superviseEngine(GoldilocksEngine &E);
 
 } // namespace gold
 

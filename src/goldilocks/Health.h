@@ -42,23 +42,48 @@ struct EngineHealth {
   uint64_t ForcedGcs = 0;
   uint64_t GraceWaits = 0;      ///< epoch grace periods awaited by GC
   uint64_t AppendRetries = 0;   ///< lock-free tail-CAS retries (contention)
+  uint64_t Stalls = 0;          ///< grace periods that hit their deadline
+  size_t QuarantinedCells = 0;  ///< cells detached but deferred (stalled grace)
+  uint64_t ReclaimedDeadSlots = 0; ///< epoch slots recycled from dead threads
 
-  /// One-line render for logs and the CLI.
+  /// One-line render for logs and the CLI. Built incrementally: the field
+  /// set grows with the engine and a fixed buffer would silently truncate.
   std::string str() const {
-    char Buf[320];
-    std::snprintf(Buf, sizeof(Buf),
-                  "cells=%zu (hw %zu) infos=%zu (hw %zu) vars=%zu "
-                  "~bytes=%zu level=%u%s degradations=%llu degraded-vars=%llu "
-                  "forced-gcs=%llu grace-waits=%llu append-retries=%llu",
-                  EventListLength, EventListHighWater, InfoRecords,
-                  InfoHighWater, TrackedVars, ApproxBytes, DegradationLevel,
-                  GloballyDegraded ? " GLOBAL-DEGRADED" : "",
-                  static_cast<unsigned long long>(DegradationEvents),
-                  static_cast<unsigned long long>(DegradedVars),
-                  static_cast<unsigned long long>(ForcedGcs),
-                  static_cast<unsigned long long>(GraceWaits),
-                  static_cast<unsigned long long>(AppendRetries));
-    return Buf;
+    std::string Out;
+    Out.reserve(256);
+    char Buf[64];
+    auto Zu = [&](const char *Key, size_t V) {
+      std::snprintf(Buf, sizeof(Buf), "%s=%zu", Key, V);
+      if (!Out.empty())
+        Out += ' ';
+      Out += Buf;
+    };
+    auto Llu = [&](const char *Key, uint64_t V) {
+      std::snprintf(Buf, sizeof(Buf), "%s=%llu", Key,
+                    static_cast<unsigned long long>(V));
+      Out += ' ';
+      Out += Buf;
+    };
+    Zu("cells", EventListLength);
+    std::snprintf(Buf, sizeof(Buf), " (hw %zu)", EventListHighWater);
+    Out += Buf;
+    Zu("infos", InfoRecords);
+    std::snprintf(Buf, sizeof(Buf), " (hw %zu)", InfoHighWater);
+    Out += Buf;
+    Zu("vars", TrackedVars);
+    Zu("~bytes", ApproxBytes);
+    std::snprintf(Buf, sizeof(Buf), " level=%u%s", DegradationLevel,
+                  GloballyDegraded ? " GLOBAL-DEGRADED" : "");
+    Out += Buf;
+    Llu("degradations", DegradationEvents);
+    Llu("degraded-vars", DegradedVars);
+    Llu("forced-gcs", ForcedGcs);
+    Llu("grace-waits", GraceWaits);
+    Llu("append-retries", AppendRetries);
+    Llu("stalls", Stalls);
+    Zu("quarantined", QuarantinedCells);
+    Llu("reclaimed-slots", ReclaimedDeadSlots);
+    return Out;
   }
 };
 

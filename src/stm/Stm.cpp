@@ -136,6 +136,14 @@ void TransactionManager::abort(ThreadId T) {
   Aborts.fetch_add(1, std::memory_order_relaxed);
 }
 
+bool TransactionManager::reapThread(ThreadId T) {
+  if (!inTransaction(T))
+    return false;
+  abort(T);
+  Reaps.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
 StmStats TransactionManager::stats() const {
   StmStats Out;
   Out.Commits = Commits.load(std::memory_order_relaxed);
@@ -143,5 +151,6 @@ StmStats TransactionManager::stats() const {
   Out.Reads = Reads.load(std::memory_order_relaxed);
   Out.Writes = Writes.load(std::memory_order_relaxed);
   Out.InjectedConflicts = InjectedConflicts.load(std::memory_order_relaxed);
+  Out.Reaps = Reaps.load(std::memory_order_relaxed);
   return Out;
 }

@@ -68,6 +68,8 @@ struct StmStats {
   uint64_t Writes = 0;
   /// Lock conflicts injected by the StmLockConflict failpoint (testing).
   uint64_t InjectedConflicts = 0;
+  /// Transactions reaped from exited threads (crash-only cleanup).
+  uint64_t Reaps = 0;
 };
 
 /// One thread's active transaction.
@@ -130,6 +132,12 @@ public:
   /// releases the object locks.
   void abort(ThreadId T);
 
+  /// Crash-only cleanup for an exited thread: if \p T died inside an
+  /// atomic block (its transaction is still active), roll it back and
+  /// release its object locks so other threads' transactions cannot wedge
+  /// on them forever. Returns true if a transaction was reaped.
+  bool reapThread(ThreadId T);
+
   StmStats stats() const;
 
 private:
@@ -145,7 +153,7 @@ private:
   mutable std::shared_mutex Mu;
   std::unordered_map<ThreadId, std::unique_ptr<Transaction>> Active;
   std::atomic<uint64_t> Commits{0}, Aborts{0}, Reads{0}, Writes{0},
-      InjectedConflicts{0};
+      InjectedConflicts{0}, Reaps{0};
 };
 
 /// Runs \p Body as a transaction with abort/retry-on-conflict, at most

@@ -18,6 +18,10 @@ const char *gold::failpointName(Failpoint F) {
     return "engine-info-alloc";
   case Failpoint::EngineGcStall:
     return "engine-gc-stall";
+  case Failpoint::EngineReaderPark:
+    return "engine-reader-park";
+  case Failpoint::EngineDeregisterDrop:
+    return "engine-deregister-drop";
   case Failpoint::StmLockConflict:
     return "stm-lock-conflict";
   case Failpoint::StmLockDelay:

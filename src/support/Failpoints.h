@@ -41,6 +41,8 @@ enum class Failpoint : unsigned {
   EngineCellAlloc = 0, ///< sync-event list Cell allocation fails (bad_alloc)
   EngineInfoAlloc,     ///< Info-record / VarState allocation fails (bad_alloc)
   EngineGcStall,       ///< garbage collection stalls for StallMicros
+  EngineReaderPark,    ///< a thread parks inside an epoch read section
+  EngineDeregisterDrop,///< a thread exits without deregistering its slot
   StmLockConflict,     ///< STM object-lock acquisition reports a conflict
   StmLockDelay,        ///< STM object-lock acquisition is delayed
   VmPreempt,           ///< VM thread yields at an instrumentation point

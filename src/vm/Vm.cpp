@@ -806,6 +806,9 @@ int64_t Vm::run(std::vector<int64_t> Args) {
   int64_t Result = I.run(Prog.Main, Args);
   if (Cfg.Detector)
     Cfg.Detector->onTerminate(0);
+  Txm.reapThread(0);
+  if (Cfg.Detector)
+    Cfg.Detector->onThreadExit(0);
 
   // Join any threads the program left running.
   for (size_t T = 1;; ++T) {
@@ -843,6 +846,13 @@ ThreadId Vm::forkThread(ThreadId Parent, FuncId F,
     Child.run(F, A);
     if (Cfg.Detector)
       Cfg.Detector->onTerminate(Tid);
+    // Crash-only cleanup: a thread that ended inside an atomic block (the
+    // interpreter normally unwinds, but a buggy program can fall off the
+    // end mid-transaction) must not leave object locks held forever.
+    Txm.reapThread(Tid);
+    // Lifecycle hook, last: the OS thread makes no further detector calls.
+    if (Cfg.Detector)
+      Cfg.Detector->onThreadExit(Tid);
   });
   return Tid;
 }

@@ -212,3 +212,27 @@ TEST(StmTest, FailpointDelayOnlySlowsAcquisition) {
   EXPECT_GT(Failpoints::instance().fires(Failpoint::StmLockDelay), 0u);
   EXPECT_EQ(S.loadRaw(VarId{1, 0}), 9u);
 }
+
+// Crash-only cleanup: a thread that dies mid-transaction leaves object
+// locks held and dirty slots behind. reapThread must roll the transaction
+// back exactly like abort() so other threads can make progress, and count
+// the reap so supervision can see it happened.
+TEST(StmTest, ReapThreadReleasesADeadThreadsLocks) {
+  ToyStore S(2, 1);
+  TransactionManager Tm(S);
+  ASSERT_TRUE(Tm.begin(1));
+  EXPECT_TRUE(Tm.write(1, VarId{1, 0}, 42));
+  // Thread 1 "exits" here without commit or abort.
+  EXPECT_TRUE(Tm.reapThread(1));
+  EXPECT_FALSE(Tm.inTransaction(1));
+  EXPECT_EQ(S.loadRaw(VarId{1, 0}), 0u) << "reap did not undo the write";
+  EXPECT_EQ(S.ownerOf(1), NoThread) << "reap did not release the lock";
+  // Another thread can now lock the object the dead one held.
+  ASSERT_TRUE(Tm.begin(2));
+  EXPECT_TRUE(Tm.write(2, VarId{1, 0}, 7));
+  ASSERT_TRUE(Tm.commit(2, nullptr));
+  EXPECT_EQ(S.loadRaw(VarId{1, 0}), 7u);
+  // Reaping a thread with nothing in flight is a counted no-op.
+  EXPECT_FALSE(Tm.reapThread(1));
+  EXPECT_EQ(Tm.stats().Reaps, 1u);
+}

@@ -36,11 +36,15 @@ using namespace gold;
 
 namespace {
 
-/// Quiescent-state accounting identities every run must restore.
+/// Quiescent-state accounting identities every run must restore. With the
+/// quarantine pool, cells may be detached-but-not-freed, so the identity
+/// covers both populations; at quiescence a bounded-grace trim must also be
+/// able to drain the pool entirely (quiesce() returns true).
 void checkQuiescentAccounting(GoldilocksEngine &E) {
   EngineStats St = E.stats();
   EngineHealth H = E.health();
-  EXPECT_EQ(E.eventListLength(), 1 + St.CellsAllocated - St.CellsFreed);
+  EXPECT_EQ(E.eventListLength() + H.QuarantinedCells,
+            1 + St.CellsAllocated - St.CellsFreed);
   EXPECT_EQ(H.EventListLength, E.eventListLength());
   EXPECT_EQ(H.InfoRecords, E.infoRecordCount());
   EXPECT_GE(H.EventListHighWater, H.EventListLength);
@@ -48,6 +52,7 @@ void checkQuiescentAccounting(GoldilocksEngine &E) {
   if (H.GloballyDegraded) {
     EXPECT_EQ(H.DegradationLevel, 3u);
   }
+  EXPECT_TRUE(E.quiesce()) << "quiesce left cells in quarantine";
 }
 
 /// Per-thread race-free traffic: critical sections on the thread's own lock

@@ -1,0 +1,526 @@
+//===- tests/SupervisionTest.cpp - Supervision layer tests ----------------===//
+///
+/// Tests for the supervision subsystem introduced with the bounded-grace
+/// collector: the event ring, the supervisor's stall/escalation logic
+/// (driven deterministically through a fake engine), the watchdog thread,
+/// and — against the real engine — the liveness properties the layer
+/// exists to provide:
+///
+///  - a reader parked inside an epoch section cannot wedge collection:
+///    the grace wait hits its deadline and the prefix is quarantined;
+///  - threads that exit without deregistering leak their epoch slots only
+///    until reclamation recycles them (self-heal on exhaustion);
+///  - deregistration releases a dead thread's pending commit anchor so the
+///    list can be trimmed again;
+///  - shutdown() freezes recording without inventing verdicts;
+///  - none of the above ever produces a false alarm (precision survives
+///    every degraded path).
+///
+//===----------------------------------------------------------------------===//
+
+#include "detectors/GoldilocksDetectors.h"
+#include "event/RandomTrace.h"
+#include "hb/HbOracle.h"
+#include "support/Failpoints.h"
+#include "support/Supervisor.h"
+
+#include "gtest/gtest.h"
+
+#include <atomic>
+#include <chrono>
+#include <set>
+#include <thread>
+#include <vector>
+
+using namespace gold;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double elapsedMillis(Clock::time_point Since) {
+  return std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+             Clock::now() - Since)
+      .count();
+}
+
+/// A scripted SupervisedEngine: the test controls exactly what each sample
+/// reports and records what the supervisor does about it.
+struct FakeEngine {
+  EngineHealth Next;
+  std::vector<unsigned> EscalatedRungs;
+  size_t ReclaimableSlots = 0;
+  uint64_t ReclaimCalls = 0;
+
+  SupervisedEngine bundle() {
+    SupervisedEngine T;
+    T.Sample = [this] { return Next; };
+    T.Escalate = [this](unsigned R) { EscalatedRungs.push_back(R); };
+    T.ReclaimDeadSlots = [this] {
+      ++ReclaimCalls;
+      size_t N = ReclaimableSlots;
+      ReclaimableSlots = 0;
+      return N;
+    };
+    return T;
+  }
+};
+
+size_t countCause(const std::vector<SupervisionEvent> &Events,
+                  SupervisionCause C) {
+  size_t N = 0;
+  for (const SupervisionEvent &E : Events)
+    N += E.Cause == C;
+  return N;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Event ring
+//===----------------------------------------------------------------------===//
+
+TEST(SupervisionRingTest, WrapsAndCountsDrops) {
+  SupervisionRing Ring(4);
+  EXPECT_EQ(Ring.capacity(), 4u);
+  for (uint64_t I = 0; I != 10; ++I) {
+    SupervisionEvent E;
+    E.Delta = I;
+    Ring.push(std::move(E));
+  }
+  EXPECT_EQ(Ring.total(), 10u);
+  EXPECT_EQ(Ring.dropped(), 6u);
+  std::vector<SupervisionEvent> Kept = Ring.snapshot();
+  ASSERT_EQ(Kept.size(), 4u);
+  // Oldest surviving event first.
+  for (size_t I = 0; I != Kept.size(); ++I)
+    EXPECT_EQ(Kept[I].Delta, 6 + I);
+}
+
+TEST(SupervisionRingTest, EventRendersEveryField) {
+  SupervisionEvent E;
+  E.MonotonicNanos = 1500000000; // 1.5s
+  E.Cause = SupervisionCause::Escalation;
+  E.Rung = 2;
+  E.Delta = 7;
+  std::string S = E.str();
+  EXPECT_NE(S.find("1.500000s"), std::string::npos) << S;
+  EXPECT_NE(S.find("escalation"), std::string::npos) << S;
+  EXPECT_NE(S.find("rung=2"), std::string::npos) << S;
+  EXPECT_NE(S.find("delta=7"), std::string::npos) << S;
+  EXPECT_NE(S.find("cells="), std::string::npos) << S;
+}
+
+//===----------------------------------------------------------------------===//
+// Supervisor decision logic (deterministic, via the fake engine)
+//===----------------------------------------------------------------------===//
+
+TEST(SupervisorTest, EscalatesProgressivelyAfterConsecutiveStalls) {
+  FakeEngine F;
+  F.ReclaimableSlots = 3;
+  SupervisorConfig C;
+  C.StallEscalationThreshold = 2;
+  Supervisor Sup(F.bundle(), C);
+
+  Sup.poll(); // baseline sample, no deltas yet
+  EXPECT_EQ(Sup.samples(), 1u);
+  EXPECT_TRUE(F.EscalatedRungs.empty());
+
+  // Two consecutive stalling samples: reclaim fires immediately on the
+  // first, the ladder escalates to rung 1 on the second.
+  F.Next.Stalls = 1;
+  Sup.poll();
+  EXPECT_EQ(F.ReclaimCalls, 1u);
+  EXPECT_TRUE(F.EscalatedRungs.empty());
+  F.Next.Stalls = 2;
+  Sup.poll();
+  ASSERT_EQ(F.EscalatedRungs, (std::vector<unsigned>{1}));
+
+  // Keep stalling: the progression climbs to rung 2, then 3, and stays
+  // at 3 (there is no rung 4). Eight stalling samples at threshold 2 is
+  // four escalations.
+  for (uint64_t S = 3; S <= 8; ++S) {
+    F.Next.Stalls = S;
+    Sup.poll();
+  }
+  EXPECT_EQ(F.EscalatedRungs, (std::vector<unsigned>{1, 2, 3, 3}));
+  EXPECT_EQ(Sup.escalations(), 4u);
+
+  auto Events = Sup.events();
+  EXPECT_EQ(countCause(Events, SupervisionCause::GraceStall), 8u);
+  EXPECT_EQ(countCause(Events, SupervisionCause::Escalation), 4u);
+  EXPECT_EQ(countCause(Events, SupervisionCause::SlotsReclaimed), 1u)
+      << "only the poll that actually recycled slots should record one";
+}
+
+TEST(SupervisorTest, CleanSampleResetsTheProgression) {
+  FakeEngine F;
+  SupervisorConfig C;
+  C.StallEscalationThreshold = 2;
+  Supervisor Sup(F.bundle(), C);
+
+  Sup.poll();
+  F.Next.Stalls = 1;
+  Sup.poll(); // stall #1
+  F.Next.Stalls = 2;
+  Sup.poll(); // stall #2 -> rung 1
+  ASSERT_EQ(F.EscalatedRungs, (std::vector<unsigned>{1}));
+
+  Sup.poll(); // same counters: a clean sample, progression resets
+
+  F.Next.Stalls = 3;
+  Sup.poll();
+  F.Next.Stalls = 4;
+  Sup.poll();
+  // After the reset the next escalation starts over at rung 1.
+  EXPECT_EQ(F.EscalatedRungs, (std::vector<unsigned>{1, 1}));
+}
+
+TEST(SupervisorTest, AppendStormIsRecordedNotEscalated) {
+  FakeEngine F;
+  SupervisorConfig C;
+  C.AppendStormThreshold = 100;
+  Supervisor Sup(F.bundle(), C);
+
+  Sup.poll();
+  F.Next.AppendRetries = 250; // delta 250 >= 100
+  Sup.poll();
+  auto Events = Sup.events();
+  ASSERT_EQ(countCause(Events, SupervisionCause::AppendStorm), 1u);
+  EXPECT_TRUE(F.EscalatedRungs.empty())
+      << "append contention alone must not climb the ladder";
+}
+
+TEST(SupervisorTest, WatchdogThreadStartsSamplesAndStops) {
+  FakeEngine F;
+  SupervisorConfig C;
+  C.SamplePeriodMillis = 2;
+  Supervisor Sup(F.bundle(), C);
+  EXPECT_FALSE(Sup.running());
+
+  Sup.start();
+  Sup.start(); // idempotent
+  EXPECT_TRUE(Sup.running());
+  Clock::time_point T0 = Clock::now();
+  while (Sup.samples() < 3 && elapsedMillis(T0) < 5000)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  EXPECT_GE(Sup.samples(), 3u) << "watchdog never sampled";
+
+  Sup.stop();
+  Sup.stop(); // idempotent
+  EXPECT_FALSE(Sup.running());
+  auto Events = Sup.events();
+  EXPECT_EQ(countCause(Events, SupervisionCause::WatchdogStart), 1u);
+  EXPECT_EQ(countCause(Events, SupervisionCause::WatchdogStop), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Liveness against the real engine
+//===----------------------------------------------------------------------===//
+
+// A reader parked inside its epoch section for much longer than the grace
+// deadline: collection must complete within the deadline (quarantining the
+// prefix) instead of blocking until the reader wakes, and once the reader
+// is gone a quiesce() must drain the quarantine.
+TEST(SupervisionEngineTest, ParkedReaderCannotWedgeCollection) {
+  EngineConfig C;
+  C.GcThreshold = 0; // manual collections only
+  C.GraceDeadlineMicros = 20000; // 20ms
+  GoldilocksEngine E(C);
+
+  // Grow an unreferenced prefix worth trimming.
+  for (unsigned I = 0; I != 200; ++I) {
+    E.onAcquire(1, 5);
+    E.onRelease(1, 5);
+  }
+
+  FailpointConfig FC;
+  FC.rate(Failpoint::EngineReaderPark, 1000000); // every read section parks
+  FC.StallMicros = 500000;                       // ... for 500ms
+  std::atomic<bool> Entered{false};
+  std::thread Parked;
+  {
+    FailpointScope Scope(FC);
+    Parked = std::thread([&] {
+      Entered.store(true);
+      E.onRead(2, VarId{7, 0}); // parks inside the epoch section
+    });
+    while (!Entered.load())
+      std::this_thread::yield();
+    // Give the parked thread time to actually enter its read section.
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+
+    Clock::time_point T0 = Clock::now();
+    E.collectGarbage();
+    double Ms = elapsedMillis(T0);
+    EXPECT_LT(Ms, 400.0)
+        << "collection blocked on the parked reader instead of quarantining";
+    Parked.join();
+  }
+
+  EngineStats St = E.stats();
+  EXPECT_GE(St.GraceTimeouts, 1u) << "the grace deadline never fired";
+  EXPECT_GT(St.CellsQuarantined, 0u) << "nothing was deferred to quarantine";
+
+  // Reader gone, failpoints disarmed: draining must succeed and the books
+  // must balance with the quarantine empty.
+  EXPECT_TRUE(E.quiesce());
+  EngineHealth H = E.health();
+  EXPECT_EQ(H.QuarantinedCells, 0u);
+  St = E.stats();
+  EXPECT_EQ(E.eventListLength(), 1 + St.CellsAllocated - St.CellsFreed);
+}
+
+// Quarantined cells count against the cell budget: with a permanently
+// parked reader and a tiny MaxCells, the governor must bound memory (by
+// globally degrading as a last resort) rather than grow without limit.
+TEST(SupervisionEngineTest, QuarantineCountsAgainstTheCellBudget) {
+  EngineConfig C;
+  C.MaxCells = 64;
+  C.GcThreshold = 32;
+  C.GraceDeadlineMicros = 1000; // 1ms: every grace times out below
+  GoldilocksEngine E(C);
+
+  FailpointConfig FC;
+  FC.rate(Failpoint::EngineReaderPark, 1000000);
+  FC.StallMicros = 400000;
+  std::atomic<bool> Entered{false};
+  std::thread Parked;
+  {
+    FailpointScope Scope(FC);
+    Parked = std::thread([&] {
+      Entered.store(true);
+      E.onRead(2, VarId{7, 0});
+    });
+    while (!Entered.load())
+      std::this_thread::yield();
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+
+    // Keep appending against the cap while no grace period can complete.
+    for (unsigned I = 0; I != 5000; ++I) {
+      E.onAcquire(1, 5);
+      E.onRelease(1, 5);
+    }
+    Parked.join();
+  }
+
+  EngineHealth H = E.health();
+  EXPECT_LE(H.EventListLength + H.QuarantinedCells, C.MaxCells + 64)
+      << "retained cells (live + quarantined) escaped the governor";
+  EXPECT_TRUE(H.GloballyDegraded)
+      << "with reclamation wedged, only the global backstop bounds memory";
+  // Quiescent again: the quarantine drains and accounting balances.
+  EXPECT_TRUE(E.quiesce());
+  EngineStats St = E.stats();
+  EXPECT_EQ(E.eventListLength() + E.health().QuarantinedCells,
+            1 + St.CellsAllocated - St.CellsFreed);
+}
+
+// More OS threads than epoch slots, every one of them "crashing" (the
+// deregister failpoint drops the cleanup): the slot array must self-heal
+// by reclaiming quiescent dead slots instead of pushing readers onto the
+// fallback mutex forever.
+TEST(SupervisionEngineTest, ExitedThreadSlotsAreReclaimedOnExhaustion) {
+  EngineConfig C;
+  C.GcThreshold = 0;
+  GoldilocksEngine E(C);
+
+  FailpointConfig FC;
+  FC.rate(Failpoint::EngineDeregisterDrop, 1000000);
+  {
+    FailpointScope Scope(FC);
+    // More sequential threads than NumEpochSlots (512), each taking a slot
+    // and exiting without giving it back.
+    for (unsigned I = 0; I != 600; ++I) {
+      ThreadId T = 10 + I;
+      std::thread([&, T] {
+        E.registerThread(T);
+        EXPECT_FALSE(E.onRead(T, VarId{3, 0}).has_value());
+        E.deregisterThread(T); // dropped by the failpoint
+      }).join();
+    }
+    EXPECT_GT(Failpoints::instance().fires(Failpoint::EngineDeregisterDrop),
+              0u);
+  }
+
+  EngineStats St = E.stats();
+  EXPECT_GT(St.ReclaimedDeadSlots, 0u)
+      << "slot exhaustion never triggered reclamation";
+  EXPECT_EQ(St.ThreadsRegistered, 600u);
+  EXPECT_EQ(St.ThreadsDeregistered, 0u) << "the failpoint should have "
+                                           "dropped every deregistration";
+
+  // After disarming, explicit reclamation plus a grace period still works.
+  // (Append some sync cells first: a collection with nothing to trim
+  // rightly skips the grace protocol.)
+  E.reclaimDeadSlots();
+  for (unsigned I = 0; I != 8; ++I) {
+    E.onAcquire(1, 5);
+    E.onRelease(1, 5);
+  }
+  E.collectGarbage();
+  EXPECT_GT(E.stats().GraceWaits, 0u);
+}
+
+// A thread that dies between commitPoint and finishCommit leaves a pending
+// anchor pinning the walk window. deregisterThread must release it so the
+// collector can trim again.
+TEST(SupervisionEngineTest, DeregisterReleasesAPendingCommitAnchor) {
+  EngineConfig C;
+  C.GcThreshold = 0;
+  GoldilocksEngine E(C);
+
+  CommitSets CS;
+  CS.Reads.push_back(VarId{9, 0});
+  E.commitPoint(1, CS); // anchor retained; finishCommit never comes
+
+  for (unsigned I = 0; I != 150; ++I) {
+    E.onAcquire(2, 5);
+    E.onRelease(2, 5);
+  }
+  E.collectGarbage();
+  size_t Pinned = E.eventListLength();
+  EXPECT_GT(Pinned, 150u) << "the pending anchor should pin the prefix";
+
+  E.deregisterThread(1); // crash-only cleanup releases the anchor
+  E.collectGarbage();
+  EXPECT_LT(E.eventListLength(), 10u)
+      << "the prefix stayed pinned after the dead thread was deregistered";
+  EXPECT_EQ(E.stats().ThreadsDeregistered, 1u);
+}
+
+TEST(SupervisionEngineTest, RegisterAndDeregisterAreIdempotent) {
+  GoldilocksEngine E;
+  E.registerThread(4);
+  E.registerThread(4);
+  EXPECT_EQ(E.stats().ThreadsRegistered, 1u);
+  E.deregisterThread(4);
+  E.deregisterThread(4);
+  EXPECT_EQ(E.stats().ThreadsDeregistered, 1u);
+  E.deregisterThread(99); // never seen: a no-op, not a crash
+  EXPECT_EQ(E.stats().ThreadsDeregistered, 1u);
+}
+
+// shutdown(): hooks become no-ops and verdicts are suppressed — a truncated
+// synchronization order must never invent a race.
+TEST(SupervisionEngineTest, ShutdownFreezesRecordingAndSuppressesVerdicts) {
+  GoldilocksEngine E;
+  E.onAcquire(1, 5);
+  EXPECT_FALSE(E.onWrite(1, VarId{3, 0}).has_value());
+  E.onRelease(1, 5);
+
+  E.shutdown();
+  EngineStats Frozen = E.stats();
+  size_t Len = E.eventListLength();
+
+  // A would-be racy pattern after shutdown: no cells, no verdicts.
+  E.onAcquire(2, 6);
+  EXPECT_FALSE(E.onWrite(2, VarId{3, 0}).has_value());
+  E.onRelease(2, 6);
+  E.onFork(1, 7);
+
+  EXPECT_EQ(E.eventListLength(), Len);
+  EXPECT_EQ(E.stats().SyncEvents, Frozen.SyncEvents);
+  EXPECT_EQ(E.stats().Races, 0u);
+  EXPECT_TRUE(E.quiesce());
+}
+
+//===----------------------------------------------------------------------===//
+// Precision under supervision pressure
+//===----------------------------------------------------------------------===//
+
+// The supervised engine under stall injection, short deadlines and a live
+// watchdog must stay *sound*: on random traces every race it still reports
+// is confirmed by the happens-before oracle (degradation may miss races,
+// never invent them).
+TEST(SupervisionEngineTest, DegradedPathsNeverInventRaces) {
+  for (uint64_t Seed = 1; Seed <= 6; ++Seed) {
+    RandomTraceParams P;
+    P.Seed = Seed;
+    P.NumThreads = 3;
+    P.NumObjects = 4;
+    P.StepsPerThread = 60;
+    Trace T = generateRandomTrace(P);
+
+    RaceOracle Oracle(T);
+    std::set<VarId> Expected;
+    for (VarId V : Oracle.racyVars())
+      Expected.insert(V);
+
+    FailpointConfig FC;
+    FC.Seed = Seed;
+    FC.rate(Failpoint::EngineGcStall, 300000);
+    FC.rate(Failpoint::EngineReaderPark, 2000);
+    FC.StallMicros = 200;
+    FailpointScope Scope(FC);
+
+    EngineConfig C;
+    C.MaxCells = 48;
+    C.GcThreshold = 24;
+    C.GraceDeadlineMicros = 100; // almost every grace times out
+    GoldilocksDetector D(C);
+    Supervisor Sup(superviseEngine(D.engine()));
+    auto Races = D.runTrace(T);
+    Sup.poll();
+
+    for (const RaceReport &R : Races)
+      EXPECT_TRUE(Expected.count(R.Var))
+          << "seed " << Seed << ": invented race on " << R.Var.str();
+  }
+}
+
+// Race-free concurrent traffic with the watchdog escalating under injected
+// stalls: still zero reports, and the run terminates (liveness).
+TEST(SupervisionEngineTest, WatchdogUnderConcurrentLoadStaysPrecise) {
+  FailpointConfig FC;
+  FC.Seed = 11;
+  FC.rate(Failpoint::EngineGcStall, 100000);
+  FC.StallMicros = 100;
+  FailpointScope Scope(FC);
+
+  EngineConfig C;
+  C.MaxCells = 128;
+  C.GcThreshold = 64;
+  C.GraceDeadlineMicros = 2000;
+  GoldilocksDetector D(C);
+  SupervisorConfig SC;
+  SC.SamplePeriodMillis = 2;
+  Supervisor Sup(superviseEngine(D.engine()), SC);
+  Sup.start();
+
+  std::atomic<uint64_t> Reports{0};
+  constexpr unsigned N = 4;
+  for (unsigned I = 1; I <= N; ++I) {
+    D.onAlloc(0, 100 + I, 1);
+    D.onAlloc(0, 200 + I, 4);
+  }
+  std::vector<std::thread> Threads;
+  for (unsigned I = 1; I <= N; ++I) {
+    D.onFork(0, I);
+    Threads.emplace_back([&, I] {
+      ThreadId Tid = I;
+      for (unsigned K = 0; K != 800; ++K) {
+        D.onAcquire(Tid, 100 + Tid);
+        VarId V{static_cast<ObjectId>(200 + Tid), K % 4};
+        if (D.onWrite(Tid, V))
+          Reports.fetch_add(1);
+        if (D.onRead(Tid, V))
+          Reports.fetch_add(1);
+        D.onRelease(Tid, 100 + Tid);
+      }
+      D.onTerminate(Tid);
+      D.onThreadExit(Tid);
+    });
+  }
+  for (unsigned I = 1; I <= N; ++I) {
+    Threads[I - 1].join();
+    D.onJoin(0, I);
+  }
+  D.onTerminate(0);
+  Sup.stop();
+
+  EXPECT_EQ(Reports.load(), 0u)
+      << "supervision pressure caused a false alarm on race-free traffic";
+  EXPECT_GT(Sup.samples(), 0u);
+  EXPECT_TRUE(D.engine().quiesce());
+}

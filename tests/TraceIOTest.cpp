@@ -163,3 +163,51 @@ TEST(TraceIOTest, EmptyInputIsAnEmptyTrace) {
   ASSERT_TRUE(parseTrace("", T, Error));
   EXPECT_TRUE(T.Actions.empty());
 }
+
+TEST(TraceIOTest, StreamingParserMatchesParseTrace) {
+  RandomTraceParams P;
+  P.Seed = 99;
+  Trace Expected = generateRandomTrace(P);
+  std::string Text = serializeTrace(Expected);
+
+  // Feed the same text line by line through the streaming parser.
+  TraceParser Parser;
+  size_t Start = 0;
+  while (Start < Text.size()) {
+    size_t End = Text.find('\n', Start);
+    ASSERT_TRUE(Parser.feedLine(Text.substr(Start, End - Start)))
+        << "line " << Parser.lineNo() << ": " << Parser.error();
+    Start = End + 1;
+  }
+  Trace Streamed = Parser.take();
+
+  Trace Slurped;
+  std::string Error;
+  ASSERT_TRUE(parseTrace(Text, Slurped, Error)) << Error;
+  expectSameTrace(Streamed, Slurped);
+  expectSameTrace(Streamed, Expected);
+}
+
+TEST(TraceIOTest, RejectedLineLeavesStreamingStateUntouched) {
+  // The property --resume-on-error depends on: a failed feedLine must not
+  // half-apply the line, so skipping it and continuing yields exactly the
+  // trace of the accepted lines.
+  TraceParser P;
+  ASSERT_TRUE(P.feedLine("fork 0 1"));
+  EXPECT_FALSE(P.feedLine("fork 0 1"));       // duplicate fork: rejected
+  EXPECT_NE(P.error().find("already forked"), std::string::npos);
+  EXPECT_FALSE(P.feedLine("write 1 5"));      // missing field: rejected
+  EXPECT_FALSE(P.feedLine("frobnicate 1"));   // unknown kind: rejected
+  ASSERT_TRUE(P.feedLine("write 1 5 0"));     // still accepted afterwards
+  ASSERT_TRUE(P.feedLine("fork 0 2"));        // fork registry untouched
+  ASSERT_TRUE(P.feedLine("term 1"));
+  EXPECT_EQ(P.lineNo(), 7u);
+
+  Trace T = P.take();
+  ASSERT_EQ(T.Actions.size(), 4u);
+  EXPECT_EQ(T.Actions[0].Kind, ActionKind::Fork);
+  EXPECT_EQ(T.Actions[1].Kind, ActionKind::Write);
+  EXPECT_EQ(T.Actions[2].Kind, ActionKind::Fork);
+  EXPECT_EQ(T.Actions[2].Target, 2u);
+  EXPECT_EQ(T.Actions[3].Kind, ActionKind::Terminate);
+}

@@ -15,9 +15,17 @@
 ///     --max-infos <n>                  cap the live Info records
 ///     --max-bytes <n>                  coarse detector byte budget
 ///     --oracle                         also print the happens-before oracle verdict
+///     --resume-on-error                skip malformed trace lines (streaming
+///                                      ingestion) instead of aborting
+///     --error-budget <n>               max malformed lines tolerated with
+///                                      --resume-on-error (default 10)
+///     --watchdog-ms <n>                run the supervision watchdog at this
+///                                      sample period (goldilocks only)
+///     --events                         print the supervision event ring at exit
 ///
 /// Exit code: number of distinct racy variables found by the last detector
-/// run (capped at 125), or 126 on usage / parse errors.
+/// run (capped at 125), or 126 on usage / parse errors / exceeded error
+/// budget.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -27,6 +35,7 @@
 #include "event/RandomTrace.h"
 #include "event/TraceIO.h"
 #include "hb/HbOracle.h"
+#include "support/Supervisor.h"
 
 #include <cstdio>
 #include <cstring>
@@ -48,7 +57,10 @@ int usage() {
                "                        [--max-cells <n>] [--max-infos <n>] "
                "[--max-bytes <n>]\n"
                "                        [--dump] [--stats] [--health] "
-               "[--oracle] [trace-file]\n");
+               "[--oracle] [trace-file]\n"
+               "                        [--resume-on-error] "
+               "[--error-budget <n>]\n"
+               "                        [--watchdog-ms <n>] [--events]\n");
   return 126;
 }
 
@@ -91,6 +103,9 @@ int main(int Argc, char **Argv) {
   TxnSyncSemantics Semantics = TxnSyncSemantics::SharedVariable;
   bool Dump = false, WantStats = false, WantHealth = false, WantOracle = false;
   bool Random = false;
+  bool ResumeOnError = false, WantEvents = false;
+  size_t ErrorBudget = 10;
+  unsigned WatchdogMs = 0;
   uint64_t Seed = 1;
   size_t MaxCells = 0, MaxInfos = 0, MaxBytes = 0;
   std::string File;
@@ -137,6 +152,25 @@ int main(int Argc, char **Argv) {
       }
       (Arg == "--max-cells" ? MaxCells
                             : Arg == "--max-infos" ? MaxInfos : MaxBytes) = N;
+    } else if (Arg == "--error-budget" || Arg == "--watchdog-ms") {
+      const char *V = Next();
+      if (!V)
+        return usage();
+      char *End = nullptr;
+      size_t N = std::strtoull(V, &End, 10);
+      if (End == V || *End) {
+        std::fprintf(stderr, "%s wants a non-negative integer, got '%s'\n",
+                     Arg.c_str(), V);
+        return 126;
+      }
+      if (Arg == "--error-budget")
+        ErrorBudget = N;
+      else
+        WatchdogMs = static_cast<unsigned>(N);
+    } else if (Arg == "--resume-on-error") {
+      ResumeOnError = true;
+    } else if (Arg == "--events") {
+      WantEvents = true;
     } else if (Arg == "--dump") {
       Dump = true;
     } else if (Arg == "--stats") {
@@ -163,13 +197,38 @@ int main(int Argc, char **Argv) {
       std::fprintf(stderr, "error: cannot open %s\n", File.c_str());
       return 126;
     }
-    std::ostringstream Buf;
-    Buf << In.rdbuf();
-    std::string Error;
-    if (!parseTrace(Buf.str(), T, Error)) {
-      std::fprintf(stderr, "error: %s: %s\n", File.c_str(), Error.c_str());
-      return 126;
+    // Streaming ingestion: one line at a time through TraceParser. A failed
+    // feedLine leaves the trace unchanged, which is what lets
+    // --resume-on-error skip the line and keep going.
+    TraceParser P;
+    size_t Bad = 0;
+    std::string Line;
+    while (std::getline(In, Line)) {
+      if (P.feedLine(Line))
+        continue;
+      if (!ResumeOnError) {
+        std::fprintf(stderr, "error: %s: line %zu: %s\n", File.c_str(),
+                     P.lineNo(), P.error().c_str());
+        return 126;
+      }
+      ++Bad;
+      if (Bad <= 5)
+        std::fprintf(stderr, "warning: %s: line %zu: %s (skipped)\n",
+                     File.c_str(), P.lineNo(), P.error().c_str());
+      if (Bad > ErrorBudget) {
+        std::fprintf(stderr,
+                     "error: %s: %zu malformed line(s) exceed the error "
+                     "budget (%zu)\n",
+                     File.c_str(), Bad, ErrorBudget);
+        return 126;
+      }
     }
+    if (Bad > 0)
+      std::fprintf(stderr,
+                   "resume-on-error: skipped %zu malformed line(s) "
+                   "(budget %zu)\n",
+                   Bad, ErrorBudget);
+    T = P.take();
   } else {
     std::fprintf(stderr, "error: no trace file (use --random <seed> to "
                          "generate one)\n");
@@ -188,7 +247,21 @@ int main(int Argc, char **Argv) {
       C.MaxInfoRecords = MaxInfos;
       C.MaxBytes = MaxBytes;
       GoldilocksDetector D(C);
+      SupervisorConfig SC;
+      if (WatchdogMs > 0)
+        SC.SamplePeriodMillis = WatchdogMs;
+      Supervisor Sup(superviseEngine(D.engine()), SC);
+      if (WatchdogMs > 0)
+        Sup.start();
       RacyVars = runDetector(D, T, WantStats, WantHealth, &D.engine());
+      Sup.stop();
+      if (WantEvents) {
+        auto Events = Sup.events();
+        std::printf("supervision events (%zu recorded, %zu dropped):\n",
+                    Events.size(), Sup.ring().dropped());
+        for (const SupervisionEvent &E : Events)
+          std::printf("%s\n", E.str().c_str());
+      }
     } else if (Name == "reference") {
       GoldilocksReference::Config C;
       C.Semantics = Semantics;
