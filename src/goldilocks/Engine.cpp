@@ -103,7 +103,8 @@ struct GoldilocksEngine::AtomicStats {
       EagerAdvances{0}, Races{0}, SkippedDisabled{0}, SyncEvents{0},
       Commits{0}, DegradationEvents{0}, DegradedVars{0}, ForcedGcs{0},
       AppendRetries{0}, GraceWaits{0}, GraceTimeouts{0}, CellsQuarantined{0},
-      ReclaimedDeadSlots{0}, ThreadsRegistered{0}, ThreadsDeregistered{0};
+      ReclaimedDeadSlots{0}, ThreadsRegistered{0}, ThreadsDeregistered{0},
+      SlotFallbacks{0};
 };
 
 //===----------------------------------------------------------------------===//
@@ -128,21 +129,42 @@ struct SlotCacheEntry {
   uint64_t EngineGen = 0;
   int Slot = -1;
   uint64_t SlotGen = 0;
+  /// For a cached allocation *failure* (Slot < 0): fallback sections left
+  /// before the entry expires and allocation is retried. Slot exhaustion
+  /// is usually transient (deregistration and dead-slot reclamation refill
+  /// the free list), so a failed claim must not pin the thread to the
+  /// fallback mutex for the engine's lifetime.
+  unsigned NegTtl = 0;
 };
+constexpr unsigned NegativeSlotCacheTtl = 32;
 thread_local SlotCacheEntry SlotCache[4];
 thread_local unsigned SlotCacheNext = 0;
 
 } // namespace
 
 int GoldilocksEngine::claimSlot(uint64_t &SlotGen) {
-  for (const SlotCacheEntry &E : SlotCache)
+  for (SlotCacheEntry &E : SlotCache)
     if (E.EngineGen == Gen) {
-      SlotGen = E.SlotGen;
-      return E.Slot;
+      if (E.Slot >= 0) {
+        SlotGen = E.SlotGen;
+        return E.Slot;
+      }
+      if (--E.NegTtl > 0) {
+        SlotGen = 0;
+        return -1;
+      }
+      E = SlotCacheEntry{}; // cached failure aged out: retry allocation
+      break;
     }
   uint64_t SG = 0;
   int Slot = allocateSlot(SG);
-  SlotCache[SlotCacheNext % 4] = {Gen, Slot, SG};
+  SlotCacheEntry NE;
+  NE.EngineGen = Gen;
+  NE.Slot = Slot;
+  NE.SlotGen = SG;
+  if (Slot < 0)
+    NE.NegTtl = NegativeSlotCacheTtl;
+  SlotCache[SlotCacheNext % 4] = NE;
   ++SlotCacheNext;
   SlotGen = SG;
   return Slot;
@@ -196,6 +218,16 @@ void GoldilocksEngine::pushFreeSlot(int Slot) {
   FreeSlots.push_back(Slot);
 }
 
+void GoldilocksEngine::retireSlot(int Slot) {
+  // The slot's generation space is exhausted: reissuing it would repeat a
+  // generation some stale cache entry may still hold, letting that entry's
+  // ABA'd entry CAS share the slot with a new owner. Park it permanently
+  // instead — SlotInFree == 2 keeps it out of pushFreeSlot and
+  // reclaimDeadSlots forever.
+  std::lock_guard<std::mutex> L(SlotFreeMu);
+  SlotInFree[Slot] = 2;
+}
+
 void GoldilocksEngine::releaseCurrentSlot() {
   for (SlotCacheEntry &E : SlotCache) {
     if (E.EngineGen != Gen)
@@ -204,14 +236,35 @@ void GoldilocksEngine::releaseCurrentSlot() {
       // Only a quiescent slot at our exact generation can be returned; a
       // failed CAS means a reclaimer already bumped it (and owns the
       // free-listing) — either way the cache entry must go.
+      uint64_t NewGen = (E.SlotGen + 1) & SlotGenMask;
       uint64_t Expected = E.SlotGen << SlotEpochBits;
-      uint64_t Bumped = ((E.SlotGen + 1) & SlotGenMask) << SlotEpochBits;
+      uint64_t Bumped = NewGen << SlotEpochBits;
       if (EpochSlots[E.Slot].State.compare_exchange_strong(
-              Expected, Bumped, std::memory_order_seq_cst))
-        pushFreeSlot(E.Slot);
+              Expected, Bumped, std::memory_order_seq_cst)) {
+        if (NewGen == 0)
+          retireSlot(E.Slot); // generation wrapped: never reissue
+        else
+          pushFreeSlot(E.Slot);
+      }
     }
     E = SlotCacheEntry{};
   }
+}
+
+size_t GoldilocksEngine::reclaimDeadSlotsIfExhausted() {
+  // Supervisor entry point. A sweep invalidates every quiescent claimed
+  // slot — including those of live-but-idle threads, which all then fault
+  // their caches and stampede the free list on their next section. Only
+  // pay that when readers are actually being pushed to the fallback mutex:
+  // fresh slots gone and the free list empty.
+  if (SlotsClaimed.load(std::memory_order_acquire) < NumEpochSlots)
+    return 0;
+  {
+    std::lock_guard<std::mutex> L(SlotFreeMu);
+    if (!FreeSlots.empty())
+      return 0;
+  }
+  return reclaimDeadSlots();
 }
 
 size_t GoldilocksEngine::reclaimDeadSlots() {
@@ -225,14 +278,18 @@ size_t GoldilocksEngine::reclaimDeadSlots() {
     uint64_t St = EpochSlots[I].State.load(std::memory_order_relaxed);
     if ((St & SlotEpochMask) != 0)
       continue; // inside a section — live, not reclaimable
-    uint64_t Bumped =
-        (((St >> SlotEpochBits) + 1) & SlotGenMask) << SlotEpochBits;
+    uint64_t NewGen = ((St >> SlotEpochBits) + 1) & SlotGenMask;
+    uint64_t Bumped = NewGen << SlotEpochBits;
     // seq_cst: a thread concurrently entering this slot either CASes first
     // (we see a nonzero epoch and skip) or loses its entry CAS to our bump
     // and re-claims elsewhere. Both owners never coexist.
     if (!EpochSlots[I].State.compare_exchange_strong(
             St, Bumped, std::memory_order_seq_cst))
       continue;
+    if (NewGen == 0) {
+      SlotInFree[I] = 2; // generation wrapped: retire, never reissue
+      continue;
+    }
     SlotInFree[I] = 1;
     FreeSlots.push_back(static_cast<int>(I));
     ++Reclaimed;
@@ -281,8 +338,10 @@ public:
         break; // nested section
       E.forgetCachedSlot(); // reclaimed under us; retry with a fresh slot
     }
-    if (Slot < 0)
+    if (Slot < 0) {
+      E.S->SlotFallbacks.fetch_add(1, std::memory_order_relaxed);
       Fallback = std::shared_lock<std::shared_timed_mutex>(E.FallbackMu);
+    }
   }
   ~ReadGuard() {
     if (Slot >= 0)
@@ -332,6 +391,12 @@ bool GoldilocksEngine::waitForReaders() {
   // instead of freeing, so giving up here is always safe.
   uint64_t NewE = (GlobalEpoch.fetch_add(1, std::memory_order_seq_cst) + 1) &
                   SlotEpochMask;
+  // The Ep >= NewE comparison below is unsound once the 40-bit epoch
+  // counter wraps (pre-wrap readers then carry epochs larger than any
+  // post-wrap NewE). One epoch is consumed per grace period, so 2^40 is
+  // unreachable in practice; assert the bound instead of paying for
+  // wrap-safe arithmetic on this path (see Engine.h, SlotEpochBits).
+  assert(NewE != 0 && "global epoch wrapped SlotEpochMask");
   auto Deadline = std::chrono::steady_clock::time_point::max();
   if (Cfg.GraceDeadlineMicros)
     Deadline = std::chrono::steady_clock::now() +
@@ -370,6 +435,7 @@ bool GoldilocksEngine::waitForReaders() {
 
 GoldilocksEngine::GoldilocksEngine(EngineConfig C)
     : Cfg(C), Gen(EngineGenCounter.fetch_add(1, std::memory_order_relaxed)),
+      NumEpochSlots(std::max(1u, C.EpochSlotCount)),
       EpochSlots(new EpochSlot[NumEpochSlots]),
       SlotInFree(new uint8_t[NumEpochSlots]()),
       KlStripes(new KlStripe[NumKlStripes]), Shards(new Shard[NumShards]),
@@ -863,6 +929,11 @@ GoldilocksEngine::accessLocked(ThreadId T, VarId V, bool IsWrite, bool Xact,
   // so the epoch grace argument covers this load (see waitForReaders).
   Cell *PosC =
       PosOverride ? PosOverride : Last.load(std::memory_order_seq_cst);
+  // Test-only: park in the window where PosC is loaded but not yet
+  // retained. A grace period that times out in here quarantines PosC with
+  // refcount 0; the retain below then resurrects it (the TOCTOU the
+  // quarantine's per-batch refcount re-check and FIFO stop rule exist for).
+  failpointStall(Failpoint::EngineRetainStall);
   uint64_t ToSeq = PosC->Seq;
 
   std::optional<RaceReport> Race;
@@ -1083,7 +1154,15 @@ void GoldilocksEngine::trimUnreferencedPrefix() {
   if (!N)
     return;
   ListLen.fetch_sub(N, std::memory_order_relaxed);
-  if (Grace) {
+  // Direct free requires the quarantine to have fully drained as well: a
+  // grace period only proves no *pre-grace* section is still running. A
+  // cell retained during an earlier timed-out grace's TOCTOU window can
+  // still sit referenced in quarantine, and it is older in walk order than
+  // this prefix — a walk from it flows forward along Next through the
+  // quarantine into these cells. Routing the prefix through the quarantine
+  // as the youngest batch puts it behind the FIFO stop-at-first-referenced
+  // rule that protects it.
+  if (Grace && !QHead) {
     Cell *C = First;
     for (size_t I = 0; I != N; ++I) {
       Cell *Next = C->Next.load(std::memory_order_acquire);
@@ -1490,6 +1569,7 @@ EngineStats GoldilocksEngine::stats() const {
   Out.ReclaimedDeadSlots = L(S->ReclaimedDeadSlots);
   Out.ThreadsRegistered = L(S->ThreadsRegistered);
   Out.ThreadsDeregistered = L(S->ThreadsDeregistered);
+  Out.SlotFallbacks = L(S->SlotFallbacks);
   return Out;
 }
 
@@ -1523,7 +1603,7 @@ SupervisedEngine gold::superviseEngine(GoldilocksEngine &E) {
   SupervisedEngine Out;
   Out.Sample = [&E] { return E.health(); };
   Out.Escalate = [&E](unsigned Rung) { E.escalateLadder(Rung); };
-  Out.ReclaimDeadSlots = [&E] { return E.reclaimDeadSlots(); };
+  Out.ReclaimDeadSlots = [&E] { return E.reclaimDeadSlotsIfExhausted(); };
   return Out;
 }
 

@@ -113,6 +113,12 @@ struct EngineConfig {
   /// period, so a stuck or exited reader can delay reclamation but never
   /// wedge collection (see DESIGN.md "Supervision").
   unsigned GraceDeadlineMicros = 500000;
+
+  /// Number of epoch-reclamation reader slots. Readers beyond this many
+  /// concurrent OS threads fall back to a shared mutex (correct, slower).
+  /// Tests shrink it to exercise exhaustion cheaply; values < 1 are
+  /// clamped to 1.
+  unsigned EpochSlotCount = 512;
 };
 
 /// Monotonic event counters, readable while the engine runs.
@@ -143,6 +149,7 @@ struct EngineStats {
   uint64_t ReclaimedDeadSlots = 0;///< epoch slots recycled from dead threads
   uint64_t ThreadsRegistered = 0; ///< registerThread() on new threads
   uint64_t ThreadsDeregistered = 0;///< deregisterThread() on live threads
+  uint64_t SlotFallbacks = 0;     ///< read sections on the fallback mutex
 
   /// Fraction of happens-before pair checks resolved by the *constant-time*
   /// short circuits (the paper's Table 1 metric); the rest required lockset
@@ -217,10 +224,18 @@ public:
 
   /// Recycles epoch slots whose owners exited without deregistering: every
   /// quiescent claimed slot is generation-bumped (a CAS, so a slot whose
-  /// owner is mid-entry is skipped) and pushed onto the free list. Called
-  /// automatically when the slot array is exhausted and by the supervisor
-  /// on stall escalation. Returns the number of slots reclaimed.
+  /// owner is mid-entry is skipped) and pushed onto the free list. Live
+  /// but idle threads are swept too (a slot is not tied to a ThreadId, so
+  /// "dead" cannot be told from "idle"); their next section transparently
+  /// re-claims. Called automatically when the slot array is exhausted.
+  /// Returns the number of slots reclaimed.
   size_t reclaimDeadSlots();
+
+  /// The supervisor's reclamation hook: runs reclaimDeadSlots() only when
+  /// slots are actually scarce (no fresh slots left and the free list
+  /// empty), so a grace stall with plenty of slots does not invalidate
+  /// every idle thread's cached slot for nothing. Returns 0 otherwise.
+  size_t reclaimDeadSlotsIfExhausted();
 
   /// Climbs the degradation ladder to (at least) \p Rung: 1 forces a
   /// collection, 2 coarsens Info records to the tail, 3 disables variables
@@ -332,6 +347,9 @@ private:
   void releaseCurrentSlot();
   /// Pushes \p Slot onto the free list (idempotent per slot).
   void pushFreeSlot(int Slot);
+  /// Permanently parks \p Slot whose 24-bit generation space is exhausted
+  /// (see the wrap-bounds comment on the slot word below).
+  void retireSlot(int Slot);
   /// Bumps the global epoch and waits — yield spins, then exponential
   /// backoff up to 1ms — until every epoch slot is quiescent or has
   /// observed the new epoch, then flushes overflow readers. Returns true
@@ -404,7 +422,20 @@ private:
   // was handed, so reclaiming a slot is just bumping its generation while
   // quiescent — every stale cache entry then fails its entry CAS and
   // re-claims, which is what makes slots of exited threads recyclable.
-  static constexpr unsigned NumEpochSlots = 512;
+  //
+  // Wrap bounds of the packed word:
+  //  * generation: 24 bits. Each generation value is issued at most once
+  //    per slot — when a bump would wrap to 0 the slot is *retired*
+  //    (SlotInFree == 2; never free-listed again), so a dormant thread's
+  //    stale cache entry can never ABA its entry CAS against a reissued
+  //    generation. 2^24 recycles of one slot before retirement; retiring
+  //    all 512 slots would take ~2^33 deregistrations, after which readers
+  //    use the fallback mutex — degraded, never unsound.
+  //  * epoch: 40 bits, one consumed per GC grace period. The grace scan's
+  //    Ep >= NewE comparison is not wrap-safe; waitForReaders asserts the
+  //    counter has not wrapped (2^40 grace periods is unreachable — at
+  //    1000 GCs/s that is ~35 years).
+  const unsigned NumEpochSlots; ///< EngineConfig::EpochSlotCount, clamped
   static constexpr unsigned SlotEpochBits = 40;
   static constexpr uint64_t SlotEpochMask = (1ull << SlotEpochBits) - 1;
   static constexpr uint64_t SlotGenMask = (1ull << (64 - SlotEpochBits)) - 1;
@@ -414,8 +445,9 @@ private:
   std::unique_ptr<EpochSlot[]> EpochSlots;
   std::atomic<uint64_t> GlobalEpoch{2};
   std::atomic<unsigned> SlotsClaimed{0};
-  /// Free-list of reclaimed slots plus an in-list flag per slot (so a slot
-  /// is never pushed twice).
+  /// Free-list of reclaimed slots plus a per-slot state byte: 0 = claimed
+  /// or never issued, 1 = on the free list (so a slot is never pushed
+  /// twice), 2 = retired (generation space exhausted; never reissued).
   std::mutex SlotFreeMu;
   std::vector<int> FreeSlots;
   std::unique_ptr<uint8_t[]> SlotInFree;

@@ -20,6 +20,8 @@ const char *gold::failpointName(Failpoint F) {
     return "engine-gc-stall";
   case Failpoint::EngineReaderPark:
     return "engine-reader-park";
+  case Failpoint::EngineRetainStall:
+    return "engine-retain-stall";
   case Failpoint::EngineDeregisterDrop:
     return "engine-deregister-drop";
   case Failpoint::StmLockConflict:

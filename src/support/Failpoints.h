@@ -42,6 +42,8 @@ enum class Failpoint : unsigned {
   EngineInfoAlloc,     ///< Info-record / VarState allocation fails (bad_alloc)
   EngineGcStall,       ///< garbage collection stalls for StallMicros
   EngineReaderPark,    ///< a thread parks inside an epoch read section
+  EngineRetainStall,   ///< a reader parks between loading its position from
+                       ///< Last and retaining it (the grace TOCTOU window)
   EngineDeregisterDrop,///< a thread exits without deregistering its slot
   StmLockConflict,     ///< STM object-lock acquisition reports a conflict
   StmLockDelay,        ///< STM object-lock acquisition is delayed

@@ -316,6 +316,129 @@ TEST(SupervisionEngineTest, QuarantineCountsAgainstTheCellBudget) {
             1 + St.CellsAllocated - St.CellsFreed);
 }
 
+// The quarantine TOCTOU, end to end: a reader loads its position from
+// Last, a timed-out grace quarantines that cell with refcount 0, and the
+// reader then retains it. The resurrected cell is *older* in walk order
+// than everything detached later, so a subsequent collection — even one
+// whose grace period succeeds — must not free a later prefix directly
+// while the quarantine is pinned: walks from the resurrected cell flow
+// forward along Next straight through it (ASan turns a direct free here
+// into a use-after-free).
+TEST(SupervisionEngineTest, RetainDuringTimedOutGraceProtectsLaterPrefixes) {
+  EngineConfig C;
+  C.GcThreshold = 0;
+  C.GraceDeadlineMicros = 10000; // 10ms
+  GoldilocksEngine E(C);
+
+  for (unsigned I = 0; I != 50; ++I) {
+    E.onAcquire(1, 5);
+    E.onRelease(1, 5);
+  }
+
+  FailpointConfig FC;
+  FC.rate(Failpoint::EngineRetainStall, 1000000);
+  FC.StallMicros = 250000; // 250ms between the Last load and the retain
+  std::atomic<bool> Entered{false};
+  std::thread Reader;
+  {
+    FailpointScope Scope(FC);
+    Reader = std::thread([&] {
+      Entered.store(true);
+      // Loads PosC = Last, parks, then retains PosC as v's read info.
+      EXPECT_FALSE(E.onRead(2, VarId{7, 0}).has_value());
+    });
+    while (!Entered.load())
+      std::this_thread::yield();
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+
+    // Move Last past the reader's loaded position, then collect: the
+    // grace times out on the parked reader and the whole prefix —
+    // including the loaded-but-not-yet-retained position — is detached
+    // into quarantine at refcount 0.
+    for (unsigned I = 0; I != 50; ++I) {
+      E.onAcquire(1, 5);
+      E.onRelease(1, 5);
+    }
+    E.collectGarbage();
+    EXPECT_GE(E.stats().GraceTimeouts, 1u);
+    EXPECT_GT(E.stats().CellsQuarantined, 0u);
+    Reader.join(); // wakes, retains the quarantined cell, installs the Info
+  }
+
+  // Reader gone: the next grace *succeeds*, but the flush stops at the
+  // batch holding the resurrected cell. The fresh prefix detached by this
+  // collection must join the quarantine behind it, not go to the
+  // allocator.
+  for (unsigned I = 0; I != 80; ++I) {
+    E.onAcquire(1, 5);
+    E.onRelease(1, 5);
+  }
+  E.collectGarbage();
+  EXPECT_GT(E.health().QuarantinedCells, 200u)
+      << "the second prefix bypassed the pinned quarantine";
+
+  // Walk from the resurrected position forward across the quarantined
+  // chain into the cells the second collection detached. (The verdict is a
+  // true race: threads 2 and 3 share no synchronization on v.)
+  EXPECT_TRUE(E.onWrite(3, VarId{7, 0}).has_value());
+
+  // The write dropped v's read info (the quarantine's only pin): draining
+  // must now free everything and the books must balance.
+  EXPECT_TRUE(E.quiesce());
+  EngineHealth H = E.health();
+  EXPECT_EQ(H.QuarantinedCells, 0u);
+  EngineStats St = E.stats();
+  EXPECT_EQ(E.eventListLength(), 1 + St.CellsAllocated - St.CellsFreed);
+}
+
+// A failed slot claim is cached thread-locally, but the failure must age
+// out: once the stuck readers are gone, dead-slot reclamation can refill
+// the array and the thread must return to the epoch fast path instead of
+// staying pinned to the fallback mutex for the engine's lifetime.
+TEST(SupervisionEngineTest, FailedSlotClaimAgesOutOfTheThreadCache) {
+  EngineConfig C;
+  C.GcThreshold = 0;
+  C.EpochSlotCount = 4; // tiny array so 4 parked readers exhaust it
+  GoldilocksEngine E(C);
+
+  FailpointConfig FC;
+  FC.rate(Failpoint::EngineReaderPark, 1000000);
+  FC.StallMicros = 400000; // 400ms parked sections
+  std::atomic<unsigned> Entered{0};
+  std::vector<std::thread> Parked;
+  {
+    FailpointScope Scope(FC);
+    for (unsigned I = 0; I != 4; ++I)
+      Parked.emplace_back([&, I] {
+        Entered.fetch_add(1);
+        EXPECT_FALSE(E.onRead(10 + I, VarId{3, I}).has_value());
+      });
+    while (Entered.load() != 4)
+      std::this_thread::yield();
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+    // Every slot is inside a parked section: this claim fails (nothing is
+    // reclaimable) and the failure is cached. (This read parks too — that
+    // only slows the test.)
+    EXPECT_FALSE(E.onRead(2, VarId{7, 0}).has_value());
+    EXPECT_GE(E.stats().SlotFallbacks, 1u) << "slots were not exhausted";
+    for (std::thread &T : Parked)
+      T.join();
+  }
+
+  // The parked threads are gone; their slots are quiescent but still
+  // claimed (no deregistration). Within the negative-cache TTL the thread
+  // must retry allocation, reclaim the dead slots and leave the fallback
+  // path.
+  for (unsigned K = 0; K != 64; ++K)
+    EXPECT_FALSE(E.onRead(2, VarId{8, K}).has_value());
+  EngineStats St = E.stats();
+  EXPECT_GT(St.ReclaimedDeadSlots, 0u)
+      << "the cached failure never aged out into an allocation retry";
+  EXPECT_LT(St.SlotFallbacks, 40u)
+      << "the thread stayed on the fallback mutex after slots freed up";
+}
+
 // More OS threads than epoch slots, every one of them "crashing" (the
 // deregister failpoint drops the cleanup): the slot array must self-heal
 // by reclaiming quiescent dead slots instead of pushing readers onto the

@@ -257,8 +257,9 @@ int main(int Argc, char **Argv) {
       Sup.stop();
       if (WantEvents) {
         auto Events = Sup.events();
-        std::printf("supervision events (%zu recorded, %zu dropped):\n",
-                    Events.size(), Sup.ring().dropped());
+        std::printf("supervision events (%zu recorded, %llu dropped):\n",
+                    Events.size(),
+                    (unsigned long long)Sup.ring().dropped());
         for (const SupervisionEvent &E : Events)
           std::printf("%s\n", E.str().c_str());
       }
