@@ -11,6 +11,7 @@
 #define GOLD_BENCH_BENCHUTIL_H
 
 #include "analysis/StaticRace.h"
+#include "bench/BenchJson.h"
 #include "detectors/GoldilocksDetectors.h"
 #include "support/Timer.h"
 #include "vm/Vm.h"
@@ -19,6 +20,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <thread>
 
 namespace gold {
 
@@ -105,6 +107,24 @@ inline unsigned parseScale(int Argc, char **Argv, unsigned Default) {
   for (int I = 1; I + 1 < Argc; ++I)
     if (std::string(Argv[I]) == "--scale")
       return static_cast<unsigned>(std::strtoul(Argv[I + 1], nullptr, 10));
+  return Default;
+}
+
+/// Parses "\p Flag N" from argv (default \p Default).
+inline unsigned parseUintArg(int Argc, char **Argv, const char *Flag,
+                             unsigned Default) {
+  for (int I = 1; I + 1 < Argc; ++I)
+    if (std::string(Argv[I]) == Flag)
+      return static_cast<unsigned>(std::strtoul(Argv[I + 1], nullptr, 10));
+  return Default;
+}
+
+/// Parses "\p Flag value" from argv (default \p Default).
+inline std::string parseStrArg(int Argc, char **Argv, const char *Flag,
+                               const char *Default) {
+  for (int I = 1; I + 1 < Argc; ++I)
+    if (std::string(Argv[I]) == Flag)
+      return Argv[I + 1];
   return Default;
 }
 

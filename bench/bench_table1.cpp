@@ -21,6 +21,9 @@ using namespace gold;
 
 int main(int Argc, char **Argv) {
   unsigned Scale = parseScale(Argc, Argv, 3);
+  const int Reps = static_cast<int>(parseUintArg(Argc, Argv, "--reps", 3));
+  std::string JsonPath = parseStrArg(Argc, Argv, "--json", "");
+  std::string Label = parseStrArg(Argc, Argv, "--label", "");
   std::printf("=== Table 1: race-aware runtime overhead "
               "(scale factor %u) ===\n\n",
               Scale);
@@ -29,12 +32,20 @@ int main(int Argc, char **Argv) {
            "Chord(s)", "Slow", "RccJava(s)", "Slow", "SC%(Chord)",
            "SC%(Rcc)"});
 
+  JsonWriter J;
+  jsonBenchHeader(J, "bench_table1");
+  J.kv("scale", Scale);
+  J.kv("reps", static_cast<uint64_t>(Reps));
+  jsonEngineConfig(J, "config", EngineConfig());
+  J.key("runs");
+  J.beginArray();
+
   for (const Workload &W : standardSuite(WorkloadScale{Scale})) {
     ProgramVariants Var = makeVariants(W);
-    RunResult Un = runBest(W.Prog, /*Instrument=*/false);
-    RunResult Plain = runBest(Var.Plain, /*Instrument=*/true);
-    RunResult Chord = runBest(Var.Chord, /*Instrument=*/true);
-    RunResult Rcc = runBest(Var.RccJava, /*Instrument=*/true);
+    RunResult Un = runBest(W.Prog, /*Instrument=*/false, Reps);
+    RunResult Plain = runBest(Var.Plain, /*Instrument=*/true, Reps);
+    RunResult Chord = runBest(Var.Chord, /*Instrument=*/true, Reps);
+    RunResult Rcc = runBest(Var.RccJava, /*Instrument=*/true, Reps);
 
     auto Slow = [&](const RunResult &R) {
       return Un.Seconds > 0 ? R.Seconds / Un.Seconds : 0.0;
@@ -48,8 +59,39 @@ int main(int Argc, char **Argv) {
               Table::percent(Rcc.Engine.shortCircuitFraction())});
     if (Plain.Races || Chord.Races || Rcc.Races)
       std::printf("!! unexpected races in %s\n", W.Name.c_str());
+
+    auto EmitVariant = [&](const char *Variant, const RunResult &R,
+                           bool Instrumented) {
+      J.beginObject();
+      if (!Label.empty())
+        J.kv("label", Label);
+      J.kv("workload", W.Name);
+      J.kv("threads", W.Threads);
+      J.kv("variant", Variant);
+      J.kv("seconds", R.Seconds);
+      J.kv("slowdown", Slow(R));
+      J.kv("races", R.Races);
+      if (Instrumented) {
+        J.kv("distinct_vars_checked", R.DistinctVarsChecked);
+        jsonEngineStats(J, "stats", R.Engine);
+      }
+      J.endObject();
+    };
+    EmitVariant("uninstrumented", Un, false);
+    EmitVariant("nostatic", Plain, true);
+    EmitVariant("chord", Chord, true);
+    EmitVariant("rccjava", Rcc, true);
   }
+  J.endArray();
+  J.endObject();
   T.print();
+  if (!JsonPath.empty()) {
+    if (!J.writeFile(JsonPath)) {
+      std::fprintf(stderr, "failed to write %s\n", JsonPath.c_str());
+      return 1;
+    }
+    std::printf("\nwrote %s\n", JsonPath.c_str());
+  }
   std::printf("\nPaper reference (Table 1, interpreted): slowdowns without "
               "static info ranged 1.0-17.9x;\nChord reduced most to 1.0-2.3x "
               "except the barrier-synchronized moldyn/raytracer (5.3/11.4),\n"

@@ -78,13 +78,30 @@ std::string Action::str() const {
   return Buf;
 }
 
+namespace {
+bool varKeyLess(VarId A, VarId B) { return A.key() < B.key(); }
+
+bool memberOf(const std::vector<VarId> &Vars,
+              const std::vector<VarId> &Sorted, VarId V) {
+  if (!Sorted.empty())
+    return std::binary_search(Sorted.begin(), Sorted.end(), V, varKeyLess);
+  return std::find(Vars.begin(), Vars.end(), V) != Vars.end();
+}
+} // namespace
+
+void CommitSets::prepareSorted() {
+  SortedReads = Reads;
+  SortedWrites = Writes;
+  std::sort(SortedReads.begin(), SortedReads.end(), varKeyLess);
+  std::sort(SortedWrites.begin(), SortedWrites.end(), varKeyLess);
+}
+
 bool CommitSets::touches(VarId V) const {
-  return std::find(Reads.begin(), Reads.end(), V) != Reads.end() ||
-         std::find(Writes.begin(), Writes.end(), V) != Writes.end();
+  return memberOf(Reads, SortedReads, V) || memberOf(Writes, SortedWrites, V);
 }
 
 bool CommitSets::writes(VarId V) const {
-  return std::find(Writes.begin(), Writes.end(), V) != Writes.end();
+  return memberOf(Writes, SortedWrites, V);
 }
 
 ThreadId Trace::threadCount() const {
@@ -254,6 +271,7 @@ TraceBuilder &TraceBuilder::commit(ThreadId T, std::vector<VarId> Reads,
   A.Thread = T;
   A.CommitId = static_cast<uint32_t>(Built.Commits.size());
   Built.Commits.push_back(CommitSets{std::move(Reads), std::move(Writes)});
+  Built.Commits.back().prepareSorted();
   return append(A);
 }
 

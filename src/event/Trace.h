@@ -23,6 +23,16 @@ struct CommitSets {
   std::vector<VarId> Reads;
   std::vector<VarId> Writes;
 
+  /// VarId::key()-sorted copies of Reads/Writes, built once by
+  /// prepareSorted() (TraceBuilder::commit does it at trace construction;
+  /// the engine does it when it takes ownership of a commit's sets). They
+  /// are read-only after the commit is published, so concurrent window
+  /// walks binary-search them without locks. Empty until prepared —
+  /// membership tests fall back to a linear scan then.
+  std::vector<VarId> SortedReads;
+  std::vector<VarId> SortedWrites;
+  void prepareSorted();
+
   /// Returns true if (R ∪ W) contains \p V.
   bool touches(VarId V) const;
   /// Returns true if W contains \p V.

@@ -57,12 +57,25 @@ struct GoldilocksEngine::Info {
   }
 };
 
+/// One per-thread ReadInfo node of a variable's reads-since-last-write
+/// list. Slab-allocated (ReadArena) and linked intrusively off the
+/// VarState, so the common one-or-two-readers case costs no vector
+/// header or reallocation. Guarded by the variable's KL stripe.
+struct GoldilocksEngine::ReadRec {
+  ThreadId Tid = NoThread;
+  Info RI;
+  ReadRec *Next = nullptr;
+};
+
 /// Per-variable state: WriteInfo and per-thread ReadInfo. The serialization
 /// lock KL(o,d) lives in the engine's striped lock table (klFor), not here,
-/// so a VarState is just data.
+/// so a VarState is just data. Slab-allocated (VarArena); never freed
+/// before engine teardown, which is what lets the shard tables and the
+/// per-object lists hold raw pointers with no tombstones.
 struct GoldilocksEngine::VarState {
   Info Write;
-  std::vector<std::pair<ThreadId, Info>> Reads; // reads since the last write
+  ReadRec *ReadsHead = nullptr; // reads since the last write (KL stripe)
+  VarState *NextInObject = nullptr; // intrusive ByObject list (shard mutex)
   bool Disabled = false;  ///< disabled after its first race (Section 6)
   bool Degraded = false;  ///< disabled by the resource governor (rung 3)
   VarId V;
@@ -79,6 +92,15 @@ struct GoldilocksEngine::ThreadState {
   /// Lifecycle registry flags (registerThread / deregisterThread).
   std::atomic<bool> Registered{false};
   std::atomic<bool> Exited{false};
+  /// Pending append batch (AppendBatchSize > 1): a pre-linked chain of
+  /// unpublished cells, touched only by the owning thread. The cells are
+  /// invisible to every reader and to the collector until publishBatch
+  /// links the whole chain with one CAS; the engine destructor frees a
+  /// leftover chain of a thread that never flushed (without counting it —
+  /// CellsAllocated/SyncEvents are publication-time stats).
+  Cell *BatchHead = nullptr;
+  Cell *BatchTail = nullptr;
+  unsigned BatchLen = 0;
 };
 
 /// One quarantine batch: \p Count cells starting at \p First whose Next
@@ -90,11 +112,29 @@ struct GoldilocksEngine::QuarantineBatch {
   QuarantineBatch *Next = nullptr;
 };
 
+/// One shard of the variable-state index: an open-addressing flat table
+/// (linear probing, power-of-two size, null = empty) over slab-allocated
+/// VarStates, plus a per-object index realized as intrusive lists through
+/// VarState::NextInObject. VarStates are never deleted before engine
+/// teardown, so the table needs no tombstones and probe chains never
+/// break. The map hop of the old unordered_map cost one cache miss per
+/// node; a probe here usually resolves within one cache line of slots.
 struct GoldilocksEngine::Shard {
   std::mutex Mu;
-  std::unordered_map<uint64_t, std::unique_ptr<VarState>> Map;
-  std::unordered_map<ObjectId, std::vector<VarState *>> ByObject;
+  std::vector<VarState *> Table; // open addressing; size is a power of two
+  size_t Count = 0;              // occupied slots
+  std::unordered_map<ObjectId, VarState *> ByObjectHead; // intrusive heads
 };
+
+namespace {
+
+/// Probe start for a packed var id: a multiplicative mix independent of the
+/// shard choice (which consumes the low bits of the same hash).
+size_t varProbeStart(uint64_t Key, size_t Mask) {
+  return static_cast<size_t>((Key * 0xFF51AFD7ED558CCDull) >> 17) & Mask;
+}
+
+} // namespace
 
 struct GoldilocksEngine::AtomicStats {
   std::atomic<uint64_t> Accesses{0}, PairChecks{0}, Sc1Xact{0},
@@ -104,7 +144,7 @@ struct GoldilocksEngine::AtomicStats {
       Commits{0}, DegradationEvents{0}, DegradedVars{0}, ForcedGcs{0},
       AppendRetries{0}, GraceWaits{0}, GraceTimeouts{0}, CellsQuarantined{0},
       ReclaimedDeadSlots{0}, ThreadsRegistered{0}, ThreadsDeregistered{0},
-      SlotFallbacks{0};
+      SlotFallbacks{0}, BatchPublishes{0};
 };
 
 //===----------------------------------------------------------------------===//
@@ -439,9 +479,12 @@ GoldilocksEngine::GoldilocksEngine(EngineConfig C)
       EpochSlots(new EpochSlot[NumEpochSlots]),
       SlotInFree(new uint8_t[NumEpochSlots]()),
       KlStripes(new KlStripe[NumKlStripes]), Shards(new Shard[NumShards]),
+      CellArena(new SlabArena(sizeof(Cell), C.EnableSlabPooling)),
+      VarArena(new SlabArena(sizeof(VarState), C.EnableSlabPooling)),
+      ReadArena(new SlabArena(sizeof(ReadRec), C.EnableSlabPooling)),
       S(new AtomicStats) {
   // Sentinel origin cell so Info.Pos is never null.
-  auto *Origin = new Cell;
+  Cell *Origin = slabNew<Cell>(*CellArena);
   Origin->Event.Kind = ActionKind::Terminate;
   Origin->Event.Thread = NoThread;
   Origin->Seq = 0;
@@ -459,7 +502,7 @@ GoldilocksEngine::~GoldilocksEngine() {
     Cell *C = QHead->First;
     for (size_t I = 0; I != QHead->Count; ++I) {
       Cell *Next = C->Next.load(std::memory_order_relaxed);
-      delete C;
+      destroyCell(C);
       C = Next;
     }
     QuarantineBatch *Next = QHead->Next;
@@ -469,8 +512,35 @@ GoldilocksEngine::~GoldilocksEngine() {
   Cell *C = Head;
   while (C) {
     Cell *Next = C->Next.load(std::memory_order_relaxed);
-    delete C;
+    destroyCell(C);
     C = Next;
+  }
+  // Never-published batch chains of threads that exited without a flush
+  // (their cells were never counted, so no stats adjustment).
+  for (auto &[Tid, TS] : Threads) {
+    (void)Tid;
+    Cell *B = TS->BatchHead;
+    while (B) {
+      Cell *Next = B->Next.load(std::memory_order_relaxed);
+      destroyCell(B);
+      B = Next;
+    }
+  }
+  // Variable states and their read lists come from the arenas too; destroy
+  // them explicitly before the arenas (members declared after Shards) go.
+  for (unsigned I = 0; I != NumShards; ++I) {
+    for (VarState *St : Shards[I].Table) {
+      if (!St)
+        continue;
+      ReadRec *R = St->ReadsHead;
+      while (R) {
+        ReadRec *Next = R->Next;
+        slabDelete(*ReadArena, R);
+        R = Next;
+      }
+      slabDelete(*VarArena, St);
+    }
+    Shards[I].Table.clear();
   }
 }
 
@@ -480,22 +550,49 @@ GoldilocksEngine::~GoldilocksEngine() {
 
 GoldilocksEngine::VarState &GoldilocksEngine::varState(VarId V) {
   Shard &Sh = Shards[VarIdHash()(V) % NumShards];
+  uint64_t Key = V.key();
   std::lock_guard<std::mutex> L(Sh.Mu);
-  auto It = Sh.Map.find(V.key());
-  if (It != Sh.Map.end())
-    return *It->second;
-  auto St = std::make_unique<VarState>();
+  if (!Sh.Table.empty()) {
+    size_t Mask = Sh.Table.size() - 1;
+    for (size_t Idx = varProbeStart(Key, Mask);; Idx = (Idx + 1) & Mask) {
+      VarState *St = Sh.Table[Idx];
+      if (!St)
+        break;
+      if (St->V == V)
+        return *St;
+    }
+  }
+  // Miss: insert. Ordered so every throwing step precedes the no-fail
+  // linking — grow the table, reserve the per-object head, allocate the
+  // state, then link; onAlloc (rule 8) can then never miss a variable that
+  // made it into the table.
+  if ((Sh.Count + 1) * 4 >= Sh.Table.size() * 3) { // load factor 3/4
+    size_t NewSize = Sh.Table.empty() ? 16 : Sh.Table.size() * 2;
+    std::vector<VarState *> NewTable(NewSize, nullptr);
+    size_t Mask = NewSize - 1;
+    for (VarState *St : Sh.Table) {
+      if (!St)
+        continue;
+      size_t Idx = varProbeStart(St->V.key(), Mask);
+      while (NewTable[Idx])
+        Idx = (Idx + 1) & Mask;
+      NewTable[Idx] = St;
+    }
+    Sh.Table.swap(NewTable);
+  }
+  auto HeadIt = Sh.ByObjectHead.emplace(V.Object, nullptr).first;
+  VarState *St = slabNew<VarState>(*VarArena);
   St->V = V;
-  VarState *Raw = St.get();
-  // Reserve the per-object index slot first: once the state is in the map
-  // the index insertion must not be able to fail, or onAlloc (rule 8)
-  // would miss the variable on reallocation.
-  auto &Vec = Sh.ByObject[V.Object];
-  Vec.reserve(Vec.size() + 1);
-  Sh.Map.emplace(V.key(), std::move(St));
-  Vec.push_back(Raw);
+  St->NextInObject = HeadIt->second;
+  HeadIt->second = St;
+  size_t Mask = Sh.Table.size() - 1;
+  size_t Idx = varProbeStart(Key, Mask);
+  while (Sh.Table[Idx])
+    Idx = (Idx + 1) & Mask;
+  Sh.Table[Idx] = St;
+  ++Sh.Count;
   VarCount.fetch_add(1, std::memory_order_relaxed);
-  return *Raw;
+  return *St;
 }
 
 GoldilocksEngine::ThreadState &GoldilocksEngine::threadState(ThreadId T) {
@@ -549,6 +646,17 @@ void GoldilocksEngine::dropInfo(Info &I) {
   InfoCount.fetch_sub(1, std::memory_order_relaxed);
 }
 
+void GoldilocksEngine::clearReads(VarState &St) {
+  ReadRec *R = St.ReadsHead;
+  St.ReadsHead = nullptr;
+  while (R) {
+    ReadRec *Next = R->Next;
+    dropInfo(R->RI);
+    slabDelete(*ReadArena, R);
+    R = Next;
+  }
+}
+
 void GoldilocksEngine::installInfo(Info &Slot, Info &&NI) {
   assert(NI.Valid && "installing an invalid Info");
   dropInfo(Slot);
@@ -564,14 +672,21 @@ void GoldilocksEngine::installInfo(Info &Slot, Info &&NI) {
 // Event list
 //===----------------------------------------------------------------------===//
 
-void GoldilocksEngine::appendCell(Cell *C) {
+void GoldilocksEngine::appendChain(Cell *First, Cell *LastC, size_t Count) {
   // Lock-free tail append (the paper's atomic-exchange design, realized as
-  // a Michael-Scott-style CAS on the tail's Next). The cell's sequence
-  // number is derived from the actual predecessor *before* the linking CAS
-  // publishes it, so Seq is strictly monotone along the links — windows
+  // a Michael-Scott-style CAS on the tail's Next). Sequence numbers are
+  // derived from the actual predecessor *before* the linking CAS publishes
+  // the chain, so Seq is strictly monotone along the links — windows
   // bounded by `Seq <= ToSeq` stay exact under any interleaving. A global
   // counter could not guarantee that: two appenders could link in the
   // opposite order of their tickets.
+  //
+  // For Count > 1 the chain [First .. LastC] is pre-linked with relaxed
+  // Next stores by the owning thread; the single release CAS below is what
+  // publishes every intra-chain Seq/Next/payload store to traversals that
+  // acquire-load their way in. Only LastC->Next is null, so later
+  // appenders CAS onto the chain's end exactly as with a single cell.
+  (void)Count;
   Cell *Tail = Last.load(std::memory_order_seq_cst);
   while (true) {
     Cell *Next = Tail->Next.load(std::memory_order_acquire);
@@ -579,9 +694,14 @@ void GoldilocksEngine::appendCell(Cell *C) {
       Tail = Next;
       continue;
     }
-    C->Seq = Tail->Seq + 1;
+    uint64_t Seq = Tail->Seq;
+    for (Cell *C = First;; C = C->Next.load(std::memory_order_relaxed)) {
+      C->Seq = ++Seq; // unpublished until the CAS; plain stores are fine
+      if (C == LastC)
+        break;
+    }
     Cell *Expected = nullptr;
-    if (Tail->Next.compare_exchange_strong(Expected, C,
+    if (Tail->Next.compare_exchange_strong(Expected, First,
                                            std::memory_order_release,
                                            std::memory_order_acquire))
       break;
@@ -591,15 +711,91 @@ void GoldilocksEngine::appendCell(Cell *C) {
   // Swing the monotone Last hint; a stale hint only costs the next reader
   // a few Next hops, never correctness. Seq compare keeps it monotone.
   Cell *Hint = Last.load(std::memory_order_seq_cst);
-  while (Hint->Seq < C->Seq &&
-         !Last.compare_exchange_weak(Hint, C, std::memory_order_seq_cst,
+  while (Hint->Seq < LastC->Seq &&
+         !Last.compare_exchange_weak(Hint, LastC, std::memory_order_seq_cst,
                                      std::memory_order_seq_cst)) {
   }
 }
 
+void GoldilocksEngine::appendCell(Cell *C) { appendChain(C, C, 1); }
+
+GoldilocksEngine::Cell *
+GoldilocksEngine::allocCell(const SyncEvent &E,
+                            std::unique_ptr<CommitSets> &Owned) {
+  if (failpoint(Failpoint::EngineCellAlloc))
+    throw std::bad_alloc();
+  Cell *C = slabNew<Cell>(*CellArena);
+  C->OwnedCommit = std::move(Owned);
+  C->Event = E;
+  if (C->OwnedCommit) {
+    // The engine owns this copy of the commit's (R, W); sort it once so
+    // every window walk's LS ∩ (R∪W) test binary-searches it (unless the
+    // caller's CommitSets came in already prepared and the copy kept it).
+    CommitSets &CS = *C->OwnedCommit;
+    if (CS.SortedReads.size() != CS.Reads.size() ||
+        CS.SortedWrites.size() != CS.Writes.size())
+      CS.prepareSorted();
+    C->Event.Commit = C->OwnedCommit.get();
+  }
+  return C;
+}
+
+void GoldilocksEngine::destroyCell(Cell *C) { slabDelete(*CellArena, C); }
+
 bool GoldilocksEngine::recordingStopped() const {
   return Stopped.load(std::memory_order_relaxed) ||
          GlobalDegraded.load(std::memory_order_relaxed);
+}
+
+namespace {
+
+/// Events whose Figure-5 rules only ever add the *executing* thread to a
+/// lockset (incoming happens-before edges). Delaying their publication can
+/// never break another thread's ownership chain: any chain that leaves the
+/// delaying thread does so through an outgoing event (release, volatile
+/// write, commit, fork, terminate), which always flushes the pending batch
+/// first (see DESIGN.md §12). Volatile reads are batchable by the same
+/// argument but stay immediate by policy: volatile accesses are the
+/// program's own synchronization reads and keeping them instantly visible
+/// preserves today's exact interleaving semantics.
+bool batchableKind(ActionKind K) {
+  return K == ActionKind::Acquire || K == ActionKind::Join;
+}
+
+} // namespace
+
+void GoldilocksEngine::publishBatch(ThreadState &TS) {
+  Cell *First = TS.BatchHead;
+  Cell *LastC = TS.BatchTail;
+  size_t N = TS.BatchLen;
+  TS.BatchHead = TS.BatchTail = nullptr;
+  TS.BatchLen = 0;
+  if (!First)
+    return;
+  size_t Len;
+  {
+    ReadGuard G(*this);
+    appendChain(First, LastC, N);
+    Len = ListLen.fetch_add(N, std::memory_order_relaxed) + N;
+  }
+  size_t HW = ListHighWater.load(std::memory_order_relaxed);
+  while (Len > HW && !ListHighWater.compare_exchange_weak(
+                         HW, Len, std::memory_order_relaxed)) {
+  }
+  // Cells and events are counted at *publication*, so the quiescent-state
+  // invariant eventListLength() == 1 + CellsAllocated - CellsFreed holds
+  // and never-published buffers (engine teardown) stay invisible.
+  S->SyncEvents.fetch_add(N, std::memory_order_relaxed);
+  S->CellsAllocated.fetch_add(N, std::memory_order_relaxed);
+  S->BatchPublishes.fetch_add(1, std::memory_order_relaxed);
+}
+
+void GoldilocksEngine::flushPending(ThreadId T) {
+  if (Cfg.AppendBatchSize <= 1 || Cfg.LegacyGlobalLocks)
+    return;
+  if (ThreadState *TS = findThreadState(T))
+    if (TS->BatchHead)
+      publishBatch(*TS);
 }
 
 void GoldilocksEngine::enqueue(SyncEvent E, std::unique_ptr<CommitSets> Owned) {
@@ -619,9 +815,7 @@ void GoldilocksEngine::enqueue(SyncEvent E, std::unique_ptr<CommitSets> Owned) {
   Cell *C = nullptr;
   for (int Attempt = 0; !C && Attempt != 2; ++Attempt) {
     try {
-      if (failpoint(Failpoint::EngineCellAlloc))
-        throw std::bad_alloc();
-      C = new Cell;
+      C = allocCell(E, Owned);
     } catch (const std::bad_alloc &) {
       if (Attempt == 0) {
         // Dropping a synchronization event would poison every later
@@ -640,10 +834,36 @@ void GoldilocksEngine::enqueue(SyncEvent E, std::unique_ptr<CommitSets> Owned) {
     return;
   }
 
-  C->OwnedCommit = std::move(Owned);
-  C->Event = E;
-  if (C->OwnedCommit)
-    C->Event.Commit = C->OwnedCommit.get();
+  const bool Batching = Cfg.AppendBatchSize > 1 && !Cfg.LegacyGlobalLocks;
+  if (Batching) {
+    if (batchableKind(E.Kind)) {
+      try {
+        // Buffer the cell thread-locally, pre-linking it onto the pending
+        // chain; one CAS will publish the whole chain. Program order along
+        // the thread is preserved by construction, and the flush points
+        // (own access checks, outgoing events, commit anchors,
+        // deregistration) bound the delay.
+        ThreadState &TS = threadState(E.Thread);
+        if (TS.BatchTail)
+          TS.BatchTail->Next.store(C, std::memory_order_relaxed);
+        else
+          TS.BatchHead = C;
+        TS.BatchTail = C;
+        if (++TS.BatchLen >= Cfg.AppendBatchSize)
+          publishBatch(TS);
+        return;
+      } catch (const std::bad_alloc &) {
+        // First-seen thread and no memory for its state: fall through to
+        // the immediate publish below, which needs no ThreadState.
+      }
+    } else {
+      // Outgoing-edge (or volatile) event: everything this thread buffered
+      // must enter the list *before* it, so other threads replaying a
+      // window through this event see the thread's full prefix.
+      flushPending(E.Thread);
+    }
+  }
+
   size_t Len;
   {
     ReadGuard G(*this);
@@ -682,7 +902,7 @@ size_t GoldilocksEngine::distinctVarsChecked() const {
   size_t Total = 0;
   for (unsigned I = 0; I != NumShards; ++I) {
     std::lock_guard<std::mutex> L(Shards[I].Mu);
-    Total += Shards[I].Map.size();
+    Total += Shards[I].Count;
   }
   return Total;
 }
@@ -783,6 +1003,9 @@ void GoldilocksEngine::registerThread(ThreadId T) {
 void GoldilocksEngine::deregisterThread(ThreadId T) {
   if (failpoint(Failpoint::EngineDeregisterDrop))
     return; // test-only: the thread "exits" without deregistering
+  // A thread must not exit with unpublished sync events: later accesses by
+  // other threads (after e.g. a join edge) may need them in their windows.
+  flushPending(T);
   if (ThreadState *TS = findThreadState(T)) {
     if (!TS->Exited.exchange(true, std::memory_order_relaxed))
       S->ThreadsDeregistered.fetch_add(1, std::memory_order_relaxed);
@@ -807,17 +1030,13 @@ void GoldilocksEngine::onAlloc(ThreadId T, ObjectId O, uint32_t FieldCount) {
   for (unsigned I = 0; I != NumShards; ++I) {
     Shard &SI = Shards[I];
     std::lock_guard<std::mutex> L(SI.Mu);
-    auto It = SI.ByObject.find(O);
-    if (It == SI.ByObject.end())
+    auto It = SI.ByObjectHead.find(O);
+    if (It == SI.ByObjectHead.end())
       continue;
-    for (VarState *St : It->second) {
+    for (VarState *St = It->second; St; St = St->NextInObject) {
       std::lock_guard<std::mutex> KL(klFor(St->V));
       dropInfo(St->Write);
-      for (auto &[Tid, RI] : St->Reads) {
-        (void)Tid;
-        dropInfo(RI);
-      }
-      St->Reads.clear();
+      clearReads(*St);
       St->Disabled = false;
       St->Degraded = false;
     }
@@ -858,8 +1077,8 @@ bool GoldilocksEngine::walkWindow(Lockset LS, const Cell *From, uint64_t ToSeq,
   return false;
 }
 
-bool GoldilocksEngine::orderedBefore(const Info &Prev, ThreadId T,
-                                     bool Xact) {
+bool GoldilocksEngine::orderedBefore(const Info &Prev, ThreadId T, bool Xact,
+                                     ThreadState *&TS) {
   // Short circuit 1: both accesses transactional (Figure 8 line 1).
   if (Cfg.EnableXactShortCircuit && Prev.Xact && Xact) {
     S->Sc1Xact.fetch_add(1, std::memory_order_relaxed);
@@ -872,7 +1091,9 @@ bool GoldilocksEngine::orderedBefore(const Info &Prev, ThreadId T,
   }
   // Short circuit 3: a lock held at the previous access is held now.
   if (Cfg.EnableALockShortCircuit && Prev.HasALock) {
-    const auto &Held = threadState(T).HeldLocks;
+    if (!TS)
+      TS = &threadState(T);
+    const auto &Held = TS->HeldLocks;
     if (std::find(Held.begin(), Held.end(), Prev.ALock) != Held.end()) {
       S->Sc3ALock.fetch_add(1, std::memory_order_relaxed);
       return true;
@@ -889,6 +1110,17 @@ GoldilocksEngine::accessImpl(ThreadId T, VarId V, bool IsWrite, bool Xact,
     S->SkippedDisabled.fetch_add(1, std::memory_order_relaxed);
     return std::nullopt;
   }
+  // Publish this thread's buffered sync events before the check loads its
+  // anchor: a PosC that predates the thread's own (unpublished) acquires
+  // is unsound in both directions — the check window would miss the hb
+  // edges they complete, and the installed Info would claim a position
+  // before events that precede the access in program order. The lookup's
+  // result is threaded through the whole check (short circuit 3, Info
+  // install) so ThreadsMu is taken at most once per access; thread states
+  // are never erased, so the pointer stays valid without the lock.
+  ThreadState *TS = findThreadState(T);
+  if (TS && TS->BatchHead)
+    publishBatch(*TS);
   // The whole check — position acquisition, window walks, Info install —
   // runs inside one epoch section, so the collector cannot free any cell
   // the check can reach.
@@ -903,7 +1135,7 @@ GoldilocksEngine::accessImpl(ThreadId T, VarId V, bool IsWrite, bool Xact,
   try {
     if (failpoint(Failpoint::EngineInfoAlloc))
       throw std::bad_alloc();
-    return accessLocked(T, V, IsWrite, Xact, PosOverride, SelfCommit);
+    return accessLocked(T, TS, V, IsWrite, Xact, PosOverride, SelfCommit);
   } catch (const std::bad_alloc &) {
     // The access could not be recorded; without its Info record the
     // variable's later verdicts could silently miss races, so degrade it
@@ -914,8 +1146,8 @@ GoldilocksEngine::accessImpl(ThreadId T, VarId V, bool IsWrite, bool Xact,
 }
 
 std::optional<RaceReport>
-GoldilocksEngine::accessLocked(ThreadId T, VarId V, bool IsWrite, bool Xact,
-                               Cell *PosOverride,
+GoldilocksEngine::accessLocked(ThreadId T, ThreadState *TS, VarId V,
+                               bool IsWrite, bool Xact, Cell *PosOverride,
                                const CommitSets *SelfCommit) {
   VarState &St = varState(V);
   std::lock_guard<std::mutex> KL(klFor(V));
@@ -941,7 +1173,7 @@ GoldilocksEngine::accessLocked(ThreadId T, VarId V, bool IsWrite, bool Xact,
     if (Race || !Prev.Valid)
       return;
     S->PairChecks.fetch_add(1, std::memory_order_relaxed);
-    if (orderedBefore(Prev, T, Xact))
+    if (orderedBefore(Prev, T, Xact, TS))
       return;
     // Prev's position is retained by the record and stable under KL.
     Cell *PrevPos = Prev.Pos.load(std::memory_order_acquire);
@@ -969,21 +1201,15 @@ GoldilocksEngine::accessLocked(ThreadId T, VarId V, bool IsWrite, bool Xact,
 
   Check(St.Write, /*PrevIsWrite=*/true);
   if (IsWrite)
-    for (auto &[Tid, RI] : St.Reads) {
-      (void)Tid;
-      Check(RI, /*PrevIsWrite=*/false);
-    }
+    for (ReadRec *R = St.ReadsHead; R; R = R->Next)
+      Check(R->RI, /*PrevIsWrite=*/false);
 
   if (Race) {
     S->Races.fetch_add(1, std::memory_order_relaxed);
     if (Cfg.DisableVarAfterRace) {
       St.Disabled = true;
       dropInfo(St.Write);
-      for (auto &[Tid, RI] : St.Reads) {
-        (void)Tid;
-        dropInfo(RI);
-      }
-      St.Reads.clear();
+      clearReads(St);
     }
     return Race;
   }
@@ -998,7 +1224,9 @@ GoldilocksEngine::accessLocked(ThreadId T, VarId V, bool IsWrite, bool Xact,
   NI.Xact = Xact;
   NI.LS.resetToOwner(T, Xact);
   {
-    const auto &Held = threadState(T).HeldLocks;
+    if (!TS)
+      TS = &threadState(T);
+    const auto &Held = TS->HeldLocks;
     if (!Held.empty()) {
       NI.ALock = Held.back();
       NI.HasALock = true;
@@ -1006,20 +1234,20 @@ GoldilocksEngine::accessLocked(ThreadId T, VarId V, bool IsWrite, bool Xact,
   }
   Info *Slot = &St.Write;
   if (IsWrite) {
-    for (auto &[Tid, RI] : St.Reads) {
-      (void)Tid;
-      dropInfo(RI);
-    }
-    St.Reads.clear();
+    clearReads(St);
   } else {
     Slot = nullptr;
-    for (auto &[Tid, RI] : St.Reads)
-      if (Tid == T)
-        Slot = &RI;
+    for (ReadRec *R = St.ReadsHead; R; R = R->Next)
+      if (R->Tid == T)
+        Slot = &R->RI;
     if (!Slot) {
-      St.Reads.reserve(St.Reads.size() + 1);
-      St.Reads.emplace_back(T, Info());
-      Slot = &St.Reads.back().second;
+      // May throw bad_alloc (caught by accessImpl); a node left with an
+      // invalid RI on a later throw is harmless — checks skip !Valid.
+      ReadRec *R = slabNew<ReadRec>(*ReadArena);
+      R->Tid = T;
+      R->Next = St.ReadsHead;
+      St.ReadsHead = R;
+      Slot = &R->RI;
     }
   }
   NI.Pos.store(PosC, std::memory_order_relaxed);
@@ -1040,6 +1268,11 @@ void GoldilocksEngine::commitPoint(ThreadId T, const CommitSets &CS) {
   // pass), and (b) future walks starting at the installed Infos do
   // traverse the commit cell, whose clause (c) publishes R∪W into the
   // locksets (the Figure 7 "end_tr" step).
+  // Publish any buffered sync events first: the anchor must be the true
+  // predecessor of the commit cell, or the replayed checks would miss the
+  // thread's own pre-commit acquires (and the advance clamp would protect
+  // the wrong window).
+  flushPending(T);
   Cell *Anchor;
   {
     ReadGuard G(*this);
@@ -1166,7 +1399,7 @@ void GoldilocksEngine::trimUnreferencedPrefix() {
     Cell *C = First;
     for (size_t I = 0; I != N; ++I) {
       Cell *Next = C->Next.load(std::memory_order_acquire);
-      delete C;
+      destroyCell(C);
       C = Next;
     }
     S->CellsFreed.fetch_add(N, std::memory_order_relaxed);
@@ -1216,7 +1449,7 @@ void GoldilocksEngine::flushQuarantineLocked() {
     C = QHead->First;
     for (size_t I = 0; I != QHead->Count; ++I) {
       Cell *Next = C->Next.load(std::memory_order_relaxed);
-      delete C;
+      destroyCell(C);
       C = Next;
     }
     QuarantineCount.fetch_sub(QHead->Count, std::memory_order_relaxed);
@@ -1270,14 +1503,13 @@ void GoldilocksEngine::advanceInfosLocked(Cell *Boundary) {
   for (unsigned I = 0; I != NumShards; ++I) {
     Shard &Sh = Shards[I];
     std::lock_guard<std::mutex> L(Sh.Mu);
-    for (auto &[Key, St] : Sh.Map) {
-      (void)Key;
+    for (VarState *St : Sh.Table) {
+      if (!St)
+        continue;
       std::lock_guard<std::mutex> KL(klFor(St->V));
       Advance(St->Write, St->V);
-      for (auto &[Tid, RI] : St->Reads) {
-        (void)Tid;
-        Advance(RI, St->V);
-      }
+      for (ReadRec *R = St->ReadsHead; R; R = R->Next)
+        Advance(R->RI, St->V);
     }
   }
 }
@@ -1353,14 +1585,16 @@ void GoldilocksEngine::escalateLadder(unsigned Rung) {
 //===----------------------------------------------------------------------===//
 
 size_t GoldilocksEngine::approxBytes() const {
-  // Coarse estimate; the constants stand in for the per-node overhead of
-  // the maps, the read vectors and the lockset storage. Quarantined cells
-  // are still resident, so they count like live ones.
-  return (ListLen.load(std::memory_order_relaxed) +
-          QuarantineCount.load(std::memory_order_relaxed)) *
-             sizeof(Cell) +
-         InfoCount.load(std::memory_order_relaxed) * (sizeof(Info) + 32) +
-         VarCount.load(std::memory_order_relaxed) * (sizeof(VarState) + 64);
+  // Slab-aware accounting: the arenas report the bytes they actually hold
+  // from the system (whole pages when pooled, live slots when passthrough),
+  // which automatically covers live cells, quarantined cells, variable
+  // records and read records. The remaining constants stand in for side
+  // structures the arenas do not own: lockset heap spill for Info records
+  // and the shard tables' pointer slots per variable.
+  return CellArena->bytesReserved() + VarArena->bytesReserved() +
+         ReadArena->bytesReserved() +
+         InfoCount.load(std::memory_order_relaxed) * 32 +
+         VarCount.load(std::memory_order_relaxed) * 64;
 }
 
 bool GoldilocksEngine::overCellBudget(size_t Incoming) const {
@@ -1369,7 +1603,8 @@ bool GoldilocksEngine::overCellBudget(size_t Incoming) const {
                               Incoming >
                           Cfg.MaxCells)
     return true;
-  if (Cfg.MaxBytes && approxBytes() + Incoming * sizeof(Cell) > Cfg.MaxBytes)
+  if (Cfg.MaxBytes &&
+      approxBytes() + Incoming * CellArena->slotBytes() > Cfg.MaxBytes)
     return true;
   return false;
 }
@@ -1402,11 +1637,7 @@ void GoldilocksEngine::degradeVarLocked(VarState &St) {
     return;
   St.Degraded = true;
   dropInfo(St.Write);
-  for (auto &[Tid, RI] : St.Reads) {
-    (void)Tid;
-    dropInfo(RI);
-  }
-  St.Reads.clear();
+  clearReads(St);
   S->DegradedVars.fetch_add(1, std::memory_order_relaxed);
   noteDegradationLevel(3);
 }
@@ -1473,17 +1704,16 @@ void GoldilocksEngine::disablePinnedVars() {
   for (unsigned I = 0; I != NumShards; ++I) {
     Shard &Sh = Shards[I];
     std::lock_guard<std::mutex> L2(Sh.Mu);
-    for (auto &[Key, St] : Sh.Map) {
-      (void)Key;
+    for (VarState *St : Sh.Table) {
+      if (!St)
+        continue;
       std::lock_guard<std::mutex> KL(klFor(St->V));
       bool Pins =
           St->Write.Valid &&
           St->Write.Pos.load(std::memory_order_relaxed)->Seq < Bound->Seq;
-      for (auto &[Tid, RI] : St->Reads) {
-        (void)Tid;
-        Pins |= RI.Valid &&
-                RI.Pos.load(std::memory_order_relaxed)->Seq < Bound->Seq;
-      }
+      for (ReadRec *R = St->ReadsHead; R; R = R->Next)
+        Pins |= R->RI.Valid &&
+                R->RI.Pos.load(std::memory_order_relaxed)->Seq < Bound->Seq;
       if (Pins)
         degradeVarLocked(*St);
     }
@@ -1503,27 +1733,26 @@ void GoldilocksEngine::enforceInfoBudget(VarId Current) {
     for (unsigned I = 0; I != NumShards; ++I) {
       Shard &Sh = Shards[I];
       std::lock_guard<std::mutex> L(Sh.Mu);
-      for (auto &[Key, St] : Sh.Map) {
-        (void)Key;
+      for (VarState *St : Sh.Table) {
+        if (!St)
+          continue;
         std::lock_guard<std::mutex> KL(klFor(St->V));
         uint64_t Oldest = ~0ull;
         if (St->Write.Valid)
           Oldest = St->Write.Pos.load(std::memory_order_relaxed)->Seq;
-        for (auto &[Tid, RI] : St->Reads) {
-          (void)Tid;
-          if (RI.Valid)
+        for (ReadRec *R = St->ReadsHead; R; R = R->Next)
+          if (R->RI.Valid)
             Oldest = std::min(
-                Oldest, RI.Pos.load(std::memory_order_relaxed)->Seq);
-        }
+                Oldest, R->RI.Pos.load(std::memory_order_relaxed)->Seq);
         if (Oldest == ~0ull)
           continue;
         if (St->V == Current) {
-          CurrentSt = St.get();
+          CurrentSt = St;
           continue;
         }
         if (Oldest < VictimSeq) {
           VictimSeq = Oldest;
-          Victim = St.get();
+          Victim = St;
         }
       }
     }
@@ -1570,6 +1799,7 @@ EngineStats GoldilocksEngine::stats() const {
   Out.ThreadsRegistered = L(S->ThreadsRegistered);
   Out.ThreadsDeregistered = L(S->ThreadsDeregistered);
   Out.SlotFallbacks = L(S->SlotFallbacks);
+  Out.BatchPublishes = L(S->BatchPublishes);
   return Out;
 }
 
@@ -1612,8 +1842,9 @@ std::vector<VarId> GoldilocksEngine::degradedVars() const {
   for (unsigned I = 0; I != NumShards; ++I) {
     Shard &Sh = Shards[I];
     std::lock_guard<std::mutex> L(Sh.Mu);
-    for (auto &[Key, St] : Sh.Map) {
-      (void)Key;
+    for (VarState *St : Sh.Table) {
+      if (!St)
+        continue;
       std::lock_guard<std::mutex> KL(klFor(St->V));
       if (St->Degraded)
         Out.push_back(St->V);

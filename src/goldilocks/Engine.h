@@ -59,6 +59,7 @@
 #include "goldilocks/Health.h"
 #include "goldilocks/Race.h"
 #include "goldilocks/Rules.h"
+#include "support/Slab.h"
 
 #include <atomic>
 #include <memory>
@@ -95,6 +96,27 @@ struct EngineConfig {
   /// conservative fallback; the default is the lock-free append with
   /// epoch-based reclamation.
   bool LegacyGlobalLocks = false;
+
+  /// Allocate sync-event cells, Info records and variable states from the
+  /// cache-line-aligned slab arena (src/support/Slab.h) with per-thread
+  /// free caches, recycling retired cells through epoch/quarantine
+  /// reclamation instead of returning them to the global heap. Disable for
+  /// the ablation benches and for allocation-debugging runs (every record
+  /// becomes an individual new/delete again, visible to heap tools).
+  bool EnableSlabPooling = true;
+
+  /// Maximum number of consecutive synchronization events a thread may
+  /// buffer locally, pre-linked, before publishing the whole chain to the
+  /// event list with a single tail CAS (amortizing append contention).
+  /// 1 (the default) preserves immediate per-event publication. Values > 1
+  /// only ever delay *batchable* events — acquire and join, whose lockset
+  /// rules add only the executing thread (incoming hb edges; see DESIGN.md
+  /// §12 for the soundness argument). Volatile reads/writes, releases,
+  /// commits, forks and terminates always flush the pending batch and
+  /// publish immediately, and a thread's own batch is flushed before any
+  /// of its data-access checks and commit anchors, so verdicts are
+  /// unchanged. Ignored under LegacyGlobalLocks.
+  unsigned AppendBatchSize = 1;
 
   /// Resource governor hard caps (0 = unlimited). When a cap is hit the
   /// engine climbs the degradation ladder instead of growing: (1) forced
@@ -150,6 +172,7 @@ struct EngineStats {
   uint64_t ThreadsRegistered = 0; ///< registerThread() on new threads
   uint64_t ThreadsDeregistered = 0;///< deregisterThread() on live threads
   uint64_t SlotFallbacks = 0;     ///< read sections on the fallback mutex
+  uint64_t BatchPublishes = 0;    ///< batched tail appends (>= 1 cell each)
 
   /// Fraction of happens-before pair checks resolved by the *constant-time*
   /// short circuits (the paper's Table 1 metric); the rest required lockset
@@ -280,6 +303,7 @@ public:
 private:
   struct Cell;
   struct Info;
+  struct ReadRec;
   struct VarState;
   struct ThreadState;
   struct Shard;
@@ -296,12 +320,19 @@ private:
                                        const CommitSets *SelfCommit = nullptr);
   /// The throwing core of accessImpl; runs under the variable's KL stripe
   /// inside the caller's epoch section. accessImpl catches bad_alloc.
-  std::optional<RaceReport> accessLocked(ThreadId T, VarId V, bool IsWrite,
-                                         bool Xact, Cell *PosOverride,
+  /// \p TS is the access's thread-state cache (may enter null for a
+  /// first-seen thread); every thread-state read in the check goes through
+  /// it so the ThreadsMu lookup is paid at most once per access.
+  std::optional<RaceReport> accessLocked(ThreadId T, ThreadState *TS, VarId V,
+                                         bool IsWrite, bool Xact,
+                                         Cell *PosOverride,
                                          const CommitSets *SelfCommit);
   /// Constant-time short circuits of Check-Happens-Before (Figure 8):
   /// returns true when they prove Prev happens-before the current access.
-  bool orderedBefore(const Info &Prev, ThreadId T, bool Xact);
+  /// \p TS caches the executing thread's state across calls (filled on
+  /// first use; may allocate, hence may throw).
+  bool orderedBefore(const Info &Prev, ThreadId T, bool Xact,
+                     ThreadState *&TS);
   /// Walks the event-list window (From, ToSeq] applying the Figure 5 rules.
   /// When Filtered is set, only events of threads T and FilterA are applied
   /// (the sound fast pass of Section 5.1). For transactional accesses,
@@ -318,6 +349,27 @@ private:
   /// Lock-free tail append: derives the cell's Seq from its predecessor,
   /// publishes it with the linking CAS and swings the monotone Last hint.
   void appendCell(Cell *C);
+  /// Generalization of appendCell for a thread-local pre-linked chain
+  /// [First .. LastC] of \p Count cells: sequence numbers are assigned by
+  /// walking the chain from the actual predecessor, then the whole chain
+  /// is published with a single linking CAS (release, so intra-chain
+  /// relaxed Next/Seq stores become visible to acquiring traversals).
+  void appendChain(Cell *First, Cell *LastC, size_t Count);
+  /// Slab-backed Cell construction (throws bad_alloc on pool exhaustion;
+  /// \p Owned is only consumed on success so the caller can retry).
+  Cell *allocCell(const SyncEvent &E, std::unique_ptr<CommitSets> &Owned);
+  /// Destroys \p C and recycles its slot (or deletes it in passthrough
+  /// mode). The only way cells die.
+  void destroyCell(Cell *C);
+  /// Publishes \p TS's buffered batch inside a fresh read section and
+  /// clears the buffer. Counts cells/events at publication time.
+  void publishBatch(ThreadState &TS);
+  /// Flushes thread \p T's pending batch, if any. MUST run before any
+  /// code path of T that loads Last as a check anchor (accessImpl) or a
+  /// commit anchor (commitPoint): a stale own-event anchor is unsound in
+  /// both directions (see DESIGN.md §12). Must not be called inside an
+  /// epoch section.
+  void flushPending(ThreadId T);
   VarState &varState(VarId V);
   ThreadState &threadState(ThreadId T);
   /// Lookup without creation (deregistration must not allocate).
@@ -327,6 +379,9 @@ private:
   void releaseCell(Cell *C);
   void dropInfo(Info &I);
   void installInfo(Info &Slot, Info &&NI);
+  /// Drops every read Info of \p St and recycles its ReadRec nodes.
+  /// Requires St's KL stripe.
+  void clearReads(VarState &St);
   void maybeCollect();
   /// The body of collectGarbage(); requires GcRunMu held by the caller.
   void runCollectionLocked();
@@ -486,6 +541,13 @@ private:
   static constexpr unsigned NumShards = 64;
   std::unique_ptr<Shard[]> Shards;
 
+  // Slab arenas for the three hot-path record types (DESIGN.md §12).
+  // Constructed in the .cpp (the pooled types are incomplete here);
+  // destroyed after every cell/var/read record, so slots outlive records.
+  std::unique_ptr<SlabArena> CellArena; // Cell
+  std::unique_ptr<SlabArena> VarArena;  // VarState
+  std::unique_ptr<SlabArena> ReadArena; // ReadRec
+
   // Per-thread lock stacks for the alock short circuit. Lookups are
   // shared; only a first-seen thread takes the exclusive path.
   mutable std::shared_mutex ThreadsMu;
@@ -501,6 +563,32 @@ private:
   std::atomic<bool> GlobalDegraded{false};
 
   // Statistics (relaxed atomics; snapshot via stats()).
+  //
+  // Memory-ordering policy (audited for this file as a whole): every
+  // counter in AtomicStats and every governor gauge above is a *monotonic
+  // tally with no reader that derives control flow requiring ordering*, so
+  // all of their operations are explicitly memory_order_relaxed. The
+  // deliberate exceptions — the only non-relaxed atomics in the engine —
+  // are the ones the correctness arguments in DESIGN.md lean on:
+  //
+  //  * Cell::Next linking CAS: release (publishes the cell's Seq/payload,
+  //    and for a batch the whole pre-linked chain) / acquire on traversal.
+  //  * Last: seq_cst loads and CAS. Its monotonicity relative to the epoch
+  //    entry CAS is the heart of the grace-period argument (§10): a reader
+  //    section's first Last load must be ordered after its slot publish.
+  //  * EpochSlot::State: seq_cst entry CAS and collector scan loads;
+  //    release store on section exit (quiescence publishes the section's
+  //    reads as done).
+  //  * GlobalEpoch: seq_cst bump in waitForReaders (pairs with the entry
+  //    CAS in the same total order).
+  //  * SlotsClaimed: acq_rel fetch_add (slot handout is an ownership
+  //    transfer).
+  //  * Cell::RefCount: release decrement / acquire on the zero-check, the
+  //    classic refcount protocol.
+  //  * Stopped: seq_cst store in shutdown() (hooks must not reorder their
+  //    recording past the latch), relaxed loads elsewhere.
+  //  * ThreadState::PendingAnchor / Registered / Exited: acquire/release
+  //    (anchor handoff between commitPoint and finishCommit).
   struct AtomicStats;
   std::unique_ptr<AtomicStats> S;
 };

@@ -20,6 +20,8 @@ std::string LocksetElem::str() const {
 }
 
 bool Lockset::contains(const LocksetElem &E) const {
+  if (!Sorted.empty())
+    return std::binary_search(Sorted.begin(), Sorted.end(), E);
   return std::find(Elems.begin(), Elems.end(), E) != Elems.end();
 }
 
@@ -27,30 +29,78 @@ bool Lockset::insert(const LocksetElem &E) {
   if (contains(E))
     return false;
   Elems.push_back(E);
+  if (Elems.size() == InlineElems + 1) {
+    // Just spilled: materialize the sorted shadow.
+    Sorted.assign(Elems.begin(), Elems.end());
+    std::sort(Sorted.begin(), Sorted.end());
+  } else if (!Sorted.empty()) {
+    Sorted.insert(std::lower_bound(Sorted.begin(), Sorted.end(), E), E);
+  }
   return true;
 }
 
 void Lockset::resetToOwner(ThreadId T, bool Xact) {
-  Elems.clear();
+  clear();
   Elems.push_back(LocksetElem::thread(T));
   if (Xact)
     Elems.push_back(LocksetElem::txnLock());
 }
 
-bool Lockset::intersectsDataVars(const std::vector<VarId> &Vars) const {
-  for (const LocksetElem &E : Elems)
-    if (E.Kind == LocksetElem::DataVar &&
-        std::find(Vars.begin(), Vars.end(), E.Var) != Vars.end())
+bool Lockset::intersectsDataVars(const std::vector<VarId> &Vars,
+                                 const std::vector<VarId> *SortedVars) const {
+  if (Vars.empty() || Elems.empty())
+    return false;
+  if (!Sorted.empty()) {
+    // Large lockset: its DataVar elements form one contiguous Var-sorted
+    // range of the shadow. Probe the smaller of {that range, Vars} into
+    // the sorted other side.
+    LocksetElem Lo = LocksetElem::dataVar(VarId{0, 0});
+    auto First = std::lower_bound(Sorted.begin(), Sorted.end(), Lo);
+    auto Last = First;
+    while (Last != Sorted.end() && Last->Kind == LocksetElem::DataVar)
+      ++Last;
+    size_t NumData = static_cast<size_t>(Last - First);
+    if (NumData == 0)
+      return false;
+    if (SortedVars && NumData <= SortedVars->size()) {
+      for (auto It = First; It != Last; ++It)
+        if (std::binary_search(SortedVars->begin(), SortedVars->end(),
+                               It->Var, [](VarId A, VarId B) {
+                                 return A.key() < B.key();
+                               }))
+          return true;
+      return false;
+    }
+    for (VarId V : Vars)
+      if (std::binary_search(First, Last, LocksetElem::dataVar(V)))
+        return true;
+    return false;
+  }
+  // Small lockset: scan its (≤ InlineElems) elements, probing each DataVar
+  // into the sorted commit set when available.
+  for (const LocksetElem &E : Elems) {
+    if (E.Kind != LocksetElem::DataVar)
+      continue;
+    if (SortedVars
+            ? std::binary_search(SortedVars->begin(), SortedVars->end(),
+                                 E.Var,
+                                 [](VarId A, VarId B) {
+                                   return A.key() < B.key();
+                                 })
+            : std::find(Vars.begin(), Vars.end(), E.Var) != Vars.end())
       return true;
+  }
   return false;
 }
 
 std::string Lockset::str() const {
   std::string Out = "{";
-  for (size_t I = 0; I != Elems.size(); ++I) {
-    if (I)
+  bool First = true;
+  for (const LocksetElem &E : Elems) {
+    if (!First)
       Out += ", ";
-    Out += Elems[I].str();
+    First = false;
+    Out += E.str();
   }
   Out += "}";
   return Out;

@@ -11,12 +11,22 @@
 /// the special transaction-lock value TL. Unlike Eraser-style locksets,
 /// Goldilocks locksets *grow* as synchronization events transfer ownership.
 ///
+/// Representation (DESIGN.md §12): locksets in real executions are almost
+/// always tiny — a thread element, a lock or two — so the element sequence
+/// is a small-buffer vector holding the first 8 elements inline: building,
+/// copying (window walks pass locksets by value) and membership-testing the
+/// common case touches no heap. Sets that spill past the inline capacity
+/// additionally maintain a *sorted shadow* of the elements (ordered by
+/// (Kind, Object, Field)), switching contains() to binary search and giving
+/// the commit rule's LS ∩ (R∪W) test a sorted DataVar range to probe.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef GOLD_GOLDILOCKS_LOCKSET_H
 #define GOLD_GOLDILOCKS_LOCKSET_H
 
 #include "event/Ids.h"
+#include "support/SmallVector.h"
 
 #include <string>
 #include <vector>
@@ -58,32 +68,47 @@ struct LocksetElem {
   static LocksetElem txnLock() {
     LocksetElem E;
     E.Kind = TxnLock;
+    E.Var = VarId{0, 0}; // normalized so ordering/equality can use Var
     return E;
   }
 
   ThreadId threadId() const { return Var.Object; }
 
   friend bool operator==(const LocksetElem &A, const LocksetElem &B) {
+    return A.Kind == B.Kind && A.Var == B.Var;
+  }
+
+  /// Total order for the sorted shadow: by kind, then packed variable id.
+  /// Groups each kind — in particular all DataVar elements — into one
+  /// contiguous, Var-sorted range.
+  friend bool operator<(const LocksetElem &A, const LocksetElem &B) {
     if (A.Kind != B.Kind)
-      return false;
-    if (A.Kind == TxnLock)
-      return true;
-    return A.Var == B.Var;
+      return A.Kind < B.Kind;
+    return A.Var.key() < B.Var.key();
   }
 
   /// Renders e.g. "T2", "o1.lock", "o3.f0", "TL".
   std::string str() const;
 };
 
-/// A small set of LocksetElems. Locksets are typically tiny (a handful of
-/// elements), so a flat vector with linear membership tests beats hashing.
+/// A small set of LocksetElems preserving insertion order (str() renders the
+/// evolutions of Figures 6 and 7 verbatim, and race reports identify the
+/// prior owner as the first Thread element). See the file comment for the
+/// two-tier representation.
 class Lockset {
 public:
+  /// Inline element capacity; also the size beyond which the sorted shadow
+  /// kicks in.
+  static constexpr unsigned InlineElems = 8;
+
   Lockset() = default;
 
   bool empty() const { return Elems.empty(); }
   size_t size() const { return Elems.size(); }
-  void clear() { Elems.clear(); }
+  void clear() {
+    Elems.clear();
+    Sorted.clear();
+  }
 
   bool contains(const LocksetElem &E) const;
   bool containsThread(ThreadId T) const {
@@ -99,10 +124,18 @@ public:
   void resetToOwner(ThreadId T, bool Xact);
 
   /// Returns true if the set contains any of the data variables in \p Vars
-  /// (used by the commit rule's LS ∩ (R ∪ W) test).
-  bool intersectsDataVars(const std::vector<VarId> &Vars) const;
+  /// (the commit rule's LS ∩ (R ∪ W) test). \p SortedVars, when non-null,
+  /// is \p Vars sorted by VarId::key() (CommitSets::prepareSorted()); the
+  /// probe then runs smaller-side-into-sorted-larger-side instead of the
+  /// quadratic scan.
+  bool intersectsDataVars(const std::vector<VarId> &Vars,
+                          const std::vector<VarId> *SortedVars =
+                              nullptr) const;
 
-  const std::vector<LocksetElem> &elems() const { return Elems; }
+  /// Iteration in insertion order.
+  const LocksetElem *begin() const { return Elems.begin(); }
+  const LocksetElem *end() const { return Elems.end(); }
+  const Lockset &elems() const { return *this; } // legacy range-for shim
 
   /// Renders e.g. "{T1, o2.lock, T2}" preserving insertion order, so unit
   /// tests can assert the exact evolutions shown in Figures 6 and 7.
@@ -111,7 +144,12 @@ public:
   friend bool operator==(const Lockset &A, const Lockset &B);
 
 private:
-  std::vector<LocksetElem> Elems;
+  /// Insertion-ordered elements; first InlineElems live inside the object.
+  SmallVector<LocksetElem, InlineElems> Elems;
+  /// Sorted shadow of Elems, maintained only once the set spills past the
+  /// inline capacity (empty before that). Never consulted while small —
+  /// a linear scan over one or two cache lines wins there.
+  std::vector<LocksetElem> Sorted;
 };
 
 bool operator==(const Lockset &A, const Lockset &B);

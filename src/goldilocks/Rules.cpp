@@ -29,15 +29,24 @@ std::string SyncEvent::str() const {
 
 bool gold::commitGainsOwnership(const Lockset &LS, const CommitSets &CS,
                                 TxnSyncSemantics Semantics) {
+  // Pass the sorted copies when the commit was prepared (TraceBuilder and
+  // the engine both do), so the LS ∩ (R∪W) test probes the smaller side
+  // into a sorted larger side instead of scanning the cross product.
+  auto MeetsReads = [&] {
+    return LS.intersectsDataVars(
+        CS.Reads, CS.SortedReads.empty() ? nullptr : &CS.SortedReads);
+  };
+  auto MeetsWrites = [&] {
+    return LS.intersectsDataVars(
+        CS.Writes, CS.SortedWrites.empty() ? nullptr : &CS.SortedWrites);
+  };
   switch (Semantics) {
   case TxnSyncSemantics::SharedVariable:
-    return LS.intersectsDataVars(CS.Reads) ||
-           LS.intersectsDataVars(CS.Writes);
+    return MeetsReads() || MeetsWrites();
   case TxnSyncSemantics::AtomicOrder:
-    return LS.containsTxnLock() || LS.intersectsDataVars(CS.Reads) ||
-           LS.intersectsDataVars(CS.Writes);
+    return LS.containsTxnLock() || MeetsReads() || MeetsWrites();
   case TxnSyncSemantics::WriterToReader:
-    return LS.intersectsDataVars(CS.Reads);
+    return MeetsReads();
   }
   return false;
 }

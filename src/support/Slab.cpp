@@ -1,0 +1,173 @@
+//===- support/Slab.cpp ---------------------------------------------------===//
+
+#include "support/Slab.h"
+
+#include <cstring>
+#include <new>
+
+#if defined(__SANITIZE_ADDRESS__)
+#define GOLD_SLAB_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define GOLD_SLAB_ASAN 1
+#endif
+#endif
+
+#ifdef GOLD_SLAB_ASAN
+#include <sanitizer/asan_interface.h>
+#define GOLD_POISON(P, N) __asan_poison_memory_region((P), (N))
+#define GOLD_UNPOISON(P, N) __asan_unpoison_memory_region((P), (N))
+#else
+#define GOLD_POISON(P, N) ((void)0)
+#define GOLD_UNPOISON(P, N) ((void)0)
+#endif
+
+using namespace gold;
+
+namespace {
+
+constexpr size_t CacheLine = 64;
+
+/// Process-wide monotone generation counter; each arena takes one value at
+/// construction, so a magazine entry tagged with a generation can never
+/// match a different (or later-reincarnated-at-the-same-address) arena.
+std::atomic<uint64_t> NextArenaGen{1};
+
+/// One thread's private stash of free slots for one arena. Refilled and
+/// drained in half-capacity batches so the global mutex is touched once
+/// per ~Half allocations in steady state.
+struct Magazine {
+  static constexpr unsigned Cap = 32;
+  uint64_t ArenaGen = 0;
+  unsigned Count = 0;
+  void *Slots[Cap];
+};
+
+/// A thread talks to at most a handful of live arenas (the engine owns
+/// three); four entries with round-robin eviction cover that. Evicted
+/// slots stay reachable from their arena's pages and are reclaimed when
+/// that arena is destroyed — they are simply lost to the free pool, never
+/// to the process.
+constexpr unsigned NumMagazines = 4;
+thread_local Magazine Mags[NumMagazines];
+thread_local unsigned NextEvict = 0;
+
+Magazine *findMagazine(uint64_t Gen) {
+  for (Magazine &M : Mags)
+    if (M.ArenaGen == Gen)
+      return &M;
+  return nullptr;
+}
+
+Magazine *claimMagazine(uint64_t Gen) {
+  for (Magazine &M : Mags)
+    if (M.ArenaGen == 0) {
+      M.ArenaGen = Gen;
+      M.Count = 0;
+      return &M;
+    }
+  Magazine &M = Mags[NextEvict++ % NumMagazines];
+  M.ArenaGen = Gen;
+  M.Count = 0;
+  return &M;
+}
+
+size_t roundToLine(size_t N) {
+  return ((N + CacheLine - 1) / CacheLine) * CacheLine;
+}
+
+} // namespace
+
+SlabArena::SlabArena(size_t ObjectBytes, bool Pooled, size_t PageBytes)
+    : SlotBytes(roundToLine(ObjectBytes < sizeof(FreeNode) ? sizeof(FreeNode)
+                                                           : ObjectBytes)),
+      PageBytes(PageBytes < SlotBytes ? SlotBytes : PageBytes), Pooled(Pooled),
+      Gen(NextArenaGen.fetch_add(1, std::memory_order_relaxed)) {}
+
+SlabArena::~SlabArena() {
+  for (void *P : Pages) {
+    GOLD_UNPOISON(P, PageBytes);
+    ::operator delete(P, std::align_val_t(CacheLine));
+  }
+}
+
+bool SlabArena::addPageLocked() {
+  void *Page = ::operator new(PageBytes, std::align_val_t(CacheLine),
+                              std::nothrow);
+  if (!Page)
+    return false;
+  Pages.push_back(Page);
+  BytesReserved.fetch_add(PageBytes, std::memory_order_relaxed);
+  PagesAllocated.fetch_add(1, std::memory_order_relaxed);
+  char *C = static_cast<char *>(Page);
+  for (size_t Off = 0; Off + SlotBytes <= PageBytes; Off += SlotBytes) {
+    auto *N = reinterpret_cast<FreeNode *>(C + Off);
+    N->Next = GlobalFree;
+    GlobalFree = N;
+  }
+  return true;
+}
+
+unsigned SlabArena::refillFromGlobal(void **Out, unsigned Max) {
+  std::lock_guard<std::mutex> G(Mu);
+  unsigned N = 0;
+  while (N < Max) {
+    if (!GlobalFree && !addPageLocked())
+      break;
+    FreeNode *Node = GlobalFree;
+    GlobalFree = Node->Next;
+    Out[N++] = Node;
+  }
+  return N;
+}
+
+void SlabArena::flushToGlobal(void *const *Slots, unsigned N) noexcept {
+  std::lock_guard<std::mutex> G(Mu);
+  for (unsigned I = 0; I != N; ++I) {
+    auto *Node = static_cast<FreeNode *>(Slots[I]);
+    Node->Next = GlobalFree;
+    GlobalFree = Node;
+  }
+}
+
+void *SlabArena::allocate() {
+  if (!Pooled) {
+    void *P = ::operator new(SlotBytes, std::align_val_t(CacheLine));
+    BytesReserved.fetch_add(SlotBytes, std::memory_order_relaxed);
+    return P;
+  }
+  Magazine *M = findMagazine(Gen);
+  if (!M)
+    M = claimMagazine(Gen);
+  if (M->Count == 0) {
+    M->Count = refillFromGlobal(M->Slots, Magazine::Cap / 2);
+    if (M->Count == 0)
+      throw std::bad_alloc();
+  }
+  void *P = M->Slots[--M->Count];
+  GOLD_UNPOISON(P, SlotBytes);
+  return P;
+}
+
+void SlabArena::deallocate(void *P) noexcept {
+  if (!P)
+    return;
+  if (!Pooled) {
+    BytesReserved.fetch_sub(SlotBytes, std::memory_order_relaxed);
+    ::operator delete(P, std::align_val_t(CacheLine));
+    return;
+  }
+  Magazine *M = findMagazine(Gen);
+  if (!M)
+    M = claimMagazine(Gen);
+  if (M->Count == Magazine::Cap) {
+    unsigned Half = Magazine::Cap / 2;
+    flushToGlobal(M->Slots + Half, Half);
+    M->Count = Half;
+  }
+  // Keep the free-list link bytes addressable; poison the rest so a
+  // use-after-free of a recycled object still traps under ASan.
+  GOLD_POISON(static_cast<char *>(P) + sizeof(FreeNode),
+              SlotBytes - sizeof(FreeNode));
+  M->Slots[M->Count++] = P;
+}

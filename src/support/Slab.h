@@ -1,0 +1,129 @@
+//===- support/Slab.h - Cache-line-aligned slab allocator -------*- C++ -*-===//
+///
+/// \file
+/// A fixed-size-object slab allocator for the detection hot path (DESIGN.md
+/// §12). The engine allocates one synchronization-event cell per sync
+/// operation and one record per remembered access; going through the global
+/// heap for each paid a malloc/free round-trip plus false sharing between
+/// neighboring allocations. The arena instead:
+///
+///  * carves objects out of page-sized chunks, every slot rounded up to a
+///    64-byte multiple and 64-byte aligned (one object never straddles a
+///    line shared with a neighbor's hot atomics);
+///  * recycles freed slots through a small per-thread magazine first (no
+///    synchronization at all on the common path) and a mutex-guarded global
+///    free list second (magazines refill/flush in batches, amortizing the
+///    lock);
+///  * never returns pages to the OS before the arena dies, which is what
+///    makes retired-cell *recycling* safe to combine with the engine's
+///    epoch/quarantine reclamation: the memory of a quarantined cell stays
+///    a valid Cell-sized slot until the engine itself is destroyed;
+///  * reports bytesReserved() so the resource governor can bound *real*
+///    memory (whole pages) instead of per-object sizeof sums.
+///
+/// With pooling disabled (EngineConfig::EnableSlabPooling = false) the
+/// arena degrades to aligned operator new/delete per object — the ablation
+/// baseline, and the mode that keeps every object visible to heap tools.
+///
+/// Thread-local magazines are keyed by a process-wide monotone arena
+/// generation (the same pattern as the engine's epoch-slot cache): an
+/// entry can never alias a destroyed arena whose address was reused, and a
+/// stale entry is simply evicted. Under ASan the free portion of every
+/// pooled slot is poisoned, so use-after-free of a recycled object still
+/// traps even though the memory never returns to the heap.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GOLD_SUPPORT_SLAB_H
+#define GOLD_SUPPORT_SLAB_H
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace gold {
+
+class SlabArena {
+public:
+  /// \p ObjectBytes is the (unrounded) size of the pooled type; \p Pooled
+  /// false selects the aligned-new passthrough mode. \p PageBytes is the
+  /// chunk size pages are reserved in (clamped so a page holds at least
+  /// one slot).
+  explicit SlabArena(size_t ObjectBytes, bool Pooled = true,
+                     size_t PageBytes = 4096);
+  ~SlabArena();
+
+  SlabArena(const SlabArena &) = delete;
+  SlabArena &operator=(const SlabArena &) = delete;
+
+  /// Returns a slot of slotBytes() bytes aligned to 64; throws
+  /// std::bad_alloc when a needed page cannot be reserved.
+  void *allocate();
+  /// Returns \p P to the pool (magazine -> global free list). Never frees
+  /// page memory in pooled mode.
+  void deallocate(void *P) noexcept;
+
+  /// The rounded, aligned per-object slot size.
+  size_t slotBytes() const { return SlotBytes; }
+
+  /// Real memory attributable to this arena: whole pages in pooled mode,
+  /// outstanding objects in passthrough mode. Readable from any thread.
+  size_t bytesReserved() const {
+    return BytesReserved.load(std::memory_order_relaxed);
+  }
+
+  /// Pages reserved so far (0 in passthrough mode).
+  uint64_t pagesAllocated() const {
+    return PagesAllocated.load(std::memory_order_relaxed);
+  }
+
+  /// This arena's process-wide-unique generation (magazine cache key).
+  uint64_t generation() const { return Gen; }
+
+private:
+  struct FreeNode {
+    FreeNode *Next;
+  };
+
+  /// Pops up to \p Max slots from the global free list into \p Out,
+  /// reserving a fresh page first when the list is empty. Returns the
+  /// number delivered (0 only on allocation failure).
+  unsigned refillFromGlobal(void **Out, unsigned Max);
+  /// Pushes \p N slots onto the global free list.
+  void flushToGlobal(void *const *Slots, unsigned N) noexcept;
+  /// Reserves one page and threads its slots onto the global free list.
+  /// Requires Mu. Returns false when the page allocation failed.
+  bool addPageLocked();
+
+  const size_t SlotBytes;
+  const size_t PageBytes;
+  const bool Pooled;
+  const uint64_t Gen;
+
+  std::mutex Mu;
+  std::vector<void *> Pages;        // guarded by Mu
+  FreeNode *GlobalFree = nullptr;   // guarded by Mu
+  std::atomic<size_t> BytesReserved{0};
+  std::atomic<uint64_t> PagesAllocated{0};
+};
+
+/// Typed helpers: placement-construct / destroy on arena slots.
+template <typename T, typename... Args>
+T *slabNew(SlabArena &A, Args &&...Vs) {
+  static_assert(alignof(T) <= 64, "slab slots are 64-byte aligned");
+  void *P = A.allocate();
+  return ::new (P) T(static_cast<Args &&>(Vs)...);
+}
+
+template <typename T> void slabDelete(SlabArena &A, T *P) noexcept {
+  if (!P)
+    return;
+  P->~T();
+  A.deallocate(P);
+}
+
+} // namespace gold
+
+#endif // GOLD_SUPPORT_SLAB_H

@@ -1,0 +1,131 @@
+//===- support/SmallVector.h - Inline-storage vector ------------*- C++ -*-===//
+///
+/// \file
+/// A minimal small-buffer-optimized vector for trivially copyable element
+/// types: the first \p InlineN elements live inside the object (no heap
+/// traffic, and copying the container is a memcpy), spilling to a heap
+/// buffer only beyond that. Built for the lockset hot path, where the
+/// common case is a handful of elements constructed and copied per window
+/// walk; it deliberately supports only the operations the detector needs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GOLD_SUPPORT_SMALLVECTOR_H
+#define GOLD_SUPPORT_SMALLVECTOR_H
+
+#include <cstddef>
+#include <cstring>
+#include <type_traits>
+
+namespace gold {
+
+template <typename T, unsigned InlineN> class SmallVector {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "SmallVector is memcpy-based");
+  static_assert(InlineN > 0, "inline capacity must be non-zero");
+
+public:
+  SmallVector() = default;
+  SmallVector(const SmallVector &O) { assignFrom(O); }
+  SmallVector &operator=(const SmallVector &O) {
+    if (this != &O) {
+      Sz = 0;
+      assignFrom(O);
+    }
+    return *this;
+  }
+  SmallVector(SmallVector &&O) noexcept { stealFrom(O); }
+  SmallVector &operator=(SmallVector &&O) noexcept {
+    if (this != &O) {
+      if (!isInline())
+        delete[] Heap;
+      Heap = nullptr;
+      Cap = InlineN;
+      stealFrom(O);
+    }
+    return *this;
+  }
+  ~SmallVector() {
+    if (!isInline())
+      delete[] Heap;
+  }
+
+  bool empty() const { return Sz == 0; }
+  size_t size() const { return Sz; }
+  size_t capacity() const { return Cap; }
+  void clear() { Sz = 0; }
+
+  T *data() { return isInline() ? Inline : Heap; }
+  const T *data() const { return isInline() ? Inline : Heap; }
+  T *begin() { return data(); }
+  T *end() { return data() + Sz; }
+  const T *begin() const { return data(); }
+  const T *end() const { return data() + Sz; }
+  T &operator[](size_t I) { return data()[I]; }
+  const T &operator[](size_t I) const { return data()[I]; }
+  T &back() { return data()[Sz - 1]; }
+  const T &back() const { return data()[Sz - 1]; }
+
+  void push_back(const T &V) {
+    if (Sz == Cap)
+      grow(Cap * 2);
+    data()[Sz++] = V;
+  }
+
+  /// Inserts \p V before index \p I (shifting the tail), used to maintain
+  /// sorted shadows.
+  void insertAt(size_t I, const T &V) {
+    if (Sz == Cap)
+      grow(Cap * 2);
+    T *D = data();
+    std::memmove(D + I + 1, D + I, (Sz - I) * sizeof(T));
+    D[I] = V;
+    ++Sz;
+  }
+
+  void reserve(size_t N) {
+    if (N > Cap)
+      grow(N);
+  }
+
+private:
+  bool isInline() const { return Heap == nullptr; }
+
+  void grow(size_t NewCap) {
+    T *Nd = new T[NewCap];
+    std::memcpy(Nd, data(), Sz * sizeof(T));
+    if (!isInline())
+      delete[] Heap;
+    Heap = Nd;
+    Cap = NewCap;
+  }
+
+  void assignFrom(const SmallVector &O) {
+    reserve(O.Sz);
+    std::memcpy(data(), O.data(), O.Sz * sizeof(T));
+    Sz = O.Sz;
+  }
+
+  /// Move helper; *this must be empty-inline on entry.
+  void stealFrom(SmallVector &O) {
+    if (O.isInline()) {
+      std::memcpy(Inline, O.Inline, O.Sz * sizeof(T));
+    } else {
+      Heap = O.Heap;
+      Cap = O.Cap;
+      O.Heap = nullptr;
+      O.Cap = InlineN;
+    }
+    Sz = O.Sz;
+    O.Sz = 0;
+  }
+
+  T *Heap = nullptr; ///< nullptr while the inline buffer is in use
+  size_t Sz = 0;
+  size_t Cap = InlineN;
+  T Inline[InlineN];
+};
+
+} // namespace gold
+
+#endif // GOLD_SUPPORT_SMALLVECTOR_H

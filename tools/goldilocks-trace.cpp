@@ -22,6 +22,9 @@
 ///     --watchdog-ms <n>                run the supervision watchdog at this
 ///                                      sample period (goldilocks only)
 ///     --events                         print the supervision event ring at exit
+///     --stats-json <path>              write a gold-bench-v1 JSON artifact with
+///                                      the engine config, stats and verdicts of
+///                                      the goldilocks run (goldilocks only)
 ///
 /// Exit code: number of distinct racy variables found by the last detector
 /// run (capped at 125), or 126 on usage / parse errors / exceeded error
@@ -29,6 +32,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "bench/BenchJson.h"
 #include "detectors/Eraser.h"
 #include "detectors/GoldilocksDetectors.h"
 #include "detectors/VectorClockDetector.h"
@@ -60,7 +64,8 @@ int usage() {
                "[--oracle] [trace-file]\n"
                "                        [--resume-on-error] "
                "[--error-budget <n>]\n"
-               "                        [--watchdog-ms <n>] [--events]\n");
+               "                        [--watchdog-ms <n>] [--events] "
+               "[--stats-json <path>]\n");
   return 126;
 }
 
@@ -108,7 +113,7 @@ int main(int Argc, char **Argv) {
   unsigned WatchdogMs = 0;
   uint64_t Seed = 1;
   size_t MaxCells = 0, MaxInfos = 0, MaxBytes = 0;
-  std::string File;
+  std::string File, StatsJsonPath;
 
   for (int I = 1; I != Argc; ++I) {
     std::string Arg = Argv[I];
@@ -167,6 +172,11 @@ int main(int Argc, char **Argv) {
         ErrorBudget = N;
       else
         WatchdogMs = static_cast<unsigned>(N);
+    } else if (Arg == "--stats-json") {
+      const char *V = Next();
+      if (!V)
+        return usage();
+      StatsJsonPath = V;
     } else if (Arg == "--resume-on-error") {
       ResumeOnError = true;
     } else if (Arg == "--events") {
@@ -255,6 +265,26 @@ int main(int Argc, char **Argv) {
         Sup.start();
       RacyVars = runDetector(D, T, WantStats, WantHealth, &D.engine());
       Sup.stop();
+      if (!StatsJsonPath.empty()) {
+        JsonWriter J;
+        jsonBenchHeader(J, "goldilocks-trace");
+        J.kv("detector", "goldilocks");
+        J.kv("trace_actions", static_cast<uint64_t>(T.Actions.size()));
+        J.kv("trace_threads", static_cast<uint64_t>(T.threadCount()));
+        J.kv("racy_vars", static_cast<uint64_t>(RacyVars));
+        EngineHealth H = D.engine().health();
+        J.kv("approx_bytes", static_cast<uint64_t>(H.ApproxBytes));
+        J.kv("degradation_level", static_cast<uint64_t>(H.DegradationLevel));
+        J.kv("globally_degraded", H.GloballyDegraded);
+        jsonEngineConfig(J, "config", C);
+        jsonEngineStats(J, "stats", D.engine().stats());
+        J.endObject();
+        if (!J.writeFile(StatsJsonPath)) {
+          std::fprintf(stderr, "error: failed to write %s\n",
+                       StatsJsonPath.c_str());
+          return 126;
+        }
+      }
       if (WantEvents) {
         auto Events = Sup.events();
         std::printf("supervision events (%zu recorded, %llu dropped):\n",
