@@ -29,12 +29,16 @@ struct RunResult {
   double Seconds = 0;
   VmStats Vm;
   EngineStats Engine;
+  TelemetrySnapshot Telemetry; ///< engine metrics (Level==Off uninstrumented)
   size_t DistinctVarsChecked = 0;
   size_t Races = 0;
 };
 
-/// Runs \p Prog once with optional Goldilocks instrumentation.
-inline RunResult runOnce(const Program &Prog, bool Instrument) {
+/// Runs \p Prog once with optional Goldilocks instrumentation, under the
+/// given engine configuration (the knob the ablation/observability benches
+/// vary; the default is the production config).
+inline RunResult runOnce(const Program &Prog, bool Instrument,
+                         const EngineConfig &EC = EngineConfig()) {
   RunResult R;
   if (!Instrument) {
     Timer T;
@@ -44,7 +48,7 @@ inline RunResult runOnce(const Program &Prog, bool Instrument) {
     R.Vm = V.stats();
     return R;
   }
-  GoldilocksDetector D;
+  GoldilocksDetector D(EC);
   VmConfig Cfg;
   Cfg.Detector = &D;
   Timer T;
@@ -53,6 +57,7 @@ inline RunResult runOnce(const Program &Prog, bool Instrument) {
   R.Seconds = T.seconds();
   R.Vm = V.stats();
   R.Engine = D.engine().stats();
+  R.Telemetry = D.engine().telemetry();
   R.DistinctVarsChecked = D.engine().distinctVarsChecked();
   R.Races = V.raceLog().size();
   return R;
@@ -60,11 +65,11 @@ inline RunResult runOnce(const Program &Prog, bool Instrument) {
 
 /// Runs \p Prog \p Reps times, keeping the fastest run (the paper reports
 /// steady-state runtimes; min-of-N suppresses scheduler noise).
-inline RunResult runBest(const Program &Prog, bool Instrument,
-                         int Reps = 3) {
+inline RunResult runBest(const Program &Prog, bool Instrument, int Reps = 3,
+                         const EngineConfig &EC = EngineConfig()) {
   RunResult Best;
   for (int I = 0; I != Reps; ++I) {
-    RunResult R = runOnce(Prog, Instrument);
+    RunResult R = runOnce(Prog, Instrument, EC);
     if (I == 0 || R.Seconds < Best.Seconds)
       Best = R;
   }

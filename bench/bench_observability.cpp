@@ -1,0 +1,122 @@
+//===- bench/bench_observability.cpp - Telemetry overhead ablation --------===//
+///
+/// Measures what the PR-5 observability layer costs on the Table-1 workload
+/// suite, per telemetry level:
+///
+///   off      — EngineConfig::Telemetry = Off, provenance disabled: the
+///              configuration whose overhead vs. the pre-telemetry engine
+///              must stay within noise (acceptance: <= 2%);
+///   counters — the default: registry allocated, histograms not;
+///   full     — histograms, flight recorder and provenance capture armed.
+///
+/// Each workload also gets an uninstrumented reference run so the classic
+/// Table-1 slowdown stays visible next to the level deltas. Emits the
+/// gold-bench-v1 JSON artifact consumed by tools/check_bench_schema.py and
+/// checked in as BENCH_observability.json; the full-level run additionally
+/// embeds its gold-metrics-v1 telemetry body so the artifact shows *what*
+/// the histograms saw, not just what they cost.
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchUtil.h"
+#include "support/Table.h"
+
+using namespace gold;
+
+namespace {
+
+struct Mode {
+  const char *Name;
+  TelemetryLevel Level;
+  bool Provenance;
+};
+
+constexpr Mode Modes[] = {
+    {"off", TelemetryLevel::Off, false},
+    {"counters", TelemetryLevel::Counters, false},
+    {"full", TelemetryLevel::Full, true},
+};
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  unsigned Scale = parseScale(Argc, Argv, 3);
+  const int Reps = static_cast<int>(parseUintArg(Argc, Argv, "--reps", 3));
+  std::string JsonPath = parseStrArg(Argc, Argv, "--json", "");
+  std::string Label = parseStrArg(Argc, Argv, "--label", "");
+  std::printf("=== Observability ablation: telemetry level overhead "
+              "(scale factor %u, min of %d) ===\n\n",
+              Scale, Reps);
+
+  Table T({"Benchmark", "Thr", "Uninst(s)", "Off(s)", "Counters(s)", "d%",
+           "Full(s)", "d%"});
+
+  JsonWriter J;
+  jsonBenchHeader(J, "bench_observability");
+  J.kv("scale", Scale);
+  J.kv("reps", static_cast<uint64_t>(Reps));
+  jsonEngineConfig(J, "config", EngineConfig());
+  J.key("runs");
+  J.beginArray();
+
+  for (const Workload &W : standardSuite(WorkloadScale{Scale})) {
+    RunResult Un = runOnce(W.Prog, /*Instrument=*/false);
+    RunResult ByMode[3];
+    for (int M = 0; M != 3; ++M) {
+      EngineConfig C;
+      C.Telemetry = Modes[M].Level;
+      C.EnableProvenance = Modes[M].Provenance;
+      ByMode[M] = runBest(W.Prog, /*Instrument=*/true, Reps, C);
+    }
+    auto Delta = [&](const RunResult &R) {
+      return ByMode[0].Seconds > 0
+                 ? (R.Seconds / ByMode[0].Seconds - 1.0) * 100.0
+                 : 0.0;
+    };
+    T.addRow({W.Name, Table::num(static_cast<long long>(W.Threads)),
+              Table::num(Un.Seconds, 3), Table::num(ByMode[0].Seconds, 3),
+              Table::num(ByMode[1].Seconds, 3),
+              Table::num(Delta(ByMode[1]), 1),
+              Table::num(ByMode[2].Seconds, 3),
+              Table::num(Delta(ByMode[2]), 1)});
+
+    for (int M = 0; M != 3; ++M) {
+      const RunResult &R = ByMode[M];
+      J.beginObject();
+      if (!Label.empty())
+        J.kv("label", Label);
+      J.kv("workload", W.Name);
+      J.kv("threads", W.Threads);
+      J.kv("mode", Modes[M].Name);
+      J.kv("seconds", R.Seconds);
+      J.kv("uninstrumented_seconds", Un.Seconds);
+      J.kv("overhead_vs_off_pct", Delta(R));
+      J.kv("races", R.Races);
+      J.kv("distinct_vars_checked", R.DistinctVarsChecked);
+      jsonEngineStats(J, "stats", R.Engine);
+      if (Modes[M].Level == TelemetryLevel::Full) {
+        J.key("telemetry");
+        J.beginObject();
+        R.Telemetry.jsonBody(J);
+        J.endObject();
+      }
+      J.endObject();
+    }
+  }
+  J.endArray();
+  J.endObject();
+  T.print();
+  if (!JsonPath.empty()) {
+    if (!J.writeFile(JsonPath)) {
+      std::fprintf(stderr, "failed to write %s\n", JsonPath.c_str());
+      return 1;
+    }
+    std::printf("\nwrote %s\n", JsonPath.c_str());
+  }
+  std::printf("\nReading the table: Off is the engine with the telemetry "
+              "compiled in but not armed\n(one predictable branch per "
+              "instrumented site); Counters allocates the registry;\nFull "
+              "arms every histogram, the flight recorder and provenance "
+              "capture.\n");
+  return 0;
+}

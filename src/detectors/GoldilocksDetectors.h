@@ -53,6 +53,10 @@ public:
 
   std::optional<EngineHealth> health() const override { return E.health(); }
 
+  std::optional<TelemetrySnapshot> telemetry() const override {
+    return E.telemetry();
+  }
+
   GoldilocksEngine &engine() { return E; }
 
 private:

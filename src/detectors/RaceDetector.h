@@ -15,6 +15,7 @@
 #include "event/Trace.h"
 #include "goldilocks/Health.h"
 #include "goldilocks/Race.h"
+#include "support/Telemetry.h"
 
 #include <optional>
 #include <vector>
@@ -73,6 +74,14 @@ public:
   /// Resource/health snapshot for detectors with a resource governor;
   /// detectors without one return nullopt.
   virtual std::optional<EngineHealth> health() const { return std::nullopt; }
+
+  /// Metrics snapshot for detectors with a telemetry registry (counters,
+  /// gauges, histograms — see support/Telemetry.h); detectors without one
+  /// return nullopt. The snapshot is coherent enough for reporting: each
+  /// instrument is read atomically, not the set as a whole.
+  virtual std::optional<TelemetrySnapshot> telemetry() const {
+    return std::nullopt;
+  }
 
   /// Replays a linearized trace through this detector and collects every
   /// report (in trace order).

@@ -419,6 +419,25 @@ bool graceBackoff(unsigned &Spins,
 } // namespace
 
 bool GoldilocksEngine::waitForReaders() {
+  // Grace-wait latency instrumentation: the clock is read only when some
+  // consumer (histogram, flight recorder, trace sink) is attached.
+  TraceEventSink *Sink = TraceSink.load(std::memory_order_relaxed);
+  uint64_t T0 = (HGraceMicros || Flight || Sink) ? TraceEventSink::nowNanos()
+                                                 : 0;
+  auto Done = [&](bool Completed) {
+    if (T0) {
+      uint64_t Dur = TraceEventSink::nowNanos() - T0;
+      if (HGraceMicros)
+        HGraceMicros->record(Dur / 1000);
+      if (Flight)
+        Flight->record(NoThread, FlightKind::GraceWait, Completed, Dur / 1000,
+                       !Completed);
+      if (Sink)
+        Sink->span(Completed ? "grace-wait" : "grace-wait-timeout", "gc",
+                   NoThread, T0, Dur);
+    }
+    return Completed;
+  };
   // Start the next epoch, then wait until every claimed slot is either
   // quiescent or provably entered after the bump. Sections the scan skips
   // as quiescent may in fact be entering concurrently — but then their
@@ -452,7 +471,7 @@ bool GoldilocksEngine::waitForReaders() {
         break;
       if (!graceBackoff(Spins, Deadline)) {
         S->GraceTimeouts.fetch_add(1, std::memory_order_relaxed);
-        return false;
+        return Done(false);
       }
     }
   }
@@ -462,11 +481,11 @@ bool GoldilocksEngine::waitForReaders() {
     FallbackMu.lock();
   } else if (!FallbackMu.try_lock_until(Deadline)) {
     S->GraceTimeouts.fetch_add(1, std::memory_order_relaxed);
-    return false;
+    return Done(false);
   }
   FallbackMu.unlock();
   S->GraceWaits.fetch_add(1, std::memory_order_relaxed);
-  return true;
+  return Done(true);
 }
 
 //===----------------------------------------------------------------------===//
@@ -491,9 +510,34 @@ GoldilocksEngine::GoldilocksEngine(EngineConfig C)
   Head = Origin;
   Last.store(Origin, std::memory_order_relaxed);
   ListLen.store(1, std::memory_order_relaxed);
+
+  // Observability (DESIGN.md §13): the registry exists from Counters up;
+  // histograms and the flight recorder only at Full. Caching the raw
+  // pointers here is what makes the disabled configurations cheap — every
+  // hot-path site tests one plain member.
+  if (Cfg.Telemetry >= TelemetryLevel::Counters)
+    Tel.reset(new Telemetry(Cfg.Telemetry));
+  if (Cfg.Telemetry >= TelemetryLevel::Full) {
+    Flight.reset(new FlightRecorder(Cfg.FlightRingCapacity));
+    HWalkLen = &Tel->histogram("walk_cells");
+    HLocksetSize = &Tel->histogram("lockset_size_at_check");
+    HCheckPath = &Tel->histogram("check_path");
+    HBatchSize = &Tel->histogram("append_batch_cells");
+    HAppendRetries = &Tel->histogram("tail_cas_retries");
+    HGraceMicros = &Tel->histogram("grace_wait_micros");
+    HGcReclaim = &Tel->histogram("gc_reclaimed_cells");
+    CellArena->setRefillHistogram(&Tel->histogram("slab_cell_refill"));
+    VarArena->setRefillHistogram(&Tel->histogram("slab_var_refill"));
+    ReadArena->setRefillHistogram(&Tel->histogram("slab_read_refill"));
+  }
 }
 
 GoldilocksEngine::~GoldilocksEngine() {
+  // The refill histograms die with Tel (declared after the arenas, so
+  // destroyed first); detach them before anything else runs.
+  CellArena->setRefillHistogram(nullptr);
+  VarArena->setRefillHistogram(nullptr);
+  ReadArena->setRefillHistogram(nullptr);
   // No readers by contract. Quarantined chains are disjoint from each
   // other and from the live list, but each batch's links flow *into* the
   // next batch / the live Head — so free exactly Count cells per batch,
@@ -687,6 +731,7 @@ void GoldilocksEngine::appendChain(Cell *First, Cell *LastC, size_t Count) {
   // acquire-load their way in. Only LastC->Next is null, so later
   // appenders CAS onto the chain's end exactly as with a single cell.
   (void)Count;
+  uint64_t Retries = 0;
   Cell *Tail = Last.load(std::memory_order_seq_cst);
   while (true) {
     Cell *Next = Tail->Next.load(std::memory_order_acquire);
@@ -705,9 +750,13 @@ void GoldilocksEngine::appendChain(Cell *First, Cell *LastC, size_t Count) {
                                            std::memory_order_release,
                                            std::memory_order_acquire))
       break;
-    S->AppendRetries.fetch_add(1, std::memory_order_relaxed);
+    ++Retries;
     Tail = Expected;
   }
+  if (Retries)
+    S->AppendRetries.fetch_add(Retries, std::memory_order_relaxed);
+  if (HAppendRetries)
+    HAppendRetries->record(Retries);
   // Swing the monotone Last hint; a stale hint only costs the next reader
   // a few Next hops, never correctness. Seq compare keeps it monotone.
   Cell *Hint = Last.load(std::memory_order_seq_cst);
@@ -772,12 +821,21 @@ void GoldilocksEngine::publishBatch(ThreadState &TS) {
   TS.BatchLen = 0;
   if (!First)
     return;
+  TraceEventSink *Sink = TraceSink.load(std::memory_order_relaxed);
+  uint64_t T0 = Sink ? TraceEventSink::nowNanos() : 0;
   size_t Len;
   {
     ReadGuard G(*this);
     appendChain(First, LastC, N);
     Len = ListLen.fetch_add(N, std::memory_order_relaxed) + N;
   }
+  if (Sink)
+    Sink->span("publish", "append", First->Event.Thread, T0,
+               TraceEventSink::nowNanos() - T0);
+  if (HBatchSize)
+    HBatchSize->record(N);
+  if (Flight)
+    Flight->record(First->Event.Thread, FlightKind::BatchPublish, 0, N, Len);
   size_t HW = ListHighWater.load(std::memory_order_relaxed);
   while (Len > HW && !ListHighWater.compare_exchange_weak(
                          HW, Len, std::memory_order_relaxed)) {
@@ -834,6 +892,10 @@ void GoldilocksEngine::enqueue(SyncEvent E, std::unique_ptr<CommitSets> Owned) {
     return;
   }
 
+  if (Flight)
+    Flight->record(E.Thread, FlightKind::SyncEvent, uint8_t(E.Kind),
+                   E.Var.key(), E.Target);
+
   const bool Batching = Cfg.AppendBatchSize > 1 && !Cfg.LegacyGlobalLocks;
   if (Batching) {
     if (batchableKind(E.Kind)) {
@@ -881,6 +943,8 @@ void GoldilocksEngine::enqueue(SyncEvent E, std::unique_ptr<CommitSets> Owned) {
   }
   S->SyncEvents.fetch_add(1, std::memory_order_relaxed);
   S->CellsAllocated.fetch_add(1, std::memory_order_relaxed);
+  if (HBatchSize)
+    HBatchSize->record(1);
 }
 
 void GoldilocksEngine::maybeCollect() {
@@ -1050,19 +1114,66 @@ void GoldilocksEngine::onAlloc(ThreadId T, ObjectId O, uint32_t FieldCount) {
 bool GoldilocksEngine::walkWindow(Lockset LS, const Cell *From, uint64_t ToSeq,
                                   ThreadId T, bool Xact, VarId V,
                                   bool Filtered, ThreadId FilterA,
-                                  const CommitSets *SelfCommit) {
+                                  const CommitSets *SelfCommit,
+                                  RaceProvenance *Capture) {
   auto Owned = [&]() {
     return LS.containsThread(T) || (Xact && LS.containsTxnLock());
   };
+  // Walk-length accounting: accumulate locally, publish once per walk (the
+  // histogram needs the per-walk length anyway, and one fetch_add beats one
+  // per cell). The provenance replay is excluded — it re-walks a window
+  // already counted by the verdict's own walks. "lazy-walk" spans cover
+  // only the full (unfiltered) walks: they are the expensive tail the
+  // profile is after.
+  uint64_t Walked = 0;
+  TraceEventSink *Sink = (Filtered || Capture)
+                             ? nullptr
+                             : TraceSink.load(std::memory_order_relaxed);
+  uint64_t T0 = Sink ? TraceEventSink::nowNanos() : 0;
+  auto Done = [&](bool Ordered) {
+    if (!Capture) {
+      if (Walked)
+        S->CellsWalked.fetch_add(Walked, std::memory_order_relaxed);
+      if (HWalkLen)
+        HWalkLen->record(Walked);
+      if (Sink)
+        Sink->span("lazy-walk", "check", T, T0,
+                   TraceEventSink::nowNanos() - T0);
+    }
+    return Ordered;
+  };
+  if (Capture)
+    Capture->InitialLockset = LS.str();
   if (Owned())
-    return true;
+    return Done(true);
   const Cell *C = From->Next.load(std::memory_order_acquire);
   while (C && C->Seq <= ToSeq) {
     if (!Filtered || C->Event.Thread == T || C->Event.Thread == FilterA) {
-      applyLocksetRule(LS, C->Event, V, Cfg.Semantics);
-      S->CellsWalked.fetch_add(1, std::memory_order_relaxed);
+      if (!Capture) {
+        applyLocksetRule(LS, C->Event, V, Cfg.Semantics);
+      } else if (Cfg.MaxProvenanceSteps &&
+                 Capture->Steps.size() >= Cfg.MaxProvenanceSteps) {
+        Capture->Truncated = true;
+        applyLocksetRule(LS, C->Event, V, Cfg.Semantics);
+      } else {
+        // Replay mode (the already-decided race path): record the rule
+        // application. The copy-compare is exact — the commit rule can
+        // rewrite a lockset without changing its size.
+        Lockset Before = LS;
+        applyLocksetRule(LS, C->Event, V, Cfg.Semantics);
+        ProvenanceStep PS;
+        PS.Seq = C->Seq;
+        PS.Kind = C->Event.Kind;
+        PS.Thread = C->Event.Thread;
+        PS.Var = C->Event.Var;
+        PS.Target = C->Event.Target;
+        PS.Changed = !(Before == LS);
+        PS.LocksetAfter = LS.str();
+        Capture->Steps.push_back(std::move(PS));
+      }
+      ++Walked;
       if (Owned())
-        return true;
+        return Done(true);
     }
     C = C->Next.load(std::memory_order_acquire);
   }
@@ -1072,21 +1183,45 @@ bool GoldilocksEngine::walkWindow(Lockset LS, const Cell *From, uint64_t ToSeq,
   // commit's own cell is excluded from the window.
   if (SelfCommit && commitGainsOwnership(LS, *SelfCommit, Cfg.Semantics)) {
     LS.insert(LocksetElem::thread(T));
-    return true;
+    return Done(true);
   }
-  return false;
+  return Done(false);
+}
+
+std::shared_ptr<const RaceProvenance>
+GoldilocksEngine::captureProvenance(const Lockset &PrevLS, const Cell *From,
+                                    uint64_t ToSeq, ThreadId T, bool Xact,
+                                    VarId V, const CommitSets *SelfCommit) {
+  try {
+    auto P = std::make_shared<RaceProvenance>();
+    // Re-run the losing full walk with recording on. Deterministic: the
+    // window cells are immutable and stable (we are inside the verdict's
+    // epoch section, under the variable's KL stripe) and the rules are
+    // pure, so this replays exactly the walk that failed.
+    walkWindow(PrevLS, From, ToSeq, T, Xact, V, /*Filtered=*/false, NoThread,
+               SelfCommit, P.get());
+    return P;
+  } catch (const std::bad_alloc &) {
+    return nullptr; // provenance is best-effort; the verdict stands
+  }
 }
 
 bool GoldilocksEngine::orderedBefore(const Info &Prev, ThreadId T, bool Xact,
                                      ThreadState *&TS) {
+  // Each resolution records (1 << path) into the check-path histogram so
+  // every path owns a log2 bucket (see CheckPath in Engine.h).
   // Short circuit 1: both accesses transactional (Figure 8 line 1).
   if (Cfg.EnableXactShortCircuit && Prev.Xact && Xact) {
     S->Sc1Xact.fetch_add(1, std::memory_order_relaxed);
+    if (HCheckPath)
+      HCheckPath->record(1u << unsigned(CheckPath::Sc1Xact));
     return true;
   }
   // Short circuit 2: same thread — ordered by program order.
   if (Cfg.EnableSameThreadShortCircuit && Prev.Owner == T) {
     S->Sc2SameThread.fetch_add(1, std::memory_order_relaxed);
+    if (HCheckPath)
+      HCheckPath->record(1u << unsigned(CheckPath::Sc2SameThread));
     return true;
   }
   // Short circuit 3: a lock held at the previous access is held now.
@@ -1096,6 +1231,8 @@ bool GoldilocksEngine::orderedBefore(const Info &Prev, ThreadId T, bool Xact,
     const auto &Held = TS->HeldLocks;
     if (std::find(Held.begin(), Held.end(), Prev.ALock) != Held.end()) {
       S->Sc3ALock.fetch_add(1, std::memory_order_relaxed);
+      if (HCheckPath)
+        HCheckPath->record(1u << unsigned(CheckPath::Sc3ALock));
       return true;
     }
   }
@@ -1126,6 +1263,8 @@ GoldilocksEngine::accessImpl(ThreadId T, VarId V, bool IsWrite, bool Xact,
   // the check can reach.
   ReadGuard G(*this);
   failpointStall(Failpoint::EngineReaderPark);
+  if (Flight)
+    Flight->record(T, FlightKind::Access, IsWrite, V.key(), Xact);
   // Make room for the record this access will install *before* taking the
   // variable's KL stripe: eviction scans other variables' stripes, and two
   // threads each holding their own stripe while scanning would deadlock
@@ -1173,6 +1312,8 @@ GoldilocksEngine::accessLocked(ThreadId T, ThreadState *TS, VarId V,
     if (Race || !Prev.Valid)
       return;
     S->PairChecks.fetch_add(1, std::memory_order_relaxed);
+    if (HLocksetSize)
+      HLocksetSize->record(Prev.LS.size());
     if (orderedBefore(Prev, T, Xact, TS))
       return;
     // Prev's position is retained by the record and stable under KL.
@@ -1182,12 +1323,19 @@ GoldilocksEngine::accessLocked(ThreadId T, ThreadState *TS, VarId V,
         walkWindow(Prev.LS, PrevPos, ToSeq, T, Xact, V, /*Filtered=*/true,
                    Prev.Owner, SelfCommit)) {
       S->FilteredWalks.fetch_add(1, std::memory_order_relaxed);
+      if (HCheckPath)
+        HCheckPath->record(1u << unsigned(CheckPath::FilteredWalk));
       return;
     }
     S->FullWalks.fetch_add(1, std::memory_order_relaxed);
     if (walkWindow(Prev.LS, PrevPos, ToSeq, T, Xact, V, /*Filtered=*/false,
-                   Prev.Owner, SelfCommit))
+                   Prev.Owner, SelfCommit)) {
+      if (HCheckPath)
+        HCheckPath->record(1u << unsigned(CheckPath::FullWalk));
       return;
+    }
+    if (HCheckPath)
+      HCheckPath->record(1u << unsigned(CheckPath::Race));
     RaceReport R;
     R.Var = V;
     R.Thread = T;
@@ -1196,6 +1344,14 @@ GoldilocksEngine::accessLocked(ThreadId T, ThreadState *TS, VarId V,
     R.PriorThread = Prev.Owner;
     R.PriorIsWrite = PrevIsWrite;
     R.PriorXact = Prev.Xact;
+    R.Seq = ToSeq;
+    R.PriorSeq = PrevPos->Seq;
+    // The constructive evidence: replay the losing walk with capture on.
+    // Cold by construction (DisableVarAfterRace means at most one per
+    // variable), so the copy/string cost is invisible to the hot path.
+    if (Cfg.EnableProvenance)
+      R.Provenance =
+          captureProvenance(Prev.LS, PrevPos, ToSeq, T, Xact, V, SelfCommit);
     Race = R;
   };
 
@@ -1206,6 +1362,8 @@ GoldilocksEngine::accessLocked(ThreadId T, ThreadState *TS, VarId V,
 
   if (Race) {
     S->Races.fetch_add(1, std::memory_order_relaxed);
+    if (Flight)
+      Flight->record(T, FlightKind::Race, IsWrite, V.key(), ToSeq);
     if (Cfg.DisableVarAfterRace) {
       St.Disabled = true;
       dropInfo(St.Write);
@@ -1387,6 +1545,11 @@ void GoldilocksEngine::trimUnreferencedPrefix() {
   if (!N)
     return;
   ListLen.fetch_sub(N, std::memory_order_relaxed);
+  if (HGcReclaim)
+    HGcReclaim->record(N);
+  if (Flight)
+    Flight->record(NoThread, FlightKind::GcRun, Grace, N,
+                   QuarantineCount.load(std::memory_order_relaxed));
   // Direct free requires the quarantine to have fully drained as well: a
   // grace period only proves no *pre-grace* section is still running. A
   // cell retained during an earlier timed-out grace's TOCTOU window can
@@ -1523,26 +1686,30 @@ void GoldilocksEngine::runCollectionLocked() {
     Legacy = std::unique_lock<std::shared_mutex>(LegacyMu);
   S->GcRuns.fetch_add(1, std::memory_order_relaxed);
   failpointStall(Failpoint::EngineGcStall);
+  TraceEventSink *Sink = TraceSink.load(std::memory_order_relaxed);
+  uint64_t T0 = Sink ? TraceEventSink::nowNanos() : 0;
 
   // Phase 1: plain reference-count collection of the unreferenced prefix.
   trimUnreferencedPrefix();
-  if (!Cfg.GcThreshold ||
-      ListLen.load(std::memory_order_relaxed) < Cfg.GcThreshold)
-    return;
-
-  // Phase 2: partially-eager lockset evaluation. Pick the boundary cell at
-  // TrimFraction of the list, advance every Info anchored before it to the
-  // boundary (computing its intermediate lockset on the way), then trim.
-  size_t Steps = static_cast<size_t>(
-      static_cast<double>(ListLen.load(std::memory_order_relaxed)) *
-      Cfg.TrimFraction);
-  Steps = std::max<size_t>(Steps, 1);
-  Cell *Boundary = Head;
-  Cell *LastCell = Last.load(std::memory_order_seq_cst);
-  for (size_t I = 0; I != Steps && Boundary != LastCell; ++I)
-    Boundary = Boundary->Next.load(std::memory_order_acquire);
-  advanceInfosLocked(Boundary);
-  trimUnreferencedPrefix();
+  if (Cfg.GcThreshold &&
+      ListLen.load(std::memory_order_relaxed) >= Cfg.GcThreshold) {
+    // Phase 2: partially-eager lockset evaluation. Pick the boundary cell
+    // at TrimFraction of the list, advance every Info anchored before it
+    // to the boundary (computing its intermediate lockset on the way),
+    // then trim.
+    size_t Steps = static_cast<size_t>(
+        static_cast<double>(ListLen.load(std::memory_order_relaxed)) *
+        Cfg.TrimFraction);
+    Steps = std::max<size_t>(Steps, 1);
+    Cell *Boundary = Head;
+    Cell *LastCell = Last.load(std::memory_order_seq_cst);
+    for (size_t I = 0; I != Steps && Boundary != LastCell; ++I)
+      Boundary = Boundary->Next.load(std::memory_order_acquire);
+    advanceInfosLocked(Boundary);
+    trimUnreferencedPrefix();
+  }
+  if (Sink)
+    Sink->span("gc", "gc", NoThread, T0, TraceEventSink::nowNanos() - T0);
 }
 
 void GoldilocksEngine::collectGarbage() {
@@ -1556,7 +1723,11 @@ bool GoldilocksEngine::quiesce() {
   if (Cfg.LegacyGlobalLocks)
     Legacy = std::unique_lock<std::shared_mutex>(LegacyMu);
   trimUnreferencedPrefix();
-  return QuarantineCount.load(std::memory_order_relaxed) == 0;
+  bool Drained = QuarantineCount.load(std::memory_order_relaxed) == 0;
+  if (Flight)
+    Flight->record(NoThread, FlightKind::Quiesce, Drained,
+                   QuarantineCount.load(std::memory_order_relaxed), 0);
+  return Drained;
 }
 
 void GoldilocksEngine::shutdown() {
@@ -1565,6 +1736,8 @@ void GoldilocksEngine::shutdown() {
 }
 
 void GoldilocksEngine::escalateLadder(unsigned Rung) {
+  if (Flight)
+    Flight->record(NoThread, FlightKind::Degradation, Rung, 0, 0);
   if (Rung >= 1) {
     noteDegradationLevel(1);
     S->ForcedGcs.fetch_add(1, std::memory_order_relaxed);
@@ -1829,11 +2002,96 @@ EngineHealth GoldilocksEngine::health() const {
   return H;
 }
 
+TelemetrySnapshot GoldilocksEngine::telemetry() const {
+  // Start from the registry (histograms and any registered instruments),
+  // then mirror the EngineStats counters and the health/arena gauges under
+  // the same names BenchJson uses, so --metrics-json readers see one flat
+  // vocabulary regardless of which layer produced a number.
+  TelemetrySnapshot Snap;
+  if (Tel)
+    Snap = Tel->snapshot();
+  else
+    Snap.Level = TelemetryLevel::Off;
+
+  EngineStats St = stats();
+  Snap.addCounter("accesses", St.Accesses);
+  Snap.addCounter("pair_checks", St.PairChecks);
+  Snap.addCounter("sc1_xact", St.Sc1Xact);
+  Snap.addCounter("sc2_same_thread", St.Sc2SameThread);
+  Snap.addCounter("sc3_alock", St.Sc3ALock);
+  Snap.addCounter("filtered_walks", St.FilteredWalks);
+  Snap.addCounter("full_walks", St.FullWalks);
+  Snap.addCounter("cells_walked", St.CellsWalked);
+  Snap.addCounter("cells_allocated", St.CellsAllocated);
+  Snap.addCounter("cells_freed", St.CellsFreed);
+  Snap.addCounter("gc_runs", St.GcRuns);
+  Snap.addCounter("eager_advances", St.EagerAdvances);
+  Snap.addCounter("races", St.Races);
+  Snap.addCounter("skipped_disabled", St.SkippedDisabled);
+  Snap.addCounter("sync_events", St.SyncEvents);
+  Snap.addCounter("commits", St.Commits);
+  Snap.addCounter("degradation_events", St.DegradationEvents);
+  Snap.addCounter("degraded_vars", St.DegradedVars);
+  Snap.addCounter("forced_gcs", St.ForcedGcs);
+  Snap.addCounter("append_retries", St.AppendRetries);
+  Snap.addCounter("grace_waits", St.GraceWaits);
+  Snap.addCounter("grace_timeouts", St.GraceTimeouts);
+  Snap.addCounter("cells_quarantined", St.CellsQuarantined);
+  Snap.addCounter("reclaimed_dead_slots", St.ReclaimedDeadSlots);
+  Snap.addCounter("threads_registered", St.ThreadsRegistered);
+  Snap.addCounter("threads_deregistered", St.ThreadsDeregistered);
+  Snap.addCounter("slot_fallbacks", St.SlotFallbacks);
+  Snap.addCounter("batch_publishes", St.BatchPublishes);
+  Snap.addCounter("slab_cell_refills", CellArena->magazineRefills());
+  Snap.addCounter("slab_var_refills", VarArena->magazineRefills());
+  Snap.addCounter("slab_read_refills", ReadArena->magazineRefills());
+  if (Flight) {
+    Snap.addCounter("flight_events", Flight->total());
+    Snap.addCounter("flight_dropped", Flight->dropped());
+  }
+
+  Snap.addGauge("event_list_length", ListLen.load(std::memory_order_relaxed));
+  Snap.addGauge("event_list_high_water",
+                ListHighWater.load(std::memory_order_relaxed));
+  Snap.addGauge("info_records", InfoCount.load(std::memory_order_relaxed));
+  Snap.addGauge("info_high_water",
+                InfoHighWater.load(std::memory_order_relaxed));
+  Snap.addGauge("tracked_vars", VarCount.load(std::memory_order_relaxed));
+  Snap.addGauge("approx_bytes", approxBytes());
+  Snap.addGauge("quarantined_cells",
+                QuarantineCount.load(std::memory_order_relaxed));
+  Snap.addGauge("degradation_level", DegLevel.load(std::memory_order_relaxed));
+  Snap.addGauge("slab_pages",
+                CellArena->pagesAllocated() + VarArena->pagesAllocated() +
+                    ReadArena->pagesAllocated());
+  Snap.addGauge("slab_bytes_reserved",
+                CellArena->bytesReserved() + VarArena->bytesReserved() +
+                    ReadArena->bytesReserved());
+  return Snap;
+}
+
+std::string GoldilocksEngine::stallDump() const {
+  // The supervisor's stall forensic: one human-readable blob capturing the
+  // governor state, every metric, and the per-thread flight-recorder tails
+  // at the moment the stall was diagnosed (before reclamation/escalation
+  // mutate any of it).
+  std::string Out = "=== engine stall dump ===\nhealth: ";
+  Out += health().str();
+  Out += '\n';
+  Out += telemetry().str();
+  if (Flight) {
+    Out += "--- flight recorder (most recent last) ---\n";
+    Out += Flight->dump();
+  }
+  return Out;
+}
+
 SupervisedEngine gold::superviseEngine(GoldilocksEngine &E) {
   SupervisedEngine Out;
   Out.Sample = [&E] { return E.health(); };
   Out.Escalate = [&E](unsigned Rung) { E.escalateLadder(Rung); };
   Out.ReclaimDeadSlots = [&E] { return E.reclaimDeadSlotsIfExhausted(); };
+  Out.DumpTelemetry = [&E] { return E.stallDump(); };
   return Out;
 }
 

@@ -60,6 +60,7 @@
 #include "goldilocks/Race.h"
 #include "goldilocks/Rules.h"
 #include "support/Slab.h"
+#include "support/Telemetry.h"
 
 #include <atomic>
 #include <memory>
@@ -141,6 +142,29 @@ struct EngineConfig {
   /// Tests shrink it to exercise exhaustion cheaply; values < 1 are
   /// clamped to 1.
   unsigned EpochSlotCount = 512;
+
+  /// Observability level (src/support/Telemetry.h, DESIGN.md §13). Off
+  /// constructs no telemetry objects at all (telemetry() returns an empty
+  /// snapshot); Counters (the default) costs nothing on the hot path — the
+  /// snapshot just mirrors EngineStats and the health gauges the engine
+  /// keeps anyway; Full additionally enables the latency/size histograms
+  /// and the flight recorder, each gated by a pointer cached at
+  /// construction (one predictable branch per site when off).
+  TelemetryLevel Telemetry = TelemetryLevel::Counters;
+
+  /// Capture a structured RaceProvenance (the walked synchronization-event
+  /// subsequence and the lockset evolution at each rule step) on every race
+  /// verdict. Runs only on the race path — cold by construction when
+  /// DisableVarAfterRace holds — so it is on at every telemetry level;
+  /// disable for byte-stable differential tests or racy-workload benches.
+  bool EnableProvenance = true;
+
+  /// Cap on the rule steps a single provenance records (0 = unlimited).
+  /// The verdict never truncates — only the replay record does.
+  size_t MaxProvenanceSteps = 4096;
+
+  /// Per-stripe capacity of the flight recorder (Full level only).
+  size_t FlightRingCapacity = 256;
 };
 
 /// Monotonic event counters, readable while the engine runs.
@@ -298,6 +322,30 @@ public:
   /// owning object makes a variable fresh — and exact — again.
   std::vector<VarId> degradedVars() const;
 
+  /// Telemetry snapshot: counters mirror stats(), gauges mirror health()
+  /// plus the slab arenas, histograms are populated at level Full. Returns
+  /// an empty Off-level snapshot when telemetry is disabled.
+  TelemetrySnapshot telemetry() const;
+
+  /// The registry itself (for tests and external instruments); null at
+  /// level Off.
+  Telemetry *telemetryRegistry() const { return Tel.get(); }
+
+  /// The flight recorder; null below level Full.
+  const FlightRecorder *flightRecorder() const { return Flight.get(); }
+
+  /// Attaches a Chrome trace-event sink recording engine phase spans
+  /// (publish, lazy walk, GC, grace wait); nullptr detaches. The sink must
+  /// outlive the engine or be detached first. Works at any telemetry level.
+  void attachTraceSink(TraceEventSink *Sink) {
+    TraceSink.store(Sink, std::memory_order_relaxed);
+  }
+
+  /// Multi-line post-mortem: health line, telemetry snapshot, flight
+  /// recorder dump. What the supervisor captures on a grace stall and
+  /// operators want from a wedged engine.
+  std::string stallDump() const;
+
   const EngineConfig &config() const { return Cfg; }
 
 private:
@@ -339,9 +387,21 @@ private:
   /// \p SelfCommit is the current commit's (R, W): rule 9's "if
   /// LS ∩ (R∪W) ≠ ∅ add t" clause is applied after the window, before the
   /// ownership check — the commit itself is not in the window.
+  /// When \p Capture is non-null the walk additionally records every rule
+  /// application (sequence, event, lockset after) into it — the provenance
+  /// replay, used only on the already-decided race path.
   bool walkWindow(Lockset LS, const Cell *From, uint64_t ToSeq, ThreadId T,
                   bool Xact, VarId V, bool Filtered, ThreadId FilterA,
-                  const CommitSets *SelfCommit);
+                  const CommitSets *SelfCommit,
+                  RaceProvenance *Capture = nullptr);
+  /// Replays the losing full walk with capture enabled and packages the
+  /// result. Runs under the variable's KL stripe inside the caller's epoch
+  /// section (the window cells are stable). Returns null on bad_alloc —
+  /// provenance is best-effort, the verdict stands without it.
+  std::shared_ptr<const RaceProvenance>
+  captureProvenance(const Lockset &PrevLS, const Cell *From, uint64_t ToSeq,
+                    ThreadId T, bool Xact, VarId V,
+                    const CommitSets *SelfCommit);
 
   /// Shared by enqueue (drop when stopped/degraded) and accessImpl.
   bool recordingStopped() const;
@@ -591,6 +651,33 @@ private:
   //    (anchor handoff between commitPoint and finishCommit).
   struct AtomicStats;
   std::unique_ptr<AtomicStats> S;
+
+  // Observability (DESIGN.md §13). Tel exists at level >= Counters; Flight
+  // and the histogram pointers only at Full — every hot-path recording
+  // site is gated on one of these plain pointers, so the disabled cost is
+  // a single predictable branch and no shared cache-line traffic.
+  std::unique_ptr<Telemetry> Tel;
+  std::unique_ptr<FlightRecorder> Flight;
+  std::atomic<TraceEventSink *> TraceSink{nullptr};
+  Histogram *HWalkLen = nullptr;      ///< cells applied per window walk
+  Histogram *HLocksetSize = nullptr;  ///< prior lockset size at pair check
+  Histogram *HCheckPath = nullptr;    ///< resolution path (CheckPath codes)
+  Histogram *HBatchSize = nullptr;    ///< cells per tail publication
+  Histogram *HAppendRetries = nullptr;///< tail-CAS retries per publication
+  Histogram *HGraceMicros = nullptr;  ///< grace-period wait latency (us)
+  Histogram *HGcReclaim = nullptr;    ///< cells reclaimed per trim pass
+};
+
+/// How a pair check was resolved, for the "check_path" histogram. Recorded
+/// as (1 << code) so each path lands in its own log2 bucket and the bucket
+/// counts stay exact per path.
+enum class CheckPath : uint8_t {
+  Sc1Xact = 0,      ///< both accesses transactional
+  Sc2SameThread,    ///< same owner
+  Sc3ALock,         ///< common lock held
+  FilteredWalk,     ///< thread-filtered fast walk proved ordering
+  FullWalk,         ///< full lockset walk proved ordering
+  Race,             ///< nothing proved ordering: race verdict
 };
 
 struct SupervisedEngine; // support/Supervisor.h

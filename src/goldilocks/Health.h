@@ -19,6 +19,8 @@
 #ifndef GOLD_GOLDILOCKS_HEALTH_H
 #define GOLD_GOLDILOCKS_HEALTH_H
 
+#include "support/Json.h"
+
 #include <cstddef>
 #include <cstdint>
 #include <cstdio>
@@ -61,7 +63,8 @@ struct EngineHealth {
     auto Llu = [&](const char *Key, uint64_t V) {
       std::snprintf(Buf, sizeof(Buf), "%s=%llu", Key,
                     static_cast<unsigned long long>(V));
-      Out += ' ';
+      if (!Out.empty())
+        Out += ' ';
       Out += Buf;
     };
     Zu("cells", EventListLength);
@@ -84,6 +87,35 @@ struct EngineHealth {
     Zu("quarantined", QuarantinedCells);
     Llu("reclaimed-slots", ReclaimedDeadSlots);
     return Out;
+  }
+
+  /// Emits every field as the members of an (already begun) JSON object —
+  /// the one serialization the CLI's --health/--stats-json and the metrics
+  /// artifact all share, so field names cannot drift between them.
+  void jsonBody(JsonWriter &J) const {
+    J.kv("cells", (uint64_t)EventListLength);
+    J.kv("cells_high_water", (uint64_t)EventListHighWater);
+    J.kv("info_records", (uint64_t)InfoRecords);
+    J.kv("info_high_water", (uint64_t)InfoHighWater);
+    J.kv("tracked_vars", (uint64_t)TrackedVars);
+    J.kv("approx_bytes", (uint64_t)ApproxBytes);
+    J.kv("degradation_level", DegradationLevel);
+    J.kv("globally_degraded", GloballyDegraded);
+    J.kv("degradation_events", DegradationEvents);
+    J.kv("degraded_vars", DegradedVars);
+    J.kv("forced_gcs", ForcedGcs);
+    J.kv("grace_waits", GraceWaits);
+    J.kv("append_retries", AppendRetries);
+    J.kv("stalls", Stalls);
+    J.kv("quarantined_cells", (uint64_t)QuarantinedCells);
+    J.kv("reclaimed_dead_slots", ReclaimedDeadSlots);
+  }
+
+  /// Complete JSON object, e.g. for embedding under a "health" key.
+  void toJson(JsonWriter &J) const {
+    J.beginObject();
+    jsonBody(J);
+    J.endObject();
   }
 };
 

@@ -1,0 +1,119 @@
+//===- goldilocks/Race.cpp - Race report rendering ------------------------===//
+
+#include "goldilocks/Race.h"
+
+#include "support/Json.h"
+
+#include <cstdio>
+
+using namespace gold;
+
+std::string ProvenanceStep::str() const {
+  char Buf[96];
+  std::snprintf(Buf, sizeof(Buf), "#%llu T%u %s",
+                (unsigned long long)Seq, Thread, actionKindName(Kind));
+  std::string Out = Buf;
+  switch (Kind) {
+  case ActionKind::Acquire:
+  case ActionKind::Release:
+    Out += "(o" + std::to_string(Var.Object) + ")";
+    break;
+  case ActionKind::VolatileRead:
+  case ActionKind::VolatileWrite:
+    Out += "(" + Var.str() + ")";
+    break;
+  case ActionKind::Fork:
+  case ActionKind::Join:
+    Out += "(T" + std::to_string(Target) + ")";
+    break;
+  default:
+    break;
+  }
+  Out += Changed ? " => " : " -- ";
+  Out += "LS=" + LocksetAfter;
+  return Out;
+}
+
+std::string RaceProvenance::str() const {
+  std::string Out = "  lockset at prior access: " + InitialLockset + "\n";
+  if (Steps.empty()) {
+    Out += "  no synchronization events between the accesses\n";
+    return Out;
+  }
+  Out += "  synchronization events walked (" + std::to_string(Steps.size());
+  Out += Truncated ? ", record truncated):\n" : "):\n";
+  for (const auto &S : Steps) {
+    Out += "    ";
+    Out += S.str();
+    Out += '\n';
+  }
+  return Out;
+}
+
+std::string RaceReport::str() const {
+  auto Side = [](ThreadId T, bool W, bool X) {
+    std::string S = "T" + std::to_string(T);
+    S += W ? " write" : " read";
+    if (X)
+      S += " (txn)";
+    return S;
+  };
+  return "race on " + Var.str() + ": " + Side(Thread, IsWrite, Xact) +
+         " vs " + Side(PriorThread, PriorIsWrite, PriorXact);
+}
+
+std::string RaceReport::strVerbose() const {
+  std::string Out = str();
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), " [sync window (#%llu, #%llu]]",
+                (unsigned long long)PriorSeq, (unsigned long long)Seq);
+  Out += Buf;
+  Out += '\n';
+  if (Provenance)
+    Out += Provenance->str();
+  return Out;
+}
+
+void RaceReport::toJson(JsonWriter &J) const {
+  J.beginObject();
+  J.kv("var", Var.str());
+  auto Side = [&](const char *Key, ThreadId T, bool W, bool X, uint64_t Seq) {
+    J.key(Key);
+    J.beginObject();
+    J.kv("thread", T);
+    J.kv("kind", W ? "write" : "read");
+    J.kv("txn", X);
+    J.kv("seq", Seq);
+    J.endObject();
+  };
+  Side("access", Thread, IsWrite, Xact, Seq);
+  Side("prior", PriorThread, PriorIsWrite, PriorXact, PriorSeq);
+  J.key("provenance");
+  if (!Provenance) {
+    J.beginObject();
+    J.kv("captured", false);
+    J.endObject();
+  } else {
+    J.beginObject();
+    J.kv("captured", true);
+    J.kv("initial_lockset", Provenance->InitialLockset);
+    J.kv("truncated", Provenance->Truncated);
+    J.key("steps");
+    J.beginArray();
+    for (const auto &S : Provenance->Steps) {
+      J.beginObject();
+      J.kv("seq", S.Seq);
+      J.kv("kind", actionKindName(S.Kind));
+      J.kv("thread", S.Thread);
+      J.kv("var", S.Var.str());
+      if (S.Target != NoThread)
+        J.kv("target", S.Target);
+      J.kv("changed", S.Changed);
+      J.kv("lockset_after", S.LocksetAfter);
+      J.endObject();
+    }
+    J.endArray();
+    J.endObject();
+  }
+  J.endObject();
+}

@@ -1,19 +1,60 @@
-//===- goldilocks/Race.h - Race reports -------------------------*- C++ -*-===//
+//===- goldilocks/Race.h - Race reports and provenance ----------*- C++ -*-===//
 ///
 /// \file
 /// The report a detector produces when an access about to execute would
 /// create a data race. In the MiniJVM this becomes a DataRaceException.
+///
+/// Beyond the witness pair itself, the lazy engine can attach a structured
+/// *provenance*: the synchronization-event subsequence its full window walk
+/// replayed and the lockset evolution at each Figure 5 rule step, ending in
+/// a lockset that contains neither the current thread nor the variable —
+/// the constructive evidence that the two accesses are unordered. The
+/// provenance is captured only on the (cold) race path and shared by
+/// pointer so RaceReport stays cheap to copy through the VM's race log.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef GOLD_GOLDILOCKS_RACE_H
 #define GOLD_GOLDILOCKS_RACE_H
 
+#include "event/Action.h"
 #include "event/Ids.h"
 
+#include <memory>
 #include <string>
+#include <vector>
 
 namespace gold {
+
+class JsonWriter;
+
+/// One Figure 5 rule application replayed during the losing window walk.
+struct ProvenanceStep {
+  uint64_t Seq = 0;           ///< position in the synchronization order
+  ActionKind Kind = ActionKind::Acquire;
+  ThreadId Thread = 0;        ///< thread that performed the sync event
+  VarId Var;                  ///< lock object / volatile variable (if any)
+  ThreadId Target = NoThread; ///< fork/join target (if any)
+  bool Changed = false;       ///< the rule application grew/reset the lockset
+  std::string LocksetAfter;   ///< rendered lockset after applying the rule
+
+  std::string str() const;
+};
+
+/// The evidence trail behind one race verdict.
+struct RaceProvenance {
+  /// Lockset of the prior access when the walk started (the Info record's
+  /// lockset at its current window position).
+  std::string InitialLockset;
+  /// Every synchronization event in the walked window (Prev.Pos, PosC], in
+  /// order. Empty means the accesses raced with no intervening sync at all.
+  std::vector<ProvenanceStep> Steps;
+  /// True when Steps was capped; the verdict still stands (the walk itself
+  /// is never truncated), only the replay record is.
+  bool Truncated = false;
+
+  std::string str() const;
+};
 
 /// Description of one detected race: the current access on Var conflicts
 /// with an earlier happens-before-unordered access.
@@ -25,19 +66,17 @@ struct RaceReport {
   bool PriorIsWrite = false;       ///< Conflicting access was a write.
   bool Xact = false;               ///< Current access is transactional.
   bool PriorXact = false;          ///< Conflicting access was transactional.
+  uint64_t Seq = 0;      ///< Sync-order position anchoring the current access.
+  uint64_t PriorSeq = 0; ///< Sync-order position of the prior access' anchor.
+  /// Rule-step evidence; null when provenance capture is disabled.
+  std::shared_ptr<const RaceProvenance> Provenance;
 
   /// Renders e.g. "race on o2.f0: T1 write vs T0 read".
-  std::string str() const {
-    auto Side = [](ThreadId T, bool W, bool X) {
-      std::string S = "T" + std::to_string(T);
-      S += W ? " write" : " read";
-      if (X)
-        S += " (txn)";
-      return S;
-    };
-    return "race on " + Var.str() + ": " + Side(Thread, IsWrite, Xact) +
-           " vs " + Side(PriorThread, PriorIsWrite, PriorXact);
-  }
+  std::string str() const;
+  /// Multi-line render: str() plus the provenance trail when present.
+  std::string strVerbose() const;
+  /// Appends this report as one JSON object (witness pair + provenance).
+  void toJson(JsonWriter &J) const;
 };
 
 } // namespace gold

@@ -2,6 +2,8 @@
 
 #include "support/Slab.h"
 
+#include "support/Telemetry.h"
+
 #include <cstring>
 #include <new>
 
@@ -143,6 +145,10 @@ void *SlabArena::allocate() {
     M->Count = refillFromGlobal(M->Slots, Magazine::Cap / 2);
     if (M->Count == 0)
       throw std::bad_alloc();
+    MagazineRefills.fetch_add(1, std::memory_order_relaxed);
+    // One relaxed load per refill, amortized over Cap/2 allocations.
+    if (Histogram *H = RefillHist.load(std::memory_order_relaxed))
+      H->record(M->Count);
   }
   void *P = M->Slots[--M->Count];
   GOLD_UNPOISON(P, SlotBytes);

@@ -82,6 +82,19 @@ public:
   /// This arena's process-wide-unique generation (magazine cache key).
   uint64_t generation() const { return Gen; }
 
+  /// Magazine refills from the global list so far (pooled mode only) — the
+  /// slow-path frequency of the per-thread cache.
+  uint64_t magazineRefills() const {
+    return MagazineRefills.load(std::memory_order_relaxed);
+  }
+
+  /// Optional telemetry hook: when set, every magazine refill records the
+  /// number of slots delivered into \p H. The histogram must outlive the
+  /// arena (the engine owns both). Pass nullptr to detach.
+  void setRefillHistogram(class Histogram *H) {
+    RefillHist.store(H, std::memory_order_relaxed);
+  }
+
 private:
   struct FreeNode {
     FreeNode *Next;
@@ -107,6 +120,8 @@ private:
   FreeNode *GlobalFree = nullptr;   // guarded by Mu
   std::atomic<size_t> BytesReserved{0};
   std::atomic<uint64_t> PagesAllocated{0};
+  std::atomic<uint64_t> MagazineRefills{0};
+  std::atomic<class Histogram *> RefillHist{nullptr};
 };
 
 /// Typed helpers: placement-construct / destroy on arena slots.

@@ -21,6 +21,8 @@ const char *gold::supervisionCauseName(SupervisionCause C) {
     return "escalation";
   case SupervisionCause::SlotsReclaimed:
     return "slots-reclaimed";
+  case SupervisionCause::StallDump:
+    return "stall-dump";
   }
   return "?";
 }
@@ -32,39 +34,6 @@ std::string SupervisionEvent::str() const {
                 supervisionCauseName(Cause), Rung,
                 static_cast<unsigned long long>(Delta));
   return Buf + Snapshot.str();
-}
-
-//===----------------------------------------------------------------------===//
-// SupervisionRing
-//===----------------------------------------------------------------------===//
-
-SupervisionRing::SupervisionRing(size_t Capacity)
-    : Buf(Capacity ? Capacity : 1) {}
-
-void SupervisionRing::push(SupervisionEvent E) {
-  std::lock_guard<std::mutex> L(Mu);
-  Buf[Pushes % Buf.size()] = std::move(E);
-  ++Pushes;
-}
-
-std::vector<SupervisionEvent> SupervisionRing::snapshot() const {
-  std::lock_guard<std::mutex> L(Mu);
-  std::vector<SupervisionEvent> Out;
-  uint64_t N = std::min<uint64_t>(Pushes, Buf.size());
-  Out.reserve(N);
-  for (uint64_t I = Pushes - N; I != Pushes; ++I)
-    Out.push_back(Buf[I % Buf.size()]);
-  return Out;
-}
-
-uint64_t SupervisionRing::total() const {
-  std::lock_guard<std::mutex> L(Mu);
-  return Pushes;
-}
-
-uint64_t SupervisionRing::dropped() const {
-  std::lock_guard<std::mutex> L(Mu);
-  return Pushes > Buf.size() ? Pushes - Buf.size() : 0;
 }
 
 //===----------------------------------------------------------------------===//
@@ -107,6 +76,18 @@ void Supervisor::poll() {
 
   if (DStalls > 0) {
     record(SupervisionCause::GraceStall, 0, DStalls, H);
+    // Capture the post-mortem before reacting: reclamation and escalation
+    // mutate the very state the dump is meant to explain.
+    if (Cfg.DumpOnStall && DumpArmed && Target.DumpTelemetry) {
+      std::string Dump = Target.DumpTelemetry();
+      {
+        std::lock_guard<std::mutex> DL(DumpMu);
+        LastStallDump = std::move(Dump);
+      }
+      StallDumps.fetch_add(1, std::memory_order_relaxed);
+      DumpArmed = false;
+      record(SupervisionCause::StallDump, 0, DStalls, H);
+    }
     // An exited reader is the most likely cause of a stalled grace
     // period; recycling its slot lets the next grace complete.
     if (Target.ReclaimDeadSlots)
@@ -122,9 +103,11 @@ void Supervisor::poll() {
       ConsecutiveStalls = 0;
     }
   } else {
-    // A clean sample: the stall resolved, restart the progression.
+    // A clean sample: the stall resolved, restart the progression and
+    // re-arm the dump for the next episode.
     ConsecutiveStalls = 0;
     NextRung = 1;
+    DumpArmed = true;
   }
 
   if (Cfg.AppendStormThreshold && DRetries >= Cfg.AppendStormThreshold)
@@ -172,4 +155,9 @@ void Supervisor::stop() {
 bool Supervisor::running() const {
   std::lock_guard<std::mutex> L(LifecycleMu);
   return Watchdog.joinable();
+}
+
+std::string Supervisor::lastStallDump() const {
+  std::lock_guard<std::mutex> L(DumpMu);
+  return LastStallDump;
 }

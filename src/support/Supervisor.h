@@ -24,6 +24,7 @@
 #define GOLD_SUPPORT_SUPERVISOR_H
 
 #include "goldilocks/Health.h"
+#include "support/Telemetry.h"
 
 #include <atomic>
 #include <condition_variable>
@@ -44,6 +45,7 @@ enum class SupervisionCause : uint8_t {
   AppendStorm,       ///< append-retry delta crossed the storm threshold
   Escalation,        ///< the supervisor escalated the degradation ladder
   SlotsReclaimed,    ///< dead epoch slots were reclaimed
+  StallDump,         ///< a flight-recorder/telemetry dump was captured
 };
 
 const char *supervisionCauseName(SupervisionCause C);
@@ -61,34 +63,24 @@ struct SupervisionEvent {
   std::string str() const;
 };
 
-/// Fixed-size MPSC-safe ring of supervision events. Old events are
+/// Fixed-size thread-safe ring of supervision events. Old events are
 /// overwritten (and counted as dropped) rather than growing: supervision
-/// must not become a resource problem of its own.
-class SupervisionRing {
-public:
-  explicit SupervisionRing(size_t Capacity);
+/// must not become a resource problem of its own. An instantiation of the
+/// telemetry layer's generic EventRing (the flight recorder uses the same
+/// mechanism striped per thread).
+using SupervisionRing = EventRing<SupervisionEvent>;
 
-  void push(SupervisionEvent E);
-
-  /// Retained events, oldest first.
-  std::vector<SupervisionEvent> snapshot() const;
-
-  uint64_t total() const;   ///< events ever pushed
-  uint64_t dropped() const; ///< events overwritten by later ones
-  size_t capacity() const { return Buf.size(); }
-
-private:
-  mutable std::mutex Mu;
-  std::vector<SupervisionEvent> Buf;
-  uint64_t Pushes = 0;
-};
-
-/// The callbacks a supervisor drives. All three must be safe to call from
-/// an arbitrary thread; Escalate/Reclaim may be empty for observe-only use.
+/// The callbacks a supervisor drives. All must be safe to call from an
+/// arbitrary thread; everything but Sample may be empty for observe-only
+/// use. DumpTelemetry renders the engine's post-mortem state (health,
+/// telemetry snapshot, flight recorder) and is invoked when a grace stall is
+/// detected, so a wedged engine leaves an actionable record rather than
+/// only a counter bump.
 struct SupervisedEngine {
   std::function<EngineHealth()> Sample;
   std::function<void(unsigned Rung)> Escalate;
   std::function<size_t()> ReclaimDeadSlots;
+  std::function<std::string()> DumpTelemetry;
 };
 
 struct SupervisorConfig {
@@ -102,6 +94,10 @@ struct SupervisorConfig {
   uint64_t AppendStormThreshold = 100000;
   /// Event ring capacity.
   size_t RingCapacity = 128;
+  /// Capture a DumpTelemetry() post-mortem on the first grace stall of each
+  /// stall episode (a clean sample re-arms it). Off only for tests that
+  /// need byte-stable event streams.
+  bool DumpOnStall = true;
 };
 
 /// Samples a SupervisedEngine and reacts: on grace stalls it reclaims dead
@@ -134,6 +130,12 @@ public:
     return Escalations.load(std::memory_order_relaxed);
   }
 
+  /// The most recent stall post-mortem (empty if none was captured).
+  std::string lastStallDump() const;
+  uint64_t stallDumps() const {
+    return StallDumps.load(std::memory_order_relaxed);
+  }
+
 private:
   void loop();
   void record(SupervisionCause Cause, unsigned Rung, uint64_t Delta,
@@ -149,9 +151,14 @@ private:
   bool HavePrev = false;
   unsigned ConsecutiveStalls = 0;
   unsigned NextRung = 1;
+  bool DumpArmed = true; ///< capture at most one dump per stall episode
+
+  mutable std::mutex DumpMu;
+  std::string LastStallDump;
 
   std::atomic<uint64_t> Samples{0};
   std::atomic<uint64_t> Escalations{0};
+  std::atomic<uint64_t> StallDumps{0};
 
   // Watchdog thread lifecycle.
   mutable std::mutex LifecycleMu;

@@ -98,6 +98,12 @@ public:
     return Cfg.Detector ? Cfg.Detector->health() : std::nullopt;
   }
 
+  /// The detector's metrics snapshot, when the configured detector carries
+  /// a telemetry registry (nullopt otherwise or when uninstrumented).
+  std::optional<TelemetrySnapshot> detectorTelemetry() const {
+    return Cfg.Detector ? Cfg.Detector->telemetry() : std::nullopt;
+  }
+
   Heap &heap() { return TheHeap; }
   const Program &program() const { return Prog; }
 

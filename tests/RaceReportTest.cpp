@@ -1,0 +1,490 @@
+//===- tests/RaceReportTest.cpp - Race provenance report tests ------------===//
+///
+/// The PR-5 observability contract for race reports:
+///
+///  * the witness pair (threads, access kinds, variable) of every engine
+///    report matches the extended happens-before oracle's derivation, on
+///    deterministic scenario traces and across a random sweep;
+///  * the attached provenance is a valid synchronization-order chain: every
+///    replayed step is a sync event, step sequence numbers are strictly
+///    increasing and confined to the walked window (PriorSeq, Seq], and the
+///    rendered lockset evolution is present at every step;
+///  * the JSON rendering round-trips: a minimal parser (in this test)
+///    recovers every witness/provenance field from RaceReport::toJson.
+///
+//===----------------------------------------------------------------------===//
+
+#include "detectors/GoldilocksDetectors.h"
+#include "event/RandomTrace.h"
+#include "event/Trace.h"
+#include "hb/HbOracle.h"
+#include "support/Json.h"
+
+#include "gtest/gtest.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+using namespace gold;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// A minimal JSON parser — just enough to round-trip our own emitter.
+//===----------------------------------------------------------------------===//
+
+struct JsonValue {
+  enum Type { Null, Bool, Num, Str, Arr, Obj } T = Null;
+  bool B = false;
+  double N = 0;
+  std::string S;
+  std::vector<JsonValue> A;
+  std::map<std::string, JsonValue> O;
+
+  const JsonValue &at(const std::string &Key) const {
+    static const JsonValue Missing;
+    auto It = O.find(Key);
+    return It == O.end() ? Missing : It->second;
+  }
+};
+
+class MiniJson {
+public:
+  explicit MiniJson(const std::string &Text) : S(Text) {}
+
+  bool parse(JsonValue &Out) {
+    skipWs();
+    return value(Out) && (skipWs(), P == S.size());
+  }
+
+private:
+  const std::string &S;
+  size_t P = 0;
+
+  void skipWs() {
+    while (P < S.size() && std::isspace(static_cast<unsigned char>(S[P])))
+      ++P;
+  }
+  bool consume(char C) {
+    skipWs();
+    if (P < S.size() && S[P] == C) {
+      ++P;
+      return true;
+    }
+    return false;
+  }
+  bool string(std::string &Out) {
+    if (!consume('"'))
+      return false;
+    Out.clear();
+    while (P < S.size() && S[P] != '"') {
+      char C = S[P++];
+      if (C == '\\' && P < S.size()) {
+        char E = S[P++];
+        switch (E) {
+        case 'n': Out += '\n'; break;
+        case 't': Out += '\t'; break;
+        case '"': Out += '"'; break;
+        case '\\': Out += '\\'; break;
+        default: Out += E; break; // good enough for our emitter
+        }
+      } else {
+        Out += C;
+      }
+    }
+    return P < S.size() && S[P++] == '"';
+  }
+  bool value(JsonValue &Out) {
+    skipWs();
+    if (P >= S.size())
+      return false;
+    char C = S[P];
+    if (C == '{') {
+      ++P;
+      Out.T = JsonValue::Obj;
+      skipWs();
+      if (consume('}'))
+        return true;
+      do {
+        std::string Key;
+        if (!string(Key) || !consume(':'))
+          return false;
+        JsonValue V;
+        if (!value(V))
+          return false;
+        Out.O.emplace(std::move(Key), std::move(V));
+      } while (consume(','));
+      return consume('}');
+    }
+    if (C == '[') {
+      ++P;
+      Out.T = JsonValue::Arr;
+      skipWs();
+      if (consume(']'))
+        return true;
+      do {
+        JsonValue V;
+        if (!value(V))
+          return false;
+        Out.A.push_back(std::move(V));
+      } while (consume(','));
+      return consume(']');
+    }
+    if (C == '"') {
+      Out.T = JsonValue::Str;
+      return string(Out.S);
+    }
+    if (S.compare(P, 4, "true") == 0) {
+      Out.T = JsonValue::Bool;
+      Out.B = true;
+      P += 4;
+      return true;
+    }
+    if (S.compare(P, 5, "false") == 0) {
+      Out.T = JsonValue::Bool;
+      Out.B = false;
+      P += 5;
+      return true;
+    }
+    if (S.compare(P, 4, "null") == 0) {
+      Out.T = JsonValue::Null;
+      P += 4;
+      return true;
+    }
+    size_t End = P;
+    while (End < S.size() &&
+           (std::isdigit(static_cast<unsigned char>(S[End])) || S[End] == '-' ||
+            S[End] == '+' || S[End] == '.' || S[End] == 'e' || S[End] == 'E'))
+      ++End;
+    if (End == P)
+      return false;
+    Out.T = JsonValue::Num;
+    Out.N = std::stod(S.substr(P, End - P));
+    P = End;
+    return true;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Helpers
+//===----------------------------------------------------------------------===//
+
+/// Returns true when trace action \p I can be the witness side described by
+/// (Thr, IsWrite, Xact) for a race on \p V.
+bool sideMatches(const Trace &T, size_t I, VarId V, ThreadId Thr, bool IsWrite,
+                 bool Xact) {
+  const Action &A = T.Actions[I];
+  if (A.Thread != Thr || !T.accesses(I, V))
+    return false;
+  if (Xact) {
+    // A txn witness side names the commit set the engine's check fired on:
+    // the write set when IsWrite, otherwise the read set. A commit that
+    // both reads and writes V may legitimately be reported as either.
+    if (A.Kind != ActionKind::Commit)
+      return false;
+    const CommitSets &CS = T.commitSets(A);
+    if (IsWrite)
+      return CS.writes(V);
+    return std::find(CS.Reads.begin(), CS.Reads.end(), V) != CS.Reads.end();
+  }
+  return (A.Kind == ActionKind::Write) == IsWrite &&
+         (A.Kind == ActionKind::Read || A.Kind == ActionKind::Write);
+}
+
+/// Checks the reported witness pair corresponds to SOME concurrent
+/// conflicting pair in the trace. The engine may legitimately pair the racy
+/// access with a different concurrent prior than the oracle's chosen one
+/// (the oracle stops at the first unordered pair per variable; the engine
+/// reports whatever prior its Info record holds), so the check is
+/// existential: the (thread, kind) pair it names must be realizable by two
+/// concurrent accesses of the variable.
+void expectWitnessIsConcurrentPair(const Trace &T, const HbAnalysis &Hb,
+                                   const RaceReport &R) {
+  ASSERT_TRUE(R.IsWrite || R.PriorIsWrite) << "read/read is never a race";
+  for (size_t J = 0; J != T.Actions.size(); ++J) {
+    if (!sideMatches(T, J, R.Var, R.Thread, R.IsWrite, R.Xact))
+      continue;
+    for (size_t I = 0; I != T.Actions.size(); ++I)
+      if (I != J &&
+          sideMatches(T, I, R.Var, R.PriorThread, R.PriorIsWrite,
+                      R.PriorXact) &&
+          Hb.concurrent(I, J))
+        return;
+  }
+  ADD_FAILURE() << "no concurrent pair in the trace matches the witness: "
+                << R.str();
+}
+
+/// Checks one engine report against the oracle race derived for the same
+/// variable: same threads on both sides, same read/write kinds.
+void expectMatchesOracle(const Trace &T, const RaceReport &R,
+                         const RaceOracle &Oracle) {
+  const OracleRace *Match = nullptr;
+  for (const OracleRace &O : Oracle.races())
+    if (O.Var == R.Var)
+      Match = &O;
+  ASSERT_NE(Match, nullptr) << "engine reported a race on " << R.Var.str()
+                            << " that the oracle does not derive";
+  const Action &Prior = T.Actions[Match->PriorIndex];
+  const Action &Access = T.Actions[Match->AccessIndex];
+  EXPECT_EQ(R.Thread, Access.Thread) << "current-access thread";
+  EXPECT_EQ(R.PriorThread, Prior.Thread) << "prior-access thread";
+  if (Access.Kind == ActionKind::Read || Access.Kind == ActionKind::Write)
+    EXPECT_EQ(R.IsWrite, Access.Kind == ActionKind::Write);
+  else
+    EXPECT_TRUE(R.Xact) << "oracle access is a commit; report must be txn";
+  if (Prior.Kind == ActionKind::Read || Prior.Kind == ActionKind::Write)
+    EXPECT_EQ(R.PriorIsWrite, Prior.Kind == ActionKind::Write);
+  else
+    EXPECT_TRUE(R.PriorXact) << "oracle prior is a commit; report must be txn";
+}
+
+/// Checks the provenance trail is a valid sync-order chain for its report.
+void expectValidProvenance(const RaceReport &R) {
+  ASSERT_TRUE(R.Provenance) << "provenance capture is on by default";
+  const RaceProvenance &P = *R.Provenance;
+  EXPECT_FALSE(P.InitialLockset.empty());
+  uint64_t PrevSeq = R.PriorSeq;
+  for (const ProvenanceStep &S : P.Steps) {
+    EXPECT_TRUE(isSyncKind(S.Kind))
+        << "walked a non-sync action: " << actionKindName(S.Kind);
+    EXPECT_GT(S.Seq, PrevSeq) << "steps must be strictly increasing";
+    EXPECT_LE(S.Seq, R.Seq) << "step escaped the window (PriorSeq, Seq]";
+    EXPECT_FALSE(S.LocksetAfter.empty());
+    EXPECT_FALSE(S.str().empty());
+    PrevSeq = S.Seq;
+  }
+  if (!P.Truncated) {
+    EXPECT_LE(P.Steps.size(), size_t(R.Seq - R.PriorSeq));
+  }
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Deterministic scenarios
+//===----------------------------------------------------------------------===//
+
+// The paper's basic unordered pair: T1 writes under no common lock, T2
+// reads. The only sync between them (two unrelated acquires) does not order
+// them, and the provenance must show exactly those replayed events.
+TEST(RaceReportTest, WitnessAndProvenanceOnBasicUnorderedPair) {
+  TraceBuilder B;
+  B.alloc(1, 10)
+      .write(1, 10, 0) // prior access: T1 write o10.f0
+      .acq(1, 2)
+      .rel(1, 2)
+      .acq(2, 3) // unrelated lock: no ordering edge
+      .read(2, 10, 0); // racy access: T2 read o10.f0
+  Trace T = B.take();
+
+  RaceOracle Oracle(T);
+  ASSERT_EQ(Oracle.races().size(), 1u);
+
+  GoldilocksDetector D;
+  auto Races = D.runTrace(T);
+  ASSERT_EQ(Races.size(), 1u);
+  const RaceReport &R = Races[0];
+  EXPECT_EQ(R.Var, (VarId{10, 0}));
+  EXPECT_EQ(R.Thread, 2u);
+  EXPECT_EQ(R.PriorThread, 1u);
+  EXPECT_FALSE(R.IsWrite);
+  EXPECT_TRUE(R.PriorIsWrite);
+  expectMatchesOracle(T, R, Oracle);
+
+  expectValidProvenance(R);
+  const RaceProvenance &P = *R.Provenance;
+  // The walked window contains the three sync events between the accesses.
+  ASSERT_EQ(P.Steps.size(), 3u);
+  EXPECT_EQ(P.Steps[0].Kind, ActionKind::Acquire);
+  EXPECT_EQ(P.Steps[1].Kind, ActionKind::Release);
+  EXPECT_EQ(P.Steps[2].Kind, ActionKind::Acquire);
+  EXPECT_EQ(P.Steps[2].Thread, 2u);
+
+  // Human renderings carry the window and the evolution.
+  std::string V = R.strVerbose();
+  EXPECT_NE(V.find("sync window"), std::string::npos) << V;
+  EXPECT_NE(V.find("lockset at prior access"), std::string::npos) << V;
+  EXPECT_NE(V.find("acq"), std::string::npos) << V;
+}
+
+// A properly lock-protected handoff must not race; and after a release->
+// acquire chain transfers ownership, the provenance of a *later* race on a
+// different variable must still replay a well-formed window.
+TEST(RaceReportTest, LockProtectedPairDoesNotRace) {
+  TraceBuilder B;
+  B.alloc(1, 10)
+      .acq(1, 2)
+      .write(1, 10, 0)
+      .rel(1, 2)
+      .acq(2, 2)
+      .read(2, 10, 0)
+      .rel(2, 2);
+  Trace T = B.take();
+  RaceOracle Oracle(T);
+  EXPECT_TRUE(Oracle.races().empty());
+  GoldilocksDetector D;
+  EXPECT_TRUE(D.runTrace(T).empty());
+}
+
+// Empty window: the two conflicting accesses have no sync event between
+// their anchors at all. The provenance must say so (no steps) rather than
+// inventing a chain.
+TEST(RaceReportTest, EmptyWindowYieldsEmptyProvenanceSteps) {
+  TraceBuilder B;
+  B.alloc(1, 10).write(1, 10, 0).write(2, 10, 0);
+  Trace T = B.take();
+  GoldilocksDetector D;
+  auto Races = D.runTrace(T);
+  ASSERT_EQ(Races.size(), 1u);
+  expectValidProvenance(Races[0]);
+  EXPECT_TRUE(Races[0].Provenance->Steps.empty());
+  EXPECT_EQ(Races[0].Seq, Races[0].PriorSeq)
+      << "no sync events between the anchors";
+}
+
+// Provenance can be turned off; the verdict must be unchanged and the
+// report must simply carry no trail.
+TEST(RaceReportTest, DisablingProvenanceKeepsTheVerdict) {
+  TraceBuilder B;
+  B.alloc(1, 10).write(1, 10, 0).acq(1, 2).rel(1, 2).read(2, 10, 0);
+  Trace T = B.take();
+  EngineConfig C;
+  C.EnableProvenance = false;
+  GoldilocksDetector D(C);
+  auto Races = D.runTrace(T);
+  ASSERT_EQ(Races.size(), 1u);
+  EXPECT_FALSE(Races[0].Provenance);
+  EXPECT_EQ(Races[0].str(), Races[0].strVerbose().substr(0, Races[0].str().size()));
+}
+
+// MaxProvenanceSteps caps the replay record (not the verdict): a long
+// window must yield a truncated trail.
+TEST(RaceReportTest, LongWindowTruncatesTheTrailNotTheVerdict) {
+  TraceBuilder B;
+  B.alloc(1, 10).write(1, 10, 0);
+  for (int I = 0; I != 32; ++I)
+    B.acq(1, 2).rel(1, 2);
+  B.read(2, 10, 0);
+  Trace T = B.take();
+  EngineConfig C;
+  C.MaxProvenanceSteps = 8;
+  GoldilocksDetector D(C);
+  auto Races = D.runTrace(T);
+  ASSERT_EQ(Races.size(), 1u);
+  ASSERT_TRUE(Races[0].Provenance);
+  EXPECT_TRUE(Races[0].Provenance->Truncated);
+  EXPECT_EQ(Races[0].Provenance->Steps.size(), 8u);
+  expectValidProvenance(Races[0]);
+}
+
+//===----------------------------------------------------------------------===//
+// Random sweep vs the oracle
+//===----------------------------------------------------------------------===//
+
+TEST(RaceReportTest, RandomSweepWitnessesMatchOracleAndProvenanceIsValid) {
+  for (uint64_t Seed = 1; Seed <= 25; ++Seed) {
+    RandomTraceParams P;
+    P.Seed = Seed;
+    P.NumThreads = 2 + static_cast<ThreadId>(Seed % 4);
+    P.StepsPerThread = 30 + static_cast<unsigned>(Seed % 40);
+    Trace T = generateRandomTrace(P);
+    RaceOracle Oracle(T);
+    HbAnalysis Hb(T);
+    std::set<VarId> RacyVars;
+    for (VarId V : Oracle.racyVars())
+      RacyVars.insert(V);
+    GoldilocksDetector D;
+    for (const RaceReport &R : D.runTrace(T)) {
+      SCOPED_TRACE("seed " + std::to_string(Seed) + " var " + R.Var.str());
+      EXPECT_TRUE(RacyVars.count(R.Var))
+          << "engine race on a variable the oracle says is race-free";
+      expectWitnessIsConcurrentPair(T, Hb, R);
+      expectValidProvenance(R);
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// JSON round-trip
+//===----------------------------------------------------------------------===//
+
+TEST(RaceReportTest, JsonRoundTripsEveryField) {
+  TraceBuilder B;
+  B.alloc(1, 10)
+      .write(1, 10, 0)
+      .acq(1, 2)
+      .rel(1, 2)
+      .fork(1, 3)
+      .read(2, 10, 0);
+  Trace T = B.take();
+  GoldilocksDetector D;
+  auto Races = D.runTrace(T);
+  ASSERT_EQ(Races.size(), 1u);
+  const RaceReport &R = Races[0];
+  ASSERT_TRUE(R.Provenance);
+
+  JsonWriter W;
+  R.toJson(W);
+  JsonValue Doc;
+  ASSERT_TRUE(MiniJson(W.str()).parse(Doc)) << W.str();
+
+  EXPECT_EQ(Doc.at("var").S, R.Var.str());
+  const JsonValue &Access = Doc.at("access");
+  EXPECT_EQ(Access.at("thread").N, double(R.Thread));
+  EXPECT_EQ(Access.at("kind").S, R.IsWrite ? "write" : "read");
+  EXPECT_EQ(Access.at("txn").B, R.Xact);
+  EXPECT_EQ(Access.at("seq").N, double(R.Seq));
+  const JsonValue &Prior = Doc.at("prior");
+  EXPECT_EQ(Prior.at("thread").N, double(R.PriorThread));
+  EXPECT_EQ(Prior.at("kind").S, R.PriorIsWrite ? "write" : "read");
+  EXPECT_EQ(Prior.at("seq").N, double(R.PriorSeq));
+
+  const JsonValue &Prov = Doc.at("provenance");
+  EXPECT_TRUE(Prov.at("captured").B);
+  EXPECT_EQ(Prov.at("initial_lockset").S, R.Provenance->InitialLockset);
+  EXPECT_EQ(Prov.at("truncated").B, R.Provenance->Truncated);
+  const JsonValue &Steps = Prov.at("steps");
+  ASSERT_EQ(Steps.A.size(), R.Provenance->Steps.size());
+  for (size_t I = 0; I != Steps.A.size(); ++I) {
+    const ProvenanceStep &S = R.Provenance->Steps[I];
+    const JsonValue &J = Steps.A[I];
+    EXPECT_EQ(J.at("seq").N, double(S.Seq));
+    EXPECT_EQ(J.at("kind").S, actionKindName(S.Kind));
+    EXPECT_EQ(J.at("thread").N, double(S.Thread));
+    EXPECT_EQ(J.at("changed").B, S.Changed);
+    EXPECT_EQ(J.at("lockset_after").S, S.LocksetAfter);
+    if (S.Target != NoThread)
+      EXPECT_EQ(J.at("target").N, double(S.Target));
+    else
+      EXPECT_EQ(J.at("target").T, JsonValue::Null);
+  }
+  // The fork step must have round-tripped its target.
+  bool SawFork = false;
+  for (size_t I = 0; I != Steps.A.size(); ++I)
+    if (Steps.A[I].at("kind").S == "fork") {
+      SawFork = true;
+      EXPECT_EQ(Steps.A[I].at("target").N, 3.0);
+    }
+  EXPECT_TRUE(SawFork);
+}
+
+// A report without provenance must still produce a well-formed document.
+TEST(RaceReportTest, JsonWithoutProvenance) {
+  RaceReport R;
+  R.Var = VarId{4, 1};
+  R.Thread = 2;
+  R.PriorThread = 1;
+  R.IsWrite = true;
+  JsonWriter W;
+  R.toJson(W);
+  JsonValue Doc;
+  ASSERT_TRUE(MiniJson(W.str()).parse(Doc)) << W.str();
+  EXPECT_FALSE(Doc.at("provenance").at("captured").B);
+  EXPECT_EQ(Doc.at("access").at("kind").S, "write");
+}

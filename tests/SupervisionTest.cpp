@@ -552,6 +552,62 @@ TEST(SupervisionEngineTest, ShutdownFreezesRecordingAndSuppressesVerdicts) {
 // Precision under supervision pressure
 //===----------------------------------------------------------------------===//
 
+// A grace stall diagnosed by the supervisor must leave an actionable
+// post-mortem — governor health, the full telemetry snapshot, and the
+// per-thread flight-recorder tails — captured at most once per stall
+// episode, with a StallDump event in the ring marking when it was taken.
+TEST(SupervisionEngineTest, GraceStallCapturesATelemetryDump) {
+  EngineConfig C;
+  C.GcThreshold = 0;             // manual collections only
+  C.GraceDeadlineMicros = 20000; // 20ms
+  C.Telemetry = TelemetryLevel::Full; // flight-recorder content in the dump
+  GoldilocksEngine E(C);
+
+  // Grow an unreferenced prefix worth trimming.
+  for (unsigned I = 0; I != 200; ++I) {
+    E.onAcquire(1, 5);
+    E.onRelease(1, 5);
+  }
+
+  Supervisor Sup(superviseEngine(E));
+  Sup.poll(); // baseline sample before the stall
+
+  FailpointConfig FC;
+  FC.rate(Failpoint::EngineReaderPark, 1000000); // every read section parks
+  FC.StallMicros = 300000;                       // ... for 300ms
+  std::atomic<bool> Entered{false};
+  std::thread Parked;
+  {
+    FailpointScope Scope(FC);
+    Parked = std::thread([&] {
+      Entered.store(true);
+      E.onRead(2, VarId{7, 0}); // parks inside the epoch section
+    });
+    while (!Entered.load())
+      std::this_thread::yield();
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    E.collectGarbage(); // hits the grace deadline under the parked reader
+    Parked.join();
+  }
+  ASSERT_GE(E.stats().GraceTimeouts, 1u) << "the grace deadline never fired";
+
+  Sup.poll(); // sees the stall delta and captures the post-mortem
+  EXPECT_EQ(Sup.stallDumps(), 1u);
+  std::string Dump = Sup.lastStallDump();
+  EXPECT_NE(Dump.find("=== engine stall dump ==="), std::string::npos) << Dump;
+  EXPECT_NE(Dump.find("health:"), std::string::npos) << Dump;
+  EXPECT_NE(Dump.find("telemetry level=full"), std::string::npos) << Dump;
+  EXPECT_NE(Dump.find("grace_timeouts"), std::string::npos) << Dump;
+  EXPECT_NE(Dump.find("--- flight recorder"), std::string::npos) << Dump;
+  EXPECT_NE(Dump.find("grace-wait"), std::string::npos)
+      << "the timed-out grace wait must be on the flight record:\n" << Dump;
+  EXPECT_EQ(countCause(Sup.events(), SupervisionCause::StallDump), 1u);
+
+  // A clean sample ends the episode without re-dumping.
+  Sup.poll();
+  EXPECT_EQ(Sup.stallDumps(), 1u);
+}
+
 // The supervised engine under stall injection, short deadlines and a live
 // watchdog must stay *sound*: on random traces every race it still reports
 // is confirmed by the happens-before oracle (degradation may miss races,

@@ -1,0 +1,208 @@
+#!/usr/bin/env python3
+"""Validate the repo's measurement artifacts (stdlib only).
+
+Understands every JSON document the binaries emit and checks real
+invariants, not just well-formedness:
+
+  gold-bench-v1        BENCH_*.json / perf-smoke artifacts (bench_* --json,
+                       goldilocks-trace --stats-json)
+  gold-metrics-v1      goldilocks-trace --metrics-json / engine telemetry()
+  gold-race-report-v1  goldilocks-trace --race-report
+  Chrome trace events  goldilocks-trace --trace-out (Perfetto-loadable)
+
+Usage: check_bench_schema.py FILE [FILE...]
+Exit status: 0 when every file validates, 1 otherwise.
+"""
+
+import json
+import sys
+
+TELEMETRY_LEVELS = ("off", "counters", "full")
+
+
+class Bad(Exception):
+    pass
+
+
+def need(doc, key, types, ctx):
+    if key not in doc:
+        raise Bad(f"{ctx}: missing required key '{key}'")
+    val = doc[key]
+    if not isinstance(val, types):
+        raise Bad(f"{ctx}: '{key}' has type {type(val).__name__}, "
+                  f"expected {types}")
+    return val
+
+
+def check_counter_map(obj, ctx):
+    if not isinstance(obj, dict):
+        raise Bad(f"{ctx}: expected an object")
+    for name, val in obj.items():
+        if not isinstance(val, (int, float)) or isinstance(val, bool):
+            raise Bad(f"{ctx}.{name}: non-numeric value {val!r}")
+        if val < 0:
+            raise Bad(f"{ctx}.{name}: negative counter {val}")
+
+
+def check_stats_block(stats, ctx):
+    check_counter_map(stats, ctx)
+    # Counters the engine has emitted since PR 1; their absence means the
+    # emitter and this checker have drifted.
+    for key in ("accesses", "sync_events", "full_walks", "cells_walked"):
+        if key not in stats:
+            raise Bad(f"{ctx}: missing engine counter '{key}'")
+
+
+def check_histogram(name, h, ctx):
+    ctx = f"{ctx}.{name}"
+    count = need(h, "count", int, ctx)
+    total = need(h, "sum", int, ctx)
+    hmax = need(h, "max", int, ctx)
+    need(h, "mean", (int, float), ctx)
+    buckets = need(h, "buckets", list, ctx)
+    bucket_total = 0
+    prev_hi = -1
+    for i, b in enumerate(buckets):
+        if (not isinstance(b, list) or len(b) != 3
+                or not all(isinstance(x, int) for x in b)):
+            raise Bad(f"{ctx}.buckets[{i}]: expected [lo, hi, count] ints, "
+                      f"got {b!r}")
+        lo, hi, n = b
+        if lo > hi:
+            raise Bad(f"{ctx}.buckets[{i}]: lo {lo} > hi {hi}")
+        if lo <= prev_hi:
+            raise Bad(f"{ctx}.buckets[{i}]: overlaps previous bucket")
+        prev_hi = hi
+        bucket_total += n
+    if bucket_total != count:
+        raise Bad(f"{ctx}: bucket counts sum to {bucket_total}, "
+                  f"count says {count}")
+    if count and total < hmax:
+        raise Bad(f"{ctx}: sum {total} < max {hmax}")
+
+
+def check_metrics_body(doc, ctx):
+    level = need(doc, "level", str, ctx)
+    if level not in TELEMETRY_LEVELS:
+        raise Bad(f"{ctx}: bad level {level!r}")
+    check_counter_map(need(doc, "counters", dict, ctx), f"{ctx}.counters")
+    check_counter_map(need(doc, "gauges", dict, ctx), f"{ctx}.gauges")
+    hists = need(doc, "histograms", dict, ctx)
+    for name, h in hists.items():
+        if not isinstance(h, dict):
+            raise Bad(f"{ctx}.histograms.{name}: expected an object")
+        check_histogram(name, h, f"{ctx}.histograms")
+    if level != "full" and hists:
+        raise Bad(f"{ctx}: histograms present at level {level!r}")
+
+
+def check_metrics(doc, path):
+    need(doc, "source", str, path)
+    check_metrics_body(doc, path)
+
+
+def check_bench(doc, path):
+    need(doc, "bench", str, path)
+    need(doc, "git_rev", str, path)
+    need(doc, "utc", str, path)
+    runs = doc.get("runs")
+    if runs is not None:
+        if not isinstance(runs, list) or not runs:
+            raise Bad(f"{path}: 'runs' must be a non-empty array")
+        for i, r in enumerate(runs):
+            ctx = f"{path}.runs[{i}]"
+            if not isinstance(r, dict):
+                raise Bad(f"{ctx}: expected an object")
+            if "seconds" in r and (not isinstance(r["seconds"], (int, float))
+                                   or r["seconds"] < 0):
+                raise Bad(f"{ctx}: bad 'seconds' {r['seconds']!r}")
+            if "stats" in r:
+                check_stats_block(r["stats"], f"{ctx}.stats")
+            if "telemetry" in r:
+                check_metrics_body(r["telemetry"], f"{ctx}.telemetry")
+    if "stats" in doc:
+        check_stats_block(doc["stats"], f"{path}.stats")
+    if "health" in doc:
+        check_counter_map(
+            {k: v for k, v in doc["health"].items()
+             if not isinstance(v, bool)}, f"{path}.health")
+
+
+def check_race_report(doc, path):
+    need(doc, "source", str, path)
+    count = need(doc, "race_count", int, path)
+    races = need(doc, "races", list, path)
+    if len(races) != count:
+        raise Bad(f"{path}: race_count {count} != len(races) {len(races)}")
+    for i, r in enumerate(races):
+        ctx = f"{path}.races[{i}]"
+        need(r, "var", str, ctx)
+        for side in ("access", "prior"):
+            a = need(r, side, dict, ctx)
+            need(a, "thread", int, f"{ctx}.{side}")
+            need(a, "kind", str, f"{ctx}.{side}")
+        prov = need(r, "provenance", dict, ctx)
+        if need(prov, "captured", bool, f"{ctx}.provenance"):
+            steps = need(prov, "steps", list, f"{ctx}.provenance")
+            prev = 0
+            for j, s in enumerate(steps):
+                seq = need(s, "seq", int, f"{ctx}.provenance.steps[{j}]")
+                if seq <= prev:
+                    raise Bad(f"{ctx}.provenance.steps[{j}]: seq {seq} not "
+                              f"strictly increasing")
+                prev = seq
+
+
+def check_chrome_trace(doc, path):
+    events = need(doc, "traceEvents", list, path)
+    for i, e in enumerate(events):
+        ctx = f"{path}.traceEvents[{i}]"
+        ph = need(e, "ph", str, ctx)
+        need(e, "name", str, ctx)
+        ts = need(e, "ts", (int, float), ctx)
+        if ts < 0:
+            raise Bad(f"{ctx}: negative ts")
+        if ph == "X":
+            if need(e, "dur", (int, float), ctx) < 0:
+                raise Bad(f"{ctx}: negative dur")
+        elif ph != "i":
+            raise Bad(f"{ctx}: unexpected phase {ph!r}")
+
+
+def check_file(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if not isinstance(doc, dict):
+        raise Bad(f"{path}: top level is not an object")
+    schema = doc.get("schema")
+    if schema == "gold-bench-v1":
+        check_bench(doc, path)
+    elif schema == "gold-metrics-v1":
+        check_metrics(doc, path)
+    elif schema == "gold-race-report-v1":
+        check_race_report(doc, path)
+    elif schema is None and "traceEvents" in doc:
+        check_chrome_trace(doc, path)
+        schema = "chrome-trace"
+    else:
+        raise Bad(f"{path}: unknown schema {schema!r}")
+    return schema
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 1
+    failed = False
+    for path in argv[1:]:
+        try:
+            schema = check_file(path)
+            print(f"{path}: ok ({schema})")
+        except (Bad, OSError, json.JSONDecodeError) as e:
+            print(f"{path}: FAIL: {e}", file=sys.stderr)
+            failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

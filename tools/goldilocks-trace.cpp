@@ -2,29 +2,9 @@
 ///
 /// Command-line race checker: reads a linearized execution in the TraceIO
 /// text format (or generates a random one) and replays it through the
-/// requested detectors.
-///
-///   goldilocks-trace [options] [trace-file]
-///     --detector goldilocks|reference|eraser|vectorclock|all   (default: goldilocks)
-///     --semantics shared|atomic|w2r    commit synchronization (default: shared)
-///     --random <seed>                  generate a random trace instead
-///     --dump                           print the (possibly generated) trace
-///     --stats                          print engine statistics
-///     --health                         print the engine's resource/health snapshot
-///     --max-cells <n>                  cap the synchronization event list
-///     --max-infos <n>                  cap the live Info records
-///     --max-bytes <n>                  coarse detector byte budget
-///     --oracle                         also print the happens-before oracle verdict
-///     --resume-on-error                skip malformed trace lines (streaming
-///                                      ingestion) instead of aborting
-///     --error-budget <n>               max malformed lines tolerated with
-///                                      --resume-on-error (default 10)
-///     --watchdog-ms <n>                run the supervision watchdog at this
-///                                      sample period (goldilocks only)
-///     --events                         print the supervision event ring at exit
-///     --stats-json <path>              write a gold-bench-v1 JSON artifact with
-///                                      the engine config, stats and verdicts of
-///                                      the goldilocks run (goldilocks only)
+/// requested detectors. Run with --help for the full flag list — the usage
+/// text and the parser are generated from one table (Options[] below) so
+/// they cannot drift apart.
 ///
 /// Exit code: number of distinct racy variables found by the last detector
 /// run (capped at 125), or 126 on usage / parse errors / exceeded error
@@ -40,6 +20,7 @@
 #include "event/TraceIO.h"
 #include "hb/HbOracle.h"
 #include "support/Supervisor.h"
+#include "support/Telemetry.h"
 
 #include <cstdio>
 #include <cstring>
@@ -47,38 +28,126 @@
 #include <memory>
 #include <set>
 #include <sstream>
+#include <vector>
 
 using namespace gold;
 
 namespace {
 
-int usage() {
-  std::fprintf(stderr,
-               "usage: goldilocks-trace [--detector "
-               "goldilocks|reference|eraser|vectorclock|all]\n"
-               "                        [--semantics shared|atomic|w2r] "
-               "[--random <seed>]\n"
-               "                        [--max-cells <n>] [--max-infos <n>] "
-               "[--max-bytes <n>]\n"
-               "                        [--dump] [--stats] [--health] "
-               "[--oracle] [trace-file]\n"
-               "                        [--resume-on-error] "
-               "[--error-budget <n>]\n"
-               "                        [--watchdog-ms <n>] [--events] "
-               "[--stats-json <path>]\n");
+//===----------------------------------------------------------------------===//
+// Flag table: the single source of truth for the usage text AND the parser.
+//===----------------------------------------------------------------------===//
+
+enum class Opt {
+  Detector,
+  Semantics,
+  Random,
+  Dump,
+  Stats,
+  Health,
+  MaxCells,
+  MaxInfos,
+  MaxBytes,
+  Oracle,
+  ResumeOnError,
+  ErrorBudget,
+  WatchdogMs,
+  Events,
+  StatsJson,
+  Telemetry,
+  MetricsJson,
+  RaceReportPath,
+  TraceOut,
+  Help,
+};
+
+struct OptSpec {
+  Opt Id;
+  const char *Flag;
+  const char *Arg;  ///< operand placeholder, or nullptr for a boolean flag
+  const char *Help; ///< one-line description for the usage text
+};
+
+constexpr OptSpec Options[] = {
+    {Opt::Detector, "--detector", "goldilocks|reference|eraser|vectorclock|all",
+     "detector(s) to run (default: goldilocks)"},
+    {Opt::Semantics, "--semantics", "shared|atomic|w2r",
+     "commit synchronization semantics (default: shared)"},
+    {Opt::Random, "--random", "<seed>", "generate a random trace instead"},
+    {Opt::Dump, "--dump", nullptr, "print the (possibly generated) trace"},
+    {Opt::Stats, "--stats", nullptr, "print engine statistics"},
+    {Opt::Health, "--health", nullptr,
+     "print the engine's resource/health snapshot"},
+    {Opt::MaxCells, "--max-cells", "<n>", "cap the synchronization event list"},
+    {Opt::MaxInfos, "--max-infos", "<n>", "cap the live Info records"},
+    {Opt::MaxBytes, "--max-bytes", "<n>", "coarse detector byte budget"},
+    {Opt::Oracle, "--oracle", nullptr,
+     "also print the happens-before oracle verdict"},
+    {Opt::ResumeOnError, "--resume-on-error", nullptr,
+     "skip malformed trace lines (streaming ingestion) instead of aborting"},
+    {Opt::ErrorBudget, "--error-budget", "<n>",
+     "max malformed lines tolerated with --resume-on-error (default 10)"},
+    {Opt::WatchdogMs, "--watchdog-ms", "<n>",
+     "run the supervision watchdog at this sample period (goldilocks only)"},
+    {Opt::Events, "--events", nullptr,
+     "print the supervision event ring at exit"},
+    {Opt::StatsJson, "--stats-json", "<path>",
+     "write a gold-bench-v1 JSON artifact with the engine config, stats, "
+     "health and verdicts of the goldilocks run (goldilocks only)"},
+    {Opt::Telemetry, "--telemetry", "off|counters|full",
+     "engine telemetry level: histograms and the flight recorder need "
+     "'full' (default: counters)"},
+    {Opt::MetricsJson, "--metrics-json", "<path>",
+     "write a gold-metrics-v1 JSON snapshot of the engine telemetry "
+     "(goldilocks only)"},
+    {Opt::RaceReportPath, "--race-report", "<path>",
+     "write every race as structured JSON (witness pair + provenance) and "
+     "print the verbose human rendering (goldilocks only)"},
+    {Opt::TraceOut, "--trace-out", "<path>",
+     "write Chrome trace-event spans for engine phases (publish, lazy "
+     "walk, GC, grace wait); load in Perfetto or chrome://tracing"},
+    {Opt::Help, "--help", nullptr, "print this help"},
+};
+
+const OptSpec *findOpt(const std::string &Flag) {
+  for (const OptSpec &S : Options)
+    if (Flag == S.Flag)
+      return &S;
+  return nullptr;
+}
+
+int usage(FILE *To = stderr) {
+  std::fprintf(To, "usage: goldilocks-trace [options] [trace-file]\n");
+  for (const OptSpec &S : Options) {
+    char Left[64];
+    std::snprintf(Left, sizeof(Left), "%s%s%s", S.Flag, S.Arg ? " " : "",
+                  S.Arg ? S.Arg : "");
+    // Wrap the help text by hand only when it is long; one line per flag
+    // keeps the block greppable.
+    std::fprintf(To, "  %-52s %s\n", Left, S.Help);
+  }
   return 126;
 }
 
-size_t runDetector(RaceDetector &D, const Trace &T, bool WantStats,
-                   bool WantHealth, GoldilocksEngine *Engine) {
-  auto Races = D.runTrace(T);
+struct RunOutput {
+  std::vector<RaceReport> Races;
+  size_t RacyVars = 0;
+};
+
+RunOutput runDetector(RaceDetector &D, const Trace &T, bool WantStats,
+                      bool WantHealth, bool Verbose,
+                      GoldilocksEngine *Engine) {
+  RunOutput Out;
+  Out.Races = D.runTrace(T);
   std::set<uint64_t> Vars;
-  for (const RaceReport &R : Races) {
-    std::printf("%-12s %s\n", D.name(), R.str().c_str());
+  for (const RaceReport &R : Out.Races) {
+    std::printf("%-12s %s\n", D.name(),
+                (Verbose ? R.strVerbose() : R.str()).c_str());
     Vars.insert(R.Var.key());
   }
+  Out.RacyVars = Vars.size();
   std::printf("%-12s %zu race(s) on %zu variable(s)\n", D.name(),
-              Races.size(), Vars.size());
+              Out.Races.size(), Vars.size());
   if (WantHealth) {
     if (auto H = D.health())
       std::printf("%-12s health: %s\n", D.name(), H->str().c_str());
@@ -98,7 +167,7 @@ size_t runDetector(RaceDetector &D, const Trace &T, bool WantStats,
                 (unsigned long long)S.CellsWalked,
                 (unsigned long long)S.GcRuns);
   }
-  return Vars.size();
+  return Out;
 }
 
 } // namespace
@@ -113,22 +182,41 @@ int main(int Argc, char **Argv) {
   unsigned WatchdogMs = 0;
   uint64_t Seed = 1;
   size_t MaxCells = 0, MaxInfos = 0, MaxBytes = 0;
-  std::string File, StatsJsonPath;
+  TelemetryLevel TelLevel = TelemetryLevel::Counters;
+  std::string File, StatsJsonPath, MetricsJsonPath, RaceReportPath,
+      TraceOutPath;
 
   for (int I = 1; I != Argc; ++I) {
     std::string Arg = Argv[I];
-    auto Next = [&]() -> const char * {
-      return I + 1 < Argc ? Argv[++I] : nullptr;
+    if (Arg.empty() || Arg[0] != '-') {
+      File = Arg;
+      continue;
+    }
+    const OptSpec *S = findOpt(Arg);
+    if (!S)
+      return usage();
+    const char *V = nullptr;
+    if (S->Arg) {
+      if (I + 1 >= Argc)
+        return usage();
+      V = Argv[++I];
+    }
+    // Shared operand parsers keyed off the table's placeholder text.
+    auto ParseUnsigned = [&](bool AllowZero) -> size_t {
+      char *End = nullptr;
+      size_t N = std::strtoull(V, &End, 10);
+      if (End == V || *End || (!AllowZero && !N)) {
+        std::fprintf(stderr, "%s wants a %s integer, got '%s'\n", S->Flag,
+                     AllowZero ? "non-negative" : "positive", V);
+        std::exit(126);
+      }
+      return N;
     };
-    if (Arg == "--detector") {
-      const char *V = Next();
-      if (!V)
-        return usage();
+    switch (S->Id) {
+    case Opt::Detector:
       DetectorName = V;
-    } else if (Arg == "--semantics") {
-      const char *V = Next();
-      if (!V)
-        return usage();
+      break;
+    case Opt::Semantics:
       if (!std::strcmp(V, "shared"))
         Semantics = TxnSyncSemantics::SharedVariable;
       else if (!std::strcmp(V, "atomic"))
@@ -137,62 +225,66 @@ int main(int Argc, char **Argv) {
         Semantics = TxnSyncSemantics::WriterToReader;
       else
         return usage();
-    } else if (Arg == "--random") {
-      const char *V = Next();
-      if (!V)
-        return usage();
+      break;
+    case Opt::Random:
       Random = true;
       Seed = std::strtoull(V, nullptr, 10);
-    } else if (Arg == "--max-cells" || Arg == "--max-infos" ||
-               Arg == "--max-bytes") {
-      const char *V = Next();
-      if (!V)
-        return usage();
-      char *End = nullptr;
-      size_t N = std::strtoull(V, &End, 10);
-      if (End == V || *End || !N) {
-        std::fprintf(stderr, "%s wants a positive integer, got '%s'\n",
-                     Arg.c_str(), V);
-        return 126;
-      }
-      (Arg == "--max-cells" ? MaxCells
-                            : Arg == "--max-infos" ? MaxInfos : MaxBytes) = N;
-    } else if (Arg == "--error-budget" || Arg == "--watchdog-ms") {
-      const char *V = Next();
-      if (!V)
-        return usage();
-      char *End = nullptr;
-      size_t N = std::strtoull(V, &End, 10);
-      if (End == V || *End) {
-        std::fprintf(stderr, "%s wants a non-negative integer, got '%s'\n",
-                     Arg.c_str(), V);
-        return 126;
-      }
-      if (Arg == "--error-budget")
-        ErrorBudget = N;
-      else
-        WatchdogMs = static_cast<unsigned>(N);
-    } else if (Arg == "--stats-json") {
-      const char *V = Next();
-      if (!V)
-        return usage();
-      StatsJsonPath = V;
-    } else if (Arg == "--resume-on-error") {
-      ResumeOnError = true;
-    } else if (Arg == "--events") {
-      WantEvents = true;
-    } else if (Arg == "--dump") {
+      break;
+    case Opt::Dump:
       Dump = true;
-    } else if (Arg == "--stats") {
+      break;
+    case Opt::Stats:
       WantStats = true;
-    } else if (Arg == "--health") {
+      break;
+    case Opt::Health:
       WantHealth = true;
-    } else if (Arg == "--oracle") {
+      break;
+    case Opt::MaxCells:
+      MaxCells = ParseUnsigned(/*AllowZero=*/false);
+      break;
+    case Opt::MaxInfos:
+      MaxInfos = ParseUnsigned(/*AllowZero=*/false);
+      break;
+    case Opt::MaxBytes:
+      MaxBytes = ParseUnsigned(/*AllowZero=*/false);
+      break;
+    case Opt::Oracle:
       WantOracle = true;
-    } else if (!Arg.empty() && Arg[0] == '-') {
-      return usage();
-    } else {
-      File = Arg;
+      break;
+    case Opt::ResumeOnError:
+      ResumeOnError = true;
+      break;
+    case Opt::ErrorBudget:
+      ErrorBudget = ParseUnsigned(/*AllowZero=*/true);
+      break;
+    case Opt::WatchdogMs:
+      WatchdogMs = static_cast<unsigned>(ParseUnsigned(/*AllowZero=*/true));
+      break;
+    case Opt::Events:
+      WantEvents = true;
+      break;
+    case Opt::StatsJson:
+      StatsJsonPath = V;
+      break;
+    case Opt::Telemetry:
+      if (!parseTelemetryLevel(V, TelLevel)) {
+        std::fprintf(stderr, "--telemetry wants off|counters|full, got '%s'\n",
+                     V);
+        return 126;
+      }
+      break;
+    case Opt::MetricsJson:
+      MetricsJsonPath = V;
+      break;
+    case Opt::RaceReportPath:
+      RaceReportPath = V;
+      break;
+    case Opt::TraceOut:
+      TraceOutPath = V;
+      break;
+    case Opt::Help:
+      usage(stdout);
+      return 0;
     }
   }
 
@@ -256,15 +348,23 @@ int main(int Argc, char **Argv) {
       C.MaxCells = MaxCells;
       C.MaxInfoRecords = MaxInfos;
       C.MaxBytes = MaxBytes;
+      C.Telemetry = TelLevel;
       GoldilocksDetector D(C);
+      TraceEventSink Sink;
+      if (!TraceOutPath.empty())
+        D.engine().attachTraceSink(&Sink);
       SupervisorConfig SC;
       if (WatchdogMs > 0)
         SC.SamplePeriodMillis = WatchdogMs;
       Supervisor Sup(superviseEngine(D.engine()), SC);
       if (WatchdogMs > 0)
         Sup.start();
-      RacyVars = runDetector(D, T, WantStats, WantHealth, &D.engine());
+      RunOutput R = runDetector(D, T, WantStats, WantHealth,
+                                /*Verbose=*/!RaceReportPath.empty(),
+                                &D.engine());
+      RacyVars = R.RacyVars;
       Sup.stop();
+      D.engine().attachTraceSink(nullptr);
       if (!StatsJsonPath.empty()) {
         JsonWriter J;
         jsonBenchHeader(J, "goldilocks-trace");
@@ -272,18 +372,50 @@ int main(int Argc, char **Argv) {
         J.kv("trace_actions", static_cast<uint64_t>(T.Actions.size()));
         J.kv("trace_threads", static_cast<uint64_t>(T.threadCount()));
         J.kv("racy_vars", static_cast<uint64_t>(RacyVars));
-        EngineHealth H = D.engine().health();
-        J.kv("approx_bytes", static_cast<uint64_t>(H.ApproxBytes));
-        J.kv("degradation_level", static_cast<uint64_t>(H.DegradationLevel));
-        J.kv("globally_degraded", H.GloballyDegraded);
+        J.key("health");
+        D.engine().health().toJson(J);
         jsonEngineConfig(J, "config", C);
         jsonEngineStats(J, "stats", D.engine().stats());
         J.endObject();
         if (!J.writeFile(StatsJsonPath)) {
           std::fprintf(stderr, "error: failed to write %s\n",
                        StatsJsonPath.c_str());
-          return 126;
+          std::exit(126);
         }
+      }
+      if (!MetricsJsonPath.empty()) {
+        std::ofstream Out(MetricsJsonPath);
+        if (Out)
+          Out << D.engine().telemetry().json("goldilocks-trace") << '\n';
+        if (!Out) {
+          std::fprintf(stderr, "error: failed to write %s\n",
+                       MetricsJsonPath.c_str());
+          std::exit(126);
+        }
+      }
+      if (!RaceReportPath.empty()) {
+        JsonWriter J;
+        J.beginObject();
+        J.kv("schema", "gold-race-report-v1");
+        J.kv("source", "goldilocks-trace");
+        J.kv("detector", "goldilocks");
+        J.kv("race_count", static_cast<uint64_t>(R.Races.size()));
+        J.key("races");
+        J.beginArray();
+        for (const RaceReport &Rep : R.Races)
+          Rep.toJson(J);
+        J.endArray();
+        J.endObject();
+        if (!J.writeFile(RaceReportPath)) {
+          std::fprintf(stderr, "error: failed to write %s\n",
+                       RaceReportPath.c_str());
+          std::exit(126);
+        }
+      }
+      if (!TraceOutPath.empty() && !Sink.writeFile(TraceOutPath)) {
+        std::fprintf(stderr, "error: failed to write %s\n",
+                     TraceOutPath.c_str());
+        std::exit(126);
       }
       if (WantEvents) {
         auto Events = Sup.events();
@@ -297,15 +429,15 @@ int main(int Argc, char **Argv) {
       GoldilocksReference::Config C;
       C.Semantics = Semantics;
       GoldilocksReferenceDetector D(C);
-      RacyVars = runDetector(D, T, false, WantHealth, nullptr);
+      RacyVars = runDetector(D, T, false, WantHealth, false, nullptr).RacyVars;
     } else if (Name == "eraser") {
       EraserDetector D;
-      RacyVars = runDetector(D, T, false, WantHealth, nullptr);
+      RacyVars = runDetector(D, T, false, WantHealth, false, nullptr).RacyVars;
     } else if (Name == "vectorclock") {
       VectorClockDetector::Config C;
       C.Semantics = Semantics;
       VectorClockDetector D(C);
-      RacyVars = runDetector(D, T, false, WantHealth, nullptr);
+      RacyVars = runDetector(D, T, false, WantHealth, false, nullptr).RacyVars;
     } else {
       return false;
     }
