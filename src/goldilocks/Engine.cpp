@@ -421,7 +421,7 @@ bool graceBackoff(unsigned &Spins,
 bool GoldilocksEngine::waitForReaders() {
   // Grace-wait latency instrumentation: the clock is read only when some
   // consumer (histogram, flight recorder, trace sink) is attached.
-  TraceEventSink *Sink = TraceSink.load(std::memory_order_relaxed);
+  TraceEventSink *Sink = TraceSink.load(std::memory_order_acquire);
   uint64_t T0 = (HGraceMicros || Flight || Sink) ? TraceEventSink::nowNanos()
                                                  : 0;
   auto Done = [&](bool Completed) {
@@ -821,21 +821,28 @@ void GoldilocksEngine::publishBatch(ThreadState &TS) {
   TS.BatchLen = 0;
   if (!First)
     return;
-  TraceEventSink *Sink = TraceSink.load(std::memory_order_relaxed);
+  TraceEventSink *Sink = TraceSink.load(std::memory_order_acquire);
   uint64_t T0 = Sink ? TraceEventSink::nowNanos() : 0;
+  // Once the chain is published and the ReadGuard below closes, a concurrent
+  // collection may reclaim the batch's cells; read everything the
+  // instrumentation needs while First is still thread-local.
+  ThreadId Publisher = First->Event.Thread;
   size_t Len;
   {
     ReadGuard G(*this);
     appendChain(First, LastC, N);
     Len = ListLen.fetch_add(N, std::memory_order_relaxed) + N;
   }
+  // From here on the chain is published and this thread is outside its
+  // epoch section: a concurrent collection may already be reclaiming it.
+  failpointStall(Failpoint::EnginePublishStall);
   if (Sink)
-    Sink->span("publish", "append", First->Event.Thread, T0,
+    Sink->span("publish", "append", Publisher, T0,
                TraceEventSink::nowNanos() - T0);
   if (HBatchSize)
     HBatchSize->record(N);
   if (Flight)
-    Flight->record(First->Event.Thread, FlightKind::BatchPublish, 0, N, Len);
+    Flight->record(Publisher, FlightKind::BatchPublish, 0, N, Len);
   size_t HW = ListHighWater.load(std::memory_order_relaxed);
   while (Len > HW && !ListHighWater.compare_exchange_weak(
                          HW, Len, std::memory_order_relaxed)) {
@@ -1128,7 +1135,7 @@ bool GoldilocksEngine::walkWindow(Lockset LS, const Cell *From, uint64_t ToSeq,
   uint64_t Walked = 0;
   TraceEventSink *Sink = (Filtered || Capture)
                              ? nullptr
-                             : TraceSink.load(std::memory_order_relaxed);
+                             : TraceSink.load(std::memory_order_acquire);
   uint64_t T0 = Sink ? TraceEventSink::nowNanos() : 0;
   auto Done = [&](bool Ordered) {
     if (!Capture) {
@@ -1686,7 +1693,7 @@ void GoldilocksEngine::runCollectionLocked() {
     Legacy = std::unique_lock<std::shared_mutex>(LegacyMu);
   S->GcRuns.fetch_add(1, std::memory_order_relaxed);
   failpointStall(Failpoint::EngineGcStall);
-  TraceEventSink *Sink = TraceSink.load(std::memory_order_relaxed);
+  TraceEventSink *Sink = TraceSink.load(std::memory_order_acquire);
   uint64_t T0 = Sink ? TraceEventSink::nowNanos() : 0;
 
   // Phase 1: plain reference-count collection of the unreferenced prefix.

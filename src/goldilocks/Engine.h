@@ -337,8 +337,11 @@ public:
   /// Attaches a Chrome trace-event sink recording engine phase spans
   /// (publish, lazy walk, GC, grace wait); nullptr detaches. The sink must
   /// outlive the engine or be detached first. Works at any telemetry level.
+  /// Release store paired with acquire loads at the recording sites, so a
+  /// sink attached mid-run is fully constructed before another thread
+  /// records into it.
   void attachTraceSink(TraceEventSink *Sink) {
-    TraceSink.store(Sink, std::memory_order_relaxed);
+    TraceSink.store(Sink, std::memory_order_release);
   }
 
   /// Multi-line post-mortem: health line, telemetry snapshot, flight

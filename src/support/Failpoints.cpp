@@ -24,6 +24,8 @@ const char *gold::failpointName(Failpoint F) {
     return "engine-retain-stall";
   case Failpoint::EngineDeregisterDrop:
     return "engine-deregister-drop";
+  case Failpoint::EnginePublishStall:
+    return "engine-publish-stall";
   case Failpoint::StmLockConflict:
     return "stm-lock-conflict";
   case Failpoint::StmLockDelay:

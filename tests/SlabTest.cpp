@@ -31,10 +31,12 @@
 #include "event/RandomTrace.h"
 #include "support/Failpoints.h"
 #include "support/Slab.h"
+#include "support/Telemetry.h"
 
 #include "gtest/gtest.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <mutex>
 #include <set>
@@ -285,8 +287,15 @@ void runQuarantineStress(bool Pooling, unsigned Batch) {
   C.GraceDeadlineMicros = 1000; // parked readers blow this deadline
   C.EnableSlabPooling = Pooling;
   C.AppendBatchSize = Batch;
+  // Full telemetry plus an attached trace sink: the instrumentation after a
+  // batch publish reads from the just-published chain while a concurrent
+  // collection may already be reclaiming it, so the recording paths must
+  // run under this stress (ASan/TSan guard the regression).
+  C.Telemetry = TelemetryLevel::Full;
+  TraceEventSink Sink;
 
   StressHarness H(C);
+  H.Det.engine().attachTraceSink(&Sink);
   H.Logs.resize(NumThreads + 1);
   H.Reported.resize(NumThreads + 1);
 
@@ -304,7 +313,11 @@ void runQuarantineStress(bool Pooling, unsigned Batch) {
   FC.Seed = 0x9A7E;
   FC.StallMicros = 2000; // 2ms parks >> 1ms grace deadline
   FC.rate(Failpoint::EngineReaderPark, 3000)   // 0.3% of read sections
-      .rate(Failpoint::EngineRetainStall, 3000); // TOCTOU window holds
+      .rate(Failpoint::EngineRetainStall, 3000) // TOCTOU window holds
+      // Park publishers between epoch exit and the post-publish
+      // instrumentation so concurrent reclamation can overtake the batch:
+      // the recording paths must not touch the published chain.
+      .rate(Failpoint::EnginePublishStall, 200000);
 
   auto Worker = [&](ThreadId Tid) {
     VarId Racy{RacyObj, 0};
@@ -376,6 +389,71 @@ void runQuarantineStress(bool Pooling, unsigned Batch) {
   EngineStats St = H.Det.engine().stats();
   EXPECT_GT(St.CellsQuarantined, 0u) << "no chain was ever quarantined";
   EXPECT_GT(St.CellsFreed, 0u);
+
+  // The sink must have seen the instrumented phases, or the telemetry
+  // recording paths were never stressed at all.
+  EXPECT_GT(Sink.size(), 0u) << "trace sink recorded nothing";
+  if (Batch > 1) {
+    EXPECT_GT(St.BatchPublishes, 0u);
+    EXPECT_NE(Sink.json().find("\"publish\""), std::string::npos)
+        << "no publish span was ever recorded";
+  }
+}
+
+/// Deterministic replay of the post-publish reclaim race: the publisher
+/// parks (engine-publish-stall failpoint) between closing its epoch section
+/// and recording the publish span / flight-recorder entry, while the main
+/// thread drives enough collections to free the just-published batch. The
+/// instrumentation must read nothing from the published chain — under ASan
+/// a violation is a heap-use-after-free, under TSan an unordered access.
+TEST(SlabQuarantineStressTest, PublishInstrumentationSurvivesReclaim) {
+  constexpr unsigned Batch = 8;
+
+  EngineConfig C;
+  C.GcThreshold = Batch;      // collect on nearly every enqueue
+  C.EnableSlabPooling = false; // freed cells return to the heap (ASan UAF)
+  C.AppendBatchSize = Batch;
+  C.Telemetry = TelemetryLevel::Full; // flight recorder attached
+  TraceEventSink Sink;
+
+  GoldilocksDetector D(C);
+  D.engine().attachTraceSink(&Sink);
+
+  FailpointConfig FC;
+  FC.StallMicros = 50000; // 50ms park: the GC driver below needs ~µs
+  FC.rate(Failpoint::EnginePublishStall, 1000000);
+  FailpointScope Scope(FC);
+
+  D.onFork(0, 1);
+  size_t Before = D.engine().eventListLength();
+  std::thread Publisher([&] {
+    // Acquires are batchable: the Batch'th one publishes the whole chain
+    // and parks at the failpoint with the instrumentation still pending.
+    for (unsigned I = 0; I != Batch; ++I)
+      D.onAcquire(1, /*Lock=*/500 + I);
+  });
+
+  // Wait until the batch is appended (ListLen moves before the park), then
+  // drive collections past it: the acquire cells carry no Info references,
+  // so the trimmed prefix swallows the parked publisher's chain.
+  auto Deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (D.engine().eventListLength() < Before + Batch &&
+         std::chrono::steady_clock::now() < Deadline)
+    std::this_thread::yield();
+  EXPECT_GE(D.engine().eventListLength(), Before + Batch)
+      << "batch was never published";
+  for (unsigned I = 0; I != 4 * Batch; ++I)
+    D.onVolatileWrite(0, VarId{900, 0});
+  EXPECT_GT(D.engine().stats().CellsFreed, 0u)
+      << "collections never freed the published chain";
+
+  Publisher.join();
+  D.onJoin(0, 1);
+  D.onTerminate(1);
+  D.onTerminate(0);
+  checkCellAccounting(D.engine());
+  EXPECT_NE(Sink.json().find("\"publish\""), std::string::npos)
+      << "no publish span was recorded";
 }
 
 TEST(SlabQuarantineStressTest, PooledWithBatching) {
