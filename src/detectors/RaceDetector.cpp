@@ -6,9 +6,12 @@ using namespace gold;
 
 RaceDetector::~RaceDetector() = default;
 
-std::vector<RaceReport> RaceDetector::runTrace(const Trace &T) {
+std::vector<RaceReport>
+RaceDetector::runTrace(const Trace &T, const std::atomic<bool> *Cancel) {
   std::vector<RaceReport> Out;
   for (const Action &A : T.Actions) {
+    if (Cancel && Cancel->load(std::memory_order_relaxed))
+      break;
     switch (A.Kind) {
     case ActionKind::Alloc:
       onAlloc(A.Thread, A.Var.Object, A.Var.Field);

@@ -17,6 +17,7 @@
 #include "goldilocks/Race.h"
 #include "support/Telemetry.h"
 
+#include <atomic>
 #include <optional>
 #include <vector>
 
@@ -84,8 +85,12 @@ public:
   }
 
   /// Replays a linearized trace through this detector and collects every
-  /// report (in trace order).
-  std::vector<RaceReport> runTrace(const Trace &T);
+  /// report (in trace order). When \p Cancel is non-null the replay polls it
+  /// between actions and returns early once it reads true — the hook the
+  /// CLI's SIGINT/SIGTERM path uses to quiesce a long replay crash-only
+  /// while still emitting its final health/metrics dump.
+  std::vector<RaceReport> runTrace(const Trace &T,
+                                   const std::atomic<bool> *Cancel = nullptr);
 };
 
 } // namespace gold

@@ -90,9 +90,34 @@ bool parseVar(const std::string &Tok, VarId &Out) {
 
 bool TraceParser::feedLine(const std::string &Line) {
   ++LineNo;
-  if (Line.empty() || Line[0] == '#')
+  // Reject absurd lines before touching them: a line this long is a confused
+  // or hostile client, and the precise error (with lineNo()) lets streaming
+  // ingestion count it against the session's error budget. Checked before
+  // CRLF stripping so the bound also caps what we are willing to scan.
+  if (Line.size() > MaxLineBytes) {
+    Err = "line too long (" + std::to_string(Line.size()) + " bytes, max " +
+          std::to_string(MaxLineBytes) + ")";
+    return false;
+  }
+  // CRLF-terminated streams (network clients, files written on Windows)
+  // deliver the '\r' as part of the line; strip exactly one so the last
+  // token parses identically to LF input. Any *other* '\r' is rejected
+  // outright: stream extraction treats it as whitespace, so without this
+  // check "write 1 2\r3" would silently parse as a write plus a stray
+  // token instead of naming the real problem.
+  std::string Stripped;
+  const std::string *Ref = &Line;
+  if (!Line.empty() && Line.back() == '\r') {
+    Stripped.assign(Line, 0, Line.size() - 1);
+    Ref = &Stripped;
+  }
+  if (Ref->find('\r') != std::string::npos) {
+    Err = "stray carriage return inside the line";
+    return false;
+  }
+  if (Ref->empty() || (*Ref)[0] == '#')
     return true;
-  std::istringstream Ls(Line);
+  std::istringstream Ls(*Ref);
   std::string Kind;
   Ls >> Kind;
   if (Kind.empty())

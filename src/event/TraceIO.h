@@ -37,9 +37,18 @@ std::string serializeTrace(const Trace &T);
 /// (`goldilocks-trace --resume-on-error`).
 class TraceParser {
 public:
-  /// Parses one line (without its trailing newline). Blank and '#' comment
-  /// lines succeed as no-ops. Returns false on a malformed line and
-  /// describes it in error().
+  /// Longest raw line feedLine() accepts, in bytes (checked before CRLF
+  /// stripping, so the bound also caps what the parser will scan). Trace
+  /// lines are tiny; anything near this bound is a confused or malicious
+  /// client, and rejecting it with a precise error beats buffering it. A
+  /// maximal well-formed commit line stays far below this.
+  static constexpr size_t MaxLineBytes = 1u << 16;
+
+  /// Parses one line (without its trailing newline; a trailing '\r' from a
+  /// CRLF-terminated stream is stripped first). Blank and '#' comment lines
+  /// succeed as no-ops. Lines longer than MaxLineBytes are rejected without
+  /// being parsed. Returns false on a malformed line and describes it in
+  /// error().
   bool feedLine(const std::string &Line);
 
   /// 1-based count of lines fed so far (including skipped ones).
@@ -48,7 +57,16 @@ public:
   /// Description of the most recent feedLine() failure.
   const std::string &error() const { return Err; }
 
+  /// Read-only view of the trace built so far (the accepted lines). The
+  /// ingestion service reads newly appended actions from here after each
+  /// accepted line — this is what makes the parser's accumulated trace
+  /// double as the session's crash-only replay journal.
+  const Trace &peek() const { return B.peek(); }
+
   /// Finishes parsing and returns the trace built from the accepted lines.
+  /// The parser remains usable: line numbering and the fork registry are
+  /// preserved, only the accumulated actions are handed off (sessions use
+  /// this to drop their journal once it exceeds the configured cap).
   Trace take() { return B.take(); }
 
 private:

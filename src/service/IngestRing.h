@@ -1,0 +1,176 @@
+//===- service/IngestRing.h - Bounded MPSC ingestion queue ------*- C++ -*-===//
+///
+/// \file
+/// The bounded, lock-free multi-producer/single-consumer queue that feeds an
+/// engine shard. One instance sits in front of every shard: client sessions
+/// (many threads) push routed actions, the shard's consumer drains them into
+/// the engine.
+///
+/// The design is a Vyukov-style bounded ring: each slot carries a sequence
+/// word; producers claim a slot with one fetch_add on the tail ticket and
+/// publish the payload with a release store of the slot's sequence, the
+/// consumer matches sequences on the head ticket. Claims that land on a slot
+/// the consumer has not yet freed are *rolled back* (CAS the tail ticket
+/// down or mark a skip) — here we use the standard pre-check formulation:
+/// a producer CASes the tail only after observing the slot free, so a full
+/// ring rejects instead of blocking.
+///
+/// Rejection IS the interface: tryPush never waits and never grows anything.
+/// A full ring (or an exhausted byte budget, which the service layers on
+/// top) returns Backpressure and the producer is told to come back after a
+/// jittered exponential backoff — the explicit contract that keeps a stalled
+/// shard from turning into unbounded buffering or producer deadlock.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GOLD_SERVICE_INGESTRING_H
+#define GOLD_SERVICE_INGESTRING_H
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace gold {
+
+/// Result of a push attempt. Full is transient (the consumer will drain);
+/// Closed is terminal (the shard is being torn down or reincarnated and the
+/// producer must re-route or retry after the swap).
+enum class PushResult : uint8_t { Ok = 0, Full, Closed };
+
+/// Bounded lock-free MPSC ring of T. Capacity is rounded up to a power of
+/// two. The single-consumer side (tryPop / drain) must be externally
+/// serialized — the service guarantees this with one consumer per shard.
+template <typename T> class IngestRing {
+public:
+  explicit IngestRing(size_t Capacity) {
+    size_t Cap = 1;
+    while (Cap < Capacity)
+      Cap <<= 1;
+    Mask = Cap - 1;
+    Slots.reset(new Slot[Cap]);
+    for (size_t I = 0; I != Cap; ++I)
+      Slots[I].Seq.store(I, std::memory_order_relaxed);
+  }
+
+  IngestRing(const IngestRing &) = delete;
+  IngestRing &operator=(const IngestRing &) = delete;
+
+  size_t capacity() const { return Mask + 1; }
+
+  /// Marks the ring closed: subsequent pushes return Closed. Items already
+  /// queued remain poppable (the consumer drains or discards them).
+  void close() { Closed.store(true, std::memory_order_release); }
+  void reopen() { Closed.store(false, std::memory_order_release); }
+  bool closed() const { return Closed.load(std::memory_order_acquire); }
+
+  /// Multi-producer push. Never blocks; Full means the consumer is behind
+  /// and the caller should apply its backoff policy and retry.
+  PushResult tryPush(T Item) {
+    if (closed())
+      return PushResult::Closed;
+    uint64_t Pos = Tail.load(std::memory_order_relaxed);
+    for (;;) {
+      Slot &S = Slots[Pos & Mask];
+      uint64_t Seq = S.Seq.load(std::memory_order_acquire);
+      intptr_t Diff = static_cast<intptr_t>(Seq) - static_cast<intptr_t>(Pos);
+      if (Diff == 0) {
+        // Slot free at this ticket: claim it.
+        if (Tail.compare_exchange_weak(Pos, Pos + 1,
+                                       std::memory_order_relaxed))
+          break;
+        // Pos was reloaded by the failed CAS; retry with it.
+      } else if (Diff < 0) {
+        // The slot still holds an element the consumer has not freed: the
+        // ring is full *at this ticket*. Re-read the tail once — if it
+        // moved, another producer won the slot and we retry behind it;
+        // if not, the ring is genuinely full.
+        uint64_t Cur = Tail.load(std::memory_order_relaxed);
+        if (Cur == Pos)
+          return PushResult::Full;
+        Pos = Cur;
+      } else {
+        // Another producer claimed this ticket but has not published yet;
+        // chase the tail.
+        Pos = Tail.load(std::memory_order_relaxed);
+      }
+    }
+    Slot &S = Slots[Pos & Mask];
+    S.Item = std::move(Item);
+    S.Seq.store(Pos + 1, std::memory_order_release);
+    Depth.fetch_add(1, std::memory_order_relaxed);
+    return PushResult::Ok;
+  }
+
+  /// Single-consumer pop. Returns false when the ring is empty (or the next
+  /// slot's producer has claimed but not yet published — equivalent for the
+  /// consumer: nothing consumable yet).
+  bool tryPop(T &Out) {
+    uint64_t Pos = Head;
+    Slot &S = Slots[Pos & Mask];
+    uint64_t Seq = S.Seq.load(std::memory_order_acquire);
+    if (static_cast<intptr_t>(Seq) - static_cast<intptr_t>(Pos + 1) < 0)
+      return false;
+    Out = std::move(S.Item);
+    S.Item = T(); // drop payload-owned resources before the slot is reused
+    S.Seq.store(Pos + Mask + 1, std::memory_order_release);
+    Head = Pos + 1;
+    Depth.fetch_sub(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  /// Consumer-side discard of everything currently poppable (used by the
+  /// crash-only reincarnation path, where the journal — not the queue — is
+  /// the source of truth). Returns the number of items dropped.
+  size_t discardAll() {
+    size_t N = 0;
+    T Tmp;
+    while (tryPop(Tmp))
+      ++N;
+    return N;
+  }
+
+  /// Approximate occupancy (relaxed gauge for health/backpressure probes).
+  size_t depth() const { return Depth.load(std::memory_order_relaxed); }
+
+private:
+  struct alignas(64) Slot {
+    std::atomic<uint64_t> Seq{0};
+    T Item{};
+  };
+
+  std::unique_ptr<Slot[]> Slots;
+  size_t Mask = 0;
+  alignas(64) std::atomic<uint64_t> Tail{0};
+  alignas(64) uint64_t Head = 0; // single consumer: plain word
+  alignas(64) std::atomic<size_t> Depth{0};
+  std::atomic<bool> Closed{false};
+};
+
+/// Jittered exponential backoff schedule for producers that received
+/// Backpressure: attempt k waits roughly Base * 2^k, ±25% deterministic
+/// jitter derived from (seed, attempt), capped at Max. Pure function so the
+/// soak tests can assert the schedule without sleeping.
+inline uint64_t backoffNanos(uint64_t BaseNanos, unsigned Attempt,
+                             uint64_t Seed, uint64_t MaxNanos) {
+  unsigned Shift = Attempt < 16 ? Attempt : 16;
+  uint64_t Wait = BaseNanos << Shift;
+  if (!Wait || Wait > MaxNanos)
+    Wait = MaxNanos;
+  // splitmix64 finalizer for the jitter; same recipe as the failpoint
+  // framework so replays are deterministic.
+  uint64_t X = Seed ^ (0x9e3779b97f4a7c15ULL * (Attempt + 1));
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111ebULL;
+  X ^= X >> 31;
+  uint64_t Quarter = Wait / 4;
+  if (Quarter)
+    Wait = Wait - Quarter + (X % (2 * Quarter)); // Wait ± 25%
+  return Wait;
+}
+
+} // namespace gold
+
+#endif // GOLD_SERVICE_INGESTRING_H

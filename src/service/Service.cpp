@@ -1,0 +1,1054 @@
+//===- service/Service.cpp ------------------------------------------------===//
+
+#include "service/Service.h"
+
+#include "support/Failpoints.h"
+
+#include <cassert>
+#include <chrono>
+
+using namespace gold;
+
+const char *gold::closeReasonName(CloseReason R) {
+  switch (R) {
+  case CloseReason::None:
+    return "none";
+  case CloseReason::ClientClose:
+    return "client-close";
+  case CloseReason::ErrorBudget:
+    return "error-budget";
+  case CloseReason::IdleTimeout:
+    return "idle-timeout";
+  case CloseReason::Shed:
+    return "shed";
+  case CloseReason::ShardLost:
+    return "shard-lost";
+  case CloseReason::ServiceShutdown:
+    return "service-shutdown";
+  }
+  return "?";
+}
+
+//===----------------------------------------------------------------------===//
+// Internal helpers
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// True when every identifier the action names fits below NamespaceStride
+/// (commit sets are validated where they are available).
+bool fitsNamespace(const Action &A) {
+  if (A.Thread >= NamespaceStride)
+    return false;
+  switch (A.Kind) {
+  case ActionKind::Alloc:
+  case ActionKind::Read:
+  case ActionKind::Write:
+  case ActionKind::VolatileRead:
+  case ActionKind::VolatileWrite:
+  case ActionKind::Acquire:
+  case ActionKind::Release:
+    return A.Var.Object < NamespaceStride;
+  case ActionKind::Fork:
+  case ActionKind::Join:
+    return A.Target < NamespaceStride;
+  case ActionKind::Commit:
+  case ActionKind::Terminate:
+    return true;
+  }
+  return true;
+}
+
+/// Feeds one (already remapped) action into an engine, handing any verdicts
+/// to \p Deliver. The single switch both the pump and the replay use, so the
+/// two paths cannot drift.
+template <typename DeliverFn>
+void applyAction(GoldilocksEngine &E, const Action &A, const CommitSets *CS,
+                 DeliverFn &&Deliver) {
+  switch (A.Kind) {
+  case ActionKind::Alloc:
+    E.onAlloc(A.Thread, A.Var.Object, A.Var.Field);
+    break;
+  case ActionKind::Read:
+    if (auto R = E.onRead(A.Thread, A.Var))
+      Deliver(*R);
+    break;
+  case ActionKind::Write:
+    if (auto R = E.onWrite(A.Thread, A.Var))
+      Deliver(*R);
+    break;
+  case ActionKind::VolatileRead:
+    E.onVolatileRead(A.Thread, A.Var);
+    break;
+  case ActionKind::VolatileWrite:
+    E.onVolatileWrite(A.Thread, A.Var);
+    break;
+  case ActionKind::Acquire:
+    E.onAcquire(A.Thread, A.Var.Object);
+    break;
+  case ActionKind::Release:
+    E.onRelease(A.Thread, A.Var.Object);
+    break;
+  case ActionKind::Fork:
+    E.onFork(A.Thread, A.Target);
+    break;
+  case ActionKind::Join:
+    E.onJoin(A.Thread, A.Target);
+    break;
+  case ActionKind::Commit:
+    assert(CS && "commit item without its sets");
+    for (const RaceReport &R : E.onCommit(A.Thread, *CS))
+      Deliver(R);
+    break;
+  case ActionKind::Terminate:
+    E.onTerminate(A.Thread);
+    break;
+  }
+}
+
+uint64_t steadyNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Session
+//===----------------------------------------------------------------------===//
+
+Session::Session(DetectionService &Svc, uint32_t Index, uint64_t Client,
+                 unsigned Priority)
+    : Svc(Svc), Index(Index), Base((Index + 1) * NamespaceStride),
+      Client(Client), Priority(Priority) {
+  LastFeedNanos.store(Svc.nowNanos(), std::memory_order_relaxed);
+}
+
+Action Session::mapAction(const Action &Raw) const {
+  Action A = Raw;
+  A.Thread = mapId(Raw.Thread);
+  switch (Raw.Kind) {
+  case ActionKind::Alloc: // Var.Field is the field count, not an id
+  case ActionKind::Read:
+  case ActionKind::Write:
+  case ActionKind::VolatileRead:
+  case ActionKind::VolatileWrite:
+  case ActionKind::Acquire:
+  case ActionKind::Release:
+    A.Var.Object = mapId(Raw.Var.Object);
+    break;
+  case ActionKind::Fork:
+  case ActionKind::Join:
+    A.Target = mapId(Raw.Target);
+    break;
+  case ActionKind::Commit:
+  case ActionKind::Terminate:
+    break;
+  }
+  return A;
+}
+
+RaceReport Session::unmapReport(RaceReport R) const {
+  R.Var.Object = unmapId(R.Var.Object);
+  if (R.Thread != NoThread)
+    R.Thread = unmapId(R.Thread);
+  if (R.PriorThread != NoThread)
+    R.PriorThread = unmapId(R.PriorThread);
+  return R;
+}
+
+SessionState Session::state() const {
+  std::lock_guard<std::mutex> G(Mu);
+  return State;
+}
+
+CloseReason Session::closeReason() const {
+  std::lock_guard<std::mutex> G(Mu);
+  return Reason;
+}
+
+void Session::close() {
+  std::lock_guard<std::mutex> G(Mu);
+  closeLocked(CloseReason::ClientClose);
+}
+
+void Session::closeLocked(CloseReason R) {
+  if (State == SessionState::Dead)
+    return;
+  if (State == SessionState::Open)
+    Svc.C.SessionsClosed.fetch_add(1, std::memory_order_relaxed);
+  if (HasPending) {
+    // A parsed action that never reached all its shards dies with the
+    // session: explicit, counted loss — never a silent one.
+    HasPending = false;
+    PendingTargets = 0;
+    Svc.C.DroppedPendingActions.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (R == CloseReason::ClientClose) {
+    if (State == SessionState::Open) {
+      State = SessionState::Draining;
+      Reason = R;
+    }
+    return;
+  }
+  // Hard (crash-only) teardown. A Draining session finalized by shutdown
+  // keeps its own reason; everything else records the killer.
+  if (!(State == SessionState::Draining &&
+        R == CloseReason::ServiceShutdown))
+    Reason = R;
+  State = SessionState::Dead;
+  switch (R) {
+  case CloseReason::Shed:
+    Svc.C.SessionsShed.fetch_add(1, std::memory_order_relaxed);
+    break;
+  case CloseReason::ShardLost:
+    Svc.C.LostSessions.fetch_add(1, std::memory_order_relaxed);
+    break;
+  case CloseReason::IdleTimeout:
+    Svc.C.IdleReaped.fetch_add(1, std::memory_order_relaxed);
+    break;
+  default:
+    break;
+  }
+  (void)Parser.take(); // a Dead session is never replayed; free the journal
+}
+
+std::vector<RaceReport> Session::takeVerdicts() {
+  std::lock_guard<std::mutex> G(Mu);
+  std::vector<RaceReport> Out;
+  Out.swap(Verdicts);
+  return Out;
+}
+
+void Session::deliver(const RaceReport &R) {
+  std::lock_guard<std::mutex> G(Mu);
+  deliverLocked(R);
+}
+
+void Session::deliverLocked(const RaceReport &R) {
+  if (State == SessionState::Dead) {
+    Svc.C.VerdictsDroppedDead.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  // Dedup by variable: with DisableVarAfterRace (which the service forces)
+  // an engine emits at most one verdict per variable, so a replayed journal
+  // regenerating the same race after a reincarnation is dropped here — this
+  // is the "zero duplicated verdicts" half of the recovery contract.
+  if (!RacyVarKeys.insert(R.Var.key()).second)
+    return;
+  Verdicts.push_back(unmapReport(R));
+  RacesDelivered.fetch_add(1, std::memory_order_relaxed);
+  Svc.C.RacesDelivered.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool Session::flushPendingLocked() {
+  for (unsigned S = 0; PendingTargets; ++S) {
+    uint64_t Bit = 1ull << S;
+    if (!(PendingTargets & Bit))
+      continue;
+    PushResult R = Svc.pushItem(S, Pending);
+    if (R != PushResult::Ok)
+      return false; // Full and Closed both mean: retry this same line later
+    QueuedItems.fetch_add(1, std::memory_order_relaxed);
+    PendingTargets &= ~Bit;
+  }
+  HasPending = false;
+  BackoffAttempt = 0;
+  return true;
+}
+
+FeedResult Session::feedLine(const std::string &Line) {
+  std::lock_guard<std::mutex> G(Mu);
+  FeedResult Res;
+  if (State != SessionState::Open) {
+    Res.St = FeedResult::Status::Closed;
+    Res.Error =
+        std::string("session closed (") + closeReasonName(Reason) + ")";
+    return Res;
+  }
+  if (Svc.ShuttingDown.load(std::memory_order_relaxed)) {
+    // Refusing new lines here is what bounds the shutdown drain: rings can
+    // only shrink once the flag is up. The session itself is not torn down;
+    // its delivered verdicts stay takeable.
+    Res.St = FeedResult::Status::Closed;
+    Res.Error = "service is shutting down";
+    return Res;
+  }
+  LastFeedNanos.store(Svc.nowNanos(), std::memory_order_relaxed);
+  failpointStall(Failpoint::ServiceClientHang);
+
+  auto Backpressured = [&]() -> FeedResult {
+    Svc.C.BackpressureRejects.fetch_add(1, std::memory_order_relaxed);
+    Res.St = FeedResult::Status::Backpressure;
+    Res.RetryAfterNanos = backoffNanos(
+        Svc.config().BackoffBaseNanos, BackoffAttempt++,
+        Client ^ (static_cast<uint64_t>(Index) << 32),
+        Svc.config().BackoffMaxNanos);
+    return Res;
+  };
+  auto Accepted = [&]() -> FeedResult {
+    LinesAccepted.fetch_add(1, std::memory_order_relaxed);
+    Svc.C.LinesAccepted.fetch_add(1, std::memory_order_relaxed);
+    return Res;
+  };
+
+  // A backpressured line was not consumed: the retry presents the same line
+  // again, and we resume admitting the remembered action into the shards
+  // that have not acked it yet — without re-parsing, so no shard ever sees
+  // the action twice.
+  if (HasPending)
+    return flushPendingLocked() ? Accepted() : Backpressured();
+  if (RetryAlreadyApplied) {
+    // The retried line's action was already replayed into its last
+    // outstanding shard by a reincarnation; this call is only the ack.
+    RetryAlreadyApplied = false;
+    return Accepted();
+  }
+
+  size_t Before = Parser.peek().Actions.size();
+  if (!Parser.feedLine(Line)) {
+    ParseErrors.fetch_add(1, std::memory_order_relaxed);
+    Svc.C.ParseErrors.fetch_add(1, std::memory_order_relaxed);
+    ++ErrorsSeen;
+    Res.St = FeedResult::Status::Rejected;
+    Res.Error =
+        "line " + std::to_string(Parser.lineNo()) + ": " + Parser.error();
+    if (ErrorsSeen > Svc.config().SessionErrorBudget) {
+      closeLocked(CloseReason::ErrorBudget);
+      Res.Error += " (error budget exhausted; session closed)";
+    }
+    return Res;
+  }
+  const Trace &J = Parser.peek();
+  if (J.Actions.size() == Before)
+    return Accepted(); // blank or comment line
+
+  const Action &Raw = J.Actions.back();
+  bool NsOk = fitsNamespace(Raw);
+  std::shared_ptr<CommitSets> CS;
+  if (NsOk && Raw.Kind == ActionKind::Commit) {
+    const CommitSets &RawCS = J.commitSets(Raw);
+    CS = std::make_shared<CommitSets>();
+    for (const VarId &V : RawCS.Reads) {
+      if (V.Object >= NamespaceStride) {
+        NsOk = false;
+        break;
+      }
+      CS->Reads.push_back(VarId{mapId(V.Object), V.Field});
+    }
+    for (const VarId &V : RawCS.Writes) {
+      if (!NsOk || V.Object >= NamespaceStride) {
+        NsOk = false;
+        break;
+      }
+      CS->Writes.push_back(VarId{mapId(V.Object), V.Field});
+    }
+    if (NsOk)
+      CS->prepareSorted();
+  }
+  if (!NsOk) {
+    // The parser accepted the line, so it is already in the journal — and a
+    // replay would trip over it the same way. Rather than track skip lists,
+    // treat a namespace overflow as the client misbehaving and tear the
+    // session down crash-only (it is the one client that cannot be isolated).
+    ParseErrors.fetch_add(1, std::memory_order_relaxed);
+    Svc.C.ParseErrors.fetch_add(1, std::memory_order_relaxed);
+    closeLocked(CloseReason::ErrorBudget);
+    Res.St = FeedResult::Status::Rejected;
+    Res.Error = "line " + std::to_string(Parser.lineNo()) +
+                ": identifier exceeds the per-session namespace (max " +
+                std::to_string(NamespaceStride - 1) + "); session closed";
+    return Res;
+  }
+
+  Pending = ShardItem();
+  Pending.SessionIdx = Index;
+  Pending.Seq = NextSeq++;
+  Pending.Bytes = static_cast<uint32_t>(Line.size() ? Line.size() : 1);
+  Pending.EnqueueNanos = Svc.wantsLatencySamples() ? Svc.nowNanos() : 0;
+  Pending.A = mapAction(Raw);
+  Pending.CS = std::move(CS);
+  PendingTargets = Svc.targetsOf(Pending.A);
+  HasPending = true;
+
+  // Journal cap: beyond it the journal is dropped (the pending copy above
+  // is self-contained). The session keeps streaming, but it can no longer
+  // survive a shard reincarnation — recorded, so the loss is counted when
+  // it actually happens. The parser stays usable after take(), so a
+  // truncated journal that regrows past the cap is dropped again.
+  if (J.Actions.size() > Svc.config().JournalCapActions) {
+    (void)Parser.take();
+    JournalTruncated.store(true, std::memory_order_relaxed);
+  }
+
+  return flushPendingLocked() ? Accepted() : Backpressured();
+}
+
+//===----------------------------------------------------------------------===//
+// ServiceHealth
+//===----------------------------------------------------------------------===//
+
+std::string ServiceHealth::str() const {
+  std::string Out;
+  Out.reserve(256);
+  char Buf[96];
+  auto Add = [&](const char *Key, unsigned long long V) {
+    std::snprintf(Buf, sizeof(Buf), "%s=%llu", Key, V);
+    if (!Out.empty())
+      Out += ' ';
+    Out += Buf;
+  };
+  static const char *LadderNames[] = {"normal", "admission-paused",
+                                      "shedding"};
+  std::snprintf(Buf, sizeof(Buf), "state=%s shards=%u",
+                LadderState < 3 ? LadderNames[LadderState] : "?", Shards);
+  Out += Buf;
+  Add("sessions", ActiveSessions);
+  Add("opened", SessionsOpened);
+  Add("closed", SessionsClosed);
+  Add("shed", SessionsShed);
+  Add("lost", LostSessions);
+  Add("lines", LinesAccepted);
+  Add("parse-errors", ParseErrors);
+  Add("routed", ActionsRouted);
+  Add("backpressure", BackpressureRejects);
+  Add("admission-rejects", AdmissionRejects);
+  Add("queued", QueuedItems);
+  std::snprintf(Buf, sizeof(Buf), " queued-bytes=%zu (hw %zu)", QueuedBytes,
+                QueuedBytesHighWater);
+  Out += Buf;
+  Add("reincarnations", Reincarnations);
+  Add("discarded", ItemsDiscarded);
+  Add("replayed", ReplayedActions);
+  Add("races", RacesDelivered);
+  Add("verdict-loss-events", VerdictLossEvents);
+  std::snprintf(Buf, sizeof(Buf), " max-shard-level=%u%s",
+                MaxShardDegradation,
+                AnyShardGloballyDegraded ? " SHARD-GLOBAL-DEGRADED" : "");
+  Out += Buf;
+  return Out;
+}
+
+void ServiceHealth::jsonBody(JsonWriter &J) const {
+  J.kv("shards", Shards);
+  J.kv("ladder_state", LadderState);
+  J.kv("active_sessions", (uint64_t)ActiveSessions);
+  J.kv("sessions_opened", SessionsOpened);
+  J.kv("sessions_closed", SessionsClosed);
+  J.kv("sessions_shed", SessionsShed);
+  J.kv("lost_sessions", LostSessions);
+  J.kv("lines_accepted", LinesAccepted);
+  J.kv("parse_errors", ParseErrors);
+  J.kv("actions_routed", ActionsRouted);
+  J.kv("backpressure_rejects", BackpressureRejects);
+  J.kv("admission_rejects", AdmissionRejects);
+  J.kv("queued_items", (uint64_t)QueuedItems);
+  J.kv("queued_bytes", (uint64_t)QueuedBytes);
+  J.kv("queued_bytes_high_water", (uint64_t)QueuedBytesHighWater);
+  J.kv("reincarnations", Reincarnations);
+  J.kv("items_discarded", ItemsDiscarded);
+  J.kv("replayed_actions", ReplayedActions);
+  J.kv("races_delivered", RacesDelivered);
+  J.kv("verdicts_dropped_dead", VerdictsDroppedDead);
+  J.kv("dropped_pending_actions", DroppedPendingActions);
+  J.kv("verdict_loss_events", VerdictLossEvents);
+  J.kv("max_shard_degradation", MaxShardDegradation);
+  J.kv("any_shard_globally_degraded", AnyShardGloballyDegraded);
+  J.key("shard_health");
+  J.beginArray();
+  for (const EngineHealth &H : ShardHealth)
+    H.toJson(J);
+  J.endArray();
+}
+
+void ServiceHealth::toJson(JsonWriter &J) const {
+  J.beginObject();
+  jsonBody(J);
+  J.endObject();
+}
+
+//===----------------------------------------------------------------------===//
+// DetectionService
+//===----------------------------------------------------------------------===//
+
+/// One engine shard: the engine itself, its supervisor, its bounded inbox,
+/// and the consumer serialization the reincarnation path piggybacks on.
+struct DetectionService::ShardState {
+  ShardState(unsigned Index, size_t RingCap) : Index(Index), Ring(RingCap) {}
+
+  const unsigned Index;
+  IngestRing<ShardItem> Ring;
+  std::unique_ptr<GoldilocksEngine> Engine;
+  std::unique_ptr<Supervisor> Sup;
+  /// Serializes the consumer role: pump slices, reincarnation, supervisor
+  /// polls and engine-pointer reads all hold this, so the engine swap can
+  /// never race an application.
+  std::mutex ConsumerMu;
+  std::atomic<bool> WedgeRequested{false};
+};
+
+static unsigned clampShards(unsigned N) {
+  // <= 64 so a broadcast target set fits one mask word.
+  return N < 1 ? 1 : (N > 64 ? 64 : N);
+}
+
+DetectionService::DetectionService(ServiceConfig CIn)
+    : Cfg(std::move(CIn)), NumShards(clampShards(Cfg.Shards)) {
+  // The verdict dedup across reincarnation replays keys on "at most one
+  // race per variable per engine", which is exactly DisableVarAfterRace.
+  Cfg.Engine.DisableVarAfterRace = true;
+  if (!Cfg.NowNanos)
+    Cfg.NowNanos = steadyNanos;
+  // Base + Stride - 1 must fit a uint32 id: (Idx + 2) * Stride - 1.
+  const size_t MaxSlots = (0xffffffffu / NamespaceStride) - 1;
+  if (Cfg.MaxSessions > MaxSlots)
+    Cfg.MaxSessions = MaxSlots;
+  if (Cfg.MaxSessions < 1)
+    Cfg.MaxSessions = 1;
+  Sessions.resize(Cfg.MaxSessions);
+  if (Cfg.Telemetry != TelemetryLevel::Off) {
+    Tel.reset(new Telemetry(Cfg.Telemetry));
+    if (Tel->fullEnabled())
+      HIngestLatency = &Tel->histogram("service.ingest_latency_nanos");
+  }
+  ShardsVec.reserve(NumShards);
+  for (unsigned S = 0; S != NumShards; ++S) {
+    ShardsVec.emplace_back(new ShardState(S, Cfg.RingCapacity));
+    ShardState &Sh = *ShardsVec.back();
+    Sh.Engine.reset(new GoldilocksEngine(Cfg.Engine));
+    bindSupervisor(Sh);
+  }
+}
+
+DetectionService::~DetectionService() { shutdown(); }
+
+void DetectionService::bindSupervisor(ShardState &Sh) {
+  // Bind through the ShardState, not the engine pointer, so the bundle
+  // stays valid across reincarnation swaps (callbacks only ever run under
+  // Sh.ConsumerMu, the same lock the swap holds).
+  SupervisedEngine T;
+  T.Sample = [&Sh] { return Sh.Engine->health(); };
+  T.Escalate = [&Sh](unsigned Rung) { Sh.Engine->escalateLadder(Rung); };
+  T.ReclaimDeadSlots = [&Sh] {
+    return Sh.Engine->reclaimDeadSlotsIfExhausted();
+  };
+  T.DumpTelemetry = [&Sh] { return Sh.Engine->stallDump(); };
+  Sh.Sup.reset(new Supervisor(std::move(T), Cfg.ShardSupervisor));
+}
+
+uint64_t DetectionService::Now() const { return Cfg.NowNanos(); }
+
+unsigned DetectionService::shardOf(uint32_t Object) const {
+  // splitmix64 finalizer over the object id — the engine's stripe recipe at
+  // engine granularity.
+  uint64_t X = Object + 0x9e3779b97f4a7c15ULL;
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111ebULL;
+  X ^= X >> 31;
+  return static_cast<unsigned>(X % NumShards);
+}
+
+uint64_t DetectionService::targetsOf(const Action &A) const {
+  switch (A.Kind) {
+  case ActionKind::Read:
+  case ActionKind::Write:
+  case ActionKind::Alloc:
+    // Data accesses (and the alloc freshness reset) go to the owner shard
+    // only. Non-owner shards meet a variable solely through commit sets,
+    // and commit-vs-commit pairs are ordered by the both-transactional
+    // short circuit — so skipping alloc elsewhere cannot change a verdict.
+    return 1ull << shardOf(A.Var.Object);
+  default:
+    // Every synchronization event broadcasts: each shard must observe the
+    // complete synchronization order for its verdicts to be exact
+    // (DESIGN.md §14).
+    return NumShards == 64 ? ~0ull : ((1ull << NumShards) - 1);
+  }
+}
+
+GoldilocksEngine &DetectionService::shardEngine(unsigned Shard) {
+  return *ShardsVec[Shard]->Engine;
+}
+
+Session *DetectionService::sessionAt(uint32_t Idx) const {
+  if (Idx >= SessionCount.load(std::memory_order_acquire))
+    return nullptr;
+  return Sessions[Idx].get();
+}
+
+DetectionService::OpenResult DetectionService::open(uint64_t ClientId,
+                                                    unsigned Priority) {
+  OpenResult R;
+  std::lock_guard<std::mutex> G(SessionsMu);
+  if (ShuttingDown.load(std::memory_order_relaxed)) {
+    R.Error = "service is shutting down";
+    return R;
+  }
+  if (LadderState.load(std::memory_order_relaxed) >= 1) {
+    C.AdmissionRejects.fetch_add(1, std::memory_order_relaxed);
+    R.Error = "admission paused (service overloaded)";
+    R.RetryAfterNanos = Cfg.BackoffMaxNanos;
+    return R;
+  }
+  uint32_t Idx;
+  if (!FreeSlots.empty()) {
+    // recycleNamespaces already moved the old occupant to Retired.
+    Idx = FreeSlots.back();
+    FreeSlots.pop_back();
+  } else if (SessionCount.load(std::memory_order_relaxed) <
+             Sessions.size()) {
+    Idx = SessionCount.load(std::memory_order_relaxed);
+  } else {
+    C.AdmissionRejects.fetch_add(1, std::memory_order_relaxed);
+    R.Error = "session namespace exhausted (recycleNamespaces reclaims "
+              "dead slots)";
+    R.RetryAfterNanos = Cfg.BackoffMaxNanos;
+    return R;
+  }
+  Sessions[Idx].reset(new Session(*this, Idx, ClientId, Priority));
+  if (Idx == SessionCount.load(std::memory_order_relaxed))
+    SessionCount.store(Idx + 1, std::memory_order_release);
+  C.SessionsOpened.fetch_add(1, std::memory_order_relaxed);
+  R.S = Sessions[Idx].get();
+  return R;
+}
+
+PushResult DetectionService::pushItem(unsigned S, const ShardItem &It) {
+  // The global byte budget is the hard backpressure bound: a stalled shard
+  // turns into rejections here, never into heap growth.
+  if (QueuedBytes.load(std::memory_order_relaxed) + It.Bytes >
+      Cfg.MaxQueuedBytes)
+    return PushResult::Full;
+  ShardState &Sh = *ShardsVec[S];
+  PushResult R = Sh.Ring.tryPush(It);
+  if (R != PushResult::Ok)
+    return R;
+  size_t NewB =
+      QueuedBytes.fetch_add(It.Bytes, std::memory_order_relaxed) + It.Bytes;
+  size_t HW = QueuedBytesHighWater.load(std::memory_order_relaxed);
+  while (NewB > HW && !QueuedBytesHighWater.compare_exchange_weak(
+                          HW, NewB, std::memory_order_relaxed))
+    ;
+  C.ActionsRouted.fetch_add(1, std::memory_order_relaxed);
+  return PushResult::Ok;
+}
+
+void DetectionService::applyItem(ShardState &Sh, const ShardItem &It) {
+  Session *Se = sessionAt(It.SessionIdx);
+  assert(Se && "queued item for a session that was never opened");
+  applyAction(*Sh.Engine, It.A, It.CS.get(), [&](const RaceReport &R) {
+    // Races for a variable can only arise at its owner shard (non-owner
+    // shards see it through commits alone, and commit pairs short-circuit
+    // as ordered). The filter makes duplication structurally impossible
+    // rather than merely argued.
+    if (shardOf(R.Var.Object) == Sh.Index)
+      Se->deliver(R);
+  });
+}
+
+size_t DetectionService::pumpShard(unsigned Shard) {
+  ShardState &Sh = *ShardsVec[Shard];
+  std::lock_guard<std::mutex> G(Sh.ConsumerMu);
+  if (Sh.WedgeRequested.load(std::memory_order_relaxed))
+    return 0; // wedged: nothing moves until the shard is reincarnated
+  size_t N = 0;
+  ShardItem It;
+  while (N < Cfg.PumpBatch && Sh.Ring.tryPop(It)) {
+    QueuedBytes.fetch_sub(It.Bytes, std::memory_order_relaxed);
+    Session *Se = sessionAt(It.SessionIdx);
+    if (Se)
+      Se->QueuedItems.fetch_sub(1, std::memory_order_relaxed);
+    ++N;
+    failpointStall(Failpoint::ServiceIngestStall);
+    if (failpoint(Failpoint::ServiceShardWedge)) {
+      // Simulated consumer crash after dequeue, before apply: the item is
+      // lost from the queue, which is exactly what the journal replay must
+      // recover. The shard stops consuming until poll() reincarnates it.
+      Sh.WedgeRequested.store(true, std::memory_order_relaxed);
+      C.WedgeRequests.fetch_add(1, std::memory_order_relaxed);
+      C.ItemsDiscarded.fetch_add(1, std::memory_order_relaxed);
+      break;
+    }
+    if (!Se || Se->state() == SessionState::Dead)
+      continue; // a dead session's queued items are skipped, not applied
+    applyItem(Sh, It);
+    if (HIngestLatency && It.EnqueueNanos) {
+      uint64_t NowN = Now();
+      HIngestLatency->record(NowN > It.EnqueueNanos ? NowN - It.EnqueueNanos
+                                                    : 0);
+    }
+    It = ShardItem(); // drop the commit-set reference before the next pop
+  }
+  return N;
+}
+
+size_t DetectionService::pumpAll() {
+  size_t N = 0;
+  for (unsigned S = 0; S != NumShards; ++S)
+    N += pumpShard(S);
+  return N;
+}
+
+size_t DetectionService::drain() {
+  size_t Total = 0;
+  for (;;) {
+    size_t N = pumpAll();
+    Total += N;
+    if (!N)
+      break; // empty — or wedged, which only a poll() can clear
+  }
+  return Total;
+}
+
+void DetectionService::replayAction(ShardState &Sh, Session &Se,
+                                    const Action &A, const CommitSets *CS) {
+  C.ReplayedActions.fetch_add(1, std::memory_order_relaxed);
+  applyAction(*Sh.Engine, A, CS, [&](const RaceReport &R) {
+    if (shardOf(R.Var.Object) == Sh.Index)
+      Se.deliverLocked(R); // the replay loop already holds Se.Mu
+  });
+}
+
+void DetectionService::reincarnateShard(unsigned Shard) {
+  ShardState &Sh = *ShardsVec[Shard];
+  std::lock_guard<std::mutex> G(Sh.ConsumerMu);
+  reincarnateLocked(Shard, Sh);
+}
+
+void DetectionService::reincarnateLocked(unsigned S, ShardState &Sh) {
+  // 1. Close the inbox: producers see Closed, which they treat exactly like
+  //    backpressure (the line is not consumed; they retry after the swap).
+  Sh.Ring.close();
+
+  // 2. Discard the queue. The journal — not the queue — is the source of
+  //    truth, so dropping items is safe; every drop is counted.
+  ShardItem It;
+  size_t Disc = 0;
+  while (Sh.Ring.tryPop(It)) {
+    QueuedBytes.fetch_sub(It.Bytes, std::memory_order_relaxed);
+    if (Session *Se = sessionAt(It.SessionIdx))
+      Se->QueuedItems.fetch_sub(1, std::memory_order_relaxed);
+    ++Disc;
+  }
+  It = ShardItem();
+  C.ItemsDiscarded.fetch_add(Disc, std::memory_order_relaxed);
+  if (!Cfg.ReplayOnReincarnation)
+    C.ReplayDiscardLoss.fetch_add(Disc, std::memory_order_relaxed);
+
+  // 3. Crash-only quiesce of the old engine, then the fresh swap.
+  Sh.Engine->shutdown();
+  Sh.Sup.reset();
+  Sh.Engine.reset(new GoldilocksEngine(Cfg.Engine));
+  bindSupervisor(Sh);
+
+  // 4. Rebuild from the journals of every live session. Sessions are
+  //    ID-disjoint, so replaying them one after another (rather than in the
+  //    original arrival interleaving) is sound: no lockset rule can couple
+  //    two sessions' identifiers. Verdicts regenerate and dedup in the
+  //    session; truncated journals cannot replay, so those sessions are
+  //    killed with the loss counted.
+  uint32_t N = SessionCount.load(std::memory_order_acquire);
+  for (uint32_t Idx = 0; Idx != N; ++Idx) {
+    Session *Se = sessionAt(Idx);
+    if (!Se)
+      continue;
+    std::lock_guard<std::mutex> SG(Se->Mu);
+    if (Se->State == SessionState::Dead)
+      continue;
+    if (Se->JournalTruncated.load(std::memory_order_relaxed)) {
+      Se->closeLocked(CloseReason::ShardLost);
+      continue;
+    }
+    if (Cfg.ReplayOnReincarnation) {
+      const Trace &J = Se->Parser.peek();
+      for (const Action &Raw : J.Actions) {
+        Action A = Se->mapAction(Raw);
+        if (!((targetsOf(A) >> S) & 1))
+          continue;
+        if (Raw.Kind == ActionKind::Commit) {
+          const CommitSets &RawCS = J.commitSets(Raw);
+          CommitSets MS;
+          for (const VarId &V : RawCS.Reads)
+            MS.Reads.push_back(VarId{Se->mapId(V.Object), V.Field});
+          for (const VarId &V : RawCS.Writes)
+            MS.Writes.push_back(VarId{Se->mapId(V.Object), V.Field});
+          MS.prepareSorted();
+          replayAction(Sh, *Se, A, &MS);
+        } else {
+          replayAction(Sh, *Se, A, nullptr);
+        }
+      }
+    }
+    // The journal includes any pending (parsed, partially admitted) action
+    // — it is always the newest entry — and the replay above just applied
+    // it to this shard. Mark the shard acked so the resumed flush cannot
+    // duplicate it. Without replay the action is simply gone from this
+    // shard, like everything else that was discarded.
+    if (Se->HasPending) {
+      Se->PendingTargets &= ~(1ull << S);
+      if (!Se->PendingTargets) {
+        Se->HasPending = false;
+        // The producer last saw Backpressure and will present the same
+        // line again; that retry must be an ack, not a second parse.
+        Se->RetryAlreadyApplied = true;
+      }
+    }
+  }
+
+  // 5. Reopen for business.
+  Sh.Ring.reopen();
+  Sh.WedgeRequested.store(false, std::memory_order_relaxed);
+  C.Reincarnations.fetch_add(1, std::memory_order_relaxed);
+}
+
+size_t DetectionService::recycleNamespaces() {
+  // Reincarnating every shard leaves fresh engines holding only the live
+  // sessions' state — dead namespaces vanish, so their id ranges can be
+  // reissued without any cross-session aliasing in lock stacks or Infos.
+  for (unsigned S = 0; S != NumShards; ++S)
+    reincarnateShard(S);
+  std::lock_guard<std::mutex> G(SessionsMu);
+  size_t N = 0;
+  uint32_t Count = SessionCount.load(std::memory_order_relaxed);
+  for (uint32_t Idx = 0; Idx != Count; ++Idx) {
+    Session *Se = Sessions[Idx].get();
+    if (!Se || Se->state() != SessionState::Dead)
+      continue;
+    FreeSlots.push_back(Idx);
+    Retired.push_back(std::move(Sessions[Idx]));
+    ++N;
+  }
+  return N;
+}
+
+void DetectionService::poll() {
+  if (ShuttingDown.load(std::memory_order_relaxed))
+    return;
+
+  // Per-shard supervision and the reincarnation rung. The supervisor poll,
+  // the health probe and the swap all run under the shard's consumer mutex,
+  // so none of them can race the engine pointer.
+  for (unsigned S = 0; S != NumShards; ++S) {
+    ShardState &Sh = *ShardsVec[S];
+    std::lock_guard<std::mutex> G(Sh.ConsumerMu);
+    Sh.Sup->poll();
+    if (Sh.WedgeRequested.load(std::memory_order_relaxed) ||
+        Sh.Engine->health().GloballyDegraded)
+      reincarnateLocked(S, Sh);
+  }
+
+  // The service ladder: admission pause, then shedding.
+  size_t B = QueuedBytes.load(std::memory_order_relaxed);
+  unsigned State = 0;
+  if (static_cast<double>(B) >
+      Cfg.ShedFraction * static_cast<double>(Cfg.MaxQueuedBytes))
+    State = 2;
+  else if (static_cast<double>(B) >
+           Cfg.AdmissionPauseFraction * static_cast<double>(Cfg.MaxQueuedBytes))
+    State = 1;
+  LadderState.store(State, std::memory_order_relaxed);
+
+  uint32_t N = SessionCount.load(std::memory_order_acquire);
+  if (State == 2) {
+    // Shed the lowest-priority open session (one per poll: pressure drains
+    // as its queued items become skips, so shedding is deliberately slow).
+    Session *Victim = nullptr;
+    for (uint32_t Idx = 0; Idx != N; ++Idx) {
+      Session *Se = sessionAt(Idx);
+      if (!Se || Se->state() != SessionState::Open)
+        continue;
+      if (!Victim || Se->priority() < Victim->priority())
+        Victim = Se;
+    }
+    if (Victim) {
+      std::lock_guard<std::mutex> SG(Victim->Mu);
+      Victim->closeLocked(CloseReason::Shed);
+    }
+  }
+
+  uint64_t NowN = Now();
+  for (uint32_t Idx = 0; Idx != N; ++Idx) {
+    Session *Se = sessionAt(Idx);
+    if (!Se)
+      continue;
+    std::lock_guard<std::mutex> SG(Se->Mu);
+    // Idle reaping.
+    if (Cfg.IdleTimeoutNanos && Se->State == SessionState::Open) {
+      uint64_t Last = Se->LastFeedNanos.load(std::memory_order_relaxed);
+      if (NowN > Last && NowN - Last > Cfg.IdleTimeoutNanos)
+        Se->closeLocked(CloseReason::IdleTimeout);
+    }
+    // A Draining session with nothing queued anywhere is fully applied:
+    // finalize it (verdicts stay takeable; the journal is freed).
+    if (Se->State == SessionState::Draining && !Se->HasPending &&
+        Se->QueuedItems.load(std::memory_order_relaxed) == 0) {
+      Se->State = SessionState::Dead;
+      (void)Se->Parser.take();
+    }
+  }
+}
+
+void DetectionService::start() {
+  std::lock_guard<std::mutex> G(LifecycleMu);
+  if (!Consumers.empty() || Watchdog.joinable())
+    return;
+  StopFlag.store(false, std::memory_order_relaxed);
+  for (unsigned S = 0; S != NumShards; ++S)
+    Consumers.emplace_back([this, S] {
+      while (!StopFlag.load(std::memory_order_relaxed)) {
+        if (!pumpShard(S))
+          std::this_thread::sleep_for(std::chrono::microseconds(200));
+      }
+    });
+  unsigned PeriodMs = Cfg.ShardSupervisor.SamplePeriodMillis;
+  Watchdog = std::thread([this, PeriodMs] {
+    while (!StopFlag.load(std::memory_order_relaxed)) {
+      poll();
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(PeriodMs ? PeriodMs : 50));
+    }
+  });
+}
+
+void DetectionService::stop() {
+  std::lock_guard<std::mutex> G(LifecycleMu);
+  StopFlag.store(true, std::memory_order_relaxed);
+  for (std::thread &T : Consumers)
+    if (T.joinable())
+      T.join();
+  Consumers.clear();
+  if (Watchdog.joinable())
+    Watchdog.join();
+}
+
+void DetectionService::shutdown() {
+  ShuttingDown.store(true, std::memory_order_relaxed);
+  stop();
+  // Final drain with the recovery ladder still honored: a shard that wedged
+  // earlier — or wedges during this very drain — is reincarnated, and its
+  // journal replay rebuilds everything the discarded queue held. Without
+  // this, a wedge landing in the shutdown window would turn its discarded
+  // items into *silent* verdict loss. Terminates because rings strictly
+  // shrink: ShuttingDown makes feedLine refuse new lines, every wedge
+  // consumes at least the item it dropped, and replay never refills a ring.
+  for (;;) {
+    drain();
+    bool AnyWedge = false;
+    for (unsigned S = 0; S != NumShards; ++S) {
+      ShardState &Sh = *ShardsVec[S];
+      if (!Sh.WedgeRequested.load(std::memory_order_relaxed))
+        continue;
+      AnyWedge = true;
+      std::lock_guard<std::mutex> G(Sh.ConsumerMu);
+      reincarnateLocked(S, Sh);
+    }
+    if (!AnyWedge)
+      break;
+  }
+  uint32_t N = SessionCount.load(std::memory_order_acquire);
+  for (uint32_t Idx = 0; Idx != N; ++Idx) {
+    Session *Se = sessionAt(Idx);
+    if (!Se)
+      continue;
+    std::lock_guard<std::mutex> SG(Se->Mu);
+    Se->closeLocked(CloseReason::ServiceShutdown);
+  }
+  for (unsigned S = 0; S != NumShards; ++S) {
+    ShardState &Sh = *ShardsVec[S];
+    std::lock_guard<std::mutex> G(Sh.ConsumerMu);
+    Sh.Engine->quiesce();
+  }
+}
+
+ServiceHealth DetectionService::health() const {
+  ServiceHealth H;
+  H.Shards = NumShards;
+  H.LadderState = LadderState.load(std::memory_order_relaxed);
+  H.SessionsOpened = C.SessionsOpened.load(std::memory_order_relaxed);
+  H.SessionsClosed = C.SessionsClosed.load(std::memory_order_relaxed);
+  H.SessionsShed = C.SessionsShed.load(std::memory_order_relaxed);
+  H.LostSessions = C.LostSessions.load(std::memory_order_relaxed);
+  H.LinesAccepted = C.LinesAccepted.load(std::memory_order_relaxed);
+  H.ParseErrors = C.ParseErrors.load(std::memory_order_relaxed);
+  H.ActionsRouted = C.ActionsRouted.load(std::memory_order_relaxed);
+  H.BackpressureRejects =
+      C.BackpressureRejects.load(std::memory_order_relaxed);
+  H.AdmissionRejects = C.AdmissionRejects.load(std::memory_order_relaxed);
+  H.QueuedBytes = QueuedBytes.load(std::memory_order_relaxed);
+  H.QueuedBytesHighWater =
+      QueuedBytesHighWater.load(std::memory_order_relaxed);
+  H.Reincarnations = C.Reincarnations.load(std::memory_order_relaxed);
+  H.ItemsDiscarded = C.ItemsDiscarded.load(std::memory_order_relaxed);
+  H.ReplayedActions = C.ReplayedActions.load(std::memory_order_relaxed);
+  H.RacesDelivered = C.RacesDelivered.load(std::memory_order_relaxed);
+  H.VerdictsDroppedDead =
+      C.VerdictsDroppedDead.load(std::memory_order_relaxed);
+  H.DroppedPendingActions =
+      C.DroppedPendingActions.load(std::memory_order_relaxed);
+  H.VerdictLossEvents = H.LostSessions + H.VerdictsDroppedDead +
+                        H.DroppedPendingActions +
+                        C.ReplayDiscardLoss.load(std::memory_order_relaxed);
+  uint32_t N = SessionCount.load(std::memory_order_acquire);
+  for (uint32_t Idx = 0; Idx != N; ++Idx) {
+    Session *Se = sessionAt(Idx);
+    if (Se && Se->state() != SessionState::Dead)
+      ++H.ActiveSessions;
+  }
+  for (unsigned S = 0; S != NumShards; ++S) {
+    ShardState &Sh = *ShardsVec[S];
+    H.QueuedItems += Sh.Ring.depth();
+    std::lock_guard<std::mutex> G(Sh.ConsumerMu);
+    EngineHealth EH = Sh.Engine->health();
+    if (EH.DegradationLevel > H.MaxShardDegradation)
+      H.MaxShardDegradation = EH.DegradationLevel;
+    H.AnyShardGloballyDegraded |= EH.GloballyDegraded;
+    H.ShardHealth.push_back(std::move(EH));
+  }
+  return H;
+}
+
+TelemetrySnapshot DetectionService::telemetry() const {
+  if (!Tel)
+    return TelemetrySnapshot();
+  TelemetrySnapshot Snap = Tel->snapshot();
+  ServiceHealth H = health();
+  Snap.addCounter("service.sessions_opened", H.SessionsOpened);
+  Snap.addCounter("service.sessions_closed", H.SessionsClosed);
+  Snap.addCounter("service.sessions_shed", H.SessionsShed);
+  Snap.addCounter("service.lost_sessions", H.LostSessions);
+  Snap.addCounter("service.lines_accepted", H.LinesAccepted);
+  Snap.addCounter("service.parse_errors", H.ParseErrors);
+  Snap.addCounter("service.actions_routed", H.ActionsRouted);
+  Snap.addCounter("service.backpressure_rejects", H.BackpressureRejects);
+  Snap.addCounter("service.admission_rejects", H.AdmissionRejects);
+  Snap.addCounter("service.reincarnations", H.Reincarnations);
+  Snap.addCounter("service.items_discarded", H.ItemsDiscarded);
+  Snap.addCounter("service.replayed_actions", H.ReplayedActions);
+  Snap.addCounter("service.races_delivered", H.RacesDelivered);
+  Snap.addCounter("service.verdict_loss_events", H.VerdictLossEvents);
+  Snap.addCounter("service.idle_reaped",
+                  C.IdleReaped.load(std::memory_order_relaxed));
+  Snap.addCounter("service.wedge_requests",
+                  C.WedgeRequests.load(std::memory_order_relaxed));
+  Snap.addGauge("service.ladder_state", H.LadderState);
+  Snap.addGauge("service.active_sessions",
+                static_cast<int64_t>(H.ActiveSessions));
+  Snap.addGauge("service.queued_items",
+                static_cast<int64_t>(H.QueuedItems));
+  Snap.addGauge("service.queued_bytes",
+                static_cast<int64_t>(H.QueuedBytes));
+  Snap.addGauge("service.queued_bytes_high_water",
+                static_cast<int64_t>(H.QueuedBytesHighWater));
+  Snap.addGauge("service.max_shard_degradation", H.MaxShardDegradation);
+  for (unsigned S = 0; S != NumShards; ++S) {
+    const EngineHealth &EH = H.ShardHealth[S];
+    std::string P = "service.shard" + std::to_string(S) + ".";
+    Snap.addGauge(P + "degradation_level", EH.DegradationLevel);
+    Snap.addGauge(P + "cells", static_cast<int64_t>(EH.EventListLength));
+    Snap.addGauge(P + "queue_depth",
+                  static_cast<int64_t>(ShardsVec[S]->Ring.depth()));
+  }
+  return Snap;
+}

@@ -1,0 +1,474 @@
+//===- service/Service.h - Always-on sharded detection service --*- C++ -*-===//
+///
+/// \file
+/// The transport-agnostic, long-running ingestion core that turns the
+/// Goldilocks engine into a supervised multi-client detection service
+/// (DESIGN.md §14). Three layers:
+///
+///  * Session — the per-client unit of isolation. Wraps the streaming
+///    TraceParser with its own error budget, idle deadline and crash-only
+///    teardown, and namespaces the client's thread/object identifiers so no
+///    two clients can ever create a synchronization edge between each
+///    other's traces. The parser's accumulated trace doubles as the
+///    session's *journal*: the durable state a shard reincarnation replays.
+///
+///  * ShardState / routing — N independent GoldilocksEngine shards, each
+///    with its own resource-governor budget, supervisor and bounded
+///    IngestRing. Data accesses (and allocs) hash by object to exactly one
+///    shard; synchronization events broadcast to every shard. Each shard
+///    therefore observes the *complete* synchronization order of every
+///    client interleaved with the data accesses it owns, which is what
+///    makes per-variable verdicts exact without any cross-shard
+///    communication (soundness argument in DESIGN.md §14).
+///
+///  * The degradation ladder — backpressure first (bounded rings, producers
+///    get retry-after), then admission pause and priority shedding when the
+///    queued-byte budget saturates, and finally crash-only *reincarnation*
+///    of a wedged or globally-degraded shard: quiesce, discard the queue,
+///    swap in a fresh engine and rebuild its state by replaying the live
+///    sessions' journals. Verdicts are deduplicated per variable, so a
+///    reincarnation neither loses nor duplicates race reports; when a
+///    journal was truncated (cap exceeded) the session is killed instead
+///    and the loss is *counted* in ServiceHealth — never silent.
+///
+/// The core is deliberately free of any socket/transport code: tools wrap
+/// it (tools/goldilocks-serve.cpp speaks a line protocol over stdio), tests
+/// drive it deterministically with pump()/poll(), and start() adds real
+/// consumer threads for soak and bench runs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GOLD_SERVICE_SERVICE_H
+#define GOLD_SERVICE_SERVICE_H
+
+#include "event/TraceIO.h"
+#include "goldilocks/Engine.h"
+#include "service/IngestRing.h"
+#include "support/Supervisor.h"
+#include "support/Telemetry.h"
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+namespace gold {
+
+class DetectionService;
+
+//===----------------------------------------------------------------------===//
+// Configuration
+//===----------------------------------------------------------------------===//
+
+struct ServiceConfig {
+  /// Number of engine shards (clamped to [1, 64]; 64 so the pending-
+  /// admission mask fits one word). The hash reuses the engine's stripe
+  /// recipe at engine granularity.
+  unsigned Shards = 4;
+  /// Slots per shard ingestion ring (rounded up to a power of two).
+  size_t RingCapacity = 1024;
+  /// Global cap on bytes queued across all shard rings. This is the hard
+  /// bound backpressure enforces: pushes that would exceed it are rejected
+  /// with retry-after, so a stalled shard can never grow the heap.
+  size_t MaxQueuedBytes = 8u << 20;
+  /// Queued-byte fraction above which new sessions are refused (rung 1 of
+  /// the service ladder) and above which live low-priority sessions are
+  /// shed (rung 2).
+  double AdmissionPauseFraction = 0.80;
+  double ShedFraction = 0.95;
+  /// Malformed lines tolerated per session before crash-only teardown.
+  size_t SessionErrorBudget = 10;
+  /// Reap sessions idle longer than this (0 disables). Uses NowNanos, so
+  /// deterministic tests drive it with a manual clock.
+  uint64_t IdleTimeoutNanos = 0;
+  /// Cap on journaled actions per session. Beyond it the journal is
+  /// dropped: the session keeps streaming, but a later shard reincarnation
+  /// can no longer replay it and must kill it (counted verdict loss).
+  size_t JournalCapActions = 1u << 20;
+  /// Maximum sessions ever admitted (dense namespace slots; each gets a
+  /// disjoint thread/object id range of NamespaceStride). Reincarnating
+  /// every shard recycles the slots of dead sessions (recycleNamespaces).
+  size_t MaxSessions = 512;
+  /// Producer retry-after schedule (jittered exponential; IngestRing.h).
+  uint64_t BackoffBaseNanos = 2000;
+  uint64_t BackoffMaxNanos = 10000000; // 10ms
+  /// Items drained per pump slice (bounds how long a consumer holds the
+  /// shard; reincarnation waits at most one slice).
+  unsigned PumpBatch = 128;
+  /// Rebuild reincarnated shards from session journals. When false, queued
+  /// and historical state is discarded and the discard is counted as
+  /// potential verdict loss in health (explicit, never silent).
+  bool ReplayOnReincarnation = true;
+  /// Template for every shard engine (each instance gets its own governor
+  /// budget from these caps). Provenance defaults off in the service: the
+  /// reports cross a session-remapping boundary where the rendered
+  /// provenance text would leak namespaced ids.
+  EngineConfig Engine;
+  /// Per-shard supervisor knobs (poll-driven from DetectionService::poll;
+  /// the watchdog threads stay off — the service is the watchdog).
+  SupervisorConfig ShardSupervisor;
+  /// Service-level telemetry (counters always kept; Full adds the ingest
+  /// latency histogram).
+  TelemetryLevel Telemetry = TelemetryLevel::Counters;
+  /// Injectable monotonic clock (nanoseconds); defaults to steady_clock.
+  /// Tests install a manual clock to drive idle timeouts deterministically.
+  std::function<uint64_t()> NowNanos;
+
+  ServiceConfig() {
+    Engine.EnableProvenance = false;
+  }
+};
+
+/// Disjoint id range handed to each session: client ids must be below this.
+inline constexpr uint32_t NamespaceStride = 1u << 20;
+
+//===----------------------------------------------------------------------===//
+// Session
+//===----------------------------------------------------------------------===//
+
+enum class SessionState : uint8_t {
+  Open = 0, ///< accepting lines
+  Draining, ///< client closed; queued items still apply, verdicts deliver
+  Dead,     ///< crash-only teardown done; items are skipped, verdicts drop
+};
+
+enum class CloseReason : uint8_t {
+  None = 0,
+  ClientClose,     ///< orderly close() (state becomes Draining, then Dead
+                   ///< once the queues hold nothing of the session)
+  ErrorBudget,     ///< malformed-line budget exhausted
+  IdleTimeout,     ///< no feed activity for IdleTimeoutNanos
+  Shed,            ///< dropped by the overload ladder (lowest priority)
+  ShardLost,       ///< shard reincarnated and the journal could not replay
+  ServiceShutdown, ///< the whole service quiesced
+};
+
+const char *closeReasonName(CloseReason R);
+
+/// What one feedLine() attempt produced.
+struct FeedResult {
+  enum class Status : uint8_t {
+    Accepted = 0, ///< parsed and admitted to every target shard
+    Rejected,     ///< malformed; counted against the error budget
+    Backpressure, ///< not admitted; retry the SAME line after RetryAfter
+    Closed,       ///< session is no longer accepting (see Error)
+  };
+  Status St = Status::Accepted;
+  uint64_t RetryAfterNanos = 0; ///< producer backoff hint (Backpressure)
+  std::string Error;            ///< Rejected / Closed diagnostic
+};
+
+/// One queued, routed action. CommitSets are shared across the broadcast
+/// copies (immutable after publication).
+struct ShardItem {
+  uint32_t SessionIdx = 0;
+  uint64_t Seq = 0;           ///< session-local action number (diagnostics)
+  uint64_t EnqueueNanos = 0;  ///< latency histogram sample (Full telemetry)
+  uint32_t Bytes = 0;         ///< byte-budget accounting share
+  Action A;                   ///< ids already remapped into the namespace
+  std::shared_ptr<const CommitSets> CS;
+};
+
+/// The per-client unit of isolation. All methods are thread-safe, but a
+/// session is logically a single client stream: feedLine() calls must be
+/// serialized per session (they are internally mutexed; interleaving two
+/// producers on one session would interleave their half-traces).
+///
+/// Backpressure contract: when feedLine returns Backpressure, the line was
+/// NOT consumed — the caller must present the *same* line again (after the
+/// jittered backoff in RetryAfterNanos). The session remembers the parsed,
+/// partially-admitted action and finishes admitting it on the retry without
+/// re-parsing, so a broadcast that got into 3 of 4 shard rings is never
+/// duplicated into the 3.
+class Session {
+public:
+  Session(const Session &) = delete;
+  Session &operator=(const Session &) = delete;
+
+  /// Streams one trace line (TraceIO format, no trailing newline).
+  FeedResult feedLine(const std::string &Line);
+
+  /// Orderly client close: stop accepting, let queued work finish.
+  void close();
+
+  /// Drains the verdicts delivered so far, with thread/object ids mapped
+  /// back into the client's own id space.
+  std::vector<RaceReport> takeVerdicts();
+
+  SessionState state() const;
+  CloseReason closeReason() const;
+
+  uint64_t clientId() const { return Client; }
+  unsigned priority() const { return Priority; }
+  uint32_t index() const { return Index; }
+
+  uint64_t linesAccepted() const {
+    return LinesAccepted.load(std::memory_order_relaxed);
+  }
+  uint64_t parseErrors() const {
+    return ParseErrors.load(std::memory_order_relaxed);
+  }
+  uint64_t racesDelivered() const {
+    return RacesDelivered.load(std::memory_order_relaxed);
+  }
+  /// True once the journal exceeded its cap and was dropped: the session
+  /// can no longer survive a shard reincarnation.
+  bool journalTruncated() const {
+    return JournalTruncated.load(std::memory_order_relaxed);
+  }
+
+private:
+  friend class DetectionService;
+
+  Session(DetectionService &Svc, uint32_t Index, uint64_t Client,
+          unsigned Priority);
+
+  // Namespace mapping: client id <-> service-wide id.
+  uint32_t mapId(uint32_t Raw) const { return Base + Raw; }
+  uint32_t unmapId(uint32_t Raw) const { return Raw - Base; }
+  Action mapAction(const Action &A) const;
+  RaceReport unmapReport(RaceReport R) const;
+
+  /// Pushes the pending action into every not-yet-acked target ring.
+  /// Returns true when fully admitted. Requires Mu.
+  bool flushPendingLocked();
+  /// Crash-only teardown. Requires Mu.
+  void closeLocked(CloseReason R);
+  /// Verdict delivery from a shard consumer (or a reincarnation replay,
+  /// which already holds Mu — hence the Locked split). Dedups by variable.
+  void deliver(const RaceReport &R);
+  void deliverLocked(const RaceReport &R);
+
+  DetectionService &Svc;
+  const uint32_t Index;
+  const uint32_t Base; ///< (Index + 1) * NamespaceStride
+  const uint64_t Client;
+  const unsigned Priority;
+
+  mutable std::mutex Mu;
+  SessionState State = SessionState::Open;
+  CloseReason Reason = CloseReason::None;
+  TraceParser Parser;
+  size_t JournalBaseActions = 0; ///< actions dropped from the journal so far
+  uint64_t NextSeq = 0;
+  size_t ErrorsSeen = 0;
+  unsigned BackoffAttempt = 0;
+
+  // The partially-admitted action (backpressure retry state).
+  bool HasPending = false;
+  ShardItem Pending;
+  uint64_t PendingTargets = 0; ///< shard bitmask still to admit
+  /// A reincarnation replay acked the pending's last outstanding shard, so
+  /// the backpressured line is fully applied — but the producer, which last
+  /// saw Backpressure, is still contractually going to present that same
+  /// line again. The flag makes the retry an ack-only no-op; re-parsing it
+  /// would journal and route the action twice.
+  bool RetryAlreadyApplied = false;
+
+  std::vector<RaceReport> Verdicts;            ///< delivered, not yet taken
+  std::unordered_set<uint64_t> RacyVarKeys;    ///< dedup across replays
+  std::atomic<uint64_t> LastFeedNanos{0};
+  /// Items of this session currently sitting in shard rings. Zero (plus no
+  /// pending) is what lets a Draining session be reaped as fully applied.
+  std::atomic<uint64_t> QueuedItems{0};
+  std::atomic<uint64_t> LinesAccepted{0};
+  std::atomic<uint64_t> ParseErrors{0};
+  std::atomic<uint64_t> RacesDelivered{0};
+  std::atomic<bool> JournalTruncated{false};
+};
+
+//===----------------------------------------------------------------------===//
+// Health
+//===----------------------------------------------------------------------===//
+
+/// Point-in-time service health: ladder state, queue bounds, session and
+/// verdict-loss accounting, plus every shard engine's own health snapshot.
+struct ServiceHealth {
+  unsigned Shards = 0;
+  unsigned LadderState = 0; ///< 0 normal, 1 admission-paused, 2 shedding
+  size_t ActiveSessions = 0;
+  uint64_t SessionsOpened = 0;
+  uint64_t SessionsClosed = 0;
+  uint64_t SessionsShed = 0;
+  uint64_t LostSessions = 0; ///< killed at reincarnation (truncated journal)
+  uint64_t LinesAccepted = 0;
+  uint64_t ParseErrors = 0;
+  uint64_t ActionsRouted = 0;
+  uint64_t BackpressureRejects = 0;
+  uint64_t AdmissionRejects = 0;
+  size_t QueuedItems = 0;
+  size_t QueuedBytes = 0;
+  size_t QueuedBytesHighWater = 0;
+  uint64_t Reincarnations = 0;
+  uint64_t ItemsDiscarded = 0;   ///< queued items dropped by reincarnations
+  uint64_t ReplayedActions = 0;  ///< journal actions re-fed into fresh shards
+  uint64_t RacesDelivered = 0;
+  uint64_t VerdictsDroppedDead = 0;  ///< reports for already-dead sessions
+  uint64_t DroppedPendingActions = 0;///< pendings abandoned at session close
+  /// Total accounted possible-verdict-loss events: lost sessions, dead
+  /// drops, abandoned pendings, and (only when replay is disabled)
+  /// reincarnation discards. Zero means the service is provably exact.
+  uint64_t VerdictLossEvents = 0;
+  unsigned MaxShardDegradation = 0;
+  bool AnyShardGloballyDegraded = false;
+  std::vector<EngineHealth> ShardHealth;
+
+  /// One-line render (shards' own lines available via ShardHealth).
+  std::string str() const;
+  /// Members of an (already begun) JSON object, shard healths included.
+  void jsonBody(JsonWriter &J) const;
+  void toJson(JsonWriter &J) const;
+};
+
+//===----------------------------------------------------------------------===//
+// DetectionService
+//===----------------------------------------------------------------------===//
+
+/// The sharded always-on core. Construct, open() sessions, feed them, and
+/// either drive deterministically — pumpAll()/poll() — or start() the
+/// consumer threads. shutdown() is crash-only and idempotent.
+class DetectionService {
+public:
+  explicit DetectionService(ServiceConfig C = ServiceConfig());
+  ~DetectionService();
+
+  DetectionService(const DetectionService &) = delete;
+  DetectionService &operator=(const DetectionService &) = delete;
+
+  struct OpenResult {
+    Session *S = nullptr;         ///< null when admission was refused
+    uint64_t RetryAfterNanos = 0; ///< backoff hint when refused for load
+    std::string Error;            ///< refusal diagnostic
+  };
+
+  /// Admits a new client session. Refuses (with retry-after) while the
+  /// ladder has paused admission or the namespace is exhausted. The
+  /// returned session is owned by the service and stays valid until the
+  /// service is destroyed.
+  OpenResult open(uint64_t ClientId, unsigned Priority = 1);
+
+  /// Drains up to PumpBatch items of one shard into its engine. Returns
+  /// items applied. Safe to call from any thread; per-shard consumers are
+  /// serialized internally. Returns 0 while the shard is wedged or paused.
+  size_t pumpShard(unsigned Shard);
+  /// One round over every shard; returns total items applied.
+  size_t pumpAll();
+  /// Pumps until every ring is empty (deterministic tests); returns items.
+  size_t drain();
+
+  /// One supervision step: per-shard engine supervisors, the service
+  /// ladder (admission pause / shedding), idle reaping, and any requested
+  /// reincarnations. The watchdog thread calls this on its period; tests
+  /// call it directly.
+  void poll();
+
+  /// Starts per-shard consumer threads plus the service watchdog.
+  void start();
+  /// Stops and joins all service threads (idempotent).
+  void stop();
+
+  /// Crash-only quiesce: stop threads, drain what is queued, close every
+  /// session (ServiceShutdown), quiesce every engine. Idempotent.
+  void shutdown();
+
+  /// Forces a crash-only engine swap on one shard (the path the
+  /// service-shard-wedge failpoint and GloballyDegraded engines take).
+  void reincarnateShard(unsigned Shard);
+
+  /// Reincarnates every shard and recycles the namespace slots of dead
+  /// sessions, so an always-on service can admit new clients indefinitely.
+  /// Returns the number of slots recycled.
+  size_t recycleNamespaces();
+
+  ServiceHealth health() const;
+  /// Service telemetry snapshot (counters mirror health; Full level adds
+  /// the ingest-latency histogram). Shard engine telemetry is per-engine
+  /// via shardEngine(i).telemetry().
+  TelemetrySnapshot telemetry() const;
+
+  unsigned shards() const { return NumShards; }
+  GoldilocksEngine &shardEngine(unsigned Shard);
+  /// Shard that owns data variable checks for (remapped) object \p O.
+  unsigned shardOf(uint32_t Object) const;
+
+  const ServiceConfig &config() const { return Cfg; }
+  uint64_t nowNanos() const { return Now(); }
+  /// True when ingest-latency histogram samples are being collected (Full
+  /// telemetry) — producers only stamp EnqueueNanos then.
+  bool wantsLatencySamples() const { return HIngestLatency != nullptr; }
+
+private:
+  friend class Session;
+
+  struct ShardState;
+
+  /// Producer-side admission of one item into shard \p S's ring, enforcing
+  /// the global byte budget. Called by sessions.
+  PushResult pushItem(unsigned S, const ShardItem &It);
+  /// Target shard bitmask for a (remapped) action.
+  uint64_t targetsOf(const Action &A) const;
+
+  /// Applies one queued item to a shard engine, delivering any verdicts.
+  void applyItem(ShardState &Sh, const ShardItem &It);
+  /// Feeds one journal action into a freshly reincarnated shard.
+  void replayAction(ShardState &Sh, Session &S, const Action &A,
+                    const CommitSets *CS);
+  /// The reincarnation body; requires the shard's consumer mutex.
+  void reincarnateLocked(unsigned S, ShardState &Sh);
+  void bindSupervisor(ShardState &Sh);
+
+  Session *sessionAt(uint32_t Idx) const;
+  uint64_t Now() const;
+
+  ServiceConfig Cfg;
+  const unsigned NumShards;
+  std::vector<std::unique_ptr<ShardState>> ShardsVec;
+
+  // Sessions: slots are preallocated so Session pointers are stable and
+  // consumers can index without locks (the count is release-published).
+  mutable std::mutex SessionsMu;
+  std::vector<std::unique_ptr<Session>> Sessions;
+  std::vector<uint32_t> FreeSlots; ///< recycled namespace slots
+  /// Sessions whose slot was recycled. Kept (never destroyed mid-run) so a
+  /// stale client handle still answers state() == Dead instead of dangling.
+  std::vector<std::unique_ptr<Session>> Retired;
+  std::atomic<uint32_t> SessionCount{0};
+
+  // Global queue accounting (the backpressure bound).
+  std::atomic<size_t> QueuedBytes{0};
+  std::atomic<size_t> QueuedBytesHighWater{0};
+
+  // Ladder state.
+  std::atomic<unsigned> LadderState{0};
+  std::atomic<bool> ShuttingDown{false};
+
+  // Service counters (source of truth; telemetry mirrors them).
+  struct Counters {
+    std::atomic<uint64_t> SessionsOpened{0}, SessionsClosed{0},
+        SessionsShed{0}, LostSessions{0}, LinesAccepted{0}, ParseErrors{0},
+        ActionsRouted{0}, BackpressureRejects{0}, AdmissionRejects{0},
+        Reincarnations{0}, ItemsDiscarded{0}, ReplayedActions{0},
+        RacesDelivered{0}, VerdictsDroppedDead{0}, DroppedPendingActions{0},
+        ReplayDiscardLoss{0}, IdleReaped{0}, WedgeRequests{0};
+  };
+  Counters C;
+
+  // Telemetry.
+  std::unique_ptr<Telemetry> Tel;
+  Histogram *HIngestLatency = nullptr; ///< Full level only
+
+  // Threads (start()/stop()).
+  std::mutex LifecycleMu;
+  std::vector<std::thread> Consumers;
+  std::thread Watchdog;
+  std::atomic<bool> StopFlag{false};
+};
+
+} // namespace gold
+
+#endif // GOLD_SERVICE_SERVICE_H

@@ -32,6 +32,12 @@ const char *gold::failpointName(Failpoint F) {
     return "stm-lock-delay";
   case Failpoint::VmPreempt:
     return "vm-preempt";
+  case Failpoint::ServiceIngestStall:
+    return "service-ingest-stall";
+  case Failpoint::ServiceClientHang:
+    return "service-client-hang";
+  case Failpoint::ServiceShardWedge:
+    return "service-shard-wedge";
   case Failpoint::Count_:
     break;
   }

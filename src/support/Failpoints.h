@@ -51,6 +51,10 @@ enum class Failpoint : unsigned {
   StmLockConflict,     ///< STM object-lock acquisition reports a conflict
   StmLockDelay,        ///< STM object-lock acquisition is delayed
   VmPreempt,           ///< VM thread yields at an instrumentation point
+  ServiceIngestStall,  ///< a shard consumer stalls between dequeue and apply
+  ServiceClientHang,   ///< a client session hangs mid-feed (slow producer)
+  ServiceShardWedge,   ///< a shard consumer wedges: the shard must be
+                       ///< reincarnated (crash-only engine swap)
   Count_               ///< number of sites (not a site)
 };
 

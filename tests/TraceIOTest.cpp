@@ -211,3 +211,43 @@ TEST(TraceIOTest, RejectedLineLeavesStreamingStateUntouched) {
   EXPECT_EQ(T.Actions[2].Target, 2u);
   EXPECT_EQ(T.Actions[3].Kind, ActionKind::Terminate);
 }
+
+TEST(TraceIOTest, StripsCrlfLineEndings) {
+  // A stream captured on Windows (or piped through a CRLF-translating
+  // transport) must parse identically to its LF form.
+  TraceParser P;
+  ASSERT_TRUE(P.feedLine("fork 0 1\r"));
+  ASSERT_TRUE(P.feedLine("write 1 5 0\r"));
+  ASSERT_TRUE(P.feedLine("\r"));           // blank CRLF line is a no-op
+  ASSERT_TRUE(P.feedLine("# comment\r"));
+  Trace T = P.take();
+  ASSERT_EQ(T.Actions.size(), 2u);
+  EXPECT_EQ(T.Actions[0].Kind, ActionKind::Fork);
+  EXPECT_EQ(T.Actions[1].Kind, ActionKind::Write);
+}
+
+TEST(TraceIOTest, RejectsInteriorCarriageReturns) {
+  // A '\r' anywhere but line-final would silently glue tokens together in a
+  // whitespace-splitting parser; reject it with a precise error instead.
+  TraceParser P;
+  EXPECT_FALSE(P.feedLine("write 1\r5 0"));
+  EXPECT_NE(P.error().find("carriage return"), std::string::npos);
+  EXPECT_TRUE(P.feedLine("write 1 5 0")) << "parser stays usable";
+}
+
+TEST(TraceIOTest, RejectsAbsurdlyLongLinesWithoutParsing) {
+  TraceParser P;
+  std::string Huge(TraceParser::MaxLineBytes + 1, 'x');
+  EXPECT_FALSE(P.feedLine(Huge));
+  EXPECT_NE(P.error().find("line too long"), std::string::npos);
+  // Exactly at the bound is still parsed; build a valid line padded with
+  // trailing spaces to the limit.
+  std::string AtLimit = "write 1 5 0";
+  AtLimit.resize(TraceParser::MaxLineBytes, ' ');
+  EXPECT_TRUE(P.feedLine(AtLimit)) << P.error();
+  // The bound is checked on the raw line, before CRLF stripping — it caps
+  // what the parser is willing to scan at all, '\r' included.
+  EXPECT_FALSE(P.feedLine(AtLimit + "\r"));
+  Trace T = P.take();
+  EXPECT_EQ(T.Actions.size(), 1u);
+}

@@ -6,7 +6,8 @@ invariants, not just well-formedness:
 
   gold-bench-v1        BENCH_*.json / perf-smoke artifacts (bench_* --json,
                        goldilocks-trace --stats-json)
-  gold-metrics-v1      goldilocks-trace --metrics-json / engine telemetry()
+  gold-metrics-v1      goldilocks-trace / goldilocks-serve --metrics-json
+  gold-health-v1       goldilocks-serve --health-json (service + shards)
   gold-race-report-v1  goldilocks-trace --race-report
   Chrome trace events  goldilocks-trace --trace-out (Perfetto-loadable)
 
@@ -101,6 +102,29 @@ def check_metrics(doc, path):
     check_metrics_body(doc, path)
 
 
+def check_service_run(r, ctx):
+    """bench_service runs carry the service-soak headline numbers; check the
+    invariants that hold on any machine at any load."""
+    need(r, "scenario", str, ctx)
+    for key in ("sessions_per_sec", "lines_per_sec"):
+        if need(r, key, (int, float), ctx) < 0:
+            raise Bad(f"{ctx}: negative '{key}'")
+    shed = need(r, "shed_rate", (int, float), ctx)
+    if not 0 <= shed <= 1:
+        raise Bad(f"{ctx}: shed_rate {shed} outside [0, 1]")
+    opened = need(r, "sessions_opened", int, ctx)
+    if need(r, "sessions_shed", int, ctx) > opened:
+        raise Bad(f"{ctx}: sessions_shed exceeds sessions_opened")
+    if need(r, "verdict_loss_events", int, ctx) < 0:
+        raise Bad(f"{ctx}: negative verdict_loss_events")
+    p50 = need(r, "p50_ingest_latency_nanos", int, ctx)
+    p99 = need(r, "p99_ingest_latency_nanos", int, ctx)
+    lmax = need(r, "max_ingest_latency_nanos", int, ctx)
+    if not 0 <= p50 <= p99 <= lmax:
+        raise Bad(f"{ctx}: latency quantiles not ordered "
+                  f"(p50 {p50}, p99 {p99}, max {lmax})")
+
+
 def check_bench(doc, path):
     need(doc, "bench", str, path)
     need(doc, "git_rev", str, path)
@@ -120,12 +144,43 @@ def check_bench(doc, path):
                 check_stats_block(r["stats"], f"{ctx}.stats")
             if "telemetry" in r:
                 check_metrics_body(r["telemetry"], f"{ctx}.telemetry")
+            if doc["bench"] == "bench_service":
+                check_service_run(r, ctx)
     if "stats" in doc:
         check_stats_block(doc["stats"], f"{path}.stats")
     if "health" in doc:
         check_counter_map(
             {k: v for k, v in doc["health"].items()
              if not isinstance(v, bool)}, f"{path}.health")
+
+
+def check_service_health(doc, path):
+    """goldilocks-serve --health-json: the service-wide ladder and loss
+    accounting plus one engine-health block per shard."""
+    need(doc, "source", str, path)
+    shards = need(doc, "shards", int, path)
+    check_counter_map(
+        {k: v for k, v in doc.items()
+         if not isinstance(v, (bool, str, list, dict))}, path)
+    shard_health = need(doc, "shard_health", list, path)
+    if len(shard_health) != shards:
+        raise Bad(f"{path}: shards says {shards} but shard_health has "
+                  f"{len(shard_health)} entries")
+    for i, sh in enumerate(shard_health):
+        ctx = f"{path}.shard_health[{i}]"
+        if not isinstance(sh, dict):
+            raise Bad(f"{ctx}: expected an object")
+        check_counter_map(
+            {k: v for k, v in sh.items() if not isinstance(v, bool)}, ctx)
+        for key in ("cells", "degradation_level"):
+            need(sh, key, int, ctx)
+    # Loss is accounted, never silent: the total must cover its parts.
+    loss = need(doc, "verdict_loss_events", int, path)
+    parts = (doc.get("lost_sessions", 0) + doc.get("verdicts_dropped_dead", 0)
+             + doc.get("dropped_pending_actions", 0))
+    if loss < parts:
+        raise Bad(f"{path}: verdict_loss_events {loss} below the sum of its "
+                  f"components {parts}")
 
 
 def check_race_report(doc, path):
@@ -179,6 +234,8 @@ def check_file(path):
         check_bench(doc, path)
     elif schema == "gold-metrics-v1":
         check_metrics(doc, path)
+    elif schema == "gold-health-v1":
+        check_service_health(doc, path)
     elif schema == "gold-race-report-v1":
         check_race_report(doc, path)
     elif schema is None and "traceEvents" in doc:

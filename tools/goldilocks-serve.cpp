@@ -1,0 +1,639 @@
+//===- tools/goldilocks-serve.cpp - Always-on ingestion front-end ---------===//
+///
+/// Thin stdio front-end for the sharded detection service (src/service/).
+/// Deliberately transport-free: it speaks a line protocol over stdin/stdout
+/// so CI and tests can drive a long-running multi-client service
+/// deterministically, without sockets.
+///
+/// Protocol (one command per line):
+///   open <client-id> [priority]   admit a session (ids are decimal)
+///   line <client-id> <trace-line> stream one TraceIO line into the session
+///   close <client-id>             orderly close; prints delivered verdicts
+///   verdicts <client-id>          print (and drain) verdicts delivered so far
+///   health                        print a one-line service health snapshot
+///   pump                          drain every shard ring (inline mode)
+///   quit                          leave the loop and shut down
+///
+/// Replies: "ok <cmd> ...", "err <cmd> ...", "race <client-id> <report>",
+/// "health <snapshot>". Accepted `line` commands are silent so a 10^6-line
+/// stream does not produce 10^6 acks.
+///
+/// --soak K replaces the protocol loop with a deterministic multi-client
+/// soak: K clients each stream a seeded random trace, and every surviving
+/// client's verdicts are checked against the happens-before oracle for its
+/// own trace. Combined with --failpoint this is the chaos smoke CI runs.
+///
+/// SIGINT/SIGTERM trigger a crash-only quiesce: the loop stops where it is,
+/// the service drains and shuts down, and the final health line plus any
+/// --metrics-json/--health-json artifacts are still emitted.
+///
+/// Exit code: 0 on clean (or interrupted-but-clean) shutdown, 1 when a soak
+/// verdict diverged from the oracle, 126 on usage errors.
+///
+//===----------------------------------------------------------------------===//
+
+#include "event/RandomTrace.h"
+#include "event/TraceIO.h"
+#include "hb/HbOracle.h"
+#include "service/Service.h"
+#include "support/Failpoints.h"
+#include "support/Json.h"
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#if !defined(_WIN32)
+#include <signal.h>
+#endif
+
+using namespace gold;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Signals: crash-only quiesce, final artifacts still emitted.
+//===----------------------------------------------------------------------===//
+
+std::atomic<bool> Interrupted{false};
+
+void onSignal(int) { Interrupted.store(true, std::memory_order_relaxed); }
+
+/// Install WITHOUT SA_RESTART so a blocking stdin read returns EINTR and
+/// the protocol loop observes the flag instead of sitting in read() forever
+/// — that is what lets `kill -TERM` of a backgrounded serve produce a clean
+/// exit with the final health/metrics dump.
+void installSignalHandlers() {
+#if !defined(_WIN32)
+  struct sigaction SA;
+  std::memset(&SA, 0, sizeof(SA));
+  SA.sa_handler = onSignal;
+  sigemptyset(&SA.sa_mask);
+  SA.sa_flags = 0;
+  sigaction(SIGINT, &SA, nullptr);
+  sigaction(SIGTERM, &SA, nullptr);
+#else
+  std::signal(SIGINT, onSignal);
+  std::signal(SIGTERM, onSignal);
+#endif
+}
+
+bool interrupted() { return Interrupted.load(std::memory_order_relaxed); }
+
+//===----------------------------------------------------------------------===//
+// Flag table (same single-source-of-truth pattern as goldilocks-trace).
+//===----------------------------------------------------------------------===//
+
+enum class Opt {
+  Shards,
+  RingCapacity,
+  MaxQueuedBytes,
+  MaxSessions,
+  ErrorBudget,
+  IdleTimeoutMs,
+  JournalCap,
+  NoReplay,
+  Threads,
+  Telemetry,
+  MetricsJson,
+  HealthJson,
+  Soak,
+  SoakSteps,
+  SoakThreads,
+  Seed,
+  DurationMs,
+  FailpointArg,
+  Help,
+};
+
+struct OptSpec {
+  Opt Id;
+  const char *Flag;
+  const char *Arg;
+  const char *Help;
+};
+
+constexpr OptSpec Options[] = {
+    {Opt::Shards, "--shards", "<n>", "engine shards (default 4, max 64)"},
+    {Opt::RingCapacity, "--ring-capacity", "<n>",
+     "slots per shard ingestion ring (default 1024)"},
+    {Opt::MaxQueuedBytes, "--max-queued-bytes", "<n>",
+     "global queued-byte budget enforced by backpressure (default 8MiB)"},
+    {Opt::MaxSessions, "--max-sessions", "<n>",
+     "namespace slots ever admitted before recycling (default 512)"},
+    {Opt::ErrorBudget, "--error-budget", "<n>",
+     "malformed lines tolerated per session (default 10)"},
+    {Opt::IdleTimeoutMs, "--idle-timeout-ms", "<n>",
+     "reap sessions idle longer than this (0 disables)"},
+    {Opt::JournalCap, "--journal-cap", "<n>",
+     "journaled actions per session before replay is forfeited"},
+    {Opt::NoReplay, "--no-replay", nullptr,
+     "discard state on reincarnation instead of replaying journals "
+     "(the loss is counted in health, never silent)"},
+    {Opt::Threads, "--threads", nullptr,
+     "run real per-shard consumer threads + watchdog (default: inline "
+     "pumping, fully deterministic)"},
+    {Opt::Telemetry, "--telemetry", "off|counters|full",
+     "service telemetry level; 'full' adds the ingest-latency histogram"},
+    {Opt::MetricsJson, "--metrics-json", "<path>",
+     "write a gold-metrics-v1 snapshot of the service telemetry at exit"},
+    {Opt::HealthJson, "--health-json", "<path>",
+     "write the final service health snapshot as JSON at exit"},
+    {Opt::Soak, "--soak", "<k>",
+     "skip the protocol: run k concurrent seeded clients and check every "
+     "surviving client's verdicts against the happens-before oracle"},
+    {Opt::SoakSteps, "--soak-steps", "<n>",
+     "random-trace steps per thread per soak client (default 40)"},
+    {Opt::SoakThreads, "--soak-threads", "<n>",
+     "threads per soak client trace (default 4)"},
+    {Opt::Seed, "--seed", "<n>",
+     "base seed for soak traces and failpoint decisions (default 1)"},
+    {Opt::DurationMs, "--duration-ms", "<n>",
+     "stop feeding soak clients after this wall time (oracle comparison "
+     "is skipped for clients cut short)"},
+    {Opt::FailpointArg, "--failpoint", "<site>=<ppm>",
+     "arm a failpoint at the given parts-per-million rate (repeatable); "
+     "sites: service-ingest-stall, service-client-hang, service-shard-wedge,"
+     " ..."},
+    {Opt::Help, "--help", nullptr, "print this help"},
+};
+
+const OptSpec *findOpt(const std::string &Flag) {
+  for (const OptSpec &S : Options)
+    if (Flag == S.Flag)
+      return &S;
+  return nullptr;
+}
+
+int usage(FILE *To = stderr) {
+  std::fprintf(To, "usage: goldilocks-serve [options]\n");
+  for (const OptSpec &S : Options) {
+    char Left[64];
+    std::snprintf(Left, sizeof(Left), "%s%s%s", S.Flag, S.Arg ? " " : "",
+                  S.Arg ? S.Arg : "");
+    std::fprintf(To, "  %-28s %s\n", Left, S.Help);
+  }
+  return 126;
+}
+
+bool parseFailpointArg(const char *V, FailpointConfig &FC) {
+  const char *Eq = std::strchr(V, '=');
+  if (!Eq || Eq == V)
+    return false;
+  std::string Name(V, static_cast<size_t>(Eq - V));
+  char *End = nullptr;
+  unsigned long Ppm = std::strtoul(Eq + 1, &End, 10);
+  if (End == Eq + 1 || *End || Ppm > 1000000)
+    return false;
+  for (unsigned I = 0; I != NumFailpoints; ++I) {
+    Failpoint F = static_cast<Failpoint>(I);
+    if (Name == failpointName(F)) {
+      FC.rate(F, static_cast<uint32_t>(Ppm));
+      return true;
+    }
+  }
+  return false;
+}
+
+//===----------------------------------------------------------------------===//
+// Feeding with the backpressure contract.
+//===----------------------------------------------------------------------===//
+
+/// Presents \p Line until it is accepted or terminally refused, honoring the
+/// retry-the-same-line backpressure contract. In inline mode the caller IS
+/// the consumer, so instead of sleeping we pump the shards (and poll, which
+/// un-wedges a shard whose ring is closed for reincarnation). In threaded
+/// mode we sleep the jittered retry-after the service handed back.
+FeedResult feedWithRetry(DetectionService &Svc, Session &S,
+                         const std::string &Line, bool Threaded) {
+  for (;;) {
+    FeedResult R = S.feedLine(Line);
+    if (R.St != FeedResult::Status::Backpressure || interrupted())
+      return R;
+    if (Threaded) {
+      std::this_thread::sleep_for(std::chrono::nanoseconds(
+          R.RetryAfterNanos ? R.RetryAfterNanos : 1000));
+    } else {
+      Svc.pumpAll();
+      Svc.poll();
+    }
+  }
+}
+
+size_t printVerdicts(Session &S, uint64_t Client) {
+  std::vector<RaceReport> Races = S.takeVerdicts();
+  for (const RaceReport &R : Races)
+    std::printf("race %llu %s\n", (unsigned long long)Client, R.str().c_str());
+  return Races.size();
+}
+
+//===----------------------------------------------------------------------===//
+// Protocol mode
+//===----------------------------------------------------------------------===//
+
+void runProtocol(DetectionService &Svc, bool Threaded) {
+  std::unordered_map<uint64_t, Session *> Clients;
+  std::string L;
+  while (!interrupted() && std::getline(std::cin, L)) {
+    std::istringstream In(L);
+    std::string Cmd;
+    In >> Cmd;
+    if (Cmd.empty())
+      continue;
+    if (Cmd == "quit")
+      break;
+    if (Cmd == "health") {
+      std::printf("health %s\n", Svc.health().str().c_str());
+      std::fflush(stdout);
+      continue;
+    }
+    if (Cmd == "pump") {
+      if (!Threaded) {
+        Svc.drain();
+        Svc.poll();
+      }
+      std::printf("ok pump\n");
+      std::fflush(stdout);
+      continue;
+    }
+    uint64_t Id = 0;
+    if (!(In >> Id)) {
+      std::printf("err proto missing client id: %s\n", Cmd.c_str());
+      std::fflush(stdout);
+      continue;
+    }
+    if (Cmd == "open") {
+      unsigned Priority = 1;
+      In >> Priority;
+      DetectionService::OpenResult R = Svc.open(Id, Priority);
+      if (!R.S) {
+        std::printf("err open %llu %s retry-after-ns=%llu\n",
+                    (unsigned long long)Id, R.Error.c_str(),
+                    (unsigned long long)R.RetryAfterNanos);
+      } else {
+        Clients[Id] = R.S;
+        std::printf("ok open %llu\n", (unsigned long long)Id);
+      }
+      std::fflush(stdout);
+      continue;
+    }
+    auto It = Clients.find(Id);
+    if (It == Clients.end()) {
+      std::printf("err %s %llu unknown client\n", Cmd.c_str(),
+                  (unsigned long long)Id);
+      std::fflush(stdout);
+      continue;
+    }
+    Session &S = *It->second;
+    if (Cmd == "line") {
+      std::string Rest;
+      std::getline(In, Rest);
+      if (!Rest.empty() && Rest[0] == ' ')
+        Rest.erase(0, 1);
+      FeedResult R = feedWithRetry(Svc, S, Rest, Threaded);
+      switch (R.St) {
+      case FeedResult::Status::Accepted:
+        break; // silent: streams are long
+      case FeedResult::Status::Rejected:
+        std::printf("err line %llu %s\n", (unsigned long long)Id,
+                    R.Error.c_str());
+        std::fflush(stdout);
+        break;
+      case FeedResult::Status::Backpressure:
+        std::printf("err line %llu backpressure retry-after-ns=%llu\n",
+                    (unsigned long long)Id,
+                    (unsigned long long)R.RetryAfterNanos);
+        std::fflush(stdout);
+        break;
+      case FeedResult::Status::Closed:
+        std::printf("err line %llu closed: %s\n", (unsigned long long)Id,
+                    R.Error.c_str());
+        std::fflush(stdout);
+        break;
+      }
+    } else if (Cmd == "close") {
+      S.close();
+      if (!Threaded) {
+        Svc.drain();
+        Svc.poll();
+      }
+      size_t N = printVerdicts(S, Id);
+      std::printf("ok close %llu races=%zu\n", (unsigned long long)Id, N);
+      std::fflush(stdout);
+    } else if (Cmd == "verdicts") {
+      if (!Threaded)
+        Svc.drain();
+      size_t N = printVerdicts(S, Id);
+      std::printf("ok verdicts %llu races=%zu\n", (unsigned long long)Id, N);
+      std::fflush(stdout);
+    } else {
+      std::printf("err proto unknown command: %s\n", Cmd.c_str());
+      std::fflush(stdout);
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Soak mode
+//===----------------------------------------------------------------------===//
+
+struct SoakClient {
+  uint64_t Id = 0;
+  Session *S = nullptr;
+  Trace T;                        ///< ground truth for the oracle
+  std::vector<std::string> Lines; ///< serialized trace, one action per line
+  size_t Cursor = 0;
+  bool Truncated = false; ///< cut short (deadline/interrupt): skip oracle
+  bool Closed = false;
+};
+
+/// Feeds every client to completion (round-robin inline, or one producer
+/// thread per client), closes them, and checks each surviving client's racy
+/// variables against the happens-before oracle over its own trace. Returns
+/// the number of diverging clients.
+int runSoak(DetectionService &Svc, size_t K, unsigned Steps, unsigned Threads,
+            uint64_t Seed, uint64_t DurationMs, bool Threaded) {
+  std::vector<SoakClient> Clients(K);
+  for (size_t I = 0; I != K; ++I) {
+    SoakClient &C = Clients[I];
+    C.Id = I + 1;
+    RandomTraceParams P;
+    P.Seed = Seed + I;
+    P.StepsPerThread = Steps;
+    P.NumThreads = Threads;
+    C.T = generateRandomTrace(P);
+    std::istringstream In(serializeTrace(C.T));
+    std::string L;
+    while (std::getline(In, L))
+      if (!L.empty())
+        C.Lines.push_back(L);
+    DetectionService::OpenResult R = Svc.open(C.Id);
+    if (!R.S) {
+      std::fprintf(stderr, "soak: open %llu refused: %s\n",
+                   (unsigned long long)C.Id, R.Error.c_str());
+      return 1;
+    }
+    C.S = R.S;
+  }
+
+  auto Deadline = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(DurationMs ? DurationMs : ~0ull >> 20);
+  auto PastDeadline = [&] {
+    return DurationMs && std::chrono::steady_clock::now() >= Deadline;
+  };
+
+  // One feed step; returns false once the client is done (or dead).
+  auto FeedOne = [&](SoakClient &C) -> bool {
+    if (C.Closed)
+      return false;
+    if (C.Cursor >= C.Lines.size() || interrupted() || PastDeadline()) {
+      C.Truncated = C.Cursor < C.Lines.size();
+      C.S->close();
+      C.Closed = true;
+      return false;
+    }
+    FeedResult R = feedWithRetry(Svc, *C.S, C.Lines[C.Cursor], Threaded);
+    if (R.St == FeedResult::Status::Accepted) {
+      ++C.Cursor;
+      return true;
+    }
+    if (R.St == FeedResult::Status::Backpressure) // interrupted mid-retry
+      C.Truncated = true;
+    else
+      std::fprintf(stderr, "soak: client %llu stopped at line %zu: %s\n",
+                   (unsigned long long)C.Id, C.Cursor, R.Error.c_str());
+    C.Closed = true; // session was torn down (or we are bailing out)
+    return false;
+  };
+
+  if (Threaded) {
+    std::vector<std::thread> Producers;
+    Producers.reserve(K);
+    for (SoakClient &C : Clients)
+      Producers.emplace_back([&] {
+        while (FeedOne(C))
+          ;
+      });
+    for (std::thread &T : Producers)
+      T.join();
+  } else {
+    // Round-robin one line per client per round, so the shards always see a
+    // genuinely interleaved multi-client stream even without threads.
+    bool Progress = true;
+    while (Progress) {
+      Progress = false;
+      for (SoakClient &C : Clients)
+        Progress |= FeedOne(C);
+      Svc.pumpAll();
+      Svc.poll();
+    }
+    Svc.drain();
+  }
+
+  // Quiesce before comparing: every queued item applied, verdicts delivered.
+  Svc.shutdown();
+
+  int Diverged = 0;
+  size_t Compared = 0, Skipped = 0, TotalRaces = 0;
+  for (SoakClient &C : Clients) {
+    std::vector<RaceReport> Got = C.S->takeVerdicts();
+    TotalRaces += Got.size();
+    CloseReason R = C.S->closeReason();
+    bool Survived = !C.Truncated && (R == CloseReason::ClientClose ||
+                                     R == CloseReason::ServiceShutdown);
+    if (!Survived) {
+      // Killed by chaos (shed / shard-lost / error budget) or cut short:
+      // the loss is accounted in ServiceHealth, not comparable here.
+      ++Skipped;
+      continue;
+    }
+    ++Compared;
+    std::set<uint64_t> GotVars, WantVars;
+    for (const RaceReport &Rep : Got)
+      GotVars.insert(Rep.Var.key());
+    RaceOracle O(C.T, Svc.config().Engine.Semantics);
+    for (const VarId &V : O.racyVars())
+      WantVars.insert(V.key());
+    if (GotVars != WantVars) {
+      ++Diverged;
+      std::fprintf(stderr,
+                   "soak: client %llu DIVERGED: service=%zu oracle=%zu racy "
+                   "var(s)\n",
+                   (unsigned long long)C.Id, GotVars.size(), WantVars.size());
+    }
+  }
+  std::printf("soak clients=%zu compared=%zu skipped=%zu races=%zu "
+              "diverged=%d\n",
+              K, Compared, Skipped, TotalRaces, Diverged);
+  return Diverged ? 1 : 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  installSignalHandlers();
+
+  ServiceConfig SC;
+  bool Threaded = false;
+  size_t SoakClients = 0;
+  unsigned SoakSteps = 40, SoakThreads = 4;
+  uint64_t Seed = 1, DurationMs = 0, IdleTimeoutMs = 0;
+  std::string MetricsJsonPath, HealthJsonPath;
+  FailpointConfig FC;
+  bool AnyFailpoint = false;
+
+  for (int I = 1; I != Argc; ++I) {
+    std::string Arg = Argv[I];
+    const OptSpec *S = findOpt(Arg);
+    if (!S)
+      return usage();
+    const char *V = nullptr;
+    if (S->Arg) {
+      if (I + 1 >= Argc)
+        return usage();
+      V = Argv[++I];
+    }
+    auto ParseUnsigned = [&](bool AllowZero) -> uint64_t {
+      char *End = nullptr;
+      uint64_t N = std::strtoull(V, &End, 10);
+      if (End == V || *End || (!AllowZero && !N)) {
+        std::fprintf(stderr, "%s wants a %s integer, got '%s'\n", S->Flag,
+                     AllowZero ? "non-negative" : "positive", V);
+        std::exit(126);
+      }
+      return N;
+    };
+    switch (S->Id) {
+    case Opt::Shards:
+      SC.Shards = static_cast<unsigned>(ParseUnsigned(false));
+      break;
+    case Opt::RingCapacity:
+      SC.RingCapacity = ParseUnsigned(false);
+      break;
+    case Opt::MaxQueuedBytes:
+      SC.MaxQueuedBytes = ParseUnsigned(false);
+      break;
+    case Opt::MaxSessions:
+      SC.MaxSessions = ParseUnsigned(false);
+      break;
+    case Opt::ErrorBudget:
+      SC.SessionErrorBudget = ParseUnsigned(true);
+      break;
+    case Opt::IdleTimeoutMs:
+      IdleTimeoutMs = ParseUnsigned(true);
+      break;
+    case Opt::JournalCap:
+      SC.JournalCapActions = ParseUnsigned(false);
+      break;
+    case Opt::NoReplay:
+      SC.ReplayOnReincarnation = false;
+      break;
+    case Opt::Threads:
+      Threaded = true;
+      break;
+    case Opt::Telemetry:
+      if (!parseTelemetryLevel(V, SC.Telemetry)) {
+        std::fprintf(stderr, "--telemetry wants off|counters|full, got '%s'\n",
+                     V);
+        return 126;
+      }
+      break;
+    case Opt::MetricsJson:
+      MetricsJsonPath = V;
+      break;
+    case Opt::HealthJson:
+      HealthJsonPath = V;
+      break;
+    case Opt::Soak:
+      SoakClients = ParseUnsigned(false);
+      break;
+    case Opt::SoakSteps:
+      SoakSteps = static_cast<unsigned>(ParseUnsigned(false));
+      break;
+    case Opt::SoakThreads:
+      SoakThreads = static_cast<unsigned>(ParseUnsigned(false));
+      break;
+    case Opt::Seed:
+      Seed = ParseUnsigned(true);
+      break;
+    case Opt::DurationMs:
+      DurationMs = ParseUnsigned(false);
+      break;
+    case Opt::FailpointArg:
+      if (!parseFailpointArg(V, FC)) {
+        std::fprintf(stderr, "--failpoint wants <site>=<ppm>, got '%s'\n", V);
+        return 126;
+      }
+      AnyFailpoint = true;
+      break;
+    case Opt::Help:
+      usage(stdout);
+      return 0;
+    }
+  }
+  SC.IdleTimeoutNanos = IdleTimeoutMs * 1000000ull;
+
+  std::optional<FailpointScope> Chaos;
+  if (AnyFailpoint) {
+    FC.Seed = Seed;
+    Chaos.emplace(FC);
+  }
+
+  DetectionService Svc(SC);
+  if (Threaded)
+    Svc.start();
+
+  int Rc = 0;
+  if (SoakClients)
+    Rc = runSoak(Svc, SoakClients, SoakSteps, SoakThreads, Seed, DurationMs,
+                 Threaded);
+  else
+    runProtocol(Svc, Threaded);
+
+  // Crash-only quiesce (idempotent — soak already did it), then the final
+  // dump. This path runs identically for quit, EOF, SIGINT and SIGTERM.
+  Svc.shutdown();
+  if (interrupted())
+    std::fprintf(stderr, "goldilocks-serve: interrupted; quiesced cleanly\n");
+
+  ServiceHealth H = Svc.health();
+  std::printf("final %s\n", H.str().c_str());
+  std::fflush(stdout);
+
+  if (!HealthJsonPath.empty()) {
+    JsonWriter J;
+    J.beginObject();
+    J.kv("schema", "gold-health-v1");
+    J.kv("source", "goldilocks-serve");
+    J.kv("interrupted", interrupted());
+    H.jsonBody(J);
+    J.endObject();
+    if (!J.writeFile(HealthJsonPath)) {
+      std::fprintf(stderr, "error: failed to write %s\n",
+                   HealthJsonPath.c_str());
+      return 126;
+    }
+  }
+  if (!MetricsJsonPath.empty()) {
+    std::ofstream Out(MetricsJsonPath);
+    if (Out)
+      Out << Svc.telemetry().json("goldilocks-serve") << '\n';
+    if (!Out) {
+      std::fprintf(stderr, "error: failed to write %s\n",
+                   MetricsJsonPath.c_str());
+      return 126;
+    }
+  }
+  return Rc;
+}

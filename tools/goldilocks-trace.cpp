@@ -22,6 +22,8 @@
 #include "support/Supervisor.h"
 #include "support/Telemetry.h"
 
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -33,6 +35,19 @@
 using namespace gold;
 
 namespace {
+
+/// Set from the SIGINT/SIGTERM handler; polled by the replay loop between
+/// actions. The shutdown is crash-only: the replay stops wherever it is,
+/// the engine quiesces, and the tool still emits every requested artifact
+/// (--stats-json, --metrics-json, --health) before exiting.
+std::atomic<bool> Interrupted{false};
+
+void onSignal(int) { Interrupted.store(true, std::memory_order_relaxed); }
+
+void installSignalHandlers() {
+  std::signal(SIGINT, onSignal);
+  std::signal(SIGTERM, onSignal);
+}
 
 //===----------------------------------------------------------------------===//
 // Flag table: the single source of truth for the usage text AND the parser.
@@ -138,7 +153,12 @@ RunOutput runDetector(RaceDetector &D, const Trace &T, bool WantStats,
                       bool WantHealth, bool Verbose,
                       GoldilocksEngine *Engine) {
   RunOutput Out;
-  Out.Races = D.runTrace(T);
+  Out.Races = D.runTrace(T, &Interrupted);
+  if (Interrupted.load(std::memory_order_relaxed))
+    std::fprintf(stderr,
+                 "%s: interrupted; replay stopped early, emitting final "
+                 "artifacts\n",
+                 D.name());
   std::set<uint64_t> Vars;
   for (const RaceReport &R : Out.Races) {
     std::printf("%-12s %s\n", D.name(),
@@ -173,6 +193,7 @@ RunOutput runDetector(RaceDetector &D, const Trace &T, bool WantStats,
 } // namespace
 
 int main(int Argc, char **Argv) {
+  installSignalHandlers();
   std::string DetectorName = "goldilocks";
   TxnSyncSemantics Semantics = TxnSyncSemantics::SharedVariable;
   bool Dump = false, WantStats = false, WantHealth = false, WantOracle = false;
@@ -364,6 +385,8 @@ int main(int Argc, char **Argv) {
                                 &D.engine());
       RacyVars = R.RacyVars;
       Sup.stop();
+      if (Interrupted.load(std::memory_order_relaxed))
+        D.engine().quiesce(); // crash-only: settle state, then dump
       D.engine().attachTraceSink(nullptr);
       if (!StatsJsonPath.empty()) {
         JsonWriter J;
@@ -372,6 +395,7 @@ int main(int Argc, char **Argv) {
         J.kv("trace_actions", static_cast<uint64_t>(T.Actions.size()));
         J.kv("trace_threads", static_cast<uint64_t>(T.threadCount()));
         J.kv("racy_vars", static_cast<uint64_t>(RacyVars));
+        J.kv("interrupted", Interrupted.load(std::memory_order_relaxed));
         J.key("health");
         D.engine().health().toJson(J);
         jsonEngineConfig(J, "config", C);
