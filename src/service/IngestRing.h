@@ -30,6 +30,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -60,17 +61,38 @@ public:
 
   size_t capacity() const { return Mask + 1; }
 
-  /// Marks the ring closed: subsequent pushes return Closed. Items already
-  /// queued remain poppable (the consumer drains or discards them).
-  void close() { Closed.store(true, std::memory_order_release); }
+  /// Marks the ring closed and waits for in-flight pushes to settle:
+  /// subsequent pushes return Closed, and by the time close() returns every
+  /// concurrent tryPush has either completed its publication (the item is
+  /// poppable) or observed Closed and touched nothing. That settle is what
+  /// lets the reincarnation path discard the queue and know nothing can
+  /// trickle in behind the discard. Items already queued remain poppable
+  /// (the consumer drains or discards them).
+  void close() {
+    Closed.store(true, std::memory_order_seq_cst);
+    // tryPush is lock-free and short, so this spin is bounded: it only
+    // waits out producers that passed the Closed check before the store
+    // above became visible to them.
+    while (Producers.load(std::memory_order_seq_cst) != 0)
+      std::this_thread::yield();
+  }
   void reopen() { Closed.store(false, std::memory_order_release); }
   bool closed() const { return Closed.load(std::memory_order_acquire); }
 
   /// Multi-producer push. Never blocks; Full means the consumer is behind
   /// and the caller should apply its backoff policy and retry.
   PushResult tryPush(T Item) {
-    if (closed())
+    // Producer refcount: incremented before the Closed check, decremented
+    // on every exit. close() sets Closed and spins this count to zero, so
+    // a push can never publish behind a completed close. Both sides are
+    // seq_cst — the inc/flag-read here against the flag-write/count-read
+    // there is the classic store-buffering shape that acquire/release
+    // alone does not order.
+    Producers.fetch_add(1, std::memory_order_seq_cst);
+    if (Closed.load(std::memory_order_seq_cst)) {
+      Producers.fetch_sub(1, std::memory_order_release);
       return PushResult::Closed;
+    }
     uint64_t Pos = Tail.load(std::memory_order_relaxed);
     for (;;) {
       Slot &S = Slots[Pos & Mask];
@@ -88,8 +110,10 @@ public:
         // moved, another producer won the slot and we retry behind it;
         // if not, the ring is genuinely full.
         uint64_t Cur = Tail.load(std::memory_order_relaxed);
-        if (Cur == Pos)
+        if (Cur == Pos) {
+          Producers.fetch_sub(1, std::memory_order_release);
           return PushResult::Full;
+        }
         Pos = Cur;
       } else {
         // Another producer claimed this ticket but has not published yet;
@@ -101,6 +125,7 @@ public:
     S.Item = std::move(Item);
     S.Seq.store(Pos + 1, std::memory_order_release);
     Depth.fetch_add(1, std::memory_order_relaxed);
+    Producers.fetch_sub(1, std::memory_order_release);
     return PushResult::Ok;
   }
 
@@ -147,6 +172,8 @@ private:
   alignas(64) uint64_t Head = 0; // single consumer: plain word
   alignas(64) std::atomic<size_t> Depth{0};
   std::atomic<bool> Closed{false};
+  /// In-flight tryPush count; close() drains it (see tryPush).
+  std::atomic<uint32_t> Producers{0};
 };
 
 /// Jittered exponential backoff schedule for producers that received

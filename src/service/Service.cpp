@@ -508,6 +508,9 @@ DetectionService::DetectionService(ServiceConfig CIn)
   if (Cfg.MaxSessions < 1)
     Cfg.MaxSessions = 1;
   Sessions.resize(Cfg.MaxSessions);
+  SessionSlots.reset(new std::atomic<Session *>[Cfg.MaxSessions]);
+  for (size_t I = 0; I != Cfg.MaxSessions; ++I)
+    SessionSlots[I].store(nullptr, std::memory_order_relaxed);
   if (Cfg.Telemetry != TelemetryLevel::Off) {
     Tel.reset(new Telemetry(Cfg.Telemetry));
     if (Tel->fullEnabled())
@@ -575,7 +578,10 @@ GoldilocksEngine &DetectionService::shardEngine(unsigned Shard) {
 Session *DetectionService::sessionAt(uint32_t Idx) const {
   if (Idx >= SessionCount.load(std::memory_order_acquire))
     return nullptr;
-  return Sessions[Idx].get();
+  // Acquire pairs with open()'s release store: readers of a recycled slot
+  // see either the fully constructed new session or the retired (Dead, but
+  // still alive) old one — never a half-built object or a torn pointer.
+  return SessionSlots[Idx].load(std::memory_order_acquire);
 }
 
 DetectionService::OpenResult DetectionService::open(uint64_t ClientId,
@@ -608,6 +614,7 @@ DetectionService::OpenResult DetectionService::open(uint64_t ClientId,
     return R;
   }
   Sessions[Idx].reset(new Session(*this, Idx, ClientId, Priority));
+  SessionSlots[Idx].store(Sessions[Idx].get(), std::memory_order_release);
   if (Idx == SessionCount.load(std::memory_order_relaxed))
     SessionCount.store(Idx + 1, std::memory_order_release);
   C.SessionsOpened.fetch_add(1, std::memory_order_relaxed);
@@ -617,16 +624,22 @@ DetectionService::OpenResult DetectionService::open(uint64_t ClientId,
 
 PushResult DetectionService::pushItem(unsigned S, const ShardItem &It) {
   // The global byte budget is the hard backpressure bound: a stalled shard
-  // turns into rejections here, never into heap growth.
-  if (QueuedBytes.load(std::memory_order_relaxed) + It.Bytes >
-      Cfg.MaxQueuedBytes)
-    return PushResult::Full;
-  ShardState &Sh = *ShardsVec[S];
-  PushResult R = Sh.Ring.tryPush(It);
-  if (R != PushResult::Ok)
-    return R;
+  // turns into rejections here, never into heap growth. The bytes are
+  // *reserved* before the push and rolled back on rejection — adding them
+  // after publication would let a consumer pop the item and subtract its
+  // bytes first, wrapping the unsigned counter below zero.
   size_t NewB =
       QueuedBytes.fetch_add(It.Bytes, std::memory_order_relaxed) + It.Bytes;
+  if (NewB > Cfg.MaxQueuedBytes) {
+    QueuedBytes.fetch_sub(It.Bytes, std::memory_order_relaxed);
+    return PushResult::Full;
+  }
+  ShardState &Sh = *ShardsVec[S];
+  PushResult R = Sh.Ring.tryPush(It);
+  if (R != PushResult::Ok) {
+    QueuedBytes.fetch_sub(It.Bytes, std::memory_order_relaxed);
+    return R;
+  }
   size_t HW = QueuedBytesHighWater.load(std::memory_order_relaxed);
   while (NewB > HW && !QueuedBytesHighWater.compare_exchange_weak(
                           HW, NewB, std::memory_order_relaxed))
@@ -658,27 +671,35 @@ size_t DetectionService::pumpShard(unsigned Shard) {
   while (N < Cfg.PumpBatch && Sh.Ring.tryPop(It)) {
     QueuedBytes.fetch_sub(It.Bytes, std::memory_order_relaxed);
     Session *Se = sessionAt(It.SessionIdx);
-    if (Se)
-      Se->QueuedItems.fetch_sub(1, std::memory_order_relaxed);
+    // QueuedItems is decremented only after the item was applied (or
+    // consciously skipped): poll() finalizes a Draining session when the
+    // count hits zero, and an early decrement would let it free the
+    // journal and kill the session while its final action is still in
+    // flight between pop and apply — dropping that action silently.
     ++N;
     failpointStall(Failpoint::ServiceIngestStall);
     if (failpoint(Failpoint::ServiceShardWedge)) {
       // Simulated consumer crash after dequeue, before apply: the item is
       // lost from the queue, which is exactly what the journal replay must
       // recover. The shard stops consuming until poll() reincarnates it.
+      if (Se)
+        Se->QueuedItems.fetch_sub(1, std::memory_order_relaxed);
       Sh.WedgeRequested.store(true, std::memory_order_relaxed);
       C.WedgeRequests.fetch_add(1, std::memory_order_relaxed);
       C.ItemsDiscarded.fetch_add(1, std::memory_order_relaxed);
       break;
     }
-    if (!Se || Se->state() == SessionState::Dead)
-      continue; // a dead session's queued items are skipped, not applied
-    applyItem(Sh, It);
-    if (HIngestLatency && It.EnqueueNanos) {
-      uint64_t NowN = Now();
-      HIngestLatency->record(NowN > It.EnqueueNanos ? NowN - It.EnqueueNanos
-                                                    : 0);
-    }
+    if (Se && Se->state() != SessionState::Dead) {
+      applyItem(Sh, It);
+      if (HIngestLatency && It.EnqueueNanos) {
+        uint64_t NowN = Now();
+        HIngestLatency->record(NowN > It.EnqueueNanos
+                                   ? NowN - It.EnqueueNanos
+                                   : 0);
+      }
+    } // else: a dead session's queued items are skipped, not applied
+    if (Se)
+      Se->QueuedItems.fetch_sub(1, std::memory_order_relaxed);
     It = ShardItem(); // drop the commit-set reference before the next pop
   }
   return N;
@@ -785,8 +806,11 @@ void DetectionService::reincarnateLocked(unsigned S, ShardState &Sh) {
     // — it is always the newest entry — and the replay above just applied
     // it to this shard. Mark the shard acked so the resumed flush cannot
     // duplicate it. Without replay the action is simply gone from this
-    // shard, like everything else that was discarded.
+    // shard, like everything else that was discarded — that drop never
+    // went through the ring, so it gets its own loss count here.
     if (Se->HasPending) {
+      if (!Cfg.ReplayOnReincarnation && (Se->PendingTargets & (1ull << S)))
+        C.ReplayDiscardLoss.fetch_add(1, std::memory_order_relaxed);
       Se->PendingTargets &= ~(1ull << S);
       if (!Se->PendingTargets) {
         Se->HasPending = false;
@@ -817,6 +841,8 @@ size_t DetectionService::recycleNamespaces() {
     if (!Se || Se->state() != SessionState::Dead)
       continue;
     FreeSlots.push_back(Idx);
+    // SessionSlots[Idx] keeps pointing at the retired session (still alive
+    // in Retired, permanently Dead) until open() republishes the slot.
     Retired.push_back(std::move(Sessions[Idx]));
     ++N;
   }

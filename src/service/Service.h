@@ -430,9 +430,13 @@ private:
   std::vector<std::unique_ptr<ShardState>> ShardsVec;
 
   // Sessions: slots are preallocated so Session pointers are stable and
-  // consumers can index without locks (the count is release-published).
+  // consumers can index without locks. Every slot is published through an
+  // atomic pointer (release store on open, acquire load in sessionAt) —
+  // the count alone would only cover fresh slots, not recycled ones, whose
+  // unique_ptr reset would otherwise race lock-free readers.
   mutable std::mutex SessionsMu;
   std::vector<std::unique_ptr<Session>> Sessions;
+  std::unique_ptr<std::atomic<Session *>[]> SessionSlots;
   std::vector<uint32_t> FreeSlots; ///< recycled namespace slots
   /// Sessions whose slot was recycled. Kept (never destroyed mid-run) so a
   /// stale client handle still answers state() == Dead instead of dangling.

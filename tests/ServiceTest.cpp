@@ -181,6 +181,43 @@ TEST(IngestRingTest, MpscStressDeliversEveryItemExactlyOnce) {
   EXPECT_EQ(R.depth(), 0u);
 }
 
+TEST(IngestRingTest, CloseSettlesInFlightPushes) {
+  // close() must fence out in-flight tryPush calls: once it returns, every
+  // concurrent push has either published (and the discard below sees it) or
+  // observed Closed. A push publishing *behind* the discard would survive a
+  // reincarnation's engine swap and get applied on top of the journal
+  // replay — the double-application this test guards against.
+  for (int Round = 0; Round != 50; ++Round) {
+    IngestRing<int> R(64);
+    std::atomic<uint64_t> Pushed{0};
+    std::atomic<bool> Go{false};
+    std::vector<std::thread> Producers;
+    for (int P = 0; P != 4; ++P)
+      Producers.emplace_back([&] {
+        while (!Go.load(std::memory_order_acquire))
+          std::this_thread::yield();
+        for (;;) {
+          PushResult Res = R.tryPush(1);
+          if (Res == PushResult::Closed)
+            break;
+          if (Res == PushResult::Ok)
+            Pushed.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+    Go.store(true, std::memory_order_release);
+    R.close();
+    size_t Discarded = R.discardAll();
+    for (std::thread &T : Producers)
+      T.join();
+    // Nothing trickled in after the discard, and the discard saw every
+    // successful push.
+    int V;
+    EXPECT_FALSE(R.tryPop(V));
+    EXPECT_EQ(R.depth(), 0u);
+    EXPECT_EQ(Discarded, Pushed.load(std::memory_order_relaxed));
+  }
+}
+
 TEST(IngestRingTest, BackoffScheduleIsDeterministicBoundedJitter) {
   const uint64_t Base = 1000, Max = 1u << 20;
   for (unsigned A = 0; A != 8; ++A) {
@@ -572,6 +609,62 @@ TEST(ServiceTest, ReplayDisabledCountsDiscardsAsLoss) {
   EXPECT_EQ(R.S->state(), SessionState::Open) << "the session survives";
 }
 
+TEST(ServiceTest, ReplayDisabledCountsDroppedPendingAsLoss) {
+  // A backpressured line leaves a parsed action pending against the full
+  // shard. With replay off, a reincarnation clears that shard's pending bit
+  // without ever applying the action — a real drop that must be counted in
+  // VerdictLossEvents alongside the ring discards, never silent.
+  ServiceConfig SC;
+  SC.Shards = 1;
+  SC.RingCapacity = 4;
+  SC.ReplayOnReincarnation = false;
+  DetectionService Svc(SC);
+  auto R = Svc.open(1);
+  ASSERT_NE(R.S, nullptr);
+  for (int I = 0; I != 4; ++I)
+    ASSERT_EQ(R.S->feedLine("write 0 " + std::to_string(I) + " 0").St,
+              FeedResult::Status::Accepted);
+  FeedResult BP = R.S->feedLine("write 0 9 0");
+  ASSERT_EQ(BP.St, FeedResult::Status::Backpressure);
+
+  Svc.reincarnateShard(0);
+  ServiceHealth H = Svc.health();
+  EXPECT_EQ(H.ItemsDiscarded, 4u);
+  EXPECT_GE(H.VerdictLossEvents, H.ItemsDiscarded + 1)
+      << "the dropped pending action must be accounted too";
+  // The producer's mandatory retry of the bounced line is an ack-only
+  // no-op: the action is gone (and counted), not re-parsed into the shard.
+  EXPECT_EQ(R.S->feedLine("write 0 9 0").St, FeedResult::Status::Accepted);
+  EXPECT_EQ(Svc.health().VerdictLossEvents, H.VerdictLossEvents);
+}
+
+TEST(ServiceTest, RecycledSlotPublicationIsRaceFree) {
+  // Reuses namespace slots while the service's own threads (consumers and
+  // watchdog) read sessions lock-free via sessionAt. Under tsan this pins
+  // the atomic per-slot publication: a plain unique_ptr reset of a recycled
+  // slot would be a data race with those readers.
+  ServiceConfig SC;
+  SC.Shards = 2;
+  SC.MaxSessions = 2;
+  SC.ShardSupervisor.SamplePeriodMillis = 1;
+  DetectionService Svc(SC);
+  Svc.start();
+  for (int I = 0; I != 100; ++I) {
+    auto R = Svc.open(I + 1);
+    ASSERT_NE(R.S, nullptr) << R.Error;
+    ASSERT_EQ(feedThreaded(*R.S, "write 0 1 0").St,
+              FeedResult::Status::Accepted);
+    R.S->close();
+    // The consumers drain the item; the watchdog's poll finalizes Draining.
+    while (R.S->state() != SessionState::Dead)
+      std::this_thread::yield();
+    Svc.recycleNamespaces();
+  }
+  Svc.shutdown();
+  // Every generation's handle stays valid and Dead after recycling.
+  EXPECT_EQ(Svc.health().ActiveSessions, 0u);
+}
+
 TEST(ServiceTest, NamespaceRecyclingReclaimsDeadSlots) {
   ServiceConfig SC;
   SC.MaxSessions = 2;
@@ -653,6 +746,11 @@ void threadedSoak(ServiceConfig SC, uint64_t BaseSeed, size_t K) {
   EXPECT_GT(Compared, 0u) << "every client was torn down — no coverage";
   ServiceHealth H = Svc.health();
   EXPECT_EQ(H.ActiveSessions, 0u);
+  // Byte accounting is exact: bytes are reserved before publication and
+  // every pop/discard subtracts what was added, so the gauge returns to
+  // zero and the high-water mark can never wrap past the budget.
+  EXPECT_EQ(H.QueuedBytes, 0u);
+  EXPECT_LE(H.QueuedBytesHighWater, SC.MaxQueuedBytes);
   if (Compared == K) {
     EXPECT_EQ(H.VerdictLossEvents, 0u);
   }
