@@ -90,6 +90,9 @@ inline void jsonEngineStats(JsonWriter &J, const char *Key,
   J.kv("threads_deregistered", S.ThreadsDeregistered);
   J.kv("slot_fallbacks", S.SlotFallbacks);
   J.kv("batch_publishes", S.BatchPublishes);
+  J.kv("tier_filtered", S.TierFiltered);
+  J.kv("escalations", S.Escalations);
+  J.kv("sampled_skips", S.SampledSkips);
   J.kv("short_circuit_fraction", S.shortCircuitFraction());
   J.endObject();
 }
@@ -111,6 +114,9 @@ inline void jsonEngineConfig(JsonWriter &J, const char *Key,
   J.kv("max_bytes", C.MaxBytes);
   J.kv("grace_deadline_micros", C.GraceDeadlineMicros);
   J.kv("epoch_slot_count", C.EpochSlotCount);
+  J.kv("tier", tierModeName(C.Tier));
+  J.kv("sampling_rate_ppm", static_cast<uint64_t>(C.SamplingRatePpm));
+  J.kv("sampling_budget", static_cast<uint64_t>(C.SamplingBudget));
   J.endObject();
 }
 

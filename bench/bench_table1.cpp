@@ -46,6 +46,9 @@ int main(int Argc, char **Argv) {
     RunResult Plain = runBest(Var.Plain, /*Instrument=*/true, Reps);
     RunResult Chord = runBest(Var.Chord, /*Instrument=*/true, Reps);
     RunResult Rcc = runBest(Var.RccJava, /*Instrument=*/true, Reps);
+    EngineConfig TieredCfg;
+    TieredCfg.Tier = TierMode::Tiered;
+    RunResult Tiered = runBest(Var.Plain, /*Instrument=*/true, Reps, TieredCfg);
 
     auto Slow = [&](const RunResult &R) {
       return Un.Seconds > 0 ? R.Seconds / Un.Seconds : 0.0;
@@ -57,8 +60,11 @@ int main(int Argc, char **Argv) {
               Table::num(Slow(Rcc), 1),
               Table::percent(Chord.Engine.shortCircuitFraction()),
               Table::percent(Rcc.Engine.shortCircuitFraction())});
-    if (Plain.Races || Chord.Races || Rcc.Races)
+    if (Plain.Races || Chord.Races || Rcc.Races || Tiered.Races)
       std::printf("!! unexpected races in %s\n", W.Name.c_str());
+    if (Tiered.Races != Plain.Races)
+      std::printf("!! tiered verdicts diverge in %s (%zu vs %zu)\n",
+                  W.Name.c_str(), Tiered.Races, Plain.Races);
 
     auto EmitVariant = [&](const char *Variant, const RunResult &R,
                            bool Instrumented) {
@@ -81,6 +87,9 @@ int main(int Argc, char **Argv) {
     EmitVariant("nostatic", Plain, true);
     EmitVariant("chord", Chord, true);
     EmitVariant("rccjava", Rcc, true);
+    // The tier-0 prefilter run: same verdicts as nostatic, with
+    // pair_checks/tier_filtered/escalations recording what it skipped.
+    EmitVariant("tiered", Tiered, true);
   }
   J.endArray();
   J.endObject();

@@ -1,0 +1,178 @@
+//===- bench/bench_tiers.cpp - Tiered-pipeline cost/precision curves ------===//
+///
+/// Two measurements backing the adaptive-precision pipeline (DESIGN.md §15,
+/// EXPERIMENTS.md):
+///
+///  * escalation: every (race-free) Table-1 workload run precise vs. tiered
+///    — same verdicts by construction, and the tier-0 prefilter must cut
+///    the precise pair checks by >=10x (the headline acceptance number);
+///
+///  * sampling: per sampling rate, precision/recall of the sampling tier
+///    against the exact happens-before oracle over a seeded random-trace
+///    sweep. Precision is 1.0 by construction (a sampled run sees a legal
+///    sub-trace over the full synchronization order); recall is the curve
+///    being bought with the skipped work.
+///
+/// Emits gold-bench-v1 JSON ("bench_tiers") validated by
+/// tools/check_bench_schema.py.
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchUtil.h"
+#include "event/RandomTrace.h"
+#include "hb/HbOracle.h"
+#include "support/Table.h"
+
+#include <set>
+
+using namespace gold;
+
+namespace {
+
+/// The chaos/differential sweep shape (kept in sync with
+/// tests/DifferentialHarness.h sweepParams — benches cannot depend on the
+/// gtest harness header).
+RandomTraceParams sweepParams(uint64_t Seed) {
+  RandomTraceParams P;
+  P.Seed = Seed;
+  P.NumThreads = 2 + static_cast<ThreadId>(Seed % 4);
+  P.NumObjects = 2 + static_cast<ObjectId>(Seed % 5);
+  P.DataFields = 1 + static_cast<FieldId>(Seed % 3);
+  P.StepsPerThread = 30 + static_cast<unsigned>(Seed % 50);
+  P.WBeginTxn = static_cast<unsigned>(Seed % 3);
+  return P;
+}
+
+std::set<VarId> racyVarSet(const std::vector<RaceReport> &Races) {
+  std::set<VarId> Out;
+  for (const RaceReport &R : Races)
+    Out.insert(R.Var);
+  return Out;
+}
+
+std::set<VarId> oracleVarSet(const Trace &T) {
+  RaceOracle O(T);
+  std::set<VarId> Out;
+  for (VarId V : O.racyVars())
+    Out.insert(V);
+  return Out;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  unsigned Scale = parseScale(Argc, Argv, 2);
+  const int Reps = static_cast<int>(parseUintArg(Argc, Argv, "--reps", 2));
+  unsigned Seeds = parseUintArg(Argc, Argv, "--seeds", 48);
+  std::string JsonPath = parseStrArg(Argc, Argv, "--json", "");
+  std::printf("=== Tiered pipeline: pair-check reduction and "
+              "sampling precision/recall (scale %u, %u seeds) ===\n\n",
+              Scale, Seeds);
+
+  JsonWriter J;
+  jsonBenchHeader(J, "bench_tiers");
+  J.kv("scale", Scale);
+  J.kv("reps", static_cast<uint64_t>(Reps));
+  J.kv("seeds", static_cast<uint64_t>(Seeds));
+
+  // -- Escalation: precise vs tiered over the Table-1 workloads ----------
+  Table TE({"Workload", "Thr", "PairChecks", "Tiered", "Cut", "Filtered",
+            "Escalations", "Races"});
+  J.key("escalation");
+  J.beginArray();
+  EngineConfig TieredCfg;
+  TieredCfg.Tier = TierMode::Tiered;
+  for (const Workload &W : standardSuite(WorkloadScale{Scale})) {
+    RunResult Precise = runBest(W.Prog, /*Instrument=*/true, Reps);
+    RunResult Tiered = runBest(W.Prog, /*Instrument=*/true, Reps, TieredCfg);
+    double Cut = static_cast<double>(Precise.Engine.PairChecks) /
+                 static_cast<double>(Tiered.Engine.PairChecks
+                                         ? Tiered.Engine.PairChecks
+                                         : 1);
+    TE.addRow({W.Name, Table::num(static_cast<long long>(W.Threads)),
+               Table::num(static_cast<long long>(Precise.Engine.PairChecks)),
+               Table::num(static_cast<long long>(Tiered.Engine.PairChecks)),
+               Table::num(Cut, 1),
+               Table::num(static_cast<long long>(Tiered.Engine.TierFiltered)),
+               Table::num(static_cast<long long>(Tiered.Engine.Escalations)),
+               Table::num(static_cast<long long>(Tiered.Races))});
+    if (Precise.Races != Tiered.Races)
+      std::printf("!! tiered verdicts diverge on %s (%zu vs %zu)\n",
+                  W.Name.c_str(), Precise.Races, Tiered.Races);
+    J.beginObject();
+    J.kv("workload", W.Name);
+    J.kv("threads", W.Threads);
+    J.kv("precise_pair_checks", Precise.Engine.PairChecks);
+    J.kv("tiered_pair_checks", Tiered.Engine.PairChecks);
+    J.kv("reduction", Cut);
+    J.kv("precise_races", (uint64_t)Precise.Races);
+    J.kv("tiered_races", (uint64_t)Tiered.Races);
+    J.kv("precise_seconds", Precise.Seconds);
+    J.kv("tiered_seconds", Tiered.Seconds);
+    jsonEngineStats(J, "tiered_stats", Tiered.Engine);
+    J.endObject();
+  }
+  J.endArray();
+  TE.print();
+
+  // -- Sampling: precision/recall per rate vs the HB oracle --------------
+  Table TS({"Rate(ppm)", "Budget", "TP", "FP", "FN", "Precision", "Recall",
+            "Skips"});
+  J.key("sampling");
+  J.beginArray();
+  constexpr uint32_t Budget = 8;
+  for (uint32_t Ppm : {10000u, 50000u, 100000u, 250000u, 500000u, 1000000u}) {
+    uint64_t TP = 0, FP = 0, FN = 0, Skips = 0;
+    for (uint64_t Seed = 1; Seed <= Seeds; ++Seed) {
+      Trace T = generateRandomTrace(sweepParams(Seed));
+      std::set<VarId> Oracle = oracleVarSet(T);
+      EngineConfig C;
+      C.Tier = TierMode::Sampling;
+      C.SamplingRatePpm = Ppm;
+      C.SamplingBudget = Budget;
+      GoldilocksDetector D(C);
+      std::set<VarId> Got = racyVarSet(D.runTrace(T));
+      Skips += D.engine().stats().SampledSkips;
+      for (VarId V : Got)
+        Oracle.count(V) ? ++TP : ++FP;
+      for (VarId V : Oracle)
+        if (!Got.count(V))
+          ++FN;
+    }
+    double Precision = (TP + FP) ? double(TP) / double(TP + FP) : 1.0;
+    double Recall = (TP + FN) ? double(TP) / double(TP + FN) : 1.0;
+    TS.addRow({Table::num(static_cast<long long>(Ppm)),
+               Table::num(static_cast<long long>(Budget)),
+               Table::num(static_cast<long long>(TP)),
+               Table::num(static_cast<long long>(FP)),
+               Table::num(static_cast<long long>(FN)),
+               Table::num(Precision, 3), Table::num(Recall, 3),
+               Table::num(static_cast<long long>(Skips))});
+    J.beginObject();
+    J.kv("rate_ppm", static_cast<uint64_t>(Ppm));
+    J.kv("budget", static_cast<uint64_t>(Budget));
+    J.kv("traces", static_cast<uint64_t>(Seeds));
+    J.kv("true_positives", TP);
+    J.kv("false_positives", FP);
+    J.kv("false_negatives", FN);
+    J.kv("precision", Precision);
+    J.kv("recall", Recall);
+    J.kv("sampled_skips", Skips);
+    J.endObject();
+  }
+  J.endArray();
+  J.endObject();
+  TS.print();
+
+  if (!JsonPath.empty()) {
+    if (!J.writeFile(JsonPath)) {
+      std::fprintf(stderr, "failed to write %s\n", JsonPath.c_str());
+      return 1;
+    }
+    std::printf("\nwrote %s\n", JsonPath.c_str());
+  }
+  std::printf("\nTier 0 must cut precise pair checks >=10x on the race-free "
+              "suite; the sampling tier trades recall for cost at precision "
+              "1.0 (see DESIGN.md §15).\n");
+  return 0;
+}

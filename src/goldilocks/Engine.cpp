@@ -8,10 +8,34 @@
 #include <algorithm>
 #include <cassert>
 #include <chrono>
+#include <cstring>
 #include <new>
 #include <thread>
 
 using namespace gold;
+
+const char *gold::tierModeName(TierMode M) {
+  switch (M) {
+  case TierMode::Precise:
+    return "precise";
+  case TierMode::Tiered:
+    return "tiered";
+  case TierMode::Sampling:
+    return "sampling";
+  }
+  return "precise";
+}
+
+bool gold::parseTierMode(const char *S, TierMode &Out) {
+  for (TierMode M :
+       {TierMode::Precise, TierMode::Tiered, TierMode::Sampling}) {
+    if (S && !std::strcmp(S, tierModeName(M))) {
+      Out = M;
+      return true;
+    }
+  }
+  return false;
+}
 
 //===----------------------------------------------------------------------===//
 // Internal data structures (Figure 8's Cell and Info records)
@@ -41,6 +65,10 @@ struct GoldilocksEngine::Info {
   bool HasALock = false;
   bool Xact = false;     ///< Access was inside a transaction
   bool Valid = false;
+  /// Tiered mode: Owner's own clock component when the record was
+  /// installed (0 = unknown, never provable). A later access whose clock
+  /// covers (Owner, TierEpoch) is ordered after this record (proof E).
+  uint64_t TierEpoch = 0;
 
   Info() = default;
   Info(Info &&O) noexcept { *this = std::move(O); }
@@ -53,6 +81,7 @@ struct GoldilocksEngine::Info {
     HasALock = O.HasALock;
     Xact = O.Xact;
     Valid = O.Valid;
+    TierEpoch = O.TierEpoch;
     return *this;
   }
 };
@@ -79,6 +108,37 @@ struct GoldilocksEngine::VarState {
   bool Disabled = false;  ///< disabled after its first race (Section 6)
   bool Degraded = false;  ///< disabled by the resource governor (rung 3)
   VarId V;
+
+  // Tier state (DESIGN.md §15), guarded by the variable's KL stripe like
+  // the Info records. All of it is summary data over the *live* records:
+  // dropping the records (onAlloc, enableVar) resets it.
+  bool TierEscalated = false; ///< sticky: a tier-0 proof failed once
+  bool TierInit = false;      ///< summaries seeded by an access since reset
+  bool TierMixed = false;     ///< live records span two or more owners
+  ThreadId TierLastThread = NoThread; ///< thread of the last installed access
+  uint64_t TierLastEpoch = 0; ///< that thread's sync epoch at the access
+  /// Eraser-style candidate lockset C(v): the intersection of the accessor
+  /// lock stacks of every access since reset, capped (a first access
+  /// holding more locks keeps the innermost TierLockCap — a subset, so the
+  /// proof can only fail more often, never wrongly succeed).
+  static constexpr unsigned TierLockCap = 4;
+  ObjectId TierLocks[TierLockCap] = {};
+  uint8_t TierLockCount = 0;
+  /// Sampling tier: accesses presented to this variable (budget + hash
+  /// position), counted even for the skipped ones.
+  uint64_t SampleCount = 0;
+
+  /// Forgets the tier summaries (the records they summarize were dropped).
+  /// Escalation and the sample count survive: a variable that needed the
+  /// precise tier once stays escalated, and the sampling budget is a
+  /// lifetime budget. Requires the KL stripe, like any tier mutation.
+  void resetTier() {
+    TierInit = false;
+    TierMixed = false;
+    TierLastThread = NoThread;
+    TierLastEpoch = 0;
+    TierLockCount = 0;
+  }
 };
 
 /// Per-thread lock stack, consulted by the alock short circuit, plus the
@@ -101,6 +161,20 @@ struct GoldilocksEngine::ThreadState {
   Cell *BatchHead = nullptr;
   Cell *BatchTail = nullptr;
   unsigned BatchLen = 0;
+  /// FastTrack-style synchronization epoch: bumped by the owning thread on
+  /// each of its synchronization operations (Tiered mode only). Read only
+  /// by the owner — the tier-0 same-epoch proof always compares a thread's
+  /// epoch against a value that same thread recorded.
+  uint64_t SyncEpoch = 0;
+  /// Tier-0 epoch-order proof (proof E): the thread's vector clock over
+  /// the modeled synchronization edges, indexed by ThreadId. Written only
+  /// by the owning thread (fork/join/exit handoffs go through the engine's
+  /// TierMu-guarded maps, never through another thread's state); read
+  /// lock-free by the owner on the access path.
+  std::vector<uint64_t> TierVC;
+  /// Set by the parent's fork hook after it deposits a fork clock in
+  /// TierForkClocks: the owner folds it in at its next sync op or access.
+  std::atomic<bool> TierPendingFork{false};
 };
 
 /// One quarantine batch: \p Count cells starting at \p First whose Next
@@ -144,7 +218,8 @@ struct GoldilocksEngine::AtomicStats {
       Commits{0}, DegradationEvents{0}, DegradedVars{0}, ForcedGcs{0},
       AppendRetries{0}, GraceWaits{0}, GraceTimeouts{0}, CellsQuarantined{0},
       ReclaimedDeadSlots{0}, ThreadsRegistered{0}, ThreadsDeregistered{0},
-      SlotFallbacks{0}, BatchPublishes{0};
+      SlotFallbacks{0}, BatchPublishes{0}, TierFiltered{0}, Escalations{0},
+      SampledSkips{0};
 };
 
 //===----------------------------------------------------------------------===//
@@ -982,7 +1057,150 @@ size_t GoldilocksEngine::distinctVarsChecked() const {
 // Synchronization hooks
 //===----------------------------------------------------------------------===//
 
+void GoldilocksEngine::bumpSyncEpoch(ThreadId T) {
+  if (Cfg.Tier != TierMode::Tiered)
+    return;
+  try {
+    ++threadState(T).SyncEpoch;
+  } catch (const std::bad_alloc &) {
+    // A missed bump can only make the same-epoch proof *succeed* where a
+    // bump would have failed it — but the proof is sound regardless of the
+    // epoch (ordering is monotone in the window), so this stays advisory.
+  }
+}
+
+namespace {
+
+/// ThreadIds index the tier vector clocks directly; ids past this cap (and
+/// NoThread) simply opt out of proof E — their records keep TierEpoch 0 and
+/// are never epoch-skipped, which is the sound direction.
+constexpr ThreadId TierVcCap = 1u << 16;
+
+/// Element-wise max. A partial merge (bad_alloc mid-resize) leaves a clock
+/// that is a pointwise lower bound of the true join — each retained claim
+/// is individually justified by a real chain, so soundness is unaffected.
+void vcJoinInto(std::vector<uint64_t> &Dst, const std::vector<uint64_t> &Src) {
+  if (Dst.size() < Src.size())
+    Dst.resize(Src.size(), 0);
+  for (size_t I = 0; I != Src.size(); ++I)
+    if (Src[I] > Dst[I])
+      Dst[I] = Src[I];
+}
+
+/// Ensures \p VC has a nonzero self component for \p T and returns it
+/// (record epochs use 0 as "unknown", so components start at 1).
+uint64_t vcSelf(std::vector<uint64_t> &VC, ThreadId T) {
+  if (T >= TierVcCap)
+    return 0;
+  if (VC.size() <= T)
+    VC.resize(T + 1, 0);
+  if (VC[T] == 0)
+    VC[T] = 1;
+  return VC[T];
+}
+
+} // namespace
+
+void GoldilocksEngine::tierMergePendingLocked(ThreadState &TS, ThreadId T) {
+  if (!TS.TierPendingFork.load(std::memory_order_acquire))
+    return;
+  auto It = TierForkClocks.find(T);
+  if (It != TierForkClocks.end()) {
+    vcJoinInto(TS.TierVC, It->second);
+    TierForkClocks.erase(It);
+  }
+  TS.TierPendingFork.store(false, std::memory_order_release);
+}
+
+void GoldilocksEngine::tierSyncAcquire(ThreadId T, uint64_t Key) {
+  if (Cfg.Tier != TierMode::Tiered || T >= TierVcCap)
+    return;
+  try {
+    ThreadState &TS = threadState(T);
+    std::lock_guard<std::mutex> L(TierMu);
+    tierMergePendingLocked(TS, T);
+    auto It = TierChannels.find(Key);
+    if (It != TierChannels.end())
+      vcJoinInto(TS.TierVC, It->second);
+  } catch (const std::bad_alloc &) {
+    // A missed merge only loses coverage: proof E fails more often and the
+    // access takes the precise path. Sound either way.
+  }
+}
+
+void GoldilocksEngine::tierSyncRelease(ThreadId T, uint64_t Key) {
+  if (Cfg.Tier != TierMode::Tiered || T >= TierVcCap)
+    return;
+  // The clock must not be visible before the cell: a consumer that merges
+  // it may skip a check the precise walk could not yet prove (the cell
+  // would be missing from — or ordered after — the consumer's window).
+  flushPending(T);
+  try {
+    ThreadState &TS = threadState(T);
+    std::lock_guard<std::mutex> L(TierMu);
+    tierMergePendingLocked(TS, T);
+    (void)vcSelf(TS.TierVC, T);
+    vcJoinInto(TierChannels[Key], TS.TierVC);
+    ++TS.TierVC[T];
+  } catch (const std::bad_alloc &) {
+    // A missed publication only hides edges from later acquirers. Sound.
+  }
+}
+
+void GoldilocksEngine::tierFork(ThreadId Parent, ThreadId Child) {
+  if (Cfg.Tier != TierMode::Tiered || Parent >= TierVcCap)
+    return;
+  flushPending(Parent); // the fork cell precedes the clock, as above
+  try {
+    ThreadState &PS = threadState(Parent);
+    ThreadState &CS = threadState(Child);
+    std::lock_guard<std::mutex> L(TierMu);
+    tierMergePendingLocked(PS, Parent);
+    (void)vcSelf(PS.TierVC, Parent);
+    vcJoinInto(TierForkClocks[Child], PS.TierVC);
+    ++PS.TierVC[Parent];
+    CS.TierPendingFork.store(true, std::memory_order_release);
+  } catch (const std::bad_alloc &) {
+    // The child simply never sees the fork edge and escalates instead.
+  }
+}
+
+void GoldilocksEngine::tierJoin(ThreadId T, ThreadId Child) {
+  if (Cfg.Tier != TierMode::Tiered || T >= TierVcCap)
+    return;
+  try {
+    ThreadState &TS = threadState(T);
+    std::lock_guard<std::mutex> L(TierMu);
+    tierMergePendingLocked(TS, T);
+    auto It = TierExitClocks.find(Child);
+    if (It != TierExitClocks.end())
+      vcJoinInto(TS.TierVC, It->second);
+  } catch (const std::bad_alloc &) {
+    // As in tierSyncAcquire: a missed merge is only lost coverage.
+  }
+}
+
+void GoldilocksEngine::tierTerminate(ThreadId T) {
+  if (Cfg.Tier != TierMode::Tiered || T >= TierVcCap)
+    return;
+  flushPending(T); // the terminate cell precedes the clock, as above
+  try {
+    ThreadState &TS = threadState(T);
+    std::lock_guard<std::mutex> L(TierMu);
+    tierMergePendingLocked(TS, T);
+    (void)vcSelf(TS.TierVC, T);
+    std::vector<uint64_t> &Exit = TierExitClocks[T];
+    Exit.clear();
+    vcJoinInto(Exit, TS.TierVC);
+    ++TS.TierVC[T];
+  } catch (const std::bad_alloc &) {
+    // A joiner simply finds no exit clock and escalates instead.
+  }
+}
+
 void GoldilocksEngine::onAcquire(ThreadId T, ObjectId O) {
+  bumpSyncEpoch(T);
+  tierSyncAcquire(T, lockVar(O).key()); // merge before our own cell
   try {
     threadState(T).HeldLocks.push_back(O);
   } catch (const std::bad_alloc &) {
@@ -998,6 +1216,7 @@ void GoldilocksEngine::onAcquire(ThreadId T, ObjectId O) {
 }
 
 void GoldilocksEngine::onRelease(ThreadId T, ObjectId O) {
+  bumpSyncEpoch(T);
   try {
     auto &Held = threadState(T).HeldLocks;
     auto It = std::find(Held.rbegin(), Held.rend(), O);
@@ -1011,10 +1230,13 @@ void GoldilocksEngine::onRelease(ThreadId T, ObjectId O) {
   E.Thread = T;
   E.Var = lockVar(O);
   enqueue(E);
+  tierSyncRelease(T, lockVar(O).key()); // publish after our cell is live
   maybeCollect();
 }
 
 void GoldilocksEngine::onVolatileRead(ThreadId T, VarId V) {
+  bumpSyncEpoch(T);
+  tierSyncAcquire(T, V.key()); // merge before our own cell
   SyncEvent E;
   E.Kind = ActionKind::VolatileRead;
   E.Thread = T;
@@ -1024,25 +1246,31 @@ void GoldilocksEngine::onVolatileRead(ThreadId T, VarId V) {
 }
 
 void GoldilocksEngine::onVolatileWrite(ThreadId T, VarId V) {
+  bumpSyncEpoch(T);
   SyncEvent E;
   E.Kind = ActionKind::VolatileWrite;
   E.Thread = T;
   E.Var = V;
   enqueue(E);
+  tierSyncRelease(T, V.key()); // publish after our cell is live
   maybeCollect();
 }
 
 void GoldilocksEngine::onFork(ThreadId T, ThreadId Child) {
+  bumpSyncEpoch(T);
   registerThread(Child);
   SyncEvent E;
   E.Kind = ActionKind::Fork;
   E.Thread = T;
   E.Target = Child;
   enqueue(E);
+  tierFork(T, Child); // deposit the fork clock after the fork cell is live
   maybeCollect();
 }
 
 void GoldilocksEngine::onJoin(ThreadId T, ThreadId Child) {
+  bumpSyncEpoch(T);
+  tierJoin(T, Child); // merge the exit clock before our own cell
   SyncEvent E;
   E.Kind = ActionKind::Join;
   E.Thread = T;
@@ -1052,10 +1280,12 @@ void GoldilocksEngine::onJoin(ThreadId T, ThreadId Child) {
 }
 
 void GoldilocksEngine::onTerminate(ThreadId T) {
+  bumpSyncEpoch(T);
   SyncEvent E;
   E.Kind = ActionKind::Terminate;
   E.Thread = T;
   enqueue(E);
+  tierTerminate(T); // publish the exit clock after the terminate cell
   maybeCollect();
   deregisterThread(T);
 }
@@ -1110,6 +1340,11 @@ void GoldilocksEngine::onAlloc(ThreadId T, ObjectId O, uint32_t FieldCount) {
       clearReads(*St);
       St->Disabled = false;
       St->Degraded = false;
+      // A reallocated variable is a new variable: it re-earns tier 0 and a
+      // fresh sampling budget along with its exactness.
+      St->resetTier();
+      St->TierEscalated = false;
+      St->SampleCount = 0;
     }
   }
 }
@@ -1291,6 +1526,27 @@ GoldilocksEngine::accessImpl(ThreadId T, VarId V, bool IsWrite, bool Xact,
   }
 }
 
+namespace {
+
+/// Sampling-tier selection: a pure hash of (seed, variable, per-variable
+/// access ordinal), so a seeded run reproduces its sample — and its
+/// verdicts — exactly.
+bool sampleSelected(uint64_t Seed, uint64_t VarKey, uint64_t Ordinal,
+                    uint32_t Ppm) {
+  if (Ppm >= 1000000u)
+    return true;
+  if (Ppm == 0)
+    return false;
+  uint64_t H = Seed ^ (VarKey * 0x9E3779B97F4A7C15ull) ^
+               (Ordinal * 0xFF51AFD7ED558CCDull);
+  H ^= H >> 33;
+  H *= 0xC4CEB9FE1A85EC53ull;
+  H ^= H >> 29;
+  return (H % 1000000u) < Ppm;
+}
+
+} // namespace
+
 std::optional<RaceReport>
 GoldilocksEngine::accessLocked(ThreadId T, ThreadState *TS, VarId V,
                                bool IsWrite, bool Xact, Cell *PosOverride,
@@ -1300,6 +1556,120 @@ GoldilocksEngine::accessLocked(ThreadId T, ThreadState *TS, VarId V,
   if (St.Disabled || St.Degraded) {
     S->SkippedDisabled.fetch_add(1, std::memory_order_relaxed);
     return std::nullopt;
+  }
+
+  // Sampling tier: past the per-variable burst budget, only the
+  // deterministic sample of data accesses is processed; the rest are
+  // skipped *entirely* — no pair checks and no record. The engine then
+  // sees a sub-trace of the data accesses over the full synchronization
+  // order, so any race it does report holds between two accesses that
+  // really executed, under the real happens-before relation: precision is
+  // preserved, only recall is traded. Transactional replays are never
+  // sampled (their commit event is already in the list; skipping the
+  // check half would be incoherent), and synchronization events never
+  // reach this path at all.
+  if (Cfg.Tier == TierMode::Sampling && !Xact && !PosOverride) {
+    uint64_t Ordinal = ++St.SampleCount;
+    if (Ordinal > Cfg.SamplingBudget &&
+        !sampleSelected(Cfg.SamplingSeed, V.key(), Ordinal,
+                        Cfg.SamplingRatePpm)) {
+      S->SampledSkips.fetch_add(1, std::memory_order_relaxed);
+      return std::nullopt;
+    }
+  }
+
+  // Tier-0 prefilter (TierMode::Tiered, DESIGN.md §15): skip the pair
+  // checks — never the record install — when one of five proofs shows the
+  // precise tier could not have reported a race for this access:
+  //
+  //  (A) sole owner: every live record belongs to this thread (each check
+  //      would resolve via same-owner);
+  //  (B) read of own/absent write: a read only checks the write record;
+  //  (C) Eraser candidate lockset: some lock has been held at every access
+  //      since the records were (re)built, so every checked pair sits in
+  //      two critical sections of that lock, which are totally ordered;
+  //  (D) FastTrack-style same-epoch memo (reads only): the last installed
+  //      access was by this thread at this sync epoch, so the write record
+  //      is unchanged since a check (or sound skip) already proved it
+  //      ordered, and window ordering is monotone. Gated on
+  //      DisableVarAfterRace so a skipped re-check can never swallow a
+  //      repeat report on a still-enabled racy variable.
+  //  (E) epoch order: every live record's install epoch is covered by this
+  //      thread's vector clock over the modeled sync edges (release→
+  //      acquire, volatile write→read, fork, join) — a subset of the event
+  //      list's real edges, so coverage implies the precise walk would
+  //      prove every pair ordered. This is the proof that covers the
+  //      cross-thread publication idioms (barriers, producer/consumer
+  //      volatiles, init-then-fork) the ownership summaries cannot.
+  //
+  // The first access whose proofs all fail escalates the variable to the
+  // precise tier, permanently (only the memo still applies). Because the
+  // install below runs identically either way, escalation hands the
+  // precise tier exactly the records it would have had from the start.
+  bool SkipChecks = false;
+  if (Cfg.Tier == TierMode::Tiered && !Xact && !PosOverride) {
+    uint64_t Epoch = TS ? TS->SyncEpoch : 0;
+    bool Memo = Cfg.DisableVarAfterRace && !IsWrite && St.TierInit &&
+                St.TierLastThread == T && St.TierLastEpoch == Epoch;
+    // Proof E, evaluated lazily (it walks the live records). The pending
+    // fork clock is folded in first so a child's very first access — the
+    // init-then-fork handoff — can already prove its ordering.
+    auto EpochOrdered = [&] {
+      if (!TS)
+        return false;
+      if (TS->TierPendingFork.load(std::memory_order_acquire)) {
+        std::lock_guard<std::mutex> TL(TierMu);
+        tierMergePendingLocked(*TS, T);
+      }
+      auto Covered = [&](const Info &I) {
+        return !I.Valid || I.Owner == T ||
+               (I.TierEpoch && I.Owner < TS->TierVC.size() &&
+                TS->TierVC[I.Owner] >= I.TierEpoch);
+      };
+      if (!Covered(St.Write))
+        return false;
+      if (IsWrite)
+        for (ReadRec *R = St.ReadsHead; R; R = R->Next)
+          if (!Covered(R->RI))
+            return false;
+      return true;
+    };
+    if (!St.TierEscalated) {
+      // Fold this access into C(v) first: proof C's soundness requires the
+      // intersection to cover *every* access since the summaries were
+      // seeded, including accesses decided by another proof.
+      if (!St.TierInit) {
+        St.TierLockCount = 0;
+        if (TS)
+          for (size_t I = TS->HeldLocks.size();
+               I != 0 && St.TierLockCount != VarState::TierLockCap; --I)
+            St.TierLocks[St.TierLockCount++] = TS->HeldLocks[I - 1];
+      } else if (St.TierLockCount != 0) {
+        uint8_t Kept = 0;
+        for (uint8_t I = 0; I != St.TierLockCount; ++I) {
+          ObjectId L = St.TierLocks[I];
+          if (TS && std::find(TS->HeldLocks.begin(), TS->HeldLocks.end(),
+                              L) != TS->HeldLocks.end())
+            St.TierLocks[Kept++] = L;
+        }
+        St.TierLockCount = Kept;
+      }
+      bool SoleOwner =
+          !St.TierInit || (!St.TierMixed && St.TierLastThread == T);
+      bool OwnWrite =
+          !IsWrite && (!St.Write.Valid || St.Write.Owner == T);
+      bool CommonLock = St.TierInit && St.TierLockCount != 0;
+      if (SoleOwner || OwnWrite || CommonLock || Memo || EpochOrdered()) {
+        SkipChecks = true;
+        S->TierFiltered.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        St.TierEscalated = true;
+        S->Escalations.fetch_add(1, std::memory_order_relaxed);
+      }
+    } else if (Memo) {
+      SkipChecks = true;
+      S->TierFiltered.fetch_add(1, std::memory_order_relaxed);
+    }
   }
 
   // The access's position: the latest sync event it comes after. The
@@ -1362,10 +1732,12 @@ GoldilocksEngine::accessLocked(ThreadId T, ThreadState *TS, VarId V,
     Race = R;
   };
 
-  Check(St.Write, /*PrevIsWrite=*/true);
-  if (IsWrite)
-    for (ReadRec *R = St.ReadsHead; R; R = R->Next)
-      Check(R->RI, /*PrevIsWrite=*/false);
+  if (!SkipChecks) {
+    Check(St.Write, /*PrevIsWrite=*/true);
+    if (IsWrite)
+      for (ReadRec *R = St.ReadsHead; R; R = R->Next)
+        Check(R->RI, /*PrevIsWrite=*/false);
+  }
 
   if (Race) {
     S->Races.fetch_add(1, std::memory_order_relaxed);
@@ -1397,6 +1769,12 @@ GoldilocksEngine::accessLocked(ThreadId T, ThreadState *TS, VarId V,
       NI.HasALock = true;
     }
   }
+  // Proof E stamp: the owner's own clock component at install. For a
+  // commit replay (PosOverride) the install point is the commit, which is
+  // at or after the buffered access — a later epoch only makes the proof
+  // fail more often, never wrongly succeed.
+  if (Cfg.Tier == TierMode::Tiered)
+    NI.TierEpoch = vcSelf(TS->TierVC, T); // 0 past TierVcCap: unprovable
   Info *Slot = &St.Write;
   if (IsWrite) {
     clearReads(St);
@@ -1419,10 +1797,29 @@ GoldilocksEngine::accessLocked(ThreadId T, ThreadState *TS, VarId V,
   NI.Valid = true;
   retainCell(PosC);
   installInfo(*Slot, std::move(NI));
+
+  // Tier bookkeeping, maintained on *every* install (including the
+  // transactional replays the prefilter itself bypasses) so the summaries
+  // always describe the live records. A write leaves exactly one record
+  // (this thread's); a read by a new thread makes the owner set mixed. A
+  // transactional install clears C(v): its access was not folded into the
+  // intersection, so the common-lock claim no longer covers all records.
+  if (Cfg.Tier == TierMode::Tiered) {
+    if (IsWrite)
+      St.TierMixed = false;
+    else if (St.TierInit && St.TierLastThread != T)
+      St.TierMixed = true;
+    if (Xact || PosOverride)
+      St.TierLockCount = 0;
+    St.TierInit = true;
+    St.TierLastThread = T;
+    St.TierLastEpoch = TS->SyncEpoch;
+  }
   return std::nullopt;
 }
 
 void GoldilocksEngine::commitPoint(ThreadId T, const CommitSets &CS) {
+  bumpSyncEpoch(T);
   S->Commits.fetch_add(1, std::memory_order_relaxed);
   if (recordingStopped())
     return; // finishCommit tolerates the missing anchor
@@ -1514,6 +1911,18 @@ void GoldilocksEngine::enableVar(VarId V) {
     std::lock_guard<std::mutex> KL(klFor(V));
     St.Disabled = false;
     St.Degraded = false;
+    // The disabling paths (race, governor rung 3) dropped the records, so
+    // the summaries can restart from nothing. Guard against a re-enable of
+    // a variable that still has live records (nothing forbids calling this
+    // on a healthy variable): stale-summary tier-0 proofs over real
+    // records could skip a needed check, so those escalate instead.
+    bool HasRecords = St.Write.Valid;
+    for (ReadRec *R = St.ReadsHead; R && !HasRecords; R = R->Next)
+      HasRecords = R->RI.Valid;
+    if (HasRecords)
+      St.TierEscalated = true;
+    else
+      St.resetTier();
   } catch (const std::bad_alloc &) {
     // Could not materialize the state; the variable stays as it was.
   }
@@ -1980,6 +2389,9 @@ EngineStats GoldilocksEngine::stats() const {
   Out.ThreadsDeregistered = L(S->ThreadsDeregistered);
   Out.SlotFallbacks = L(S->SlotFallbacks);
   Out.BatchPublishes = L(S->BatchPublishes);
+  Out.TierFiltered = L(S->TierFiltered);
+  Out.Escalations = L(S->Escalations);
+  Out.SampledSkips = L(S->SampledSkips);
   return Out;
 }
 
@@ -2006,6 +2418,10 @@ EngineHealth GoldilocksEngine::health() const {
   H.QuarantinedCells = QuarantineCount.load(std::memory_order_relaxed);
   H.ReclaimedDeadSlots =
       S->ReclaimedDeadSlots.load(std::memory_order_relaxed);
+  H.Tier = static_cast<unsigned>(Cfg.Tier);
+  H.TierFiltered = S->TierFiltered.load(std::memory_order_relaxed);
+  H.Escalations = S->Escalations.load(std::memory_order_relaxed);
+  H.SampledSkips = S->SampledSkips.load(std::memory_order_relaxed);
   return H;
 }
 
@@ -2049,6 +2465,9 @@ TelemetrySnapshot GoldilocksEngine::telemetry() const {
   Snap.addCounter("threads_deregistered", St.ThreadsDeregistered);
   Snap.addCounter("slot_fallbacks", St.SlotFallbacks);
   Snap.addCounter("batch_publishes", St.BatchPublishes);
+  Snap.addCounter("tier_filtered", St.TierFiltered);
+  Snap.addCounter("escalations", St.Escalations);
+  Snap.addCounter("sampled_skips", St.SampledSkips);
   Snap.addCounter("slab_cell_refills", CellArena->magazineRefills());
   Snap.addCounter("slab_var_refills", VarArena->magazineRefills());
   Snap.addCounter("slab_read_refills", ReadArena->magazineRefills());

@@ -72,6 +72,33 @@
 
 namespace gold {
 
+/// Precision tier the engine runs an access through (DESIGN.md §15).
+///
+///  * Precise  — every access pays the full Goldilocks pair checks (the
+///    PR 1-6 behaviour; the default).
+///  * Tiered   — a cheap per-variable tier-0 prefilter (same-thread,
+///    Eraser-style candidate lockset, FastTrack-style same-epoch memo, and
+///    a FastTrack-style epoch-order proof over lightweight vector clocks)
+///    skips the pair checks when it can *prove* the access is ordered; any
+///    access the proofs cannot cover escalates the variable permanently to
+///    the precise tier. Info records are always installed, so escalation
+///    hands the precise tier exactly the state it would have had anyway —
+///    verdicts are identical to Precise by construction.
+///  * Sampling — always-on production mode: each variable's first
+///    SamplingBudget accesses are processed in full, then accesses are
+///    processed at SamplingRatePpm (deterministic per (seed, var, count)),
+///    and skipped entirely otherwise. Skipping cannot fabricate a pair, so
+///    every report is still exact (precision 1.0); recall degrades with the
+///    rate. Synchronization events are never sampled.
+enum class TierMode : uint8_t { Precise, Tiered, Sampling };
+
+/// Canonical lowercase name of a tier ("precise", "tiered", "sampling").
+const char *tierModeName(TierMode M);
+
+/// Parses a tier name as printed by tierModeName. Returns false (leaving
+/// Out untouched) on anything else.
+bool parseTierMode(const char *S, TierMode &Out);
+
 /// Tuning knobs for the engine; defaults mirror the paper's implementation.
 struct EngineConfig {
   /// Run garbage collection when the event list reaches this many cells
@@ -165,6 +192,28 @@ struct EngineConfig {
 
   /// Per-stripe capacity of the flight recorder (Full level only).
   size_t FlightRingCapacity = 256;
+
+  /// Precision tier (see TierMode). Tiered keeps verdicts bit-identical to
+  /// Precise while skipping the pair checks on provably-ordered accesses;
+  /// Sampling trades recall (never precision) for a hard per-access cost
+  /// bound. The tier-0 state lives on the variable under its KL stripe, so
+  /// every mode keeps the engine's thread-safety contract unchanged.
+  TierMode Tier = TierMode::Precise;
+
+  /// Sampling mode: probability, in parts per million, that an access past
+  /// the per-variable budget is processed (0 = none past the budget,
+  /// 1000000 = all). Selection is a deterministic hash of
+  /// (SamplingSeed, variable, per-variable access count), so a seeded run
+  /// reproduces exactly. Ignored outside TierMode::Sampling.
+  uint32_t SamplingRatePpm = 10000;
+
+  /// Sampling mode: number of leading accesses per variable that are always
+  /// processed before the rate applies (the O(1)-samples-style burst that
+  /// keeps short-lived variables fully covered).
+  uint32_t SamplingBudget = 32;
+
+  /// Seed for the deterministic sampling hash.
+  uint64_t SamplingSeed = 0x9E3779B97F4A7C15ull;
 };
 
 /// Monotonic event counters, readable while the engine runs.
@@ -197,6 +246,9 @@ struct EngineStats {
   uint64_t ThreadsDeregistered = 0;///< deregisterThread() on live threads
   uint64_t SlotFallbacks = 0;     ///< read sections on the fallback mutex
   uint64_t BatchPublishes = 0;    ///< batched tail appends (>= 1 cell each)
+  uint64_t TierFiltered = 0;      ///< pair checks skipped by the tier-0 proof
+  uint64_t Escalations = 0;       ///< variables escalated tier 0 -> precise
+  uint64_t SampledSkips = 0;      ///< accesses skipped by the sampling tier
 
   /// Fraction of happens-before pair checks resolved by the *constant-time*
   /// short circuits (the paper's Table 1 metric); the rest required lockset
@@ -406,6 +458,31 @@ private:
                     ThreadId T, bool Xact, VarId V,
                     const CommitSets *SelfCommit);
 
+  /// Tiered mode: advances \p T's synchronization epoch (the tier-0
+  /// same-epoch proof's clock). No-op in the other modes, so they pay no
+  /// extra thread-state lookup per sync event.
+  void bumpSyncEpoch(ThreadId T);
+
+  // Tier-0 epoch-order proof (proof E, DESIGN.md §15): lightweight vector
+  // clocks over the modeled synchronization edges — lock release→acquire,
+  // volatile write→read, fork→child, child exit→join. Commit edges are
+  // deliberately NOT modeled: the modeled edges are a subset of the event
+  // list's real edges, so a clock-proven ordering always implies the
+  // precise verdict, and a missing commit edge only costs an escalation.
+  // All helpers are no-ops outside TierMode::Tiered. The ordering
+  // discipline that keeps the proof aligned with event-list order: a
+  // release-type hook publishes its clock only AFTER its own cell (and any
+  // buffered batch) is in the list; an acquire-type hook merges BEFORE
+  // appending its own cell (or loading an access anchor).
+  /// Merge channel \p Key (a packed lock/volatile VarId) into T's clock.
+  void tierSyncAcquire(ThreadId T, uint64_t Key);
+  /// Publish T's clock into channel \p Key, then bump T's component.
+  void tierSyncRelease(ThreadId T, uint64_t Key);
+  void tierFork(ThreadId Parent, ThreadId Child);
+  void tierJoin(ThreadId T, ThreadId Child);
+  void tierTerminate(ThreadId T);
+  /// Folds a pending fork clock into \p TS; requires TierMu.
+  void tierMergePendingLocked(ThreadState &TS, ThreadId T);
   /// Shared by enqueue (drop when stopped/degraded) and accessImpl.
   bool recordingStopped() const;
   void enqueue(SyncEvent E, std::unique_ptr<CommitSets> Owned = nullptr);
@@ -615,6 +692,18 @@ private:
   // shared; only a first-seen thread takes the exclusive path.
   mutable std::shared_mutex ThreadsMu;
   std::unordered_map<ThreadId, std::unique_ptr<ThreadState>> Threads;
+
+  // Tier-0 epoch-order proof state (Tiered mode only, DESIGN.md §15):
+  // per-channel clocks (locks and volatiles share the map — their packed
+  // VarId keys cannot collide, locks use the reserved LockField), exit
+  // clocks consumed by join edges, and fork-clock handoffs the child
+  // merges lazily. Synchronization events are orders of magnitude rarer
+  // than accesses, so one mutex suffices; the access path reads only the
+  // accessing thread's own clock (owner-written, never shared).
+  std::mutex TierMu;
+  std::unordered_map<uint64_t, std::vector<uint64_t>> TierChannels;
+  std::unordered_map<ThreadId, std::vector<uint64_t>> TierExitClocks;
+  std::unordered_map<ThreadId, std::vector<uint64_t>> TierForkClocks;
 
   // Resource governor accounting (relaxed atomics; exact values are only
   // needed by single-threaded inspection, concurrent readers get estimates).

@@ -53,6 +53,7 @@ bool gold::commitGainsOwnership(const Lockset &LS, const CommitSets &CS,
 
 void gold::applyLocksetRule(Lockset &LS, const SyncEvent &E, VarId V,
                             TxnSyncSemantics Semantics) {
+  (void)V; // see header: the per-variable commit reset is install-time
   switch (E.Kind) {
   case ActionKind::VolatileRead: // rule 2 (also covers acq via (o,l))
   case ActionKind::Acquire:      // rule 4
@@ -79,12 +80,17 @@ void gold::applyLocksetRule(Lockset &LS, const SyncEvent &E, VarId V,
     // an earlier publisher (interpretation per Semantics).
     if (commitGainsOwnership(LS, CS, Semantics))
       LS.insert(LocksetElem::thread(E.Thread));
-    // If the transaction accessed V itself, ownership resets to {t, TL}.
-    // (During engine window walks this only occurs transiently when another
-    // thread's commit replay has not yet updated the Info records; the
-    // race check for that access happens in the replay itself.)
-    if (CS.touches(V))
-      LS.resetToOwner(E.Thread, /*Xact=*/true);
+    // Rule 9's ownership reset (LS := {t, TL} when V ∈ R∪W) is
+    // deliberately absent here. In the per-record factorization both
+    // implementations use, that reset is the transactional analogue of the
+    // rule-1 access reset and applies only to the committing access's OWN
+    // record at install time (the reference's staged clause (b), the
+    // engine's commit-replay install). A record that predates the commit
+    // and belongs to a different access keeps its accumulated ordering:
+    // resetting it here would transfer the prior access's ownership to the
+    // committer and silently order (or disorder) a pair the commit never
+    // synchronized with — a missed race on plain-vs-transactional
+    // conflicts (and it would make walk replay non-monotone).
     // Clause (c): publish what later commits may synchronize on.
     if (LS.containsThread(E.Thread)) {
       if (Semantics != TxnSyncSemantics::WriterToReader)

@@ -14,11 +14,14 @@
 ///   7. join(u)    by t: if u ∈ LS      add t
 ///   9. commit(R,W) by t:
 ///        if LS ∩ (R∪W) ≠ ∅             add t
-///        if V ∈ R∪W                    LS := {t, TL}   (ownership reset)
 ///        if t ∈ LS                     add R∪W (as data variables)
 ///
 /// Rule 1 (plain accesses) and rule 8 (alloc) do not flow through here; they
-/// are the access check / reset handled by the detectors themselves.
+/// are the access check / reset handled by the detectors themselves. That
+/// includes rule 9's ownership reset (LS := {t, TL} when V ∈ R∪W): in the
+/// per-record factorization it is the transactional analogue of the rule-1
+/// reset and happens when the commit installs its own records, never when a
+/// foreign record's lockset is updated across the commit event.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -48,8 +51,9 @@ struct SyncEvent {
 };
 
 /// Applies the Figure 5 rule for \p E to the lockset \p LS of data variable
-/// \p V. \p V is only consulted by the commit rule's ownership reset; pass
-/// it for every call so commits behave uniformly. \p Semantics selects the
+/// \p V. \p V is currently unused (the commit rule's per-variable reset is
+/// install-time, see above) but stays in the signature so rule applications
+/// remain uniformly variable-aware. \p Semantics selects the
 /// commit-synchronization interpretation (Section 3's variants):
 ///   - SharedVariable: add t when LS ∩ (R∪W) ≠ ∅; publish R∪W.
 ///   - AtomicOrder:    additionally add t when TL ∈ LS, and publish TL —

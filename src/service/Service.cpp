@@ -424,6 +424,14 @@ std::string ServiceHealth::str() const {
   Add("replayed", ReplayedActions);
   Add("races", RacesDelivered);
   Add("verdict-loss-events", VerdictLossEvents);
+  if (Tier != 0) { // non-precise: show what the tier pipeline skipped
+    std::snprintf(Buf, sizeof(Buf), " tier=%s",
+                  tierModeName(static_cast<TierMode>(Tier)));
+    Out += Buf;
+    Add("tier-filtered", TierFiltered);
+    Add("escalations", Escalations);
+    Add("sampled-skips", SampledSkips);
+  }
   std::snprintf(Buf, sizeof(Buf), " max-shard-level=%u%s",
                 MaxShardDegradation,
                 AnyShardGloballyDegraded ? " SHARD-GLOBAL-DEGRADED" : "");
@@ -454,6 +462,10 @@ void ServiceHealth::jsonBody(JsonWriter &J) const {
   J.kv("verdicts_dropped_dead", VerdictsDroppedDead);
   J.kv("dropped_pending_actions", DroppedPendingActions);
   J.kv("verdict_loss_events", VerdictLossEvents);
+  J.kv("tier", Tier);
+  J.kv("tier_filtered", TierFiltered);
+  J.kv("escalations", Escalations);
+  J.kv("sampled_skips", SampledSkips);
   J.kv("max_shard_degradation", MaxShardDegradation);
   J.kv("any_shard_globally_degraded", AnyShardGloballyDegraded);
   J.key("shard_health");
@@ -1022,6 +1034,7 @@ ServiceHealth DetectionService::health() const {
     if (Se && Se->state() != SessionState::Dead)
       ++H.ActiveSessions;
   }
+  H.Tier = static_cast<unsigned>(Cfg.Engine.Tier);
   for (unsigned S = 0; S != NumShards; ++S) {
     ShardState &Sh = *ShardsVec[S];
     H.QueuedItems += Sh.Ring.depth();
@@ -1030,6 +1043,9 @@ ServiceHealth DetectionService::health() const {
     if (EH.DegradationLevel > H.MaxShardDegradation)
       H.MaxShardDegradation = EH.DegradationLevel;
     H.AnyShardGloballyDegraded |= EH.GloballyDegraded;
+    H.TierFiltered += EH.TierFiltered;
+    H.Escalations += EH.Escalations;
+    H.SampledSkips += EH.SampledSkips;
     H.ShardHealth.push_back(std::move(EH));
   }
   return H;
@@ -1054,6 +1070,9 @@ TelemetrySnapshot DetectionService::telemetry() const {
   Snap.addCounter("service.replayed_actions", H.ReplayedActions);
   Snap.addCounter("service.races_delivered", H.RacesDelivered);
   Snap.addCounter("service.verdict_loss_events", H.VerdictLossEvents);
+  Snap.addCounter("service.tier_filtered", H.TierFiltered);
+  Snap.addCounter("service.escalations", H.Escalations);
+  Snap.addCounter("service.sampled_skips", H.SampledSkips);
   Snap.addCounter("service.idle_reaped",
                   C.IdleReaped.load(std::memory_order_relaxed));
   Snap.addCounter("service.wedge_requests",

@@ -3,7 +3,7 @@
 /// Replays many seeded random traces while failpoints inject allocation
 /// failures and GC stalls — some runs additionally under punishing resource
 /// caps — and differentially checks every verdict against the
-/// happens-before oracle:
+/// happens-before oracle (verdict machinery from DifferentialHarness.h):
 ///
 ///  * reported races are always real (soundness survives every fault);
 ///  * variables the governor did not degrade still get the exact verdict;
@@ -18,49 +18,13 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#include "detectors/GoldilocksDetectors.h"
-#include "event/RandomTrace.h"
-#include "hb/HbOracle.h"
+#include "DifferentialHarness.h"
 #include "support/Failpoints.h"
-
-#include <gtest/gtest.h>
 
 #include <set>
 
 using namespace gold;
-
-namespace {
-
-std::set<VarId> racyVarSet(const std::vector<RaceReport> &Races) {
-  std::set<VarId> Out;
-  for (const RaceReport &R : Races)
-    Out.insert(R.Var);
-  return Out;
-}
-
-std::set<VarId> oracleVarSet(const Trace &T) {
-  RaceOracle O(T);
-  std::set<VarId> Out;
-  for (VarId V : O.racyVars())
-    Out.insert(V);
-  return Out;
-}
-
-RandomTraceParams chaosParams(uint64_t Seed) {
-  RandomTraceParams P;
-  P.Seed = 0xC0FFEE ^ Seed;
-  P.NumThreads = 2 + Seed % 4;
-  P.NumObjects = 2 + Seed % 6;
-  P.DataFields = 1 + Seed % 3;
-  P.VolatileFields = Seed % 2;
-  if (P.VolatileFields == 0)
-    P.WVolRead = P.WVolWrite = 0;
-  P.StepsPerThread = 40 + static_cast<unsigned>(Seed % 80);
-  P.WBeginTxn = Seed % 3 ? 1 : 0;
-  return P;
-}
-
-} // namespace
+using namespace gold::difftest;
 
 TEST(ChaosTest, SeededFaultSweepStaysSoundAndPreciselyDegraded) {
   constexpr unsigned NumSeeds = 120;
@@ -132,7 +96,8 @@ TEST(ChaosTest, SeededFaultSweepStaysSoundAndPreciselyDegraded) {
       // variables mid-trace in these workloads).
       EXPECT_EQ(H.DegradedVars, Degraded.size()) << "chaos seed " << Seed;
     } else {
-      EXPECT_EQ(Reported, Oracle) << "chaos seed " << Seed;
+      EXPECT_PRED_FORMAT2(sameVerdicts, Oracle, Reported)
+          << "chaos seed " << Seed;
     }
   }
 
@@ -185,6 +150,7 @@ TEST(ChaosTest, FaultFreeCapsStayExactAcrossSweep) {
     GoldilocksDetector D(C);
     auto Races = D.runTrace(T);
     EXPECT_TRUE(D.engine().degradedVars().empty()) << "chaos seed " << Seed;
-    EXPECT_EQ(racyVarSet(Races), oracleVarSet(T)) << "chaos seed " << Seed;
+    EXPECT_PRED_FORMAT2(sameVerdicts, oracleVarSet(T), racyVarSet(Races))
+        << "chaos seed " << Seed;
   }
 }

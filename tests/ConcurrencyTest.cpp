@@ -1,22 +1,13 @@
 //===- tests/ConcurrencyTest.cpp - True multi-threaded engine tests -------===//
 ///
-/// Differential testing of the lock-free engine under real concurrency:
+/// Differential testing of the lock-free engine under real concurrency,
+/// built on the shared ticketed harness (tests/DifferentialHarness.h):
 /// N OS threads hammer one GoldilocksEngine through the detector interface
 /// with idiom mixes in the style of RandomTrace (private data, lock-shared
 /// data, volatile publication, deliberate no-sync races, transactions).
-/// Every engine call is logged with a global ticket taken while the *real*
-/// synchronization that orders it is held, so the serialized log is a legal
-/// linearization of the execution. That observed trace is then replayed
-/// post-hoc through the HB oracle and the eager reference algorithm — the
-/// three verdict sets (racy variables) must agree on every seeded run.
-///
-/// The workloads are *verdict-stable by construction*: each variable is
-/// either race-free under every legal interleaving (lock-protected,
-/// thread-private, or published through a fork/join / volatile / lock
-/// handoff that the harness enforces with real synchronization) or racy
-/// under every legal interleaving (conflicting accesses with no
-/// engine-visible synchronization between the threads at all). Scheduling
-/// may therefore vary freely without changing the expected answer.
+/// The observed linearization is replayed post-hoc through the HB oracle
+/// and the eager reference algorithm — the three verdict sets (racy
+/// variables) must agree on every seeded run.
 ///
 /// Named regressions: an ownership-transfer interleaving (lock handoff must
 /// not race, real-time-only handoff must race) and a commit-anchor
@@ -25,11 +16,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#include "detectors/GoldilocksDetectors.h"
-#include "hb/HbOracle.h"
-#include "support/Random.h"
-
-#include "gtest/gtest.h"
+#include "DifferentialHarness.h"
 
 #include <atomic>
 #include <mutex>
@@ -38,327 +25,13 @@
 #include <vector>
 
 using namespace gold;
+using namespace gold::difftest;
 
 namespace {
 
 //===----------------------------------------------------------------------===//
-// Harness
+// Seeded mixed-idiom fuzz runs (workload lives in the harness)
 //===----------------------------------------------------------------------===//
-
-/// One logged engine call. Tick is taken adjacent to the call, under the
-/// same real synchronization, so sorting by Tick yields a linearization
-/// consistent with the extended happens-before order of the execution.
-struct LoggedOp {
-  uint64_t Tick = 0;
-  Action A;
-  CommitSets CS; // payload when A.Kind == Commit
-};
-
-Action mkAct(ActionKind K, ThreadId T, VarId V = VarId{},
-             ThreadId Target = NoThread) {
-  Action A;
-  A.Kind = K;
-  A.Thread = T;
-  A.Var = V;
-  A.Target = Target;
-  return A;
-}
-
-/// Per-worker recording: the op log and the race verdicts the engine
-/// returned to this thread. Threads only touch their own recorder.
-struct Recorder {
-  std::vector<LoggedOp> Log;
-  std::vector<VarId> ReportedRacy;
-
-  void note(std::optional<RaceReport> R) {
-    if (R)
-      ReportedRacy.push_back(R->Var);
-  }
-  void note(const std::vector<RaceReport> &Rs) {
-    for (const RaceReport &R : Rs)
-      ReportedRacy.push_back(R.Var);
-  }
-};
-
-/// Shared test state: the detector under test and the global ticket.
-struct Harness {
-  explicit Harness(EngineConfig C) : Det(C) {}
-
-  GoldilocksDetector Det;
-  std::atomic<uint64_t> Ticket{0};
-
-  uint64_t tick() { return Ticket.fetch_add(1, std::memory_order_relaxed); }
-
-  void log(Recorder &R, Action A) { R.Log.push_back({tick(), A, {}}); }
-  void logCommit(Recorder &R, ThreadId T, const CommitSets &CS) {
-    LoggedOp Op;
-    Op.Tick = tick();
-    Op.A = mkAct(ActionKind::Commit, T);
-    Op.CS = CS;
-    R.Log.push_back(std::move(Op));
-  }
-
-  // Logged wrappers over the detector interface. The data-access wrappers
-  // return the verdict so call sites can also assert locally.
-  void alloc(Recorder &R, ThreadId T, ObjectId O, uint32_t Fields) {
-    log(R, mkAct(ActionKind::Alloc, T, VarId{O, Fields}));
-    Det.onAlloc(T, O, Fields);
-  }
-  void read(Recorder &R, ThreadId T, VarId V) {
-    log(R, mkAct(ActionKind::Read, T, V));
-    R.note(Det.onRead(T, V));
-  }
-  void write(Recorder &R, ThreadId T, VarId V) {
-    log(R, mkAct(ActionKind::Write, T, V));
-    R.note(Det.onWrite(T, V));
-  }
-  void volRead(Recorder &R, ThreadId T, VarId V) {
-    log(R, mkAct(ActionKind::VolatileRead, T, V));
-    Det.onVolatileRead(T, V);
-  }
-  void volWrite(Recorder &R, ThreadId T, VarId V) {
-    log(R, mkAct(ActionKind::VolatileWrite, T, V));
-    Det.onVolatileWrite(T, V);
-  }
-  void acq(Recorder &R, ThreadId T, ObjectId O) {
-    log(R, mkAct(ActionKind::Acquire, T, lockVar(O)));
-    Det.onAcquire(T, O);
-  }
-  void rel(Recorder &R, ThreadId T, ObjectId O) {
-    log(R, mkAct(ActionKind::Release, T, lockVar(O)));
-    Det.onRelease(T, O);
-  }
-  void fork(Recorder &R, ThreadId T, ThreadId Child) {
-    log(R, mkAct(ActionKind::Fork, T, VarId{}, Child));
-    Det.onFork(T, Child);
-  }
-  void join(Recorder &R, ThreadId T, ThreadId Child) {
-    log(R, mkAct(ActionKind::Join, T, VarId{}, Child));
-    Det.onJoin(T, Child);
-  }
-  void terminate(Recorder &R, ThreadId T) {
-    log(R, mkAct(ActionKind::Terminate, T));
-    Det.onTerminate(T);
-  }
-  void commitPoint(Recorder &R, ThreadId T, const CommitSets &CS) {
-    logCommit(R, T, CS);
-    Det.onCommitPoint(T, CS);
-  }
-  void commitFinish(Recorder &R, ThreadId T, const CommitSets &CS) {
-    R.note(Det.onCommitFinish(T, CS));
-  }
-};
-
-/// Merges the per-thread logs into the observed linearization.
-Trace mergeTrace(std::vector<Recorder> &Recs) {
-  std::vector<const LoggedOp *> All;
-  for (const Recorder &R : Recs)
-    for (const LoggedOp &Op : R.Log)
-      All.push_back(&Op);
-  std::sort(All.begin(), All.end(), [](const LoggedOp *A, const LoggedOp *B) {
-    return A->Tick < B->Tick;
-  });
-  TraceBuilder B;
-  for (const LoggedOp *Op : All) {
-    if (Op->A.Kind == ActionKind::Commit)
-      B.commit(Op->A.Thread, Op->CS.Reads, Op->CS.Writes);
-    else
-      B.append(Op->A);
-  }
-  return B.take();
-}
-
-std::set<VarId> engineVerdicts(const std::vector<Recorder> &Recs) {
-  std::set<VarId> Out;
-  for (const Recorder &R : Recs)
-    Out.insert(R.ReportedRacy.begin(), R.ReportedRacy.end());
-  return Out;
-}
-
-std::set<VarId> oracleVerdicts(const Trace &T) {
-  RaceOracle O(T);
-  std::set<VarId> Out;
-  for (const OracleRace &R : O.races())
-    Out.insert(R.Var);
-  return Out;
-}
-
-std::set<VarId> referenceVerdicts(const Trace &T) {
-  GoldilocksReferenceDetector Ref;
-  std::set<VarId> Out;
-  for (const RaceReport &R : Ref.runTrace(T))
-    Out.insert(R.Var);
-  return Out;
-}
-
-/// Post-run engine accounting invariants (quiescent state).
-void checkEngineConsistency(GoldilocksEngine &E) {
-  EngineStats St = E.stats();
-  EngineHealth H = E.health();
-  // The sentinel cell plus every allocated-and-not-freed cell is the list.
-  EXPECT_EQ(E.eventListLength(), 1 + St.CellsAllocated - St.CellsFreed);
-  EXPECT_EQ(H.EventListLength, E.eventListLength());
-  EXPECT_GE(H.EventListHighWater, H.EventListLength);
-  EXPECT_GE(H.InfoHighWater, H.InfoRecords);
-  EXPECT_EQ(H.InfoRecords, E.infoRecordCount());
-}
-
-//===----------------------------------------------------------------------===//
-// Seeded mixed-idiom fuzz runs
-//===----------------------------------------------------------------------===//
-
-// Object-id layout for the fuzz runs (one detector per run).
-constexpr ObjectId PrivBase = 100;   // + thread id, 4 fields, thread-private
-constexpr ObjectId OwnLockBase = 200; // + thread id, per-thread lock object
-constexpr ObjectId PairLockBase = 250; // + pair, lock shared by a pair
-constexpr ObjectId SharedBase = 300; // + pair, data guarded by the pair lock
-constexpr ObjectId RacyObj = 400;    // field p: pair p's deliberate race
-constexpr ObjectId VolObj = 500;     // field p: pair p's volatile flag
-constexpr ObjectId PubObj = 600;     // field p: pair p's published payload
-
-/// Runs NumThreads workers over the mixed workload and cross-checks the
-/// engine's verdicts against the HB oracle and the reference algorithm.
-void runMixedWorkload(unsigned NumThreads, uint64_t Seed) {
-  SCOPED_TRACE(testing::Message()
-               << "threads=" << NumThreads << " seed=" << Seed);
-  EngineConfig C;
-  C.GcThreshold = 256; // keep GC + epoch reclamation in play
-  Harness H(C);
-  std::vector<Recorder> Recs(NumThreads + 1);
-  Recorder &Main = Recs[0];
-
-  unsigned NumPairs = NumThreads / 2;
-  // Real synchronization backing the harness protocols.
-  std::vector<std::mutex> OwnLocks(NumThreads + 1);
-  std::vector<std::mutex> PairLocks(NumPairs + 1);
-  // One publish flag per pair: 0 = unpublished, 1 = published.
-  std::vector<std::atomic<int>> Published(NumPairs + 1);
-  for (auto &P : Published)
-    P.store(0, std::memory_order_relaxed);
-
-  // Main allocates every object up front, then forks the workers.
-  for (unsigned I = 1; I <= NumThreads; ++I) {
-    H.alloc(Main, 0, PrivBase + I, 4);
-    H.alloc(Main, 0, OwnLockBase + I, 1);
-  }
-  for (unsigned P = 0; P != NumPairs; ++P) {
-    H.alloc(Main, 0, PairLockBase + P, 1);
-    H.alloc(Main, 0, SharedBase + P, 4);
-  }
-  H.alloc(Main, 0, RacyObj, NumPairs ? NumPairs : 1);
-  H.alloc(Main, 0, VolObj, NumPairs ? NumPairs : 1);
-  H.alloc(Main, 0, PubObj, NumPairs ? NumPairs : 1);
-
-  // Even pairs race on RacyObj.f(pair); odd pairs publish through a
-  // volatile and share data under their pair lock.
-  std::set<VarId> Expected;
-  for (unsigned P = 0; P < NumPairs; P += 2)
-    Expected.insert(VarId{RacyObj, P});
-
-  auto Worker = [&](ThreadId Tid) {
-    Recorder &R = Recs[Tid];
-    Random Rng(Seed * 7919 + Tid);
-    unsigned Pair = (Tid - 1) / 2;
-    bool HasPair = Pair < NumPairs;
-    bool RacyPair = HasPair && (Pair % 2 == 0);
-    bool PubPair = HasPair && (Pair % 2 == 1);
-    bool Lower = (Tid % 2) == 1; // first thread of its pair
-    VarId Priv{PrivBase + Tid, 0};
-    bool PublishedMine = false;
-
-    for (unsigned Step = 0; Step != 120; ++Step) {
-      switch (Rng.nextBelow(10)) {
-      default: { // private data, no synchronization needed
-        VarId V{PrivBase + Tid, static_cast<FieldId>(Rng.nextBelow(4))};
-        if (Rng.chance(1, 3))
-          H.write(R, Tid, V);
-        else
-          H.read(R, Tid, V);
-        break;
-      }
-      case 7: { // critical section on the thread's own lock
-        ObjectId L = OwnLockBase + Tid;
-        std::lock_guard<std::mutex> G(OwnLocks[Tid]);
-        H.acq(R, Tid, L);
-        H.write(R, Tid, Priv);
-        H.read(R, Tid, Priv);
-        H.rel(R, Tid, L);
-        break;
-      }
-      case 8: { // pair-shared data under the pair lock (race-free)
-        if (!PubPair)
-          break;
-        ObjectId L = PairLockBase + Pair;
-        VarId V{SharedBase + Pair, static_cast<FieldId>(Rng.nextBelow(4))};
-        std::lock_guard<std::mutex> G(PairLocks[Pair]);
-        H.acq(R, Tid, L);
-        if (Rng.chance(1, 2))
-          H.write(R, Tid, V);
-        else
-          H.read(R, Tid, V);
-        H.rel(R, Tid, L);
-        break;
-      }
-      case 9: { // deliberate no-sync conflict (racy in every schedule)
-        if (!RacyPair)
-          break;
-        VarId V{RacyObj, Pair};
-        if (Lower || Rng.chance(1, 2))
-          H.write(R, Tid, V);
-        else
-          H.read(R, Tid, V);
-        break;
-      }
-      }
-      // Volatile publication: the lower thread publishes once mid-run; the
-      // upper thread consumes once the real flag says the payload (and its
-      // volatile-write event) exists.
-      if (PubPair && Lower && !PublishedMine && Step > 40) {
-        H.write(R, Tid, VarId{PubObj, Pair});
-        H.volWrite(R, Tid, VarId{VolObj, Pair});
-        Published[Pair].store(1, std::memory_order_release);
-        PublishedMine = true;
-      }
-      if (PubPair && !Lower && Step == 100) {
-        while (Published[Pair].load(std::memory_order_acquire) == 0)
-          std::this_thread::yield();
-        H.volRead(R, Tid, VarId{VolObj, Pair});
-        H.read(R, Tid, VarId{PubObj, Pair});
-      }
-    }
-    // Guarantee the conflict for racy pairs even if the random mix never
-    // rolled case 9: one unsynchronized write from the lower thread, one
-    // unsynchronized read from the upper — unordered in every schedule.
-    if (RacyPair) {
-      if (Lower)
-        H.write(R, Tid, VarId{RacyObj, Pair});
-      else
-        H.read(R, Tid, VarId{RacyObj, Pair});
-    }
-    H.terminate(R, Tid);
-  };
-
-  std::vector<std::thread> Threads;
-  for (unsigned I = 1; I <= NumThreads; ++I) {
-    H.fork(Main, 0, I);
-    Threads.emplace_back(Worker, static_cast<ThreadId>(I));
-  }
-  for (unsigned I = 1; I <= NumThreads; ++I) {
-    Threads[I - 1].join();
-    H.join(Main, 0, I);
-  }
-  H.terminate(Main, 0);
-
-  Trace Observed = mergeTrace(Recs);
-  std::set<VarId> Engine = engineVerdicts(Recs);
-  std::set<VarId> Oracle = oracleVerdicts(Observed);
-  std::set<VarId> Reference = referenceVerdicts(Observed);
-
-  EXPECT_EQ(Oracle, Expected) << "oracle disagrees with construction";
-  EXPECT_EQ(Engine, Oracle) << "engine disagrees with the HB oracle";
-  EXPECT_EQ(Reference, Oracle) << "reference disagrees with the HB oracle";
-  checkEngineConsistency(H.Det.engine());
-}
 
 TEST(ConcurrencyTest, MixedIdiomsMatchOracleAcrossSeeds) {
   for (unsigned Threads : {2u, 4u, 8u})
@@ -445,9 +118,9 @@ TEST(ConcurrencyTest, OwnershipTransferHandoff) {
 
   Trace Observed = mergeTrace(Recs);
   std::set<VarId> Expected{VarId{YObj, 0}};
-  EXPECT_EQ(oracleVerdicts(Observed), Expected);
-  EXPECT_EQ(engineVerdicts(Recs), Expected);
-  EXPECT_EQ(referenceVerdicts(Observed), Expected);
+  EXPECT_PRED_FORMAT2(sameVerdicts, Expected, oracleVarSet(Observed));
+  EXPECT_PRED_FORMAT2(sameVerdicts, Expected, engineVerdicts(Recs));
+  EXPECT_PRED_FORMAT2(sameVerdicts, Expected, referenceVarSet(Observed));
   checkEngineConsistency(H.Det.engine());
 }
 
@@ -548,9 +221,9 @@ TEST(ConcurrencyTest, CommitAnchorsSurviveConcurrentGc) {
   // commits alone, and transactional pairs never race; the noise data is
   // lock-protected or private.
   std::set<VarId> Expected{VarId{TxnObj, 0}};
-  EXPECT_EQ(oracleVerdicts(Observed), Expected);
-  EXPECT_EQ(engineVerdicts(Recs), Expected);
-  EXPECT_EQ(referenceVerdicts(Observed), Expected);
+  EXPECT_PRED_FORMAT2(sameVerdicts, Expected, oracleVarSet(Observed));
+  EXPECT_PRED_FORMAT2(sameVerdicts, Expected, engineVerdicts(Recs));
+  EXPECT_PRED_FORMAT2(sameVerdicts, Expected, referenceVarSet(Observed));
 
   GoldilocksEngine &E = H.Det.engine();
   EngineStats St = E.stats();

@@ -1,7 +1,8 @@
 //===- tests/DifferentialTest.cpp - Theorem 1 property tests --------------===//
 ///
 /// Differential testing of every detector against the extended
-/// happens-before oracle over randomly generated well-formed traces:
+/// happens-before oracle over randomly generated well-formed traces
+/// (verdict machinery and seeded shapes from DifferentialHarness.h):
 ///
 ///  * Goldilocks (reference and engine, with several engine configurations)
 ///    must agree with the oracle exactly — Theorem 1 (sound and precise);
@@ -10,83 +11,50 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#include "detectors/Eraser.h"
-#include "detectors/GoldilocksDetectors.h"
-#include "detectors/VectorClockDetector.h"
-#include "event/RandomTrace.h"
-#include "hb/HbOracle.h"
+#include "DifferentialHarness.h"
 
-#include <gtest/gtest.h>
+#include "detectors/Eraser.h"
+#include "detectors/VectorClockDetector.h"
 
 #include <set>
 
 using namespace gold;
+using namespace gold::difftest;
 
 namespace {
-
-std::set<VarId> racyVarSet(const std::vector<RaceReport> &Races) {
-  std::set<VarId> Out;
-  for (const RaceReport &R : Races)
-    Out.insert(R.Var);
-  return Out;
-}
-
-std::set<VarId> oracleVarSet(const RaceOracle &O) {
-  std::set<VarId> Out;
-  for (VarId V : O.racyVars())
-    Out.insert(V);
-  return Out;
-}
-
-std::string describe(const std::set<VarId> &S) {
-  std::string Out = "{";
-  for (VarId V : S)
-    Out += V.str() + " ";
-  return Out + "}";
-}
 
 class DifferentialTest : public ::testing::TestWithParam<uint64_t> {};
 
 } // namespace
 
 TEST_P(DifferentialTest, AllPreciseDetectorsMatchOracle) {
-  RandomTraceParams P;
-  P.Seed = GetParam();
-  // Vary the shape with the seed so the sweep covers sparse and dense
-  // conflict patterns, heavy and light transaction mixes.
-  P.NumThreads = 2 + static_cast<ThreadId>(P.Seed % 4);
-  P.NumObjects = 2 + static_cast<ObjectId>(P.Seed % 5);
-  P.DataFields = 1 + static_cast<FieldId>(P.Seed % 3);
-  P.StepsPerThread = 30 + static_cast<unsigned>(P.Seed % 50);
-  P.WBeginTxn = static_cast<unsigned>(P.Seed % 3);
-  Trace T = generateRandomTrace(P);
+  uint64_t Seed = GetParam();
+  Trace T = generateRandomTrace(sweepParams(Seed));
 
-  RaceOracle Oracle(T);
-  std::set<VarId> Expected = oracleVarSet(Oracle);
+  std::set<VarId> Expected = oracleVarSet(T);
 
   GoldilocksReferenceDetector Ref;
   auto RefRaces = Ref.runTrace(T);
-  EXPECT_EQ(racyVarSet(RefRaces), Expected)
-      << "reference vs oracle, seed " << P.Seed << "\nexpected "
-      << describe(Expected);
+  EXPECT_PRED_FORMAT2(sameVerdicts, Expected, racyVarSet(RefRaces))
+      << "reference vs oracle, seed " << Seed;
 
   GoldilocksDetector Engine;
   auto EngineRaces = Engine.runTrace(T);
-  EXPECT_EQ(racyVarSet(EngineRaces), Expected)
-      << "engine vs oracle, seed " << P.Seed;
+  EXPECT_PRED_FORMAT2(sameVerdicts, Expected, racyVarSet(EngineRaces))
+      << "engine vs oracle, seed " << Seed;
 
   // The engine and the reference must agree access-by-access.
-  ASSERT_EQ(EngineRaces.size(), RefRaces.size()) << "seed " << P.Seed;
+  ASSERT_EQ(EngineRaces.size(), RefRaces.size()) << "seed " << Seed;
   for (size_t I = 0; I != EngineRaces.size(); ++I) {
-    EXPECT_EQ(EngineRaces[I].Var, RefRaces[I].Var) << "seed " << P.Seed;
-    EXPECT_EQ(EngineRaces[I].Thread, RefRaces[I].Thread) << "seed " << P.Seed;
+    EXPECT_EQ(EngineRaces[I].Var, RefRaces[I].Var) << "seed " << Seed;
+    EXPECT_EQ(EngineRaces[I].Thread, RefRaces[I].Thread) << "seed " << Seed;
     EXPECT_EQ(EngineRaces[I].IsWrite, RefRaces[I].IsWrite)
-        << "seed " << P.Seed;
+        << "seed " << Seed;
   }
 
   VectorClockDetector Vc;
-  EXPECT_EQ(racyVarSet(Vc.runTrace(T)), Expected)
-      << "vector clock vs oracle, seed " << P.Seed;
+  EXPECT_PRED_FORMAT2(sameVerdicts, Expected, racyVarSet(Vc.runTrace(T)))
+      << "vector clock vs oracle, seed " << Seed;
 }
 
 TEST_P(DifferentialTest, EngineConfigurationsAgree) {
@@ -108,21 +76,24 @@ TEST_P(DifferentialTest, EngineConfigurationsAgree) {
   NoSc.EnableALockShortCircuit = false;
   NoSc.EnableFilteredWalk = false;
   GoldilocksDetector A(NoSc);
-  EXPECT_EQ(racyVarSet(A.runTrace(T)), Expected) << "no short circuits";
+  EXPECT_PRED_FORMAT2(sameVerdicts, Expected, racyVarSet(A.runTrace(T)))
+      << "no short circuits";
 
   // Aggressive garbage collection exercising partially-eager evaluation.
   EngineConfig SmallGc;
   SmallGc.GcThreshold = 24;
   SmallGc.TrimFraction = 0.5;
   GoldilocksDetector B(SmallGc);
-  EXPECT_EQ(racyVarSet(B.runTrace(T)), Expected) << "aggressive gc";
+  EXPECT_PRED_FORMAT2(sameVerdicts, Expected, racyVarSet(B.runTrace(T)))
+      << "aggressive gc";
   EXPECT_LT(B.engine().eventListLength(), 200u);
 
   // Both, combined.
   EngineConfig Both = NoSc;
   Both.GcThreshold = 24;
   GoldilocksDetector C(Both);
-  EXPECT_EQ(racyVarSet(C.runTrace(T)), Expected) << "gc + no short circuits";
+  EXPECT_PRED_FORMAT2(sameVerdicts, Expected, racyVarSet(C.runTrace(T)))
+      << "gc + no short circuits";
 }
 
 TEST_P(DifferentialTest, EraserIsImpreciseButCatchesUnprotectedConflicts) {

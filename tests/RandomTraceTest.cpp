@@ -1,53 +1,26 @@
 //===- tests/RandomTraceTest.cpp - generator well-formedness tests --------===//
+///
+/// Well-formedness of the seeded trace generator, checked over the shared
+/// differential-harness shapes (sweepParams / chaosParams) so every trace
+/// the differential suites replay is known-legal by construction.
+///
+//===----------------------------------------------------------------------===//
 
-#include "event/RandomTrace.h"
-
-#include <gtest/gtest.h>
+#include "DifferentialHarness.h"
 
 #include <map>
 #include <set>
 
 using namespace gold;
+using namespace gold::difftest;
 
 namespace {
 
 class RandomTraceTest : public ::testing::TestWithParam<uint64_t> {};
 
-} // namespace
-
-TEST(RandomTraceDeterminism, SameSeedSameTrace) {
-  RandomTraceParams P;
-  P.Seed = 123;
-  Trace A = generateRandomTrace(P);
-  Trace B = generateRandomTrace(P);
-  ASSERT_EQ(A.Actions.size(), B.Actions.size());
-  for (size_t I = 0; I != A.Actions.size(); ++I) {
-    EXPECT_EQ(A.Actions[I].Kind, B.Actions[I].Kind);
-    EXPECT_EQ(A.Actions[I].Thread, B.Actions[I].Thread);
-    EXPECT_EQ(A.Actions[I].Var, B.Actions[I].Var);
-  }
-}
-
-TEST(RandomTraceDeterminism, DifferentSeedsDiffer) {
-  RandomTraceParams P;
-  P.Seed = 1;
-  Trace A = generateRandomTrace(P);
-  P.Seed = 2;
-  Trace B = generateRandomTrace(P);
-  bool Differs = A.Actions.size() != B.Actions.size();
-  for (size_t I = 0; !Differs && I != A.Actions.size(); ++I)
-    Differs = !(A.Actions[I].Kind == B.Actions[I].Kind &&
-                A.Actions[I].Thread == B.Actions[I].Thread &&
-                A.Actions[I].Var == B.Actions[I].Var);
-  EXPECT_TRUE(Differs);
-}
-
-TEST_P(RandomTraceTest, WellFormed) {
-  RandomTraceParams P;
-  P.Seed = GetParam();
-  P.NumThreads = 2 + static_cast<ThreadId>(P.Seed % 5);
-  P.StepsPerThread = 25 + static_cast<unsigned>(P.Seed % 60);
-  Trace T = generateRandomTrace(P);
+/// Structural legality of a generated trace: lock discipline, fork/join
+/// ordering, termination of every worker.
+void checkWellFormed(const Trace &T) {
   ASSERT_FALSE(T.Actions.empty());
 
   std::map<ObjectId, ThreadId> LockOwner;
@@ -94,8 +67,60 @@ TEST_P(RandomTraceTest, WellFormed) {
   EXPECT_TRUE(LockOwner.empty());
   // Every worker terminated.
   for (ThreadId W : Forked) {
-    if (W != 0)
+    if (W != 0) {
       EXPECT_TRUE(Terminated.count(W));
+    }
+  }
+}
+
+} // namespace
+
+TEST(RandomTraceDeterminism, SameSeedSameTrace) {
+  RandomTraceParams P;
+  P.Seed = 123;
+  Trace A = generateRandomTrace(P);
+  Trace B = generateRandomTrace(P);
+  ASSERT_EQ(A.Actions.size(), B.Actions.size());
+  for (size_t I = 0; I != A.Actions.size(); ++I) {
+    EXPECT_EQ(A.Actions[I].Kind, B.Actions[I].Kind);
+    EXPECT_EQ(A.Actions[I].Thread, B.Actions[I].Thread);
+    EXPECT_EQ(A.Actions[I].Var, B.Actions[I].Var);
+  }
+}
+
+TEST(RandomTraceDeterminism, DifferentSeedsDiffer) {
+  RandomTraceParams P;
+  P.Seed = 1;
+  Trace A = generateRandomTrace(P);
+  P.Seed = 2;
+  Trace B = generateRandomTrace(P);
+  bool Differs = A.Actions.size() != B.Actions.size();
+  for (size_t I = 0; !Differs && I != A.Actions.size(); ++I)
+    Differs = !(A.Actions[I].Kind == B.Actions[I].Kind &&
+                A.Actions[I].Thread == B.Actions[I].Thread &&
+                A.Actions[I].Var == B.Actions[I].Var);
+  EXPECT_TRUE(Differs);
+}
+
+TEST_P(RandomTraceTest, WellFormed) {
+  RandomTraceParams P;
+  P.Seed = GetParam();
+  P.NumThreads = 2 + static_cast<ThreadId>(P.Seed % 5);
+  P.StepsPerThread = 25 + static_cast<unsigned>(P.Seed % 60);
+  SCOPED_TRACE(testing::Message() << "ad-hoc shape, seed " << P.Seed);
+  checkWellFormed(generateRandomTrace(P));
+}
+
+TEST_P(RandomTraceTest, HarnessShapesAreWellFormed) {
+  // The shared shapes every differential suite sweeps over must themselves
+  // generate legal traces, or the downstream comparisons are meaningless.
+  {
+    SCOPED_TRACE(testing::Message() << "sweep shape, seed " << GetParam());
+    checkWellFormed(generateRandomTrace(sweepParams(GetParam())));
+  }
+  {
+    SCOPED_TRACE(testing::Message() << "chaos shape, seed " << GetParam());
+    checkWellFormed(generateRandomTrace(chaosParams(GetParam())));
   }
 }
 

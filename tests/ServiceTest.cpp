@@ -11,10 +11,9 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#include "detectors/GoldilocksDetectors.h"
-#include "event/RandomTrace.h"
+#include "DifferentialHarness.h"
+
 #include "event/TraceIO.h"
-#include "hb/HbOracle.h"
 #include "service/IngestRing.h"
 #include "service/Service.h"
 #include "support/Failpoints.h"
@@ -52,19 +51,13 @@ Trace smallRandomTrace(uint64_t Seed, unsigned Steps = 40,
   return generateRandomTrace(P);
 }
 
+// Key-set projections shared with every other differential suite.
 std::set<uint64_t> varKeys(const std::vector<RaceReport> &Reports) {
-  std::set<uint64_t> Keys;
-  for (const RaceReport &R : Reports)
-    Keys.insert(R.Var.key());
-  return Keys;
+  return difftest::racyKeySet(Reports);
 }
 
 std::set<uint64_t> oracleKeys(const Trace &T, TxnSyncSemantics Sem) {
-  std::set<uint64_t> Keys;
-  RaceOracle O(T, Sem);
-  for (const VarId &V : O.racyVars())
-    Keys.insert(V.key());
-  return Keys;
+  return difftest::oracleKeySet(T, Sem);
 }
 
 /// Inline-mode feed honoring the backpressure contract: on Backpressure the

@@ -125,10 +125,66 @@ def check_service_run(r, ctx):
                   f"(p50 {p50}, p99 {p99}, max {lmax})")
 
 
+def check_tiers(doc, path):
+    """bench_tiers: the adaptive-precision pipeline artifact. The escalation
+    rows must show tiered mode at the same verdicts with no more pair checks
+    than precise; the sampling rows must show precision/recall that are
+    probabilities, with full rate degenerating to the precise verdicts."""
+    escalation = need(doc, "escalation", list, path)
+    if not escalation:
+        raise Bad(f"{path}: empty 'escalation' array")
+    for i, r in enumerate(escalation):
+        ctx = f"{path}.escalation[{i}]"
+        need(r, "workload", str, ctx)
+        precise = need(r, "precise_pair_checks", int, ctx)
+        tiered = need(r, "tiered_pair_checks", int, ctx)
+        if tiered > precise:
+            raise Bad(f"{ctx}: tiered pair checks {tiered} exceed "
+                      f"precise {precise}")
+        reduction = need(r, "reduction", (int, float), ctx)
+        expect = precise / (tiered if tiered else 1)
+        if abs(reduction - expect) > max(1e-6 * expect, 1e-9):
+            raise Bad(f"{ctx}: reduction {reduction} inconsistent with "
+                      f"{precise}/{tiered}")
+        if need(r, "precise_races", int, ctx) != need(r, "tiered_races", int,
+                                                      ctx):
+            raise Bad(f"{ctx}: tiered verdicts diverge from precise")
+        check_stats_block(need(r, "tiered_stats", dict, ctx),
+                          f"{ctx}.tiered_stats")
+    sampling = need(doc, "sampling", list, path)
+    if not sampling:
+        raise Bad(f"{path}: empty 'sampling' array")
+    for i, r in enumerate(sampling):
+        ctx = f"{path}.sampling[{i}]"
+        rate = need(r, "rate_ppm", int, ctx)
+        if not 0 <= rate <= 1000000:
+            raise Bad(f"{ctx}: rate_ppm {rate} outside [0, 1000000]")
+        tp = need(r, "true_positives", int, ctx)
+        fp = need(r, "false_positives", int, ctx)
+        fn = need(r, "false_negatives", int, ctx)
+        if min(tp, fp, fn) < 0:
+            raise Bad(f"{ctx}: negative confusion counts")
+        for key, num, den in (("precision", tp, tp + fp),
+                              ("recall", tp, tp + fn)):
+            val = need(r, key, (int, float), ctx)
+            if not 0 <= val <= 1:
+                raise Bad(f"{ctx}: {key} {val} outside [0, 1]")
+            expect = num / den if den else 1.0
+            if abs(val - expect) > 1e-6:
+                raise Bad(f"{ctx}: {key} {val} inconsistent with counts")
+        if rate == 1000000:
+            if fn != 0:
+                raise Bad(f"{ctx}: full-rate run missed {fn} races")
+            if need(r, "sampled_skips", int, ctx) != 0:
+                raise Bad(f"{ctx}: full-rate run skipped accesses")
+
+
 def check_bench(doc, path):
     need(doc, "bench", str, path)
     need(doc, "git_rev", str, path)
     need(doc, "utc", str, path)
+    if doc["bench"] == "bench_tiers":
+        check_tiers(doc, path)
     runs = doc.get("runs")
     if runs is not None:
         if not isinstance(runs, list) or not runs:

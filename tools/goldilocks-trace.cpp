@@ -63,6 +63,9 @@ enum class Opt {
   MaxCells,
   MaxInfos,
   MaxBytes,
+  Tier,
+  SamplingPpm,
+  SamplingBudget,
   Oracle,
   ResumeOnError,
   ErrorBudget,
@@ -96,6 +99,13 @@ constexpr OptSpec Options[] = {
     {Opt::MaxCells, "--max-cells", "<n>", "cap the synchronization event list"},
     {Opt::MaxInfos, "--max-infos", "<n>", "cap the live Info records"},
     {Opt::MaxBytes, "--max-bytes", "<n>", "coarse detector byte budget"},
+    {Opt::Tier, "--tier", "precise|tiered|sampling",
+     "precision tier: tiered adds the lossless prefilter, sampling bounds "
+     "per-access cost (goldilocks only, default: precise)"},
+    {Opt::SamplingPpm, "--sampling-ppm", "<0..1000000>",
+     "sampling tier: parts-per-million of past-budget accesses processed"},
+    {Opt::SamplingBudget, "--sampling-budget", "<n>",
+     "sampling tier: per-variable leading accesses always processed"},
     {Opt::Oracle, "--oracle", nullptr,
      "also print the happens-before oracle verdict"},
     {Opt::ResumeOnError, "--resume-on-error", nullptr,
@@ -203,6 +213,8 @@ int main(int Argc, char **Argv) {
   unsigned WatchdogMs = 0;
   uint64_t Seed = 1;
   size_t MaxCells = 0, MaxInfos = 0, MaxBytes = 0;
+  TierMode Tier = TierMode::Precise;
+  uint32_t SamplingPpm = 10000, SamplingBudget = 32;
   TelemetryLevel TelLevel = TelemetryLevel::Counters;
   std::string File, StatsJsonPath, MetricsJsonPath, RaceReportPath,
       TraceOutPath;
@@ -268,6 +280,26 @@ int main(int Argc, char **Argv) {
       break;
     case Opt::MaxBytes:
       MaxBytes = ParseUnsigned(/*AllowZero=*/false);
+      break;
+    case Opt::Tier:
+      if (!parseTierMode(V, Tier)) {
+        std::fprintf(stderr,
+                     "--tier wants precise|tiered|sampling, got '%s'\n", V);
+        return 126;
+      }
+      break;
+    case Opt::SamplingPpm: {
+      size_t N = ParseUnsigned(/*AllowZero=*/true);
+      if (N > 1000000) {
+        std::fprintf(stderr, "--sampling-ppm wants 0..1000000, got '%s'\n", V);
+        return 126;
+      }
+      SamplingPpm = static_cast<uint32_t>(N);
+      break;
+    }
+    case Opt::SamplingBudget:
+      SamplingBudget =
+          static_cast<uint32_t>(ParseUnsigned(/*AllowZero=*/true));
       break;
     case Opt::Oracle:
       WantOracle = true;
@@ -369,6 +401,9 @@ int main(int Argc, char **Argv) {
       C.MaxCells = MaxCells;
       C.MaxInfoRecords = MaxInfos;
       C.MaxBytes = MaxBytes;
+      C.Tier = Tier;
+      C.SamplingRatePpm = SamplingPpm;
+      C.SamplingBudget = SamplingBudget;
       C.Telemetry = TelLevel;
       GoldilocksDetector D(C);
       TraceEventSink Sink;
