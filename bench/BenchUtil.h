@@ -13,10 +13,13 @@
 #include "analysis/StaticRace.h"
 #include "bench/BenchJson.h"
 #include "detectors/GoldilocksDetectors.h"
+#include "support/Telemetry.h"
 #include "support/Timer.h"
 #include "vm/Vm.h"
 #include "workloads/Workload.h"
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -105,6 +108,35 @@ template <typename Fn> inline double bestOfK(int Reps, Fn &&F) {
       Best = S;
   }
   return Best;
+}
+
+/// Upper-bound estimate of the \p Q quantile from a log2 histogram
+/// snapshot: walk the cumulative counts to the covering bucket and report
+/// its inclusive upper edge (clamped to the observed max, which tightens
+/// the top bucket). Shared by every bench that reports latency quantiles
+/// from the runtime's own telemetry histograms.
+inline uint64_t histQuantile(const HistogramSnapshot &H, double Q) {
+  if (!H.Count)
+    return 0;
+  uint64_t Need = static_cast<uint64_t>(std::ceil(Q * double(H.Count)));
+  if (!Need)
+    Need = 1;
+  uint64_t Cum = 0;
+  for (const auto &B : H.Buckets) {
+    Cum += B.second;
+    if (Cum >= Need)
+      return std::min(Histogram::bucketHi(B.first), H.Max);
+  }
+  return H.Max;
+}
+
+/// Finds a named histogram in a telemetry snapshot (null when absent).
+inline const HistogramSnapshot *findHist(const TelemetrySnapshot &T,
+                                         const char *Name) {
+  for (const HistogramSnapshot &H : T.Histograms)
+    if (H.Name == Name)
+      return &H;
+  return nullptr;
 }
 
 /// Parses the scale factor from argv ("--scale N", default \p Default).

@@ -1,0 +1,560 @@
+//===- bench/bench_net.cpp - Socket transport throughput bench ------------===//
+///
+/// Measures the PR-8 socket front end (DESIGN.md §16) over real loopback
+/// TCP under two scenarios:
+///
+///   steady — no fault injection, persistent connections: the clean-path
+///            figures. Connections/sec, frames/sec and the p50/p99 frame
+///            dispatch latency from the server's own telemetry histogram
+///            (frame extracted → dispatch complete — the same series a
+///            production /metrics scrape reports). The steady run asserts
+///            ZERO loss: every client's verdicts must match the
+///            happens-before oracle exactly, or the bench exits nonzero.
+///   chaos  — all four net-* failpoints armed plus a forced abrupt
+///            disconnect every 25 lines per client: the interesting numbers
+///            are the shed/reconnect/resume counts and how far p99 moves
+///            while surviving clients still match the oracle.
+///
+/// Each scenario runs K client threads against one NetServer event-loop
+/// thread (inline service pumping — the single-process deployment shape).
+/// Clients speak the sequenced wire protocol: pipelined `line` frames,
+/// backpressure/resync rewinds honored, reconnect-with-resume on every
+/// disconnect.
+///
+/// Emits the gold-bench-v1 artifact consumed by tools/check_bench_schema.py
+/// (checked in as BENCH_net.json): per-scenario connections/sec, frames/sec,
+/// frame-latency quantiles, shed + reconnect counts, and the differential
+/// verdict-divergence count (0 required in steady).
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchUtil.h"
+#include "event/RandomTrace.h"
+#include "event/TraceIO.h"
+#include "hb/HbOracle.h"
+#include "service/Service.h"
+#include "service/net/NetServer.h"
+#include "support/Failpoints.h"
+#include "support/Table.h"
+#include "support/Timer.h"
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <set>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#ifndef MSG_NOSIGNAL
+#define MSG_NOSIGNAL 0
+#endif
+
+using namespace gold;
+using namespace gold::net;
+
+namespace {
+
+struct Scenario {
+  const char *Name;
+  uint32_t AcceptFailPpm;
+  uint32_t PartialReadPpm;
+  uint32_t WriteStallPpm;
+  uint32_t ConnHangPpm;
+  size_t ReconnectEvery; ///< forced abrupt disconnect cadence (0 = off)
+};
+
+constexpr Scenario Scenarios[] = {
+    {"steady", 0, 0, 0, 0, 0},
+    {"chaos", 30000, 100000, 50000, 300, 25},
+};
+
+std::vector<std::string> traceLines(const Trace &T) {
+  std::vector<std::string> Lines;
+  std::istringstream In(serializeTrace(T));
+  std::string L;
+  while (std::getline(In, L))
+    if (!L.empty())
+      Lines.push_back(L);
+  return Lines;
+}
+
+/// Blocking loopback line client (same protocol core as the chaos harness).
+struct Wire {
+  int Fd = -1;
+  std::string Rx;
+
+  ~Wire() { closeFd(); }
+
+  bool connectTo(uint16_t Port) {
+    closeFd();
+    Rx.clear();
+    Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (Fd < 0)
+      return false;
+    sockaddr_in A;
+    std::memset(&A, 0, sizeof(A));
+    A.sin_family = AF_INET;
+    A.sin_port = htons(Port);
+    ::inet_pton(AF_INET, "127.0.0.1", &A.sin_addr);
+    if (::connect(Fd, reinterpret_cast<sockaddr *>(&A), sizeof(A)) != 0) {
+      closeFd();
+      return false;
+    }
+    int One = 1;
+    ::setsockopt(Fd, IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
+    return true;
+  }
+
+  bool sendAll(const std::string &Data) {
+    size_t Off = 0;
+    while (Off < Data.size()) {
+      ssize_t W =
+          ::send(Fd, Data.data() + Off, Data.size() - Off, MSG_NOSIGNAL);
+      if (W < 0) {
+        if (errno == EINTR)
+          continue;
+        return false;
+      }
+      Off += static_cast<size_t>(W);
+    }
+    return true;
+  }
+
+  /// 1 = line, 0 = timeout, -1 = gone.
+  int readLine(std::string &Out, int TimeoutMs) {
+    for (;;) {
+      size_t P = Rx.find('\n');
+      if (P != std::string::npos) {
+        Out.assign(Rx, 0, P);
+        Rx.erase(0, P + 1);
+        return 1;
+      }
+      pollfd PF{Fd, POLLIN, 0};
+      int R = ::poll(&PF, 1, TimeoutMs);
+      if (R == 0)
+        return 0;
+      if (R < 0) {
+        if (errno == EINTR)
+          continue;
+        return -1;
+      }
+      char B[4096];
+      ssize_t N = ::recv(Fd, B, sizeof(B), 0);
+      if (N > 0) {
+        Rx.append(B, static_cast<size_t>(N));
+        continue;
+      }
+      if (N < 0 && errno == EINTR)
+        continue;
+      return -1;
+    }
+  }
+
+  void closeFd() {
+    if (Fd >= 0)
+      ::close(Fd);
+    Fd = -1;
+  }
+};
+
+struct ClientOutcome {
+  bool Compared = false;
+  bool Diverged = false;
+  size_t Reconnects = 0;
+};
+
+/// Pulls "o3.f1" out of "race on o3.f1: ...".
+bool raceVarOf(const std::string &Report, std::string &Var) {
+  const std::string Tag = "race on ";
+  size_t B = Report.find(Tag);
+  if (B == std::string::npos)
+    return false;
+  B += Tag.size();
+  size_t E = Report.find(':', B);
+  if (E == std::string::npos)
+    return false;
+  Var.assign(Report, B, E - B);
+  return true;
+}
+
+void runClient(uint16_t Port, uint64_t Id, const Trace &T,
+               const std::vector<std::string> &Ls, size_t ReconnectEvery,
+               ClientOutcome &Out) {
+  auto Deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(180);
+  auto Expired = [&] { return std::chrono::steady_clock::now() > Deadline; };
+  Wire W;
+  char Buf[64];
+  size_t Next = 0, SettledTo = 0, SinceConn = 0;
+  uint64_t Rng = Id * 0x9e3779b97f4a7c15ULL + 3;
+  auto Rand = [&Rng] {
+    Rng ^= Rng << 13;
+    Rng ^= Rng >> 7;
+    Rng ^= Rng << 17;
+    return Rng;
+  };
+
+  auto Open = [&]() -> bool {
+    while (!Expired()) {
+      if (!W.connectTo(Port)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        continue;
+      }
+      std::snprintf(Buf, sizeof(Buf), "open %llu\n", (unsigned long long)Id);
+      std::string L;
+      if (!W.sendAll(Buf) || W.readLine(L, 3000) != 1)
+        continue;
+      if (L.rfind("ok open", 0) == 0) {
+        size_t E = L.find("expect=");
+        if (E != std::string::npos)
+          Next = SettledTo = std::strtoull(L.c_str() + E + 7, nullptr, 10);
+        SinceConn = 0;
+        return true;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    return false;
+  };
+
+  auto Handle = [&](const std::string &L) -> bool {
+    if (L.rfind("ping", 0) == 0)
+      return W.sendAll("pong" + L.substr(4) + "\n");
+    if (L.rfind("bye", 0) == 0)
+      return false;
+    if (L.rfind("err line", 0) == 0) {
+      size_t SeqAt = L.find(" seq=");
+      if (L.find(" backpressure ") != std::string::npos &&
+          SeqAt != std::string::npos) {
+        Next = std::min<size_t>(
+            Next, std::strtoull(L.c_str() + SeqAt + 5, nullptr, 10));
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+        return true;
+      }
+      size_t EX = L.find("expect=");
+      if (L.find(" resync ") != std::string::npos && EX != std::string::npos)
+        Next = std::strtoull(L.c_str() + EX + 7, nullptr, 10);
+      return true;
+    }
+    if (L.rfind("ok stat", 0) == 0) {
+      size_t EX = L.find("expect=");
+      if (EX != std::string::npos)
+        SettledTo = std::strtoull(L.c_str() + EX + 7, nullptr, 10);
+    }
+    return true;
+  };
+
+  if (!Open())
+    return;
+  while (SettledTo < Ls.size() && !Expired()) {
+    // Drain replies already buffered or readable without blocking.
+    bool Alive = true;
+    std::string L;
+    for (;;) {
+      pollfd PF{W.Fd, POLLIN, 0};
+      if (W.Rx.find('\n') == std::string::npos && ::poll(&PF, 1, 0) <= 0)
+        break;
+      int Rd = W.readLine(L, 0);
+      if (Rd == 0)
+        break;
+      if (Rd < 0 || !Handle(L)) {
+        Alive = false;
+        break;
+      }
+    }
+    if (!Alive) {
+      ++Out.Reconnects;
+      if (!Open())
+        return;
+      continue;
+    }
+    if (ReconnectEvery && SinceConn >= ReconnectEvery) {
+      if (Rand() % 2) { // half the time abandon a dangling partial frame
+        std::snprintf(Buf, sizeof(Buf), "line %llu %llu half",
+                      (unsigned long long)Id, (unsigned long long)Next);
+        W.sendAll(Buf);
+      }
+      W.closeFd();
+      ++Out.Reconnects;
+      if (!Open())
+        return;
+      continue;
+    }
+    if (Next < Ls.size()) {
+      size_t Batch = std::min<size_t>(Ls.size() - Next, 16);
+      std::string Chunk;
+      for (size_t I = 0; I != Batch; ++I) {
+        std::snprintf(Buf, sizeof(Buf), "line %llu %llu ",
+                      (unsigned long long)Id,
+                      (unsigned long long)(Next + I));
+        Chunk += Buf;
+        Chunk += Ls[Next + I];
+        Chunk += '\n';
+      }
+      if (!W.sendAll(Chunk)) {
+        ++Out.Reconnects;
+        if (!Open())
+          return;
+        continue;
+      }
+      Next += Batch;
+      SinceConn += Batch;
+    } else {
+      std::snprintf(Buf, sizeof(Buf), "stat %llu\n", (unsigned long long)Id);
+      std::string L2;
+      if (!W.sendAll(Buf) || W.readLine(L2, 3000) != 1) {
+        ++Out.Reconnects;
+        if (!Open())
+          return;
+        continue;
+      }
+      Handle(L2);
+      if (SettledTo < Next)
+        std::this_thread::sleep_for(std::chrono::microseconds(500));
+    }
+  }
+  if (SettledTo < Ls.size())
+    return; // deadline: uncompared, counted by the caller
+
+  std::set<std::string> Got;
+  for (unsigned Try = 0; Try != 400 && !Expired(); ++Try) {
+    if (W.Fd < 0 && !Open())
+      return;
+    std::snprintf(Buf, sizeof(Buf), "close %llu\n", (unsigned long long)Id);
+    if (!W.sendAll(Buf)) {
+      W.closeFd();
+      ++Out.Reconnects;
+      continue;
+    }
+    std::string L;
+    for (;;) {
+      if (W.readLine(L, 3000) != 1) {
+        W.closeFd();
+        ++Out.Reconnects;
+        break;
+      }
+      if (L.rfind("ping", 0) == 0) {
+        W.sendAll("pong" + L.substr(4) + "\n");
+        continue;
+      }
+      if (L.rfind("race ", 0) == 0) {
+        std::string Var;
+        if (raceVarOf(L, Var))
+          Got.insert(Var);
+        continue;
+      }
+      if (L.rfind("ok close", 0) == 0) {
+        Out.Compared = true;
+        std::set<std::string> Want;
+        RaceOracle O(T, TxnSyncSemantics::SharedVariable);
+        for (const VarId &V : O.racyVars())
+          Want.insert(V.str());
+        Out.Diverged = Got != Want;
+        return;
+      }
+      if (L.find("backpressure") != std::string::npos) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        break; // re-send close
+      }
+      if (L.rfind("bye", 0) == 0) {
+        W.closeFd();
+        ++Out.Reconnects;
+        break;
+      }
+    }
+  }
+}
+
+struct RunNumbers {
+  double Seconds = 0;
+  size_t Compared = 0, Diverged = 0, Uncompared = 0, Reconnects = 0;
+  NetStats Net;
+  HistogramSnapshot Lat;
+  ServiceHealth Health;
+};
+
+RunNumbers runScenario(const Scenario &Sc, unsigned Clients, unsigned Steps,
+                       uint64_t Seed) {
+  FailpointConfig FC;
+  FC.Seed = Seed;
+  FC.rate(Failpoint::NetAcceptFail, Sc.AcceptFailPpm);
+  FC.rate(Failpoint::NetPartialRead, Sc.PartialReadPpm);
+  FC.rate(Failpoint::NetWriteStall, Sc.WriteStallPpm);
+  FC.rate(Failpoint::NetConnHang, Sc.ConnHangPpm);
+  FailpointScope Scope(FC);
+
+  ServiceConfig SC;
+  SC.RingCapacity = 256;
+  DetectionService Svc(SC);
+  NetConfig NC;
+  NC.ReadDeadlineNanos = 150ull * 1000000; // hangs resolve quickly
+  NC.HeartbeatNanos = 60ull * 1000000;
+  NC.WriteDeadlineNanos = 2000ull * 1000000;
+  NetServer Net(Svc, NC);
+  std::string Err;
+  RunNumbers R;
+  if (!Net.start(Err)) {
+    std::fprintf(stderr, "bench_net: start failed: %s\n", Err.c_str());
+    return R;
+  }
+
+  std::vector<Trace> Traces;
+  std::vector<std::vector<std::string>> AllLines;
+  for (unsigned I = 0; I != Clients; ++I) {
+    RandomTraceParams P;
+    P.Seed = Seed * 1000 + I;
+    P.StepsPerThread = Steps;
+    Traces.push_back(generateRandomTrace(P));
+    AllLines.push_back(traceLines(Traces.back()));
+  }
+
+  std::atomic<bool> Stop{false};
+  std::thread Loop([&] { Net.runLoop(Stop, 2); });
+  std::vector<ClientOutcome> Outcomes(Clients);
+  Timer T;
+  {
+    std::vector<std::thread> Threads;
+    for (unsigned I = 0; I != Clients; ++I)
+      Threads.emplace_back([&, I] {
+        runClient(Net.port(), I + 1, Traces[I], AllLines[I],
+                  Sc.ReconnectEvery, Outcomes[I]);
+      });
+    for (std::thread &Th : Threads)
+      Th.join();
+  }
+  R.Seconds = T.seconds();
+  Stop.store(true);
+  Loop.join();
+  Net.drainAndStop();
+  Svc.shutdown();
+
+  for (const ClientOutcome &O : Outcomes) {
+    R.Compared += O.Compared;
+    R.Diverged += O.Compared && O.Diverged;
+    R.Uncompared += !O.Compared;
+    R.Reconnects += O.Reconnects;
+  }
+  R.Net = Net.stats();
+  R.Lat = Net.frameLatency();
+  R.Health = Svc.health();
+  return R;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  unsigned Scale = parseScale(Argc, Argv, 1);
+  unsigned Clients = parseUintArg(Argc, Argv, "--clients", 8);
+  unsigned Steps = parseUintArg(Argc, Argv, "--steps", 40 * Scale);
+  int Reps = static_cast<int>(parseUintArg(Argc, Argv, "--reps", 3));
+  uint64_t Seed = parseUintArg(Argc, Argv, "--seed", 1);
+  std::string JsonPath = parseStrArg(Argc, Argv, "--json", "");
+  std::string Label = parseStrArg(Argc, Argv, "--label", "");
+
+  std::printf("=== Socket transport bench: %u clients over loopback, "
+              "%u steps/thread (scale %u, best of %d) ===\n\n",
+              Clients, Steps, Scale, Reps);
+
+  Table T({"Scenario", "Sec", "Conns/s", "kFrames/s", "p99(us)", "Shed",
+           "Reconn", "Resumes", "Loss"});
+
+  JsonWriter J;
+  jsonBenchHeader(J, "bench_net");
+  J.kv("scale", Scale);
+  J.kv("clients", Clients);
+  J.kv("steps", Steps);
+  J.kv("reps", static_cast<uint64_t>(Reps));
+  J.key("runs");
+  J.beginArray();
+
+  bool SteadyLoss = false;
+  for (const Scenario &Sc : Scenarios) {
+    RunNumbers Best;
+    for (int Rep = 0; Rep != Reps; ++Rep) {
+      RunNumbers R = runScenario(Sc, Clients, Steps, Seed + Rep);
+      if (Rep == 0 || (R.Seconds && R.Seconds < Best.Seconds))
+        Best = std::move(R);
+    }
+    double Sec = Best.Seconds > 0 ? Best.Seconds : 1e-9;
+    double ConnsPerSec = double(Best.Net.ConnsAccepted) / Sec;
+    double FramesPerSec = double(Best.Net.FramesIn) / Sec;
+    uint64_t P50 = histQuantile(Best.Lat, 0.50);
+    uint64_t P99 = histQuantile(Best.Lat, 0.99);
+    uint64_t Shed = Best.Net.RepliesShed + Best.Net.VerdictRepliesDropped;
+    // Loss = anything that would make a surviving client's verdicts diverge
+    // from the oracle, or a drain drop the accounting missed.
+    uint64_t Loss = Best.Diverged + Best.Uncompared +
+                    Best.Net.DrainDroppedFrames +
+                    Best.Health.VerdictLossEvents;
+    bool IsSteady = std::string(Sc.Name) == "steady";
+    if (IsSteady && Loss)
+      SteadyLoss = true;
+
+    T.addRow({Sc.Name, Table::num(Best.Seconds, 3),
+              Table::num(ConnsPerSec, 1), Table::num(FramesPerSec / 1e3, 1),
+              Table::num(double(P99) / 1e3, 1),
+              Table::num(static_cast<long long>(Shed)),
+              Table::num(static_cast<long long>(Best.Reconnects)),
+              Table::num(static_cast<long long>(Best.Net.Resumes)),
+              Table::num(static_cast<long long>(Loss))});
+
+    J.beginObject();
+    if (!Label.empty())
+      J.kv("label", Label);
+    J.kv("scenario", Sc.Name);
+    J.kv("seconds", Best.Seconds);
+    J.kv("conns_accepted", Best.Net.ConnsAccepted);
+    J.kv("conns_per_sec", ConnsPerSec);
+    J.kv("conns_rejected", Best.Net.ConnsRejected);
+    J.kv("frames_in", Best.Net.FramesIn);
+    J.kv("frames_per_sec", FramesPerSec);
+    J.kv("p50_frame_latency_nanos", P50);
+    J.kv("p99_frame_latency_nanos", P99);
+    J.kv("max_frame_latency_nanos", Best.Lat.Max);
+    J.kv("backpressure_replies", Best.Net.BackpressureReplies);
+    J.kv("resync_replies", Best.Net.ResyncReplies);
+    J.kv("dup_frames", Best.Net.DupFrames);
+    J.kv("replies_shed", Best.Net.RepliesShed);
+    J.kv("verdict_replies_dropped", Best.Net.VerdictRepliesDropped);
+    J.kv("partial_frames_dropped", Best.Net.PartialFramesDropped);
+    J.kv("drain_dropped_frames", Best.Net.DrainDroppedFrames);
+    J.kv("reconnects", static_cast<uint64_t>(Best.Reconnects));
+    J.kv("resumes", Best.Net.Resumes);
+    J.kv("clients_compared", static_cast<uint64_t>(Best.Compared));
+    J.kv("clients_uncompared", static_cast<uint64_t>(Best.Uncompared));
+    J.kv("verdict_divergence", static_cast<uint64_t>(Best.Diverged));
+    J.kv("races_delivered", Best.Health.RacesDelivered);
+    J.kv("verdict_loss_events", Best.Health.VerdictLossEvents);
+    J.endObject();
+  }
+  J.endArray();
+  J.endObject();
+
+  T.print();
+  if (!JsonPath.empty()) {
+    if (!J.writeFile(JsonPath)) {
+      std::fprintf(stderr, "failed to write %s\n", JsonPath.c_str());
+      return 1;
+    }
+    std::printf("\nwrote %s\n", JsonPath.c_str());
+  }
+  std::printf("\nReading the table: steady is the clean path — Loss MUST be "
+              "0 (the bench exits\nnonzero otherwise). chaos arms all four "
+              "net-* failpoints and forces abrupt\nreconnects; shed replies "
+              "and resumes are *expected* there, and the invariant is\nthat "
+              "surviving clients still match the happens-before oracle "
+              "exactly.\n");
+  if (SteadyLoss) {
+    std::fprintf(stderr, "bench_net: LOSS IN STEADY SCENARIO\n");
+    return 1;
+  }
+  return 0;
+}

@@ -79,31 +79,7 @@ std::vector<std::string> traceLines(const Trace &T) {
   return Lines;
 }
 
-/// Upper-bound estimate of the \p Q quantile from the log2 histogram: walk
-/// the cumulative counts to the covering bucket and report its inclusive
-/// upper edge (clamped to the observed max, which tightens the top bucket).
-uint64_t histQuantile(const HistogramSnapshot &H, double Q) {
-  if (!H.Count)
-    return 0;
-  uint64_t Need = static_cast<uint64_t>(std::ceil(Q * double(H.Count)));
-  if (!Need)
-    Need = 1;
-  uint64_t Cum = 0;
-  for (const auto &B : H.Buckets) {
-    Cum += B.second;
-    if (Cum >= Need)
-      return std::min(Histogram::bucketHi(B.first), H.Max);
-  }
-  return H.Max;
-}
-
-const HistogramSnapshot *findHist(const TelemetrySnapshot &T,
-                                  const char *Name) {
-  for (const HistogramSnapshot &H : T.Histograms)
-    if (H.Name == Name)
-      return &H;
-  return nullptr;
-}
+// histQuantile/findHist live in bench/BenchUtil.h (shared with bench_net).
 
 void sleepNanos(uint64_t N) {
   std::this_thread::sleep_for(std::chrono::nanoseconds(N ? N : 1000));

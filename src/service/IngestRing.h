@@ -26,6 +26,8 @@
 #ifndef GOLD_SERVICE_INGESTRING_H
 #define GOLD_SERVICE_INGESTRING_H
 
+#include "service/Backoff.h"
+
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
@@ -176,27 +178,9 @@ private:
   std::atomic<uint32_t> Producers{0};
 };
 
-/// Jittered exponential backoff schedule for producers that received
-/// Backpressure: attempt k waits roughly Base * 2^k, ±25% deterministic
-/// jitter derived from (seed, attempt), capped at Max. Pure function so the
-/// soak tests can assert the schedule without sleeping.
-inline uint64_t backoffNanos(uint64_t BaseNanos, unsigned Attempt,
-                             uint64_t Seed, uint64_t MaxNanos) {
-  unsigned Shift = Attempt < 16 ? Attempt : 16;
-  uint64_t Wait = BaseNanos << Shift;
-  if (!Wait || Wait > MaxNanos)
-    Wait = MaxNanos;
-  // splitmix64 finalizer for the jitter; same recipe as the failpoint
-  // framework so replays are deterministic.
-  uint64_t X = Seed ^ (0x9e3779b97f4a7c15ULL * (Attempt + 1));
-  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  X = (X ^ (X >> 27)) * 0x94d049bb133111ebULL;
-  X ^= X >> 31;
-  uint64_t Quarter = Wait / 4;
-  if (Quarter)
-    Wait = Wait - Quarter + (X % (2 * Quarter)); // Wait ± 25%
-  return Wait;
-}
+// The jittered backoff schedule producers use on Full lives in
+// service/Backoff.h (shared with session admission and the socket front
+// end's wire-level retry-after replies).
 
 } // namespace gold
 

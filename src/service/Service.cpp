@@ -607,7 +607,10 @@ DetectionService::OpenResult DetectionService::open(uint64_t ClientId,
   if (LadderState.load(std::memory_order_relaxed) >= 1) {
     C.AdmissionRejects.fetch_add(1, std::memory_order_relaxed);
     R.Error = "admission paused (service overloaded)";
-    R.RetryAfterNanos = Cfg.BackoffMaxNanos;
+    // Same jittered schedule as ring producers and the wire: consecutive
+    // refusals back off exponentially instead of re-knocking at a flat cap.
+    R.RetryAfterNanos = backoffNanos(Cfg.BackoffBaseNanos, AdmissionAttempt++,
+                                     ClientId, Cfg.BackoffMaxNanos);
     return R;
   }
   uint32_t Idx;
@@ -622,7 +625,8 @@ DetectionService::OpenResult DetectionService::open(uint64_t ClientId,
     C.AdmissionRejects.fetch_add(1, std::memory_order_relaxed);
     R.Error = "session namespace exhausted (recycleNamespaces reclaims "
               "dead slots)";
-    R.RetryAfterNanos = Cfg.BackoffMaxNanos;
+    R.RetryAfterNanos = backoffNanos(Cfg.BackoffBaseNanos, AdmissionAttempt++,
+                                     ClientId, Cfg.BackoffMaxNanos);
     return R;
   }
   Sessions[Idx].reset(new Session(*this, Idx, ClientId, Priority));
@@ -630,6 +634,7 @@ DetectionService::OpenResult DetectionService::open(uint64_t ClientId,
   if (Idx == SessionCount.load(std::memory_order_relaxed))
     SessionCount.store(Idx + 1, std::memory_order_release);
   C.SessionsOpened.fetch_add(1, std::memory_order_relaxed);
+  AdmissionAttempt = 0;
   R.S = Sessions[Idx].get();
   return R;
 }

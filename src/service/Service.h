@@ -442,6 +442,11 @@ private:
   std::vector<std::unique_ptr<Session>> Sessions;
   std::unique_ptr<std::atomic<Session *>[]> SessionSlots;
   std::vector<uint32_t> FreeSlots; ///< recycled namespace slots
+  /// Consecutive admission refusals (guarded by SessionsMu). Drives the
+  /// shared jittered backoff schedule for open()'s retry-after hints, so a
+  /// herd of refused clients spreads out instead of re-knocking in lockstep
+  /// at a flat cap. Reset on the next successful admission.
+  unsigned AdmissionAttempt = 0;
   /// Sessions whose slot was recycled. Kept (never destroyed mid-run) so a
   /// stale client handle still answers state() == Dead instead of dangling.
   std::vector<std::unique_ptr<Session>> Retired;

@@ -1,0 +1,52 @@
+//===- service/Snapshots.h - Health/metrics document rendering --*- C++ -*-===//
+///
+/// \file
+/// One renderer for every place a service snapshot escapes the process: the
+/// exit-time --health-json/--metrics-json artifacts, the periodic
+/// --metrics-interval-ms emitter, and the socket front end's GET /healthz
+/// and GET /metrics scrape endpoint. A single producer guarantees the
+/// documents are the same gold-health-v1 / gold-metrics-v1 schemas no
+/// matter which path served them, so dashboards and the CI schema checker
+/// never care whether a snapshot came from a file or a scrape.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GOLD_SERVICE_SNAPSHOTS_H
+#define GOLD_SERVICE_SNAPSHOTS_H
+
+#include "service/Service.h"
+#include "support/Json.h"
+#include "support/Telemetry.h"
+
+#include <functional>
+#include <string>
+
+namespace gold {
+
+/// Complete gold-health-v1 document for \p H. \p Extra, when provided, is
+/// invoked inside the top-level object so a front end can append its own
+/// section (the NetServer adds a "net" object) without forking the schema.
+inline std::string
+renderHealthJson(const ServiceHealth &H, const char *Source, bool Interrupted,
+                 const std::function<void(JsonWriter &)> &Extra = nullptr) {
+  JsonWriter J;
+  J.beginObject();
+  J.kv("schema", "gold-health-v1");
+  J.kv("source", Source);
+  J.kv("interrupted", Interrupted);
+  H.jsonBody(J);
+  if (Extra)
+    Extra(J);
+  J.endObject();
+  return J.str();
+}
+
+/// Complete gold-metrics-v1 document for one telemetry snapshot.
+inline std::string renderMetricsJson(const TelemetrySnapshot &Snap,
+                                     const char *Source) {
+  return Snap.json(Source);
+}
+
+} // namespace gold
+
+#endif // GOLD_SERVICE_SNAPSHOTS_H

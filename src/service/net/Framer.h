@@ -1,0 +1,101 @@
+//===- service/net/Framer.h - Socket line framing ---------------*- C++ -*-===//
+///
+/// \file
+/// Incremental LF-delimited framing for the socket front end. A TCP read
+/// delivers an arbitrary byte run — half a line, three lines and a
+/// fragment, one byte — and the framer reassembles complete frames across
+/// reads without ever holding more than one frame of buffered input per
+/// connection.
+///
+/// Frame grammar: a frame is the bytes up to and excluding LF; one trailing
+/// CR (CRLF endings) is stripped. An *interior* CR is NOT stripped — it
+/// stays in the frame so the trace parser's control-byte rejection fires,
+/// matching the stdio path byte for byte. A frame longer than MaxFrameBytes
+/// is reported once as Oversize and its remaining bytes are discarded up to
+/// the next LF, so one abusive client line cannot balloon server memory —
+/// the bound holds even when the oversize line arrives one byte at a time.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GOLD_SERVICE_NET_FRAMER_H
+#define GOLD_SERVICE_NET_FRAMER_H
+
+#include <cstddef>
+#include <deque>
+#include <string>
+#include <utility>
+
+namespace gold {
+namespace net {
+
+class LineFramer {
+public:
+  enum class Frame : unsigned char {
+    None = 0, ///< no complete frame buffered yet
+    Line,     ///< a complete frame was produced
+    Oversize  ///< a frame exceeded MaxFrameBytes (reported once per frame)
+  };
+
+  explicit LineFramer(size_t MaxFrameBytes) : MaxBytes(MaxFrameBytes) {}
+
+  /// Appends \p N raw socket bytes. Bounded: buffered data never exceeds
+  /// MaxFrameBytes per partial frame; oversize tails are dropped eagerly.
+  void feed(const char *Data, size_t N) {
+    for (size_t I = 0; I != N; ++I) {
+      char Ch = Data[I];
+      if (Discarding) {
+        if (Ch == '\n') {
+          // The oversize frame "completes" at its terminating LF; queue the
+          // event in stream order relative to surrounding good lines.
+          Discarding = false;
+          Ready.emplace_back(Frame::Oversize, std::string());
+        }
+        continue;
+      }
+      if (Ch == '\n') {
+        std::string F = std::move(Buf);
+        Buf.clear();
+        if (!F.empty() && F.back() == '\r')
+          F.pop_back(); // CRLF ending; interior \r passes through
+        Ready.emplace_back(Frame::Line, std::move(F));
+        continue;
+      }
+      if (Buf.size() >= MaxBytes) {
+        // One abusive line cannot grow the buffer: drop the frame now and
+        // skip to the next LF.
+        Buf.clear();
+        Buf.shrink_to_fit();
+        Discarding = true;
+        continue;
+      }
+      Buf.push_back(Ch);
+    }
+  }
+
+  /// Pops the next event in arrival order. Oversize events are interleaved
+  /// with complete lines exactly where the bad frame sat in the stream.
+  Frame next(std::string &Out) {
+    if (Ready.empty())
+      return Frame::None;
+    Frame Kind = Ready.front().first;
+    Out = std::move(Ready.front().second);
+    Ready.pop_front();
+    return Kind;
+  }
+
+  /// True when a partial (unterminated) frame is buffered or being
+  /// discarded — the drain path counts these as dropped partial frames.
+  bool hasPartial() const { return !Buf.empty() || Discarding; }
+  size_t pendingBytes() const { return Buf.size(); }
+
+private:
+  size_t MaxBytes;
+  std::string Buf; ///< current partial frame
+  std::deque<std::pair<Frame, std::string>> Ready; ///< frames in order
+  bool Discarding = false; ///< inside an oversize frame's tail
+};
+
+} // namespace net
+} // namespace gold
+
+#endif // GOLD_SERVICE_NET_FRAMER_H

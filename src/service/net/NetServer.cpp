@@ -1,0 +1,1003 @@
+//===- service/net/NetServer.cpp - poll()-based socket front end ----------===//
+
+#include "service/net/NetServer.h"
+
+#include "service/Backoff.h"
+#include "service/Snapshots.h"
+#include "support/Failpoints.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <thread>
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#ifndef MSG_NOSIGNAL
+#define MSG_NOSIGNAL 0 // best effort on platforms without it
+#endif
+
+using namespace gold;
+using namespace gold::net;
+
+const char *gold::net::connCloseReasonName(ConnClose R) {
+  switch (R) {
+  case ConnClose::ClientQuit:
+    return "client-quit";
+  case ConnClose::ClientEof:
+    return "client-eof";
+  case ConnClose::ReadTimeout:
+    return "read-timeout";
+  case ConnClose::WriteTimeout:
+    return "write-timeout";
+  case ConnClose::WriteOverflow:
+    return "write-overflow";
+  case ConnClose::ErrorBudget:
+    return "error-budget";
+  case ConnClose::AcceptShed:
+    return "accept-shed";
+  case ConnClose::ServerDrain:
+    return "server-drain";
+  case ConnClose::SocketError:
+    return "socket-error";
+  case ConnClose::ScrapeDone:
+    return "scrape-done";
+  case ConnClose::Count_:
+    break;
+  }
+  return "?";
+}
+
+//===----------------------------------------------------------------------===//
+// Connection state
+//===----------------------------------------------------------------------===//
+
+struct NetServer::Conn {
+  Conn(int F, bool Scrape, size_t MaxFrame)
+      : Fd(F), IsScrape(Scrape), Framer(MaxFrame) {}
+
+  int Fd = -1;
+  bool IsScrape = false;
+  bool Closed = false;
+  bool Hung = false;            ///< net-conn-hang latched: reads stop
+  bool PingOutstanding = false; ///< server ping sent, pong (or any bytes)
+                                ///< not yet seen
+  /// Deferred graceful close: applied once the write queue flushes dry.
+  ConnClose CloseAfter = ConnClose::Count_;
+
+  LineFramer Framer;
+  std::string ScrapeBuf; ///< scrape conns: accumulated request head
+
+  std::string Out; ///< bounded write queue (flat buffer + cursor)
+  size_t OutPos = 0;
+
+  uint64_t LastReadNanos = 0;
+  uint64_t LastWriteProgressNanos = 0;
+  size_t Errors = 0;          ///< protocol errors charged so far
+  unsigned VerdictAttempt = 0; ///< verdict-delivery backoff schedule
+  std::vector<uint64_t> Bound; ///< client ids this connection owns
+};
+
+//===----------------------------------------------------------------------===//
+// Lifecycle
+//===----------------------------------------------------------------------===//
+
+NetServer::NetServer(DetectionService &S, NetConfig C)
+    : Svc(S), Cfg(std::move(C)) {}
+
+NetServer::~NetServer() {
+  drainAndStop();
+}
+
+static bool setNonblock(int Fd) {
+  int Flags = ::fcntl(Fd, F_GETFL, 0);
+  return Flags >= 0 && ::fcntl(Fd, F_SETFL, Flags | O_NONBLOCK) == 0;
+}
+
+bool NetServer::listenOn(uint16_t Want, int &FdOut, uint16_t &BoundOut,
+                         std::string &Err) {
+  int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    Err = "socket: ";
+    Err += std::strerror(errno);
+    return false;
+  }
+  int One = 1;
+  ::setsockopt(Fd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+  sockaddr_in A;
+  std::memset(&A, 0, sizeof(A));
+  A.sin_family = AF_INET;
+  A.sin_port = htons(Want);
+  if (::inet_pton(AF_INET, Cfg.BindAddr.c_str(), &A.sin_addr) != 1) {
+    Err = "bad bind address: " + Cfg.BindAddr;
+    ::close(Fd);
+    return false;
+  }
+  if (::bind(Fd, reinterpret_cast<sockaddr *>(&A), sizeof(A)) != 0 ||
+      ::listen(Fd, 64) != 0 || !setNonblock(Fd)) {
+    Err = "bind/listen: ";
+    Err += std::strerror(errno);
+    ::close(Fd);
+    return false;
+  }
+  socklen_t AL = sizeof(A);
+  if (::getsockname(Fd, reinterpret_cast<sockaddr *>(&A), &AL) != 0) {
+    Err = "getsockname: ";
+    Err += std::strerror(errno);
+    ::close(Fd);
+    return false;
+  }
+  FdOut = Fd;
+  BoundOut = ntohs(A.sin_port);
+  return true;
+}
+
+bool NetServer::start(std::string &Err) {
+  if (!listenOn(Cfg.Port, ListenFd, BoundPort, Err))
+    return false;
+  if (Cfg.Scrape && !listenOn(Cfg.ScrapePort, ScrapeFd, BoundScrapePort, Err)) {
+    ::close(ListenFd);
+    ListenFd = -1;
+    return false;
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Event loop
+//===----------------------------------------------------------------------===//
+
+size_t NetServer::pollOnce(int TimeoutMs) {
+  if (Drained)
+    return 0;
+  std::vector<pollfd> P;
+  std::vector<Conn *> Owner; // parallel to P; nullptr for listeners
+  P.reserve(Conns.size() + 2);
+  if (ListenFd >= 0) {
+    P.push_back({ListenFd, POLLIN, 0});
+    Owner.push_back(nullptr);
+  }
+  if (ScrapeFd >= 0) {
+    P.push_back({ScrapeFd, POLLIN, 0});
+    Owner.push_back(nullptr);
+  }
+  for (auto &Cp : Conns) {
+    Conn &C = *Cp;
+    if (C.Closed)
+      continue;
+    short Ev = 0;
+    if (!C.Hung)
+      Ev |= POLLIN;
+    if (C.Out.size() != C.OutPos)
+      Ev |= POLLOUT;
+    P.push_back({C.Fd, Ev, 0});
+    Owner.push_back(&C);
+  }
+
+  int N = ::poll(P.data(), P.size(), TimeoutMs);
+  if (N < 0 && errno != EINTR)
+    return 0;
+
+  size_t Frames = St.FramesIn.load(std::memory_order_relaxed);
+  if (N > 0) {
+    for (size_t I = 0; I != P.size(); ++I) {
+      if (!(P[I].revents & (POLLIN | POLLHUP | POLLERR)))
+        continue;
+      if (!Owner[I]) {
+        acceptPending(P[I].fd, P[I].fd == ScrapeFd);
+        continue;
+      }
+      Conn &C = *Owner[I];
+      readConn(C);
+      if (C.Closed)
+        continue;
+      if (C.IsScrape)
+        dispatchScrape(C);
+      else
+        dispatchFrames(C);
+    }
+  }
+
+  uint64_t Now = now();
+  for (auto &Cp : Conns) {
+    if (Cp->Closed)
+      continue;
+    flushConn(*Cp);
+    if (!Cp->Closed)
+      checkDeadlines(*Cp, Now);
+  }
+  reapClosed();
+
+  if (Cfg.InlinePump) {
+    Svc.pumpAll();
+    Svc.poll();
+  }
+  return St.FramesIn.load(std::memory_order_relaxed) - Frames;
+}
+
+void NetServer::runLoop(const std::atomic<bool> &Stop, int TimeoutMs) {
+  while (!Stop.load(std::memory_order_relaxed) &&
+         !StopFlag.load(std::memory_order_relaxed) && !Drained)
+    pollOnce(TimeoutMs);
+}
+
+void NetServer::acceptPending(int LFd, bool IsScrape) {
+  for (;;) {
+    sockaddr_in A;
+    socklen_t AL = sizeof(A);
+    int Fd = ::accept(LFd, reinterpret_cast<sockaddr *>(&A), &AL);
+    if (Fd < 0) {
+      if (errno == EINTR)
+        continue;
+      break; // EAGAIN (or transient): nothing more to accept now
+    }
+    if (!IsScrape && failpoint(Failpoint::NetAcceptFail)) {
+      ::close(Fd);
+      St.ConnsRejected.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    if (OpenConns.load(std::memory_order_relaxed) >= Cfg.MaxConnections) {
+      // Shed at the door, with the reason on the wire — a refused client
+      // must be told to back off, not left staring at a silent RST.
+      static const char Busy[] = "bye accept-shed\n";
+      ::send(Fd, Busy, sizeof(Busy) - 1, MSG_NOSIGNAL);
+      ::close(Fd);
+      St.ConnsRejected.fetch_add(1, std::memory_order_relaxed);
+      St.ClosedBy[static_cast<unsigned>(ConnClose::AcceptShed)].fetch_add(
+          1, std::memory_order_relaxed);
+      continue;
+    }
+    if (!setNonblock(Fd)) {
+      ::close(Fd);
+      St.ConnsRejected.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    if (!IsScrape) {
+      int One = 1;
+      ::setsockopt(Fd, IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
+    }
+    auto C = std::make_unique<Conn>(Fd, IsScrape, Cfg.MaxFrameBytes);
+    C->LastReadNanos = C->LastWriteProgressNanos = now();
+    Conns.push_back(std::move(C));
+    OpenConns.fetch_add(1, std::memory_order_relaxed);
+    if (!IsScrape)
+      St.ConnsAccepted.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void NetServer::readConn(Conn &C) {
+  if (C.Closed)
+    return;
+  if (!C.IsScrape && !C.Hung && failpoint(Failpoint::NetConnHang)) {
+    // Half-open simulation: stop reading this peer entirely. The read
+    // deadline will eventually close it, and a reconnecting client resumes
+    // from the server's expected seq — the full half-open recovery path.
+    C.Hung = true;
+    St.ConnHangs.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  if (C.Hung)
+    return;
+  char Buf[4096];
+  for (;;) {
+    size_t Want = sizeof(Buf);
+    if (failpoint(Failpoint::NetPartialRead))
+      Want = 1; // deliver one byte: frames fragment across reads
+    ssize_t N = ::recv(C.Fd, Buf, Want, 0);
+    if (N > 0) {
+      St.BytesIn.fetch_add(static_cast<uint64_t>(N),
+                           std::memory_order_relaxed);
+      C.LastReadNanos = now();
+      C.PingOutstanding = false; // any inbound bytes prove liveness
+      if (C.IsScrape) {
+        C.ScrapeBuf.append(Buf, static_cast<size_t>(N));
+        if (C.ScrapeBuf.size() > 8192) {
+          closeConn(C, ConnClose::ErrorBudget);
+          return;
+        }
+      } else {
+        C.Framer.feed(Buf, static_cast<size_t>(N));
+      }
+      if (Want == 1 || static_cast<size_t>(N) < Want)
+        break;
+      continue;
+    }
+    if (N == 0) {
+      closeConn(C, ConnClose::ClientEof);
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK)
+      break;
+    if (errno == EINTR)
+      continue;
+    closeConn(C, ConnClose::SocketError);
+    return;
+  }
+}
+
+void NetServer::dispatchFrames(Conn &C) {
+  std::string L;
+  while (!C.Closed && C.CloseAfter == ConnClose::Count_) {
+    LineFramer::Frame K = C.Framer.next(L);
+    if (K == LineFramer::Frame::None)
+      break;
+    if (K == LineFramer::Frame::Oversize) {
+      St.OversizeFrames.fetch_add(1, std::memory_order_relaxed);
+      enqueue(C, "err proto oversize frame dropped", false);
+      chargeError(C);
+      continue;
+    }
+    uint64_t T0 = now();
+    St.FramesIn.fetch_add(1, std::memory_order_relaxed);
+    dispatchIngest(C, L, /*Draining=*/false);
+    FrameLatency.record(now() - T0);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Ingest protocol
+//===----------------------------------------------------------------------===//
+
+static const char *sessionStateName(SessionState S) {
+  switch (S) {
+  case SessionState::Open:
+    return "open";
+  case SessionState::Draining:
+    return "draining";
+  case SessionState::Dead:
+    return "dead";
+  }
+  return "?";
+}
+
+/// Splits an optional leading all-digits token off \p Rest. Trace lines
+/// always start with an alphabetic keyword, so a digit run can only be a
+/// client sequence number — the grammar stays unambiguous.
+static bool splitSeq(std::string &Rest, uint64_t &Seq) {
+  size_t I = 0;
+  while (I < Rest.size() && Rest[I] >= '0' && Rest[I] <= '9')
+    ++I;
+  if (I == 0 || I == Rest.size() || Rest[I] != ' ')
+    return false;
+  Seq = std::strtoull(Rest.substr(0, I).c_str(), nullptr, 10);
+  Rest.erase(0, I + 1);
+  return true;
+}
+
+void NetServer::dispatchIngest(Conn &C, const std::string &Line,
+                               bool Draining) {
+  std::istringstream In(Line);
+  std::string Cmd;
+  In >> Cmd;
+  if (Cmd.empty())
+    return;
+  char Reply[192];
+
+  if (Cmd == "ping") {
+    std::string Token;
+    In >> Token;
+    enqueue(C, Token.empty() ? "pong" : "pong " + Token, false);
+    return;
+  }
+  if (Cmd == "pong") {
+    C.PingOutstanding = false; // already cleared by the read, but explicit
+    return;
+  }
+  if (Cmd == "quit") {
+    enqueue(C, "bye client-quit", true);
+    if (C.CloseAfter == ConnClose::Count_)
+      C.CloseAfter = ConnClose::ClientQuit;
+    return;
+  }
+  if (Cmd == "health") {
+    enqueue(C, "health " + Svc.health().str(), false);
+    return;
+  }
+
+  uint64_t Id = 0;
+  if (!(In >> Id)) {
+    enqueue(C, "err proto missing client id: " + Cmd, false);
+    chargeError(C);
+    return;
+  }
+
+  if (Cmd == "open") {
+    unsigned Priority = 1;
+    In >> Priority;
+    auto It = Bindings.find(Id);
+    if (It != Bindings.end() &&
+        It->second.S->state() != SessionState::Dead) {
+      Binding &B = It->second;
+      if (B.OwnerFd != -1 && B.OwnerFd != C.Fd) {
+        std::snprintf(Reply, sizeof(Reply),
+                      "err open %llu busy (owned by another connection)",
+                      (unsigned long long)Id);
+        enqueue(C, Reply, false);
+        chargeError(C);
+        return;
+      }
+      // Reconnect-with-resume: hand the stream back exactly where the
+      // server left it. The client replays from Expect; anything below is
+      // a dup and anything above resyncs.
+      if (B.OwnerFd != C.Fd) {
+        St.Resumes.fetch_add(1, std::memory_order_relaxed);
+        C.Bound.push_back(Id);
+      }
+      B.OwnerFd = C.Fd;
+      std::snprintf(Reply, sizeof(Reply),
+                    "ok open %llu resumed expect=%llu",
+                    (unsigned long long)Id, (unsigned long long)B.Expect);
+      enqueue(C, Reply, true);
+      return;
+    }
+    DetectionService::OpenResult R = Svc.open(Id, Priority);
+    if (!R.S) {
+      St.BackpressureReplies.fetch_add(1, std::memory_order_relaxed);
+      std::snprintf(Reply, sizeof(Reply),
+                    "err open %llu retry-after-ns=%llu %s",
+                    (unsigned long long)Id,
+                    (unsigned long long)R.RetryAfterNanos, R.Error.c_str());
+      enqueue(C, Reply, false);
+      return;
+    }
+    Bindings[Id] = Binding{R.S, 0, C.Fd};
+    C.Bound.push_back(Id);
+    std::snprintf(Reply, sizeof(Reply), "ok open %llu",
+                  (unsigned long long)Id);
+    enqueue(C, Reply, true);
+    return;
+  }
+
+  auto It = Bindings.find(Id);
+  if (It == Bindings.end()) {
+    std::snprintf(Reply, sizeof(Reply), "err %s %llu unknown client",
+                  Cmd.c_str(), (unsigned long long)Id);
+    enqueue(C, Reply, false);
+    chargeError(C);
+    return;
+  }
+  Binding &B = It->second;
+  Session &S = *B.S;
+
+  if (Cmd == "stat") {
+    std::snprintf(Reply, sizeof(Reply),
+                  "ok stat %llu state=%s reason=%s accepted=%llu expect=%llu",
+                  (unsigned long long)Id, sessionStateName(S.state()),
+                  closeReasonName(S.closeReason()),
+                  (unsigned long long)S.linesAccepted(),
+                  (unsigned long long)B.Expect);
+    enqueue(C, Reply, false);
+    return;
+  }
+
+  if (B.OwnerFd != C.Fd) {
+    std::snprintf(Reply, sizeof(Reply), "err %s %llu not owner", Cmd.c_str(),
+                  (unsigned long long)Id);
+    enqueue(C, Reply, false);
+    chargeError(C);
+    return;
+  }
+
+  if (Cmd == "line") {
+    std::string Rest;
+    std::getline(In, Rest);
+    if (!Rest.empty() && Rest[0] == ' ')
+      Rest.erase(0, 1);
+    uint64_t Seq = 0;
+    bool HasSeq = splitSeq(Rest, Seq);
+    if (HasSeq) {
+      if (Seq < B.Expect) {
+        // Idempotent retransmit after a reconnect: already applied.
+        St.DupFrames.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      if (Seq > B.Expect) {
+        // The client ran ahead of an un-acked refusal (or lost a reply):
+        // tell it exactly where to rewind. The frame is dropped BEFORE
+        // feedLine — a session retrying a pending action would otherwise
+        // silently swallow this line's content.
+        St.ResyncReplies.fetch_add(1, std::memory_order_relaxed);
+        std::snprintf(Reply, sizeof(Reply),
+                      "err line %llu seq=%llu resync expect=%llu",
+                      (unsigned long long)Id, (unsigned long long)Seq,
+                      (unsigned long long)B.Expect);
+        enqueue(C, Reply, false);
+        return;
+      }
+    }
+    if (Rest.empty()) {
+      enqueue(C, "err proto missing trace line", false);
+      chargeError(C);
+      return;
+    }
+    FeedResult R;
+    unsigned Attempts = 0;
+    for (;;) {
+      R = S.feedLine(Rest);
+      if (R.St != FeedResult::Status::Backpressure)
+        break;
+      if (!Draining) {
+        // Wire-level backpressure: the line was NOT consumed and is NOT
+        // buffered here. The client owns the retry, with the service's
+        // jittered hint.
+        St.BackpressureReplies.fetch_add(1, std::memory_order_relaxed);
+        if (HasSeq)
+          std::snprintf(Reply, sizeof(Reply),
+                        "err line %llu seq=%llu backpressure "
+                        "retry-after-ns=%llu",
+                        (unsigned long long)Id, (unsigned long long)Seq,
+                        (unsigned long long)R.RetryAfterNanos);
+        else
+          std::snprintf(Reply, sizeof(Reply),
+                        "err line %llu backpressure retry-after-ns=%llu",
+                        (unsigned long long)Id,
+                        (unsigned long long)R.RetryAfterNanos);
+        enqueue(C, Reply, false);
+        return;
+      }
+      // Drain settle: the frame already arrived; pushing it through is
+      // what makes SIGTERM lossless. Pump (or yield to the consumers)
+      // until it lands, bounded so a wedged shard cannot hang shutdown.
+      if (++Attempts > 50000) {
+        St.DrainDroppedFrames.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      if (Cfg.InlinePump) {
+        Svc.pumpAll();
+        Svc.poll();
+      } else {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+      }
+    }
+    if (HasSeq)
+      B.Expect = Seq + 1; // Accepted/Rejected/Closed all consume the line
+    switch (R.St) {
+    case FeedResult::Status::Accepted:
+      break; // silent: streams are long
+    case FeedResult::Status::Rejected:
+      // Feeds both budgets: the session already charged its own.
+      std::snprintf(Reply, sizeof(Reply), "err line %llu %s",
+                    (unsigned long long)Id, R.Error.c_str());
+      enqueue(C, Reply, false);
+      chargeError(C);
+      break;
+    case FeedResult::Status::Backpressure:
+      break; // unreachable (loop above)
+    case FeedResult::Status::Closed:
+      std::snprintf(Reply, sizeof(Reply), "err line %llu closed: %s",
+                    (unsigned long long)Id, R.Error.c_str());
+      enqueue(C, Reply, false);
+      break;
+    }
+    return;
+  }
+
+  if (Cmd == "close") {
+    S.close();
+    if (Cfg.InlinePump && !Draining) {
+      Svc.drain();
+      Svc.poll();
+    }
+    size_t N = deliverVerdicts(C, Id, S);
+    if (N == SIZE_MAX)
+      return; // backpressured; client retries `close` (idempotent)
+    std::snprintf(Reply, sizeof(Reply), "ok close %llu races=%zu",
+                  (unsigned long long)Id, N);
+    enqueue(C, Reply, true);
+    return;
+  }
+
+  if (Cmd == "verdicts") {
+    if (Cfg.InlinePump && !Draining)
+      Svc.drain();
+    size_t N = deliverVerdicts(C, Id, S);
+    if (N == SIZE_MAX)
+      return;
+    std::snprintf(Reply, sizeof(Reply), "ok verdicts %llu races=%zu state=%s",
+                  (unsigned long long)Id, N, sessionStateName(S.state()));
+    enqueue(C, Reply, true);
+    return;
+  }
+
+  std::snprintf(Reply, sizeof(Reply), "err proto unknown command: %s",
+                Cmd.c_str());
+  enqueue(C, Reply, false);
+  chargeError(C);
+}
+
+size_t NetServer::deliverVerdicts(Conn &C, uint64_t Id, Session &S) {
+  // Room check BEFORE draining the session: refused delivery leaves the
+  // verdicts queued server-side, so a slow reader loses nothing — it is
+  // told to come back, with the same backoff schedule as everything else.
+  size_t Pending = C.Out.size() - C.OutPos;
+  if (Pending > Cfg.WriteQueueCapBytes / 2) {
+    uint64_t Wait = backoffNanos(Svc.config().BackoffBaseNanos,
+                                 C.VerdictAttempt++, Id ^ uint64_t(C.Fd),
+                                 Svc.config().BackoffMaxNanos);
+    St.BackpressureReplies.fetch_add(1, std::memory_order_relaxed);
+    char Reply[96];
+    std::snprintf(Reply, sizeof(Reply),
+                  "err verdicts %llu backpressure retry-after-ns=%llu",
+                  (unsigned long long)Id, (unsigned long long)Wait);
+    enqueue(C, Reply, false);
+    return SIZE_MAX;
+  }
+  C.VerdictAttempt = 0;
+  std::vector<RaceReport> Races = S.takeVerdicts();
+  char Head[32];
+  std::snprintf(Head, sizeof(Head), "race %llu ", (unsigned long long)Id);
+  for (const RaceReport &R : Races) {
+    if (!enqueue(C, Head + R.str(), true)) {
+      // Critical overflow: the connection is being closed; the verdicts we
+      // took but could not carry are counted, never silent.
+      St.VerdictRepliesDropped.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  return Races.size();
+}
+
+void NetServer::chargeError(Conn &C) {
+  St.ProtocolErrors.fetch_add(1, std::memory_order_relaxed);
+  if (++C.Errors > Cfg.ConnErrorBudget) {
+    sendBye(C, ConnClose::ErrorBudget);
+    closeConn(C, ConnClose::ErrorBudget);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Scrape protocol (HTTP/1.0, two endpoints, one response per connection)
+//===----------------------------------------------------------------------===//
+
+void NetServer::dispatchScrape(Conn &C) {
+  if (C.CloseAfter != ConnClose::Count_)
+    return; // response already queued
+  size_t HeadEnd = C.ScrapeBuf.find("\r\n\r\n");
+  size_t Skip = 4;
+  if (HeadEnd == std::string::npos) {
+    HeadEnd = C.ScrapeBuf.find("\n\n");
+    Skip = 2;
+  }
+  if (HeadEnd == std::string::npos)
+    return; // headers incomplete; keep reading
+  (void)Skip;
+  St.ScrapeRequests.fetch_add(1, std::memory_order_relaxed);
+
+  std::istringstream In(C.ScrapeBuf.substr(0, C.ScrapeBuf.find('\n')));
+  std::string Method, Path;
+  In >> Method >> Path;
+
+  std::string Body;
+  const char *Status = "200 OK";
+  if (Method != "GET") {
+    Status = "405 Method Not Allowed";
+    Body = "{\"error\":\"method not allowed\"}";
+  } else if (Path == "/healthz") {
+    Body = healthJson(false);
+  } else if (Path == "/metrics") {
+    Body = metricsJson();
+  } else {
+    Status = "404 Not Found";
+    Body = "{\"error\":\"unknown path (try /healthz or /metrics)\"}";
+  }
+
+  char Head[160];
+  std::snprintf(Head, sizeof(Head),
+                "HTTP/1.0 %s\r\nContent-Type: application/json\r\n"
+                "Content-Length: %zu\r\nConnection: close\r\n\r\n",
+                Status, Body.size());
+  // One response per connection; it must fit the bounded queue or the
+  // connection is dropped (critical path, counted in ClosedBy).
+  std::string Resp = Head + Body;
+  size_t Pending = C.Out.size() - C.OutPos;
+  if (Pending + Resp.size() > Cfg.WriteQueueCapBytes) {
+    closeConn(C, ConnClose::WriteOverflow);
+    return;
+  }
+  C.Out += Resp;
+  C.CloseAfter = ConnClose::ScrapeDone;
+}
+
+//===----------------------------------------------------------------------===//
+// Write path, deadlines, close
+//===----------------------------------------------------------------------===//
+
+bool NetServer::enqueue(Conn &C, const std::string &Line, bool Critical) {
+  if (C.Closed)
+    return false;
+  size_t Pending = C.Out.size() - C.OutPos;
+  if (Pending + Line.size() + 1 > Cfg.WriteQueueCapBytes) {
+    if (!Critical) {
+      St.RepliesShed.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    closeConn(C, ConnClose::WriteOverflow);
+    return false;
+  }
+  if (Pending == 0)
+    C.LastWriteProgressNanos = now(); // deadline clock starts now
+  if (C.OutPos > 4096 && C.OutPos * 2 > C.Out.size()) {
+    C.Out.erase(0, C.OutPos);
+    C.OutPos = 0;
+  }
+  C.Out += Line;
+  C.Out += '\n';
+  return true;
+}
+
+void NetServer::flushConn(Conn &C) {
+  if (C.Closed)
+    return;
+  size_t Pending = C.Out.size() - C.OutPos;
+  if (Pending && failpoint(Failpoint::NetWriteStall)) {
+    St.WriteStalls.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  while (C.OutPos != C.Out.size()) {
+    ssize_t N = ::send(C.Fd, C.Out.data() + C.OutPos, C.Out.size() - C.OutPos,
+                       MSG_NOSIGNAL);
+    if (N > 0) {
+      C.OutPos += static_cast<size_t>(N);
+      St.BytesOut.fetch_add(static_cast<uint64_t>(N),
+                            std::memory_order_relaxed);
+      C.LastWriteProgressNanos = now();
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK)
+      break;
+    if (errno == EINTR)
+      continue;
+    closeConn(C, ConnClose::SocketError);
+    return;
+  }
+  if (C.OutPos == C.Out.size()) {
+    C.Out.clear();
+    C.OutPos = 0;
+    if (C.CloseAfter != ConnClose::Count_)
+      closeConn(C, C.CloseAfter);
+  }
+}
+
+void NetServer::checkDeadlines(Conn &C, uint64_t Now) {
+  if (C.Closed)
+    return;
+  if (Cfg.WriteDeadlineNanos && C.Out.size() != C.OutPos &&
+      Now - C.LastWriteProgressNanos > Cfg.WriteDeadlineNanos) {
+    closeConn(C, ConnClose::WriteTimeout);
+    return;
+  }
+  if (Cfg.ReadDeadlineNanos && Now - C.LastReadNanos > Cfg.ReadDeadlineNanos) {
+    sendBye(C, ConnClose::ReadTimeout);
+    closeConn(C, ConnClose::ReadTimeout);
+    return;
+  }
+  if (!C.IsScrape && Cfg.HeartbeatNanos && !C.PingOutstanding &&
+      Now - C.LastReadNanos > Cfg.HeartbeatNanos) {
+    // Half-open probe: a live peer answers (pong resets LastReadNanos via
+    // the read itself); a dead one lets the read deadline fire.
+    char Ping[48];
+    std::snprintf(Ping, sizeof(Ping), "ping %llu",
+                  (unsigned long long)(Now ^ uint64_t(C.Fd)));
+    if (enqueue(C, Ping, false)) {
+      C.PingOutstanding = true;
+      St.HeartbeatsSent.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+void NetServer::sendBye(Conn &C, ConnClose Reason) {
+  if (C.Closed)
+    return;
+  flushConn(C); // best effort: drain queued replies first
+  if (C.Closed)
+    return;
+  char Bye[48];
+  int N = std::snprintf(Bye, sizeof(Bye), "bye %s\n",
+                        connCloseReasonName(Reason));
+  ssize_t W = ::send(C.Fd, Bye, static_cast<size_t>(N), MSG_NOSIGNAL);
+  if (W > 0)
+    St.BytesOut.fetch_add(static_cast<uint64_t>(W), std::memory_order_relaxed);
+}
+
+void NetServer::closeConn(Conn &C, ConnClose Reason) {
+  if (C.Closed)
+    return;
+  C.Closed = true;
+  St.ClosedBy[static_cast<unsigned>(Reason)].fetch_add(
+      1, std::memory_order_relaxed);
+  if (!C.IsScrape && C.Framer.hasPartial())
+    St.PartialFramesDropped.fetch_add(1, std::memory_order_relaxed);
+  // Unbind, do not close, the sessions: a reconnecting client resumes them
+  // (`ok open <id> resumed expect=<n>`); an abandoned one is reaped by the
+  // service's idle timeout with the loss accounted there.
+  for (uint64_t Id : C.Bound) {
+    auto It = Bindings.find(Id);
+    if (It != Bindings.end() && It->second.OwnerFd == C.Fd)
+      It->second.OwnerFd = -1;
+  }
+  C.Bound.clear();
+  ::close(C.Fd);
+  C.Fd = -1;
+  OpenConns.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void NetServer::reapClosed() {
+  for (size_t I = 0; I != Conns.size();) {
+    if (Conns[I]->Closed) {
+      Conns[I] = std::move(Conns.back());
+      Conns.pop_back();
+    } else {
+      ++I;
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Crash-only drain
+//===----------------------------------------------------------------------===//
+
+void NetServer::drainAndStop() {
+  if (Drained)
+    return;
+  Drained = true;
+  StopFlag.store(true, std::memory_order_relaxed);
+  if (ListenFd >= 0) {
+    ::close(ListenFd);
+    ListenFd = -1;
+  }
+  if (ScrapeFd >= 0) {
+    ::close(ScrapeFd);
+    ScrapeFd = -1;
+  }
+  for (auto &Cp : Conns) {
+    Conn &C = *Cp;
+    if (C.Closed)
+      continue;
+    if (!C.IsScrape) {
+      // Final sweep: pull whatever the kernel already holds for this
+      // connection, then settle every COMPLETE frame into the service.
+      // (Failpoints are bypassed — drain is the one path that must not be
+      // chaos-fragmented, its loss accounting is the partial-frame count.)
+      char Buf[4096];
+      for (;;) {
+        ssize_t N = ::recv(C.Fd, Buf, sizeof(Buf), 0);
+        if (N > 0) {
+          St.BytesIn.fetch_add(static_cast<uint64_t>(N),
+                               std::memory_order_relaxed);
+          C.Framer.feed(Buf, static_cast<size_t>(N));
+          continue;
+        }
+        if (N < 0 && errno == EINTR)
+          continue;
+        break; // EOF or EAGAIN: nothing more buffered
+      }
+      std::string L;
+      for (;;) {
+        LineFramer::Frame K = C.Framer.next(L);
+        if (K == LineFramer::Frame::None)
+          break;
+        if (K == LineFramer::Frame::Oversize) {
+          St.OversizeFrames.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        St.FramesIn.fetch_add(1, std::memory_order_relaxed);
+        dispatchIngest(C, L, /*Draining=*/true);
+      }
+    }
+    sendBye(C, ConnClose::ServerDrain);
+    closeConn(C, ConnClose::ServerDrain);
+  }
+  reapClosed();
+}
+
+//===----------------------------------------------------------------------===//
+// Snapshots
+//===----------------------------------------------------------------------===//
+
+NetStats NetServer::stats() const {
+  NetStats S;
+  S.ConnsAccepted = St.ConnsAccepted.load(std::memory_order_relaxed);
+  S.ConnsRejected = St.ConnsRejected.load(std::memory_order_relaxed);
+  S.Resumes = St.Resumes.load(std::memory_order_relaxed);
+  S.FramesIn = St.FramesIn.load(std::memory_order_relaxed);
+  S.BytesIn = St.BytesIn.load(std::memory_order_relaxed);
+  S.BytesOut = St.BytesOut.load(std::memory_order_relaxed);
+  S.OversizeFrames = St.OversizeFrames.load(std::memory_order_relaxed);
+  S.DupFrames = St.DupFrames.load(std::memory_order_relaxed);
+  S.ProtocolErrors = St.ProtocolErrors.load(std::memory_order_relaxed);
+  S.BackpressureReplies =
+      St.BackpressureReplies.load(std::memory_order_relaxed);
+  S.ResyncReplies = St.ResyncReplies.load(std::memory_order_relaxed);
+  S.RepliesShed = St.RepliesShed.load(std::memory_order_relaxed);
+  S.VerdictRepliesDropped =
+      St.VerdictRepliesDropped.load(std::memory_order_relaxed);
+  S.PartialFramesDropped =
+      St.PartialFramesDropped.load(std::memory_order_relaxed);
+  S.DrainDroppedFrames =
+      St.DrainDroppedFrames.load(std::memory_order_relaxed);
+  S.HeartbeatsSent = St.HeartbeatsSent.load(std::memory_order_relaxed);
+  S.ConnHangs = St.ConnHangs.load(std::memory_order_relaxed);
+  S.WriteStalls = St.WriteStalls.load(std::memory_order_relaxed);
+  S.ScrapeRequests = St.ScrapeRequests.load(std::memory_order_relaxed);
+  for (unsigned I = 0; I != NumConnCloseReasons; ++I)
+    S.ClosedBy[I] = St.ClosedBy[I].load(std::memory_order_relaxed);
+  return S;
+}
+
+std::string NetServer::healthJson(bool Interrupted) const {
+  ServiceHealth H = Svc.health();
+  NetStats S = stats();
+  return renderHealthJson(
+      H, "goldilocks-netserver", Interrupted, [&](JsonWriter &J) {
+        J.key("net");
+        J.beginObject();
+        J.kv("conns_accepted", S.ConnsAccepted);
+        J.kv("conns_rejected", S.ConnsRejected);
+        J.kv("conns_open", (uint64_t)openConnections());
+        J.kv("resumes", S.Resumes);
+        J.kv("frames_in", S.FramesIn);
+        J.kv("bytes_in", S.BytesIn);
+        J.kv("bytes_out", S.BytesOut);
+        J.kv("oversize_frames", S.OversizeFrames);
+        J.kv("dup_frames", S.DupFrames);
+        J.kv("protocol_errors", S.ProtocolErrors);
+        J.kv("backpressure_replies", S.BackpressureReplies);
+        J.kv("resync_replies", S.ResyncReplies);
+        J.kv("replies_shed", S.RepliesShed);
+        J.kv("verdict_replies_dropped", S.VerdictRepliesDropped);
+        J.kv("partial_frames_dropped", S.PartialFramesDropped);
+        J.kv("drain_dropped_frames", S.DrainDroppedFrames);
+        J.kv("heartbeats_sent", S.HeartbeatsSent);
+        J.kv("conn_hangs", S.ConnHangs);
+        J.kv("write_stalls", S.WriteStalls);
+        J.kv("scrape_requests", S.ScrapeRequests);
+        J.key("closed_by");
+        J.beginObject();
+        for (unsigned I = 0; I != NumConnCloseReasons; ++I)
+          J.kv(connCloseReasonName(static_cast<ConnClose>(I)), S.ClosedBy[I]);
+        J.endObject();
+        J.endObject();
+      });
+}
+
+std::string NetServer::metricsJson() const {
+  TelemetrySnapshot Snap = Svc.telemetry();
+  NetStats S = stats();
+  Snap.addCounter("net.conns_accepted", S.ConnsAccepted);
+  Snap.addCounter("net.conns_rejected", S.ConnsRejected);
+  Snap.addCounter("net.resumes", S.Resumes);
+  Snap.addCounter("net.frames_in", S.FramesIn);
+  Snap.addCounter("net.bytes_in", S.BytesIn);
+  Snap.addCounter("net.bytes_out", S.BytesOut);
+  Snap.addCounter("net.oversize_frames", S.OversizeFrames);
+  Snap.addCounter("net.dup_frames", S.DupFrames);
+  Snap.addCounter("net.protocol_errors", S.ProtocolErrors);
+  Snap.addCounter("net.backpressure_replies", S.BackpressureReplies);
+  Snap.addCounter("net.resync_replies", S.ResyncReplies);
+  Snap.addCounter("net.replies_shed", S.RepliesShed);
+  Snap.addCounter("net.verdict_replies_dropped", S.VerdictRepliesDropped);
+  Snap.addCounter("net.partial_frames_dropped", S.PartialFramesDropped);
+  Snap.addCounter("net.drain_dropped_frames", S.DrainDroppedFrames);
+  Snap.addCounter("net.heartbeats_sent", S.HeartbeatsSent);
+  Snap.addCounter("net.conn_hangs", S.ConnHangs);
+  Snap.addCounter("net.write_stalls", S.WriteStalls);
+  Snap.addCounter("net.scrape_requests", S.ScrapeRequests);
+  for (unsigned I = 0; I != NumConnCloseReasons; ++I)
+    Snap.addCounter(std::string("net.closed_by.") +
+                        connCloseReasonName(static_cast<ConnClose>(I)),
+                    S.ClosedBy[I]);
+  Snap.addGauge("net.conns_open", (int64_t)openConnections());
+  Snap.Histograms.push_back(FrameLatency.snapshot("net.frame_latency_ns"));
+  // The net layer always records its frame-latency histogram, so the
+  // rendered document is 'full' regardless of the service telemetry level
+  // (gold-metrics-v1 forbids histograms below that level).
+  if (Snap.Level < TelemetryLevel::Full)
+    Snap.Level = TelemetryLevel::Full;
+  return renderMetricsJson(Snap, "goldilocks-netserver");
+}

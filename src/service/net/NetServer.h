@@ -1,0 +1,236 @@
+//===- service/net/NetServer.h - poll()-based socket front end --*- C++ -*-===//
+///
+/// \file
+/// The fault-tolerant TCP front end for the detection service: one
+/// poll()-driven nonblocking event loop multiplexing many remote
+/// line-protocol clients onto a DetectionService, with every network
+/// failure mode made explicit and bounded:
+///
+///  - **Wire-level backpressure.** A `line` the service refuses with
+///    Backpressure is NOT buffered; the client receives the service's
+///    jittered `retry-after-ns` hint as a protocol reply and must re-send
+///    the same line. Server memory per connection is therefore bounded by
+///    one partial frame plus one bounded write queue — never by a slow
+///    shard.
+///
+///  - **Sequenced streams.** Sessions retry *the same pending action* on
+///    the feed after a Backpressure, so a pipelining client that kept
+///    streaming would silently desynchronize. The wire protocol closes the
+///    hole with per-line sequence numbers: the server tracks the expected
+///    seq per client, acknowledges backpressure/resync by seq, and a
+///    reconnecting client resumes exactly where the server says
+///    (`ok open <id> resumed expect=<n>`). Verdict streams survive
+///    disconnects because verdicts stay queued in the Session until a
+///    `verdicts`/`close` round trip has room to carry them.
+///
+///  - **Deadlines and heartbeats.** Per-connection read deadlines with
+///    server ping/pong detect half-open peers; write deadlines and bounded
+///    write queues (shed-on-overflow, counted) bound a reader that stopped
+///    reading. All clocks come from the service's injectable NowNanos, so
+///    tests drive every timeout deterministically.
+///
+///  - **Error budgets.** Protocol abuse (oversize frames, unknown
+///    commands, malformed lines) charges a per-connection budget; line
+///    rejections also consume the session's own budget, so whichever is
+///    smaller trips first and the connection is closed with a reason code.
+///
+///  - **Crash-only drain.** drainAndStop() stops accepting, settles every
+///    complete received frame into the service (pumping through
+///    backpressure), counts partial frames it must drop, and closes with
+///    `bye server-drain` — extending PR 6's counted-never-silent loss
+///    accounting end to end over the network.
+///
+/// Alongside ingestion the server answers HTTP/1.0 `GET /healthz` and
+/// `GET /metrics` on a second port, rendering the live gold-health-v1 /
+/// gold-metrics-v1 documents through service/Snapshots.h — the same bytes
+/// the exit-time JSON artifacts carry.
+///
+/// Threading: the loop itself is single-threaded (the owner calls
+/// pollOnce() or runLoop()); stats/healthJson/metricsJson are safe from
+/// other threads (atomics + the service's own thread-safe snapshots).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GOLD_SERVICE_NET_NETSERVER_H
+#define GOLD_SERVICE_NET_NETSERVER_H
+
+#include "service/Service.h"
+#include "service/net/Framer.h"
+#include "support/Telemetry.h"
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace gold {
+namespace net {
+
+/// Why a connection was closed. Keep connCloseReasonName in sync.
+enum class ConnClose : unsigned {
+  ClientQuit = 0, ///< orderly `quit`
+  ClientEof,      ///< peer closed its side (sessions stay resumable)
+  ReadTimeout,    ///< read deadline passed (half-open peer)
+  WriteTimeout,   ///< write queue made no progress for the write deadline
+  WriteOverflow,  ///< a critical reply did not fit the bounded write queue
+  ErrorBudget,    ///< per-connection error budget exhausted
+  AcceptShed,     ///< refused at accept (MaxConnections or failpoint)
+  ServerDrain,    ///< crash-only drainAndStop()
+  SocketError,    ///< read/write returned a hard error
+  ScrapeDone,     ///< scrape response fully written
+  Count_
+};
+
+constexpr unsigned NumConnCloseReasons = static_cast<unsigned>(ConnClose::Count_);
+const char *connCloseReasonName(ConnClose R);
+
+struct NetConfig {
+  std::string BindAddr = "127.0.0.1";
+  uint16_t Port = 0;       ///< ingest port; 0 picks an ephemeral port
+  bool Scrape = false;     ///< serve GET /healthz + /metrics
+  uint16_t ScrapePort = 0; ///< scrape port; 0 picks an ephemeral port
+  unsigned MaxConnections = 128;
+  /// Frame cap; matches TraceParser::MaxLineBytes so the socket path
+  /// rejects exactly what the stdio path rejects.
+  size_t MaxFrameBytes = 1u << 16;
+  /// Bounded per-connection write queue. Non-critical replies above this
+  /// are shed (counted); critical replies close the connection instead.
+  size_t WriteQueueCapBytes = 256u << 10;
+  /// Protocol errors tolerated per connection before close.
+  size_t ConnErrorBudget = 16;
+  uint64_t ReadDeadlineNanos = 30ull * 1000000000;  ///< 0 disables
+  uint64_t WriteDeadlineNanos = 10ull * 1000000000; ///< 0 disables
+  uint64_t HeartbeatNanos = 10ull * 1000000000;     ///< 0 disables pings
+  /// Pump the service inline each poll round (single-threaded,
+  /// deterministic). Off when the service runs its own consumer threads.
+  bool InlinePump = true;
+};
+
+/// Monotonic wire-level counters; readable from any thread.
+struct NetStats {
+  uint64_t ConnsAccepted = 0;
+  uint64_t ConnsRejected = 0;
+  uint64_t Resumes = 0; ///< reconnect-with-resume opens
+  uint64_t FramesIn = 0;
+  uint64_t BytesIn = 0;
+  uint64_t BytesOut = 0;
+  uint64_t OversizeFrames = 0;
+  uint64_t DupFrames = 0; ///< seq below expected: retransmit, ignored
+  uint64_t ProtocolErrors = 0;
+  uint64_t BackpressureReplies = 0;
+  uint64_t ResyncReplies = 0;
+  uint64_t RepliesShed = 0;           ///< non-critical replies dropped
+  uint64_t VerdictRepliesDropped = 0; ///< race replies lost to overflow
+  uint64_t PartialFramesDropped = 0;  ///< unterminated frames at close
+  uint64_t DrainDroppedFrames = 0;    ///< frames drain could not settle
+  uint64_t HeartbeatsSent = 0;
+  uint64_t ConnHangs = 0;   ///< net-conn-hang failpoint fires
+  uint64_t WriteStalls = 0; ///< net-write-stall failpoint fires
+  uint64_t ScrapeRequests = 0;
+  std::array<uint64_t, NumConnCloseReasons> ClosedBy{};
+};
+
+class NetServer {
+public:
+  NetServer(DetectionService &Svc, NetConfig C = NetConfig());
+  ~NetServer();
+
+  NetServer(const NetServer &) = delete;
+  NetServer &operator=(const NetServer &) = delete;
+
+  /// Binds and listens (ingest port, plus the scrape port when enabled).
+  /// Returns false with a diagnostic in \p Err on failure.
+  bool start(std::string &Err);
+
+  uint16_t port() const { return BoundPort; }
+  uint16_t scrapePort() const { return BoundScrapePort; }
+
+  /// One event-loop round: poll, accept, read/dispatch, flush, deadlines,
+  /// then (InlinePump) pump the service. Returns frames dispatched.
+  size_t pollOnce(int TimeoutMs);
+
+  /// pollOnce until requestStop() (or \p Until returns true).
+  void runLoop(const std::atomic<bool> &Stop, int TimeoutMs = 50);
+  void requestStop() { StopFlag.store(true, std::memory_order_relaxed); }
+
+  /// Crash-only drain: stop accepting, settle every complete frame already
+  /// received into the service (pumping through backpressure), count the
+  /// partial frames dropped, send `bye server-drain`, close everything.
+  /// Idempotent. The owner then calls DetectionService::shutdown().
+  void drainAndStop();
+
+  size_t openConnections() const {
+    return OpenConns.load(std::memory_order_relaxed);
+  }
+  NetStats stats() const;
+
+  /// Snapshot of the frame-dispatch latency histogram (frame extracted to
+  /// dispatch complete, nanos) — the same series metricsJson renders.
+  HistogramSnapshot frameLatency() const {
+    return FrameLatency.snapshot("net.frame_latency_ns");
+  }
+
+  /// Live gold-health-v1 document (service health + a "net" section).
+  std::string healthJson(bool Interrupted) const;
+  /// Live gold-metrics-v1 document (service telemetry + net counters +
+  /// the frame-latency histogram).
+  std::string metricsJson() const;
+
+private:
+  struct Conn;
+  struct Binding {
+    Session *S = nullptr;
+    uint64_t Expect = 0; ///< next line seq the server will feed
+    int OwnerFd = -1;    ///< -1: unbound (resumable)
+  };
+
+  bool listenOn(uint16_t Want, int &FdOut, uint16_t &BoundOut,
+                std::string &Err);
+  void acceptPending(int ListenFd, bool IsScrape);
+  void readConn(Conn &C);
+  void dispatchFrames(Conn &C);
+  void dispatchIngest(Conn &C, const std::string &Line, bool Draining);
+  void dispatchScrape(Conn &C);
+  size_t deliverVerdicts(Conn &C, uint64_t Id, Session &S);
+  void flushConn(Conn &C);
+  void checkDeadlines(Conn &C, uint64_t Now);
+  bool enqueue(Conn &C, const std::string &Line, bool Critical);
+  void sendBye(Conn &C, ConnClose Reason);
+  void closeConn(Conn &C, ConnClose Reason);
+  void chargeError(Conn &C);
+  void reapClosed();
+  uint64_t now() const { return Svc.nowNanos(); }
+
+  DetectionService &Svc;
+  const NetConfig Cfg;
+  int ListenFd = -1;
+  int ScrapeFd = -1;
+  uint16_t BoundPort = 0;
+  uint16_t BoundScrapePort = 0;
+  std::vector<std::unique_ptr<Conn>> Conns; // loop thread only
+  std::unordered_map<uint64_t, Binding> Bindings;
+  std::atomic<bool> StopFlag{false};
+  bool Drained = false;
+  std::atomic<size_t> OpenConns{0};
+
+  // Counters mirrored into NetStats; atomics so snapshot threads may read
+  // while the loop runs.
+  struct AtomicStats {
+    std::atomic<uint64_t> ConnsAccepted{0}, ConnsRejected{0}, Resumes{0},
+        FramesIn{0}, BytesIn{0}, BytesOut{0}, OversizeFrames{0}, DupFrames{0},
+        ProtocolErrors{0}, BackpressureReplies{0}, ResyncReplies{0},
+        RepliesShed{0}, VerdictRepliesDropped{0}, PartialFramesDropped{0},
+        DrainDroppedFrames{0}, HeartbeatsSent{0}, ConnHangs{0}, WriteStalls{0},
+        ScrapeRequests{0};
+    std::array<std::atomic<uint64_t>, NumConnCloseReasons> ClosedBy{};
+  } St;
+  Histogram FrameLatency; ///< frame extracted -> dispatch complete, nanos
+};
+
+} // namespace net
+} // namespace gold
+
+#endif // GOLD_SERVICE_NET_NETSERVER_H

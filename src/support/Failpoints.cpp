@@ -38,6 +38,14 @@ const char *gold::failpointName(Failpoint F) {
     return "service-client-hang";
   case Failpoint::ServiceShardWedge:
     return "service-shard-wedge";
+  case Failpoint::NetAcceptFail:
+    return "net-accept-fail";
+  case Failpoint::NetPartialRead:
+    return "net-partial-read";
+  case Failpoint::NetWriteStall:
+    return "net-write-stall";
+  case Failpoint::NetConnHang:
+    return "net-conn-hang";
   case Failpoint::Count_:
     break;
   }

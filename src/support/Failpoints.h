@@ -55,6 +55,14 @@ enum class Failpoint : unsigned {
   ServiceClientHang,   ///< a client session hangs mid-feed (slow producer)
   ServiceShardWedge,   ///< a shard consumer wedges: the shard must be
                        ///< reincarnated (crash-only engine swap)
+  NetAcceptFail,       ///< accept() of a new connection is refused (the
+                       ///< socket is closed immediately after accept)
+  NetPartialRead,      ///< a socket read delivers at most one byte, forcing
+                       ///< frames to arrive fragmented across reads
+  NetWriteStall,       ///< a connection's write flush is skipped this poll
+                       ///< round (simulates a zero-window / slow reader)
+  NetConnHang,         ///< a connection goes half-open: the server stops
+                       ///< reading it until the read deadline closes it
   Count_               ///< number of sites (not a site)
 };
 

@@ -125,6 +125,41 @@ def check_service_run(r, ctx):
                   f"(p50 {p50}, p99 {p99}, max {lmax})")
 
 
+def check_net_run(r, ctx):
+    """bench_net runs carry the socket-transport headline numbers; check the
+    invariants that hold on any machine at any load."""
+    scenario = need(r, "scenario", str, ctx)
+    for key in ("conns_per_sec", "frames_per_sec"):
+        if need(r, key, (int, float), ctx) < 0:
+            raise Bad(f"{ctx}: negative '{key}'")
+    for key in ("conns_accepted", "conns_rejected", "frames_in",
+                "backpressure_replies", "resync_replies", "dup_frames",
+                "replies_shed", "verdict_replies_dropped",
+                "partial_frames_dropped", "drain_dropped_frames",
+                "reconnects", "resumes", "races_delivered",
+                "verdict_loss_events"):
+        if need(r, key, int, ctx) < 0:
+            raise Bad(f"{ctx}: negative '{key}'")
+    p50 = need(r, "p50_frame_latency_nanos", int, ctx)
+    p99 = need(r, "p99_frame_latency_nanos", int, ctx)
+    lmax = need(r, "max_frame_latency_nanos", int, ctx)
+    if not 0 <= p50 <= p99 <= lmax:
+        raise Bad(f"{ctx}: frame latency quantiles not ordered "
+                  f"(p50 {p50}, p99 {p99}, max {lmax})")
+    compared = need(r, "clients_compared", int, ctx)
+    diverged = need(r, "verdict_divergence", int, ctx)
+    if diverged > compared:
+        raise Bad(f"{ctx}: verdict_divergence {diverged} exceeds "
+                  f"clients_compared {compared}")
+    if scenario == "steady":
+        # The clean path must be provably exact: every client compared
+        # against the oracle, nothing dropped, nothing diverged.
+        for key in ("verdict_divergence", "clients_uncompared",
+                    "drain_dropped_frames", "verdict_loss_events"):
+            if need(r, key, int, ctx) != 0:
+                raise Bad(f"{ctx}: steady scenario has nonzero '{key}'")
+
+
 def check_tiers(doc, path):
     """bench_tiers: the adaptive-precision pipeline artifact. The escalation
     rows must show tiered mode at the same verdicts with no more pair checks
@@ -202,6 +237,8 @@ def check_bench(doc, path):
                 check_metrics_body(r["telemetry"], f"{ctx}.telemetry")
             if doc["bench"] == "bench_service":
                 check_service_run(r, ctx)
+            if doc["bench"] == "bench_net":
+                check_net_run(r, ctx)
     if "stats" in doc:
         check_stats_block(doc["stats"], f"{path}.stats")
     if "health" in doc:

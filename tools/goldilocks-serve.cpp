@@ -1,9 +1,13 @@
 //===- tools/goldilocks-serve.cpp - Always-on ingestion front-end ---------===//
 ///
-/// Thin stdio front-end for the sharded detection service (src/service/).
-/// Deliberately transport-free: it speaks a line protocol over stdin/stdout
-/// so CI and tests can drive a long-running multi-client service
-/// deterministically, without sockets.
+/// Front-end for the sharded detection service (src/service/). By default
+/// it speaks a line protocol over stdin/stdout so CI and tests can drive a
+/// long-running multi-client service deterministically, without sockets.
+/// With --listen (and optionally --scrape-port) the same protocol is served
+/// over TCP by the poll()-based NetServer — sequence-numbered lines,
+/// wire-level backpressure replies, heartbeats, and a live HTTP
+/// /healthz + /metrics scrape endpoint; see DESIGN.md §16 for the wire
+/// protocol.
 ///
 /// Protocol (one command per line):
 ///   open <client-id> [priority]   admit a session (ids are decimal)
@@ -36,6 +40,8 @@
 #include "event/TraceIO.h"
 #include "hb/HbOracle.h"
 #include "service/Service.h"
+#include "service/Snapshots.h"
+#include "service/net/NetServer.h"
 #include "support/Failpoints.h"
 #include "support/Json.h"
 
@@ -111,6 +117,9 @@ enum class Opt {
   Telemetry,
   MetricsJson,
   HealthJson,
+  MetricsIntervalMs,
+  Listen,
+  ScrapePort,
   Soak,
   SoakSteps,
   SoakThreads,
@@ -160,6 +169,15 @@ constexpr OptSpec Options[] = {
      "write a gold-metrics-v1 snapshot of the service telemetry at exit"},
     {Opt::HealthJson, "--health-json", "<path>",
      "write the final service health snapshot as JSON at exit"},
+    {Opt::MetricsIntervalMs, "--metrics-interval-ms", "<n>",
+     "additionally rewrite --metrics-json/--health-json (and print a "
+     "health line) every n ms while running, not just at exit"},
+    {Opt::Listen, "--listen", "<port>",
+     "socket mode: accept line-protocol clients on this TCP port "
+     "(0 picks an ephemeral port; a 'listening port=...' line is printed)"},
+    {Opt::ScrapePort, "--scrape-port", "<port>",
+     "serve HTTP GET /healthz and /metrics on this port (implies socket "
+     "mode; 0 picks an ephemeral port)"},
     {Opt::Soak, "--soak", "<k>",
      "skip the protocol: run k concurrent seeded clients and check every "
      "surviving client's verdicts against the happens-before oracle"},
@@ -499,6 +517,9 @@ int main(int Argc, char **Argv) {
   size_t SoakClients = 0;
   unsigned SoakSteps = 40, SoakThreads = 4;
   uint64_t Seed = 1, DurationMs = 0, IdleTimeoutMs = 0;
+  uint64_t MetricsIntervalMs = 0;
+  bool ListenSet = false, ScrapeSet = false;
+  uint16_t ListenPort = 0, ScrapePortNum = 0;
   std::string MetricsJsonPath, HealthJsonPath;
   FailpointConfig FC;
   bool AnyFailpoint = false;
@@ -584,6 +605,31 @@ int main(int Argc, char **Argv) {
     case Opt::HealthJson:
       HealthJsonPath = V;
       break;
+    case Opt::MetricsIntervalMs:
+      MetricsIntervalMs = ParseUnsigned(false);
+      break;
+    case Opt::Listen: {
+      uint64_t N = ParseUnsigned(true);
+      if (N > 65535) {
+        std::fprintf(stderr, "--listen wants a port (0..65535), got '%s'\n",
+                     V);
+        return 126;
+      }
+      ListenSet = true;
+      ListenPort = static_cast<uint16_t>(N);
+      break;
+    }
+    case Opt::ScrapePort: {
+      uint64_t N = ParseUnsigned(true);
+      if (N > 65535) {
+        std::fprintf(stderr,
+                     "--scrape-port wants a port (0..65535), got '%s'\n", V);
+        return 126;
+      }
+      ScrapeSet = true;
+      ScrapePortNum = static_cast<uint16_t>(N);
+      break;
+    }
     case Opt::Soak:
       SoakClients = ParseUnsigned(false);
       break;
@@ -623,12 +669,105 @@ int main(int Argc, char **Argv) {
   if (Threaded)
     Svc.start();
 
+  // Socket mode: either --listen or --scrape-port switches the front end
+  // from stdin to the poll()-based NetServer (stdio mode is untouched
+  // otherwise). optional<> because NetServer is neither copyable nor
+  // movable; emplace constructs it in place.
+  std::optional<net::NetServer> Net;
+  if (ListenSet || ScrapeSet) {
+    net::NetConfig NC;
+    NC.Port = ListenPort;
+    NC.Scrape = ScrapeSet;
+    NC.ScrapePort = ScrapePortNum;
+    NC.InlinePump = !Threaded;
+    Net.emplace(Svc, NC);
+    std::string Err;
+    if (!Net->start(Err)) {
+      std::fprintf(stderr, "goldilocks-serve: %s\n", Err.c_str());
+      return 126;
+    }
+    std::printf("listening port=%u scrape-port=%u\n", Net->port(),
+                ScrapeSet ? Net->scrapePort() : 0);
+    std::fflush(stdout);
+  }
+
+  // One renderer for every snapshot that leaves the process — periodic,
+  // exit-time, and (in socket mode) the live scrape endpoint all produce
+  // identical documents.
+  auto EmitSnapshots = [&](bool Final) -> bool {
+    bool Ok = true;
+    if (!HealthJsonPath.empty()) {
+      std::string Doc = Net ? Net->healthJson(interrupted())
+                            : renderHealthJson(Svc.health(),
+                                               "goldilocks-serve",
+                                               interrupted());
+      std::ofstream Out(HealthJsonPath);
+      if (Out)
+        Out << Doc << '\n';
+      if (!Out) {
+        if (Final)
+          std::fprintf(stderr, "error: failed to write %s\n",
+                       HealthJsonPath.c_str());
+        Ok = false;
+      }
+    }
+    if (!MetricsJsonPath.empty()) {
+      std::string Doc =
+          Net ? Net->metricsJson()
+              : renderMetricsJson(Svc.telemetry(), "goldilocks-serve");
+      std::ofstream Out(MetricsJsonPath);
+      if (Out)
+        Out << Doc << '\n';
+      if (!Out) {
+        if (Final)
+          std::fprintf(stderr, "error: failed to write %s\n",
+                       MetricsJsonPath.c_str());
+        Ok = false;
+      }
+    }
+    return Ok;
+  };
+
+  // --metrics-interval-ms: a snapshot thread keeps the JSON artifacts (and
+  // a stdout health line) fresh while the server runs, so a long-lived
+  // stdio deployment is observable without the scrape endpoint. health()
+  // and telemetry() are thread-safe snapshots; file writes are exclusive
+  // to this thread until it is joined.
+  std::atomic<bool> SnapStop{false};
+  std::thread SnapThread;
+  if (MetricsIntervalMs) {
+    SnapThread = std::thread([&] {
+      uint64_t SliceMs = 20;
+      for (;;) {
+        for (uint64_t Slept = 0; Slept < MetricsIntervalMs;
+             Slept += SliceMs) {
+          if (SnapStop.load(std::memory_order_relaxed))
+            return;
+          std::this_thread::sleep_for(std::chrono::milliseconds(SliceMs));
+        }
+        if (SnapStop.load(std::memory_order_relaxed))
+          return;
+        EmitSnapshots(/*Final=*/false);
+        std::printf("health %s\n", Svc.health().str().c_str());
+        std::fflush(stdout);
+      }
+    });
+  }
+
   int Rc = 0;
-  if (SoakClients)
+  if (Net) {
+    while (!interrupted())
+      Net->pollOnce(50);
+    // Crash-only drain: settle every complete frame already on the wire
+    // into the service before quiescing, so SIGTERM loses nothing that
+    // reached us.
+    Net->drainAndStop();
+  } else if (SoakClients) {
     Rc = runSoak(Svc, SoakClients, SoakSteps, SoakThreads, Seed, DurationMs,
                  Threaded);
-  else
+  } else {
     runProtocol(Svc, Threaded);
+  }
 
   // Crash-only quiesce (idempotent — soak already did it), then the final
   // dump. This path runs identically for quit, EOF, SIGINT and SIGTERM.
@@ -636,33 +775,16 @@ int main(int Argc, char **Argv) {
   if (interrupted())
     std::fprintf(stderr, "goldilocks-serve: interrupted; quiesced cleanly\n");
 
+  if (SnapThread.joinable()) {
+    SnapStop.store(true, std::memory_order_relaxed);
+    SnapThread.join();
+  }
+
   ServiceHealth H = Svc.health();
   std::printf("final %s\n", H.str().c_str());
   std::fflush(stdout);
 
-  if (!HealthJsonPath.empty()) {
-    JsonWriter J;
-    J.beginObject();
-    J.kv("schema", "gold-health-v1");
-    J.kv("source", "goldilocks-serve");
-    J.kv("interrupted", interrupted());
-    H.jsonBody(J);
-    J.endObject();
-    if (!J.writeFile(HealthJsonPath)) {
-      std::fprintf(stderr, "error: failed to write %s\n",
-                   HealthJsonPath.c_str());
-      return 126;
-    }
-  }
-  if (!MetricsJsonPath.empty()) {
-    std::ofstream Out(MetricsJsonPath);
-    if (Out)
-      Out << Svc.telemetry().json("goldilocks-serve") << '\n';
-    if (!Out) {
-      std::fprintf(stderr, "error: failed to write %s\n",
-                   MetricsJsonPath.c_str());
-      return 126;
-    }
-  }
+  if (!EmitSnapshots(/*Final=*/true))
+    return 126;
   return Rc;
 }

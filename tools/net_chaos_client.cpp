@@ -1,0 +1,595 @@
+//===- tools/net_chaos_client.cpp - Socket chaos harness ------------------===//
+///
+/// \file
+/// Adversarial remote-client harness for the NetServer: K concurrent TCP
+/// clients each stream a seeded random trace through the sequence-numbered
+/// wire protocol while deliberately misbehaving — writes fragmented into
+/// 1..7-byte chunks, abrupt mid-frame disconnects every --reconnect-every
+/// lines followed by reconnect-with-resume, optimistic pipelining that
+/// relies on the server's backpressure/resync replies to stay in sync.
+/// Every surviving client's delivered verdicts are checked against the
+/// happens-before oracle over its own trace; clients killed by server-side
+/// chaos (shed, error budget, shard loss) are skipped-but-counted, mirroring
+/// the service soak's accounting.
+///
+/// Exit code: 0 when no surviving client diverged and at least one client
+/// was compared; 1 on divergence, a harness failure, or nothing compared;
+/// 126 on usage errors.
+///
+//===----------------------------------------------------------------------===//
+
+#include "event/RandomTrace.h"
+#include "event/TraceIO.h"
+#include "hb/HbOracle.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#ifndef MSG_NOSIGNAL
+#define MSG_NOSIGNAL 0
+#endif
+
+using namespace gold;
+
+namespace {
+
+struct Params {
+  std::string Host = "127.0.0.1";
+  uint16_t Port = 0;
+  size_t Clients = 8;
+  unsigned Steps = 40;
+  unsigned Threads = 4;
+  uint64_t Seed = 1;
+  size_t ReconnectEvery = 0;  ///< abrupt disconnect cadence; 0 disables
+  bool ChaosWrites = true;    ///< fragment writes into tiny chunks
+  uint64_t DeadlineMs = 120000;
+};
+
+uint64_t mix64(uint64_t &S) {
+  S += 0x9e3779b97f4a7c15ULL;
+  uint64_t X = S;
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111ebULL;
+  return X ^ (X >> 31);
+}
+
+struct Result {
+  bool Compared = false;
+  bool Killed = false;   ///< session torn down by server-side chaos
+  bool Failed = false;   ///< harness failure (timeout, protocol surprise)
+  bool Diverged = false;
+  std::string Why;
+  size_t Races = 0;
+  size_t Reconnects = 0;
+  size_t Rewinds = 0; ///< backpressure/resync rewinds honored
+};
+
+/// One blocking-ish line-protocol connection with buffered line reads.
+class Wire {
+public:
+  ~Wire() { closeFd(); }
+
+  bool connectTo(const std::string &Host, uint16_t Port) {
+    closeFd();
+    RxBuf.clear();
+    Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (Fd < 0)
+      return false;
+    sockaddr_in A;
+    std::memset(&A, 0, sizeof(A));
+    A.sin_family = AF_INET;
+    A.sin_port = htons(Port);
+    if (::inet_pton(AF_INET, Host.c_str(), &A.sin_addr) != 1 ||
+        ::connect(Fd, reinterpret_cast<sockaddr *>(&A), sizeof(A)) != 0) {
+      closeFd();
+      return false;
+    }
+    int One = 1;
+    ::setsockopt(Fd, IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
+    return true;
+  }
+
+  bool connected() const { return Fd >= 0; }
+
+  /// Sends the whole buffer; when \p Rng is non-null the data goes out in
+  /// 1..7-byte chunks so server reads always see fragments.
+  bool sendAll(const std::string &Data, uint64_t *Rng) {
+    if (Fd < 0)
+      return false;
+    size_t Off = 0;
+    while (Off < Data.size()) {
+      size_t N = Data.size() - Off;
+      if (Rng)
+        N = std::min<size_t>(N, 1 + mix64(*Rng) % 7);
+      ssize_t W = ::send(Fd, Data.data() + Off, N, MSG_NOSIGNAL);
+      if (W < 0) {
+        if (errno == EINTR)
+          continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+          pollfd P{Fd, POLLOUT, 0};
+          ::poll(&P, 1, 100);
+          continue;
+        }
+        return false;
+      }
+      Off += static_cast<size_t>(W);
+      if (Rng && mix64(*Rng) % 16 == 0)
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+    return true;
+  }
+
+  /// 1 = line out, 0 = timeout, -1 = connection gone.
+  int readLine(std::string &Out, int TimeoutMs) {
+    if (Fd < 0)
+      return -1;
+    for (;;) {
+      size_t P = RxBuf.find('\n');
+      if (P != std::string::npos) {
+        Out.assign(RxBuf, 0, P);
+        RxBuf.erase(0, P + 1);
+        return 1;
+      }
+      pollfd PF{Fd, POLLIN, 0};
+      int R = ::poll(&PF, 1, TimeoutMs);
+      if (R == 0)
+        return 0;
+      if (R < 0) {
+        if (errno == EINTR)
+          continue;
+        return -1;
+      }
+      char B[2048];
+      ssize_t N = ::recv(Fd, B, sizeof(B), 0);
+      if (N > 0) {
+        RxBuf.append(B, static_cast<size_t>(N));
+        continue;
+      }
+      if (N < 0 && errno == EINTR)
+        continue;
+      return -1;
+    }
+  }
+
+  /// Abrupt teardown — no quit, no flush: the server sees a mid-stream
+  /// (possibly mid-frame) disconnect, exactly the case resume must heal.
+  void abortConn() { closeFd(); }
+
+private:
+  void closeFd() {
+    if (Fd >= 0)
+      ::close(Fd);
+    Fd = -1;
+  }
+  int Fd = -1;
+  std::string RxBuf;
+};
+
+/// Pulls the variable token out of "race on o3.f1: T1 write vs T0 write".
+bool raceVarOf(const std::string &Report, std::string &Var) {
+  const std::string Tag = "race on ";
+  size_t B = Report.find(Tag);
+  if (B == std::string::npos)
+    return false;
+  B += Tag.size();
+  size_t E = Report.find(':', B);
+  if (E == std::string::npos)
+    return false;
+  Var.assign(Report, B, E - B);
+  return true;
+}
+
+void runClient(const Params &P, uint64_t Id, Result &R) {
+  RandomTraceParams TP;
+  TP.Seed = P.Seed + Id;
+  TP.StepsPerThread = P.Steps;
+  TP.NumThreads = static_cast<ThreadId>(P.Threads);
+  Trace T = generateRandomTrace(TP);
+  std::vector<std::string> Lines;
+  {
+    std::istringstream In(serializeTrace(T));
+    std::string L;
+    while (std::getline(In, L))
+      if (!L.empty())
+        Lines.push_back(L);
+  }
+
+  uint64_t Rng = P.Seed * 0x9e3779b97f4a7c15ULL + Id;
+  uint64_t *WriteRng = P.ChaosWrites ? &Rng : nullptr;
+  auto Deadline = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(P.DeadlineMs);
+  auto Expired = [&] { return std::chrono::steady_clock::now() > Deadline; };
+  auto Fail = [&](const std::string &Why) {
+    R.Failed = true;
+    R.Why = Why;
+  };
+
+  Wire W;
+  char Buf[192];
+  size_t Next = 0;          ///< seq of the next line to send
+  size_t SettledTo = 0;     ///< server-confirmed expect (stat/open replies)
+  size_t SentSinceConn = 0; ///< drives forced reconnects
+  std::set<std::string> GotVars;
+
+  // (Re)connects and re-opens; applies the server's resume point.
+  auto OpenSession = [&]() -> bool {
+    while (!Expired()) {
+      if (!W.connectTo(P.Host, P.Port)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        continue;
+      }
+      std::snprintf(Buf, sizeof(Buf), "open %llu\n", (unsigned long long)Id);
+      if (!W.sendAll(Buf, nullptr))
+        continue;
+      std::string L;
+      int Rd = W.readLine(L, 2000);
+      if (Rd <= 0) {
+        // accept-shed / accept-fail chaos closes before any reply lands.
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        continue;
+      }
+      if (L.rfind("bye", 0) == 0)
+        continue; // accept-shed with an explanation
+      if (L.rfind("ok open", 0) == 0) {
+        size_t E = L.find("expect=");
+        if (E != std::string::npos)
+          Next = SettledTo = std::strtoull(L.c_str() + E + 7, nullptr, 10);
+        // A fresh `ok open <id>` keeps our position: the session was
+        // created just now, so Next/SettledTo are already 0.
+        SentSinceConn = 0;
+        return true;
+      }
+      // "err open ... retry-after-ns=..." (admission backpressure) or
+      // "busy" (our previous connection not yet reaped) — honor and retry.
+      size_t RA = L.find("retry-after-ns=");
+      uint64_t WaitNs = RA != std::string::npos
+                            ? std::strtoull(L.c_str() + RA + 15, nullptr, 10)
+                            : 20000000ull;
+      std::this_thread::sleep_for(
+          std::chrono::nanoseconds(std::min<uint64_t>(WaitNs, 50000000)));
+    }
+    Fail("open: deadline expired");
+    return false;
+  };
+
+  // Handles one asynchronous server reply during streaming. Returns false
+  // when this connection is done for (reconnect or session death decides).
+  bool SessionDead = false;
+  auto Handle = [&](const std::string &L) -> bool {
+    if (L.rfind("ping", 0) == 0) {
+      W.sendAll("pong" + L.substr(4) + "\n", nullptr);
+      return true;
+    }
+    if (L.rfind("bye", 0) == 0)
+      return false; // server closed us; the reconnect path takes over
+    size_t SeqAt = L.find(" seq=");
+    if (L.rfind("err line", 0) == 0 && SeqAt != std::string::npos) {
+      uint64_t Seq = std::strtoull(L.c_str() + SeqAt + 5, nullptr, 10);
+      if (L.find(" backpressure ") != std::string::npos) {
+        // The refused line and everything pipelined behind it must be
+        // re-sent; honor the jittered hint (capped: this is a soak).
+        size_t RA = L.find("retry-after-ns=");
+        uint64_t WaitNs =
+            RA != std::string::npos
+                ? std::strtoull(L.c_str() + RA + 15, nullptr, 10)
+                : 1000000ull;
+        Next = std::min<size_t>(Next, Seq);
+        ++R.Rewinds;
+        std::this_thread::sleep_for(
+            std::chrono::nanoseconds(std::min<uint64_t>(WaitNs, 20000000)));
+        return true;
+      }
+      if (L.find(" resync ") != std::string::npos) {
+        size_t EX = L.find("expect=");
+        if (EX != std::string::npos) {
+          Next = std::strtoull(L.c_str() + EX + 7, nullptr, 10);
+          ++R.Rewinds;
+        }
+        return true;
+      }
+    }
+    if (L.rfind("err line", 0) == 0 &&
+        (L.find("closed:") != std::string::npos ||
+         L.find("unknown client") != std::string::npos)) {
+      R.Killed = true; // chaos tore the session down; loss is counted
+      SessionDead = true;
+      return false;
+    }
+    if (L.rfind("ok stat", 0) == 0) {
+      size_t EX = L.find("expect=");
+      if (EX != std::string::npos)
+        SettledTo = std::strtoull(L.c_str() + EX + 7, nullptr, 10);
+      if (L.find("state=dead") != std::string::npos) {
+        R.Killed = true;
+        SessionDead = true;
+        return false;
+      }
+      return true;
+    }
+    return true; // unknown chatter (health lines etc.): ignore
+  };
+
+  if (!OpenSession())
+    return;
+
+  // Stream until the server confirms it consumed every line.
+  while (!SessionDead && !R.Failed) {
+    if (Expired()) {
+      Fail("stream: deadline expired");
+      break;
+    }
+    // Drain any pending replies without blocking.
+    bool Alive = true;
+    std::string L;
+    int Rd = 0;
+    while (Alive && (Rd = W.readLine(L, 0)) == 1)
+      Alive = Handle(L);
+    if (Alive && Rd == -1)
+      Alive = false;
+    if (!Alive) {
+      if (SessionDead)
+        break;
+      ++R.Reconnects;
+      if (!OpenSession())
+        return;
+      continue;
+    }
+    if (SettledTo >= Lines.size())
+      break; // everything consumed server-side
+    if (P.ReconnectEvery && SentSinceConn >= P.ReconnectEvery) {
+      // Forced mid-stream reconnect — sometimes mid-frame, so the server
+      // must drop a partial frame and resume us exactly at its expect.
+      if (mix64(Rng) % 2) {
+        std::snprintf(Buf, sizeof(Buf), "line %llu %llu half-a-",
+                      (unsigned long long)Id, (unsigned long long)Next);
+        W.sendAll(Buf, nullptr); // no newline: dangling partial frame
+      }
+      W.abortConn();
+      ++R.Reconnects;
+      if (!OpenSession())
+        return;
+      continue;
+    }
+    if (Next < Lines.size()) {
+      // Optimistic pipelining: a burst of sequenced lines with no waiting
+      // for acks. Backpressure/resync replies rewind Next when needed.
+      size_t Batch =
+          std::min<size_t>(Lines.size() - Next, 1 + mix64(Rng) % 12);
+      std::string Out;
+      for (size_t I = 0; I != Batch; ++I) {
+        std::snprintf(Buf, sizeof(Buf), "line %llu %llu ",
+                      (unsigned long long)Id,
+                      (unsigned long long)(Next + I));
+        Out += Buf;
+        Out += Lines[Next + I];
+        Out += '\n';
+      }
+      if (!W.sendAll(Out, WriteRng)) {
+        ++R.Reconnects;
+        if (!OpenSession())
+          return;
+        continue;
+      }
+      Next += Batch;
+      SentSinceConn += Batch;
+    } else {
+      // All sent; poll the server's confirmed position.
+      std::snprintf(Buf, sizeof(Buf), "stat %llu\n", (unsigned long long)Id);
+      if (!W.sendAll(Buf, nullptr))
+        continue; // send failed; the drain loop above reconnects
+      if (W.readLine(L, 500) == 1 && !Handle(L))
+        continue;
+      if (SettledTo < Next)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+
+  if (R.Failed || R.Killed)
+    return;
+
+  // Close and collect verdicts. close is idempotent, so a shed reply or a
+  // verdict-queue backpressure refusal is healed by re-sending it.
+  bool ClosedOk = false;
+  for (unsigned Try = 0; !ClosedOk && !R.Killed; ++Try) {
+    if (Expired() || Try > 200) {
+      Fail("close: no ok after retries");
+      return;
+    }
+    if (!W.connected()) {
+      ++R.Reconnects;
+      if (!OpenSession())
+        return;
+    }
+    std::snprintf(Buf, sizeof(Buf), "close %llu\n", (unsigned long long)Id);
+    if (!W.sendAll(Buf, nullptr)) {
+      W.abortConn();
+      continue;
+    }
+    std::string L;
+    for (;;) {
+      int Rd = W.readLine(L, 2000);
+      if (Rd == 0)
+        break; // reply shed; re-send close
+      if (Rd < 0) {
+        W.abortConn();
+        break;
+      }
+      if (L.rfind("ping", 0) == 0) {
+        W.sendAll("pong" + L.substr(4) + "\n", nullptr);
+        continue;
+      }
+      if (L.rfind("race ", 0) == 0) {
+        std::string Var;
+        if (raceVarOf(L, Var)) {
+          GotVars.insert(Var);
+          ++R.Races;
+        }
+        continue;
+      }
+      if (L.rfind("ok close", 0) == 0) {
+        ClosedOk = true;
+        break;
+      }
+      if (L.find("backpressure") != std::string::npos) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        break; // verdict queue needs room; re-send close
+      }
+      if (L.find("unknown client") != std::string::npos) {
+        R.Killed = true;
+        break;
+      }
+    }
+  }
+  if (R.Killed)
+    return;
+
+  // Threaded servers may produce verdicts after the close ack; poll until
+  // the session reports dead with nothing further to hand over.
+  while (!Expired()) {
+    std::snprintf(Buf, sizeof(Buf), "verdicts %llu\n",
+                  (unsigned long long)Id);
+    if (!W.connected() || !W.sendAll(Buf, nullptr))
+      break; // already drained everything via close; conn gone is fine
+    std::string L;
+    size_t Batch = 0;
+    bool Done = false, Lost = false;
+    for (;;) {
+      int Rd = W.readLine(L, 2000);
+      if (Rd <= 0) {
+        Lost = true;
+        break;
+      }
+      if (L.rfind("ping", 0) == 0) {
+        W.sendAll("pong" + L.substr(4) + "\n", nullptr);
+        continue;
+      }
+      if (L.rfind("race ", 0) == 0) {
+        std::string Var;
+        if (raceVarOf(L, Var)) {
+          GotVars.insert(Var);
+          ++R.Races;
+        }
+        ++Batch;
+        continue;
+      }
+      if (L.rfind("ok verdicts", 0) == 0) {
+        Done = Batch == 0 && L.find("state=dead") != std::string::npos;
+        break;
+      }
+      if (L.find("backpressure") != std::string::npos ||
+          L.find("unknown client") != std::string::npos)
+        break;
+    }
+    if (Lost || Done)
+      break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+
+  // Differential validation against the happens-before oracle.
+  R.Compared = true;
+  std::set<std::string> WantVars;
+  RaceOracle O(T, TxnSyncSemantics::SharedVariable);
+  for (const VarId &V : O.racyVars())
+    WantVars.insert(V.str());
+  if (GotVars != WantVars) {
+    R.Diverged = true;
+    std::fprintf(stderr,
+                 "net-chaos: client %llu DIVERGED: wire=%zu oracle=%zu racy "
+                 "var(s)\n",
+                 (unsigned long long)Id, GotVars.size(), WantVars.size());
+  }
+}
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: net_chaos_client --port <p> [--host <addr>] [--clients <k>]\n"
+      "         [--steps <n>] [--threads <n>] [--seed <n>]\n"
+      "         [--reconnect-every <lines>] [--no-chaos-writes]\n"
+      "         [--deadline-ms <n>]\n");
+  return 126;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  Params P;
+  for (int I = 1; I != Argc; ++I) {
+    std::string A = Argv[I];
+    auto Val = [&]() -> const char * {
+      if (I + 1 >= Argc)
+        std::exit(usage());
+      return Argv[++I];
+    };
+    if (A == "--host")
+      P.Host = Val();
+    else if (A == "--port")
+      P.Port = static_cast<uint16_t>(std::strtoul(Val(), nullptr, 10));
+    else if (A == "--clients")
+      P.Clients = std::strtoull(Val(), nullptr, 10);
+    else if (A == "--steps")
+      P.Steps = static_cast<unsigned>(std::strtoul(Val(), nullptr, 10));
+    else if (A == "--threads")
+      P.Threads = static_cast<unsigned>(std::strtoul(Val(), nullptr, 10));
+    else if (A == "--seed")
+      P.Seed = std::strtoull(Val(), nullptr, 10);
+    else if (A == "--reconnect-every")
+      P.ReconnectEvery = std::strtoull(Val(), nullptr, 10);
+    else if (A == "--no-chaos-writes")
+      P.ChaosWrites = false;
+    else if (A == "--deadline-ms")
+      P.DeadlineMs = std::strtoull(Val(), nullptr, 10);
+    else
+      return usage();
+  }
+  if (!P.Port || !P.Clients)
+    return usage();
+
+  std::vector<Result> Results(P.Clients);
+  std::vector<std::thread> Threads;
+  Threads.reserve(P.Clients);
+  for (size_t I = 0; I != P.Clients; ++I)
+    Threads.emplace_back(
+        [&, I] { runClient(P, static_cast<uint64_t>(I + 1), Results[I]); });
+  for (std::thread &T : Threads)
+    T.join();
+
+  size_t Compared = 0, Killed = 0, Failed = 0, Diverged = 0, Races = 0,
+         Reconnects = 0, Rewinds = 0;
+  for (size_t I = 0; I != Results.size(); ++I) {
+    const Result &R = Results[I];
+    Compared += R.Compared;
+    Killed += R.Killed;
+    Failed += R.Failed;
+    Diverged += R.Diverged;
+    Races += R.Races;
+    Reconnects += R.Reconnects;
+    Rewinds += R.Rewinds;
+    if (R.Failed)
+      std::fprintf(stderr, "net-chaos: client %zu failed: %s\n", I + 1,
+                   R.Why.c_str());
+  }
+  std::printf("net-chaos clients=%zu compared=%zu killed=%zu failed=%zu "
+              "diverged=%zu races=%zu reconnects=%zu rewinds=%zu\n",
+              P.Clients, Compared, Killed, Failed, Diverged, Races,
+              Reconnects, Rewinds);
+  if (Diverged || Failed || !Compared)
+    return 1;
+  return 0;
+}
