@@ -1,39 +1,52 @@
 //===- bench/bench_net.cpp - Socket transport throughput bench ------------===//
 ///
-/// Measures the PR-8 socket front end (DESIGN.md §16) over real loopback
-/// TCP under two scenarios:
+/// TCP-vs-SHM A/B for the PR-9 ring transport (DESIGN.md §17): every arm
+/// drives the production GoldClient library over the same pre-generated
+/// traces, so the transport is the only variable. TCP pays what a TCP
+/// deployment pays — per-action text serialization, sequenced `line`
+/// frames, ack parsing, kernel socket hops (DESIGN.md §16). SHM pays the
+/// binary path: a ~64-byte frame encode into a shared ring slot, no
+/// syscalls, no text anywhere. Four scenarios:
 ///
-///   steady — no fault injection, persistent connections: the clean-path
-///            figures. Connections/sec, frames/sec and the p50/p99 frame
-///            dispatch latency from the server's own telemetry histogram
-///            (frame extracted → dispatch complete — the same series a
-///            production /metrics scrape reports). The steady run asserts
-///            ZERO loss: every client's verdicts must match the
-///            happens-before oracle exactly, or the bench exits nonzero.
-///   chaos  — all four net-* failpoints armed plus a forced abrupt
-///            disconnect every 25 lines per client: the interesting numbers
-///            are the shed/reconnect/resume counts and how far p99 moves
-///            while surviving clients still match the oracle.
+///   steady     — TCP, no fault injection: the clean-path baseline.
+///                Asserts ZERO loss: every client's verdicts must match
+///                the happens-before oracle exactly, or exit nonzero.
+///   chaos      — TCP with all four net-* failpoints armed: accept
+///                failures, partial reads, write stalls and connection
+///                hangs force GoldClient's reconnect-with-resume path;
+///                survivors must still match the oracle.
+///   shm-steady — ring transport, clean path. The headline number is the
+///                frames/s ratio against steady (shm_speedup_vs_tcp).
+///   shm-chaos  — the shm-producer-stall failpoint wedges producers past
+///                the server's (shortened) wedge timeout, forcing
+///                crash-only reaps followed by reclaim-with-resume;
+///                surviving clients must still match the oracle exactly.
 ///
-/// Each scenario runs K client threads against one NetServer event-loop
+/// Each scenario runs K client threads against one server event-loop
 /// thread (inline service pumping — the single-process deployment shape).
-/// Clients speak the sequenced wire protocol: pipelined `line` frames,
-/// backpressure/resync rewinds honored, reconnect-with-resume on every
-/// disconnect.
+/// The raw-wire protocol-conformance client (pipelining, rewinds, partial
+/// frames) lives in tools/net_chaos_client.cpp and the CI soak, not here.
 ///
 /// Emits the gold-bench-v1 artifact consumed by tools/check_bench_schema.py
 /// (checked in as BENCH_net.json): per-scenario connections/sec, frames/sec,
-/// frame-latency quantiles, shed + reconnect counts, and the differential
-/// verdict-divergence count (0 required in steady).
+/// frame-latency quantiles, shed + reconnect counts, the differential
+/// verdict-divergence count (0 required in steady scenarios), and the
+/// TCP-vs-SHM speedup. With --assert-shm-ab the bench exits nonzero unless
+/// shm-steady sustains >= 3x TCP steady frames/s with p99 enqueue latency
+/// no worse — the PR-9 acceptance gate (off by default: sanitizer builds
+/// skew the ratio).
 ///
 //===----------------------------------------------------------------------===//
 
 #include "bench/BenchUtil.h"
+#include "client/GoldClient.h"
 #include "event/RandomTrace.h"
 #include "event/TraceIO.h"
 #include "hb/HbOracle.h"
 #include "service/Service.h"
 #include "service/net/NetServer.h"
+#include "service/net/Protocol.h"
+#include "service/shm/ShmServer.h"
 #include "support/Failpoints.h"
 #include "support/Table.h"
 #include "support/Timer.h"
@@ -69,314 +82,83 @@ struct Scenario {
   uint32_t PartialReadPpm;
   uint32_t WriteStallPpm;
   uint32_t ConnHangPpm;
-  size_t ReconnectEvery; ///< forced abrupt disconnect cadence (0 = off)
+  bool Shm;             ///< shared-memory ring transport instead of TCP
+  uint32_t ShmStallPpm; ///< shm-producer-stall rate (wedge-reap chaos)
 };
 
 constexpr Scenario Scenarios[] = {
-    {"steady", 0, 0, 0, 0, 0},
-    {"chaos", 30000, 100000, 50000, 300, 25},
-};
-
-std::vector<std::string> traceLines(const Trace &T) {
-  std::vector<std::string> Lines;
-  std::istringstream In(serializeTrace(T));
-  std::string L;
-  while (std::getline(In, L))
-    if (!L.empty())
-      Lines.push_back(L);
-  return Lines;
-}
-
-/// Blocking loopback line client (same protocol core as the chaos harness).
-struct Wire {
-  int Fd = -1;
-  std::string Rx;
-
-  ~Wire() { closeFd(); }
-
-  bool connectTo(uint16_t Port) {
-    closeFd();
-    Rx.clear();
-    Fd = ::socket(AF_INET, SOCK_STREAM, 0);
-    if (Fd < 0)
-      return false;
-    sockaddr_in A;
-    std::memset(&A, 0, sizeof(A));
-    A.sin_family = AF_INET;
-    A.sin_port = htons(Port);
-    ::inet_pton(AF_INET, "127.0.0.1", &A.sin_addr);
-    if (::connect(Fd, reinterpret_cast<sockaddr *>(&A), sizeof(A)) != 0) {
-      closeFd();
-      return false;
-    }
-    int One = 1;
-    ::setsockopt(Fd, IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
-    return true;
-  }
-
-  bool sendAll(const std::string &Data) {
-    size_t Off = 0;
-    while (Off < Data.size()) {
-      ssize_t W =
-          ::send(Fd, Data.data() + Off, Data.size() - Off, MSG_NOSIGNAL);
-      if (W < 0) {
-        if (errno == EINTR)
-          continue;
-        return false;
-      }
-      Off += static_cast<size_t>(W);
-    }
-    return true;
-  }
-
-  /// 1 = line, 0 = timeout, -1 = gone.
-  int readLine(std::string &Out, int TimeoutMs) {
-    for (;;) {
-      size_t P = Rx.find('\n');
-      if (P != std::string::npos) {
-        Out.assign(Rx, 0, P);
-        Rx.erase(0, P + 1);
-        return 1;
-      }
-      pollfd PF{Fd, POLLIN, 0};
-      int R = ::poll(&PF, 1, TimeoutMs);
-      if (R == 0)
-        return 0;
-      if (R < 0) {
-        if (errno == EINTR)
-          continue;
-        return -1;
-      }
-      char B[4096];
-      ssize_t N = ::recv(Fd, B, sizeof(B), 0);
-      if (N > 0) {
-        Rx.append(B, static_cast<size_t>(N));
-        continue;
-      }
-      if (N < 0 && errno == EINTR)
-        continue;
-      return -1;
-    }
-  }
-
-  void closeFd() {
-    if (Fd >= 0)
-      ::close(Fd);
-    Fd = -1;
-  }
+    {"steady", 0, 0, 0, 0, false, 0},
+    {"chaos", 30000, 100000, 50000, 1000, false, 0},
+    {"shm-steady", 0, 0, 0, 0, true, 0},
+    {"shm-chaos", 0, 0, 0, 0, true, 2000},
 };
 
 struct ClientOutcome {
+  bool Finished = false; ///< verdicts fully collected; Got is complete
   bool Compared = false;
   bool Diverged = false;
   size_t Reconnects = 0;
+  std::set<std::string> Got; ///< diffed against the oracle OUTSIDE the
+                             ///< timed window (the oracle is O(trace) and
+                             ///< would otherwise dominate short runs)
 };
 
-/// Pulls "o3.f1" out of "race on o3.f1: ...".
-bool raceVarOf(const std::string &Report, std::string &Var) {
-  const std::string Tag = "race on ";
-  size_t B = Report.find(Tag);
-  if (B == std::string::npos)
-    return false;
-  B += Tag.size();
-  size_t E = Report.find(':', B);
-  if (E == std::string::npos)
-    return false;
-  Var.assign(Report, B, E - B);
-  return true;
+/// Differential check of delivered verdicts against the oracle.
+bool diffOracle(const Trace &T, const std::set<std::string> &Got) {
+  std::set<std::string> Want;
+  RaceOracle O(T, TxnSyncSemantics::SharedVariable);
+  for (const VarId &V : O.racyVars())
+    Want.insert(V.str());
+  return Got != Want;
 }
 
-void runClient(uint16_t Port, uint64_t Id, const Trace &T,
-               const std::vector<std::string> &Ls, size_t ReconnectEvery,
-               ClientOutcome &Out) {
-  auto Deadline =
-      std::chrono::steady_clock::now() + std::chrono::seconds(180);
-  auto Expired = [&] { return std::chrono::steady_clock::now() > Deadline; };
-  Wire W;
-  char Buf[64];
-  size_t Next = 0, SettledTo = 0, SinceConn = 0;
-  uint64_t Rng = Id * 0x9e3779b97f4a7c15ULL + 3;
-  auto Rand = [&Rng] {
-    Rng ^= Rng << 13;
-    Rng ^= Rng >> 7;
-    Rng ^= Rng << 17;
-    return Rng;
-  };
-
-  auto Open = [&]() -> bool {
-    while (!Expired()) {
-      if (!W.connectTo(Port)) {
-        std::this_thread::sleep_for(std::chrono::milliseconds(2));
-        continue;
-      }
-      std::snprintf(Buf, sizeof(Buf), "open %llu\n", (unsigned long long)Id);
-      std::string L;
-      if (!W.sendAll(Buf) || W.readLine(L, 3000) != 1)
-        continue;
-      if (L.rfind("ok open", 0) == 0) {
-        size_t E = L.find("expect=");
-        if (E != std::string::npos)
-          Next = SettledTo = std::strtoull(L.c_str() + E + 7, nullptr, 10);
-        SinceConn = 0;
-        return true;
-      }
-      std::this_thread::sleep_for(std::chrono::milliseconds(2));
-    }
-    return false;
-  };
-
-  auto Handle = [&](const std::string &L) -> bool {
-    if (L.rfind("ping", 0) == 0)
-      return W.sendAll("pong" + L.substr(4) + "\n");
-    if (L.rfind("bye", 0) == 0)
-      return false;
-    if (L.rfind("err line", 0) == 0) {
-      size_t SeqAt = L.find(" seq=");
-      if (L.find(" backpressure ") != std::string::npos &&
-          SeqAt != std::string::npos) {
-        Next = std::min<size_t>(
-            Next, std::strtoull(L.c_str() + SeqAt + 5, nullptr, 10));
-        std::this_thread::sleep_for(std::chrono::microseconds(200));
-        return true;
-      }
-      size_t EX = L.find("expect=");
-      if (L.find(" resync ") != std::string::npos && EX != std::string::npos)
-        Next = std::strtoull(L.c_str() + EX + 7, nullptr, 10);
-      return true;
-    }
-    if (L.rfind("ok stat", 0) == 0) {
-      size_t EX = L.find("expect=");
-      if (EX != std::string::npos)
-        SettledTo = std::strtoull(L.c_str() + EX + 7, nullptr, 10);
-    }
-    return true;
-  };
-
-  if (!Open())
+/// One A/B client: the production GoldClient library driving the trace
+/// end-to-end — publish(Action) with serialization (TCP) or binary frame
+/// encode (shm) inside the timed window, exactly as a deployment pays it.
+/// The transport is the only variable between the arms; the raw-wire
+/// protocol-conformance client lives in tools/net_chaos_client.cpp.
+void runGoldClient(const client::GoldClientConfig &CC, const Trace &T,
+                   ClientOutcome &Out) {
+  client::GoldClient GC(CC);
+  std::string Err;
+  if (!GC.connect(Err)) {
+    std::fprintf(stderr, "bench_net: client %llu connect: %s\n",
+                 (unsigned long long)CC.ClientId, Err.c_str());
+    return; // uncompared, counted by the caller
+  }
+  for (const Action &A : T.Actions)
+    if (!GC.publish(A, A.Kind == ActionKind::Commit ? &T.commitSets(A)
+                                                    : nullptr))
+      break; // stream died; closeAndCollect reports why
+  std::vector<std::string> Vars;
+  bool Ok = GC.closeAndCollect(Vars, Err);
+  Out.Reconnects = GC.stats().Reconnects;
+  if (!Ok) {
+    // Uncompared clients count toward the loss gate; say why on stderr so
+    // a red run is diagnosable from the log alone.
+    std::fprintf(stderr, "bench_net: client %llu close: %s\n",
+                 (unsigned long long)CC.ClientId, Err.c_str());
     return;
-  while (SettledTo < Ls.size() && !Expired()) {
-    // Drain replies already buffered or readable without blocking.
-    bool Alive = true;
-    std::string L;
-    for (;;) {
-      pollfd PF{W.Fd, POLLIN, 0};
-      if (W.Rx.find('\n') == std::string::npos && ::poll(&PF, 1, 0) <= 0)
-        break;
-      int Rd = W.readLine(L, 0);
-      if (Rd == 0)
-        break;
-      if (Rd < 0 || !Handle(L)) {
-        Alive = false;
-        break;
-      }
-    }
-    if (!Alive) {
-      ++Out.Reconnects;
-      if (!Open())
-        return;
-      continue;
-    }
-    if (ReconnectEvery && SinceConn >= ReconnectEvery) {
-      if (Rand() % 2) { // half the time abandon a dangling partial frame
-        std::snprintf(Buf, sizeof(Buf), "line %llu %llu half",
-                      (unsigned long long)Id, (unsigned long long)Next);
-        W.sendAll(Buf);
-      }
-      W.closeFd();
-      ++Out.Reconnects;
-      if (!Open())
-        return;
-      continue;
-    }
-    if (Next < Ls.size()) {
-      size_t Batch = std::min<size_t>(Ls.size() - Next, 16);
-      std::string Chunk;
-      for (size_t I = 0; I != Batch; ++I) {
-        std::snprintf(Buf, sizeof(Buf), "line %llu %llu ",
-                      (unsigned long long)Id,
-                      (unsigned long long)(Next + I));
-        Chunk += Buf;
-        Chunk += Ls[Next + I];
-        Chunk += '\n';
-      }
-      if (!W.sendAll(Chunk)) {
-        ++Out.Reconnects;
-        if (!Open())
-          return;
-        continue;
-      }
-      Next += Batch;
-      SinceConn += Batch;
-    } else {
-      std::snprintf(Buf, sizeof(Buf), "stat %llu\n", (unsigned long long)Id);
-      std::string L2;
-      if (!W.sendAll(Buf) || W.readLine(L2, 3000) != 1) {
-        ++Out.Reconnects;
-        if (!Open())
-          return;
-        continue;
-      }
-      Handle(L2);
-      if (SettledTo < Next)
-        std::this_thread::sleep_for(std::chrono::microseconds(500));
-    }
   }
-  if (SettledTo < Ls.size())
-    return; // deadline: uncompared, counted by the caller
+  Out.Finished = true;
+  Out.Got = std::set<std::string>(Vars.begin(), Vars.end());
+}
 
-  std::set<std::string> Got;
-  for (unsigned Try = 0; Try != 400 && !Expired(); ++Try) {
-    if (W.Fd < 0 && !Open())
-      return;
-    std::snprintf(Buf, sizeof(Buf), "close %llu\n", (unsigned long long)Id);
-    if (!W.sendAll(Buf)) {
-      W.closeFd();
-      ++Out.Reconnects;
-      continue;
-    }
-    std::string L;
-    for (;;) {
-      if (W.readLine(L, 3000) != 1) {
-        W.closeFd();
-        ++Out.Reconnects;
-        break;
-      }
-      if (L.rfind("ping", 0) == 0) {
-        W.sendAll("pong" + L.substr(4) + "\n");
-        continue;
-      }
-      if (L.rfind("race ", 0) == 0) {
-        std::string Var;
-        if (raceVarOf(L, Var))
-          Got.insert(Var);
-        continue;
-      }
-      if (L.rfind("ok close", 0) == 0) {
-        Out.Compared = true;
-        std::set<std::string> Want;
-        RaceOracle O(T, TxnSyncSemantics::SharedVariable);
-        for (const VarId &V : O.racyVars())
-          Want.insert(V.str());
-        Out.Diverged = Got != Want;
-        return;
-      }
-      if (L.find("backpressure") != std::string::npos) {
-        std::this_thread::sleep_for(std::chrono::milliseconds(1));
-        break; // re-send close
-      }
-      if (L.rfind("bye", 0) == 0) {
-        W.closeFd();
-        ++Out.Reconnects;
-        break;
-      }
-    }
-  }
+void runTcpClient(uint16_t Port, uint64_t Id, const Trace &T,
+                  ClientOutcome &Out) {
+  client::GoldClientConfig CC;
+  CC.ClientId = Id;
+  CC.Port = Port;
+  CC.BufferCapActions = T.Actions.size() + 8; // shedding would skew the diff
+  CC.OpTimeoutNanos = 120ull * 1000000000;
+  runGoldClient(CC, T, Out);
 }
 
 struct RunNumbers {
   double Seconds = 0;
   size_t Compared = 0, Diverged = 0, Uncompared = 0, Reconnects = 0;
-  NetStats Net;
+  NetStats Net;        ///< TCP scenarios
+  shm::ShmStats ShmSt; ///< shm scenarios
   HistogramSnapshot Lat;
   ServiceHealth Health;
 };
@@ -395,8 +177,12 @@ RunNumbers runScenario(const Scenario &Sc, unsigned Clients, unsigned Steps,
   SC.RingCapacity = 256;
   DetectionService Svc(SC);
   NetConfig NC;
-  NC.ReadDeadlineNanos = 150ull * 1000000; // hangs resolve quickly
-  NC.HeartbeatNanos = 60ull * 1000000;
+  // Deadlines sized for an oversubscribed host: client threads routinely
+  // deschedule for a full scheduler quantum, and a read deadline shorter
+  // than a few of those kills healthy connections. Hung connections (the
+  // conn-hang failpoint) still resolve within one deadline.
+  NC.ReadDeadlineNanos = 500ull * 1000000;
+  NC.HeartbeatNanos = 150ull * 1000000;
   NC.WriteDeadlineNanos = 2000ull * 1000000;
   NetServer Net(Svc, NC);
   std::string Err;
@@ -407,13 +193,11 @@ RunNumbers runScenario(const Scenario &Sc, unsigned Clients, unsigned Steps,
   }
 
   std::vector<Trace> Traces;
-  std::vector<std::vector<std::string>> AllLines;
   for (unsigned I = 0; I != Clients; ++I) {
     RandomTraceParams P;
     P.Seed = Seed * 1000 + I;
     P.StepsPerThread = Steps;
     Traces.push_back(generateRandomTrace(P));
-    AllLines.push_back(traceLines(Traces.back()));
   }
 
   std::atomic<bool> Stop{false};
@@ -423,10 +207,8 @@ RunNumbers runScenario(const Scenario &Sc, unsigned Clients, unsigned Steps,
   {
     std::vector<std::thread> Threads;
     for (unsigned I = 0; I != Clients; ++I)
-      Threads.emplace_back([&, I] {
-        runClient(Net.port(), I + 1, Traces[I], AllLines[I],
-                  Sc.ReconnectEvery, Outcomes[I]);
-      });
+      Threads.emplace_back(
+          [&, I] { runTcpClient(Net.port(), I + 1, Traces[I], Outcomes[I]); });
     for (std::thread &Th : Threads)
       Th.join();
   }
@@ -436,6 +218,13 @@ RunNumbers runScenario(const Scenario &Sc, unsigned Clients, unsigned Steps,
   Net.drainAndStop();
   Svc.shutdown();
 
+  // Oracle diff happens here, after the timer stopped: RaceOracle is
+  // O(trace) per client and would otherwise dominate short timed runs.
+  for (unsigned I = 0; I != Clients; ++I)
+    if (Outcomes[I].Finished) {
+      Outcomes[I].Compared = true;
+      Outcomes[I].Diverged = diffOracle(Traces[I], Outcomes[I].Got);
+    }
   for (const ClientOutcome &O : Outcomes) {
     R.Compared += O.Compared;
     R.Diverged += O.Compared && O.Diverged;
@@ -444,6 +233,96 @@ RunNumbers runScenario(const Scenario &Sc, unsigned Clients, unsigned Steps,
   }
   R.Net = Net.stats();
   R.Lat = Net.frameLatency();
+  R.Health = Svc.health();
+  return R;
+}
+
+/// Same library, other transport: binary frames into the ring, no text
+/// serialization anywhere.
+void runShmClient(const std::string &Path, uint64_t Id, const Trace &T,
+                  ClientOutcome &Out) {
+  client::GoldClientConfig CC;
+  CC.ClientId = Id;
+  CC.ShmPath = Path;
+  CC.Port = 0; // ring transport only; no TCP fallback in the A/B bench
+  CC.BufferCapActions = T.Actions.size() + 8; // shedding would skew the diff
+  CC.OpTimeoutNanos = 120ull * 1000000000;
+  runGoldClient(CC, T, Out);
+}
+
+RunNumbers runShmScenario(const Scenario &Sc, unsigned Clients,
+                          unsigned Steps, uint64_t Seed) {
+  FailpointConfig FC;
+  FC.Seed = Seed;
+  FC.rate(Failpoint::ShmProducerStall, Sc.ShmStallPpm);
+  FC.StallMicros = 60000; // each stall must outlive the wedge timeout
+  FailpointScope Scope(FC);
+
+  ServiceConfig SC;
+  SC.RingCapacity = 256;
+  DetectionService Svc(SC);
+  shm::ShmConfig ShC;
+  static std::atomic<unsigned> SegSerial{0};
+  ShC.Path = "/dev/shm/gold-bench-" + std::to_string(::getpid()) + "-" +
+             std::to_string(SegSerial.fetch_add(1)) + ".ring";
+  ShC.Rings = std::max(16u, Clients);
+  // Deep rings drained whole: on an oversubscribed host each producer
+  // fills a long run of slots per scheduling quantum and the consumer
+  // clears it in one pass, so the slot protocol is paid per frame but the
+  // context switches are paid per thousands of frames.
+  ShC.SlotsPerRing = 4096;
+  ShC.ConsumeBatch = ShC.SlotsPerRing;
+  if (Sc.ShmStallPpm)
+    ShC.WedgeTimeoutNanos = 20ull * 1000000; // stalls become wedge reaps
+  shm::ShmServer Shm(Svc, ShC);
+  std::string Err;
+  RunNumbers R;
+  if (!Shm.start(Err)) {
+    std::fprintf(stderr, "bench_net: shm start failed: %s\n", Err.c_str());
+    return R;
+  }
+
+  std::vector<Trace> Traces;
+  for (unsigned I = 0; I != Clients; ++I) {
+    RandomTraceParams P;
+    P.Seed = Seed * 1000 + I;
+    P.StepsPerThread = Steps;
+    Traces.push_back(generateRandomTrace(P));
+  }
+
+  std::atomic<bool> Stop{false};
+  std::thread Loop([&] { Shm.runLoop(Stop, 1); });
+  std::vector<ClientOutcome> Outcomes(Clients);
+  Timer T;
+  {
+    std::vector<std::thread> Threads;
+    for (unsigned I = 0; I != Clients; ++I)
+      Threads.emplace_back(
+          [&, I] { runShmClient(ShC.Path, I + 1, Traces[I], Outcomes[I]); });
+    for (std::thread &Th : Threads)
+      Th.join();
+  }
+  R.Seconds = T.seconds();
+  Stop.store(true);
+  Loop.join();
+  Shm.drainAndStop();
+  Svc.shutdown();
+  ::unlink(ShC.Path.c_str());
+
+  // Deferred oracle diff — outside the timed window (see runScenario).
+  for (unsigned I = 0; I != Clients; ++I)
+    if (Outcomes[I].Finished) {
+      Outcomes[I].Compared = true;
+      Outcomes[I].Diverged = diffOracle(Traces[I], Outcomes[I].Got);
+    }
+  for (const ClientOutcome &O : Outcomes) {
+    R.Compared += O.Compared;
+    R.Diverged += O.Compared && O.Diverged;
+    R.Uncompared += !O.Compared;
+    R.Reconnects += O.Reconnects;
+  }
+  R.ShmSt = Shm.stats();
+  R.Lat = Shm.enqueueLatency();
   R.Health = Svc.health();
   return R;
 }
@@ -458,9 +337,13 @@ int main(int Argc, char **Argv) {
   uint64_t Seed = parseUintArg(Argc, Argv, "--seed", 1);
   std::string JsonPath = parseStrArg(Argc, Argv, "--json", "");
   std::string Label = parseStrArg(Argc, Argv, "--label", "");
+  bool AssertAb = false;
+  for (int I = 1; I != Argc; ++I)
+    if (std::string(Argv[I]) == "--assert-shm-ab")
+      AssertAb = true;
 
-  std::printf("=== Socket transport bench: %u clients over loopback, "
-              "%u steps/thread (scale %u, best of %d) ===\n\n",
+  std::printf("=== Transport bench: %u clients, %u steps/thread "
+              "(scale %u, best of %d) — loopback TCP vs shm rings ===\n\n",
               Clients, Steps, Scale, Reps);
 
   Table T({"Scenario", "Sec", "Conns/s", "kFrames/s", "p99(us)", "Shed",
@@ -476,58 +359,97 @@ int main(int Argc, char **Argv) {
   J.beginArray();
 
   bool SteadyLoss = false;
+  double TcpSteadyFps = 0, ShmSteadyFps = 0;
+  uint64_t TcpSteadyP99 = 0, ShmSteadyP99 = 0;
   for (const Scenario &Sc : Scenarios) {
     RunNumbers Best;
     for (int Rep = 0; Rep != Reps; ++Rep) {
-      RunNumbers R = runScenario(Sc, Clients, Steps, Seed + Rep);
+      RunNumbers R = Sc.Shm ? runShmScenario(Sc, Clients, Steps, Seed + Rep)
+                            : runScenario(Sc, Clients, Steps, Seed + Rep);
       if (Rep == 0 || (R.Seconds && R.Seconds < Best.Seconds))
         Best = std::move(R);
     }
     double Sec = Best.Seconds > 0 ? Best.Seconds : 1e-9;
-    double ConnsPerSec = double(Best.Net.ConnsAccepted) / Sec;
-    double FramesPerSec = double(Best.Net.FramesIn) / Sec;
+    uint64_t ConnsIn = Sc.Shm ? Best.ShmSt.Claims : Best.Net.ConnsAccepted;
+    uint64_t FramesIn = Sc.Shm ? Best.ShmSt.FramesIn : Best.Net.FramesIn;
+    double ConnsPerSec = double(ConnsIn) / Sec;
+    // Goodput: unique actions the service accepted per second. Wire frames
+    // overcount on TCP (every backpressure rewind retransmits the
+    // pipelined tail), so the A/B and the table use accepted/sec.
+    double FramesPerSec = double(Best.Health.LinesAccepted) / Sec;
+    double WireFramesPerSec = double(FramesIn) / Sec;
     uint64_t P50 = histQuantile(Best.Lat, 0.50);
     uint64_t P99 = histQuantile(Best.Lat, 0.99);
     uint64_t Shed = Best.Net.RepliesShed + Best.Net.VerdictRepliesDropped;
+    uint64_t DrainDropped =
+        Sc.Shm ? Best.ShmSt.DrainDroppedFrames : Best.Net.DrainDroppedFrames;
+    uint64_t Resumes = Sc.Shm ? Best.ShmSt.Resumes : Best.Net.Resumes;
     // Loss = anything that would make a surviving client's verdicts diverge
     // from the oracle, or a drain drop the accounting missed.
-    uint64_t Loss = Best.Diverged + Best.Uncompared +
-                    Best.Net.DrainDroppedFrames +
+    uint64_t Loss = Best.Diverged + Best.Uncompared + DrainDropped +
                     Best.Health.VerdictLossEvents;
-    bool IsSteady = std::string(Sc.Name) == "steady";
+    std::string Name = Sc.Name;
+    bool IsSteady =
+        Name.size() >= 6 && Name.compare(Name.size() - 6, 6, "steady") == 0;
     if (IsSteady && Loss)
       SteadyLoss = true;
+    if (Name == "steady") {
+      TcpSteadyFps = FramesPerSec;
+      TcpSteadyP99 = P99;
+    } else if (Name == "shm-steady") {
+      ShmSteadyFps = FramesPerSec;
+      ShmSteadyP99 = P99;
+    }
 
     T.addRow({Sc.Name, Table::num(Best.Seconds, 3),
               Table::num(ConnsPerSec, 1), Table::num(FramesPerSec / 1e3, 1),
               Table::num(double(P99) / 1e3, 1),
               Table::num(static_cast<long long>(Shed)),
               Table::num(static_cast<long long>(Best.Reconnects)),
-              Table::num(static_cast<long long>(Best.Net.Resumes)),
+              Table::num(static_cast<long long>(Resumes)),
               Table::num(static_cast<long long>(Loss))});
 
     J.beginObject();
     if (!Label.empty())
       J.kv("label", Label);
     J.kv("scenario", Sc.Name);
+    J.kv("transport", Sc.Shm ? "shm" : "tcp");
     J.kv("seconds", Best.Seconds);
-    J.kv("conns_accepted", Best.Net.ConnsAccepted);
+    J.kv("conns_accepted", ConnsIn);
     J.kv("conns_per_sec", ConnsPerSec);
-    J.kv("conns_rejected", Best.Net.ConnsRejected);
-    J.kv("frames_in", Best.Net.FramesIn);
+    J.kv("conns_rejected",
+         Sc.Shm ? Best.ShmSt.OpensRefused : Best.Net.ConnsRejected);
+    J.kv("frames_in", FramesIn);
+    J.kv("accepted", Best.Health.LinesAccepted);
     J.kv("frames_per_sec", FramesPerSec);
+    J.kv("wire_frames_per_sec", WireFramesPerSec);
+    // For shm runs the "frame latency" series is the enqueue-latency
+    // histogram (slot decode -> dispatch complete) — the same span the TCP
+    // histogram covers (frame extracted -> dispatch complete).
     J.kv("p50_frame_latency_nanos", P50);
     J.kv("p99_frame_latency_nanos", P99);
     J.kv("max_frame_latency_nanos", Best.Lat.Max);
-    J.kv("backpressure_replies", Best.Net.BackpressureReplies);
-    J.kv("resync_replies", Best.Net.ResyncReplies);
-    J.kv("dup_frames", Best.Net.DupFrames);
+    J.kv("backpressure_replies", Sc.Shm ? Best.ShmSt.BackpressureWrites
+                                        : Best.Net.BackpressureReplies);
+    J.kv("resync_replies", Sc.Shm ? 0 : Best.Net.ResyncReplies);
+    J.kv("fallout_frames", Sc.Shm ? 0 : Best.Net.FalloutFrames);
+    J.kv("dup_frames", Sc.Shm ? Best.ShmSt.DupFrames : Best.Net.DupFrames);
     J.kv("replies_shed", Best.Net.RepliesShed);
     J.kv("verdict_replies_dropped", Best.Net.VerdictRepliesDropped);
     J.kv("partial_frames_dropped", Best.Net.PartialFramesDropped);
-    J.kv("drain_dropped_frames", Best.Net.DrainDroppedFrames);
+    J.kv("drain_dropped_frames", DrainDropped);
     J.kv("reconnects", static_cast<uint64_t>(Best.Reconnects));
-    J.kv("resumes", Best.Net.Resumes);
+    J.kv("resumes", Resumes);
+    if (Sc.Shm) {
+      J.kv("slots_in", Best.ShmSt.SlotsIn);
+      J.kv("producers_reaped", Best.ShmSt.ProducersReaped);
+      J.kv("producers_wedged", Best.ShmSt.ProducersWedged);
+      J.kv("rings_recycled", Best.ShmSt.RingsRecycled);
+      J.kv("decode_errors", Best.ShmSt.DecodeErrors);
+      J.kv("seq_violations", Best.ShmSt.SeqViolations);
+      J.kv("verdicts_truncated", Best.ShmSt.VerdictsTruncated);
+      J.kv("doorbell_wakeups", Best.ShmSt.Wakeups);
+    }
     J.kv("clients_compared", static_cast<uint64_t>(Best.Compared));
     J.kv("clients_uncompared", static_cast<uint64_t>(Best.Uncompared));
     J.kv("verdict_divergence", static_cast<uint64_t>(Best.Diverged));
@@ -536,6 +458,11 @@ int main(int Argc, char **Argv) {
     J.endObject();
   }
   J.endArray();
+  double Speedup = TcpSteadyFps > 0 ? ShmSteadyFps / TcpSteadyFps : 0;
+  J.kv("shm_speedup_vs_tcp", Speedup);
+  J.kv("shm_steady_p99_nanos", ShmSteadyP99);
+  J.kv("tcp_steady_p99_nanos", TcpSteadyP99);
+  J.kv("asserted_speedup", AssertAb);
   J.endObject();
 
   T.print();
@@ -546,15 +473,37 @@ int main(int Argc, char **Argv) {
     }
     std::printf("\nwrote %s\n", JsonPath.c_str());
   }
-  std::printf("\nReading the table: steady is the clean path — Loss MUST be "
-              "0 (the bench exits\nnonzero otherwise). chaos arms all four "
-              "net-* failpoints and forces abrupt\nreconnects; shed replies "
-              "and resumes are *expected* there, and the invariant is\nthat "
-              "surviving clients still match the happens-before oracle "
-              "exactly.\n");
+  std::printf("\nReading the table: the steady scenarios are the clean path "
+              "— Loss MUST be 0\n(the bench exits nonzero otherwise). chaos "
+              "arms all four net-* failpoints and\nforces abrupt reconnects; "
+              "shm-chaos wedges producers past the wedge timeout to\nforce "
+              "crash-only reaps + reclaim-resume. Shed replies, reaps and "
+              "resumes are\n*expected* there; the invariant is that surviving "
+              "clients still match the\nhappens-before oracle exactly.\n");
+  std::printf("\nshm-steady vs steady: %.2fx frames/s "
+              "(p99 %.1fus shm vs %.1fus tcp)\n",
+              Speedup, double(ShmSteadyP99) / 1e3,
+              double(TcpSteadyP99) / 1e3);
   if (SteadyLoss) {
     std::fprintf(stderr, "bench_net: LOSS IN STEADY SCENARIO\n");
     return 1;
+  }
+  if (AssertAb) {
+    if (Speedup < 3.0) {
+      std::fprintf(stderr,
+                   "bench_net: shm speedup %.2fx below the 3x acceptance "
+                   "floor\n",
+                   Speedup);
+      return 1;
+    }
+    if (ShmSteadyP99 > TcpSteadyP99) {
+      std::fprintf(stderr,
+                   "bench_net: shm p99 enqueue latency %lluns exceeds TCP "
+                   "p99 %lluns\n",
+                   (unsigned long long)ShmSteadyP99,
+                   (unsigned long long)TcpSteadyP99);
+      return 1;
+    }
   }
   return 0;
 }

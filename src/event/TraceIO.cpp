@@ -7,55 +7,64 @@
 
 using namespace gold;
 
-std::string gold::serializeTrace(const Trace &T) {
+std::string gold::serializeAction(const Action &A, const CommitSets *CS) {
   std::ostringstream Out;
-  for (const Action &A : T.Actions) {
-    switch (A.Kind) {
-    case ActionKind::Alloc:
-      Out << "alloc " << A.Thread << ' ' << A.Var.Object << ' '
-          << A.Var.Field << '\n';
-      break;
-    case ActionKind::Read:
-    case ActionKind::Write:
-    case ActionKind::VolatileRead:
-    case ActionKind::VolatileWrite: {
-      const char *K = A.Kind == ActionKind::Read          ? "read"
-                      : A.Kind == ActionKind::Write       ? "write"
-                      : A.Kind == ActionKind::VolatileRead ? "vread"
-                                                           : "vwrite";
-      Out << K << ' ' << A.Thread << ' ' << A.Var.Object << ' '
-          << A.Var.Field << '\n';
-      break;
-    }
-    case ActionKind::Acquire:
-      Out << "acq " << A.Thread << ' ' << A.Var.Object << '\n';
-      break;
-    case ActionKind::Release:
-      Out << "rel " << A.Thread << ' ' << A.Var.Object << '\n';
-      break;
-    case ActionKind::Fork:
-      Out << "fork " << A.Thread << ' ' << A.Target << '\n';
-      break;
-    case ActionKind::Join:
-      Out << "join " << A.Thread << ' ' << A.Target << '\n';
-      break;
-    case ActionKind::Terminate:
-      Out << "term " << A.Thread << '\n';
-      break;
-    case ActionKind::Commit: {
-      const CommitSets &CS = T.commitSets(A);
-      Out << "commit " << A.Thread << " R";
-      for (VarId V : CS.Reads)
+  switch (A.Kind) {
+  case ActionKind::Alloc:
+    Out << "alloc " << A.Thread << ' ' << A.Var.Object << ' ' << A.Var.Field;
+    break;
+  case ActionKind::Read:
+  case ActionKind::Write:
+  case ActionKind::VolatileRead:
+  case ActionKind::VolatileWrite: {
+    const char *K = A.Kind == ActionKind::Read           ? "read"
+                    : A.Kind == ActionKind::Write        ? "write"
+                    : A.Kind == ActionKind::VolatileRead ? "vread"
+                                                         : "vwrite";
+    Out << K << ' ' << A.Thread << ' ' << A.Var.Object << ' ' << A.Var.Field;
+    break;
+  }
+  case ActionKind::Acquire:
+    Out << "acq " << A.Thread << ' ' << A.Var.Object;
+    break;
+  case ActionKind::Release:
+    Out << "rel " << A.Thread << ' ' << A.Var.Object;
+    break;
+  case ActionKind::Fork:
+    Out << "fork " << A.Thread << ' ' << A.Target;
+    break;
+  case ActionKind::Join:
+    Out << "join " << A.Thread << ' ' << A.Target;
+    break;
+  case ActionKind::Terminate:
+    Out << "term " << A.Thread;
+    break;
+  case ActionKind::Commit: {
+    Out << "commit " << A.Thread << " R";
+    if (CS) {
+      for (VarId V : CS->Reads)
         Out << ' ' << V.Object << ':' << V.Field;
-      Out << " W";
-      for (VarId V : CS.Writes)
+    }
+    Out << " W";
+    if (CS) {
+      for (VarId V : CS->Writes)
         Out << ' ' << V.Object << ':' << V.Field;
-      Out << '\n';
-      break;
     }
-    }
+    break;
+  }
   }
   return Out.str();
+}
+
+std::string gold::serializeTrace(const Trace &T) {
+  std::string Out;
+  for (const Action &A : T.Actions) {
+    const CommitSets *CS =
+        A.Kind == ActionKind::Commit ? &T.commitSets(A) : nullptr;
+    Out += serializeAction(A, CS);
+    Out += '\n';
+  }
+  return Out;
 }
 
 namespace {
@@ -224,6 +233,98 @@ bool TraceParser::feedLine(const std::string &Line) {
     B.commit(T, std::move(Reads), std::move(Writes));
   } else {
     return Fail("unknown action kind '" + Kind + "'");
+  }
+  return true;
+}
+
+bool TraceParser::feedAction(const Action &A, const CommitSets *CS) {
+  ++LineNo;
+  auto Fail = [&](std::string Msg) {
+    Err = std::move(Msg);
+    return false;
+  };
+  // Same discipline as feedLine: validate everything before any builder
+  // mutation, so a rejected action leaves the journal and the fork registry
+  // untouched and the caller can keep feeding.
+  switch (A.Kind) {
+  case ActionKind::Alloc:
+  case ActionKind::Read:
+  case ActionKind::Write:
+  case ActionKind::VolatileRead:
+  case ActionKind::VolatileWrite:
+  case ActionKind::Acquire:
+  case ActionKind::Release:
+  case ActionKind::Terminate:
+    if (CS)
+      return Fail("commit sets supplied for a non-commit action");
+    break;
+  case ActionKind::Fork:
+    if (CS)
+      return Fail("commit sets supplied for a non-commit action");
+    if (A.Target == A.Thread)
+      return Fail("fork: thread " + std::to_string(A.Thread) +
+                  " cannot fork itself");
+    if (A.Target == 0)
+      return Fail("fork: thread 0 is the implicit main thread");
+    if (Forked.count(A.Target))
+      return Fail("fork: thread " + std::to_string(A.Target) +
+                  " was already forked");
+    break;
+  case ActionKind::Join:
+    if (CS)
+      return Fail("commit sets supplied for a non-commit action");
+    if (A.Target == A.Thread)
+      return Fail("join: thread " + std::to_string(A.Thread) +
+                  " cannot join itself");
+    break;
+  case ActionKind::Commit:
+    if (!CS)
+      return Fail("commit without commit sets");
+    break;
+  default:
+    return Fail("unknown action kind " +
+                std::to_string(static_cast<int>(A.Kind)));
+  }
+
+  switch (A.Kind) {
+  case ActionKind::Alloc:
+    B.alloc(A.Thread, A.Var.Object, A.Var.Field);
+    break;
+  case ActionKind::Read:
+    B.read(A.Thread, A.Var.Object, A.Var.Field);
+    break;
+  case ActionKind::Write:
+    B.write(A.Thread, A.Var.Object, A.Var.Field);
+    break;
+  case ActionKind::VolatileRead:
+    B.volRead(A.Thread, A.Var.Object, A.Var.Field);
+    break;
+  case ActionKind::VolatileWrite:
+    B.volWrite(A.Thread, A.Var.Object, A.Var.Field);
+    break;
+  case ActionKind::Acquire:
+    B.acq(A.Thread, A.Var.Object);
+    break;
+  case ActionKind::Release:
+    B.rel(A.Thread, A.Var.Object);
+    break;
+  case ActionKind::Fork:
+    Forked.insert(A.Target);
+    B.fork(A.Thread, A.Target);
+    break;
+  case ActionKind::Join:
+    B.join(A.Thread, A.Target);
+    break;
+  case ActionKind::Terminate:
+    B.terminate(A.Thread);
+    break;
+  case ActionKind::Commit:
+    // The builder assigns the CommitId; whatever rode in on A is ignored,
+    // exactly as the text path numbers commits in arrival order.
+    B.commit(A.Thread, CS->Reads, CS->Writes);
+    break;
+  default:
+    break; // unreachable: rejected above
   }
   return true;
 }

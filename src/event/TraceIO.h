@@ -30,6 +30,13 @@ namespace gold {
 /// Serializes \p T into the text format above.
 std::string serializeTrace(const Trace &T);
 
+/// Serializes one action as a single line (no trailing newline). \p CS must
+/// be the action's commit sets for ActionKind::Commit and may be null
+/// otherwise. This is the per-action form of serializeTrace, shared with
+/// transports that carry pre-parsed actions (GoldClient's TCP fallback
+/// renders exactly the bytes the stdio path would).
+std::string serializeAction(const Action &A, const CommitSets *CS);
+
 /// Streaming line-at-a-time parser, so tools can ingest traces without
 /// slurping the whole file and can *skip* malformed lines: a failed
 /// feedLine() leaves the trace being built unchanged, so the caller may
@@ -50,6 +57,17 @@ public:
   /// being parsed. Returns false on a malformed line and describes it in
   /// error().
   bool feedLine(const std::string &Line);
+
+  /// Binary twin of feedLine(): appends one pre-parsed action, applying the
+  /// same semantic validation the text grammar enforces (fork discipline,
+  /// commit sets present exactly for commits) without any text scan — the
+  /// shared-memory transport's zero-parse ingestion path. Counts a line like
+  /// feedLine so lineNo() stays a usable diagnostic. On failure nothing is
+  /// appended (the journal and fork registry stay untouched) and error()
+  /// describes the problem. \p CS must be non-null for ActionKind::Commit
+  /// and null otherwise; the action's CommitId is assigned by the builder,
+  /// not taken from \p A.
+  bool feedAction(const Action &A, const CommitSets *CS);
 
   /// 1-based count of lines fed so far (including skipped ones).
   size_t lineNo() const { return LineNo; }

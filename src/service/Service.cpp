@@ -259,14 +259,28 @@ bool Session::flushPendingLocked() {
   return true;
 }
 
-FeedResult Session::feedLine(const std::string &Line) {
-  std::lock_guard<std::mutex> G(Mu);
-  FeedResult Res;
+FeedResult Session::backpressuredLocked(FeedResult Res) {
+  Svc.C.BackpressureRejects.fetch_add(1, std::memory_order_relaxed);
+  Res.St = FeedResult::Status::Backpressure;
+  Res.RetryAfterNanos = backoffNanos(
+      Svc.config().BackoffBaseNanos, BackoffAttempt++,
+      Client ^ (static_cast<uint64_t>(Index) << 32),
+      Svc.config().BackoffMaxNanos);
+  return Res;
+}
+
+FeedResult Session::acceptedLocked(FeedResult Res) {
+  LinesAccepted.fetch_add(1, std::memory_order_relaxed);
+  Svc.C.LinesAccepted.fetch_add(1, std::memory_order_relaxed);
+  return Res;
+}
+
+bool Session::feedGateLocked(FeedResult &Res) {
   if (State != SessionState::Open) {
     Res.St = FeedResult::Status::Closed;
     Res.Error =
         std::string("session closed (") + closeReasonName(Reason) + ")";
-    return Res;
+    return true;
   }
   if (Svc.ShuttingDown.load(std::memory_order_relaxed)) {
     // Refusing new lines here is what bounds the shutdown drain: rings can
@@ -274,56 +288,49 @@ FeedResult Session::feedLine(const std::string &Line) {
     // its delivered verdicts stay takeable.
     Res.St = FeedResult::Status::Closed;
     Res.Error = "service is shutting down";
-    return Res;
+    return true;
   }
   LastFeedNanos.store(Svc.nowNanos(), std::memory_order_relaxed);
   failpointStall(Failpoint::ServiceClientHang);
-
-  auto Backpressured = [&]() -> FeedResult {
-    Svc.C.BackpressureRejects.fetch_add(1, std::memory_order_relaxed);
-    Res.St = FeedResult::Status::Backpressure;
-    Res.RetryAfterNanos = backoffNanos(
-        Svc.config().BackoffBaseNanos, BackoffAttempt++,
-        Client ^ (static_cast<uint64_t>(Index) << 32),
-        Svc.config().BackoffMaxNanos);
-    return Res;
-  };
-  auto Accepted = [&]() -> FeedResult {
-    LinesAccepted.fetch_add(1, std::memory_order_relaxed);
-    Svc.C.LinesAccepted.fetch_add(1, std::memory_order_relaxed);
-    return Res;
-  };
 
   // A backpressured line was not consumed: the retry presents the same line
   // again, and we resume admitting the remembered action into the shards
   // that have not acked it yet — without re-parsing, so no shard ever sees
   // the action twice.
-  if (HasPending)
-    return flushPendingLocked() ? Accepted() : Backpressured();
+  if (HasPending) {
+    Res = flushPendingLocked() ? acceptedLocked(std::move(Res))
+                               : backpressuredLocked(std::move(Res));
+    return true;
+  }
   if (RetryAlreadyApplied) {
     // The retried line's action was already replayed into its last
     // outstanding shard by a reincarnation; this call is only the ack.
     RetryAlreadyApplied = false;
-    return Accepted();
+    Res = acceptedLocked(std::move(Res));
+    return true;
   }
+  return false;
+}
 
-  size_t Before = Parser.peek().Actions.size();
-  if (!Parser.feedLine(Line)) {
-    ParseErrors.fetch_add(1, std::memory_order_relaxed);
-    Svc.C.ParseErrors.fetch_add(1, std::memory_order_relaxed);
-    ++ErrorsSeen;
-    Res.St = FeedResult::Status::Rejected;
-    Res.Error =
-        "line " + std::to_string(Parser.lineNo()) + ": " + Parser.error();
-    if (ErrorsSeen > Svc.config().SessionErrorBudget) {
-      closeLocked(CloseReason::ErrorBudget);
-      Res.Error += " (error budget exhausted; session closed)";
-    }
-    return Res;
+FeedResult Session::rejectParseLocked(FeedResult Res) {
+  ParseErrors.fetch_add(1, std::memory_order_relaxed);
+  Svc.C.ParseErrors.fetch_add(1, std::memory_order_relaxed);
+  ++ErrorsSeen;
+  Res.St = FeedResult::Status::Rejected;
+  Res.Error =
+      "line " + std::to_string(Parser.lineNo()) + ": " + Parser.error();
+  if (ErrorsSeen > Svc.config().SessionErrorBudget) {
+    closeLocked(CloseReason::ErrorBudget);
+    Res.Error += " (error budget exhausted; session closed)";
   }
+  return Res;
+}
+
+FeedResult Session::admitNewestLocked(FeedResult Res, size_t Before,
+                                      uint32_t Bytes) {
   const Trace &J = Parser.peek();
   if (J.Actions.size() == Before)
-    return Accepted(); // blank or comment line
+    return acceptedLocked(std::move(Res)); // blank or comment line
 
   const Action &Raw = J.Actions.back();
   bool NsOk = fitsNamespace(Raw);
@@ -366,7 +373,7 @@ FeedResult Session::feedLine(const std::string &Line) {
   Pending = ShardItem();
   Pending.SessionIdx = Index;
   Pending.Seq = NextSeq++;
-  Pending.Bytes = static_cast<uint32_t>(Line.size() ? Line.size() : 1);
+  Pending.Bytes = Bytes ? Bytes : 1;
   Pending.EnqueueNanos = Svc.wantsLatencySamples() ? Svc.nowNanos() : 0;
   Pending.A = mapAction(Raw);
   Pending.CS = std::move(CS);
@@ -383,7 +390,32 @@ FeedResult Session::feedLine(const std::string &Line) {
     JournalTruncated.store(true, std::memory_order_relaxed);
   }
 
-  return flushPendingLocked() ? Accepted() : Backpressured();
+  return flushPendingLocked() ? acceptedLocked(std::move(Res))
+                              : backpressuredLocked(std::move(Res));
+}
+
+FeedResult Session::feedLine(const std::string &Line) {
+  std::lock_guard<std::mutex> G(Mu);
+  FeedResult Res;
+  if (feedGateLocked(Res))
+    return Res;
+  size_t Before = Parser.peek().Actions.size();
+  if (!Parser.feedLine(Line))
+    return rejectParseLocked(std::move(Res));
+  return admitNewestLocked(std::move(Res), Before,
+                           static_cast<uint32_t>(Line.size() ? Line.size() : 1));
+}
+
+FeedResult Session::feedAction(const Action &A, const CommitSets *CS,
+                               uint32_t Bytes) {
+  std::lock_guard<std::mutex> G(Mu);
+  FeedResult Res;
+  if (feedGateLocked(Res))
+    return Res;
+  size_t Before = Parser.peek().Actions.size();
+  if (!Parser.feedAction(A, CS))
+    return rejectParseLocked(std::move(Res));
+  return admitNewestLocked(std::move(Res), Before, Bytes);
 }
 
 //===----------------------------------------------------------------------===//

@@ -193,6 +193,16 @@ public:
   /// Streams one trace line (TraceIO format, no trailing newline).
   FeedResult feedLine(const std::string &Line);
 
+  /// Binary twin of feedLine() for transports carrying pre-parsed actions
+  /// (the shared-memory ring): identical gate, retry, namespace, journal,
+  /// and backpressure semantics, but the action skips the text parse —
+  /// TraceParser::feedAction applies the same semantic validation. \p CS
+  /// must be non-null exactly for ActionKind::Commit (ids still in the
+  /// client's namespace). \p Bytes is the action's byte-budget share (its
+  /// wire footprint; clamped to >= 1).
+  FeedResult feedAction(const Action &A, const CommitSets *CS,
+                        uint32_t Bytes);
+
   /// Orderly client close: stop accepting, let queued work finish.
   void close();
 
@@ -237,6 +247,20 @@ private:
   /// Pushes the pending action into every not-yet-acked target ring.
   /// Returns true when fully admitted. Requires Mu.
   bool flushPendingLocked();
+  // feedLine/feedAction share everything but the parse step; the split
+  // keeps the two entry points byte-for-byte equivalent in semantics.
+  /// Liveness checks, feed timestamping, and the pending-retry protocol.
+  /// Returns true when \p Res is already the final answer. Requires Mu.
+  bool feedGateLocked(FeedResult &Res);
+  /// Counts a parser rejection against the error budget. Requires Mu.
+  FeedResult rejectParseLocked(FeedResult Res);
+  /// Admits the newest journal action (appended by the parse step) into its
+  /// target shards: namespace mapping, commit-set remap, journal cap, and
+  /// the first flush attempt. \p Before is the journal size pre-parse (a
+  /// no-op parse, e.g. a comment line, is accepted outright). Requires Mu.
+  FeedResult admitNewestLocked(FeedResult Res, size_t Before, uint32_t Bytes);
+  FeedResult acceptedLocked(FeedResult Res);
+  FeedResult backpressuredLocked(FeedResult Res);
   /// Crash-only teardown. Requires Mu.
   void closeLocked(CloseReason R);
   /// Verdict delivery from a shard consumer (or a reincarnation replay,

@@ -4,6 +4,7 @@
 
 #include "service/Backoff.h"
 #include "service/Snapshots.h"
+#include "service/net/Protocol.h"
 #include "support/Failpoints.h"
 
 #include <cerrno>
@@ -416,9 +417,7 @@ void NetServer::dispatchIngest(Conn &C, const std::string &Line,
         It->second.S->state() != SessionState::Dead) {
       Binding &B = It->second;
       if (B.OwnerFd != -1 && B.OwnerFd != C.Fd) {
-        std::snprintf(Reply, sizeof(Reply),
-                      "err open %llu busy (owned by another connection)",
-                      (unsigned long long)Id);
+        proto::fmtErrOpenBusy(Reply, sizeof(Reply), Id);
         enqueue(C, Reply, false);
         chargeError(C);
         return;
@@ -431,26 +430,22 @@ void NetServer::dispatchIngest(Conn &C, const std::string &Line,
         C.Bound.push_back(Id);
       }
       B.OwnerFd = C.Fd;
-      std::snprintf(Reply, sizeof(Reply),
-                    "ok open %llu resumed expect=%llu",
-                    (unsigned long long)Id, (unsigned long long)B.Expect);
+      B.ResyncAt = UINT64_MAX; // fresh stream: next gap earns one resync
+      proto::fmtOkOpenResumed(Reply, sizeof(Reply), Id, B.Expect);
       enqueue(C, Reply, true);
       return;
     }
     DetectionService::OpenResult R = Svc.open(Id, Priority);
     if (!R.S) {
       St.BackpressureReplies.fetch_add(1, std::memory_order_relaxed);
-      std::snprintf(Reply, sizeof(Reply),
-                    "err open %llu retry-after-ns=%llu %s",
-                    (unsigned long long)Id,
-                    (unsigned long long)R.RetryAfterNanos, R.Error.c_str());
+      proto::fmtErrOpenRetry(Reply, sizeof(Reply), Id, R.RetryAfterNanos,
+                             R.Error.c_str());
       enqueue(C, Reply, false);
       return;
     }
     Bindings[Id] = Binding{R.S, 0, C.Fd};
     C.Bound.push_back(Id);
-    std::snprintf(Reply, sizeof(Reply), "ok open %llu",
-                  (unsigned long long)Id);
+    proto::fmtOkOpen(Reply, sizeof(Reply), Id);
     enqueue(C, Reply, true);
     return;
   }
@@ -467,12 +462,9 @@ void NetServer::dispatchIngest(Conn &C, const std::string &Line,
   Session &S = *B.S;
 
   if (Cmd == "stat") {
-    std::snprintf(Reply, sizeof(Reply),
-                  "ok stat %llu state=%s reason=%s accepted=%llu expect=%llu",
-                  (unsigned long long)Id, sessionStateName(S.state()),
-                  closeReasonName(S.closeReason()),
-                  (unsigned long long)S.linesAccepted(),
-                  (unsigned long long)B.Expect);
+    proto::fmtOkStat(Reply, sizeof(Reply), Id, sessionStateName(S.state()),
+                     closeReasonName(S.closeReason()), S.linesAccepted(),
+                     B.Expect);
     enqueue(C, Reply, false);
     return;
   }
@@ -499,15 +491,22 @@ void NetServer::dispatchIngest(Conn &C, const std::string &Line,
         return;
       }
       if (Seq > B.Expect) {
-        // The client ran ahead of an un-acked refusal (or lost a reply):
-        // tell it exactly where to rewind. The frame is dropped BEFORE
-        // feedLine — a session retrying a pending action would otherwise
-        // silently swallow this line's content.
+        // The client ran ahead of an un-acked refusal (or lost a reply).
+        // The frame is dropped BEFORE feedLine — a session retrying a
+        // pending action would otherwise silently swallow this line's
+        // content. But answer with a resync only ONCE per stall: after a
+        // backpressure or resync reply at Expect, every further
+        // ahead-of-expect frame is just the client's in-flight pipeline
+        // tail, and echoing a reply per frame is a resync storm that can
+        // outrun the write queue. The tail is dropped silently (counted)
+        // until the client rewinds and Expect moves again.
+        if (B.ResyncAt == B.Expect) {
+          St.FalloutFrames.fetch_add(1, std::memory_order_relaxed);
+          return;
+        }
         St.ResyncReplies.fetch_add(1, std::memory_order_relaxed);
-        std::snprintf(Reply, sizeof(Reply),
-                      "err line %llu seq=%llu resync expect=%llu",
-                      (unsigned long long)Id, (unsigned long long)Seq,
-                      (unsigned long long)B.Expect);
+        B.ResyncAt = B.Expect;
+        proto::fmtErrLineResync(Reply, sizeof(Reply), Id, Seq, B.Expect);
         enqueue(C, Reply, false);
         return;
       }
@@ -524,21 +523,31 @@ void NetServer::dispatchIngest(Conn &C, const std::string &Line,
       if (R.St != FeedResult::Status::Backpressure)
         break;
       if (!Draining) {
+        // When this thread pumps the service itself, a refusal usually
+        // just means the shard ring filled faster than the last pump
+        // slice drained it. Drain once and retry before escalating: the
+        // wire-level reply costs the client a rewind plus a jittered
+        // sleep, and everything it pipelined behind this line becomes
+        // fallout to retransmit.
+        if (Cfg.InlinePump && Attempts++ < 2) {
+          Svc.pumpAll();
+          continue;
+        }
         // Wire-level backpressure: the line was NOT consumed and is NOT
         // buffered here. The client owns the retry, with the service's
         // jittered hint.
         St.BackpressureReplies.fetch_add(1, std::memory_order_relaxed);
-        if (HasSeq)
-          std::snprintf(Reply, sizeof(Reply),
-                        "err line %llu seq=%llu backpressure "
-                        "retry-after-ns=%llu",
-                        (unsigned long long)Id, (unsigned long long)Seq,
-                        (unsigned long long)R.RetryAfterNanos);
-        else
-          std::snprintf(Reply, sizeof(Reply),
-                        "err line %llu backpressure retry-after-ns=%llu",
-                        (unsigned long long)Id,
-                        (unsigned long long)R.RetryAfterNanos);
+        if (HasSeq) {
+          // Open the fallout gate: the reply tells the client to rewind to
+          // this seq, so everything it already pipelined past it will
+          // arrive ahead-of-expect and is dropped without further replies.
+          B.ResyncAt = B.Expect;
+          proto::fmtErrLineBackpressure(Reply, sizeof(Reply), Id, Seq,
+                                        R.RetryAfterNanos);
+        } else {
+          proto::fmtErrLineBackpressureNoSeq(Reply, sizeof(Reply), Id,
+                                             R.RetryAfterNanos);
+        }
         enqueue(C, Reply, false);
         return;
       }
@@ -556,8 +565,10 @@ void NetServer::dispatchIngest(Conn &C, const std::string &Line,
         std::this_thread::sleep_for(std::chrono::microseconds(100));
       }
     }
-    if (HasSeq)
+    if (HasSeq) {
       B.Expect = Seq + 1; // Accepted/Rejected/Closed all consume the line
+      B.ResyncAt = UINT64_MAX; // progress: the next gap earns one resync
+    }
     switch (R.St) {
     case FeedResult::Status::Accepted:
       break; // silent: streams are long
@@ -588,8 +599,7 @@ void NetServer::dispatchIngest(Conn &C, const std::string &Line,
     size_t N = deliverVerdicts(C, Id, S);
     if (N == SIZE_MAX)
       return; // backpressured; client retries `close` (idempotent)
-    std::snprintf(Reply, sizeof(Reply), "ok close %llu races=%zu",
-                  (unsigned long long)Id, N);
+    proto::fmtOkClose(Reply, sizeof(Reply), Id, N);
     enqueue(C, Reply, true);
     return;
   }
@@ -600,8 +610,8 @@ void NetServer::dispatchIngest(Conn &C, const std::string &Line,
     size_t N = deliverVerdicts(C, Id, S);
     if (N == SIZE_MAX)
       return;
-    std::snprintf(Reply, sizeof(Reply), "ok verdicts %llu races=%zu state=%s",
-                  (unsigned long long)Id, N, sessionStateName(S.state()));
+    proto::fmtOkVerdicts(Reply, sizeof(Reply), Id, N,
+                         sessionStateName(S.state()));
     enqueue(C, Reply, true);
     return;
   }
@@ -623,16 +633,14 @@ size_t NetServer::deliverVerdicts(Conn &C, uint64_t Id, Session &S) {
                                  Svc.config().BackoffMaxNanos);
     St.BackpressureReplies.fetch_add(1, std::memory_order_relaxed);
     char Reply[96];
-    std::snprintf(Reply, sizeof(Reply),
-                  "err verdicts %llu backpressure retry-after-ns=%llu",
-                  (unsigned long long)Id, (unsigned long long)Wait);
+    proto::fmtErrVerdictsBackpressure(Reply, sizeof(Reply), Id, Wait);
     enqueue(C, Reply, false);
     return SIZE_MAX;
   }
   C.VerdictAttempt = 0;
   std::vector<RaceReport> Races = S.takeVerdicts();
   char Head[32];
-  std::snprintf(Head, sizeof(Head), "race %llu ", (unsigned long long)Id);
+  proto::fmtRaceHead(Head, sizeof(Head), Id);
   for (const RaceReport &R : Races) {
     if (!enqueue(C, Head + R.str(), true)) {
       // Critical overflow: the connection is being closed; the verdicts we
@@ -914,6 +922,7 @@ NetStats NetServer::stats() const {
   S.BackpressureReplies =
       St.BackpressureReplies.load(std::memory_order_relaxed);
   S.ResyncReplies = St.ResyncReplies.load(std::memory_order_relaxed);
+  S.FalloutFrames = St.FalloutFrames.load(std::memory_order_relaxed);
   S.RepliesShed = St.RepliesShed.load(std::memory_order_relaxed);
   S.VerdictRepliesDropped =
       St.VerdictRepliesDropped.load(std::memory_order_relaxed);
@@ -949,6 +958,7 @@ std::string NetServer::healthJson(bool Interrupted) const {
         J.kv("protocol_errors", S.ProtocolErrors);
         J.kv("backpressure_replies", S.BackpressureReplies);
         J.kv("resync_replies", S.ResyncReplies);
+        J.kv("fallout_frames", S.FalloutFrames);
         J.kv("replies_shed", S.RepliesShed);
         J.kv("verdict_replies_dropped", S.VerdictRepliesDropped);
         J.kv("partial_frames_dropped", S.PartialFramesDropped);
@@ -980,6 +990,7 @@ std::string NetServer::metricsJson() const {
   Snap.addCounter("net.protocol_errors", S.ProtocolErrors);
   Snap.addCounter("net.backpressure_replies", S.BackpressureReplies);
   Snap.addCounter("net.resync_replies", S.ResyncReplies);
+  Snap.addCounter("net.fallout_frames", S.FalloutFrames);
   Snap.addCounter("net.replies_shed", S.RepliesShed);
   Snap.addCounter("net.verdict_replies_dropped", S.VerdictRepliesDropped);
   Snap.addCounter("net.partial_frames_dropped", S.PartialFramesDropped);

@@ -122,6 +122,8 @@ struct NetStats {
   uint64_t ProtocolErrors = 0;
   uint64_t BackpressureReplies = 0;
   uint64_t ResyncReplies = 0;
+  uint64_t FalloutFrames = 0; ///< pipelined frames silently dropped after a
+                              ///< backpressure reply (client will rewind)
   uint64_t RepliesShed = 0;           ///< non-critical replies dropped
   uint64_t VerdictRepliesDropped = 0; ///< race replies lost to overflow
   uint64_t PartialFramesDropped = 0;  ///< unterminated frames at close
@@ -185,6 +187,12 @@ private:
     Session *S = nullptr;
     uint64_t Expect = 0; ///< next line seq the server will feed
     int OwnerFd = -1;    ///< -1: unbound (resumable)
+    /// Seq at which the stream last went un-consumable (backpressure or a
+    /// resync already sent). While Expect == ResyncAt, further ahead-of-
+    /// expect frames are the client's in-flight pipeline tail: drop them
+    /// silently (FalloutFrames) instead of answering each with a resync
+    /// reply — one reply per stall, not one per pipelined frame.
+    uint64_t ResyncAt = UINT64_MAX;
   };
 
   bool listenOn(uint16_t Want, int &FdOut, uint16_t &BoundOut,
@@ -222,7 +230,7 @@ private:
     std::atomic<uint64_t> ConnsAccepted{0}, ConnsRejected{0}, Resumes{0},
         FramesIn{0}, BytesIn{0}, BytesOut{0}, OversizeFrames{0}, DupFrames{0},
         ProtocolErrors{0}, BackpressureReplies{0}, ResyncReplies{0},
-        RepliesShed{0}, VerdictRepliesDropped{0}, PartialFramesDropped{0},
+        FalloutFrames{0}, RepliesShed{0}, VerdictRepliesDropped{0}, PartialFramesDropped{0},
         DrainDroppedFrames{0}, HeartbeatsSent{0}, ConnHangs{0}, WriteStalls{0},
         ScrapeRequests{0};
     std::array<std::atomic<uint64_t>, NumConnCloseReasons> ClosedBy{};

@@ -1,0 +1,346 @@
+//===- service/shm/ShmRing.h - Shared-memory ring segment layout -*- C++ -*-===//
+///
+/// \file
+/// The on-disk/in-memory layout of the same-host shared-memory transport
+/// (DESIGN.md §17): one file-backed segment, mapped MAP_SHARED by the
+/// server and by every co-located producer, containing a small array of
+/// per-client SPSC rings of fixed-size cache-line slots that carry binary
+/// pre-parsed actions. The hot path has **no syscalls and no text parse**:
+/// a producer writes a 56-byte payload and release-stores a sequence
+/// number; the consumer acquire-loads it and feeds the decoded action
+/// straight into Session::feedAction.
+///
+/// **Slot protocol** (Vyukov-style seqlock ring, SPSC per ring): slot i
+/// starts with Seq == i. A producer at monotonic position t may write slot
+/// (t & mask) once Seq == t, and publishes with Seq.store(t+1, release).
+/// The consumer at position h consumes once Seq == h+1 and frees with
+/// Seq.store(h + Slots, release). Multi-slot frames (commits with many
+/// variables) publish their continuation slots FIRST and the header slot
+/// LAST, so a frame becomes visible atomically: the consumer never waits
+/// mid-frame, and a producer that dies mid-frame leaves nothing visible.
+///
+/// **Ring lifecycle** (State): Free -> (client CAS) Claimed -> (server)
+/// Ready | Refused; Ready -> (client) Closing -> (server drains, writes
+/// verdicts) Closed -> (client reads) Released -> (server sanitizes) Free.
+/// Only the SERVER ever transitions a ring back to Free, and only after
+/// the owning pid is gone and every slot sequence has been rewritten —
+/// that is what makes crash-only reaping unable to poison the segment: a
+/// wedged producer that wakes up can scribble only on a quarantined ring
+/// that no other client will ever be handed.
+///
+/// **Backpressure**: when the service refuses a frame, the server leaves
+/// the frame in the ring (the consumer position does not advance) and
+/// writes the jittered retry-after-ns hint into the ring's Control word —
+/// the same shared schedule the TCP path puts on the wire. A producer
+/// finding its ring full consults Control before spinning.
+///
+/// **Wakeups**: producers bump the segment Doorbell and futex-wake only
+/// when they publish into a ring the consumer had drained (empty ->
+/// nonempty transition, detected via the consumer's ConsumeHint); the
+/// serving loop futex-waits with a bounded timeout so claim scans and
+/// heartbeat reaping still run.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GOLD_SERVICE_SHM_SHMRING_H
+#define GOLD_SERVICE_SHM_SHMRING_H
+
+#include "event/Action.h"
+#include "event/Trace.h"
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+
+namespace gold {
+namespace shm {
+
+/// "GOLDSHM1" little-endian. Bumped with any layout change.
+inline constexpr uint64_t SegMagic = 0x314d4853444c4f47ull;
+inline constexpr uint32_t SegVersion = 1;
+
+/// Fixed slot geometry: one cache line per slot, 56 payload bytes after
+/// the sequence word.
+inline constexpr uint32_t SlotBytes = 64;
+inline constexpr uint32_t SlotPayloadBytes = SlotBytes - sizeof(uint64_t);
+
+/// Commit variables carried inline in the header slot, and per
+/// continuation slot (8 bytes per obj:field pair).
+inline constexpr uint32_t InlinePairs = 3;
+inline constexpr uint32_t PairsPerContSlot = SlotPayloadBytes / 8;
+
+/// Verdict pairs a ring can hand back at close; beyond this the server
+/// sets VerdictsTruncated (counted, never silent).
+inline constexpr uint32_t VerdictCap = 256;
+
+enum class RingState : uint32_t {
+  Free = 0, ///< recyclable; slot seqs are pristine (server-sanitized)
+  Claimed,  ///< client CASed Free->Claimed and is filling in identity
+  Ready,    ///< server opened the session; producer may publish
+  Refused,  ///< open refused (OpenCode + Control carry why / retry hint)
+  Closing,  ///< producer published everything and wants verdicts
+  Closed,   ///< server drained, session closed, verdict area valid
+  Released, ///< client read the verdicts; server may sanitize -> Free
+  Reaped,   ///< server reaped a dead/wedged producer; quarantined until
+            ///< the pid is gone, then sanitized -> Free
+};
+
+inline const char *ringStateName(RingState S) {
+  switch (S) {
+  case RingState::Free:
+    return "free";
+  case RingState::Claimed:
+    return "claimed";
+  case RingState::Ready:
+    return "ready";
+  case RingState::Refused:
+    return "refused";
+  case RingState::Closing:
+    return "closing";
+  case RingState::Closed:
+    return "closed";
+  case RingState::Released:
+    return "released";
+  case RingState::Reaped:
+    return "reaped";
+  }
+  return "?";
+}
+
+/// Why a ring left Ready/Claimed, written by the server into OpenCode.
+enum class RingCode : uint32_t {
+  Ok = 0,
+  Busy,        ///< client id owned by a live producer on another ring
+  Admission,   ///< service refused the open; Control = retry-after-ns
+  Decode,      ///< corrupt/unsequenced frame: session killed crash-only
+  SessionDead, ///< the session closed underneath the stream (see stat)
+  Shutdown,    ///< server is draining
+};
+
+inline const char *ringCodeName(RingCode C) {
+  switch (C) {
+  case RingCode::Ok:
+    return "ok";
+  case RingCode::Busy:
+    return "busy";
+  case RingCode::Admission:
+    return "admission";
+  case RingCode::Decode:
+    return "decode";
+  case RingCode::SessionDead:
+    return "session-dead";
+  case RingCode::Shutdown:
+    return "shutdown";
+  }
+  return "?";
+}
+
+//===----------------------------------------------------------------------===//
+// Frame encoding
+//===----------------------------------------------------------------------===//
+
+/// Header-slot payload, memcpy'd in and out of ShmSlot::Payload (the slot
+/// is raw bytes; this view keeps the compiler out of aliasing trouble).
+/// Ops are ActionKind+1 so a zeroed or sanitized slot never decodes.
+struct FrameHead {
+  uint8_t Op = 0;
+  uint8_t Flags = 0;
+  uint16_t NumReads = 0;  ///< commit only
+  uint16_t NumWrites = 0; ///< commit only
+  uint16_t Pad = 0;
+  uint64_t ClientSeq = 0; ///< stream position; verified against Expect
+  uint32_t Thread = 0;
+  uint32_t Object = 0;
+  uint32_t Field = 0;
+  uint32_t Target = 0;
+  uint32_t Inline[InlinePairs * 2] = {}; ///< first commit obj:field pairs
+};
+static_assert(sizeof(FrameHead) == SlotPayloadBytes, "header fills a slot");
+
+inline uint8_t opOf(ActionKind K) { return static_cast<uint8_t>(K) + 1; }
+
+/// Slots an action occupies: 1 header slot plus enough continuation slots
+/// for the commit pairs that do not fit inline.
+inline uint32_t frameSlots(uint32_t Pairs) {
+  if (Pairs <= InlinePairs)
+    return 1;
+  return 1 + (Pairs - InlinePairs + PairsPerContSlot - 1) / PairsPerContSlot;
+}
+
+//===----------------------------------------------------------------------===//
+// Shared structures
+//===----------------------------------------------------------------------===//
+
+struct alignas(SlotBytes) ShmSlot {
+  std::atomic<uint64_t> Seq;
+  unsigned char Payload[SlotPayloadBytes];
+};
+static_assert(sizeof(ShmSlot) == SlotBytes, "one cache line per slot");
+
+/// Per-ring control block. Hot words sit on distinct cache lines: the
+/// producer line (Heartbeat) and the consumer line (Acked/ConsumeHint)
+/// are each written at frame rate by exactly one side.
+struct ShmRingHdr {
+  // -- lifecycle line (CAS target shared by both sides) ------------------
+  std::atomic<uint32_t> State;    ///< RingState
+  std::atomic<uint32_t> Gen;      ///< bumped by the server at each recycle
+  std::atomic<uint32_t> OpenCode; ///< RingCode
+  uint32_t Pad0;
+  std::atomic<uint64_t> Resume;  ///< next expected ClientSeq, valid at Ready
+  std::atomic<uint64_t> Control; ///< backpressure/refusal retry-after-ns
+  uint64_t Pad1[4];
+  // -- identity line (client writes during Claimed) ----------------------
+  std::atomic<uint64_t> ClientId;
+  std::atomic<uint32_t> ClientPid;
+  std::atomic<uint32_t> Priority;
+  uint64_t Pad2[6];
+  // -- producer line -----------------------------------------------------
+  std::atomic<uint64_t> Heartbeat; ///< bumped on publish + explicit beats
+  uint64_t Pad3[7];
+  // -- consumer line -----------------------------------------------------
+  std::atomic<uint64_t> Acked;       ///< frames fed == next expected seq
+  std::atomic<uint64_t> ConsumeHint; ///< consumer position when last empty
+  std::atomic<uint64_t> RaceCount;   ///< valid once State == Closed
+  std::atomic<uint32_t> VerdictsTruncated;
+  uint32_t Pad4;
+  uint64_t Pad5[4];
+  // -- verdict area (server writes before Closed; client reads after) ----
+  struct VarPair {
+    uint32_t Object, Field;
+  };
+  VarPair Verdicts[VerdictCap];
+};
+static_assert(sizeof(ShmRingHdr) == 4 * SlotBytes + VerdictCap * 8,
+              "four control lines plus the verdict area");
+static_assert(alignof(ShmRingHdr) <= SlotBytes, "slot-alignable");
+
+enum class SegState : uint32_t { Starting = 0, Running, Draining };
+
+struct ShmSegHdr {
+  uint64_t Magic; ///< written LAST at init; clients spin on it
+  uint32_t Version;
+  uint32_t RingCount;
+  uint32_t SlotsPerRing; ///< power of two
+  uint32_t SlotSize;     ///< == SlotBytes (layout self-description)
+  uint64_t RingStride;   ///< bytes between consecutive ring headers
+  uint32_t HdrBytes;     ///< offset of ring 0
+  std::atomic<uint32_t> State;    ///< SegState; Draining refuses claims
+  std::atomic<uint32_t> Doorbell; ///< futex word; bumped on empty->nonempty
+  uint32_t ServerPid;
+  uint64_t Pad[2];
+};
+static_assert(sizeof(ShmSegHdr) == SlotBytes, "segment header is one line");
+static_assert(std::atomic<uint64_t>::is_always_lock_free &&
+                  std::atomic<uint32_t>::is_always_lock_free,
+              "shared-memory atomics must be address-free");
+
+/// Segment geometry helpers over a raw mapping.
+struct SegView {
+  unsigned char *Base = nullptr;
+  size_t Bytes = 0;
+
+  ShmSegHdr *hdr() const { return reinterpret_cast<ShmSegHdr *>(Base); }
+  ShmRingHdr *ring(uint32_t I) const {
+    return reinterpret_cast<ShmRingHdr *>(Base + hdr()->HdrBytes +
+                                          I * hdr()->RingStride);
+  }
+  ShmSlot *slots(uint32_t I) const {
+    return reinterpret_cast<ShmSlot *>(reinterpret_cast<unsigned char *>(
+                                           ring(I)) +
+                                       sizeof(ShmRingHdr));
+  }
+  uint32_t mask() const { return hdr()->SlotsPerRing - 1; }
+
+  /// True once the header describes a live, layout-compatible segment.
+  bool valid() const {
+    if (!Base || Bytes < sizeof(ShmSegHdr))
+      return false;
+    ShmSegHdr *H = hdr();
+    return H->Magic == SegMagic && H->Version == SegVersion &&
+           H->SlotSize == SlotBytes && H->SlotsPerRing >= 8 &&
+           (H->SlotsPerRing & (H->SlotsPerRing - 1)) == 0 &&
+           H->RingCount > 0 &&
+           H->HdrBytes + H->RingCount * H->RingStride <= Bytes;
+  }
+
+  static size_t bytesFor(uint32_t Rings, uint32_t Slots) {
+    size_t Stride = sizeof(ShmRingHdr) + size_t(Slots) * SlotBytes;
+    // Ring 0 starts page-aligned so slot arrays never straddle the header.
+    return 4096 + Rings * Stride;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Encode / decode (shared by producer and consumer)
+//===----------------------------------------------------------------------===//
+
+/// Pairs a commit carries (reads then writes, in order).
+inline uint32_t commitPairs(const CommitSets &CS) {
+  return static_cast<uint32_t>(CS.Reads.size() + CS.Writes.size());
+}
+
+/// Fills \p H from an action (commit pairs beyond InlinePairs go to
+/// continuation slots, written by the producer). Returns total slots.
+inline uint32_t encodeHead(FrameHead &H, const Action &A,
+                           const CommitSets *CS, uint64_t ClientSeq) {
+  H = FrameHead();
+  H.Op = opOf(A.Kind);
+  H.ClientSeq = ClientSeq;
+  H.Thread = A.Thread;
+  H.Object = A.Var.Object;
+  H.Field = A.Var.Field;
+  H.Target = A.Target;
+  uint32_t Pairs = 0;
+  if (A.Kind == ActionKind::Commit && CS) {
+    H.NumReads = static_cast<uint16_t>(CS->Reads.size());
+    H.NumWrites = static_cast<uint16_t>(CS->Writes.size());
+    Pairs = commitPairs(*CS);
+    for (uint32_t P = 0; P != Pairs && P != InlinePairs; ++P) {
+      const VarId &V = P < CS->Reads.size()
+                           ? CS->Reads[P]
+                           : CS->Writes[P - CS->Reads.size()];
+      H.Inline[P * 2] = V.Object;
+      H.Inline[P * 2 + 1] = V.Field;
+    }
+  }
+  return frameSlots(Pairs);
+}
+
+/// Rebuilds (A, CS) from a decoded header plus the continuation-pair
+/// reader \p NextPair (called for pairs beyond the inline ones, in
+/// order). Returns false on an invalid op byte.
+template <typename PairFn>
+inline bool decodeFrame(const FrameHead &H, Action &A, CommitSets &CS,
+                        bool &HasCS, PairFn &&NextPair) {
+  if (H.Op < 1 || H.Op > opOf(ActionKind::Terminate))
+    return false;
+  A = Action();
+  A.Kind = static_cast<ActionKind>(H.Op - 1);
+  A.Thread = H.Thread;
+  A.Var.Object = H.Object;
+  A.Var.Field = H.Field;
+  A.Target = H.Target;
+  HasCS = A.Kind == ActionKind::Commit;
+  CS = CommitSets();
+  if (!HasCS)
+    return true;
+  uint32_t Pairs = uint32_t(H.NumReads) + uint32_t(H.NumWrites);
+  CS.Reads.reserve(H.NumReads);
+  CS.Writes.reserve(H.NumWrites);
+  for (uint32_t P = 0; P != Pairs; ++P) {
+    VarId V;
+    if (P < InlinePairs) {
+      V.Object = H.Inline[P * 2];
+      V.Field = H.Inline[P * 2 + 1];
+    } else {
+      NextPair(V.Object, V.Field);
+    }
+    (P < H.NumReads ? CS.Reads : CS.Writes).push_back(V);
+  }
+  return true;
+}
+
+} // namespace shm
+} // namespace gold
+
+#endif // GOLD_SERVICE_SHM_SHMRING_H

@@ -1,0 +1,737 @@
+//===- service/shm/ShmServer.cpp - Shared-memory ring front end -----------===//
+
+#include "service/shm/ShmServer.h"
+
+#include "service/Snapshots.h"
+#include "support/Failpoints.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#ifdef __linux__
+#include <linux/futex.h>
+#include <sys/syscall.h>
+#include <time.h>
+#endif
+
+using namespace gold;
+using namespace gold::shm;
+
+ShmServer::ShmServer(DetectionService &Svc, ShmConfig C)
+    : Svc(Svc), Cfg(std::move(C)) {}
+
+ShmServer::~ShmServer() {
+  if (Seg.Base)
+    ::munmap(Seg.Base, Seg.Bytes);
+  if (Fd >= 0)
+    ::close(Fd);
+}
+
+bool ShmServer::start(std::string &Err) {
+  if ((Cfg.SlotsPerRing & (Cfg.SlotsPerRing - 1)) != 0 ||
+      Cfg.SlotsPerRing < 8 || Cfg.Rings == 0) {
+    Err = "shm: SlotsPerRing must be a power of two >= 8 and Rings > 0";
+    return false;
+  }
+  Fd = ::open(Cfg.Path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0600);
+  if (Fd < 0) {
+    Err = "shm: open " + Cfg.Path + ": " + std::strerror(errno);
+    return false;
+  }
+  size_t Bytes = SegView::bytesFor(Cfg.Rings, Cfg.SlotsPerRing);
+  if (::ftruncate(Fd, static_cast<off_t>(Bytes)) != 0) {
+    Err = "shm: ftruncate: " + std::string(std::strerror(errno));
+    return false;
+  }
+  void *M = ::mmap(nullptr, Bytes, PROT_READ | PROT_WRITE, MAP_SHARED, Fd, 0);
+  if (M == MAP_FAILED) {
+    Err = "shm: mmap: " + std::string(std::strerror(errno));
+    return false;
+  }
+  Seg.Base = static_cast<unsigned char *>(M);
+  Seg.Bytes = Bytes;
+
+  ShmSegHdr *H = Seg.hdr();
+  H->Version = SegVersion;
+  H->RingCount = Cfg.Rings;
+  H->SlotsPerRing = Cfg.SlotsPerRing;
+  H->SlotSize = SlotBytes;
+  H->RingStride = sizeof(ShmRingHdr) + size_t(Cfg.SlotsPerRing) * SlotBytes;
+  H->HdrBytes = 4096;
+  H->ServerPid = static_cast<uint32_t>(::getpid());
+  H->Doorbell.store(0, std::memory_order_relaxed);
+  Sw.assign(Cfg.Rings, RingSw());
+  for (uint32_t I = 0; I != Cfg.Rings; ++I) {
+    ShmRingHdr *R = Seg.ring(I);
+    std::memset(reinterpret_cast<char *>(R), 0, sizeof(ShmRingHdr));
+    ShmSlot *S = Seg.slots(I);
+    for (uint32_t K = 0; K != Cfg.SlotsPerRing; ++K)
+      S[K].Seq.store(K, std::memory_order_relaxed);
+  }
+  // Publish last: clients acquire-load State before trusting any field.
+  H->Magic = SegMagic;
+  H->State.store(static_cast<uint32_t>(SegState::Running),
+                 std::memory_order_release);
+  return true;
+}
+
+bool ShmServer::pidGone(uint32_t Pid) const {
+  if (Pid == 0)
+    return false; // identity not yet written; staleness handles it
+  return ::kill(static_cast<pid_t>(Pid), 0) != 0 && errno == ESRCH;
+}
+
+void ShmServer::futexWait(int TimeoutMs) {
+  std::atomic<uint32_t> &D = Seg.hdr()->Doorbell;
+  uint32_t Cur = D.load(std::memory_order_acquire);
+  if (Cur != LastDoorbell) {
+    // A producer rang while we were working; skip the wait.
+    LastDoorbell = Cur;
+    St.Wakeups.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+#ifdef __linux__
+  timespec Ts;
+  Ts.tv_sec = TimeoutMs / 1000;
+  Ts.tv_nsec = long(TimeoutMs % 1000) * 1000000;
+  ::syscall(SYS_futex, reinterpret_cast<uint32_t *>(&D), FUTEX_WAIT, Cur,
+            &Ts, nullptr, 0);
+#else
+  std::this_thread::sleep_for(std::chrono::milliseconds(TimeoutMs));
+#endif
+  uint32_t Now = D.load(std::memory_order_acquire);
+  if (Now != LastDoorbell) {
+    LastDoorbell = Now;
+    St.Wakeups.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+size_t ShmServer::pollOnce(int TimeoutMs) {
+  if (!Seg.Base || Drained)
+    return 0;
+  if (TimeoutMs > 0)
+    futexWait(TimeoutMs);
+
+  size_t Frames = 0;
+  uint64_t Now = now();
+  bool Draining =
+      Seg.hdr()->State.load(std::memory_order_relaxed) ==
+      static_cast<uint32_t>(SegState::Draining);
+
+  for (uint32_t I = 0; I != Cfg.Rings; ++I) {
+    ShmRingHdr *R = Seg.ring(I);
+    RingSw &W = Sw[I];
+    RingState S =
+        static_cast<RingState>(R->State.load(std::memory_order_acquire));
+
+    // Track per-ring liveness: a heartbeat (or any state change) counts as
+    // activity; everything stale beyond WedgeTimeoutNanos is reaped.
+    uint64_t Beat = R->Heartbeat.load(std::memory_order_relaxed);
+    if (Beat != W.LastBeat || W.LastBeatNanos == 0) {
+      W.LastBeat = Beat;
+      W.LastBeatNanos = Now;
+    }
+    bool Stale = Cfg.WedgeTimeoutNanos != 0 &&
+                 Now - W.LastBeatNanos > Cfg.WedgeTimeoutNanos;
+    uint32_t Pid = R->ClientPid.load(std::memory_order_relaxed);
+
+    switch (S) {
+    case RingState::Free:
+      break;
+    case RingState::Claimed:
+      // The claimant fills in its identity and beats once; a claim whose
+      // identity never arrives (claimant died mid-claim) goes stale and is
+      // recycled without ever touching a session.
+      if (Beat != 0)
+        handleClaim(I);
+      else if (Stale || pidGone(Pid))
+        sanitizeRing(I);
+      break;
+    case RingState::Ready:
+      if (pidGone(Pid)) {
+        St.ProducersReaped.fetch_add(1, std::memory_order_relaxed);
+        reapRing(I, true);
+        break;
+      }
+      Frames += consumeRing(I, Draining);
+      // Re-read: consuming may have killed or closed the ring.
+      if (static_cast<RingState>(R->State.load(
+              std::memory_order_acquire)) == RingState::Ready &&
+          Stale) {
+        St.ProducersWedged.fetch_add(1, std::memory_order_relaxed);
+        reapRing(I, false);
+      }
+      break;
+    case RingState::Closing:
+      serveClose(I);
+      break;
+    case RingState::Refused:
+    case RingState::Closed:
+      // Waiting for the client to read the outcome; if it died first, the
+      // outcome is undeliverable — recycle.
+      if (pidGone(Pid) || Stale)
+        sanitizeRing(I);
+      break;
+    case RingState::Released:
+      // Orderly handoff: the producer promises it is done with the
+      // mapping before setting Released, so the ring is recyclable now.
+      sanitizeRing(I);
+      break;
+    case RingState::Reaped:
+      // Quarantined: a wedged-but-alive producer may still scribble here,
+      // and that is exactly why the ring is not recycled until the pid is
+      // gone (DESIGN.md §17 crash-reap soundness).
+      if (pidGone(Pid))
+        sanitizeRing(I);
+      break;
+    }
+  }
+
+  if (Cfg.InlinePump) {
+    Svc.pumpAll();
+    Svc.poll();
+  }
+  return Frames;
+}
+
+void ShmServer::runLoop(const std::atomic<bool> &Stop, int TimeoutMs) {
+  // Only park on the doorbell after an idle pass. Producers ring solely on
+  // empty->nonempty transitions, so a ring that stayed non-empty (the batch
+  // cap left residue) never re-rings — waiting here would add TimeoutMs of
+  // dead air between every batch.
+  size_t Last = 1;
+  while (!Stop.load(std::memory_order_relaxed) &&
+         !StopFlag.load(std::memory_order_relaxed) && !Drained)
+    Last = pollOnce(Last ? 0 : TimeoutMs);
+}
+
+void ShmServer::handleClaim(uint32_t I) {
+  ShmRingHdr *R = Seg.ring(I);
+  RingSw &W = Sw[I];
+  uint64_t Cid = R->ClientId.load(std::memory_order_acquire);
+  unsigned Priority = R->Priority.load(std::memory_order_relaxed);
+
+  auto Refuse = [&](RingCode Code, uint64_t RetryNs) {
+    R->OpenCode.store(static_cast<uint32_t>(Code), std::memory_order_relaxed);
+    R->Control.store(RetryNs, std::memory_order_relaxed);
+    St.OpensRefused.fetch_add(1, std::memory_order_relaxed);
+    R->State.store(static_cast<uint32_t>(RingState::Refused),
+                   std::memory_order_release);
+  };
+
+  if (Seg.hdr()->State.load(std::memory_order_relaxed) !=
+      static_cast<uint32_t>(SegState::Running)) {
+    Refuse(RingCode::Shutdown, 0);
+    return;
+  }
+
+  auto It = Bindings.find(Cid);
+  if (It != Bindings.end() && It->second.S->state() != SessionState::Dead) {
+    uint32_t Old = It->second.OwnerRing;
+    if (Old != UINT32_MAX && Old != I) {
+      uint32_t OldPid =
+          Seg.ring(Old)->ClientPid.load(std::memory_order_relaxed);
+      if (!pidGone(OldPid)) {
+        Refuse(RingCode::Busy, 0);
+        return;
+      }
+      // The previous incarnation is dead but not yet reaped: drain its
+      // published frames NOW so the resume point below is exact. Draining
+      // can kill the session (decode error in the tail), so re-look-up.
+      St.ProducersReaped.fetch_add(1, std::memory_order_relaxed);
+      reapRing(Old, true);
+      It = Bindings.find(Cid);
+    }
+  }
+  if (It != Bindings.end() && It->second.S->state() != SessionState::Dead) {
+    // Reconnect-with-resume: hand the stream back exactly where the
+    // server left it (the mirror of `ok open <id> resumed expect=<n>`).
+    Binding &B = It->second;
+    B.OwnerRing = I;
+    W.ClientId = Cid;
+    St.Claims.fetch_add(1, std::memory_order_relaxed);
+    St.Resumes.fetch_add(1, std::memory_order_relaxed);
+    R->Resume.store(B.Expect, std::memory_order_relaxed);
+    R->Acked.store(B.Expect, std::memory_order_relaxed);
+    R->Control.store(0, std::memory_order_relaxed);
+    R->OpenCode.store(static_cast<uint32_t>(RingCode::Ok),
+                      std::memory_order_relaxed);
+    R->State.store(static_cast<uint32_t>(RingState::Ready),
+                   std::memory_order_release);
+    return;
+  }
+
+  DetectionService::OpenResult O = Svc.open(Cid, Priority);
+  if (!O.S) {
+    Refuse(RingCode::Admission, O.RetryAfterNanos);
+    return;
+  }
+  Bindings[Cid] = Binding{O.S, 0, I};
+  W.ClientId = Cid;
+  St.Claims.fetch_add(1, std::memory_order_relaxed);
+  R->Resume.store(0, std::memory_order_relaxed);
+  R->Acked.store(0, std::memory_order_relaxed);
+  R->Control.store(0, std::memory_order_relaxed);
+  R->OpenCode.store(static_cast<uint32_t>(RingCode::Ok),
+                    std::memory_order_relaxed);
+  R->State.store(static_cast<uint32_t>(RingState::Ready),
+                 std::memory_order_release);
+}
+
+size_t ShmServer::consumeRing(uint32_t I, bool Draining) {
+  ShmRingHdr *R = Seg.ring(I);
+  ShmSlot *Slots = Seg.slots(I);
+  RingSw &W = Sw[I];
+  const uint32_t Mask = Seg.mask();
+  const uint32_t Cap = Seg.hdr()->SlotsPerRing;
+
+  auto It = Bindings.find(W.ClientId);
+  if (It == Bindings.end()) {
+    // A ring without a binding is a server bug turned defensive:
+    // quarantine rather than feed an unowned stream.
+    R->State.store(static_cast<uint32_t>(RingState::Reaped),
+                   std::memory_order_release);
+    return 0;
+  }
+
+  size_t Frames = 0;
+  uint64_t SlotsLocal = 0;
+  uint64_t FrameT0 = 0;
+  while (Frames < Cfg.ConsumeBatch) {
+    if (!Draining && W.NotBefore != 0) {
+      if (now() < W.NotBefore)
+        break; // backpressure gate still closed
+      W.NotBefore = 0;
+    }
+    uint64_t Hd = W.Pos;
+    ShmSlot &Head = Slots[Hd & Mask];
+    if (Head.Seq.load(std::memory_order_acquire) != Hd + 1)
+      break; // empty (or the producer's header store has not landed)
+
+    // The latency series is sampled 1-in-8: the histogram's four RMWs plus
+    // two clock reads cost as much as the decode they measure, and a
+    // stationary series quantizes to the same buckets either way.
+    bool SampleLat = (Frames & 7) == 0;
+    if (SampleLat)
+      FrameT0 = now();
+    FrameHead H;
+    std::memcpy(&H, Head.Payload, sizeof(H));
+
+    uint32_t Pairs = 0;
+    uint32_t NSlots = 1;
+    if (H.Op == opOf(ActionKind::Commit)) {
+      Pairs = uint32_t(H.NumReads) + uint32_t(H.NumWrites);
+      NSlots = frameSlots(Pairs);
+    }
+    if (NSlots > Cap / 2) {
+      St.DecodeErrors.fetch_add(1, std::memory_order_relaxed);
+      killRing(I, RingCode::Decode);
+      return Frames;
+    }
+    // Continuation slots were published (release) before the header, so
+    // they must all be visible; a hole is a protocol violation.
+    bool Corrupt = false;
+    for (uint32_t K = 1; K != NSlots; ++K) {
+      uint64_t P = Hd + K;
+      if (Slots[P & Mask].Seq.load(std::memory_order_acquire) != P + 1) {
+        Corrupt = true;
+        break;
+      }
+    }
+    Action A;
+    CommitSets CS;
+    bool HasCS = false;
+    if (!Corrupt) {
+      uint32_t NextSlot = 1, SlotPair = 0;
+      auto NextPair = [&](uint32_t &Obj, uint32_t &Fld) {
+        const unsigned char *P =
+            Slots[(Hd + NextSlot) & Mask].Payload + SlotPair * 8;
+        std::memcpy(&Obj, P, 4);
+        std::memcpy(&Fld, P + 4, 4);
+        if (++SlotPair == PairsPerContSlot) {
+          SlotPair = 0;
+          ++NextSlot;
+        }
+      };
+      Corrupt = !decodeFrame(H, A, CS, HasCS, NextPair);
+    }
+    if (Corrupt) {
+      // A same-host producer wrote garbage (the shm-slot-corrupt
+      // failpoint, or a real bug): silently skipping the frame would be
+      // an unaccounted verdict divergence, so the session dies instead.
+      St.DecodeErrors.fetch_add(1, std::memory_order_relaxed);
+      killRing(I, RingCode::Decode);
+      return Frames;
+    }
+
+    Binding &B = It->second;
+    auto FreeSlots = [&] {
+      for (uint32_t K = 0; K != NSlots; ++K) {
+        uint64_t P = Hd + K;
+        Slots[P & Mask].Seq.store(P + Cap, std::memory_order_release);
+      }
+      W.Pos += NSlots;
+      SlotsLocal += NSlots;
+    };
+
+    if (H.ClientSeq < B.Expect) {
+      // Idempotent retransmit after a resume: already applied.
+      St.DupFrames.fetch_add(1, std::memory_order_relaxed);
+      FreeSlots();
+      continue;
+    }
+    if (H.ClientSeq > B.Expect) {
+      // Same-host streams cannot lose frames in transit; a gap means the
+      // producer's replay logic is broken. Crash-only, like any other
+      // protocol violation.
+      St.SeqViolations.fetch_add(1, std::memory_order_relaxed);
+      killRing(I, RingCode::Decode);
+      return Frames;
+    }
+
+    bool Killed = false;
+    if (!feedFrame(I, *B.S, A, HasCS ? &CS : nullptr, NSlots * SlotBytes,
+                   Draining, Killed)) {
+      if (Killed)
+        return Frames;
+      break; // backpressured: the frame stays in the ring
+    }
+    B.Expect++;
+    R->Acked.store(B.Expect, std::memory_order_release);
+    if (R->Control.load(std::memory_order_relaxed) != 0)
+      R->Control.store(0, std::memory_order_relaxed);
+    FreeSlots();
+    ++Frames;
+    if (SampleLat)
+      EnqueueLatency.record(now() - FrameT0);
+  }
+  if (Frames)
+    St.FramesIn.fetch_add(Frames, std::memory_order_relaxed);
+  if (SlotsLocal)
+    St.SlotsIn.fetch_add(SlotsLocal, std::memory_order_relaxed);
+
+  // Publish where the consumer stands when it has drained the ring, so
+  // the producer knows its next publish is an empty->nonempty transition
+  // (and only then rings the doorbell).
+  if (Slots[W.Pos & Mask].Seq.load(std::memory_order_acquire) != W.Pos + 1)
+    R->ConsumeHint.store(W.Pos, std::memory_order_release);
+  return Frames;
+}
+
+bool ShmServer::feedFrame(uint32_t I, Session &S, const Action &A,
+                          const CommitSets *CS, uint32_t Bytes, bool Draining,
+                          bool &Killed) {
+  ShmRingHdr *R = Seg.ring(I);
+  RingSw &W = Sw[I];
+  unsigned Attempts = 0;
+  for (;;) {
+    FeedResult FR = S.feedAction(A, CS, Bytes);
+    switch (FR.St) {
+    case FeedResult::Status::Accepted:
+      return true;
+    case FeedResult::Status::Rejected:
+      // The session charged its own error budget; the frame is consumed
+      // (mirrors the TCP path, where rejected lines advance Expect). A
+      // budget-exhausted session surfaces as Closed on the next frame.
+      return true;
+    case FeedResult::Status::Closed:
+      Killed = true;
+      killRing(I, RingCode::SessionDead);
+      return false;
+    case FeedResult::Status::Backpressure:
+      if (!Draining) {
+        // When this thread pumps the service itself, a refusal usually
+        // just means the shard ring filled faster than the last pump
+        // slice drained it. Drain once and retry before escalating: an
+        // inline pump costs microseconds, while idling the producer for
+        // a jittered retry-after costs milliseconds of ring throughput.
+        if (Cfg.InlinePump && Attempts++ < 2) {
+          Svc.pumpAll();
+          break;
+        }
+        // Wire-level backpressure: leave the frame in the ring and hand
+        // the producer the service's jittered schedule via the control
+        // word — the same hint the TCP path puts in `retry-after-ns=`.
+        R->Control.store(FR.RetryAfterNanos, std::memory_order_release);
+        W.NotBefore = now() + FR.RetryAfterNanos;
+        St.BackpressureWrites.fetch_add(1, std::memory_order_relaxed);
+        return false;
+      }
+      // Drain settle: push the frame through, bounded so a wedged shard
+      // cannot hang shutdown.
+      if (++Attempts > Cfg.DrainSettleAttempts) {
+        St.DrainDroppedFrames.fetch_add(1, std::memory_order_relaxed);
+        return true; // consumed-as-dropped; counted, never silent
+      }
+      if (Cfg.InlinePump) {
+        Svc.pumpAll();
+        Svc.poll();
+      } else {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+      }
+      break;
+    }
+  }
+}
+
+void ShmServer::writeVerdictsLocked(uint32_t I, Session &S) {
+  ShmRingHdr *R = Seg.ring(I);
+  std::vector<RaceReport> Races = S.takeVerdicts();
+  uint32_t N = 0;
+  for (const RaceReport &Rep : Races) {
+    if (N == VerdictCap) {
+      St.VerdictsTruncated.fetch_add(Races.size() - N,
+                                     std::memory_order_relaxed);
+      R->VerdictsTruncated.store(
+          static_cast<uint32_t>(Races.size() - N), std::memory_order_relaxed);
+      break;
+    }
+    R->Verdicts[N].Object = Rep.Var.Object;
+    R->Verdicts[N].Field = Rep.Var.Field;
+    ++N;
+  }
+  St.VerdictsWritten.fetch_add(N, std::memory_order_relaxed);
+  R->RaceCount.store(N, std::memory_order_relaxed);
+}
+
+void ShmServer::serveClose(uint32_t I) {
+  ShmRingHdr *R = Seg.ring(I);
+  RingSw &W = Sw[I];
+
+  // Settle everything the producer published before it asked to close.
+  while (consumeRing(I, /*Draining=*/true) != 0) {
+  }
+  if (static_cast<RingState>(R->State.load(std::memory_order_acquire)) !=
+      RingState::Closing)
+    return; // consuming killed the ring; its path wrote the outcome
+
+  auto It = Bindings.find(W.ClientId);
+  if (It == Bindings.end() || It->second.OwnerRing != I) {
+    // The stream moved on without us (a resume claimed another ring while
+    // this one sat in Closing with a dead producer): never close a session
+    // another ring now owns. Quarantine; pid-death recycles it.
+    R->State.store(static_cast<uint32_t>(RingState::Reaped),
+                   std::memory_order_release);
+    return;
+  }
+  Session &S = *It->second.S;
+  S.close();
+  // Wait (bounded) for the session's queued items to apply so the verdict
+  // set is complete — close-drain, the shm mirror of `close` + `verdicts`.
+  for (uint32_t A = 0; S.state() != SessionState::Dead &&
+                       A != Cfg.DrainSettleAttempts;
+       ++A) {
+    if (Cfg.InlinePump) {
+      Svc.pumpAll();
+      Svc.drain();
+      Svc.poll();
+    } else {
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+  }
+  writeVerdictsLocked(I, S);
+  Bindings.erase(It);
+  St.ClosesServed.fetch_add(1, std::memory_order_relaxed);
+  R->OpenCode.store(static_cast<uint32_t>(RingCode::Ok),
+                    std::memory_order_relaxed);
+  R->State.store(static_cast<uint32_t>(RingState::Closed),
+                 std::memory_order_release);
+}
+
+void ShmServer::killRing(uint32_t I, RingCode Code) {
+  ShmRingHdr *R = Seg.ring(I);
+  RingSw &W = Sw[I];
+  auto It = Bindings.find(W.ClientId);
+  if (It != Bindings.end()) {
+    Session &S = *It->second.S;
+    S.close();
+    if (Cfg.InlinePump) {
+      Svc.drain();
+      Svc.poll();
+    }
+    // Verdicts accepted before the violation still get delivered — the
+    // stream died, not the accounting.
+    writeVerdictsLocked(I, S);
+    Bindings.erase(It);
+  }
+  R->OpenCode.store(static_cast<uint32_t>(Code), std::memory_order_relaxed);
+  R->State.store(static_cast<uint32_t>(RingState::Closed),
+                 std::memory_order_release);
+}
+
+void ShmServer::reapRing(uint32_t I, bool PidDead) {
+  ShmRingHdr *R = Seg.ring(I);
+  RingSw &W = Sw[I];
+
+  // Drain every fully-published frame first: that makes the Expect a
+  // future resume hands out exact. A frame the producer died inside never
+  // published its header slot, so it is invisible here by construction —
+  // the reincarnated producer replays it from its own buffer.
+  while (consumeRing(I, /*Draining=*/true) != 0) {
+  }
+  if (static_cast<RingState>(R->State.load(std::memory_order_acquire)) !=
+      RingState::Ready)
+    return; // draining killed it; that path already settled the outcome
+
+  // The session is NOT closed: the client may reincarnate and resume
+  // (service idle timeout reaps truly abandoned sessions).
+  auto It = Bindings.find(W.ClientId);
+  if (It != Bindings.end() && It->second.OwnerRing == I)
+    It->second.OwnerRing = UINT32_MAX;
+  R->State.store(static_cast<uint32_t>(RingState::Reaped),
+                 std::memory_order_release);
+  if (PidDead)
+    sanitizeRing(I);
+}
+
+void ShmServer::sanitizeRing(uint32_t I) {
+  ShmRingHdr *R = Seg.ring(I);
+  ShmSlot *Slots = Seg.slots(I);
+  // Rewrite EVERY slot sequence: a producer that died mid-frame left
+  // continuation slots published with no header, which would wedge the
+  // next producer's free-slot check forever. Only the server does this,
+  // and only once the owning pid cannot write anymore.
+  for (uint32_t K = 0; K != Seg.hdr()->SlotsPerRing; ++K)
+    Slots[K].Seq.store(K, std::memory_order_relaxed);
+  R->ClientId.store(0, std::memory_order_relaxed);
+  R->ClientPid.store(0, std::memory_order_relaxed);
+  R->Priority.store(0, std::memory_order_relaxed);
+  R->Heartbeat.store(0, std::memory_order_relaxed);
+  R->Acked.store(0, std::memory_order_relaxed);
+  R->ConsumeHint.store(0, std::memory_order_relaxed);
+  R->RaceCount.store(0, std::memory_order_relaxed);
+  R->VerdictsTruncated.store(0, std::memory_order_relaxed);
+  R->Control.store(0, std::memory_order_relaxed);
+  R->Resume.store(0, std::memory_order_relaxed);
+  R->OpenCode.store(0, std::memory_order_relaxed);
+  R->Gen.fetch_add(1, std::memory_order_relaxed);
+  Sw[I] = RingSw();
+  St.RingsRecycled.fetch_add(1, std::memory_order_relaxed);
+  R->State.store(static_cast<uint32_t>(RingState::Free),
+                 std::memory_order_release);
+}
+
+void ShmServer::drainAndStop() {
+  if (Drained || !Seg.Base)
+    return;
+  Seg.hdr()->State.store(static_cast<uint32_t>(SegState::Draining),
+                         std::memory_order_release);
+  for (uint32_t I = 0; I != Cfg.Rings; ++I) {
+    ShmRingHdr *R = Seg.ring(I);
+    switch (static_cast<RingState>(R->State.load(std::memory_order_acquire))) {
+    case RingState::Claimed:
+      R->OpenCode.store(static_cast<uint32_t>(RingCode::Shutdown),
+                        std::memory_order_relaxed);
+      R->State.store(static_cast<uint32_t>(RingState::Refused),
+                     std::memory_order_release);
+      break;
+    case RingState::Ready: {
+      // Settle what was published (counted when it cannot land), then
+      // close out with the verdicts: SIGTERM must not strand a stream.
+      while (consumeRing(I, /*Draining=*/true) != 0) {
+      }
+      if (static_cast<RingState>(R->State.load(
+              std::memory_order_acquire)) == RingState::Ready)
+        killRing(I, RingCode::Shutdown);
+      break;
+    }
+    case RingState::Closing:
+      serveClose(I);
+      break;
+    default:
+      break;
+    }
+  }
+  if (Cfg.InlinePump) {
+    Svc.pumpAll();
+    Svc.poll();
+  }
+  Drained = true;
+}
+
+ShmStats ShmServer::stats() const {
+  ShmStats S;
+  S.Claims = St.Claims.load(std::memory_order_relaxed);
+  S.Resumes = St.Resumes.load(std::memory_order_relaxed);
+  S.OpensRefused = St.OpensRefused.load(std::memory_order_relaxed);
+  S.FramesIn = St.FramesIn.load(std::memory_order_relaxed);
+  S.SlotsIn = St.SlotsIn.load(std::memory_order_relaxed);
+  S.DupFrames = St.DupFrames.load(std::memory_order_relaxed);
+  S.DecodeErrors = St.DecodeErrors.load(std::memory_order_relaxed);
+  S.SeqViolations = St.SeqViolations.load(std::memory_order_relaxed);
+  S.BackpressureWrites = St.BackpressureWrites.load(std::memory_order_relaxed);
+  S.ProducersReaped = St.ProducersReaped.load(std::memory_order_relaxed);
+  S.ProducersWedged = St.ProducersWedged.load(std::memory_order_relaxed);
+  S.RingsRecycled = St.RingsRecycled.load(std::memory_order_relaxed);
+  S.ClosesServed = St.ClosesServed.load(std::memory_order_relaxed);
+  S.VerdictsWritten = St.VerdictsWritten.load(std::memory_order_relaxed);
+  S.VerdictsTruncated = St.VerdictsTruncated.load(std::memory_order_relaxed);
+  S.DrainDroppedFrames =
+      St.DrainDroppedFrames.load(std::memory_order_relaxed);
+  S.Wakeups = St.Wakeups.load(std::memory_order_relaxed);
+  return S;
+}
+
+std::string ShmServer::healthJson(bool Interrupted) const {
+  ServiceHealth H = Svc.health();
+  ShmStats S = stats();
+  return renderHealthJson(
+      H, "goldilocks-shmserver", Interrupted, [&](JsonWriter &J) {
+        J.key("shm");
+        J.beginObject();
+        J.kv("claims", S.Claims);
+        J.kv("resumes", S.Resumes);
+        J.kv("opens_refused", S.OpensRefused);
+        J.kv("frames_in", S.FramesIn);
+        J.kv("slots_in", S.SlotsIn);
+        J.kv("dup_frames", S.DupFrames);
+        J.kv("decode_errors", S.DecodeErrors);
+        J.kv("seq_violations", S.SeqViolations);
+        J.kv("backpressure_writes", S.BackpressureWrites);
+        J.kv("producers_reaped", S.ProducersReaped);
+        J.kv("producers_wedged", S.ProducersWedged);
+        J.kv("rings_recycled", S.RingsRecycled);
+        J.kv("closes_served", S.ClosesServed);
+        J.kv("verdicts_written", S.VerdictsWritten);
+        J.kv("verdicts_truncated", S.VerdictsTruncated);
+        J.kv("drain_dropped_frames", S.DrainDroppedFrames);
+        J.kv("wakeups", S.Wakeups);
+        J.endObject();
+      });
+}
+
+std::string ShmServer::metricsJson() const {
+  TelemetrySnapshot Snap = Svc.telemetry();
+  ShmStats S = stats();
+  Snap.addCounter("shm.claims", S.Claims);
+  Snap.addCounter("shm.resumes", S.Resumes);
+  Snap.addCounter("shm.opens_refused", S.OpensRefused);
+  Snap.addCounter("shm.frames_in", S.FramesIn);
+  Snap.addCounter("shm.slots_in", S.SlotsIn);
+  Snap.addCounter("shm.dup_frames", S.DupFrames);
+  Snap.addCounter("shm.decode_errors", S.DecodeErrors);
+  Snap.addCounter("shm.seq_violations", S.SeqViolations);
+  Snap.addCounter("shm.backpressure_writes", S.BackpressureWrites);
+  Snap.addCounter("shm.producers_reaped", S.ProducersReaped);
+  Snap.addCounter("shm.producers_wedged", S.ProducersWedged);
+  Snap.addCounter("shm.rings_recycled", S.RingsRecycled);
+  Snap.addCounter("shm.closes_served", S.ClosesServed);
+  Snap.addCounter("shm.verdicts_written", S.VerdictsWritten);
+  Snap.addCounter("shm.verdicts_truncated", S.VerdictsTruncated);
+  Snap.addCounter("shm.drain_dropped_frames", S.DrainDroppedFrames);
+  Snap.addCounter("shm.wakeups", S.Wakeups);
+  Snap.Histograms.push_back(EnqueueLatency.snapshot("shm.enqueue_latency_ns"));
+  // The transport always records its latency histogram, so the rendered
+  // document is 'full' regardless of the service telemetry level.
+  if (Snap.Level < TelemetryLevel::Full)
+    Snap.Level = TelemetryLevel::Full;
+  return renderMetricsJson(Snap, "goldilocks-shmserver");
+}

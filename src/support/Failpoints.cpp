@@ -46,6 +46,10 @@ const char *gold::failpointName(Failpoint F) {
     return "net-write-stall";
   case Failpoint::NetConnHang:
     return "net-conn-hang";
+  case Failpoint::ShmProducerStall:
+    return "shm-producer-stall";
+  case Failpoint::ShmSlotCorrupt:
+    return "shm-slot-corrupt";
   case Failpoint::Count_:
     break;
   }

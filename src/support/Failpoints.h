@@ -63,6 +63,10 @@ enum class Failpoint : unsigned {
                        ///< round (simulates a zero-window / slow reader)
   NetConnHang,         ///< a connection goes half-open: the server stops
                        ///< reading it until the read deadline closes it
+  ShmProducerStall,    ///< an shm producer skips its heartbeat bump and
+                       ///< stalls mid-publish (wedged-producer reap path)
+  ShmSlotCorrupt,      ///< an shm producer corrupts a slot's op byte before
+                       ///< publishing it (decode-error kill path)
   Count_               ///< number of sites (not a site)
 };
 

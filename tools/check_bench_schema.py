@@ -126,15 +126,18 @@ def check_service_run(r, ctx):
 
 
 def check_net_run(r, ctx):
-    """bench_net runs carry the socket-transport headline numbers; check the
+    """bench_net runs carry the transport A/B headline numbers; check the
     invariants that hold on any machine at any load."""
     scenario = need(r, "scenario", str, ctx)
-    for key in ("conns_per_sec", "frames_per_sec"):
+    transport = need(r, "transport", str, ctx)
+    if transport not in ("tcp", "shm"):
+        raise Bad(f"{ctx}: unknown transport {transport!r}")
+    for key in ("conns_per_sec", "frames_per_sec", "wire_frames_per_sec"):
         if need(r, key, (int, float), ctx) < 0:
             raise Bad(f"{ctx}: negative '{key}'")
     for key in ("conns_accepted", "conns_rejected", "frames_in",
-                "backpressure_replies", "resync_replies", "dup_frames",
-                "replies_shed", "verdict_replies_dropped",
+                "backpressure_replies", "resync_replies", "fallout_frames",
+                "dup_frames", "replies_shed", "verdict_replies_dropped",
                 "partial_frames_dropped", "drain_dropped_frames",
                 "reconnects", "resumes", "races_delivered",
                 "verdict_loss_events"):
@@ -151,13 +154,70 @@ def check_net_run(r, ctx):
     if diverged > compared:
         raise Bad(f"{ctx}: verdict_divergence {diverged} exceeds "
                   f"clients_compared {compared}")
-    if scenario == "steady":
-        # The clean path must be provably exact: every client compared
-        # against the oracle, nothing dropped, nothing diverged.
+    if transport == "shm":
+        for key in ("slots_in", "producers_reaped", "producers_wedged",
+                    "rings_recycled", "decode_errors", "seq_violations",
+                    "verdicts_truncated", "doorbell_wakeups"):
+            if need(r, key, int, ctx) < 0:
+                raise Bad(f"{ctx}: negative '{key}'")
+        # Every frame occupies at least its header slot.
+        if r["slots_in"] < r["frames_in"]:
+            raise Bad(f"{ctx}: slots_in {r['slots_in']} below frames_in "
+                      f"{r['frames_in']}")
+    if scenario.endswith("steady"):
+        # The clean path must be provably exact on either transport: every
+        # client compared against the oracle, nothing dropped, nothing
+        # diverged — and nothing resynced: a steady-state resync storm is
+        # the pathology PR 9 fixed, so its counter is pinned to zero here.
         for key in ("verdict_divergence", "clients_uncompared",
-                    "drain_dropped_frames", "verdict_loss_events"):
+                    "drain_dropped_frames", "verdict_loss_events",
+                    "resync_replies"):
             if need(r, key, int, ctx) != 0:
                 raise Bad(f"{ctx}: steady scenario has nonzero '{key}'")
+        if transport == "shm":
+            for key in ("producers_reaped", "producers_wedged",
+                        "decode_errors", "seq_violations"):
+                if r[key] != 0:
+                    raise Bad(f"{ctx}: steady scenario has nonzero '{key}'")
+
+
+def check_net_ab(doc, runs, path):
+    """The TCP-vs-SHM A/B summary: the recorded speedup must be the ratio
+    of the recorded runs, and when the bench ran with --assert-shm-ab the
+    acceptance gate (>= 3x frames/s, p99 no worse) must hold in the
+    artifact, not just in the exit status."""
+    by_scenario = {r.get("scenario"): r for r in runs}
+    steady = by_scenario.get("steady")
+    shm_steady = by_scenario.get("shm-steady")
+    if "shm_speedup_vs_tcp" not in doc:
+        if shm_steady is not None:
+            raise Bad(f"{path}: shm-steady run present but "
+                      f"'shm_speedup_vs_tcp' missing")
+        return
+    speedup = need(doc, "shm_speedup_vs_tcp", (int, float), path)
+    shm_p99 = need(doc, "shm_steady_p99_nanos", int, path)
+    tcp_p99 = need(doc, "tcp_steady_p99_nanos", int, path)
+    asserted = need(doc, "asserted_speedup", bool, path)
+    if steady is None or shm_steady is None:
+        raise Bad(f"{path}: A/B summary present without both steady runs")
+    tcp_fps = steady["frames_per_sec"]
+    expect = shm_steady["frames_per_sec"] / tcp_fps if tcp_fps else 0.0
+    if abs(speedup - expect) > max(1e-3 * expect, 1e-9):
+        raise Bad(f"{path}: shm_speedup_vs_tcp {speedup} inconsistent with "
+                  f"run ratio {expect}")
+    if shm_p99 != shm_steady["p99_frame_latency_nanos"]:
+        raise Bad(f"{path}: shm_steady_p99_nanos disagrees with the "
+                  f"shm-steady run")
+    if tcp_p99 != steady["p99_frame_latency_nanos"]:
+        raise Bad(f"{path}: tcp_steady_p99_nanos disagrees with the "
+                  f"steady run")
+    if asserted:
+        if speedup < 3.0:
+            raise Bad(f"{path}: asserted speedup {speedup} below the 3x "
+                      f"acceptance gate")
+        if shm_p99 > tcp_p99:
+            raise Bad(f"{path}: asserted shm p99 {shm_p99} worse than TCP "
+                      f"p99 {tcp_p99}")
 
 
 def check_tiers(doc, path):
@@ -239,6 +299,8 @@ def check_bench(doc, path):
                 check_service_run(r, ctx)
             if doc["bench"] == "bench_net":
                 check_net_run(r, ctx)
+        if doc["bench"] == "bench_net":
+            check_net_ab(doc, runs, path)
     if "stats" in doc:
         check_stats_block(doc["stats"], f"{path}.stats")
     if "health" in doc:

@@ -7,7 +7,11 @@
 /// over TCP by the poll()-based NetServer — sequence-numbered lines,
 /// wire-level backpressure replies, heartbeats, and a live HTTP
 /// /healthz + /metrics scrape endpoint; see DESIGN.md §16 for the wire
-/// protocol.
+/// protocol. With --shm <path> the same sessions are additionally served
+/// to co-located producers over the shared-memory ring transport
+/// (DESIGN.md §17) — binary frames, crash-only producer reaping, drained
+/// on SIGTERM exactly like the socket path. GoldClient (src/client/) is
+/// the library counterpart for both transports.
 ///
 /// Protocol (one command per line):
 ///   open <client-id> [priority]   admit a session (ids are decimal)
@@ -42,6 +46,7 @@
 #include "service/Service.h"
 #include "service/Snapshots.h"
 #include "service/net/NetServer.h"
+#include "service/shm/ShmServer.h"
 #include "support/Failpoints.h"
 #include "support/Json.h"
 
@@ -120,6 +125,9 @@ enum class Opt {
   MetricsIntervalMs,
   Listen,
   ScrapePort,
+  ShmPath,
+  ShmRings,
+  ShmWedgeMs,
   Soak,
   SoakSteps,
   SoakThreads,
@@ -178,6 +186,15 @@ constexpr OptSpec Options[] = {
     {Opt::ScrapePort, "--scrape-port", "<port>",
      "serve HTTP GET /healthz and /metrics on this port (implies socket "
      "mode; 0 picks an ephemeral port)"},
+    {Opt::ShmPath, "--shm", "<path>",
+     "serve the shared-memory ring transport at this segment path "
+     "(tmpfs recommended; combinable with --listen — same sessions, "
+     "same health; see DESIGN.md §17)"},
+    {Opt::ShmRings, "--shm-rings", "<n>",
+     "rings in the segment = concurrent co-located producers (default 16)"},
+    {Opt::ShmWedgeMs, "--shm-wedge-ms", "<n>",
+     "reap a live producer whose heartbeat is stale this long "
+     "(default 5000; 0 disables wedge reaping, pid-death reaping stays)"},
     {Opt::Soak, "--soak", "<k>",
      "skip the protocol: run k concurrent seeded clients and check every "
      "surviving client's verdicts against the happens-before oracle"},
@@ -520,6 +537,8 @@ int main(int Argc, char **Argv) {
   uint64_t MetricsIntervalMs = 0;
   bool ListenSet = false, ScrapeSet = false;
   uint16_t ListenPort = 0, ScrapePortNum = 0;
+  shm::ShmConfig ShmC;
+  uint64_t ShmWedgeMs = 5000;
   std::string MetricsJsonPath, HealthJsonPath;
   FailpointConfig FC;
   bool AnyFailpoint = false;
@@ -630,6 +649,15 @@ int main(int Argc, char **Argv) {
       ScrapePortNum = static_cast<uint16_t>(N);
       break;
     }
+    case Opt::ShmPath:
+      ShmC.Path = V;
+      break;
+    case Opt::ShmRings:
+      ShmC.Rings = static_cast<uint32_t>(ParseUnsigned(false));
+      break;
+    case Opt::ShmWedgeMs:
+      ShmWedgeMs = ParseUnsigned(true);
+      break;
     case Opt::Soak:
       SoakClients = ParseUnsigned(false);
       break;
@@ -691,16 +719,38 @@ int main(int Argc, char **Argv) {
     std::fflush(stdout);
   }
 
+  // Shared-memory mode: the ring front end serves the SAME service (and
+  // the same client ids) as the socket front end, so a host can run both
+  // — co-located producers on the segment, remote ones on TCP.
+  std::optional<shm::ShmServer> Shm;
+  if (!ShmC.Path.empty()) {
+    ShmC.WedgeTimeoutNanos = ShmWedgeMs * 1000000ull;
+    ShmC.InlinePump = !Threaded;
+    Shm.emplace(Svc, ShmC);
+    std::string Err;
+    if (!Shm->start(Err)) {
+      std::fprintf(stderr, "goldilocks-serve: %s\n", Err.c_str());
+      return 126;
+    }
+    std::printf("shm segment=%s rings=%u\n", Shm->path().c_str(), ShmC.Rings);
+    std::fflush(stdout);
+  }
+
   // One renderer for every snapshot that leaves the process — periodic,
   // exit-time, and (in socket mode) the live scrape endpoint all produce
   // identical documents.
+  // Artifact precedence when several front ends are live: the shm document
+  // embeds service health plus the shm.* section, so it wins over the net
+  // document for the file artifacts; the HTTP scrape endpoint always serves
+  // the net renderer's own view regardless.
   auto EmitSnapshots = [&](bool Final) -> bool {
     bool Ok = true;
     if (!HealthJsonPath.empty()) {
-      std::string Doc = Net ? Net->healthJson(interrupted())
-                            : renderHealthJson(Svc.health(),
-                                               "goldilocks-serve",
-                                               interrupted());
+      std::string Doc = Shm   ? Shm->healthJson(interrupted())
+                        : Net ? Net->healthJson(interrupted())
+                              : renderHealthJson(Svc.health(),
+                                                 "goldilocks-serve",
+                                                 interrupted());
       std::ofstream Out(HealthJsonPath);
       if (Out)
         Out << Doc << '\n';
@@ -713,8 +763,9 @@ int main(int Argc, char **Argv) {
     }
     if (!MetricsJsonPath.empty()) {
       std::string Doc =
-          Net ? Net->metricsJson()
-              : renderMetricsJson(Svc.telemetry(), "goldilocks-serve");
+          Shm   ? Shm->metricsJson()
+          : Net ? Net->metricsJson()
+                : renderMetricsJson(Svc.telemetry(), "goldilocks-serve");
       std::ofstream Out(MetricsJsonPath);
       if (Out)
         Out << Doc << '\n';
@@ -755,13 +806,24 @@ int main(int Argc, char **Argv) {
   }
 
   int Rc = 0;
-  if (Net) {
-    while (!interrupted())
-      Net->pollOnce(50);
+  if (Net || Shm) {
+    // One serving thread drives both front ends. Whichever found work last
+    // round sets the pace: any busy front end drops every timeout to zero
+    // so a hot ring is never throttled by the other side's poll sleep.
+    size_t ShmBusy = 0;
+    while (!interrupted()) {
+      if (Net)
+        Net->pollOnce(Shm ? (ShmBusy ? 0 : 5) : 50);
+      if (Shm)
+        ShmBusy = Shm->pollOnce(Net || ShmBusy ? 0 : 50);
+    }
     // Crash-only drain: settle every complete frame already on the wire
-    // into the service before quiescing, so SIGTERM loses nothing that
-    // reached us.
-    Net->drainAndStop();
+    // (or published in a ring) into the service before quiescing, so
+    // SIGTERM loses nothing that reached us.
+    if (Net)
+      Net->drainAndStop();
+    if (Shm)
+      Shm->drainAndStop();
   } else if (SoakClients) {
     Rc = runSoak(Svc, SoakClients, SoakSteps, SoakThreads, Seed, DurationMs,
                  Threaded);

@@ -12,15 +12,24 @@
 /// chaos (shed, error budget, shard loss) are skipped-but-counted, mirroring
 /// the service soak's accounting.
 ///
+/// With --shm <path> the same differential runs over the shared-memory ring
+/// transport through GoldClient instead of raw sockets; --shm-stall-ppm /
+/// --shm-corrupt-ppm arm the producer-side failpoints (wedge reaps and
+/// decode-error kills) in this process, so the soak exercises crash-only
+/// ring recovery the way the TCP soak exercises reconnect-with-resume.
+///
 /// Exit code: 0 when no surviving client diverged and at least one client
 /// was compared; 1 on divergence, a harness failure, or nothing compared;
 /// 126 on usage errors.
 ///
 //===----------------------------------------------------------------------===//
 
+#include "client/GoldClient.h"
 #include "event/RandomTrace.h"
 #include "event/TraceIO.h"
 #include "hb/HbOracle.h"
+#include "service/net/Protocol.h"
+#include "support/Failpoints.h"
 
 #include <algorithm>
 #include <chrono>
@@ -28,6 +37,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <set>
 #include <sstream>
 #include <string>
@@ -46,12 +56,14 @@
 #endif
 
 using namespace gold;
+namespace proto = gold::net::proto;
 
 namespace {
 
 struct Params {
   std::string Host = "127.0.0.1";
   uint16_t Port = 0;
+  std::string ShmPath;        ///< non-empty: drive the shm ring transport
   size_t Clients = 8;
   unsigned Steps = 40;
   unsigned Threads = 4;
@@ -59,6 +71,10 @@ struct Params {
   size_t ReconnectEvery = 0;  ///< abrupt disconnect cadence; 0 disables
   bool ChaosWrites = true;    ///< fragment writes into tiny chunks
   uint64_t DeadlineMs = 120000;
+  uint32_t ShmStallPpm = 0;   ///< shm-producer-stall firing rate
+  uint32_t ShmCorruptPpm = 0; ///< shm-slot-corrupt firing rate
+  unsigned StallMicros = 0;   ///< stall length; must exceed the server's
+                              ///< wedge timeout to force reaps
 };
 
 uint64_t mix64(uint64_t &S) {
@@ -181,26 +197,80 @@ private:
   std::string RxBuf;
 };
 
-/// Pulls the variable token out of "race on o3.f1: T1 write vs T0 write".
-bool raceVarOf(const std::string &Report, std::string &Var) {
-  const std::string Tag = "race on ";
-  size_t B = Report.find(Tag);
-  if (B == std::string::npos)
-    return false;
-  B += Tag.size();
-  size_t E = Report.find(':', B);
-  if (E == std::string::npos)
-    return false;
-  Var.assign(Report, B, E - B);
-  return true;
-}
-
-void runClient(const Params &P, uint64_t Id, Result &R) {
+Trace traceFor(const Params &P, uint64_t Id) {
   RandomTraceParams TP;
   TP.Seed = P.Seed + Id;
   TP.StepsPerThread = P.Steps;
   TP.NumThreads = static_cast<ThreadId>(P.Threads);
-  Trace T = generateRandomTrace(TP);
+  return generateRandomTrace(TP);
+}
+
+/// Differential check of the delivered verdict set against the
+/// happens-before oracle over the client's own trace.
+void compareVerdicts(const Trace &T, const std::set<std::string> &GotVars,
+                     uint64_t Id, Result &R) {
+  R.Compared = true;
+  std::set<std::string> WantVars;
+  RaceOracle O(T, TxnSyncSemantics::SharedVariable);
+  for (const VarId &V : O.racyVars())
+    WantVars.insert(V.str());
+  if (GotVars != WantVars) {
+    R.Diverged = true;
+    std::fprintf(stderr,
+                 "net-chaos: client %llu DIVERGED: wire=%zu oracle=%zu racy "
+                 "var(s)\n",
+                 (unsigned long long)Id, GotVars.size(), WantVars.size());
+  }
+}
+
+/// The shm-transport variant: the whole reliability loop (claim, resume
+/// after wedge reaps, backpressure, close handshake) lives in GoldClient;
+/// the harness just publishes pre-parsed actions and diffs the verdicts.
+void runClientShm(const Params &P, uint64_t Id, Result &R) {
+  Trace T = traceFor(P, Id);
+
+  client::GoldClientConfig CC;
+  CC.ClientId = Id;
+  CC.ShmPath = P.ShmPath;
+  CC.Port = 0; // no TCP fallback: this run measures the ring transport
+  // The soak may not shed: a shed action would diverge from the oracle.
+  CC.BufferCapActions = T.Actions.size() + 8;
+  CC.OpTimeoutNanos = P.DeadlineMs * 1000000ull;
+  client::GoldClient GC(CC);
+
+  std::string Err;
+  if (!GC.connect(Err)) {
+    R.Failed = true;
+    R.Why = Err;
+    return;
+  }
+  for (const Action &A : T.Actions)
+    if (!GC.publish(A, A.Kind == ActionKind::Commit ? &T.commitSets(A)
+                                                    : nullptr))
+      break; // stream died; closeAndCollect reports why
+
+  std::vector<std::string> Vars;
+  bool Ok = GC.closeAndCollect(Vars, Err);
+  const client::GoldClientStats &S = GC.stats();
+  R.Reconnects = S.Reconnects;
+  R.Rewinds = S.Resyncs + S.StallRewinds;
+  R.Races = Vars.size();
+  if (!Ok) {
+    if (Err.find("ring killed") != std::string::npos ||
+        Err.find("session") != std::string::npos) {
+      R.Killed = true; // chaos (slot corrupt / session death): counted
+      return;
+    }
+    R.Failed = true;
+    R.Why = Err;
+    return;
+  }
+  std::set<std::string> GotVars(Vars.begin(), Vars.end());
+  compareVerdicts(T, GotVars, Id, R);
+}
+
+void runClient(const Params &P, uint64_t Id, Result &R) {
+  Trace T = traceFor(P, Id);
   std::vector<std::string> Lines;
   {
     std::istringstream In(serializeTrace(T));
@@ -225,6 +295,8 @@ void runClient(const Params &P, uint64_t Id, Result &R) {
   size_t Next = 0;          ///< seq of the next line to send
   size_t SettledTo = 0;     ///< server-confirmed expect (stat/open replies)
   size_t SentSinceConn = 0; ///< drives forced reconnects
+  size_t LastSettled = SIZE_MAX; ///< stat-stall detection
+  unsigned StallPolls = 0;
   std::set<std::string> GotVars;
 
   // (Re)connects and re-opens; applies the server's resume point.
@@ -234,7 +306,7 @@ void runClient(const Params &P, uint64_t Id, Result &R) {
         std::this_thread::sleep_for(std::chrono::milliseconds(20));
         continue;
       }
-      std::snprintf(Buf, sizeof(Buf), "open %llu\n", (unsigned long long)Id);
+      proto::fmtOpen(Buf, sizeof(Buf), Id);
       if (!W.sendAll(Buf, nullptr))
         continue;
       std::string L;
@@ -244,23 +316,24 @@ void runClient(const Params &P, uint64_t Id, Result &R) {
         std::this_thread::sleep_for(std::chrono::milliseconds(20));
         continue;
       }
-      if (L.rfind("bye", 0) == 0)
+      if (proto::hasPrefix(L, proto::Bye))
         continue; // accept-shed with an explanation
-      if (L.rfind("ok open", 0) == 0) {
-        size_t E = L.find("expect=");
-        if (E != std::string::npos)
-          Next = SettledTo = std::strtoull(L.c_str() + E + 7, nullptr, 10);
+      if (proto::hasPrefix(L, proto::OkOpen)) {
+        uint64_t E = 0;
+        if (proto::parseExpect(L, E))
+          Next = SettledTo = E;
         // A fresh `ok open <id>` keeps our position: the session was
         // created just now, so Next/SettledTo are already 0.
         SentSinceConn = 0;
+        StallPolls = 0;
+        LastSettled = SIZE_MAX;
         return true;
       }
       // "err open ... retry-after-ns=..." (admission backpressure) or
       // "busy" (our previous connection not yet reaped) — honor and retry.
-      size_t RA = L.find("retry-after-ns=");
-      uint64_t WaitNs = RA != std::string::npos
-                            ? std::strtoull(L.c_str() + RA + 15, nullptr, 10)
-                            : 20000000ull;
+      uint64_t WaitNs = 0;
+      if (!proto::parseRetryAfter(L, WaitNs))
+        WaitNs = 20000000ull;
       std::this_thread::sleep_for(
           std::chrono::nanoseconds(std::min<uint64_t>(WaitNs, 50000000)));
     }
@@ -272,50 +345,47 @@ void runClient(const Params &P, uint64_t Id, Result &R) {
   // when this connection is done for (reconnect or session death decides).
   bool SessionDead = false;
   auto Handle = [&](const std::string &L) -> bool {
-    if (L.rfind("ping", 0) == 0) {
+    if (proto::hasPrefix(L, proto::Ping)) {
       W.sendAll("pong" + L.substr(4) + "\n", nullptr);
       return true;
     }
-    if (L.rfind("bye", 0) == 0)
+    if (proto::hasPrefix(L, proto::Bye))
       return false; // server closed us; the reconnect path takes over
-    size_t SeqAt = L.find(" seq=");
-    if (L.rfind("err line", 0) == 0 && SeqAt != std::string::npos) {
-      uint64_t Seq = std::strtoull(L.c_str() + SeqAt + 5, nullptr, 10);
-      if (L.find(" backpressure ") != std::string::npos) {
+    uint64_t Seq = 0;
+    if (proto::hasPrefix(L, proto::ErrLine) && proto::parseSeq(L, Seq)) {
+      if (proto::isBackpressure(L)) {
         // The refused line and everything pipelined behind it must be
         // re-sent; honor the jittered hint (capped: this is a soak).
-        size_t RA = L.find("retry-after-ns=");
-        uint64_t WaitNs =
-            RA != std::string::npos
-                ? std::strtoull(L.c_str() + RA + 15, nullptr, 10)
-                : 1000000ull;
+        uint64_t WaitNs = 0;
+        if (!proto::parseRetryAfter(L, WaitNs))
+          WaitNs = 1000000ull;
         Next = std::min<size_t>(Next, Seq);
         ++R.Rewinds;
         std::this_thread::sleep_for(
             std::chrono::nanoseconds(std::min<uint64_t>(WaitNs, 20000000)));
         return true;
       }
-      if (L.find(" resync ") != std::string::npos) {
-        size_t EX = L.find("expect=");
-        if (EX != std::string::npos) {
-          Next = std::strtoull(L.c_str() + EX + 7, nullptr, 10);
+      if (proto::isResync(L)) {
+        uint64_t E = 0;
+        if (proto::parseExpect(L, E)) {
+          Next = E;
           ++R.Rewinds;
         }
         return true;
       }
     }
-    if (L.rfind("err line", 0) == 0 &&
-        (L.find("closed:") != std::string::npos ||
-         L.find("unknown client") != std::string::npos)) {
+    if (proto::hasPrefix(L, proto::ErrLine) &&
+        (L.find(proto::ClosedMark) != std::string::npos ||
+         L.find(proto::UnknownClientMark) != std::string::npos)) {
       R.Killed = true; // chaos tore the session down; loss is counted
       SessionDead = true;
       return false;
     }
-    if (L.rfind("ok stat", 0) == 0) {
-      size_t EX = L.find("expect=");
-      if (EX != std::string::npos)
-        SettledTo = std::strtoull(L.c_str() + EX + 7, nullptr, 10);
-      if (L.find("state=dead") != std::string::npos) {
+    if (proto::hasPrefix(L, proto::OkStat)) {
+      uint64_t E = 0;
+      if (proto::parseExpect(L, E))
+        SettledTo = E;
+      if (L.find(proto::StateDead) != std::string::npos) {
         R.Killed = true;
         SessionDead = true;
         return false;
@@ -373,9 +443,7 @@ void runClient(const Params &P, uint64_t Id, Result &R) {
           std::min<size_t>(Lines.size() - Next, 1 + mix64(Rng) % 12);
       std::string Out;
       for (size_t I = 0; I != Batch; ++I) {
-        std::snprintf(Buf, sizeof(Buf), "line %llu %llu ",
-                      (unsigned long long)Id,
-                      (unsigned long long)(Next + I));
+        proto::fmtLineHead(Buf, sizeof(Buf), Id, Next + I);
         Out += Buf;
         Out += Lines[Next + I];
         Out += '\n';
@@ -390,13 +458,29 @@ void runClient(const Params &P, uint64_t Id, Result &R) {
       SentSinceConn += Batch;
     } else {
       // All sent; poll the server's confirmed position.
-      std::snprintf(Buf, sizeof(Buf), "stat %llu\n", (unsigned long long)Id);
+      proto::fmtStat(Buf, sizeof(Buf), Id);
       if (!W.sendAll(Buf, nullptr))
         continue; // send failed; the drain loop above reconnects
       if (W.readLine(L, 500) == 1 && !Handle(L))
         continue;
-      if (SettledTo < Next)
+      if (SettledTo < Next) {
+        // Stat-stall rewind: everything is sent but the server's confirmed
+        // position has stopped moving. A backpressure reply that was shed
+        // from the server's bounded write queue leaves both sides waiting
+        // forever — after a few non-progressing polls, rewind our cursor to
+        // the confirmed position and re-send the tail.
+        if (SettledTo == LastSettled) {
+          if (++StallPolls >= 3 && SettledTo < Next) {
+            Next = SettledTo;
+            StallPolls = 0;
+            ++R.Rewinds;
+          }
+        } else {
+          LastSettled = SettledTo;
+          StallPolls = 0;
+        }
         std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
     }
   }
 
@@ -416,7 +500,7 @@ void runClient(const Params &P, uint64_t Id, Result &R) {
       if (!OpenSession())
         return;
     }
-    std::snprintf(Buf, sizeof(Buf), "close %llu\n", (unsigned long long)Id);
+    proto::fmtClose(Buf, sizeof(Buf), Id);
     if (!W.sendAll(Buf, nullptr)) {
       W.abortConn();
       continue;
@@ -430,19 +514,19 @@ void runClient(const Params &P, uint64_t Id, Result &R) {
         W.abortConn();
         break;
       }
-      if (L.rfind("ping", 0) == 0) {
+      if (proto::hasPrefix(L, proto::Ping)) {
         W.sendAll("pong" + L.substr(4) + "\n", nullptr);
         continue;
       }
-      if (L.rfind("race ", 0) == 0) {
+      if (proto::hasPrefix(L, proto::Race)) {
         std::string Var;
-        if (raceVarOf(L, Var)) {
+        if (proto::raceVar(L, Var)) {
           GotVars.insert(Var);
           ++R.Races;
         }
         continue;
       }
-      if (L.rfind("ok close", 0) == 0) {
+      if (proto::hasPrefix(L, proto::OkClose)) {
         ClosedOk = true;
         break;
       }
@@ -450,7 +534,7 @@ void runClient(const Params &P, uint64_t Id, Result &R) {
         std::this_thread::sleep_for(std::chrono::milliseconds(2));
         break; // verdict queue needs room; re-send close
       }
-      if (L.find("unknown client") != std::string::npos) {
+      if (L.find(proto::UnknownClientMark) != std::string::npos) {
         R.Killed = true;
         break;
       }
@@ -462,8 +546,7 @@ void runClient(const Params &P, uint64_t Id, Result &R) {
   // Threaded servers may produce verdicts after the close ack; poll until
   // the session reports dead with nothing further to hand over.
   while (!Expired()) {
-    std::snprintf(Buf, sizeof(Buf), "verdicts %llu\n",
-                  (unsigned long long)Id);
+    proto::fmtVerdicts(Buf, sizeof(Buf), Id);
     if (!W.connected() || !W.sendAll(Buf, nullptr))
       break; // already drained everything via close; conn gone is fine
     std::string L;
@@ -475,25 +558,25 @@ void runClient(const Params &P, uint64_t Id, Result &R) {
         Lost = true;
         break;
       }
-      if (L.rfind("ping", 0) == 0) {
+      if (proto::hasPrefix(L, proto::Ping)) {
         W.sendAll("pong" + L.substr(4) + "\n", nullptr);
         continue;
       }
-      if (L.rfind("race ", 0) == 0) {
+      if (proto::hasPrefix(L, proto::Race)) {
         std::string Var;
-        if (raceVarOf(L, Var)) {
+        if (proto::raceVar(L, Var)) {
           GotVars.insert(Var);
           ++R.Races;
         }
         ++Batch;
         continue;
       }
-      if (L.rfind("ok verdicts", 0) == 0) {
-        Done = Batch == 0 && L.find("state=dead") != std::string::npos;
+      if (proto::hasPrefix(L, proto::OkVerdicts)) {
+        Done = Batch == 0 && L.find(proto::StateDead) != std::string::npos;
         break;
       }
       if (L.find("backpressure") != std::string::npos ||
-          L.find("unknown client") != std::string::npos)
+          L.find(proto::UnknownClientMark) != std::string::npos)
         break;
     }
     if (Lost || Done)
@@ -502,18 +585,7 @@ void runClient(const Params &P, uint64_t Id, Result &R) {
   }
 
   // Differential validation against the happens-before oracle.
-  R.Compared = true;
-  std::set<std::string> WantVars;
-  RaceOracle O(T, TxnSyncSemantics::SharedVariable);
-  for (const VarId &V : O.racyVars())
-    WantVars.insert(V.str());
-  if (GotVars != WantVars) {
-    R.Diverged = true;
-    std::fprintf(stderr,
-                 "net-chaos: client %llu DIVERGED: wire=%zu oracle=%zu racy "
-                 "var(s)\n",
-                 (unsigned long long)Id, GotVars.size(), WantVars.size());
-  }
+  compareVerdicts(T, GotVars, Id, R);
 }
 
 int usage() {
@@ -522,7 +594,11 @@ int usage() {
       "usage: net_chaos_client --port <p> [--host <addr>] [--clients <k>]\n"
       "         [--steps <n>] [--threads <n>] [--seed <n>]\n"
       "         [--reconnect-every <lines>] [--no-chaos-writes]\n"
-      "         [--deadline-ms <n>]\n");
+      "         [--deadline-ms <n>]\n"
+      "   or: net_chaos_client --shm <path> [--clients <k>] [--steps <n>]\n"
+      "         [--threads <n>] [--seed <n>] [--deadline-ms <n>]\n"
+      "         [--shm-stall-ppm <n>] [--shm-corrupt-ppm <n>]\n"
+      "         [--stall-micros <n>]\n");
   return 126;
 }
 
@@ -555,18 +631,48 @@ int main(int Argc, char **Argv) {
       P.ChaosWrites = false;
     else if (A == "--deadline-ms")
       P.DeadlineMs = std::strtoull(Val(), nullptr, 10);
+    else if (A == "--shm")
+      P.ShmPath = Val();
+    else if (A == "--shm-stall-ppm")
+      P.ShmStallPpm =
+          static_cast<uint32_t>(std::strtoul(Val(), nullptr, 10));
+    else if (A == "--shm-corrupt-ppm")
+      P.ShmCorruptPpm =
+          static_cast<uint32_t>(std::strtoul(Val(), nullptr, 10));
+    else if (A == "--stall-micros")
+      P.StallMicros = static_cast<unsigned>(std::strtoul(Val(), nullptr, 10));
     else
       return usage();
   }
-  if (!P.Port || !P.Clients)
+  bool UseShm = !P.ShmPath.empty();
+  if ((!UseShm && !P.Port) || !P.Clients)
     return usage();
+
+  // The shm failpoints fire on the producer side, i.e. in THIS process:
+  // the harness wedges/corrupts its own rings and the server must recover.
+  std::unique_ptr<FailpointScope> FP;
+  if (P.ShmStallPpm || P.ShmCorruptPpm) {
+    FailpointConfig FC;
+    FC.Seed = P.Seed;
+    FC.RatePpm[static_cast<size_t>(Failpoint::ShmProducerStall)] =
+        P.ShmStallPpm;
+    FC.RatePpm[static_cast<size_t>(Failpoint::ShmSlotCorrupt)] =
+        P.ShmCorruptPpm;
+    if (P.StallMicros)
+      FC.StallMicros = P.StallMicros;
+    FP = std::make_unique<FailpointScope>(FC);
+  }
 
   std::vector<Result> Results(P.Clients);
   std::vector<std::thread> Threads;
   Threads.reserve(P.Clients);
   for (size_t I = 0; I != P.Clients; ++I)
-    Threads.emplace_back(
-        [&, I] { runClient(P, static_cast<uint64_t>(I + 1), Results[I]); });
+    Threads.emplace_back([&, I] {
+      if (UseShm)
+        runClientShm(P, static_cast<uint64_t>(I + 1), Results[I]);
+      else
+        runClient(P, static_cast<uint64_t>(I + 1), Results[I]);
+    });
   for (std::thread &T : Threads)
     T.join();
 
