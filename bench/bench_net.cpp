@@ -29,7 +29,9 @@
 ///
 /// Emits the gold-bench-v1 artifact consumed by tools/check_bench_schema.py
 /// (checked in as BENCH_net.json): per-scenario connections/sec, frames/sec,
-/// frame-latency quantiles, shed + reconnect counts, the differential
+/// frame-latency quantiles, client-stamped end-to-end (publish -> ack)
+/// p50/p99 from GoldClientConfig::E2eLatency, shed + reconnect counts, the
+/// differential
 /// verdict-divergence count (0 required in steady scenarios), and the
 /// TCP-vs-SHM speedup. With --assert-shm-ab the bench exits nonzero unless
 /// shm-steady sustains >= 3x TCP steady frames/s with p99 enqueue latency
@@ -49,6 +51,7 @@
 #include "service/shm/ShmServer.h"
 #include "support/Failpoints.h"
 #include "support/Table.h"
+#include "support/Telemetry.h"
 #include "support/Timer.h"
 
 #include <atomic>
@@ -145,12 +148,14 @@ void runGoldClient(const client::GoldClientConfig &CC, const Trace &T,
 }
 
 void runTcpClient(uint16_t Port, uint64_t Id, const Trace &T,
-                  ClientOutcome &Out) {
+                  ClientOutcome &Out, Histogram *E2e) {
   client::GoldClientConfig CC;
   CC.ClientId = Id;
   CC.Port = Port;
   CC.BufferCapActions = T.Actions.size() + 8; // shedding would skew the diff
   CC.OpTimeoutNanos = 120ull * 1000000000;
+  CC.E2eLatency = E2e; // client-stamped publish->ack latency (shared,
+                       // atomic; one histogram per scenario)
   runGoldClient(CC, T, Out);
 }
 
@@ -160,6 +165,7 @@ struct RunNumbers {
   NetStats Net;        ///< TCP scenarios
   shm::ShmStats ShmSt; ///< shm scenarios
   HistogramSnapshot Lat;
+  HistogramSnapshot E2e; ///< client-observed publish->ack, every frame
   ServiceHealth Health;
 };
 
@@ -203,12 +209,14 @@ RunNumbers runScenario(const Scenario &Sc, unsigned Clients, unsigned Steps,
   std::atomic<bool> Stop{false};
   std::thread Loop([&] { Net.runLoop(Stop, 2); });
   std::vector<ClientOutcome> Outcomes(Clients);
+  Histogram E2e;
   Timer T;
   {
     std::vector<std::thread> Threads;
     for (unsigned I = 0; I != Clients; ++I)
-      Threads.emplace_back(
-          [&, I] { runTcpClient(Net.port(), I + 1, Traces[I], Outcomes[I]); });
+      Threads.emplace_back([&, I] {
+        runTcpClient(Net.port(), I + 1, Traces[I], Outcomes[I], &E2e);
+      });
     for (std::thread &Th : Threads)
       Th.join();
   }
@@ -217,6 +225,7 @@ RunNumbers runScenario(const Scenario &Sc, unsigned Clients, unsigned Steps,
   Loop.join();
   Net.drainAndStop();
   Svc.shutdown();
+  R.E2e = E2e.snapshot("client_e2e");
 
   // Oracle diff happens here, after the timer stopped: RaceOracle is
   // O(trace) per client and would otherwise dominate short timed runs.
@@ -240,13 +249,14 @@ RunNumbers runScenario(const Scenario &Sc, unsigned Clients, unsigned Steps,
 /// Same library, other transport: binary frames into the ring, no text
 /// serialization anywhere.
 void runShmClient(const std::string &Path, uint64_t Id, const Trace &T,
-                  ClientOutcome &Out) {
+                  ClientOutcome &Out, Histogram *E2e) {
   client::GoldClientConfig CC;
   CC.ClientId = Id;
   CC.ShmPath = Path;
   CC.Port = 0; // ring transport only; no TCP fallback in the A/B bench
   CC.BufferCapActions = T.Actions.size() + 8; // shedding would skew the diff
   CC.OpTimeoutNanos = 120ull * 1000000000;
+  CC.E2eLatency = E2e; // same client-stamped e2e series as the TCP arm
   runGoldClient(CC, T, Out);
 }
 
@@ -293,12 +303,14 @@ RunNumbers runShmScenario(const Scenario &Sc, unsigned Clients,
   std::atomic<bool> Stop{false};
   std::thread Loop([&] { Shm.runLoop(Stop, 1); });
   std::vector<ClientOutcome> Outcomes(Clients);
+  Histogram E2e;
   Timer T;
   {
     std::vector<std::thread> Threads;
     for (unsigned I = 0; I != Clients; ++I)
-      Threads.emplace_back(
-          [&, I] { runShmClient(ShC.Path, I + 1, Traces[I], Outcomes[I]); });
+      Threads.emplace_back([&, I] {
+        runShmClient(ShC.Path, I + 1, Traces[I], Outcomes[I], &E2e);
+      });
     for (std::thread &Th : Threads)
       Th.join();
   }
@@ -308,6 +320,7 @@ RunNumbers runShmScenario(const Scenario &Sc, unsigned Clients,
   Shm.drainAndStop();
   Svc.shutdown();
   ::unlink(ShC.Path.c_str());
+  R.E2e = E2e.snapshot("client_e2e");
 
   // Deferred oracle diff — outside the timed window (see runScenario).
   for (unsigned I = 0; I != Clients; ++I)
@@ -346,8 +359,8 @@ int main(int Argc, char **Argv) {
               "(scale %u, best of %d) — loopback TCP vs shm rings ===\n\n",
               Clients, Steps, Scale, Reps);
 
-  Table T({"Scenario", "Sec", "Conns/s", "kFrames/s", "p99(us)", "Shed",
-           "Reconn", "Resumes", "Loss"});
+  Table T({"Scenario", "Sec", "Conns/s", "kFrames/s", "p99(us)", "e2e99(us)",
+           "Shed", "Reconn", "Resumes", "Loss"});
 
   JsonWriter J;
   jsonBenchHeader(J, "bench_net");
@@ -380,6 +393,11 @@ int main(int Argc, char **Argv) {
     double WireFramesPerSec = double(FramesIn) / Sec;
     uint64_t P50 = histQuantile(Best.Lat, 0.50);
     uint64_t P99 = histQuantile(Best.Lat, 0.99);
+    // Client-stamped end-to-end latency: publish() -> transport ack, the
+    // whole pipeline as the producer experiences it (queueing + wire +
+    // service), not just the server-side dispatch span above.
+    uint64_t E2eP50 = histQuantile(Best.E2e, 0.50);
+    uint64_t E2eP99 = histQuantile(Best.E2e, 0.99);
     uint64_t Shed = Best.Net.RepliesShed + Best.Net.VerdictRepliesDropped;
     uint64_t DrainDropped =
         Sc.Shm ? Best.ShmSt.DrainDroppedFrames : Best.Net.DrainDroppedFrames;
@@ -404,6 +422,7 @@ int main(int Argc, char **Argv) {
     T.addRow({Sc.Name, Table::num(Best.Seconds, 3),
               Table::num(ConnsPerSec, 1), Table::num(FramesPerSec / 1e3, 1),
               Table::num(double(P99) / 1e3, 1),
+              Table::num(double(E2eP99) / 1e3, 1),
               Table::num(static_cast<long long>(Shed)),
               Table::num(static_cast<long long>(Best.Reconnects)),
               Table::num(static_cast<long long>(Resumes)),
@@ -429,6 +448,10 @@ int main(int Argc, char **Argv) {
     J.kv("p50_frame_latency_nanos", P50);
     J.kv("p99_frame_latency_nanos", P99);
     J.kv("max_frame_latency_nanos", Best.Lat.Max);
+    J.kv("e2e_frames", Best.E2e.Count);
+    J.kv("p50_e2e_latency_nanos", E2eP50);
+    J.kv("p99_e2e_latency_nanos", E2eP99);
+    J.kv("max_e2e_latency_nanos", Best.E2e.Max);
     J.kv("backpressure_replies", Sc.Shm ? Best.ShmSt.BackpressureWrites
                                         : Best.Net.BackpressureReplies);
     J.kv("resync_replies", Sc.Shm ? 0 : Best.Net.ResyncReplies);

@@ -16,10 +16,32 @@
 /// embeds its gold-metrics-v1 telemetry body so the artifact shows *what*
 /// the histograms saw, not just what they cost.
 ///
+/// The PR-10 pipeline-tracing layer (DESIGN.md §18) gets the same
+/// treatment at the transport level: for each transport (tcp, shm) the
+/// bench drives identical GoldClient workloads against a live in-process
+/// server with frame tracing off and on — origin stamping, the wire token
+/// / slot word, the clock handshake, per-stage histograms, and sampled
+/// span emission on both sides — and reports the per-rep traced/untraced
+/// frames-per-second ratio. With --assert-traced-ab the bench exits
+/// nonzero unless the median ratio per transport is >= 0.97 (tracing must
+/// ablate to within noise when off, and cost <= ~3% when on at the default
+/// 1% sampling rate).
+///
 //===----------------------------------------------------------------------===//
 
 #include "bench/BenchUtil.h"
+#include "client/GoldClient.h"
+#include "event/RandomTrace.h"
+#include "service/Service.h"
+#include "service/net/NetServer.h"
+#include "service/shm/ShmServer.h"
 #include "support/Table.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
 
 using namespace gold;
 
@@ -37,6 +59,127 @@ constexpr Mode Modes[] = {
     {"full", TelemetryLevel::Full, true},
 };
 
+/// One traced-ablation arm: K GoldClient threads publish pre-generated
+/// traces through a live transport into a fresh service; returns accepted
+/// frames per second. \p Traced arms the whole tracing stack on both ends
+/// (stamping + wire carry + handshake + stage histograms + span sinks), at
+/// the default 1% sampling rate — exactly what `goldilocks-serve
+/// --trace-ppm 10000` plus traced clients would pay.
+double runTransportFps(bool UseShm, bool Traced,
+                       const std::vector<Trace> &Traces) {
+  const unsigned Clients = static_cast<unsigned>(Traces.size());
+  ServiceConfig SC;
+  SC.RingCapacity = 256;
+  // Full telemetry in BOTH arms (it registers the pipe.* histograms on the
+  // traced one): the ablation isolates tracing itself, not telemetry level.
+  SC.Telemetry = TelemetryLevel::Full;
+  if (Traced) {
+    SC.Trace.Enabled = true;
+    SC.Trace.SampleRatePpm = 10000;
+  }
+  DetectionService Svc(SC);
+
+  TraceEventSink ClientSink(1u << 16, static_cast<uint32_t>(::getpid()));
+
+  net::NetConfig NC;
+  NC.ReadDeadlineNanos = 500ull * 1000000;
+  NC.HeartbeatNanos = 150ull * 1000000;
+  NC.WriteDeadlineNanos = 2000ull * 1000000;
+  shm::ShmConfig ShC;
+  static std::atomic<unsigned> SegSerial{0};
+  ShC.Path = "/dev/shm/gold-obsbench-" + std::to_string(::getpid()) + "-" +
+             std::to_string(SegSerial.fetch_add(1)) + ".ring";
+  ShC.Rings = std::max(16u, Clients);
+  ShC.SlotsPerRing = 4096;
+  ShC.ConsumeBatch = ShC.SlotsPerRing;
+
+  std::unique_ptr<net::NetServer> Net;
+  std::unique_ptr<shm::ShmServer> Shm;
+  std::string Err;
+  if (UseShm) {
+    Shm = std::make_unique<shm::ShmServer>(Svc, ShC);
+    if (!Shm->start(Err)) {
+      std::fprintf(stderr, "bench_observability: shm start: %s\n",
+                   Err.c_str());
+      return 0;
+    }
+  } else {
+    Net = std::make_unique<net::NetServer>(Svc, NC);
+    if (!Net->start(Err)) {
+      std::fprintf(stderr, "bench_observability: net start: %s\n",
+                   Err.c_str());
+      return 0;
+    }
+  }
+
+  std::atomic<bool> Stop{false};
+  std::thread Loop([&] {
+    if (UseShm)
+      Shm->runLoop(Stop, 1);
+    else
+      Net->runLoop(Stop, 2);
+  });
+
+  Timer T;
+  {
+    std::vector<std::thread> Threads;
+    for (unsigned I = 0; I != Clients; ++I)
+      Threads.emplace_back([&, I] {
+        client::GoldClientConfig CC;
+        CC.ClientId = I + 1;
+        if (UseShm) {
+          CC.ShmPath = ShC.Path;
+          CC.Port = 0;
+        } else {
+          CC.Port = Net->port();
+        }
+        CC.BufferCapActions = Traces[I].Actions.size() + 8;
+        CC.OpTimeoutNanos = 120ull * 1000000000;
+        if (Traced) {
+          CC.TraceFrames = true;
+          CC.TraceSink = &ClientSink; // thread-safe, shared
+        }
+        client::GoldClient GC(CC);
+        std::string CErr;
+        if (!GC.connect(CErr)) {
+          std::fprintf(stderr, "bench_observability: client %u: %s\n", I + 1,
+                       CErr.c_str());
+          return;
+        }
+        for (const Action &A : Traces[I].Actions)
+          if (!GC.publish(A, A.Kind == ActionKind::Commit
+                                 ? &Traces[I].commitSets(A)
+                                 : nullptr))
+            break;
+        std::vector<std::string> Vars;
+        GC.closeAndCollect(Vars, CErr);
+      });
+    for (std::thread &Th : Threads)
+      Th.join();
+  }
+  double Seconds = T.seconds();
+  Stop.store(true);
+  Loop.join();
+  if (UseShm) {
+    Shm->drainAndStop();
+  } else {
+    Net->drainAndStop();
+  }
+  Svc.shutdown();
+  if (UseShm)
+    ::unlink(ShC.Path.c_str());
+  uint64_t Accepted = Svc.health().LinesAccepted;
+  return Seconds > 0 ? double(Accepted) / Seconds : 0;
+}
+
+double median(std::vector<double> V) {
+  if (V.empty())
+    return 0;
+  std::sort(V.begin(), V.end());
+  size_t N = V.size();
+  return N % 2 ? V[N / 2] : (V[N / 2 - 1] + V[N / 2]) / 2.0;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -44,6 +187,13 @@ int main(int Argc, char **Argv) {
   const int Reps = static_cast<int>(parseUintArg(Argc, Argv, "--reps", 3));
   std::string JsonPath = parseStrArg(Argc, Argv, "--json", "");
   std::string Label = parseStrArg(Argc, Argv, "--label", "");
+  unsigned AbReps = parseUintArg(Argc, Argv, "--ab-reps", 5);
+  unsigned AbClients = parseUintArg(Argc, Argv, "--ab-clients", 4);
+  unsigned AbSteps = parseUintArg(Argc, Argv, "--ab-steps", 120 * Scale);
+  bool AssertTracedAb = false;
+  for (int I = 1; I != Argc; ++I)
+    if (std::string(Argv[I]) == "--assert-traced-ab")
+      AssertTracedAb = true;
   std::printf("=== Observability ablation: telemetry level overhead "
               "(scale factor %u, min of %d) ===\n\n",
               Scale, Reps);
@@ -104,6 +254,49 @@ int main(int Argc, char **Argv) {
     }
   }
   J.endArray();
+
+  // ---- Traced-transport ablation (DESIGN.md §18) --------------------------
+  // Identical client workloads, tracing off vs on, paired per rep so both
+  // arms see the same ambient load; the gate is the median of per-rep
+  // traced/untraced fps ratios.
+  Table AbT({"Transport", "Rep", "Off kf/s", "On kf/s", "Ratio"});
+  double MedianRatio[2] = {0, 0}; // [0]=tcp [1]=shm
+  J.key("traced_transport_ab");
+  J.beginArray();
+  for (int Shm = 0; Shm != 2; ++Shm) {
+    std::vector<Trace> Traces;
+    for (unsigned I = 0; I != AbClients; ++I) {
+      RandomTraceParams P;
+      P.Seed = 77 * (Shm + 1) * 1000 + I;
+      P.StepsPerThread = AbSteps;
+      Traces.push_back(generateRandomTrace(P));
+    }
+    std::vector<double> Ratios;
+    for (unsigned Rep = 0; Rep != AbReps; ++Rep) {
+      double Off = runTransportFps(Shm != 0, /*Traced=*/false, Traces);
+      double On = runTransportFps(Shm != 0, /*Traced=*/true, Traces);
+      double Ratio = Off > 0 ? On / Off : 0;
+      Ratios.push_back(Ratio);
+      AbT.addRow({Shm ? "shm" : "tcp",
+                  Table::num(static_cast<long long>(Rep)),
+                  Table::num(Off / 1e3, 1), Table::num(On / 1e3, 1),
+                  Table::num(Ratio, 3)});
+      J.beginObject();
+      if (!Label.empty())
+        J.kv("label", Label);
+      J.kv("transport", Shm ? "shm" : "tcp");
+      J.kv("rep", static_cast<uint64_t>(Rep));
+      J.kv("untraced_frames_per_sec", Off);
+      J.kv("traced_frames_per_sec", On);
+      J.kv("traced_over_untraced_ratio", Ratio);
+      J.endObject();
+    }
+    MedianRatio[Shm] = median(Ratios);
+  }
+  J.endArray();
+  J.kv("traced_ab_tcp_median_ratio", MedianRatio[0]);
+  J.kv("traced_ab_shm_median_ratio", MedianRatio[1]);
+  J.kv("asserted_traced_ab", AssertTracedAb);
   J.endObject();
   T.print();
   if (!JsonPath.empty()) {
@@ -117,6 +310,20 @@ int main(int Argc, char **Argv) {
               "compiled in but not armed\n(one predictable branch per "
               "instrumented site); Counters allocates the registry;\nFull "
               "arms every histogram, the flight recorder and provenance "
-              "capture.\n");
+              "capture.\n\n");
+  AbT.print();
+  std::printf("\ntraced/untraced median fps ratio: tcp %.3f, shm %.3f "
+              "(floor 0.97%s)\n",
+              MedianRatio[0], MedianRatio[1],
+              AssertTracedAb ? ", asserted" : "");
+  if (AssertTracedAb)
+    for (int Shm = 0; Shm != 2; ++Shm)
+      if (MedianRatio[Shm] < 0.97) {
+        std::fprintf(stderr,
+                     "bench_observability: %s traced/untraced median ratio "
+                     "%.3f below the 0.97 floor\n",
+                     Shm ? "shm" : "tcp", MedianRatio[Shm]);
+        return 1;
+      }
   return 0;
 }

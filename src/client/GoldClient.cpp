@@ -3,8 +3,10 @@
 #include "client/GoldClient.h"
 
 #include "event/TraceIO.h"
+#include "service/Tracing.h"
 #include "service/net/Protocol.h"
 #include "support/Failpoints.h"
+#include "support/Telemetry.h"
 
 #include <cerrno>
 #include <cstdio>
@@ -125,7 +127,22 @@ const GoldClient::Rec &GoldClient::recAt(uint64_t Seq) const {
 void GoldClient::pruneAcked(uint64_t Upto) {
   if (Upto > NextSeq)
     Upto = NextSeq;
+  uint64_t AckNanos = 0; // one clock read per prune batch, lazily
   while (BaseSeq < Upto && !Buf.empty()) {
+    const Rec &R = Buf.front();
+    if (R.OriginNanos) {
+      if (!AckNanos)
+        AckNanos = nowNanos();
+      uint64_t Dur = AckNanos > R.OriginNanos ? AckNanos - R.OriginNanos : 0;
+      if (Cfg.E2eLatency)
+        Cfg.E2eLatency->record(Dur);
+      if (Cfg.TraceSink &&
+          traceSampled(Cfg.TraceSeed, Cfg.ClientId, BaseSeq,
+                       Cfg.TraceSampleRatePpm))
+        Cfg.TraceSink->spanTagged("client_e2e", "pipe",
+                                  static_cast<uint32_t>(Cfg.ClientId),
+                                  R.OriginNanos, Dur, Cfg.ClientId, BaseSeq);
+    }
     Buf.pop_front();
     ++BaseSeq;
   }
@@ -175,6 +192,15 @@ bool GoldClient::publish(const Action &A, const CommitSets *CS) {
   R.A = A;
   if (A.Kind == ActionKind::Commit && CS)
     R.CS = std::make_shared<CommitSets>(*CS);
+  // Sampling is decided HERE, with the same deterministic (seed, ordinal)
+  // hash the server uses: unsampled frames are never stamped, carry zero
+  // extra wire bytes, and cost the whole pipeline nothing but this hash —
+  // the O(1)-samples discipline that keeps tracing within noise when on.
+  // E2eLatency opts every frame in (the bench wants the full population).
+  if (Cfg.E2eLatency ||
+      (Cfg.TraceFrames && traceSampled(Cfg.TraceSeed, Cfg.ClientId, NextSeq,
+                                       Cfg.TraceSampleRatePpm)))
+    R.OriginNanos = nowNanos();
   Buf.push_back(std::move(R));
   ++NextSeq;
   ++St.Published;
@@ -265,6 +291,11 @@ bool GoldClient::closeAndCollect(std::vector<std::string> &RaceVars,
         return false;
       }
     }
+    // The close-drain just consumed the tail of the stream; prune against
+    // the final ack count BEFORE releasing the ring, or every frame acked
+    // by the drain (usually most of them — shm acks are batched) would be
+    // dropped without recording its client-side e2e latency/span.
+    pruneAcked(H->Acked.load(std::memory_order_acquire));
     shm::RingCode Code = static_cast<shm::RingCode>(
         H->OpenCode.load(std::memory_order_relaxed));
     uint32_t N = static_cast<uint32_t>(
@@ -478,6 +509,9 @@ bool GoldClient::shmReclaim(std::string &Err) {
     R->ClientPid.store(static_cast<uint32_t>(::getpid()),
                        std::memory_order_release);
     R->Priority.store(Cfg.Priority, std::memory_order_release);
+    // Clock handshake: our monotonic now, read by the server at claim to
+    // measure the producer->server clock offset for origin correction.
+    R->ClockOrigin.store(nowNanos(), std::memory_order_release);
     // Heartbeat != 0 is the "identity complete" signal the server waits
     // for before it reads the claim.
     R->Heartbeat.store(1, std::memory_order_release);
@@ -534,7 +568,13 @@ bool GoldClient::shmPushFrame(const Rec &R, uint64_t Seq, bool &Full) {
   const uint32_t Mask = Shm->Seg.mask();
 
   shm::FrameHead FH;
-  uint32_t NSlots = shm::encodeHead(FH, R.A, R.CS.get(), Seq);
+  // The origin word goes on the wire only for sampled frames (E2eLatency
+  // stamps every Rec; the wire still carries only the sampled subset).
+  uint64_t Origin = 0;
+  if (Cfg.TraceFrames && R.OriginNanos &&
+      traceSampled(Cfg.TraceSeed, Cfg.ClientId, Seq, Cfg.TraceSampleRatePpm))
+    Origin = R.OriginNanos;
+  uint32_t NSlots = shm::encodeHead(FH, R.A, R.CS.get(), Seq, Origin);
 
   // Free-space check on the LAST slot only: slots recycle in order, so if
   // the last one is writable every earlier one is too.
@@ -728,6 +768,12 @@ bool GoldClient::connectTcp(std::string &Err, bool Resuming) {
                                     Cfg.Priority);
     bool Retry = false;
     for (;;) {
+      // The clock handshake stamp must be fresh per attempt: a backpressure
+      // sleep between attempts would otherwise skew the measured offset by
+      // the whole sleep.
+      if (Cfg.TraceFrames)
+        N = net::proto::fmtOpenPrioClock(Req, sizeof(Req), Cfg.ClientId,
+                                         Cfg.Priority, nowNanos());
       if (::send(S->Fd, Req, size_t(N), MSG_NOSIGNAL) != N) {
         Retry = Transient("gold-client: open write failed: " +
                           std::string(std::strerror(errno)));
@@ -953,8 +999,16 @@ bool GoldClient::pumpTcp(std::string &Err) {
   size_t Budget = Cfg.Batch;
   while (SendSeq < NextSeq && Budget--) {
     const Rec &R = recAt(SendSeq);
-    int N = net::proto::fmtLineHead(Head, sizeof(Head), Cfg.ClientId,
-                                    SendSeq);
+    // `@origin` rides only on sampled frames — unsampled lines are byte
+    // identical to an untraced stream (see publish()).
+    bool Stamp = Cfg.TraceFrames && R.OriginNanos &&
+                 traceSampled(Cfg.TraceSeed, Cfg.ClientId, SendSeq,
+                              Cfg.TraceSampleRatePpm);
+    int N = Stamp ? net::proto::fmtLineHeadTraced(Head, sizeof(Head),
+                                                  Cfg.ClientId, SendSeq,
+                                                  R.OriginNanos)
+                  : net::proto::fmtLineHead(Head, sizeof(Head), Cfg.ClientId,
+                                            SendSeq);
     Out.append(Head, size_t(N));
     Out += serializeAction(R.A, R.CS.get());
     Out += '\n';

@@ -53,6 +53,8 @@
 namespace gold {
 
 class TraceParser;
+class Histogram;
+class TraceEventSink;
 
 namespace client {
 
@@ -82,6 +84,27 @@ struct GoldClientConfig {
   uint64_t MaxWaitNanos = 5ull * 1000000;
   /// Overall deadline for flush()/closeAndCollect().
   uint64_t OpTimeoutNanos = 30ull * 1000000000;
+
+  /// Stamp a client-monotonic origin on *sampled* frames (TCP `@<ns>`
+  /// token / shm FrameHead::OriginNanos) and perform the clock handshake
+  /// at open/claim, so the server can attribute per-stage pipeline
+  /// latency. The sampling decision is the shared deterministic
+  /// (seed, ordinal) hash, so unsampled frames are byte-identical to an
+  /// untraced stream and cost one hash — tracing stays within noise even
+  /// when on. Off by default.
+  bool TraceFrames = false;
+  /// Sampling seed/rate for client-side spans; MUST match the server's
+  /// --trace-seed/--trace-ppm for client_e2e spans to line up with the
+  /// server's per-frame spans in a merged trace (the decision hash is
+  /// shared, so equal parameters sample equal frames).
+  uint64_t TraceSeed = 1;
+  uint32_t TraceSampleRatePpm = 10000;
+  /// When set, sampled frames emit a "client_e2e" span (publish -> server
+  /// ack) here. Not owned. Null disables span emission.
+  TraceEventSink *TraceSink = nullptr;
+  /// When set, EVERY stamped frame records publish->ack nanos here (the
+  /// client-observed end-to-end latency). Not owned.
+  Histogram *E2eLatency = nullptr;
 };
 
 struct GoldClientStats {
@@ -139,6 +162,8 @@ private:
   struct Rec {
     Action A;
     std::shared_ptr<CommitSets> CS;
+    /// Client-monotonic publish() stamp; 0 when tracing is off.
+    uint64_t OriginNanos = 0;
   };
   struct ShmState;
   struct TcpState;

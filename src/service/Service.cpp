@@ -7,6 +7,8 @@
 #include <cassert>
 #include <chrono>
 
+#include <unistd.h>
+
 using namespace gold;
 
 const char *gold::closeReasonName(CloseReason R) {
@@ -327,7 +329,7 @@ FeedResult Session::rejectParseLocked(FeedResult Res) {
 }
 
 FeedResult Session::admitNewestLocked(FeedResult Res, size_t Before,
-                                      uint32_t Bytes) {
+                                      uint32_t Bytes, const FrameTrace *FT) {
   const Trace &J = Parser.peek();
   if (J.Actions.size() == Before)
     return acceptedLocked(std::move(Res)); // blank or comment line
@@ -375,6 +377,18 @@ FeedResult Session::admitNewestLocked(FeedResult Res, size_t Before,
   Pending.Seq = NextSeq++;
   Pending.Bytes = Bytes ? Bytes : 1;
   Pending.EnqueueNanos = Svc.wantsLatencySamples() ? Svc.nowNanos() : 0;
+  if (FT && FT->OriginNanos && Svc.TraceOn) {
+    // The wire stage closes here: one record per frame, because the
+    // backpressure-retry paths in feedGateLocked return before this point.
+    Pending.TraceOrigin = FT->OriginNanos;
+    Pending.TraceAdmit = Svc.nowNanos();
+    Pending.TraceSeq = FT->FrameSeq;
+    Pending.TraceSpan = FT->Span;
+    if (Svc.HPipeWire)
+      Svc.HPipeWire->record(Pending.TraceAdmit > FT->OriginNanos
+                                ? Pending.TraceAdmit - FT->OriginNanos
+                                : 0);
+  }
   Pending.A = mapAction(Raw);
   Pending.CS = std::move(CS);
   PendingTargets = Svc.targetsOf(Pending.A);
@@ -394,7 +408,7 @@ FeedResult Session::admitNewestLocked(FeedResult Res, size_t Before,
                               : backpressuredLocked(std::move(Res));
 }
 
-FeedResult Session::feedLine(const std::string &Line) {
+FeedResult Session::feedLine(const std::string &Line, const FrameTrace *FT) {
   std::lock_guard<std::mutex> G(Mu);
   FeedResult Res;
   if (feedGateLocked(Res))
@@ -403,11 +417,12 @@ FeedResult Session::feedLine(const std::string &Line) {
   if (!Parser.feedLine(Line))
     return rejectParseLocked(std::move(Res));
   return admitNewestLocked(std::move(Res), Before,
-                           static_cast<uint32_t>(Line.size() ? Line.size() : 1));
+                           static_cast<uint32_t>(Line.size() ? Line.size() : 1),
+                           FT);
 }
 
 FeedResult Session::feedAction(const Action &A, const CommitSets *CS,
-                               uint32_t Bytes) {
+                               uint32_t Bytes, const FrameTrace *FT) {
   std::lock_guard<std::mutex> G(Mu);
   FeedResult Res;
   if (feedGateLocked(Res))
@@ -415,7 +430,7 @@ FeedResult Session::feedAction(const Action &A, const CommitSets *CS,
   size_t Before = Parser.peek().Actions.size();
   if (!Parser.feedAction(A, CS))
     return rejectParseLocked(std::move(Res));
-  return admitNewestLocked(std::move(Res), Before, Bytes);
+  return admitNewestLocked(std::move(Res), Before, Bytes, FT);
 }
 
 //===----------------------------------------------------------------------===//
@@ -559,6 +574,21 @@ DetectionService::DetectionService(ServiceConfig CIn)
     Tel.reset(new Telemetry(Cfg.Telemetry));
     if (Tel->fullEnabled())
       HIngestLatency = &Tel->histogram("service.ingest_latency_nanos");
+  }
+  if (Cfg.Trace.Enabled) {
+    TraceOn = true;
+    // Histograms are a full-telemetry surface (gold-metrics-v1 forbids them
+    // at lower levels), so stage attribution follows the same gate as
+    // service.ingest_latency_nanos; spans are independent of the level.
+    if (Tel && Tel->fullEnabled()) {
+      HPipeWire = &Tel->histogram("pipe.wire");
+      HPipeRingWait = &Tel->histogram("pipe.ring_wait");
+      HPipeApply = &Tel->histogram("pipe.apply");
+      HPipeVerdict = &Tel->histogram("pipe.verdict");
+    }
+    if (Cfg.Trace.SpanCapacity)
+      SpanSink.reset(new TraceEventSink(Cfg.Trace.SpanCapacity,
+                                        static_cast<uint32_t>(::getpid())));
   }
   ShardsVec.reserve(NumShards);
   for (unsigned S = 0; S != NumShards; ++S) {
@@ -705,8 +735,20 @@ void DetectionService::applyItem(ShardState &Sh, const ShardItem &It) {
     // shards see it through commits alone, and commit pairs short-circuit
     // as ordered). The filter makes duplication structurally impossible
     // rather than merely argued.
-    if (shardOf(R.Var.Object) == Sh.Index)
+    if (shardOf(R.Var.Object) == Sh.Index) {
       Se->deliver(R);
+      if (It.TraceOrigin) {
+        uint64_t NowN = Now();
+        uint64_t Dur = NowN > It.TraceOrigin ? NowN - It.TraceOrigin : 0;
+        if (HPipeVerdict)
+          HPipeVerdict->record(Dur);
+        if (It.TraceSpan && SpanSink)
+          SpanSink->spanTagged("verdict", "pipe", It.SessionIdx,
+                               It.TraceOrigin, Dur, Se->clientId(),
+                               It.TraceSeq,
+                               static_cast<int32_t>(Sh.Index));
+      }
+    }
   });
 }
 
@@ -739,12 +781,42 @@ size_t DetectionService::pumpShard(unsigned Shard) {
       break;
     }
     if (Se && Se->state() != SessionState::Dead) {
+      uint64_t PopN = It.TraceOrigin ? Now() : 0;
       applyItem(Sh, It);
       if (HIngestLatency && It.EnqueueNanos) {
         uint64_t NowN = Now();
         HIngestLatency->record(NowN > It.EnqueueNanos
                                    ? NowN - It.EnqueueNanos
                                    : 0);
+      }
+      if (It.TraceOrigin) {
+        // Monotone stage boundaries: clamping residual clock skew forward
+        // makes wire+ring_wait+apply == e2e hold exactly per frame, so the
+        // merged-trace consistency check is structural, not statistical.
+        uint64_t O = It.TraceOrigin;
+        uint64_t A = It.TraceAdmit > O ? It.TraceAdmit : O;
+        uint64_t P = PopN > A ? PopN : A;
+        uint64_t E = Now();
+        E = E > P ? E : P;
+        if (HPipeRingWait)
+          HPipeRingWait->record(P - A);
+        if (HPipeApply)
+          HPipeApply->record(E - P);
+        if (It.TraceSpan && SpanSink) {
+          // One wire frame fans out into one ShardItem per routed shard;
+          // the shard arg keeps each copy's stage chain separable in the
+          // merged trace (same client/seq, different shard lane).
+          uint64_t Client = Se->clientId();
+          int32_t ShIdx = static_cast<int32_t>(Shard);
+          SpanSink->spanTagged("wire", "pipe", It.SessionIdx, O, A - O,
+                               Client, It.TraceSeq, ShIdx);
+          SpanSink->spanTagged("ring_wait", "pipe", It.SessionIdx, A, P - A,
+                               Client, It.TraceSeq, ShIdx);
+          SpanSink->spanTagged("apply", "pipe", It.SessionIdx, P, E - P,
+                               Client, It.TraceSeq, ShIdx);
+          SpanSink->spanTagged("e2e", "pipe", It.SessionIdx, O, E - O,
+                               Client, It.TraceSeq, ShIdx);
+        }
       }
     } // else: a dead session's queued items are skipped, not applied
     if (Se)

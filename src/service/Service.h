@@ -44,6 +44,7 @@
 #include "event/TraceIO.h"
 #include "goldilocks/Engine.h"
 #include "service/IngestRing.h"
+#include "service/Tracing.h"
 #include "support/Supervisor.h"
 #include "support/Telemetry.h"
 
@@ -115,6 +116,11 @@ struct ServiceConfig {
   /// Service-level telemetry (counters always kept; Full adds the ingest
   /// latency histogram).
   TelemetryLevel Telemetry = TelemetryLevel::Counters;
+  /// End-to-end pipeline tracing (DESIGN.md §18). When enabled, transports
+  /// thread per-frame FrameTrace contexts into sessions, stage boundaries
+  /// feed the pipe.* histograms (registered when Telemetry is on), and
+  /// deterministically sampled frames emit spans into spanSink().
+  PipeTraceConfig Trace;
   /// Injectable monotonic clock (nanoseconds); defaults to steady_clock.
   /// Tests install a manual clock to drive idle timeouts deterministically.
   std::function<uint64_t()> NowNanos;
@@ -170,6 +176,13 @@ struct ShardItem {
   uint64_t Seq = 0;           ///< session-local action number (diagnostics)
   uint64_t EnqueueNanos = 0;  ///< latency histogram sample (Full telemetry)
   uint32_t Bytes = 0;         ///< byte-budget accounting share
+  /// Pipeline-trace context (0/false when the frame is untraced): the
+  /// clock-corrected client origin, the admission stamp, and whether this
+  /// frame was deterministically sampled for span emission.
+  uint64_t TraceOrigin = 0;
+  uint64_t TraceAdmit = 0;
+  uint64_t TraceSeq = 0; ///< client frame ordinal (span args join key)
+  bool TraceSpan = false;
   Action A;                   ///< ids already remapped into the namespace
   std::shared_ptr<const CommitSets> CS;
 };
@@ -190,8 +203,12 @@ public:
   Session(const Session &) = delete;
   Session &operator=(const Session &) = delete;
 
-  /// Streams one trace line (TraceIO format, no trailing newline).
-  FeedResult feedLine(const std::string &Line);
+  /// Streams one trace line (TraceIO format, no trailing newline). \p FT,
+  /// when non-null, is the frame's pipeline-trace context (transport-
+  /// corrected origin stamp + span sampling decision); the wire stage is
+  /// recorded at admission and the context rides the ShardItem to apply.
+  FeedResult feedLine(const std::string &Line,
+                      const FrameTrace *FT = nullptr);
 
   /// Binary twin of feedLine() for transports carrying pre-parsed actions
   /// (the shared-memory ring): identical gate, retry, namespace, journal,
@@ -200,8 +217,8 @@ public:
   /// must be non-null exactly for ActionKind::Commit (ids still in the
   /// client's namespace). \p Bytes is the action's byte-budget share (its
   /// wire footprint; clamped to >= 1).
-  FeedResult feedAction(const Action &A, const CommitSets *CS,
-                        uint32_t Bytes);
+  FeedResult feedAction(const Action &A, const CommitSets *CS, uint32_t Bytes,
+                        const FrameTrace *FT = nullptr);
 
   /// Orderly client close: stop accepting, let queued work finish.
   void close();
@@ -258,7 +275,8 @@ private:
   /// target shards: namespace mapping, commit-set remap, journal cap, and
   /// the first flush attempt. \p Before is the journal size pre-parse (a
   /// no-op parse, e.g. a comment line, is accepted outright). Requires Mu.
-  FeedResult admitNewestLocked(FeedResult Res, size_t Before, uint32_t Bytes);
+  FeedResult admitNewestLocked(FeedResult Res, size_t Before, uint32_t Bytes,
+                               const FrameTrace *FT);
   FeedResult acceptedLocked(FeedResult Res);
   FeedResult backpressuredLocked(FeedResult Res);
   /// Crash-only teardown. Requires Mu.
@@ -429,6 +447,11 @@ public:
   /// True when ingest-latency histogram samples are being collected (Full
   /// telemetry) — producers only stamp EnqueueNanos then.
   bool wantsLatencySamples() const { return HIngestLatency != nullptr; }
+  /// True when the pipeline-tracing hooks are armed (Cfg.Trace.Enabled).
+  bool pipeTracingEnabled() const { return TraceOn; }
+  /// Sampled pipeline span ring; null when tracing is off. Spans carry
+  /// tid = session index and args {client, seq}.
+  TraceEventSink *spanSink() const { return SpanSink.get(); }
 
 private:
   friend class Session;
@@ -498,6 +521,16 @@ private:
   // Telemetry.
   std::unique_ptr<Telemetry> Tel;
   Histogram *HIngestLatency = nullptr; ///< Full level only
+
+  // Pipeline tracing (Cfg.Trace). The per-stage histograms are registered
+  // in Tel so they ride the ordinary metrics snapshot; null when tracing is
+  // off or telemetry is off — every recording site gates on the pointer.
+  bool TraceOn = false;
+  Histogram *HPipeWire = nullptr;     ///< origin -> admission
+  Histogram *HPipeRingWait = nullptr; ///< admission -> shard pop
+  Histogram *HPipeApply = nullptr;    ///< shard pop -> applied
+  Histogram *HPipeVerdict = nullptr;  ///< origin -> verdict delivered
+  std::unique_ptr<TraceEventSink> SpanSink;
 
   // Threads (start()/stop()).
   std::mutex LifecycleMu;

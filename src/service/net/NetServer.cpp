@@ -7,6 +7,7 @@
 #include "service/net/Protocol.h"
 #include "support/Failpoints.h"
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
@@ -75,6 +76,11 @@ struct NetServer::Conn {
 
   LineFramer Framer;
   std::string ScrapeBuf; ///< scrape conns: accumulated request head
+  /// Scrape conns: the full response, streamed into Out in bounded chunks
+  /// (large bodies — /metrics with histograms, /metrics/history — must not
+  /// assume one write() nor one write-queue's worth of room suffices).
+  std::string ScrapeResp;
+  size_t ScrapeRespPos = 0;
 
   std::string Out; ///< bounded write queue (flat buffer + cursor)
   size_t OutPos = 0;
@@ -412,6 +418,14 @@ void NetServer::dispatchIngest(Conn &C, const std::string &Line,
   if (Cmd == "open") {
     unsigned Priority = 1;
     In >> Priority;
+    // Clock handshake: `t=<client-now-ns>` measures the client->server
+    // monotonic offset under the open's one-way latency (same host: ~µs).
+    // Re-measured by every open carrying the token, so a reconnect heals a
+    // stale offset; opens without it leave the binding's offset unchanged.
+    uint64_t ClientNow = 0;
+    bool HasClock = proto::parseClock(Line, ClientNow);
+    int64_t Offset =
+        HasClock ? (int64_t)now() - (int64_t)ClientNow : 0;
     auto It = Bindings.find(Id);
     if (It != Bindings.end() &&
         It->second.S->state() != SessionState::Dead) {
@@ -431,6 +445,8 @@ void NetServer::dispatchIngest(Conn &C, const std::string &Line,
       }
       B.OwnerFd = C.Fd;
       B.ResyncAt = UINT64_MAX; // fresh stream: next gap earns one resync
+      if (HasClock)
+        B.ClockOffset = Offset;
       proto::fmtOkOpenResumed(Reply, sizeof(Reply), Id, B.Expect);
       enqueue(C, Reply, true);
       return;
@@ -443,7 +459,11 @@ void NetServer::dispatchIngest(Conn &C, const std::string &Line,
       enqueue(C, Reply, false);
       return;
     }
-    Bindings[Id] = Binding{R.S, 0, C.Fd};
+    Binding NewB;
+    NewB.S = R.S;
+    NewB.OwnerFd = C.Fd;
+    NewB.ClockOffset = Offset;
+    Bindings[Id] = NewB;
     C.Bound.push_back(Id);
     proto::fmtOkOpen(Reply, sizeof(Reply), Id);
     enqueue(C, Reply, true);
@@ -511,6 +531,33 @@ void NetServer::dispatchIngest(Conn &C, const std::string &Line,
         return;
       }
     }
+    // Optional origin stamp: `@<client-monotonic-ns>` between the seq and
+    // the trace line. Always stripped (the parser must never see it);
+    // threaded into the service as a span context only when tracing is on.
+    FrameTrace FT;
+    const FrameTrace *FTp = nullptr;
+    {
+      const char *RestC = Rest.c_str();
+      uint64_t RawOrigin = 0;
+      if (proto::splitOrigin(RestC, RawOrigin)) {
+        Rest.erase(0, static_cast<size_t>(RestC - Rest.c_str()));
+        // Only frames the deterministic sampler selects become span
+        // contexts — a raw producer may stamp every line (GoldClient only
+        // stamps sampled ones), and per-stage attribution must stay O(1)
+        // samples regardless of what the wire carries.
+        if (Svc.pipeTracingEnabled() &&
+            traceSampled(Svc.config().Trace.Seed, Id, HasSeq ? Seq : 0,
+                         Svc.config().Trace.SampleRatePpm)) {
+          // Correct the client stamp onto the server clock; clamp to 1 so a
+          // wildly-skewed stamp cannot collapse to the "untraced" sentinel.
+          int64_t Corr = static_cast<int64_t>(RawOrigin) + B.ClockOffset;
+          FT.OriginNanos = Corr > 0 ? static_cast<uint64_t>(Corr) : 1;
+          FT.FrameSeq = HasSeq ? Seq : 0;
+          FT.Span = true;
+          FTp = &FT;
+        }
+      }
+    }
     if (Rest.empty()) {
       enqueue(C, "err proto missing trace line", false);
       chargeError(C);
@@ -519,7 +566,7 @@ void NetServer::dispatchIngest(Conn &C, const std::string &Line,
     FeedResult R;
     unsigned Attempts = 0;
     for (;;) {
-      R = S.feedLine(Rest);
+      R = S.feedLine(Rest, FTp);
       if (R.St != FeedResult::Status::Backpressure)
         break;
       if (!Draining) {
@@ -690,9 +737,18 @@ void NetServer::dispatchScrape(Conn &C) {
     Body = healthJson(false);
   } else if (Path == "/metrics") {
     Body = metricsJson();
+  } else if (Path == "/metrics/history") {
+    if (History) {
+      Body = History->historyJson();
+    } else {
+      Status = "404 Not Found";
+      Body = "{\"error\":\"history not enabled (run with a metrics "
+             "interval)\"}";
+    }
   } else {
     Status = "404 Not Found";
-    Body = "{\"error\":\"unknown path (try /healthz or /metrics)\"}";
+    Body = "{\"error\":\"unknown path (try /healthz, /metrics or "
+           "/metrics/history)\"}";
   }
 
   char Head[160];
@@ -700,16 +756,37 @@ void NetServer::dispatchScrape(Conn &C) {
                 "HTTP/1.0 %s\r\nContent-Type: application/json\r\n"
                 "Content-Length: %zu\r\nConnection: close\r\n\r\n",
                 Status, Body.size());
-  // One response per connection; it must fit the bounded queue or the
-  // connection is dropped (critical path, counted in ClosedBy).
-  std::string Resp = Head + Body;
-  size_t Pending = C.Out.size() - C.OutPos;
-  if (Pending + Resp.size() > Cfg.WriteQueueCapBytes) {
-    closeConn(C, ConnClose::WriteOverflow);
-    return;
-  }
-  C.Out += Resp;
+  // One response per connection, streamed through the bounded write queue
+  // in WriteQueueCapBytes chunks: a body larger than the queue (a /metrics
+  // document full of histograms, a deep /metrics/history ring) must not
+  // force a WriteOverflow close, and a slow reader still can't pin more
+  // than one response of memory (the response was rendered once, above).
+  C.ScrapeResp = Head + Body;
+  C.ScrapeRespPos = 0;
   C.CloseAfter = ConnClose::ScrapeDone;
+  refillScrape(C);
+}
+
+/// Moves the next chunk of a pending scrape response into the bounded
+/// write queue. Called at dispatch and again whenever flushConn drains the
+/// queue; the connection closes (ScrapeDone) only once the whole response
+/// has been copied AND flushed.
+void NetServer::refillScrape(Conn &C) {
+  if (C.ScrapeRespPos >= C.ScrapeResp.size())
+    return;
+  size_t Pending = C.Out.size() - C.OutPos;
+  if (Pending >= Cfg.WriteQueueCapBytes)
+    return; // queue full; flushConn will call back after progress
+  if (Pending == 0)
+    C.LastWriteProgressNanos = now(); // deadline clock starts now
+  if (C.OutPos > 4096 && C.OutPos * 2 > C.Out.size()) {
+    C.Out.erase(0, C.OutPos);
+    C.OutPos = 0;
+  }
+  size_t Room = Cfg.WriteQueueCapBytes - Pending;
+  size_t N = std::min(Room, C.ScrapeResp.size() - C.ScrapeRespPos);
+  C.Out.append(C.ScrapeResp, C.ScrapeRespPos, N);
+  C.ScrapeRespPos += N;
 }
 
 //===----------------------------------------------------------------------===//
@@ -747,28 +824,35 @@ void NetServer::flushConn(Conn &C) {
     St.WriteStalls.fetch_add(1, std::memory_order_relaxed);
     return;
   }
-  while (C.OutPos != C.Out.size()) {
-    ssize_t N = ::send(C.Fd, C.Out.data() + C.OutPos, C.Out.size() - C.OutPos,
-                       MSG_NOSIGNAL);
-    if (N > 0) {
-      C.OutPos += static_cast<size_t>(N);
-      St.BytesOut.fetch_add(static_cast<uint64_t>(N),
-                            std::memory_order_relaxed);
-      C.LastWriteProgressNanos = now();
-      continue;
+  for (;;) {
+    while (C.OutPos != C.Out.size()) {
+      ssize_t N = ::send(C.Fd, C.Out.data() + C.OutPos,
+                         C.Out.size() - C.OutPos, MSG_NOSIGNAL);
+      if (N > 0) {
+        C.OutPos += static_cast<size_t>(N);
+        St.BytesOut.fetch_add(static_cast<uint64_t>(N),
+                              std::memory_order_relaxed);
+        C.LastWriteProgressNanos = now();
+        continue;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK)
+        return; // kernel buffer full; poll will call back
+      if (errno == EINTR)
+        continue;
+      closeConn(C, ConnClose::SocketError);
+      return;
     }
-    if (errno == EAGAIN || errno == EWOULDBLOCK)
-      break;
-    if (errno == EINTR)
-      continue;
-    closeConn(C, ConnClose::SocketError);
-    return;
-  }
-  if (C.OutPos == C.Out.size()) {
     C.Out.clear();
     C.OutPos = 0;
+    if (C.ScrapeRespPos < C.ScrapeResp.size()) {
+      // More scrape response behind the queue: refill and keep sending
+      // within this flush round (the socket buffer may still have room).
+      refillScrape(C);
+      continue;
+    }
     if (C.CloseAfter != ConnClose::Count_)
       closeConn(C, C.CloseAfter);
+    return;
   }
 }
 
@@ -976,7 +1060,7 @@ std::string NetServer::healthJson(bool Interrupted) const {
       });
 }
 
-std::string NetServer::metricsJson() const {
+TelemetrySnapshot NetServer::metricsSnapshot() const {
   TelemetrySnapshot Snap = Svc.telemetry();
   NetStats S = stats();
   Snap.addCounter("net.conns_accepted", S.ConnsAccepted);
@@ -1010,5 +1094,9 @@ std::string NetServer::metricsJson() const {
   // (gold-metrics-v1 forbids histograms below that level).
   if (Snap.Level < TelemetryLevel::Full)
     Snap.Level = TelemetryLevel::Full;
-  return renderMetricsJson(Snap, "goldilocks-netserver");
+  return Snap;
+}
+
+std::string NetServer::metricsJson() const {
+  return renderMetricsJson(metricsSnapshot(), "goldilocks-netserver");
 }

@@ -55,6 +55,7 @@
 #define GOLD_SERVICE_NET_NETSERVER_H
 
 #include "service/Service.h"
+#include "service/Snapshots.h"
 #include "service/net/Framer.h"
 #include "support/Telemetry.h"
 
@@ -177,9 +178,16 @@ public:
 
   /// Live gold-health-v1 document (service health + a "net" section).
   std::string healthJson(bool Interrupted) const;
-  /// Live gold-metrics-v1 document (service telemetry + net counters +
-  /// the frame-latency histogram).
+  /// The telemetry snapshot behind metricsJson(): service telemetry + net
+  /// counters + the frame-latency histogram. This is what a shared
+  /// SnapshotProducer installs as its source.
+  TelemetrySnapshot metricsSnapshot() const;
+  /// Live gold-metrics-v1 document (renderMetricsJson of metricsSnapshot).
   std::string metricsJson() const;
+
+  /// Binds the /metrics/history endpoint to a SnapshotProducer owned by
+  /// the embedding tool (null unbinds; the endpoint then answers 404).
+  void bindHistory(SnapshotProducer *P) { History = P; }
 
 private:
   struct Conn;
@@ -193,6 +201,11 @@ private:
     /// silently (FalloutFrames) instead of answering each with a resync
     /// reply — one reply per stall, not one per pipelined frame.
     uint64_t ResyncAt = UINT64_MAX;
+    /// Client->server monotonic clock offset measured from the open's `t=`
+    /// handshake token (server now minus client now); 0 without handshake.
+    /// Applied to `@origin` stamps before they enter the service, and
+    /// re-measured by every reconnect open.
+    int64_t ClockOffset = 0;
   };
 
   bool listenOn(uint16_t Want, int &FdOut, uint16_t &BoundOut,
@@ -202,6 +215,7 @@ private:
   void dispatchFrames(Conn &C);
   void dispatchIngest(Conn &C, const std::string &Line, bool Draining);
   void dispatchScrape(Conn &C);
+  void refillScrape(Conn &C);
   size_t deliverVerdicts(Conn &C, uint64_t Id, Session &S);
   void flushConn(Conn &C);
   void checkDeadlines(Conn &C, uint64_t Now);
@@ -220,6 +234,7 @@ private:
   uint16_t BoundScrapePort = 0;
   std::vector<std::unique_ptr<Conn>> Conns; // loop thread only
   std::unordered_map<uint64_t, Binding> Bindings;
+  SnapshotProducer *History = nullptr; ///< /metrics/history source (owner's)
   std::atomic<bool> StopFlag{false};
   bool Drained = false;
   std::atomic<size_t> OpenConns{0};

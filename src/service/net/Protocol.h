@@ -10,9 +10,16 @@
 ///
 /// Request grammar (client -> server), one frame per line:
 ///
-///   open <id> [prio]      line <id> <seq> <trace-line>     stat <id>
+///   open <id> [prio] [t=<client-now-ns>]
+///   line <id> <seq> [@<origin-ns>] <trace-line>            stat <id>
 ///   close <id>            verdicts <id>                    quit
 ///   ping [token]          pong [token]                     health
+///
+/// The optional `t=` token on open is the tracing clock handshake: the
+/// server subtracts it from its own monotonic now to learn the client<->
+/// server clock offset. The optional `@<origin-ns>` token stamps a frame's
+/// client-monotonic origin; it is unambiguous because trace lines always
+/// start with an alphabetic keyword, never '@'.
 ///
 /// Reply grammar (server -> client), the pieces clients key on:
 ///
@@ -68,6 +75,7 @@ inline constexpr const char *KeyExpect = "expect=";
 inline constexpr const char *KeyAccepted = "accepted=";
 inline constexpr const char *KeySeq = " seq=";
 inline constexpr const char *KeyRetryAfterNs = "retry-after-ns=";
+inline constexpr const char *KeyClock = "t=";
 inline constexpr const char *VerbBackpressure = " backpressure ";
 inline constexpr const char *VerbResync = " resync ";
 inline constexpr const char *StateDead = "state=dead";
@@ -110,6 +118,28 @@ inline bool isResync(const std::string &L) {
   return L.find(VerbResync) != std::string::npos;
 }
 
+/// Parses the clock-handshake token on an open ("t=<ns>"). Absent on
+/// untraced clients; the server then treats the clock offset as 0.
+inline bool parseClock(const std::string &L, uint64_t &Out) {
+  return findU64(L, KeyClock, Out);
+}
+
+/// Strips a leading "@<origin-ns> " trace stamp off a line-frame payload.
+/// Returns true (and advances \p Rest past the stamp) when one was
+/// present. Trace lines never begin with '@', so this cannot misfire.
+inline bool splitOrigin(const char *&Rest, uint64_t &Origin) {
+  if (*Rest != '@')
+    return false;
+  char *End = nullptr;
+  Origin = std::strtoull(Rest + 1, &End, 10);
+  if (End == Rest + 1)
+    return false;
+  while (*End == ' ')
+    ++End;
+  Rest = End;
+  return true;
+}
+
 /// Pulls "o3.f1" out of "race on o3.f1: T1 write vs T0 write" — the verdict
 /// identity every differential harness compares against the oracle.
 inline bool raceVar(const std::string &Report, std::string &Var) {
@@ -136,9 +166,21 @@ inline int fmtOpenPrio(char *Buf, size_t N, uint64_t Id, unsigned Prio) {
   return std::snprintf(Buf, N, "%s %llu %u\n", CmdOpen,
                        (unsigned long long)Id, Prio);
 }
+inline int fmtOpenPrioClock(char *Buf, size_t N, uint64_t Id, unsigned Prio,
+                            uint64_t NowNanos) {
+  return std::snprintf(Buf, N, "%s %llu %u %s%llu\n", CmdOpen,
+                       (unsigned long long)Id, Prio, KeyClock,
+                       (unsigned long long)NowNanos);
+}
 inline int fmtLineHead(char *Buf, size_t N, uint64_t Id, uint64_t Seq) {
   return std::snprintf(Buf, N, "%s %llu %llu ", CmdLine,
                        (unsigned long long)Id, (unsigned long long)Seq);
+}
+inline int fmtLineHeadTraced(char *Buf, size_t N, uint64_t Id, uint64_t Seq,
+                             uint64_t OriginNanos) {
+  return std::snprintf(Buf, N, "%s %llu %llu @%llu ", CmdLine,
+                       (unsigned long long)Id, (unsigned long long)Seq,
+                       (unsigned long long)OriginNanos);
 }
 inline int fmtStat(char *Buf, size_t N, uint64_t Id) {
   return std::snprintf(Buf, N, "%s %llu\n", CmdStat, (unsigned long long)Id);

@@ -55,9 +55,10 @@
 namespace gold {
 namespace shm {
 
-/// "GOLDSHM1" little-endian. Bumped with any layout change.
+/// "GOLDSHM1" little-endian. Version is bumped with any layout change;
+/// v2 added FrameHead::OriginNanos and ShmRingHdr::ClockOrigin (tracing).
 inline constexpr uint64_t SegMagic = 0x314d4853444c4f47ull;
-inline constexpr uint32_t SegVersion = 1;
+inline constexpr uint32_t SegVersion = 2;
 
 /// Fixed slot geometry: one cache line per slot, 56 payload bytes after
 /// the sequence word.
@@ -65,8 +66,9 @@ inline constexpr uint32_t SlotBytes = 64;
 inline constexpr uint32_t SlotPayloadBytes = SlotBytes - sizeof(uint64_t);
 
 /// Commit variables carried inline in the header slot, and per
-/// continuation slot (8 bytes per obj:field pair).
-inline constexpr uint32_t InlinePairs = 3;
+/// continuation slot (8 bytes per obj:field pair). v2 gave one inline
+/// pair's worth of header space to the trace origin stamp.
+inline constexpr uint32_t InlinePairs = 2;
 inline constexpr uint32_t PairsPerContSlot = SlotPayloadBytes / 8;
 
 /// Verdict pairs a ring can hand back at close; beyond this the server
@@ -148,7 +150,8 @@ struct FrameHead {
   uint16_t NumReads = 0;  ///< commit only
   uint16_t NumWrites = 0; ///< commit only
   uint16_t Pad = 0;
-  uint64_t ClientSeq = 0; ///< stream position; verified against Expect
+  uint64_t ClientSeq = 0;   ///< stream position; verified against Expect
+  uint64_t OriginNanos = 0; ///< client monotonic stamp; 0 = untraced frame
   uint32_t Thread = 0;
   uint32_t Object = 0;
   uint32_t Field = 0;
@@ -193,7 +196,10 @@ struct ShmRingHdr {
   std::atomic<uint64_t> ClientId;
   std::atomic<uint32_t> ClientPid;
   std::atomic<uint32_t> Priority;
-  uint64_t Pad2[6];
+  std::atomic<uint64_t> ClockOrigin; ///< client monotonic now at claim;
+                                     ///< 0 = no clock handshake (legacy
+                                     ///< producers; offset treated as 0)
+  uint64_t Pad2[5];
   // -- producer line -----------------------------------------------------
   std::atomic<uint64_t> Heartbeat; ///< bumped on publish + explicit beats
   uint64_t Pad3[7];
@@ -282,10 +288,12 @@ inline uint32_t commitPairs(const CommitSets &CS) {
 /// Fills \p H from an action (commit pairs beyond InlinePairs go to
 /// continuation slots, written by the producer). Returns total slots.
 inline uint32_t encodeHead(FrameHead &H, const Action &A,
-                           const CommitSets *CS, uint64_t ClientSeq) {
+                           const CommitSets *CS, uint64_t ClientSeq,
+                           uint64_t OriginNanos = 0) {
   H = FrameHead();
   H.Op = opOf(A.Kind);
   H.ClientSeq = ClientSeq;
+  H.OriginNanos = OriginNanos;
   H.Thread = A.Thread;
   H.Object = A.Var.Object;
   H.Field = A.Var.Field;

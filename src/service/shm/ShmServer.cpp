@@ -218,6 +218,13 @@ void ShmServer::handleClaim(uint32_t I) {
   RingSw &W = Sw[I];
   uint64_t Cid = R->ClientId.load(std::memory_order_acquire);
   unsigned Priority = R->Priority.load(std::memory_order_relaxed);
+  // Clock handshake: the producer stamped its monotonic now into
+  // ClockOrigin just before flipping the ring to Claimed, so the offset is
+  // measured under the claim's one-way latency. 0 = legacy producer that
+  // never wrote the word; origins then pass through uncorrected.
+  uint64_t ClientNow = R->ClockOrigin.load(std::memory_order_relaxed);
+  int64_t Offset =
+      ClientNow ? (int64_t)now() - (int64_t)ClientNow : 0;
 
   auto Refuse = [&](RingCode Code, uint64_t RetryNs) {
     R->OpenCode.store(static_cast<uint32_t>(Code), std::memory_order_relaxed);
@@ -256,6 +263,8 @@ void ShmServer::handleClaim(uint32_t I) {
     // server left it (the mirror of `ok open <id> resumed expect=<n>`).
     Binding &B = It->second;
     B.OwnerRing = I;
+    if (ClientNow)
+      B.ClockOffset = Offset;
     W.ClientId = Cid;
     St.Claims.fetch_add(1, std::memory_order_relaxed);
     St.Resumes.fetch_add(1, std::memory_order_relaxed);
@@ -274,7 +283,11 @@ void ShmServer::handleClaim(uint32_t I) {
     Refuse(RingCode::Admission, O.RetryAfterNanos);
     return;
   }
-  Bindings[Cid] = Binding{O.S, 0, I};
+  Binding NewB;
+  NewB.S = O.S;
+  NewB.OwnerRing = I;
+  NewB.ClockOffset = Offset;
+  Bindings[Cid] = NewB;
   W.ClientId = Cid;
   St.Claims.fetch_add(1, std::memory_order_relaxed);
   R->Resume.store(0, std::memory_order_relaxed);
@@ -397,9 +410,25 @@ size_t ShmServer::consumeRing(uint32_t I, bool Draining) {
       return Frames;
     }
 
+    // Span context: the producer's OriginNanos stamp corrected onto the
+    // server clock. Zero (legacy producer, tracing off, or a frame the
+    // shared deterministic sampler skipped) stays untraced; the sampler is
+    // re-evaluated here so an every-frame-stamping producer still costs
+    // O(1) samples downstream.
+    FrameTrace FT;
+    const FrameTrace *FTp = nullptr;
+    if (H.OriginNanos && Svc.pipeTracingEnabled() &&
+        traceSampled(Svc.config().Trace.Seed, W.ClientId, H.ClientSeq,
+                     Svc.config().Trace.SampleRatePpm)) {
+      int64_t Corr = static_cast<int64_t>(H.OriginNanos) + B.ClockOffset;
+      FT.OriginNanos = Corr > 0 ? static_cast<uint64_t>(Corr) : 1;
+      FT.FrameSeq = H.ClientSeq;
+      FT.Span = true;
+      FTp = &FT;
+    }
     bool Killed = false;
     if (!feedFrame(I, *B.S, A, HasCS ? &CS : nullptr, NSlots * SlotBytes,
-                   Draining, Killed)) {
+                   FTp, Draining, Killed)) {
       if (Killed)
         return Frames;
       break; // backpressured: the frame stays in the ring
@@ -427,13 +456,13 @@ size_t ShmServer::consumeRing(uint32_t I, bool Draining) {
 }
 
 bool ShmServer::feedFrame(uint32_t I, Session &S, const Action &A,
-                          const CommitSets *CS, uint32_t Bytes, bool Draining,
-                          bool &Killed) {
+                          const CommitSets *CS, uint32_t Bytes,
+                          const FrameTrace *FT, bool Draining, bool &Killed) {
   ShmRingHdr *R = Seg.ring(I);
   RingSw &W = Sw[I];
   unsigned Attempts = 0;
   for (;;) {
-    FeedResult FR = S.feedAction(A, CS, Bytes);
+    FeedResult FR = S.feedAction(A, CS, Bytes, FT);
     switch (FR.St) {
     case FeedResult::Status::Accepted:
       return true;
@@ -708,7 +737,7 @@ std::string ShmServer::healthJson(bool Interrupted) const {
       });
 }
 
-std::string ShmServer::metricsJson() const {
+TelemetrySnapshot ShmServer::metricsSnapshot() const {
   TelemetrySnapshot Snap = Svc.telemetry();
   ShmStats S = stats();
   Snap.addCounter("shm.claims", S.Claims);
@@ -733,5 +762,9 @@ std::string ShmServer::metricsJson() const {
   // document is 'full' regardless of the service telemetry level.
   if (Snap.Level < TelemetryLevel::Full)
     Snap.Level = TelemetryLevel::Full;
-  return renderMetricsJson(Snap, "goldilocks-shmserver");
+  return Snap;
+}
+
+std::string ShmServer::metricsJson() const {
+  return renderMetricsJson(metricsSnapshot(), "goldilocks-shmserver");
 }

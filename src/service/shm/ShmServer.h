@@ -129,8 +129,11 @@ public:
 
   /// Live gold-health-v1 document (service health + an "shm" section).
   std::string healthJson(bool Interrupted) const;
-  /// Live gold-metrics-v1 document (service telemetry + shm counters +
-  /// the enqueue-latency histogram).
+  /// The telemetry snapshot behind metricsJson(): service telemetry + shm
+  /// counters + the enqueue-latency histogram. This is what a shared
+  /// SnapshotProducer installs as its source.
+  TelemetrySnapshot metricsSnapshot() const;
+  /// Live gold-metrics-v1 document (renderMetricsJson of metricsSnapshot).
   std::string metricsJson() const;
 
 private:
@@ -141,6 +144,11 @@ private:
     Session *S = nullptr;
     uint64_t Expect = 0; ///< next ClientSeq the server will feed
     uint32_t OwnerRing = UINT32_MAX;
+    /// Client->server monotonic clock offset (server now minus the
+    /// producer's ClockOrigin header stamp, measured at claim). 0 for
+    /// legacy producers that never wrote ClockOrigin. Applied to
+    /// FrameHead::OriginNanos before it enters the service.
+    int64_t ClockOffset = 0;
   };
 
   /// Server-local per-ring consumer state (never in the segment: a
@@ -160,8 +168,8 @@ private:
   /// backpressure (frame stays). The caller passes the binding's session
   /// so the hot loop does one map lookup per batch, not per frame.
   bool feedFrame(uint32_t I, Session &S, const Action &A,
-                 const CommitSets *CS, uint32_t Bytes, bool Draining,
-                 bool &Killed);
+                 const CommitSets *CS, uint32_t Bytes, const FrameTrace *FT,
+                 bool Draining, bool &Killed);
   void serveClose(uint32_t I);
   /// Drains published frames, then quarantines the ring (Reaped).
   void reapRing(uint32_t I, bool PidDead);

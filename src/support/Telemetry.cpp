@@ -293,8 +293,8 @@ uint64_t FlightRecorder::dropped() const {
 // Chrome trace-event sink
 //===----------------------------------------------------------------------===//
 
-TraceEventSink::TraceEventSink(size_t MaxEvents)
-    : MaxEvents(MaxEvents ? MaxEvents : 1) {}
+TraceEventSink::TraceEventSink(size_t MaxEvents, uint32_t Pid)
+    : MaxEvents(MaxEvents ? MaxEvents : 1), Pid(Pid) {}
 
 uint64_t TraceEventSink::nowNanos() {
   return (uint64_t)std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -302,24 +302,42 @@ uint64_t TraceEventSink::nowNanos() {
       .count();
 }
 
-void TraceEventSink::span(const char *Name, const char *Category, uint32_t Tid,
-                          uint64_t StartNanos, uint64_t DurationNanos) {
+void TraceEventSink::push(const Ev &E) {
   std::lock_guard<std::mutex> G(Mu);
   if (Events.size() >= MaxEvents) {
     Dropped.fetch_add(1, std::memory_order_relaxed);
     return;
   }
-  Events.push_back(Ev{Name, Category, 'X', Tid, StartNanos, DurationNanos});
+  Events.push_back(E);
+}
+
+void TraceEventSink::span(const char *Name, const char *Category, uint32_t Tid,
+                          uint64_t StartNanos, uint64_t DurationNanos) {
+  push(Ev{Name, Category, 'X', Tid, StartNanos, DurationNanos, Pid, false, 0,
+          0, -1});
 }
 
 void TraceEventSink::instant(const char *Name, const char *Category,
                              uint32_t Tid, uint64_t Nanos) {
-  std::lock_guard<std::mutex> G(Mu);
-  if (Events.size() >= MaxEvents) {
-    Dropped.fetch_add(1, std::memory_order_relaxed);
-    return;
+  push(Ev{Name, Category, 'i', Tid, Nanos, 0, Pid, false, 0, 0, -1});
+}
+
+void TraceEventSink::spanTagged(const char *Name, const char *Category,
+                                uint32_t Tid, uint64_t StartNanos,
+                                uint64_t DurationNanos, uint64_t Client,
+                                uint64_t Seq, int32_t Shard) {
+  push(Ev{Name, Category, 'X', Tid, StartNanos, DurationNanos, Pid, true,
+          Client, Seq, Shard});
+}
+
+void TraceEventSink::mergeFrom(const TraceEventSink &Other) {
+  std::vector<Ev> Theirs;
+  {
+    std::lock_guard<std::mutex> G(Other.Mu);
+    Theirs = Other.Events;
   }
-  Events.push_back(Ev{Name, Category, 'i', Tid, Nanos, 0});
+  for (const Ev &E : Theirs)
+    push(E);
 }
 
 size_t TraceEventSink::size() const {
@@ -343,7 +361,12 @@ std::string TraceEventSink::json() const {
     Base = 0;
   JsonWriter J;
   J.beginObject();
+  J.kv("schema", "gold-trace-v1");
   J.kv("displayTimeUnit", "ns");
+  // The absolute monotonic base that "ts" was rebased against: a merger can
+  // restore each event's absolute time as ts_origin_nanos + ts*1000.
+  J.kv("ts_origin_nanos", Base);
+  J.kv("pid", (uint64_t)Pid);
   J.key("traceEvents");
   J.beginArray();
   for (const auto &E : Events) {
@@ -359,8 +382,17 @@ std::string TraceEventSink::json() const {
       J.kv("dur", E.DurNanos / 1000.0);
     else
       J.kv("s", "t"); // instant scope: thread
-    J.kv("pid", 1);
+    J.kv("pid", (uint64_t)E.Pid);
     J.kv("tid", E.Tid);
+    if (E.HasArgs) {
+      J.key("args");
+      J.beginObject();
+      J.kv("client", E.Client);
+      J.kv("seq", E.Seq);
+      if (E.Shard >= 0)
+        J.kv("shard", (uint64_t)E.Shard);
+      J.endObject();
+    }
     J.endObject();
   }
   J.endArray();

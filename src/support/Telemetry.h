@@ -318,17 +318,43 @@ private:
 
 /// Collects Chrome trace-event spans ("ph":"X") and instants ("ph":"i") and
 /// writes the JSON object format ({"traceEvents":[...]}) that Perfetto and
-/// chrome://tracing load. Bounded: past MaxEvents further events are counted
-/// as dropped, never stored. Name/category strings must be literals (or
-/// otherwise outlive the sink) — recording does not copy them.
+/// chrome://tracing load, wrapped as a "gold-trace-v1" document (extra
+/// top-level keys are ignored by viewers). Bounded: past MaxEvents further
+/// events are counted as dropped, never stored. Name/category strings must
+/// be literals (or otherwise outlive the sink) — recording does not copy
+/// them.
+///
+/// Cross-process merging: each sink carries a process id (default 1) that
+/// stamps its events' "pid" field, mergeFrom() folds another sink's events
+/// in preserving their pids, and the rendered document's "ts_origin_nanos"
+/// records the absolute monotonic base that "ts" values were rebased
+/// against — two same-host trace files can therefore be re-aligned onto one
+/// timeline (tools/merge_traces.py) without any ambiguity about which
+/// process's clock each ts came from.
 class TraceEventSink {
 public:
-  explicit TraceEventSink(size_t MaxEvents = 1u << 20);
+  explicit TraceEventSink(size_t MaxEvents = 1u << 20, uint32_t Pid = 1);
 
   void span(const char *Name, const char *Category, uint32_t Tid,
             uint64_t StartNanos, uint64_t DurationNanos);
   void instant(const char *Name, const char *Category, uint32_t Tid,
                uint64_t Nanos);
+  /// Span carrying per-frame identity args ({"client":..,"seq":..}) — the
+  /// join key that lets a consumer pair a server-side pipeline span with
+  /// the client-side span for the same frame across processes. \p Shard
+  /// (>= 0) additionally stamps {"shard":..}: one wire frame fans out to
+  /// one shard item per routed shard, and each copy's stage spans form
+  /// their own consistent wire+ring_wait+apply == e2e chain — the shard
+  /// arg is what lets a validator group the copies apart.
+  void spanTagged(const char *Name, const char *Category, uint32_t Tid,
+                  uint64_t StartNanos, uint64_t DurationNanos,
+                  uint64_t Client, uint64_t Seq, int32_t Shard = -1);
+
+  /// Appends \p Other's retained events (keeping their pids); events past
+  /// this sink's bound are counted as dropped.
+  void mergeFrom(const TraceEventSink &Other);
+
+  uint32_t pid() const { return Pid; }
 
   size_t size() const;
   uint64_t dropped() const;
@@ -349,11 +375,19 @@ private:
     uint32_t Tid;
     uint64_t TsNanos;
     uint64_t DurNanos;
+    uint32_t Pid;
+    bool HasArgs;
+    uint64_t Client;
+    uint64_t Seq;
+    int32_t Shard; ///< args.shard when >= 0 (multi-shard fan-out copies)
   };
+
+  void push(const Ev &E);
 
   mutable std::mutex Mu;
   std::vector<Ev> Events;
   const size_t MaxEvents;
+  const uint32_t Pid;
   std::atomic<uint64_t> Dropped{0};
 };
 

@@ -20,6 +20,8 @@
 #include "hb/HbOracle.h"
 #include "service/Backoff.h"
 #include "service/Service.h"
+#include "service/Snapshots.h"
+#include "service/Tracing.h"
 #include "service/net/Framer.h"
 #include "service/net/NetServer.h"
 #include "support/Failpoints.h"
@@ -28,6 +30,7 @@
 
 #include <atomic>
 #include <cerrno>
+#include <cstdlib>
 #include <chrono>
 #include <cstring>
 #include <functional>
@@ -492,9 +495,142 @@ TEST(NetServerTest, ScrapeServesHealthAndRejectsUnknownPaths) {
   EXPECT_EQ(FX.Net->stats().ScrapeRequests, 3u);
 }
 
+TEST(NetServerTest, ScrapeStreamsBodiesLargerThanTheWriteQueue) {
+  // Regression: a /metrics document bigger than the bounded write queue
+  // must arrive complete. The response is streamed in WriteQueueCapBytes
+  // chunks, and the NetWriteStall failpoint forces the partial-progress
+  // path (flushes skipped mid-body) that used to truncate the reply.
+  FailpointConfig FC;
+  FC.Seed = 11;
+  FC.rate(Failpoint::NetWriteStall, 200000); // skip 20% of flushes
+  FailpointScope Scope(FC);
+
+  ServiceConfig SC;
+  SC.Telemetry = TelemetryLevel::Full;
+  SC.Trace.Enabled = true; // registers the pipe.* histograms: bigger doc
+  SC.Trace.SampleRatePpm = 1000000;
+  NetConfig NC;
+  NC.Scrape = true;
+  NC.WriteQueueCapBytes = 512; // far smaller than the document
+  NetFixture FX;
+  FX.init(NC, SC);
+
+  // Populate the histograms directly so the document carries real buckets.
+  DetectionService::OpenResult O = FX.Svc->open(1);
+  ASSERT_NE(O.S, nullptr) << O.Error;
+  std::vector<std::string> Lines = traceLines(smallRandomTrace(40));
+  for (size_t I = 0; I != Lines.size(); ++I) {
+    FrameTrace FT;
+    FT.OriginNanos = 1;
+    FT.FrameSeq = I;
+    FT.Span = true;
+    FeedResult R;
+    do {
+      R = O.S->feedLine(Lines[I], &FT);
+      if (R.St == FeedResult::Status::Backpressure)
+        FX.Svc->pumpAll();
+    } while (R.St == FeedResult::Status::Backpressure);
+    ASSERT_EQ(R.St, FeedResult::Status::Accepted) << R.Error;
+  }
+  FX.Svc->pumpAll();
+  FX.Svc->poll();
+
+  TClient M;
+  ASSERT_TRUE(M.connectTo(FX.Net->scrapePort()));
+  ASSERT_TRUE(M.sendRaw("GET /metrics HTTP/1.0\r\n\r\n"));
+  std::string Resp = M.readAll(FX.pump(), 20000);
+  ASSERT_NE(Resp.find("200 OK"), std::string::npos);
+  size_t ClAt = Resp.find("Content-Length: ");
+  ASSERT_NE(ClAt, std::string::npos);
+  size_t ContentLength = std::strtoull(Resp.c_str() + ClAt + 16, nullptr, 10);
+  size_t HdrEnd = Resp.find("\r\n\r\n");
+  ASSERT_NE(HdrEnd, std::string::npos);
+  std::string Body = Resp.substr(HdrEnd + 4);
+  // The whole point: the advertised length survives stalls and chunking.
+  EXPECT_EQ(Body.size(), ContentLength);
+  ASSERT_GT(Body.size(), NC.WriteQueueCapBytes)
+      << "document no longer exercises the streaming path";
+  EXPECT_EQ(Body.front(), '{');
+  EXPECT_NE(Body.find("gold-metrics-v1"), std::string::npos);
+  EXPECT_NE(Body.find("pipe.wire"), std::string::npos);
+}
+
+TEST(NetServerTest, HistoryEndpointServesTheRingAndUnboundIs404) {
+  NetConfig NC;
+  NC.Scrape = true;
+  NetFixture FX;
+  FX.init(NC);
+
+  // No producer bound: the endpoint exists but reports itself disabled.
+  TClient Off;
+  ASSERT_TRUE(Off.connectTo(FX.Net->scrapePort()));
+  ASSERT_TRUE(Off.sendRaw("GET /metrics/history HTTP/1.0\r\n\r\n"));
+  EXPECT_NE(Off.readAll(FX.pump()).find("404"), std::string::npos);
+
+  // One producer feeds both --metrics-interval-ms snapshots and this ring;
+  // binding it turns the endpoint on with whatever the ring holds.
+  SnapshotProducer::Config PC;
+  PC.HistoryCapacity = 8;
+  SnapshotProducer P(PC, [&] { return FX.Net->metricsSnapshot(); });
+  P.sample(1000000000ull); // primes the baseline
+  P.sample(3000000000ull); // first real delta sample
+  FX.Net->bindHistory(&P);
+
+  TClient On;
+  ASSERT_TRUE(On.connectTo(FX.Net->scrapePort()));
+  ASSERT_TRUE(On.sendRaw("GET /metrics/history HTTP/1.0\r\n\r\n"));
+  std::string Resp = On.readAll(FX.pump());
+  EXPECT_NE(Resp.find("200 OK"), std::string::npos);
+  EXPECT_NE(Resp.find("gold-timeseries-v1"), std::string::npos);
+  EXPECT_NE(Resp.find("\"dt_secs\":2"), std::string::npos) << Resp;
+  EXPECT_NE(Resp.find("\"capacity\":8"), std::string::npos);
+}
+
 //===----------------------------------------------------------------------===//
 // Deadlines, heartbeats, bounded write queues (manual clock)
 //===----------------------------------------------------------------------===//
+
+TEST(NetServerTest, OpenClockHandshakeCorrectsOriginStamps) {
+  // The wire carries client-monotonic origins; the open handshake measures
+  // the offset and every subsequent stamp is corrected into the server's
+  // domain before the wire-stage histogram sees it. Manual clock makes the
+  // arithmetic exact: server=1000 at open, client says 500 -> offset +500;
+  // at admission (server=2000) a frame stamped @600 corrects to 1100, so
+  // the wire stage records exactly 900ns.
+  ServiceConfig SC;
+  SC.Shards = 1;
+  SC.Telemetry = TelemetryLevel::Full;
+  SC.Trace.Enabled = true;
+  SC.Trace.SampleRatePpm = 1000000;
+  NetConfig NC;
+  NetFixture FX;
+  FX.init(NC, SC, /*ManualClock=*/true); // clock starts at 1000
+
+  TClient C;
+  ASSERT_TRUE(C.connectTo(FX.Net->port()));
+  ASSERT_TRUE(C.sendRaw("open 1 1 t=500\n"));
+  std::string L;
+  ASSERT_TRUE(C.readLine(L, FX.pump()));
+  ASSERT_EQ(L.rfind("ok open 1", 0), 0u) << L;
+
+  FX.Clock->store(2000, std::memory_order_relaxed);
+  ASSERT_TRUE(C.sendRaw("line 1 0 @600 fork 0 1\n"));
+  ASSERT_TRUE(C.sendRaw("stat 1\n"));
+  ASSERT_TRUE(C.readLine(L, FX.pump()));
+  ASSERT_NE(L.find("expect=1"), std::string::npos) << L;
+  FX.Svc->pumpAll();
+  FX.Svc->poll();
+
+  TelemetrySnapshot Snap = FX.Svc->telemetry();
+  const HistogramSnapshot *Wire = nullptr;
+  for (const auto &HS : Snap.Histograms)
+    if (HS.Name == "pipe.wire")
+      Wire = &HS;
+  ASSERT_NE(Wire, nullptr);
+  EXPECT_EQ(Wire->Count, 1u);
+  EXPECT_EQ(Wire->Sum, 900u) << "origin not corrected by the open offset";
+  EXPECT_GE(FX.Svc->spanSink()->size(), 1u);
+}
 
 TEST(NetServerTest, HeartbeatThenReadDeadlineClosesHalfOpenPeer) {
   NetConfig NC;

@@ -12,6 +12,9 @@
 
 #include "gtest/gtest.h"
 
+#include <algorithm>
+#include <array>
+#include <cstdlib>
 #include <string>
 #include <thread>
 #include <vector>
@@ -268,4 +271,135 @@ TEST(TraceEventSinkTest, NowNanosIsMonotonic) {
   uint64_t A = TraceEventSink::nowNanos();
   uint64_t B = TraceEventSink::nowNanos();
   EXPECT_LE(A, B);
+}
+
+namespace {
+
+/// Walks the rendered traceEvents array and hands (tid, ts) to \p Fn in
+/// document order. Events are flat objects, so string scanning suffices.
+template <typename Fn> size_t forEachEvent(const std::string &J, Fn &&F) {
+  size_t N = 0;
+  size_t Pos = J.find("{\"name\":\"");
+  while (Pos != std::string::npos) {
+    size_t Next = J.find("{\"name\":\"", Pos + 1);
+    std::string Ev = J.substr(
+        Pos, Next == std::string::npos ? J.size() - Pos : Next - Pos);
+    size_t TsAt = Ev.find("\"ts\":");
+    size_t TidAt = Ev.find("\"tid\":");
+    if (TsAt != std::string::npos && TidAt != std::string::npos) {
+      ++N;
+      F(std::strtoul(Ev.c_str() + TidAt + 6, nullptr, 10),
+        std::strtod(Ev.c_str() + TsAt + 5, nullptr), Ev);
+    }
+    Pos = Next;
+  }
+  return N;
+}
+
+} // namespace
+
+TEST(TraceEventSinkTest, ConcurrentTaggedEmissionStaysConsistent) {
+  // The span ring is fed from many threads at once (every shard consumer
+  // plus the transports): nothing may be lost below the bound, each
+  // thread's emission order must survive into the document (per-tid ts
+  // monotonic), and the rendered JSON must stay structurally valid — no
+  // torn events from interleaved writers.
+  TraceEventSink Sink(1u << 16, /*Pid=*/42);
+  constexpr unsigned Threads = 8;
+  constexpr unsigned PerThread = 500;
+  std::vector<std::thread> Ts;
+  for (unsigned T = 0; T != Threads; ++T)
+    Ts.emplace_back([&Sink, T] {
+      for (unsigned I = 0; I != PerThread; ++I)
+        Sink.spanTagged("apply", "pipe", /*Tid=*/T,
+                        /*StartNanos=*/uint64_t(I) * 1000 + T,
+                        /*DurationNanos=*/500, /*Client=*/T, /*Seq=*/I,
+                        /*Shard=*/static_cast<int32_t>(T % 4));
+    });
+  for (auto &T : Ts)
+    T.join();
+  ASSERT_EQ(Sink.size(), size_t(Threads) * PerThread);
+  EXPECT_EQ(Sink.dropped(), 0u);
+
+  std::string J = Sink.json();
+  // Structural validity: braces/brackets balance and never go negative
+  // outside string literals.
+  int Depth = 0, MinDepth = 0;
+  bool InStr = false, Esc = false;
+  for (char C : J) {
+    if (Esc) {
+      Esc = false;
+      continue;
+    }
+    if (InStr) {
+      if (C == '\\')
+        Esc = true;
+      else if (C == '"')
+        InStr = false;
+      continue;
+    }
+    if (C == '"')
+      InStr = true;
+    else if (C == '{' || C == '[')
+      ++Depth;
+    else if (C == '}' || C == ']')
+      MinDepth = std::min(MinDepth, --Depth);
+  }
+  EXPECT_EQ(Depth, 0);
+  EXPECT_EQ(MinDepth, 0);
+  EXPECT_FALSE(InStr);
+
+  // Every event made it into the document, pid-stamped, and each thread's
+  // ts sequence is monotone (start times increase per thread and the
+  // mutexed push preserves per-thread order).
+  std::array<double, Threads> LastTs;
+  LastTs.fill(-1.0);
+  std::array<size_t, Threads> Seen{};
+  size_t N = forEachEvent(J, [&](unsigned long Tid, double Ts,
+                                 const std::string &Ev) {
+    ASSERT_LT(Tid, Threads);
+    EXPECT_NE(Ev.find("\"pid\":42"), std::string::npos);
+    EXPECT_GE(Ts, LastTs[Tid]) << "tid " << Tid;
+    LastTs[Tid] = Ts;
+    ++Seen[Tid];
+  });
+  EXPECT_EQ(N, size_t(Threads) * PerThread);
+  for (unsigned T = 0; T != Threads; ++T)
+    EXPECT_EQ(Seen[T], PerThread) << "tid " << T;
+}
+
+TEST(TraceEventSinkTest, MergeFromPreservesPidsAndRebasesTheTimeline) {
+  // Cross-process merging: a merged document must keep each event's origin
+  // pid (the join identity in a multi-process trace) while rebasing every
+  // ts against the one global minimum.
+  TraceEventSink A(/*MaxEvents=*/16, /*Pid=*/7);
+  TraceEventSink B(/*MaxEvents=*/16, /*Pid=*/9);
+  A.spanTagged("client_e2e", "pipe", /*Tid=*/1, /*Start=*/5000, /*Dur=*/1000,
+               /*Client=*/1, /*Seq=*/0);
+  A.span("flush", "pipe", /*Tid=*/1, /*Start=*/9000, /*Dur=*/500);
+  B.spanTagged("wire", "pipe", /*Tid=*/2, /*Start=*/6000, /*Dur=*/800,
+               /*Client=*/1, /*Seq=*/0);
+
+  TraceEventSink M(/*MaxEvents=*/16, /*Pid=*/1);
+  M.mergeFrom(A);
+  M.mergeFrom(B);
+  EXPECT_EQ(M.size(), 3u);
+  EXPECT_EQ(M.dropped(), 0u);
+  std::string J = M.json();
+  EXPECT_NE(J.find("\"pid\":7"), std::string::npos) << J;
+  EXPECT_NE(J.find("\"pid\":9"), std::string::npos) << J;
+  // Rebase: the global minimum (5000ns) becomes the origin; the earliest
+  // event renders at ts 0 and the rest keep their relative offsets in us.
+  EXPECT_NE(J.find("\"ts_origin_nanos\":5000"), std::string::npos) << J;
+  EXPECT_NE(J.find("\"ts\":0,"), std::string::npos) << J;
+  EXPECT_NE(J.find("\"ts\":1,"), std::string::npos) << J; // 6000ns
+  EXPECT_NE(J.find("\"ts\":4,"), std::string::npos) << J; // 9000ns
+
+  // The merge target's bound still holds — overflow is counted, not lost
+  // silently.
+  TraceEventSink Tiny(/*MaxEvents=*/2, /*Pid=*/1);
+  Tiny.mergeFrom(A);
+  Tiny.mergeFrom(B);
+  EXPECT_EQ(Tiny.size(), 2u);
+  EXPECT_EQ(Tiny.dropped(), 1u);
 }

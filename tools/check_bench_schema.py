@@ -9,6 +9,11 @@ invariants, not just well-formedness:
   gold-metrics-v1      goldilocks-trace / goldilocks-serve --metrics-json
   gold-health-v1       goldilocks-serve --health-json (service + shards)
   gold-race-report-v1  goldilocks-trace --race-report
+  gold-trace-v1        goldilocks-serve / net_chaos_client --trace-out and
+                       merge_traces.py output (pipeline span traces); checks
+                       the per-frame stage-sum invariant
+                       wire + ring_wait + apply <= e2e
+  gold-timeseries-v1   goldilocks-serve /metrics/history (time-series ring)
   Chrome trace events  goldilocks-trace --trace-out (Perfetto-loadable)
 
 Usage: check_bench_schema.py FILE [FILE...]
@@ -149,6 +154,24 @@ def check_net_run(r, ctx):
     if not 0 <= p50 <= p99 <= lmax:
         raise Bad(f"{ctx}: frame latency quantiles not ordered "
                   f"(p50 {p50}, p99 {p99}, max {lmax})")
+    # Client-stamped end-to-end latency (PR 10): emitted by every run, and
+    # the quantiles must be ordered just like the server-side frame series.
+    e2e_frames = need(r, "e2e_frames", int, ctx)
+    if e2e_frames < 0:
+        raise Bad(f"{ctx}: negative 'e2e_frames'")
+    ep50 = need(r, "p50_e2e_latency_nanos", int, ctx)
+    ep99 = need(r, "p99_e2e_latency_nanos", int, ctx)
+    emax = need(r, "max_e2e_latency_nanos", int, ctx)
+    if not 0 <= ep50 <= ep99 <= emax:
+        raise Bad(f"{ctx}: e2e latency quantiles not ordered "
+                  f"(p50 {ep50}, p99 {ep99}, max {emax})")
+    # The e2e series covers a frame's whole round trip, so its p99 can never
+    # undercut the server-side ingest-to-verdict p99 on the same run... but
+    # the two histograms sample different populations (client clock vs ring
+    # clock), so only the trivially safe bound is asserted: a run that
+    # recorded e2e samples must have accepted frames.
+    if e2e_frames and need(r, "frames_in", int, ctx) == 0:
+        raise Bad(f"{ctx}: e2e_frames {e2e_frames} without any frames_in")
     compared = need(r, "clients_compared", int, ctx)
     diverged = need(r, "verdict_divergence", int, ctx)
     if diverged > compared:
@@ -220,6 +243,51 @@ def check_net_ab(doc, runs, path):
                       f"p99 {tcp_p99}")
 
 
+def check_traced_ab(doc, path):
+    """bench_observability's traced-vs-untraced transport ablation (PR 10):
+    each rep pairs an untraced and a traced run of the same transport, the
+    recorded ratio must be the ratio of the recorded runs, and the per-
+    transport medians must match the rep population.  When the bench ran
+    with --assert-traced-ab the acceptance gate (median ratio >= 0.97,
+    i.e. tracing-on within noise of tracing-off) must hold in the artifact,
+    not just in the exit status."""
+    reps = need(doc, "traced_transport_ab", list, path)
+    if not reps:
+        raise Bad(f"{path}: empty 'traced_transport_ab' array")
+    ratios = {"tcp": [], "shm": []}
+    for i, r in enumerate(reps):
+        ctx = f"{path}.traced_transport_ab[{i}]"
+        transport = need(r, "transport", str, ctx)
+        if transport not in ratios:
+            raise Bad(f"{ctx}: unknown transport {transport!r}")
+        need(r, "rep", int, ctx)
+        off = need(r, "untraced_frames_per_sec", (int, float), ctx)
+        on = need(r, "traced_frames_per_sec", (int, float), ctx)
+        if off <= 0 or on <= 0:
+            raise Bad(f"{ctx}: non-positive frames/s (off {off}, on {on})")
+        ratio = need(r, "traced_over_untraced_ratio", (int, float), ctx)
+        expect = on / off
+        if abs(ratio - expect) > max(1e-3 * expect, 1e-9):
+            raise Bad(f"{ctx}: ratio {ratio} inconsistent with "
+                      f"{on}/{off} = {expect}")
+        ratios[transport].append(ratio)
+    for transport, key in (("tcp", "traced_ab_tcp_median_ratio"),
+                           ("shm", "traced_ab_shm_median_ratio")):
+        if not ratios[transport]:
+            raise Bad(f"{path}: no '{transport}' reps in traced_transport_ab")
+        med = need(doc, key, (int, float), path)
+        vals = sorted(ratios[transport])
+        mid = len(vals) // 2
+        expect = (vals[mid] if len(vals) % 2
+                  else (vals[mid - 1] + vals[mid]) / 2)
+        if abs(med - expect) > max(1e-3 * expect, 1e-9):
+            raise Bad(f"{path}: {key} {med} inconsistent with rep "
+                      f"median {expect}")
+        if need(doc, "asserted_traced_ab", bool, path) and med < 0.97:
+            raise Bad(f"{path}: asserted {transport} median ratio {med} "
+                      f"below the 0.97 within-noise gate")
+
+
 def check_tiers(doc, path):
     """bench_tiers: the adaptive-precision pipeline artifact. The escalation
     rows must show tiered mode at the same verdicts with no more pair checks
@@ -280,6 +348,8 @@ def check_bench(doc, path):
     need(doc, "utc", str, path)
     if doc["bench"] == "bench_tiers":
         check_tiers(doc, path)
+    if "traced_transport_ab" in doc:
+        check_traced_ab(doc, path)
     runs = doc.get("runs")
     if runs is not None:
         if not isinstance(runs, list) or not runs:
@@ -363,6 +433,117 @@ def check_race_report(doc, path):
                 prev = seq
 
 
+def check_pipe_trace(doc, path):
+    """gold-trace-v1: pipeline span traces from TraceEventSink::json (one
+    process, top-level 'pid') or merge_traces.py ('pids' + 'merged_from').
+
+    Beyond well-formedness this checks the invariant the whole span model is
+    built around: for every sampled frame the three pipeline stages tile the
+    end-to-end span exactly, so wire + ring_wait + apply <= e2e (with a tiny
+    float tolerance — ts/dur are microseconds with ns precision).  Spans are
+    grouped by (pid, tid, client, seq, shard): a frame routed to multiple
+    shards fans out into one chain per shard copy, and args.shard is what
+    keeps those copies from being mixed into one bogus group."""
+    if need(doc, "displayTimeUnit", str, path) != "ns":
+        raise Bad(f"{path}: displayTimeUnit is not 'ns'")
+    if need(doc, "ts_origin_nanos", int, path) < 0:
+        raise Bad(f"{path}: negative ts_origin_nanos")
+    merged = "pids" in doc
+    if merged:
+        pids = need(doc, "pids", list, path)
+        if not all(isinstance(p, int) for p in pids):
+            raise Bad(f"{path}: non-integer entry in 'pids'")
+        if need(doc, "merged_from", int, path) != len(pids):
+            raise Bad(f"{path}: merged_from disagrees with len(pids)")
+        known_pids = set(pids)
+    else:
+        known_pids = {need(doc, "pid", int, path)}
+    events = need(doc, "traceEvents", list, path)
+    stages = {}  # (pid, tid, client, seq, shard) -> {stage: dur_us}
+    for i, e in enumerate(events):
+        ctx = f"{path}.traceEvents[{i}]"
+        name = need(e, "name", str, ctx)
+        ph = need(e, "ph", str, ctx)
+        if ph not in ("X", "i"):
+            raise Bad(f"{ctx}: unexpected phase {ph!r}")
+        if need(e, "ts", (int, float), ctx) < 0:
+            raise Bad(f"{ctx}: negative ts")
+        dur = 0.0
+        if ph == "X":
+            dur = need(e, "dur", (int, float), ctx)
+            if dur < 0:
+                raise Bad(f"{ctx}: negative dur")
+        pid = need(e, "pid", int, ctx)
+        if pid not in known_pids:
+            raise Bad(f"{ctx}: pid {pid} not declared at top level")
+        tid = need(e, "tid", int, ctx)
+        if e.get("cat") != "pipe" or ph != "X":
+            continue
+        args = need(e, "args", dict, ctx)
+        key = (pid, tid, need(args, "client", int, f"{ctx}.args"),
+               need(args, "seq", int, f"{ctx}.args"), args.get("shard", -1))
+        chain = stages.setdefault(key, {})
+        if name in ("wire", "ring_wait", "apply", "e2e"):
+            # A frame's stage chain is emitted exactly once per shard copy;
+            # a second copy under the same key is an attribution bug.  Other
+            # pipe spans (verdict, client_e2e) legitimately repeat: one
+            # frame can deliver many race verdicts.
+            if name in chain:
+                raise Bad(f"{ctx}: duplicate '{name}' span for frame {key}")
+            chain[name] = dur
+    chains = 0
+    for key, chain in stages.items():
+        if "e2e" not in chain:
+            continue  # client_e2e / verdict-only groups carry no stage sum
+        chains += 1
+        parts = sum(chain.get(s, 0.0) for s in ("wire", "ring_wait", "apply"))
+        # 1ns per stage of float slack: ts/dur went through a /1000.0.
+        if parts > chain["e2e"] + 0.004:
+            raise Bad(f"{path}: frame {key}: stage sum {parts}us exceeds "
+                      f"e2e {chain['e2e']}us")
+    return chains
+
+
+def check_timeseries(doc, path):
+    """gold-timeseries-v1: the /metrics/history ring. Samples must be in
+    time order with positive observation windows, rates non-negative, and
+    every histogram's quantiles ordered."""
+    need(doc, "source", str, path)
+    need(doc, "interval_hint_ms", int, path)
+    capacity = need(doc, "capacity", int, path)
+    if capacity <= 0:
+        raise Bad(f"{path}: non-positive capacity")
+    if need(doc, "forgotten", int, path) < 0:
+        raise Bad(f"{path}: negative forgotten")
+    samples = need(doc, "samples", list, path)
+    if len(samples) > capacity:
+        raise Bad(f"{path}: {len(samples)} samples exceed capacity "
+                  f"{capacity}")
+    prev_t = -1
+    for i, s in enumerate(samples):
+        ctx = f"{path}.samples[{i}]"
+        t = need(s, "t_unix_ms", int, ctx)
+        if t < prev_t:
+            raise Bad(f"{ctx}: t_unix_ms went backwards")
+        prev_t = t
+        if need(s, "dt_secs", (int, float), ctx) <= 0:
+            raise Bad(f"{ctx}: non-positive dt_secs")
+        check_counter_map(need(s, "rates", dict, ctx), f"{ctx}.rates")
+        for name, g in need(s, "gauges", dict, ctx).items():
+            if not isinstance(g, int) or isinstance(g, bool):
+                raise Bad(f"{ctx}.gauges.{name}: bad gauge {g!r}")
+        for name, h in need(s, "histograms", dict, ctx).items():
+            hctx = f"{ctx}.histograms.{name}"
+            if not isinstance(h, dict):
+                raise Bad(f"{hctx}: expected an object")
+            if need(h, "count", int, hctx) < 0:
+                raise Bad(f"{hctx}: negative count")
+            p50 = need(h, "p50", int, hctx)
+            p99 = need(h, "p99", int, hctx)
+            if not 0 <= p50 <= p99:
+                raise Bad(f"{hctx}: p50 {p50} > p99 {p99}")
+
+
 def check_chrome_trace(doc, path):
     events = need(doc, "traceEvents", list, path)
     for i, e in enumerate(events):
@@ -393,6 +574,11 @@ def check_file(path):
         check_service_health(doc, path)
     elif schema == "gold-race-report-v1":
         check_race_report(doc, path)
+    elif schema == "gold-trace-v1":
+        chains = check_pipe_trace(doc, path)
+        schema = f"gold-trace-v1, {chains} stage chains"
+    elif schema == "gold-timeseries-v1":
+        check_timeseries(doc, path)
     elif schema is None and "traceEvents" in doc:
         check_chrome_trace(doc, path)
         schema = "chrome-trace"

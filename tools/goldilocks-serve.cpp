@@ -123,6 +123,10 @@ enum class Opt {
   MetricsJson,
   HealthJson,
   MetricsIntervalMs,
+  HistoryCapacity,
+  TracePpm,
+  TraceSeed,
+  TraceOut,
   Listen,
   ScrapePort,
   ShmPath,
@@ -179,7 +183,20 @@ constexpr OptSpec Options[] = {
      "write the final service health snapshot as JSON at exit"},
     {Opt::MetricsIntervalMs, "--metrics-interval-ms", "<n>",
      "additionally rewrite --metrics-json/--health-json (and print a "
-     "health line) every n ms while running, not just at exit"},
+     "health line) every n ms while running, not just at exit; also "
+     "feeds the /metrics/history time-series ring"},
+    {Opt::HistoryCapacity, "--history-capacity", "<n>",
+     "delta samples retained by the /metrics/history ring (default 512)"},
+    {Opt::TracePpm, "--trace-ppm", "<0..1000000>",
+     "enable end-to-end pipeline tracing: this ppm sample of frames gets "
+     "per-stage pipe.* histogram attribution plus Chrome spans (see "
+     "DESIGN.md §18)"},
+    {Opt::TraceSeed, "--trace-seed", "<n>",
+     "sampling seed for span selection (default 1; give clients the same "
+     "seed/ppm so client and server sample identical frames)"},
+    {Opt::TraceOut, "--trace-out", "<path>",
+     "write the sampled spans as a gold-trace-v1 (Chrome trace) file at "
+     "exit (implies --trace-ppm 10000 unless given)"},
     {Opt::Listen, "--listen", "<port>",
      "socket mode: accept line-protocol clients on this TCP port "
      "(0 picks an ephemeral port; a 'listening port=...' line is printed)"},
@@ -535,6 +552,10 @@ int main(int Argc, char **Argv) {
   unsigned SoakSteps = 40, SoakThreads = 4;
   uint64_t Seed = 1, DurationMs = 0, IdleTimeoutMs = 0;
   uint64_t MetricsIntervalMs = 0;
+  size_t HistoryCap = 512;
+  bool TraceSet = false;
+  bool TelemetrySet = false;
+  std::string TraceOutPath;
   bool ListenSet = false, ScrapeSet = false;
   uint16_t ListenPort = 0, ScrapePortNum = 0;
   shm::ShmConfig ShmC;
@@ -617,6 +638,7 @@ int main(int Argc, char **Argv) {
                      V);
         return 126;
       }
+      TelemetrySet = true;
       break;
     case Opt::MetricsJson:
       MetricsJsonPath = V;
@@ -626,6 +648,25 @@ int main(int Argc, char **Argv) {
       break;
     case Opt::MetricsIntervalMs:
       MetricsIntervalMs = ParseUnsigned(false);
+      break;
+    case Opt::HistoryCapacity:
+      HistoryCap = static_cast<size_t>(ParseUnsigned(false));
+      break;
+    case Opt::TracePpm: {
+      uint64_t N = ParseUnsigned(true);
+      if (N > 1000000) {
+        std::fprintf(stderr, "--trace-ppm wants 0..1000000, got '%s'\n", V);
+        return 126;
+      }
+      SC.Trace.SampleRatePpm = static_cast<uint32_t>(N);
+      TraceSet = true;
+      break;
+    }
+    case Opt::TraceSeed:
+      SC.Trace.Seed = ParseUnsigned(true);
+      break;
+    case Opt::TraceOut:
+      TraceOutPath = V;
       break;
     case Opt::Listen: {
       uint64_t N = ParseUnsigned(true);
@@ -686,6 +727,13 @@ int main(int Argc, char **Argv) {
     }
   }
   SC.IdleTimeoutNanos = IdleTimeoutMs * 1000000ull;
+  if (TraceSet || !TraceOutPath.empty()) {
+    SC.Trace.Enabled = true;
+    // Stage attribution lands in pipe.* histograms, a full-telemetry
+    // surface: tracing implies full unless the operator said otherwise.
+    if (!TelemetrySet)
+      SC.Telemetry = TelemetryLevel::Full;
+  }
 
   std::optional<FailpointScope> Chaos;
   if (AnyFailpoint) {
@@ -736,13 +784,30 @@ int main(int Argc, char **Argv) {
     std::fflush(stdout);
   }
 
-  // One renderer for every snapshot that leaves the process — periodic,
-  // exit-time, and (in socket mode) the live scrape endpoint all produce
-  // identical documents.
+  // One SnapshotProducer behind every live render path: the interval
+  // emitter, the exit-time metrics artifact, and the scrape port's
+  // /metrics/history ring all pull from this single source, so the
+  // documents can never drift between paths.
   // Artifact precedence when several front ends are live: the shm document
   // embeds service health plus the shm.* section, so it wins over the net
   // document for the file artifacts; the HTTP scrape endpoint always serves
   // the net renderer's own view regardless.
+  SnapshotProducer::Config PC;
+  PC.Source = Shm ? "goldilocks-shmserver"
+              : Net ? "goldilocks-netserver"
+                    : "goldilocks-serve";
+  PC.HistoryCapacity = HistoryCap;
+  PC.IntervalHintMillis = MetricsIntervalMs ? MetricsIntervalMs : 1000;
+  SnapshotProducer Producer(PC, [&]() -> TelemetrySnapshot {
+    if (Shm)
+      return Shm->metricsSnapshot();
+    if (Net)
+      return Net->metricsSnapshot();
+    return Svc.telemetry();
+  });
+  if (Net)
+    Net->bindHistory(&Producer);
+
   auto EmitSnapshots = [&](bool Final) -> bool {
     bool Ok = true;
     if (!HealthJsonPath.empty()) {
@@ -762,10 +827,7 @@ int main(int Argc, char **Argv) {
       }
     }
     if (!MetricsJsonPath.empty()) {
-      std::string Doc =
-          Shm   ? Shm->metricsJson()
-          : Net ? Net->metricsJson()
-                : renderMetricsJson(Svc.telemetry(), "goldilocks-serve");
+      std::string Doc = Producer.metricsJson();
       std::ofstream Out(MetricsJsonPath);
       if (Out)
         Out << Doc << '\n';
@@ -798,6 +860,7 @@ int main(int Argc, char **Argv) {
         }
         if (SnapStop.load(std::memory_order_relaxed))
           return;
+        Producer.sample(Svc.nowNanos());
         EmitSnapshots(/*Final=*/false);
         std::printf("health %s\n", Svc.health().str().c_str());
         std::fflush(stdout);
@@ -846,6 +909,13 @@ int main(int Argc, char **Argv) {
   std::printf("final %s\n", H.str().c_str());
   std::fflush(stdout);
 
+  if (!TraceOutPath.empty() && Svc.spanSink()) {
+    if (!Svc.spanSink()->writeFile(TraceOutPath)) {
+      std::fprintf(stderr, "error: failed to write %s\n",
+                   TraceOutPath.c_str());
+      return 126;
+    }
+  }
   if (!EmitSnapshots(/*Final=*/true))
     return 126;
   return Rc;

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Merge per-process gold-trace-v1 Chrome traces into one timeline.
+
+Each TraceEventSink writes its events with "ts" rebased to the process's
+own earliest event and records the absolute monotonic base it subtracted
+as "ts_origin_nanos".  Processes on the same host share the monotonic
+clock (and the server corrects client origin stamps onto its own clock via
+the open/claim handshake), so restoring every event to absolute nanos
+(ts_origin_nanos + ts*1000) and rebasing the union against the global
+minimum yields one consistent cross-process timeline: server pipe spans
+and client client_e2e spans for the same (client, seq) line up.
+
+Events keep their original pid/tid; the merged document carries the full
+pid list so a validator can check no process was lost.
+
+Usage:
+    merge_traces.py -o merged.json server-trace.json client-trace.json ...
+
+Stdlib only; the C++ side never parses JSON.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_trace(path):
+    with open(path, "r") as f:
+        doc = json.load(f)
+    if doc.get("schema") != "gold-trace-v1":
+        raise ValueError(f"{path}: not a gold-trace-v1 document "
+                         f"(schema={doc.get('schema')!r})")
+    if not isinstance(doc.get("traceEvents"), list):
+        raise ValueError(f"{path}: missing traceEvents array")
+    return doc
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("-o", "--output", required=True,
+                    help="merged gold-trace-v1 output path")
+    ap.add_argument("traces", nargs="+", help="gold-trace-v1 input files")
+    args = ap.parse_args()
+
+    docs = []
+    for path in args.traces:
+        try:
+            docs.append((path, load_trace(path)))
+        except (OSError, ValueError, json.JSONDecodeError) as e:
+            print(f"merge_traces: {e}", file=sys.stderr)
+            return 1
+
+    # Restore absolute nanos per event, then rebase to the global minimum.
+    absolute = []  # (abs_ns, event)
+    pids = set()
+    for path, doc in docs:
+        origin = int(doc.get("ts_origin_nanos", 0))
+        pids.add(int(doc.get("pid", 0)))
+        for ev in doc["traceEvents"]:
+            abs_ns = origin + int(round(float(ev.get("ts", 0)) * 1000.0))
+            absolute.append((abs_ns, ev))
+    base = min((ns for ns, _ in absolute), default=0)
+
+    merged_events = []
+    for abs_ns, ev in sorted(absolute, key=lambda p: p[0]):
+        out = dict(ev)
+        out["ts"] = (abs_ns - base) / 1000.0
+        merged_events.append(out)
+
+    merged = {
+        "schema": "gold-trace-v1",
+        "displayTimeUnit": "ns",
+        "ts_origin_nanos": base,
+        "pids": sorted(pids),
+        "merged_from": len(docs),
+        "traceEvents": merged_events,
+    }
+    with open(args.output, "w") as f:
+        json.dump(merged, f)
+        f.write("\n")
+    print(f"merge_traces: {len(merged_events)} events from {len(docs)} "
+          f"process(es) -> {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

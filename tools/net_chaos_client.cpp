@@ -30,6 +30,7 @@
 #include "hb/HbOracle.h"
 #include "service/net/Protocol.h"
 #include "support/Failpoints.h"
+#include "support/Telemetry.h"
 
 #include <algorithm>
 #include <chrono>
@@ -75,7 +76,18 @@ struct Params {
   uint32_t ShmCorruptPpm = 0; ///< shm-slot-corrupt firing rate
   unsigned StallMicros = 0;   ///< stall length; must exceed the server's
                               ///< wedge timeout to force reaps
+  bool Trace = false;         ///< stamp origins + clock handshake on frames
+  uint32_t TracePpm = 10000;  ///< client_e2e span sampling rate
+  uint64_t TraceSeed = 1;     ///< must match the server's --trace-seed
+  std::string TraceOut;       ///< gold-trace-v1 output path (client spans)
+  TraceEventSink *TraceSink = nullptr; ///< shared across client threads
 };
+
+uint64_t chaosNowNanos() {
+  timespec Ts;
+  clock_gettime(CLOCK_MONOTONIC, &Ts);
+  return uint64_t(Ts.tv_sec) * 1000000000ull + uint64_t(Ts.tv_nsec);
+}
 
 uint64_t mix64(uint64_t &S) {
   S += 0x9e3779b97f4a7c15ULL;
@@ -236,6 +248,12 @@ void runClientShm(const Params &P, uint64_t Id, Result &R) {
   // The soak may not shed: a shed action would diverge from the oracle.
   CC.BufferCapActions = T.Actions.size() + 8;
   CC.OpTimeoutNanos = P.DeadlineMs * 1000000ull;
+  if (P.Trace) {
+    CC.TraceFrames = true;
+    CC.TraceSeed = P.TraceSeed;
+    CC.TraceSampleRatePpm = P.TracePpm;
+    CC.TraceSink = P.TraceSink;
+  }
   client::GoldClient GC(CC);
 
   std::string Err;
@@ -306,7 +324,10 @@ void runClient(const Params &P, uint64_t Id, Result &R) {
         std::this_thread::sleep_for(std::chrono::milliseconds(20));
         continue;
       }
-      proto::fmtOpen(Buf, sizeof(Buf), Id);
+      if (P.Trace)
+        proto::fmtOpenPrioClock(Buf, sizeof(Buf), Id, 1, chaosNowNanos());
+      else
+        proto::fmtOpen(Buf, sizeof(Buf), Id);
       if (!W.sendAll(Buf, nullptr))
         continue;
       std::string L;
@@ -443,7 +464,14 @@ void runClient(const Params &P, uint64_t Id, Result &R) {
           std::min<size_t>(Lines.size() - Next, 1 + mix64(Rng) % 12);
       std::string Out;
       for (size_t I = 0; I != Batch; ++I) {
-        proto::fmtLineHead(Buf, sizeof(Buf), Id, Next + I);
+        // Traced runs stamp the send time, not the (long past) generation
+        // time: a rewound/retransmitted line gets a fresh origin, which is
+        // what the e2e attribution should measure anyway.
+        if (P.Trace)
+          proto::fmtLineHeadTraced(Buf, sizeof(Buf), Id, Next + I,
+                                   chaosNowNanos());
+        else
+          proto::fmtLineHead(Buf, sizeof(Buf), Id, Next + I);
         Out += Buf;
         Out += Lines[Next + I];
         Out += '\n';
@@ -598,7 +626,9 @@ int usage() {
       "   or: net_chaos_client --shm <path> [--clients <k>] [--steps <n>]\n"
       "         [--threads <n>] [--seed <n>] [--deadline-ms <n>]\n"
       "         [--shm-stall-ppm <n>] [--shm-corrupt-ppm <n>]\n"
-      "         [--stall-micros <n>]\n");
+      "         [--stall-micros <n>]\n"
+      "  tracing (either mode): [--trace] [--trace-ppm <n>]\n"
+      "         [--trace-seed <n>] [--trace-out <client-spans.json>]\n");
   return 126;
 }
 
@@ -641,7 +671,17 @@ int main(int Argc, char **Argv) {
           static_cast<uint32_t>(std::strtoul(Val(), nullptr, 10));
     else if (A == "--stall-micros")
       P.StallMicros = static_cast<unsigned>(std::strtoul(Val(), nullptr, 10));
-    else
+    else if (A == "--trace")
+      P.Trace = true;
+    else if (A == "--trace-ppm") {
+      P.TracePpm = static_cast<uint32_t>(std::strtoul(Val(), nullptr, 10));
+      P.Trace = true;
+    } else if (A == "--trace-seed")
+      P.TraceSeed = std::strtoull(Val(), nullptr, 10);
+    else if (A == "--trace-out") {
+      P.TraceOut = Val();
+      P.Trace = true;
+    } else
       return usage();
   }
   bool UseShm = !P.ShmPath.empty();
@@ -661,6 +701,16 @@ int main(int Argc, char **Argv) {
     if (P.StallMicros)
       FC.StallMicros = P.StallMicros;
     FP = std::make_unique<FailpointScope>(FC);
+  }
+
+  // One span sink shared by every client thread (TraceEventSink is
+  // thread-safe); written as a gold-trace-v1 file after the join so it can
+  // be merged with the server's --trace-out via tools/merge_traces.py.
+  std::unique_ptr<TraceEventSink> Sink;
+  if (P.Trace && !P.TraceOut.empty()) {
+    Sink = std::make_unique<TraceEventSink>(1u << 20,
+                                            static_cast<uint32_t>(::getpid()));
+    P.TraceSink = Sink.get();
   }
 
   std::vector<Result> Results(P.Clients);
@@ -695,6 +745,11 @@ int main(int Argc, char **Argv) {
               "diverged=%zu races=%zu reconnects=%zu rewinds=%zu\n",
               P.Clients, Compared, Killed, Failed, Diverged, Races,
               Reconnects, Rewinds);
+  if (Sink && !Sink->writeFile(P.TraceOut)) {
+    std::fprintf(stderr, "net-chaos: failed to write %s\n",
+                 P.TraceOut.c_str());
+    return 1;
+  }
   if (Diverged || Failed || !Compared)
     return 1;
   return 0;
